@@ -1,0 +1,37 @@
+"""X8 — antenna selection diversity ablation.
+
+Section 2's dual-antenna receiver, valued at the error-region edge:
+disabling the second antenna measurably raises loss+damage at levels
+6-8, and a hypothetical 4-branch array helps further.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import diversity_ablation
+
+
+def test_ablation_diversity(benchmark, bench_scale):
+    result = run_once(benchmark, diversity_ablation.run, scale=1.0 * bench_scale)
+    print()
+    print("Ablation X8: error rate (lost+damaged) by antenna count")
+    for level in diversity_ablation.LEVELS:
+        cells = [
+            result.point(level, b).error_fraction
+            for b in diversity_ablation.BRANCH_COUNTS
+        ]
+        print(f"  level {level:4.1f}: " + "  ".join(f"{100 * c:6.2f}%" for c in cells))
+
+    # In the transition band the second antenna cuts the error rate...
+    for level in (8.0, 7.0, 6.0):
+        single = result.point(level, 1).error_fraction
+        double = result.point(level, 2).error_fraction
+        assert double < single
+    # ...by a meaningful factor overall.
+    total_single = sum(result.point(lv, 1).error_fraction for lv in (8.0, 7.0, 6.0))
+    total_double = sum(result.point(lv, 2).error_fraction for lv in (8.0, 7.0, 6.0))
+    assert total_single / total_double > 1.15
+    # More branches keep helping (monotone at the deep edge).
+    assert (
+        result.point(6.0, 4).error_fraction
+        < result.point(6.0, 2).error_fraction
+        < result.point(6.0, 1).error_fraction
+    )

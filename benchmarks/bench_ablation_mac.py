@@ -1,0 +1,30 @@
+"""X3 — MAC ablation: why a radio runs CSMA/CA, not CSMA/CD.
+
+Paper, Section 2: WaveLAN cannot sense collisions, so CSMA/CD's
+optimistic transmit-when-free turns waiting-station pile-ups directly
+into packet loss; CSMA/CA's random post-busy delay avoids them.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import mac_ablation
+
+
+def test_ablation_mac(benchmark, bench_scale):
+    result = run_once(benchmark, mac_ablation.run, scale=1.0 * bench_scale)
+    print()
+    print("Ablation X3: 3-sender contention")
+    for o in result.outcomes:
+        print(f"  {o.variant:>14}: {100 * o.delivery_fraction:5.1f}% delivered, "
+              f"{o.collisions} collisions, {o.goodput_bps / 1e6:.2f} Mb/s")
+
+    ca = result.outcome("csma_ca")
+    cd_wired = result.outcome("csma_cd_wired")
+    cd_blind = result.outcome("csma_cd_blind")
+
+    # On a wire, CD's optimism is fine (detection recovers every pile-up).
+    assert cd_wired.delivery_fraction > 0.9
+    # On a radio without detection, the same optimism is catastrophic.
+    assert cd_blind.delivery_fraction < 0.3
+    # CSMA/CA recovers almost all of the wired performance.
+    assert ca.delivery_fraction > 0.85
+    assert ca.delivery_fraction > cd_blind.delivery_fraction + 0.5

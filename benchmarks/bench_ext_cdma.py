@@ -1,0 +1,48 @@
+"""X5 — the Section-8 cellular WaveLAN (codes + power control).
+
+Quantifies the paper's future-work sketch: sequence-family sizes vs
+correlation bounds, and cell isolation under same-code / CDMA /
+power-control variants.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import cdma_extension
+
+
+def test_ext_cdma(benchmark, bench_scale):
+    result = run_once(benchmark, cdma_extension.run, scale=1.0 * bench_scale)
+    print()
+    print("Extension X5: cellular WaveLAN")
+    print(f"  family: {result.family.size} sequences, rejection "
+          f"{result.family.rejection_db():.1f} dB")
+    for o in result.outcomes:
+        print(f"  {o.variant:>28}: loss {o.metrics.packet_loss_percent:5.1f}%  "
+              f"trunc+dmg {100 * o.damaged_fraction:5.1f}%")
+
+    # The paper's "difficult to construct large families" — quantified:
+    # Barker-quality self-correlation (<=1) permits at most 2 codes.
+    assert result.tradeoff[(1, 9)] <= 2
+    # Relaxing self-correlation to 2 buys a double-digit family at
+    # cross-peak 7.
+    assert result.tradeoff[(2, 7)] >= 10
+    # Family size grows monotonically with looser cross bounds.
+    assert (
+        result.tradeoff[(2, 3)]
+        <= result.tradeoff[(2, 5)]
+        <= result.tradeoff[(2, 7)]
+        <= result.tradeoff[(2, 9)]
+    )
+
+    # Isolation: same-code adjacent cells are unusable...
+    same = result.outcome("same code")
+    assert same.metrics.packet_loss_percent > 40.0
+    # ...11-chip code diversity alone does not fix it...
+    cdma11 = result.outcome("cdma (11 chips)")
+    assert cdma11.metrics.packet_loss_percent > 30.0
+    # ...power control does...
+    pc = result.outcome("power control only")
+    assert pc.metrics.packet_loss_percent < 2.0
+    # ...and codes + power control is the cleanest of all.
+    both = result.outcome("cdma + power control")
+    assert both.metrics.packet_loss_percent < 2.0
+    assert both.damaged_fraction <= pc.damaged_fraction

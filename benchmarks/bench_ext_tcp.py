@@ -1,0 +1,50 @@
+"""X9 — TCP-Reno over the measured error environment (Section 9.3).
+
+Quantifies the paper's claim that high-quality wireless links need no
+wireless-aware transport, and locates exactly where that stops being
+true.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import tcp_over_wavelan
+
+
+def test_ext_tcp(benchmark, bench_scale):
+    result = run_once(benchmark, tcp_over_wavelan.run, scale=1.0 * bench_scale)
+    print()
+    print("Extension X9: TCP over the error environment")
+    for o in result.outcomes:
+        state = "" if o.finished else " (stall)"
+        print(f"  {o.scenario:>20} {o.variant:>5}: "
+              f"{o.throughput_mbps:5.2f} Mb/s{state}  "
+              f"tcp rtx {o.tcp_retransmissions}, timeouts {o.tcp_timeouts}")
+
+    # The Section-9.3 claim: plain TCP at full rate on good links.
+    for scenario in ("office (29.5)", "Tx4-like (13.8)"):
+        plain = result.outcome(scenario, "plain")
+        assert plain.finished
+        assert plain.throughput_mbps > 1.6
+        assert plain.tcp_timeouts == 0
+
+    # The error region collapses plain TCP by an order of magnitude...
+    clean = result.outcome("office (29.5)", "plain")
+    deep_plain = result.outcome("error region (7.0)", "plain")
+    assert deep_plain.throughput_mbps < clean.throughput_mbps / 5
+    # ...link-layer ARQ recovers most of it...
+    deep_arq = result.outcome("error region (7.0)", "arq")
+    assert deep_arq.finished
+    assert deep_arq.throughput_mbps > clean.throughput_mbps * 0.7
+    # ...and the snoop agent lands in between at the region edge.
+    edge = "region edge (8.0)"
+    assert (
+        result.outcome(edge, "plain").throughput_mbps
+        < result.outcome(edge, "snoop").throughput_mbps
+        <= result.outcome(edge, "arq").throughput_mbps + 0.05
+    )
+    # Snoop suppresses the congestion response entirely at the edge.
+    assert result.outcome(edge, "snoop").tcp_timeouts == 0
+
+    # The stomping regime defeats every sub-transport remedy.
+    for variant in ("plain", "arq", "snoop"):
+        ss = result.outcome("SS phone, base near", variant)
+        assert ss.throughput_mbps < 0.3

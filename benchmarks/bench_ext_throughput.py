@@ -1,0 +1,36 @@
+"""X7 — effective throughput across the error environment.
+
+Converts the paper's error rates into goodput and locates the level at
+which Section-8-style FEC stops being "useless overhead" and starts
+paying for itself.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import throughput
+from repro.experiments.throughput import OFFERED_RATE_BPS
+
+
+def test_ext_throughput(benchmark, bench_scale):
+    result = run_once(benchmark, throughput.run, scale=1.0 * bench_scale)
+    print()
+    print("Extension X7: goodput vs signal level")
+    for p in result.points:
+        raw = OFFERED_RATE_BPS * p.raw_delivery_fraction / 1e6
+        fec = p.fec_goodput_bps(result.fec_overhead) / 1e6
+        print(f"  level {p.level:5.1f}: raw {raw:6.3f} Mb/s  "
+              f"fec {fec:6.3f} Mb/s")
+    crossover = result.crossover_level()
+    print(f"  crossover: level ~{crossover:.1f}")
+
+    # The strong link delivers essentially the full offered rate raw.
+    strong = result.point(29.5)
+    assert strong.raw_delivery_fraction > 0.99
+    # Raw goodput decays monotonically into the error region.
+    fractions = [p.raw_delivery_fraction for p in result.points]
+    assert fractions == sorted(fractions, reverse=True)
+    # FEC always costs its overhead on clean links...
+    assert strong.fec_goodput_bps(result.fec_overhead) < strong.raw_goodput_bps
+    # ...and wins somewhere inside the error region (crossover below 8).
+    assert 4.0 <= crossover <= 8.0
+    weak = result.point(5.0)
+    assert weak.fec_goodput_bps(result.fec_overhead) > weak.raw_goodput_bps

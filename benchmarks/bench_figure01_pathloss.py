@@ -1,0 +1,29 @@
+"""F1 — Figure 1: signal level as a function of distance.
+
+Paper: smooth dropoff across the lecture hall with multipath dips at 6
+and 30 feet; error bars span min/max per distance.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import signal_vs_distance
+
+
+def test_figure01_pathloss(benchmark, bench_scale):
+    result = run_once(benchmark, signal_vs_distance.run, scale=1.0 * bench_scale)
+    print()
+    print("Figure 1: signal level vs distance (min/mean/max)")
+    for p in result.points:
+        bar = "#" * max(0, int(round(p.level_mean)))
+        print(f"  {p.distance_ft:4.0f} ft | {p.level_min:3d} {p.level_mean:6.2f} "
+              f"{p.level_max:3d} | {bar}")
+    print(f"paper: dips at 6 ft and 30 ft; smooth decay elsewhere")
+    print(f"measured dips: 6 ft -> {result.dip_depth(6.0):.1f} levels, "
+          f"30 ft -> {result.dip_depth(30.0):.1f} levels")
+
+    points = {p.distance_ft: p.level_mean for p in result.points}
+    assert points[0] > points[20] > points[50] > points[80]
+    assert result.dip_depth(6.0) > 2.0
+    assert result.dip_depth(30.0) > 2.0
+    # Error bars are tight (fraction of a level to ~2 levels).
+    for p in result.points:
+        assert p.level_max - p.level_min <= 6

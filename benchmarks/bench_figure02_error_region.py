@@ -1,0 +1,33 @@
+"""F2 — Figure 2: signal level with the shaded error region.
+
+Paper: level ≥ ~10 receives reliably; below 8 the error rate becomes
+very high.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import error_vs_level
+
+
+def test_figure02_error_region(benchmark, bench_scale):
+    result = run_once(benchmark, error_vs_level.run, scale=1.0 * bench_scale, seed=152)
+    print()
+    print("Figure 2: error rates by signal level (error region < 8)")
+    for b in result.level_bins:
+        marker = " << error region" if b.level < 8 else ""
+        print(f"  level {b.level:2d}: loss {100 * b.loss_fraction:6.2f}%  "
+              f"damage {100 * b.damage_fraction:6.2f}%{marker}")
+    print("paper: reliable at level >= ~10; 'very high' error rate below 8")
+
+    for b in result.level_bins:
+        if b.level >= 10:
+            assert b.loss_fraction < 0.01
+            assert b.damage_fraction < 0.03
+        if b.level <= 5:
+            assert b.loss_fraction + b.damage_fraction > 0.2
+    # The crossover: error rate climbs by more than an order of
+    # magnitude between level >= 10 and level <= 6.
+    strong = [b for b in result.level_bins if b.level >= 10]
+    weak = [b for b in result.level_bins if b.level <= 6]
+    strong_rate = max(b.loss_fraction + b.damage_fraction for b in strong)
+    weak_rate = min(b.loss_fraction + b.damage_fraction for b in weak)
+    assert weak_rate > 10 * max(strong_rate, 1e-4)

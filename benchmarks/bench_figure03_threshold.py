@@ -1,0 +1,49 @@
+"""F3 — Figure 3: effects of the receive threshold.
+
+Paper: both curves (packets filtered, collision-free transmissions)
+sweep 0 % → 100 % across a window of a few units around the enemy's
+received level; the filter is imperfect near the level but *clean* (no
+damaged remnants).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import threshold
+
+
+def test_figure03_threshold(benchmark, bench_scale):
+    result = run_once(
+        benchmark, threshold.run, scale=0.2 * bench_scale, seed=53
+    )
+    print()
+    print("Figure 3: receive-threshold sweep "
+          f"(enemy observed level {result.observed_level_min}-"
+          f"{result.observed_level_max})")
+    for p in result.points:
+        print(f"  threshold {p.threshold:2d}: filtered "
+              f"{100 * p.filtered_fraction:5.1f}%  collision-free "
+              f"{100 * p.collision_free_fraction:5.1f}%")
+    print("paper: both curves 0% at the received level, 100% above it, "
+          "with an imperfect transition — 'allow a margin of several units'")
+
+    low = [p for p in result.points if p.threshold <= result.observed_level_min - 2]
+    high = [p for p in result.points if p.threshold >= result.observed_level_max + 2]
+    assert all(p.filtered_fraction < 0.05 for p in low)
+    assert all(p.collision_free_fraction < 0.25 for p in low)
+    assert all(p.filtered_fraction == 1.0 for p in high)
+    assert all(p.collision_free_fraction > 0.95 for p in high)
+    # Clean filtering: nothing damaged leaks through at any threshold.
+    assert sum(p.damaged_leaked for p in result.points) == 0
+
+
+def test_ablation_threshold_margin(benchmark, bench_scale):
+    """X2: how many units of margin does full isolation need?"""
+    result = run_once(
+        benchmark, threshold.run, scale=0.1 * bench_scale, seed=97,
+        include_collisions=False,
+    )
+    margin = result.margin_for_full_filtering()
+    print(f"\nAblation X2: 100% filtering needs the threshold "
+          f"{margin} unit(s) above the max observed level "
+          f"(paper: 'a margin of several units'; Section 6: 'at least 6, "
+          f"though 8-10 would be more desirable' counting level spread)")
+    assert 1 <= margin <= 6

@@ -1,0 +1,82 @@
+"""Throughput micro-benchmarks of the library's hot paths.
+
+Unlike the experiment benches (one round, experiment-scale), these are
+true pytest-benchmark micro-benchmarks with multiple rounds: frame
+construction, trace matching, the vectorized trial loop, and Viterbi
+decoding — the four paths that dominate experiment wall-clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.matching import TraceMatcher
+from repro.fec.convolutional import ConvolutionalCode
+from repro.fec.viterbi import viterbi_decode
+from repro.framing.testpacket import TestPacketFactory, TestPacketSpec
+from repro.trace.trial import TrialConfig, run_fast_trial
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return TestPacketFactory(TestPacketSpec.default())
+
+
+def test_perf_frame_build(benchmark, factory):
+    """Incremental frame construction (target: a few µs per frame)."""
+    counter = iter(range(10**9))
+
+    def build():
+        return factory.build(next(counter))
+
+    frame = benchmark(build)
+    assert len(frame) == 1072
+
+
+def test_perf_matcher_fast_path(benchmark, factory):
+    """Exact-match identification of a pristine frame."""
+    matcher = TraceMatcher(TestPacketSpec.default(), packets_sent=10_000)
+    frame = factory.build(1234)
+    result = benchmark(matcher.match_bytes, frame)
+    assert result.exact
+
+
+def test_perf_matcher_voting_path(benchmark, factory):
+    """Majority-vote recovery of a damaged frame."""
+    from repro.framing.bits import flip_bits
+
+    matcher = TraceMatcher(TestPacketSpec.default(), packets_sent=10_000)
+    rng = np.random.default_rng(0)
+    damaged = flip_bits(
+        factory.build(1234),
+        rng.choice(1072 * 8, size=100, replace=False),
+    )
+    result = benchmark(matcher.match_bytes, damaged)
+    assert result.sequence == 1234
+
+
+def test_perf_vectorized_trial(benchmark):
+    """The fast trial loop (packets/second end to end)."""
+    counter = iter(range(10**6))
+
+    def trial():
+        return run_fast_trial(
+            TrialConfig(
+                name="perf", packets=5_000, mean_level=29.5, seed=next(counter)
+            )
+        )
+
+    output = benchmark.pedantic(trial, rounds=3, iterations=1)
+    assert output.trace.packets_received > 4_900
+
+
+def test_perf_viterbi_decode(benchmark):
+    """K=7 Viterbi decoding of a 1024-bit block."""
+    code = ConvolutionalCode()
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, 1024).astype(np.uint8)
+    coded = code.encode(bits)
+    damaged = coded.copy()
+    damaged[rng.choice(len(coded), size=30, replace=False)] ^= 1
+
+    decoded = benchmark(viterbi_decode, code, damaged)
+    assert np.array_equal(decoded, bits)

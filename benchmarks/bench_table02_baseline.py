@@ -1,0 +1,28 @@
+"""T2 — Table 2: in-room base case.
+
+Paper: nine office trials, 40k-488k packets each, >10^10 body bits
+total, loss .01-.07 %, at most one corrupted bit per trial.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_metrics_table
+from repro.experiments import baseline
+
+SCALE = 0.05  # of the paper's 1.36M total packets
+
+
+def test_table02_baseline(benchmark, bench_scale):
+    result = run_once(benchmark, baseline.run, scale=SCALE * bench_scale)
+    print()
+    print("Table 2: Results of in-room experiment "
+          f"(scale={SCALE * bench_scale:g})")
+    print(render_metrics_table(result.rows))
+    print(f"paper: loss .01-.07%, ~1 corrupted bit over 10^10 body bits")
+    print(f"measured: worst loss {result.worst_loss_percent:.3f}%, "
+          f"{result.total_damaged_bits} corrupted bits over "
+          f"{result.total_body_bits:.2g} body bits")
+
+    assert result.worst_loss_percent < 0.2
+    assert result.aggregate_ber < 1e-8
+    for row in result.rows:
+        assert row.packets_truncated <= 3

@@ -1,0 +1,27 @@
+"""T3 — Table 3: packet error conditions versus signal metrics.
+
+Paper: damaged packets' mean level ~7.5 (main body below 8), undamaged
+well above; truncated packets' *quality* sharply depressed; outsiders
+weak and mostly damaged.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_signal_table
+from repro.experiments import error_vs_level
+
+
+def test_table03_signal_metrics(benchmark, bench_scale):
+    result = run_once(benchmark, error_vs_level.run, scale=1.0 * bench_scale)
+    print()
+    print("Table 3: packet error conditions vs signal metrics")
+    print(render_signal_table(result.table3))
+    print("paper level means: all 14.15 / undamaged 14.74 / truncated 6.20 "
+          "/ body damaged 7.52")
+
+    undamaged = result.group("Undamaged")
+    damaged = result.group("Body damaged")
+    truncated = result.group("Truncated")
+    assert damaged.level.mean < 8.5
+    assert undamaged.level.mean - damaged.level.mean > 2.0
+    assert truncated.quality.mean < undamaged.quality.mean - 3.0
+    assert damaged.packets > 50

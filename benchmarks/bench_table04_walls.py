@@ -1,0 +1,29 @@
+"""T4 — Table 4: signal metrics with a single wall.
+
+Paper: 10^8 bits per location with zero loss/error; plaster+mesh wall
+costs ~5 levels, concrete ~2; quality unaffected.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_signal_table
+from repro.experiments import walls
+
+
+def test_table04_walls(benchmark, bench_scale):
+    result = run_once(benchmark, walls.run, scale=0.5 * bench_scale)
+    print()
+    print("Table 4: signal metrics with a single wall")
+    print(render_signal_table(result.signal_rows, label="Trial"))
+    plaster = result.wall_cost(("Air 1", "Wall 1"))
+    concrete = result.wall_cost(("Air 2", "Wall 2"))
+    print(f"paper: plaster+mesh ~5 levels, concrete ~2 levels, no errors")
+    print(f"measured: plaster+mesh {plaster:.1f}, concrete {concrete:.1f}")
+
+    assert 4.0 < plaster < 6.0
+    assert 1.0 < concrete < 3.0
+    assert plaster > concrete  # concrete is less of a hindrance
+    for metrics in result.metrics_rows:
+        assert metrics.body_bits_damaged == 0
+        assert metrics.packet_loss_percent < 0.1
+    for stats in result.signal_rows:
+        assert stats.quality.mean > 14.5  # quality unaffected by walls

@@ -1,0 +1,28 @@
+"""T5 — Table 5: multi-room loss and error results.
+
+Paper: Tx1/Tx2 essentially perfect; Tx4 nearly so; Tx5 shows the first
+corrupted bodies (25 packets, 82 bits, worst 7).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_metrics_table
+from repro.experiments import multiroom
+
+
+def test_table05_multiroom(benchmark, bench_scale):
+    result = run_once(benchmark, multiroom.run, scale=1.0 * bench_scale)
+    print()
+    print("Table 5: multi-room results")
+    print(render_metrics_table(result.metrics_rows))
+    print("paper Tx5: 1440 received, .07% loss, ~25 damaged, 82 bits, worst 7")
+
+    for name in ("Tx1", "Tx2"):
+        metrics = result.metrics(name)
+        assert metrics.body_bits_damaged == 0
+        assert metrics.packet_loss_percent < 0.15
+    tx4 = result.metrics("Tx4")
+    assert tx4.packet_loss_percent < 0.3
+    tx5 = result.metrics("Tx5")
+    assert 5 <= tx5.body_damaged_packets <= 60
+    assert 15 <= tx5.body_bits_damaged <= 250
+    assert tx5.worst_body_bits <= 30

@@ -1,0 +1,27 @@
+"""T8 — Table 8: effects of a human body on loss and errors.
+
+Paper: the no-body control is error free; a person in the path induces
+loss, truncation (3), and body damage (224 of 1442).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_metrics_table
+from repro.experiments import body
+
+
+def test_table08_body(benchmark, bench_scale):
+    result = run_once(benchmark, body.run, scale=1.0 * bench_scale)
+    print()
+    print("Table 8: human body effects")
+    print(render_metrics_table(result.metrics_rows))
+    print("paper: no body clean; with body 3 truncated, 224 body damaged")
+
+    control = result.metrics("No body")
+    assert control.body_bits_damaged == 0
+    assert control.packets_truncated == 0
+    assert control.packet_loss_percent < 0.1
+
+    impaired = result.metrics("Body")
+    assert impaired.packets_lost > 0
+    assert impaired.packets_truncated >= 1
+    assert 100 < impaired.body_damaged_packets < 400

@@ -1,0 +1,27 @@
+"""T9 — Table 9: human body effect on signal measurements.
+
+Paper: the body drops the mean level from 12.55 to 6.73 (~6 levels);
+undamaged packets keep quality ≈15 even at the reduced level.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_signal_table
+from repro.experiments import body
+
+
+def test_table09_body_signal(benchmark, bench_scale):
+    result = run_once(benchmark, body.run, scale=1.0 * bench_scale, seed=163)
+    print()
+    print("Table 9: human body signal metrics")
+    print(render_signal_table(result.signal_rows, label="Trial"))
+    print("Breakdown of the body trial:")
+    print(render_signal_table(result.body_breakdown))
+    print(f"paper: 12.55 -> 6.73 (~5.8 levels); "
+          f"measured cost {result.body_cost_levels:.1f} levels")
+
+    assert 4.5 < result.body_cost_levels < 7.5
+    assert result.level_mean("No body") == __import__("pytest").approx(12.55, abs=1.0)
+    rows = {r.group: r for r in result.body_breakdown}
+    assert rows["Undamaged"].quality.mean > 14.5
+    if "Truncated" in rows:
+        assert rows["Truncated"].quality.mean < 13.0

@@ -1,0 +1,36 @@
+"""T10 — Table 10: narrowband 900 MHz cordless phones.
+
+Paper: zero damaged test packets in every configuration; silence level
+ordering bases(19.32) > cluster(15.45) > handsets(11.33) >
+talking(6.11) > off(2.40) — the power-control fingerprint.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_signal_table
+from repro.experiments import phones_narrowband
+
+
+def test_table10_narrowband(benchmark, bench_scale):
+    result = run_once(benchmark, phones_narrowband.run, scale=1.0 * bench_scale)
+    print()
+    print("Table 10: narrowband cordless phones")
+    print(render_signal_table(result.signal_rows, label="Trial"))
+    measured = {t: round(result.silence_mean(t), 2) for t in phones_narrowband.TRIALS}
+    print(f"paper silence means:    {phones_narrowband.PAPER_SILENCE_MEANS}")
+    print(f"measured silence means: {measured}")
+
+    assert result.total_damaged_test_packets == 0
+    s = {t: result.silence_mean(t) for t in phones_narrowband.TRIALS}
+    assert (
+        s["Bases nearby"]
+        > s["Cluster"]
+        > s["Handsets nearby"]
+        > s["Handsets nearby talking"]
+        > s["Phones off"]
+    )
+    # Magnitudes within ~2.5 levels of the paper's readings.
+    for trial, paper in phones_narrowband.PAPER_SILENCE_MEANS.items():
+        assert abs(s[trial] - paper) < 2.5, (trial, s[trial], paper)
+    # Only background loss anywhere.
+    for metrics in result.metrics_rows:
+        assert metrics.packet_loss_percent < 0.3

@@ -1,0 +1,37 @@
+"""T11 — Table 11: spread-spectrum phone summary.
+
+Paper: base-near configurations lose ~52 % of packets and truncate
+100 % of survivors; remote cluster is harmless; the AT&T-handset
+configuration is the intermediate regime (1 % loss, 4 % truncated,
+59 % body damaged, worst 4.9 % of body bits).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import phones_spread
+
+
+def test_table11_ss_summary(benchmark, bench_scale):
+    result = run_once(benchmark, phones_spread.run, scale=1.0 * bench_scale)
+    print()
+    print("Table 11: spread-spectrum phones summary")
+    for s in result.summaries:
+        print(f"  {s.name:>18}: loss {s.loss_percent:5.1f}%  "
+              f"trunc {s.truncated_percent:5.1f}%  body {s.body_percent:5.1f}%  "
+              f"worst {100 * s.worst_body_fraction:5.2f}%")
+    print(f"paper: {phones_spread.PAPER_TABLE_11}")
+
+    for trial in ("RS base", "RS cluster", "AT&T cluster"):
+        s = result.summary(trial)
+        assert 40.0 < s.loss_percent < 65.0  # paper ~51-52 %
+        assert s.truncated_percent > 85.0  # paper 100 %
+
+    remote = result.summary("RS remote cluster")
+    assert remote.loss_percent < 1.0
+    assert remote.truncated_percent == 0.0
+    assert remote.body_percent == 0.0
+
+    handset = result.summary("AT&T handset")
+    assert handset.loss_percent < 4.0  # paper 1 %
+    assert handset.truncated_percent < 8.0  # paper 4 %
+    assert 45.0 < handset.body_percent < 70.0  # paper 59 %
+    assert 0.025 < handset.worst_body_fraction < 0.075  # paper 4.9 %

@@ -1,0 +1,39 @@
+"""T12 — Table 12: spread-spectrum phone signal measurements.
+
+Paper: near configurations inflate the test packets' *signal level*
+(means 31.5-32.5, maxima to 41) and push the silence level to 30-39;
+remote and handset configurations sit in between; quality collapses in
+the stomped configurations.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_signal_table
+from repro.experiments import phones_spread
+
+
+def test_table12_ss_signal(benchmark, bench_scale):
+    result = run_once(benchmark, phones_spread.run, scale=1.0 * bench_scale, seed=173)
+    print()
+    print("Table 12: spread-spectrum phone signal measurements")
+    print(render_signal_table(result.signal_rows, label="Trial"))
+    print("paper: 'phones off' silence 2.2; stomped trials silence 30-39 "
+          "with level means 31.5-32.5; remote silence ~21.8")
+
+    rows = {r.group: r for r in result.signal_rows}
+    baseline_level = rows["Phones off"].level.mean
+    baseline_silence = rows["Phones off"].silence.mean
+
+    for trial in ("RS base", "RS cluster", "AT&T cluster"):
+        stats = rows[trial]
+        # The AGC folds the phone's power into the level sample.
+        assert stats.level.mean > baseline_level + 2.0
+        assert stats.level.maximum > 34
+        # Massive silence elevation.
+        assert stats.silence.mean > baseline_silence + 20.0
+        # Quality collapses (truncation-dominated stream).
+        assert stats.quality.mean < 11.0
+
+    remote = rows["RS remote cluster"]
+    assert remote.level.mean == __import__("pytest").approx(baseline_level, abs=0.5)
+    assert 12.0 < remote.silence.mean < 24.0
+    assert remote.quality.mean > 14.5

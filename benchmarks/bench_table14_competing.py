@@ -1,0 +1,41 @@
+"""T14 — Table 14: competing WaveLAN transmitters.
+
+Paper: with the victim threshold raised to 25, the hostile continuous
+transmitters are fully masked — silence up from 3.35 to 13.62, level
+and quality unchanged, loss .02 %, zero bit errors.  At the default
+threshold the link was "completely unusable".
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_signal_table
+from repro.experiments import competing
+
+
+def test_table14_competing(benchmark, bench_scale):
+    result = run_once(benchmark, competing.run, scale=0.25 * bench_scale)
+    print()
+    print("Table 14: competing WaveLAN transmitters (threshold 25)")
+    print(render_signal_table(result.signal_rows, label="Trial"))
+    masked = result.metrics("With interference")
+    print(f"paper: silence 3.35 -> 13.62, loss .02%, no bit errors")
+    print(f"measured: silence {result.silence_mean('Without interference'):.2f} "
+          f"-> {result.silence_mean('With interference'):.2f}, "
+          f"loss {masked.packet_loss_percent:.3f}%, "
+          f"{masked.body_bits_damaged} damaged bits")
+
+    assert masked.body_bits_damaged == 0
+    assert masked.packet_loss_percent < 0.15
+    silence_delta = result.silence_mean("With interference") - result.silence_mean(
+        "Without interference"
+    )
+    assert 8.0 < silence_delta < 14.0  # paper: +10.3
+    level_delta = abs(
+        result.level_mean("With interference")
+        - result.level_mean("Without interference")
+    )
+    assert level_delta < 0.5  # level essentially unchanged
+
+    unusable = result.unusable_metrics
+    print(f"unmasked control: loss {unusable.packet_loss_percent:.1f}% "
+          f"('completely unusable')")
+    assert unusable.packet_loss_percent > 50.0

@@ -1,0 +1,22 @@
+"""V1 — internal validation: the vectorized fast path and the
+event-driven MAC path agree on contention-free scenarios."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import validation
+
+
+def test_validation_paths_agree(benchmark, bench_scale):
+    result = run_once(benchmark, validation.run, scale=1.0 * bench_scale)
+    print()
+    print("V1: fast vs MAC path")
+    for c in result.comparisons:
+        print(f"  {c.scenario:>12}: delivery "
+              f"{100 * c.fast_delivery:.1f}/{100 * c.mac_delivery:.1f}%  "
+              f"level {c.fast_level_mean:.2f}/{c.mac_level_mean:.2f}  "
+              f"quality {c.fast_quality_mean:.2f}/{c.mac_quality_mean:.2f}")
+
+    assert result.worst_delivery_gap < 0.02  # within 2 percentage points
+    assert result.worst_level_gap < 0.3  # within a third of an AGC unit
+    for c in result.comparisons:
+        assert c.quality_gap < 0.2
+        assert abs(c.fast_silence_mean - c.mac_silence_mean) < 0.5

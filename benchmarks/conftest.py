@@ -1,0 +1,27 @@
+"""Benchmark harness conventions.
+
+Each benchmark module regenerates one paper table or figure (DESIGN.md
+§4), prints the paper-style output, and asserts the *shape* findings.
+``benchmark.pedantic(..., rounds=1)`` is used throughout: these are
+experiment reproductions, not micro-benchmarks, and one round at
+meaningful scale is the interesting measurement.
+
+Scales are chosen so the whole suite finishes in a few minutes; the
+``REPRO_BENCH_SCALE`` environment variable multiplies every module's
+default scale (set it to 10 to approach the paper's full trial lengths).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Global scale multiplier from the environment (default 1.0)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,5 @@
+"""Shim so `pip install -e .` works in offline environments without the
+`wheel` package: setuptools 65's legacy develop path handles it."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,127 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+    python -m repro list
+    python -m repro table5
+    python -m repro figure1 --scale 0.5
+    python -m repro all --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    baseline,
+    body,
+    burst_ablation,
+    cdma_extension,
+    competing,
+    diversity_ablation,
+    error_vs_level,
+    fec_eval,
+    hidden_terminal,
+    mac_ablation,
+    multiroom,
+    phones_narrowband,
+    phones_spread,
+    signal_vs_distance,
+    tcp_over_wavelan,
+    threshold,
+    throughput,
+    validation,
+    walls,
+)
+
+# name -> (module, description, default scale)
+EXPERIMENTS = {
+    "table2": (baseline, "Table 2: in-room base case", 0.05),
+    "figure1": (signal_vs_distance, "Figure 1: signal level vs distance", 1.0),
+    "table3": (error_vs_level, "Table 3 + Figure 2: errors vs signal metrics", 1.0),
+    "figure2": (error_vs_level, "Figure 2 (alias of table3)", 1.0),
+    "figure3": (threshold, "Figure 3: receive threshold sweep", 0.15),
+    "table4": (walls, "Table 4: single wall", 0.5),
+    "table5": (multiroom, "Tables 5-7: multi-room experiment", 1.0),
+    "table8": (body, "Tables 8-9: human body", 1.0),
+    "table10": (phones_narrowband, "Table 10: narrowband phones", 1.0),
+    "table11": (phones_spread, "Tables 11-13: spread-spectrum phones", 1.0),
+    "table14": (competing, "Table 14: competing WaveLAN units", 0.25),
+    "fec": (fec_eval, "X1: variable FEC on observed syndromes", 1.0),
+    "mac": (mac_ablation, "X3: CSMA/CA vs CSMA/CD ablation", 1.0),
+    "burst": (burst_ablation, "X4: burst vs i.i.d. error ablation", 1.0),
+    "cdma": (cdma_extension, "X5: cellular WaveLAN (codes + power control)", 1.0),
+    "hidden": (hidden_terminal, "X6: hidden transmitters and capture", 1.0),
+    "diversity": (diversity_ablation, "X8: antenna diversity ablation", 1.0),
+    "throughput": (throughput, "X7: goodput across the error environment", 1.0),
+    "tcp": (tcp_over_wavelan, "X9: TCP-Reno over the error environment", 1.0),
+    "validate": (validation, "V1: fast path vs MAC path self-check", 1.0),
+}
+
+# Aliases covered by another module's output.
+_DUPLICATE_OF = {"figure2": "table3", "table6": "table5", "table7": "table5",
+                 "table9": "table8", "table12": "table11", "table13": "table11"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures from Eckhardt & Steenkiste, "
+                    "SIGCOMM 1996.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="multiplier on the paper's trial lengths "
+             "(default: per-experiment)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override seed")
+    parser.add_argument(
+        "--out", default=None, help="('report' only) write Markdown here"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from repro.experiments import report as report_module
+
+        kwargs = {"scale": args.scale if args.scale is not None else 0.25,
+                  "out": args.out}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        report = report_module.main(**kwargs)
+        return 0 if report.in_band_count == report.total else 1
+
+    if args.experiment == "list":
+        for name, (module, description, default_scale) in EXPERIMENTS.items():
+            print(f"  {name:<10} {description} (default scale {default_scale:g})")
+        print("  report     run everything, emit a paper-vs-measured Markdown "
+              "report (default scale 0.25)")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    seen_modules = set()
+    for name in names:
+        canonical = _DUPLICATE_OF.get(name, name)
+        if canonical not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try 'python -m repro list'",
+                  file=sys.stderr)
+            return 2
+        module, description, default_scale = EXPERIMENTS[canonical]
+        if module in seen_modules:
+            continue
+        seen_modules.add(module)
+        print("=" * 72)
+        kwargs = {"scale": args.scale if args.scale is not None else default_scale}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        module.main(**kwargs)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

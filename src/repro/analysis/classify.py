@@ -1,0 +1,136 @@
+"""Per-packet damage classification.
+
+Mirrors the packet classes of the paper's tables (e.g. Table 3):
+undamaged, truncated, wrapper damaged, body damaged, and outsiders
+(undamaged/damaged).  A packet can be both wrapper- and body-damaged;
+like the paper's tables we give body damage precedence for the primary
+class but keep both flags.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.matching import MatchOutcome, TraceMatcher
+from repro.analysis.syndrome import ErrorSyndrome, extract_syndrome
+from repro.framing.crc import check_fcs
+from repro.framing.modem import NETWORK_ID_LEN
+from repro.framing.testpacket import FRAME_BYTES
+from repro.trace.records import PacketRecord, TrialTrace
+
+
+class PacketClass(enum.Enum):
+    """Primary damage class of a received packet."""
+
+    UNDAMAGED = "undamaged"
+    TRUNCATED = "truncated"
+    WRAPPER_DAMAGED = "wrapper_damaged"
+    BODY_DAMAGED = "body_damaged"
+    OUTSIDER_UNDAMAGED = "outsider_undamaged"
+    OUTSIDER_DAMAGED = "outsider_damaged"
+
+    @property
+    def is_test_packet(self) -> bool:
+        return self not in (
+            PacketClass.OUTSIDER_UNDAMAGED,
+            PacketClass.OUTSIDER_DAMAGED,
+        )
+
+
+@dataclass
+class ClassifiedPacket:
+    """One record plus everything the analysis derived from it."""
+
+    record: PacketRecord
+    packet_class: PacketClass
+    sequence: Optional[int] = None
+    syndrome: Optional[ErrorSyndrome] = None
+    wrapper_damaged: bool = False
+    body_bits_damaged: int = 0
+    truncated_bytes_missing: int = 0
+
+
+@dataclass
+class ClassifiedTrace:
+    """A whole trial's classification output."""
+
+    trace: TrialTrace
+    packets: list[ClassifiedPacket] = field(default_factory=list)
+
+    def by_class(self, *classes: PacketClass) -> list[ClassifiedPacket]:
+        wanted = set(classes)
+        return [p for p in self.packets if p.packet_class in wanted]
+
+    @property
+    def test_packets(self) -> list[ClassifiedPacket]:
+        return [p for p in self.packets if p.packet_class.is_test_packet]
+
+    @property
+    def outsiders(self) -> list[ClassifiedPacket]:
+        return [p for p in self.packets if not p.packet_class.is_test_packet]
+
+
+def _classify_outsider(data: bytes) -> PacketClass:
+    """Damage heuristic for foreign packets: without ground truth, the
+    Ethernet CRC is the only oracle (the paper's tool had the same
+    limitation — weak foreign packets failing CRC are "damaged")."""
+    if len(data) > NETWORK_ID_LEN and check_fcs(data[NETWORK_ID_LEN:]):
+        return PacketClass.OUTSIDER_UNDAMAGED
+    return PacketClass.OUTSIDER_DAMAGED
+
+
+def classify_trace(trace: TrialTrace) -> ClassifiedTrace:
+    """Run matching + damage classification over a whole trial."""
+    matcher = TraceMatcher(trace.spec, trace.packets_sent)
+    result = ClassifiedTrace(trace=trace)
+    for record in trace.records:
+        data = record.data
+        match = matcher.match_bytes(data)
+        if match.outcome is MatchOutcome.OUTSIDER:
+            result.packets.append(
+                ClassifiedPacket(
+                    record=record, packet_class=_classify_outsider(data)
+                )
+            )
+            continue
+        sequence = match.sequence
+        assert sequence is not None
+        if match.exact:
+            result.packets.append(
+                ClassifiedPacket(
+                    record=record,
+                    packet_class=PacketClass.UNDAMAGED,
+                    sequence=sequence,
+                )
+            )
+            continue
+        if len(data) < FRAME_BYTES:
+            result.packets.append(
+                ClassifiedPacket(
+                    record=record,
+                    packet_class=PacketClass.TRUNCATED,
+                    sequence=sequence,
+                    truncated_bytes_missing=FRAME_BYTES - len(data),
+                )
+            )
+            continue
+        syndrome = extract_syndrome(data, sequence, matcher.factory)
+        if syndrome.body_bits_damaged > 0:
+            packet_class = PacketClass.BODY_DAMAGED
+        elif syndrome.wrapper_damaged:
+            packet_class = PacketClass.WRAPPER_DAMAGED
+        else:
+            packet_class = PacketClass.UNDAMAGED
+        result.packets.append(
+            ClassifiedPacket(
+                record=record,
+                packet_class=packet_class,
+                sequence=sequence,
+                syndrome=syndrome,
+                wrapper_damaged=syndrome.wrapper_damaged,
+                body_bits_damaged=syndrome.body_bits_damaged,
+            )
+        )
+    return result

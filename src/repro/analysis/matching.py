@@ -1,0 +1,251 @@
+"""Heuristic test-packet identification and sequence recovery.
+
+The paper (Section 4): "we ... use a heuristic matching procedure to
+determine whether a given packet is one of the test series" and "a
+second heuristic procedure to determine the sequence number of any
+packet we believe is a test packet."
+
+The test packets were designed for this: the body is a single 32-bit
+word repeated 256 times, so a **majority vote over the body words**
+recovers the sequence number through substantial corruption, and the
+wrapper can then be compared against the expected header bytes for that
+sequence.  The procedure here:
+
+1. *Fast path* — frame is full length, body words unanimous, wrapper
+   byte-identical to the expected frame: undamaged test packet.
+2. *Voting path* — take all complete 32-bit words from the (possibly
+   truncated) body region, find the plurality value; if it wins enough
+   support and implies a plausible sequence number, score the wrapper
+   against the expected template.  A combined body+wrapper score above
+   threshold ⇒ test packet.
+3. *Header path* — when the body is gone (deep truncation) or garbled
+   beyond voting, a near-perfect header still identifies a test packet
+   and the IP identification field (which the sender loads with the low
+   16 bits of the sequence number) recovers the sequence.
+4. Otherwise ⇒ outsider.  (The paper: "It is possible ... that some
+   packets we identify as outsiders may instead be badly corrupted test
+   packets."  The same ambiguity shrinks but persists here, and the
+   integration tests measure how rarely it bites.)
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.framing.testpacket import (
+    BODY_START,
+    FRAME_BYTES,
+    TestPacketFactory,
+    TestPacketSpec,
+    WORD_BYTES,
+)
+from repro.trace.records import PacketRecord
+
+# Minimum complete body words needed before a majority vote is trusted.
+MIN_WORDS_FOR_VOTE = 8
+# The winning word must carry at least this fraction of the vote.  The
+# bar can be low because corrupted words scatter to essentially unique
+# values (a 12% plurality among 100+ words is overwhelming) and a voted
+# match must still pass the wrapper-score check.
+MIN_VOTE_FRACTION = 0.12
+# Sequence numbers this far beyond the number of packets sent are
+# implausible and rejected.
+SEQUENCE_SLACK = 16
+# Fraction of wrapper bytes that must match the expected template for a
+# voted match to be accepted (guards against foreign frames whose
+# payload happens to repeat a word).
+MIN_WRAPPER_SCORE = 0.5
+# Header-led fallback: when the body is gone (deep truncation) or too
+# corrupted to vote, an almost-intact header still identifies a test
+# packet, and the IP identification field carries the low 16 bits of
+# the sequence number.  The bar is high because the header is short.
+MIN_HEADER_SCORE = 0.85
+IP_ID_OFFSET = 20  # bytes: modem(2) + eth(14) + ip version..ttl(4)
+
+
+class MatchOutcome(enum.Enum):
+    """Verdict of the matching procedure for one record."""
+
+    TEST_PACKET = "test"
+    OUTSIDER = "outsider"
+
+
+@dataclass
+class MatchResult:
+    """Outcome plus the recovered sequence number (test packets only)."""
+
+    outcome: MatchOutcome
+    sequence: Optional[int] = None
+    exact: bool = False  # fast path: byte-identical to the pristine frame
+    vote_fraction: float = 0.0
+    wrapper_score: float = 0.0
+    # True when the body was useless and the headers (plus the IP
+    # identification field) carried the identification.
+    header_led: bool = False
+
+
+class TraceMatcher:
+    """Matches records against one trial's test-packet series.
+
+    Holds the spec (the experimenters knew their own configuration) and
+    the number of packets sent (they ran the sender), which bounds
+    plausible sequence numbers.
+    """
+
+    def __init__(self, spec: TestPacketSpec, packets_sent: int) -> None:
+        self.spec = spec
+        self.packets_sent = packets_sent
+        self.factory = TestPacketFactory(spec)
+
+    # ------------------------------------------------------------------
+    def match(self, record: PacketRecord) -> MatchResult:
+        """Classify one record as test packet (with sequence) or outsider."""
+        return self.match_bytes(record.data)
+
+    def match_bytes(self, data: bytes) -> MatchResult:
+        """Like :meth:`match` for callers that already hold the bytes."""
+        fast = self._fast_match(data)
+        if fast is not None:
+            return fast
+        voted = self._voting_match(data)
+        if voted.outcome is MatchOutcome.TEST_PACKET:
+            return voted
+        header = self._header_match(data)
+        if header is not None:
+            return header
+        return voted
+
+    # ------------------------------------------------------------------
+    def _fast_match(self, data: bytes) -> Optional[MatchResult]:
+        """Exact comparison for the common undamaged case."""
+        if len(data) != FRAME_BYTES:
+            return None
+        body = np.frombuffer(data, dtype=">u4", count=-1, offset=BODY_START)
+        # The final 4 bytes are the FCS, not a body word.
+        body = body[: (FRAME_BYTES - BODY_START - 4) // WORD_BYTES]
+        if not bool((body == body[0]).all()):
+            return None
+        sequence = self._sequence_from_word(int(body[0]))
+        if sequence is None:
+            return None
+        if data == self.factory.build(sequence):
+            return MatchResult(
+                MatchOutcome.TEST_PACKET,
+                sequence=sequence,
+                exact=True,
+                vote_fraction=1.0,
+                wrapper_score=1.0,
+            )
+        return None  # fall through to the voting path
+
+    def _voting_match(self, data: bytes) -> MatchResult:
+        """Majority vote over body words + wrapper scoring."""
+        body_bytes = data[BODY_START:]
+        # Exclude a trailing FCS only when the frame is full length; a
+        # truncated frame's tail is body bytes.
+        if len(data) == FRAME_BYTES:
+            body_bytes = data[BODY_START : FRAME_BYTES - 4]
+        complete_words = len(body_bytes) // WORD_BYTES
+        if complete_words < MIN_WORDS_FOR_VOTE:
+            return MatchResult(MatchOutcome.OUTSIDER)
+        words = np.frombuffer(
+            body_bytes[: complete_words * WORD_BYTES], dtype=">u4"
+        )
+        counts = Counter(words.tolist())
+        winner, winner_count = counts.most_common(1)[0]
+        vote_fraction = winner_count / complete_words
+        if vote_fraction < MIN_VOTE_FRACTION:
+            return MatchResult(MatchOutcome.OUTSIDER, vote_fraction=vote_fraction)
+        sequence = self._sequence_from_word(int(winner))
+        if sequence is None:
+            return MatchResult(MatchOutcome.OUTSIDER, vote_fraction=vote_fraction)
+        wrapper_score = self._wrapper_score(data, sequence)
+        if wrapper_score < MIN_WRAPPER_SCORE:
+            return MatchResult(
+                MatchOutcome.OUTSIDER,
+                vote_fraction=vote_fraction,
+                wrapper_score=wrapper_score,
+            )
+        return MatchResult(
+            MatchOutcome.TEST_PACKET,
+            sequence=sequence,
+            vote_fraction=vote_fraction,
+            wrapper_score=wrapper_score,
+        )
+
+    # ------------------------------------------------------------------
+    def _sequence_from_word(self, word: int) -> Optional[int]:
+        """Map a recovered body word back to a plausible sequence number."""
+        sequence = (word - self.spec.first_sequence) & 0xFFFFFFFF
+        if sequence >= self.packets_sent + SEQUENCE_SLACK:
+            return None
+        return sequence
+
+    def _wrapper_score(self, data: bytes, sequence: int) -> float:
+        """Fraction of received header bytes matching the expected frame.
+
+        Only the leading wrapper (modem + Ethernet + IP + UDP headers)
+        is scored: the FCS trailer is absent from truncated frames.
+        """
+        expected = self.factory.build(sequence)
+        prefix_len = min(len(data), BODY_START)
+        if prefix_len == 0:
+            return 0.0
+        received = np.frombuffer(data[:prefix_len], dtype=np.uint8)
+        template = np.frombuffer(expected[:prefix_len], dtype=np.uint8)
+        return float((received == template).mean())
+
+
+    def _header_match(self, data: bytes) -> Optional[MatchResult]:
+        """Header-led identification for body-destroyed packets.
+
+        The paper's tooling did the analogous thing ("frequently we
+        could determine that they were ARP packets" — and conversely,
+        corrupted-station-address packets "associated with our test
+        packets").  Requirements: enough prefix to read the IP id, an
+        almost-intact wrapper (scored against the template with the
+        sequence-dependent bytes excluded), and a plausible sequence in
+        the id field.
+        """
+        if len(data) < IP_ID_OFFSET + 2:
+            return None
+        candidate_id = int.from_bytes(data[IP_ID_OFFSET : IP_ID_OFFSET + 2], "big")
+        # The id carries seq mod 2^16; trials are < 2^16 + slack packets,
+        # so within one trial the mapping is unambiguous.
+        sequence = candidate_id
+        if sequence >= self.packets_sent + SEQUENCE_SLACK:
+            return None
+        expected = self.factory.build(sequence)
+        prefix_len = min(len(data), BODY_START)
+        received = np.frombuffer(data[:prefix_len], dtype=np.uint8)
+        template = np.frombuffer(expected[:prefix_len], dtype=np.uint8)
+        matches = received == template
+        # Exclude the sequence-dependent header bytes (IP id+checksum,
+        # UDP checksum) from the score: they prove nothing beyond the id
+        # we already read.
+        exclude = [20, 21, 26, 27, 42, 43]
+        keep = np.ones(prefix_len, dtype=bool)
+        for index in exclude:
+            if index < prefix_len:
+                keep[index] = False
+        score = float(matches[keep].mean()) if keep.any() else 0.0
+        if score < MIN_HEADER_SCORE:
+            return None
+        return MatchResult(
+            MatchOutcome.TEST_PACKET,
+            sequence=sequence,
+            wrapper_score=score,
+            header_led=True,
+        )
+
+
+def match_record(
+    record: PacketRecord, spec: TestPacketSpec, packets_sent: int
+) -> MatchResult:
+    """One-shot convenience wrapper around :class:`TraceMatcher`."""
+    return TraceMatcher(spec, packets_sent).match(record)

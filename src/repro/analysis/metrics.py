@@ -1,0 +1,121 @@
+"""Trial metrics: the columns of the paper's Table 1.
+
+| Column            | Meaning                                               |
+|-------------------|-------------------------------------------------------|
+| Packets Received  | Test packets received                                 |
+| Packet Loss       | Percentage of transmitted test packets that were lost |
+| Packets Truncated | Number of received test packets which were truncated  |
+| Bits Received     | Number of *body* bits received, rounded down          |
+| Wrapper Damaged   | Number of packets with damaged headers or trailers    |
+| Body Bits         | Total number of body bits damaged in trial            |
+| Worst Body        | Number of bits damaged in most-corrupted packet body  |
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.classify import ClassifiedTrace, PacketClass, classify_trace
+from repro.framing.testpacket import BODY_BITS, BODY_START
+from repro.trace.records import TrialTrace
+
+
+@dataclass
+class TrialMetrics:
+    """The Table-1 row for one trial."""
+
+    name: str
+    packets_sent: int
+    packets_received: int
+    packets_truncated: int
+    body_bits_received: int
+    wrapper_damaged: int
+    body_damaged_packets: int
+    body_bits_damaged: int
+    worst_body_bits: Optional[int]
+    outsiders_received: int
+
+    @property
+    def packets_lost(self) -> int:
+        return max(0, self.packets_sent - self.packets_received)
+
+    @property
+    def packet_loss_fraction(self) -> float:
+        if self.packets_sent == 0:
+            return 0.0
+        return self.packets_lost / self.packets_sent
+
+    @property
+    def packet_loss_percent(self) -> float:
+        return 100.0 * self.packet_loss_fraction
+
+    @property
+    def bit_error_rate(self) -> float:
+        """Estimated body BER: damaged body bits / received body bits.
+
+        The paper stresses these "are necessarily only estimates":
+        truncated bodies contribute received bits but no syndrome.
+        """
+        if self.body_bits_received == 0:
+            return 0.0
+        return self.body_bits_damaged / self.body_bits_received
+
+    @property
+    def bits_received_magnitude(self) -> str:
+        """The paper renders bits received as a power of ten (e.g. 10^9)."""
+        if self.body_bits_received <= 0:
+            return "0"
+        exponent = int(math.floor(math.log10(self.body_bits_received)))
+        mantissa = self.body_bits_received / 10**exponent
+        if mantissa < 1.5:
+            return f"10^{exponent}"
+        return f"{mantissa:.0f}x10^{exponent}"
+
+
+def metrics_from_classified(classified: ClassifiedTrace) -> TrialMetrics:
+    """Fold a classified trace into its Table-1 row."""
+    trace = classified.trace
+    test_packets = classified.test_packets
+
+    truncated = classified.by_class(PacketClass.TRUNCATED)
+    body_damaged = classified.by_class(PacketClass.BODY_DAMAGED)
+    wrapper_damaged_count = sum(
+        1
+        for packet in test_packets
+        if packet.wrapper_damaged
+        or packet.packet_class is PacketClass.WRAPPER_DAMAGED
+    )
+
+    body_bits_received = 0
+    for packet in test_packets:
+        if packet.packet_class is PacketClass.TRUNCATED:
+            received_body_bytes = max(0, packet.record.length - BODY_START)
+            body_bits_received += received_body_bytes * 8
+        else:
+            body_bits_received += BODY_BITS
+
+    body_bits_damaged = sum(p.body_bits_damaged for p in test_packets)
+    worst = max(
+        (p.body_bits_damaged for p in body_damaged),
+        default=None,
+    )
+
+    return TrialMetrics(
+        name=trace.name,
+        packets_sent=trace.packets_sent,
+        packets_received=len(test_packets),
+        packets_truncated=len(truncated),
+        body_bits_received=body_bits_received,
+        wrapper_damaged=wrapper_damaged_count,
+        body_damaged_packets=len(body_damaged),
+        body_bits_damaged=body_bits_damaged,
+        worst_body_bits=worst,
+        outsiders_received=len(classified.outsiders),
+    )
+
+
+def analyze_trial(trace: TrialTrace) -> TrialMetrics:
+    """Classify and summarize a trial in one call."""
+    return metrics_from_classified(classify_trace(trace))

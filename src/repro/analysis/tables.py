@@ -1,0 +1,117 @@
+"""Paper-style ASCII table rendering.
+
+Every benchmark prints its table through these helpers, so the output
+can be compared line-for-line with the corresponding paper table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.metrics import TrialMetrics
+from repro.analysis.signalstats import SignalStats
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return " | ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+
+def _render(headers: Sequence[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(header), *(len(row[i]) for row in rows)) if rows else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = [_format_row(headers, widths)]
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def format_loss_percent(metrics: TrialMetrics) -> str:
+    """The paper's loss format: '0%', '.03%', '52%'."""
+    percent = metrics.packet_loss_percent
+    if percent == 0.0:
+        return "0%"
+    if percent < 1.0:
+        return f"{percent:.2f}%".lstrip("0")
+    return f"{percent:.0f}%"
+
+
+def render_metrics_table(rows: Sequence[TrialMetrics]) -> str:
+    """A Table-2/5/8-style results table."""
+    headers = [
+        "Trial",
+        "Packets Received",
+        "Packet Loss",
+        "Packets Truncated",
+        "Bits Received",
+        "Wrapper Damaged",
+        "Body Bits",
+        "Worst Body",
+    ]
+    body = []
+    for m in rows:
+        body.append(
+            [
+                m.name,
+                str(m.packets_received),
+                format_loss_percent(m),
+                str(m.packets_truncated),
+                m.bits_received_magnitude,
+                str(m.wrapper_damaged),
+                str(m.body_bits_damaged),
+                "-" if m.worst_body_bits is None else str(m.worst_body_bits),
+            ]
+        )
+    return _render(headers, body)
+
+
+def _summary_cells(summary) -> list[str]:
+    if summary is None:
+        return ["-", "-", "-", "-"]
+    return [
+        str(summary.minimum),
+        f"{summary.mean:.2f}",
+        f"({summary.sd:.2f})",
+        str(summary.maximum),
+    ]
+
+
+def render_signal_table(
+    rows: Sequence[SignalStats], label: str = "Packet Type"
+) -> str:
+    """A Table-3/6/9-style signal-metrics table (↓ μ σ ↑ per metric)."""
+    headers = [
+        label,
+        "Packets",
+        "Lvl v", "Lvl u", "Lvl (s)", "Lvl ^",
+        "Sil v", "Sil u", "Sil (s)", "Sil ^",
+        "Qual v", "Qual u", "Qual (s)", "Qual ^",
+    ]
+    body = []
+    for stats in rows:
+        body.append(
+            [stats.group, str(stats.packets)]
+            + _summary_cells(stats.level)
+            + _summary_cells(stats.silence)
+            + _summary_cells(stats.quality)
+        )
+    return _render(headers, body)
+
+
+def render_comparison(
+    title: str,
+    paper_rows: dict[str, str],
+    measured_rows: dict[str, str],
+) -> str:
+    """Side-by-side paper-vs-measured lines for EXPERIMENTS.md."""
+    keys = list(paper_rows)
+    width = max(len(k) for k in keys) if keys else 0
+    lines = [title]
+    for key in keys:
+        measured: Optional[str] = measured_rows.get(key)
+        lines.append(
+            f"  {key.ljust(width)}  paper: {paper_rows[key]:>12}  "
+            f"measured: {(measured or 'n/a'):>12}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Physical-world model: geometry, materials, floor plans, propagation.
+
+The paper expresses all of its propagation findings in WaveLAN AGC
+"level" units: a plaster-over-wire-mesh wall costs about 5 levels, a
+concrete-block wall about 2, a human body about 6, and signal level
+decays smoothly with distance apart from room-specific multipath dips
+(Figure 1).  This package turns a floor plan (walls with materials,
+station positions) into the *mean* signal level a receiver observes,
+which the PHY layer then perturbs per packet.
+"""
+
+from repro.environment.floorplan import FloorPlan, Wall
+from repro.environment.geometry import Point, Segment, segments_intersect
+from repro.environment.materials import (
+    CONCRETE_BLOCK_WALL,
+    HUMAN_BODY,
+    INTERIOR_DOOR,
+    METAL_OBSTACLE,
+    PLASTER_MESH_WALL,
+    Material,
+)
+from repro.environment.propagation import (
+    AmbientNoise,
+    MultipathDip,
+    PropagationModel,
+)
+
+__all__ = [
+    "AmbientNoise",
+    "CONCRETE_BLOCK_WALL",
+    "FloorPlan",
+    "HUMAN_BODY",
+    "INTERIOR_DOOR",
+    "METAL_OBSTACLE",
+    "Material",
+    "MultipathDip",
+    "PLASTER_MESH_WALL",
+    "Point",
+    "PropagationModel",
+    "Segment",
+    "Wall",
+    "segments_intersect",
+]

@@ -1,0 +1,66 @@
+"""Floor plans: walls with materials, and obstacle counting along paths."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.environment.geometry import Point, Segment, segments_intersect
+from repro.environment.materials import Material
+
+
+@dataclass(frozen=True)
+class Wall:
+    """A wall (or other planar obstacle) in the floor plan."""
+
+    segment: Segment
+    material: Material
+    name: str = ""
+
+    @classmethod
+    def between(
+        cls, ax: float, ay: float, bx: float, by: float, material: Material, name: str = ""
+    ) -> "Wall":
+        return cls(Segment(Point(ax, ay), Point(bx, by)), material, name)
+
+
+@dataclass
+class FloorPlan:
+    """A collection of walls plus free-floating obstacles.
+
+    ``extra_obstacles`` models things that sit *on* the direct path
+    without a fixed wall geometry — e.g. the human body of Section 6.3,
+    or "some classroom furniture".  Each entry applies to every path.
+    """
+
+    name: str = "unnamed"
+    walls: list[Wall] = field(default_factory=list)
+    extra_obstacles: list[Material] = field(default_factory=list)
+
+    def add_wall(self, wall: Wall) -> None:
+        self.walls.append(wall)
+
+    def add_obstacle(self, material: Material) -> None:
+        self.extra_obstacles.append(material)
+
+    def obstacles_between(self, a: Point, b: Point) -> list[Material]:
+        """Materials crossed by the direct path from ``a`` to ``b``.
+
+        Counts one traversal per intersected wall, plus all free-floating
+        obstacles.
+        """
+        path = Segment(a, b)
+        crossed = [
+            wall.material
+            for wall in self.walls
+            if segments_intersect(path, wall.segment)
+        ]
+        return crossed + list(self.extra_obstacles)
+
+    def total_obstacle_levels(self, a: Point, b: Point) -> float:
+        """Summed attenuation (level units) of all obstacles on the path."""
+        return sum(m.attenuation_levels for m in self.obstacles_between(a, b))
+
+    @classmethod
+    def open_room(cls, name: str = "open room") -> "FloorPlan":
+        """A plan with no obstacles (offices, lecture halls in-room)."""
+        return cls(name=name)

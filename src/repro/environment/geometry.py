@@ -1,0 +1,83 @@
+"""2-D geometry for floor plans.
+
+Distances are in **feet** throughout the environment package, because
+every distance in the paper is reported in feet.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D position in feet."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A line segment between two points."""
+
+    a: Point
+    b: Point
+
+    @property
+    def length(self) -> float:
+        return self.a.distance_to(self.b)
+
+    def midpoint(self) -> Point:
+        return self.a.midpoint(self.b)
+
+
+def _orientation(p: Point, q: Point, r: Point) -> int:
+    """Orientation of ordered triplet: 0 collinear, 1 clockwise, 2 ccw."""
+    value = (q.y - p.y) * (r.x - q.x) - (q.x - p.x) * (r.y - q.y)
+    if abs(value) < 1e-12:
+        return 0
+    return 1 if value > 0 else 2
+
+
+def _on_segment(p: Point, q: Point, r: Point) -> bool:
+    """Given collinear p, q, r: does q lie on segment pr?"""
+    return (
+        min(p.x, r.x) - 1e-12 <= q.x <= max(p.x, r.x) + 1e-12
+        and min(p.y, r.y) - 1e-12 <= q.y <= max(p.y, r.y) + 1e-12
+    )
+
+
+def segments_intersect(s1: Segment, s2: Segment) -> bool:
+    """True when two closed segments share at least one point.
+
+    Standard orientation test with collinear special cases; used to count
+    how many walls a line-of-sight path crosses.
+    """
+    p1, q1, p2, q2 = s1.a, s1.b, s2.a, s2.b
+    o1 = _orientation(p1, q1, p2)
+    o2 = _orientation(p1, q1, q2)
+    o3 = _orientation(p2, q2, p1)
+    o4 = _orientation(p2, q2, q1)
+
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and _on_segment(p1, p2, q1):
+        return True
+    if o2 == 0 and _on_segment(p1, q2, q1):
+        return True
+    if o3 == 0 and _on_segment(p2, p1, q2):
+        return True
+    if o4 == 0 and _on_segment(p2, q1, q2):
+        return True
+    return False

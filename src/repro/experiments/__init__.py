@@ -1,0 +1,13 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+Every module exposes ``run(scale=..., seed=...) -> <Result dataclass>``
+returning structured data, and ``main()`` printing the paper-style
+table.  ``scale`` multiplies the paper's packet counts (1.0 = the
+paper's trial lengths; tests use small scales, benchmarks moderate
+ones).  The experiment ↔ module ↔ benchmark mapping lives in DESIGN.md
+§4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments import scenarios
+
+__all__ = ["scenarios"]

@@ -1,0 +1,163 @@
+"""Table 10 — narrowband 900 MHz cordless phones (Section 7.2).
+
+Two FM cordless phones in various placements around a WaveLAN pair 20 ft
+apart in a lecture hall.  Paper findings to preserve:
+
+* **no damaged test packets in any configuration** and only background
+  packet loss — DSSS shrugs narrowband energy off;
+* the silence level tells the real story, ordered
+  ``bases nearby > cluster > handsets nearby > handsets talking > off``
+  — the inversion of "cluster" vs "bases nearby" being the fingerprint
+  of the phones' power control;
+* outsider packets appear when (and only when) the silence level is low
+  enough for the receiver to hear other buildings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.classify import classify_trace
+from repro.analysis.metrics import TrialMetrics, metrics_from_classified
+from repro.analysis.signalstats import (
+    PacketClass,
+    SignalStats,
+    stats_for_packets,
+)
+from repro.analysis.tables import render_signal_table
+from repro.environment.geometry import Point
+from repro.experiments.scenarios import (
+    PHONE_ACROSS_HALL,
+    PHONE_NEAR,
+    PHONE_NEAR_2,
+    narrowband_phone_room,
+)
+from repro.interference.narrowband import NarrowbandPhonePair
+from repro.trace.outsiders import OutsiderTraffic
+from repro.trace.trial import TrialConfig, run_fast_trial
+
+PAPER_PACKETS = 1_440
+
+# Paper Table 10 silence means, for comparison.
+PAPER_SILENCE_MEANS = {
+    "Phones off": 2.40,
+    "Cluster": 15.45,
+    "Handsets nearby": 11.33,
+    "Handsets nearby talking": 6.11,
+    "Bases nearby": 19.32,
+}
+
+
+def _phone_pairs(trial: str) -> list[NarrowbandPhonePair]:
+    """Unit placements for each Table-10 configuration."""
+    across_1 = PHONE_ACROSS_HALL
+    across_2 = Point(PHONE_ACROSS_HALL.x + 2.0, PHONE_ACROSS_HALL.y)
+    if trial == "Phones off":
+        return []
+    if trial == "Cluster":
+        # Handsets docked on their bases, all a few inches away.
+        return [
+            NarrowbandPhonePair(PHONE_NEAR, PHONE_NEAR, name="att-9100"),
+            NarrowbandPhonePair(PHONE_NEAR_2, PHONE_NEAR_2, name="panasonic"),
+        ]
+    if trial == "Handsets nearby":
+        return [
+            NarrowbandPhonePair(PHONE_NEAR, across_1, name="att-9100"),
+            NarrowbandPhonePair(PHONE_NEAR_2, across_2, name="panasonic"),
+        ]
+    if trial == "Handsets nearby talking":
+        return [
+            NarrowbandPhonePair(PHONE_NEAR, across_1, talking=True, name="att-9100"),
+            NarrowbandPhonePair(PHONE_NEAR_2, across_2, talking=True, name="panasonic"),
+        ]
+    if trial == "Bases nearby":
+        return [
+            NarrowbandPhonePair(across_1, PHONE_NEAR, name="att-9100"),
+            NarrowbandPhonePair(across_2, PHONE_NEAR_2, name="panasonic"),
+        ]
+    raise ValueError(f"unknown trial {trial!r}")
+
+
+# Trials where the paper observed outsider packets (low silence level).
+OUTSIDER_TRIALS = {
+    "Phones off": OutsiderTraffic(mean_level=4.7, rate_per_test_packet=0.23),
+    "Handsets nearby talking": OutsiderTraffic(
+        mean_level=7.0, rate_per_test_packet=0.15
+    ),
+}
+
+TRIALS = list(PAPER_SILENCE_MEANS)
+
+
+@dataclass
+class NarrowbandResult:
+    signal_rows: list[SignalStats] = field(default_factory=list)
+    outsider_rows: list[SignalStats] = field(default_factory=list)
+    metrics_rows: list[TrialMetrics] = field(default_factory=list)
+
+    def silence_mean(self, trial: str) -> float:
+        for row in self.signal_rows:
+            if row.group == trial and row.silence is not None:
+                return row.silence.mean
+        raise KeyError(trial)
+
+    def metrics(self, trial: str) -> TrialMetrics:
+        for row in self.metrics_rows:
+            if row.name == trial:
+                return row
+        raise KeyError(trial)
+
+    @property
+    def total_damaged_test_packets(self) -> int:
+        return sum(
+            m.body_damaged_packets + m.packets_truncated + m.wrapper_damaged
+            for m in self.metrics_rows
+        )
+
+
+def run(scale: float = 1.0, seed: int = 710) -> NarrowbandResult:
+    propagation, tx, rx = narrowband_phone_room()
+    result = NarrowbandResult()
+    for index, trial in enumerate(TRIALS):
+        config = TrialConfig(
+            name=trial,
+            packets=max(400, int(PAPER_PACKETS * scale)),
+            seed=seed + index,
+            propagation=propagation,
+            tx_position=tx,
+            rx_position=rx,
+            interference=_phone_pairs(trial),
+            outsiders=OUTSIDER_TRIALS.get(trial),
+        )
+        output = run_fast_trial(config)
+        classified = classify_trace(output.trace)
+        result.metrics_rows.append(metrics_from_classified(classified))
+        result.signal_rows.append(
+            stats_for_packets(trial, classified.test_packets)
+        )
+        outsiders = classified.by_class(
+            PacketClass.OUTSIDER_UNDAMAGED, PacketClass.OUTSIDER_DAMAGED
+        )
+        if outsiders:
+            result.outsider_rows.append(
+                stats_for_packets(f"{trial} (outsiders)", outsiders)
+            )
+    return result
+
+
+def main(scale: float = 1.0, seed: int = 710) -> NarrowbandResult:
+    result = run(scale=scale, seed=seed)
+    print("Table 10: The effects of narrowband 900 MHz cordless phones "
+          f"(scale={scale:g})")
+    print(render_signal_table(result.signal_rows, label="Trial"))
+    if result.outsider_rows:
+        print("\nOutsiders:")
+        print(render_signal_table(result.outsider_rows, label="Trial"))
+    print(f"\nDamaged test packets across all trials: "
+          f"{result.total_damaged_test_packets} (paper: 0)")
+    print("Paper silence means:", PAPER_SILENCE_MEANS)
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,218 @@
+"""Tables 11, 12 and 13 — 900 MHz spread-spectrum cordless phones
+(Section 7.3), the worst interferer the paper found.
+
+Six configurations of two phone models around a WaveLAN pair 25 ft apart
+in a conference room.  Paper findings to preserve (Table 11):
+
+* base unit near the receiver (RS base / RS cluster / AT&T cluster):
+  ~50 % packet loss and **100 % truncation** of what arrives;
+* both units far ("RS remote cluster"): link unharmed, silence ~20
+  levels above ambient;
+* handset near, base far ("AT&T handset"): ~1 % loss, ~4 % truncation,
+  but ~59 % of packets carrying correctable body errors, worst packet
+  ~4.9 % of body bits — the regime that motivates variable FEC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.classify import ClassifiedTrace, classify_trace
+from repro.analysis.metrics import TrialMetrics, metrics_from_classified
+from repro.analysis.signalstats import (
+    SignalStats,
+    signal_stats_by_class,
+    stats_for_packets,
+)
+from repro.analysis.tables import render_signal_table
+from repro.environment.geometry import Point
+from repro.experiments.scenarios import (
+    PHONE_FAR,
+    PHONE_NEAR,
+    spread_spectrum_room,
+)
+from repro.framing.testpacket import BODY_BITS
+from repro.interference.spreadspectrum import SpreadSpectrumPhonePair
+from repro.trace.outsiders import OutsiderTraffic
+from repro.trace.trial import TrialConfig, run_fast_trial
+
+PAPER_PACKETS = 1_440
+
+# Table 11, paper values (loss %, truncated % of received, body-damaged
+# % of received, worst body fraction of body bits).
+PAPER_TABLE_11 = {
+    "Phones off": dict(loss=0.5, truncated=0.0, body=0.0, worst=0.0),
+    "RS base": dict(loss=52.0, truncated=100.0, body=0.0, worst=0.0),
+    "RS cluster": dict(loss=51.0, truncated=100.0, body=0.0, worst=0.0),
+    "AT&T cluster": dict(loss=52.0, truncated=100.0, body=0.0, worst=0.0),
+    "RS remote cluster": dict(loss=0.0, truncated=0.0, body=0.0, worst=0.0),
+    "AT&T handset": dict(loss=1.0, truncated=4.0, body=59.0, worst=4.9),
+}
+
+
+def _phone(trial: str) -> list[SpreadSpectrumPhonePair]:
+    """Handset/base placement for each Table-11 configuration."""
+    far_base = Point(PHONE_FAR.x + 1.5, PHONE_FAR.y)
+    if trial == "Phones off":
+        return []
+    if trial == "RS base":
+        return [
+            SpreadSpectrumPhonePair(
+                handset_position=PHONE_FAR,
+                base_position=PHONE_NEAR,
+                variant="rs",
+                base_level_at_1ft=31.5,
+                name="rs-et909",
+            )
+        ]
+    if trial == "RS cluster":
+        return [
+            SpreadSpectrumPhonePair(
+                handset_position=Point(-0.4, 0.3),
+                base_position=PHONE_NEAR,
+                variant="rs",
+                base_level_at_1ft=31.5,
+                name="rs-et909",
+            )
+        ]
+    if trial == "AT&T cluster":
+        return [
+            SpreadSpectrumPhonePair(
+                handset_position=Point(-0.4, 0.3),
+                base_position=PHONE_NEAR,
+                variant="att",
+                base_level_at_1ft=33.0,
+                name="att-9300",
+            )
+        ]
+    if trial == "RS remote cluster":
+        return [
+            SpreadSpectrumPhonePair(
+                handset_position=PHONE_FAR,
+                base_position=far_base,
+                variant="rs",
+                base_level_at_1ft=31.5,
+                name="rs-et909",
+            )
+        ]
+    if trial == "AT&T handset":
+        return [
+            SpreadSpectrumPhonePair(
+                handset_position=PHONE_NEAR,
+                base_position=Point(0.0, 30.0),  # across the hall
+                variant="att",
+                base_level_at_1ft=33.0,
+                # The AT&T handset runs hot enough at inches from the
+                # receiver to land in the intermediate-damage regime.
+                handset_level_at_1ft=23.5,
+                name="att-9300",
+            )
+        ]
+    raise ValueError(f"unknown trial {trial!r}")
+
+
+# The quiet trial heard many outsiders (619 of 2008 records).
+OUTSIDER_TRIALS = {
+    "Phones off": OutsiderTraffic(
+        mean_level=5.5, level_sd=2.2, rate_per_test_packet=0.45
+    ),
+}
+
+TRIALS = list(PAPER_TABLE_11)
+
+
+@dataclass
+class TrialSummary:
+    """Measured Table-11 row."""
+
+    name: str
+    loss_percent: float
+    truncated_percent: float
+    wrapper_percent: float
+    body_percent: float
+    worst_body_fraction: float
+
+
+@dataclass
+class SpreadResult:
+    summaries: list[TrialSummary] = field(default_factory=list)
+    signal_rows: list[SignalStats] = field(default_factory=list)
+    metrics_rows: list[TrialMetrics] = field(default_factory=list)
+    classified: dict[str, ClassifiedTrace] = field(default_factory=dict)
+    handset_breakdown: list[SignalStats] = field(default_factory=list)
+
+    def summary(self, trial: str) -> TrialSummary:
+        for row in self.summaries:
+            if row.name == trial:
+                return row
+        raise KeyError(trial)
+
+    def silence_mean(self, trial: str) -> float:
+        for row in self.signal_rows:
+            if row.group == trial and row.silence is not None:
+                return row.silence.mean
+        raise KeyError(trial)
+
+
+def run(scale: float = 1.0, seed: int = 73) -> SpreadResult:
+    propagation, tx, rx = spread_spectrum_room()
+    result = SpreadResult()
+    for index, trial in enumerate(TRIALS):
+        config = TrialConfig(
+            name=trial,
+            packets=max(400, int(PAPER_PACKETS * scale)),
+            seed=seed + index,
+            propagation=propagation,
+            tx_position=tx,
+            rx_position=rx,
+            interference=_phone(trial),
+            outsiders=OUTSIDER_TRIALS.get(trial),
+        )
+        output = run_fast_trial(config)
+        classified = classify_trace(output.trace)
+        result.classified[trial] = classified
+        metrics = metrics_from_classified(classified)
+        result.metrics_rows.append(metrics)
+        received = max(1, metrics.packets_received)
+        result.summaries.append(
+            TrialSummary(
+                name=trial,
+                loss_percent=metrics.packet_loss_percent,
+                truncated_percent=100.0 * metrics.packets_truncated / received,
+                wrapper_percent=100.0 * metrics.wrapper_damaged / received,
+                body_percent=100.0 * metrics.body_damaged_packets / received,
+                worst_body_fraction=(metrics.worst_body_bits or 0) / BODY_BITS,
+            )
+        )
+        result.signal_rows.append(
+            stats_for_packets(trial, classified.test_packets)
+        )
+        if trial == "AT&T handset":
+            result.handset_breakdown = signal_stats_by_class(classified)
+    return result
+
+
+def main(scale: float = 1.0, seed: int = 73) -> SpreadResult:
+    result = run(scale=scale, seed=seed)
+    print("Table 11: Summary of spread spectrum cordless phones "
+          f"(scale={scale:g})")
+    header = (f"{'Trial':>18} | {'Loss':>6} | {'Trunc%':>7} | "
+              f"{'Wrap%':>6} | {'Body%':>6} | {'Worst':>6}")
+    print(header)
+    print("-" * len(header))
+    for s in result.summaries:
+        print(
+            f"{s.name:>18} | {s.loss_percent:5.1f}% | {s.truncated_percent:6.1f}% | "
+            f"{s.wrapper_percent:5.1f}% | {s.body_percent:5.1f}% | "
+            f"{100 * s.worst_body_fraction:5.2f}%"
+        )
+    print("\nTable 12: Signal measurements for spread spectrum phones")
+    print(render_signal_table(result.signal_rows, label="Trial"))
+    print("\nTable 13-style breakdown for the 'AT&T handset' trial:")
+    print(render_signal_table(result.handset_breakdown))
+    print("\nPaper Table 11:", PAPER_TABLE_11)
+    return result
+
+
+if __name__ == "__main__":
+    main()

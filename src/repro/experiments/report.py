@@ -1,0 +1,265 @@
+"""One-shot reproduction report: run everything, compare to the paper.
+
+``python -m repro report [--scale S] [--out report.md]`` executes every
+experiment and emits a Markdown report with a paper-vs-measured line per
+headline quantity — a regenerable, seed-stable version of
+EXPERIMENTS.md's tables.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from repro.experiments import (
+    baseline,
+    body,
+    competing,
+    error_vs_level,
+    fec_eval,
+    hidden_terminal,
+    mac_ablation,
+    multiroom,
+    phones_narrowband,
+    phones_spread,
+    signal_vs_distance,
+    throughput,
+    walls,
+)
+
+
+@dataclass
+class ReportLine:
+    """One paper-vs-measured comparison."""
+
+    experiment: str
+    quantity: str
+    paper: str
+    measured: str
+    in_band: bool
+
+    def markdown(self) -> str:
+        flag = "yes" if self.in_band else "**NO**"
+        return (
+            f"| {self.experiment} | {self.quantity} | {self.paper} "
+            f"| {self.measured} | {flag} |"
+        )
+
+
+@dataclass
+class ReproductionReport:
+    lines: list[ReportLine] = field(default_factory=list)
+
+    def add(
+        self,
+        experiment: str,
+        quantity: str,
+        paper: str,
+        measured: str,
+        in_band: bool,
+    ) -> None:
+        self.lines.append(
+            ReportLine(experiment, quantity, paper, measured, in_band)
+        )
+
+    @property
+    def total(self) -> int:
+        return len(self.lines)
+
+    @property
+    def in_band_count(self) -> int:
+        return sum(1 for line in self.lines if line.in_band)
+
+    def markdown(self) -> str:
+        out = io.StringIO()
+        out.write("# Reproduction report\n\n")
+        out.write(
+            f"{self.in_band_count}/{self.total} headline quantities in band.\n\n"
+        )
+        out.write("| experiment | quantity | paper | measured | in band |\n")
+        out.write("|---|---|---|---|---|\n")
+        for line in self.lines:
+            out.write(line.markdown() + "\n")
+        return out.getvalue()
+
+
+def build_report(scale: float = 0.25, seed: int = 1996) -> ReproductionReport:
+    """Run every experiment at ``scale`` and compare headline numbers."""
+    report = ReproductionReport()
+
+    r = baseline.run(scale=max(scale * 0.2, 0.01), seed=seed)
+    report.add(
+        "T2 baseline", "worst trial loss", "<= .07%",
+        f"{r.worst_loss_percent:.3f}%", r.worst_loss_percent < 0.2,
+    )
+    report.add(
+        "T2 baseline", "aggregate BER", "~1e-10",
+        f"{r.aggregate_ber:.1e}", r.aggregate_ber < 1e-7,
+    )
+
+    f1 = signal_vs_distance.run(scale=scale, seed=seed + 1)
+    report.add(
+        "F1 path loss", "dip at 6 ft", "noticeable",
+        f"{f1.dip_depth(6.0):.1f} levels", f1.dip_depth(6.0) > 2.0,
+    )
+    report.add(
+        "F1 path loss", "dip at 30 ft", "noticeable",
+        f"{f1.dip_depth(30.0):.1f} levels", f1.dip_depth(30.0) > 2.0,
+    )
+
+    t3 = error_vs_level.run(scale=scale, seed=seed + 2)
+    damaged_mean = t3.group("Body damaged").level.mean
+    undamaged_mean = t3.group("Undamaged").level.mean
+    report.add(
+        "T3/F2 error region", "body-damaged level mean", "7.52",
+        f"{damaged_mean:.2f}", 5.5 < damaged_mean < 9.0,
+    )
+    report.add(
+        "T3/F2 error region", "undamaged - damaged gap", ">= ~7 levels",
+        f"{undamaged_mean - damaged_mean:.1f}",
+        undamaged_mean - damaged_mean > 2.0,
+    )
+
+    t4 = walls.run(scale=scale, seed=seed + 3)
+    plaster = t4.wall_cost(("Air 1", "Wall 1"))
+    concrete = t4.wall_cost(("Air 2", "Wall 2"))
+    report.add("T4 walls", "plaster+mesh cost", "~5 levels",
+               f"{plaster:.1f}", 4.0 < plaster < 6.0)
+    report.add("T4 walls", "concrete cost", "~2 levels",
+               f"{concrete:.1f}", 1.0 < concrete < 3.0)
+
+    t5 = multiroom.run(scale=scale, seed=seed + 4)
+    tx5 = t5.metrics("Tx5")
+    report.add(
+        "T5-7 multiroom", "Tx5 level mean", "9.50",
+        f"{t5.level_mean('Tx5'):.2f}", abs(t5.level_mean("Tx5") - 9.5) < 1.5,
+    )
+    report.add(
+        "T5-7 multiroom", "Tx5 damaged packets / 1440", "~25",
+        f"{tx5.body_damaged_packets / max(scale, 1e-9):.0f} (scaled)",
+        tx5.body_damaged_packets > 0,
+    )
+
+    t8 = body.run(scale=scale, seed=seed + 5)
+    report.add(
+        "T8-9 body", "body cost", "~5.8 levels",
+        f"{t8.body_cost_levels:.1f}", 4.5 < t8.body_cost_levels < 7.5,
+    )
+
+    t10 = phones_narrowband.run(scale=scale, seed=seed + 6)
+    ordering_ok = (
+        t10.silence_mean("Bases nearby")
+        > t10.silence_mean("Cluster")
+        > t10.silence_mean("Handsets nearby")
+        > t10.silence_mean("Handsets nearby talking")
+        > t10.silence_mean("Phones off")
+    )
+    report.add(
+        "T10 narrowband", "damaged test packets", "0",
+        str(t10.total_damaged_test_packets), t10.total_damaged_test_packets == 0,
+    )
+    report.add(
+        "T10 narrowband", "silence ordering (power control)",
+        "bases > cluster > handsets > talking > off",
+        "reproduced" if ordering_ok else "violated", ordering_ok,
+    )
+
+    t11 = phones_spread.run(scale=scale, seed=seed + 7)
+    stomped = t11.summary("RS base")
+    handset = t11.summary("AT&T handset")
+    report.add(
+        "T11-13 SS phones", "base-near loss", "~52%",
+        f"{stomped.loss_percent:.0f}%", 35 < stomped.loss_percent < 70,
+    )
+    report.add(
+        "T11-13 SS phones", "base-near truncation", "100%",
+        f"{stomped.truncated_percent:.0f}%", stomped.truncated_percent > 80,
+    )
+    report.add(
+        "T11-13 SS phones", "handset body damage", "59%",
+        f"{handset.body_percent:.0f}%", 40 < handset.body_percent < 75,
+    )
+    report.add(
+        "T11-13 SS phones", "remote cluster", "harmless",
+        f"{t11.summary('RS remote cluster').loss_percent:.1f}% loss",
+        t11.summary("RS remote cluster").loss_percent < 1.0,
+    )
+
+    t14 = competing.run(scale=scale, seed=seed + 8, include_unusable=True)
+    masked = t14.metrics("With interference")
+    silence_delta = t14.silence_mean("With interference") - t14.silence_mean(
+        "Without interference"
+    )
+    report.add(
+        "T14 competing", "masked: bit errors", "0",
+        str(masked.body_bits_damaged), masked.body_bits_damaged == 0,
+    )
+    report.add(
+        "T14 competing", "silence rise", "+10.3 levels",
+        f"+{silence_delta:.1f}", 8.0 < silence_delta < 14.0,
+    )
+    report.add(
+        "T14 competing", "unmasked", "completely unusable",
+        f"{t14.unusable_metrics.packet_loss_percent:.0f}% loss",
+        t14.unusable_metrics.packet_loss_percent > 50,
+    )
+
+    x1 = fec_eval.run(scale=scale, seed=seed + 9, syndrome_limit=25)
+    tx5_fec = x1.outcome("Tx5 attenuation", "4/5", interleaved=True)
+    ss_fec = x1.outcome("SS-phone handset", "1/2", interleaved=True)
+    report.add(
+        "X1 variable FEC", "Tx5 @ 4/5+ilv", "'trivial to correct'",
+        f"{100 * tx5_fec.recovery_fraction:.0f}% recovered",
+        tx5_fec.recovery_fraction > 0.9,
+    )
+    report.add(
+        "X1 variable FEC", "SS phone @ 1/2", "'might be recoverable'",
+        f"{100 * ss_fec.recovery_fraction:.0f}% recovered",
+        ss_fec.recovery_fraction > 0.8,
+    )
+
+    # MAC statistics need enough frames to wash out the startup
+    # transient (all three senders fire at t=0).
+    x3 = mac_ablation.run(scale=max(scale, 0.7), seed=seed + 10)
+    report.add(
+        "X3 MAC", "blind CSMA/CD delivery", "(rationale for CSMA/CA)",
+        f"{100 * x3.outcome('csma_cd_blind').delivery_fraction:.0f}%",
+        x3.outcome("csma_cd_blind").delivery_fraction < 0.3,
+    )
+    report.add(
+        "X3 MAC", "CSMA/CA delivery", "near wired",
+        f"{100 * x3.outcome('csma_ca').delivery_fraction:.0f}%",
+        x3.outcome("csma_ca").delivery_fraction > 0.85,
+    )
+
+    x6 = hidden_terminal.run(scale=scale, seed=seed + 11)
+    report.add(
+        "X6 hidden terminal", "capture saves stronger sender",
+        "conjectured",
+        f"{100 * x6.outcome('hidden, receiver off-centre').stronger_intact_fraction:.0f}%",
+        x6.outcome("hidden, receiver off-centre").stronger_intact_fraction > 0.7,
+    )
+
+    x7 = throughput.run(scale=scale, seed=seed + 12)
+    report.add(
+        "X7 throughput", "FEC/raw crossover level", "inside error region (<8)",
+        f"{x7.crossover_level():.1f}", 4.0 <= x7.crossover_level() <= 8.0,
+    )
+
+    return report
+
+
+def main(scale: float = 0.25, seed: int = 1996, out: str | None = None) -> ReproductionReport:
+    report = build_report(scale=scale, seed=seed)
+    text = report.markdown()
+    if out:
+        with open(out, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        print(f"wrote {out} ({report.in_band_count}/{report.total} in band)")
+    else:
+        print(text)
+    return report
+
+
+if __name__ == "__main__":
+    main()

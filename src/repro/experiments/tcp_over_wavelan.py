@@ -1,0 +1,189 @@
+"""Extension X9 — TCP over the measured error environment (Section 9.3).
+
+The mobile-IP community the paper surveys built transparent proxies
+(I-TCP [4], snooping [5]) because TCP reads wireless corruption as
+congestion.  The paper's counterpoint: "there may be a class of
+high-performance wireless networks for which less aggressive
+approaches may suffice."
+
+This experiment runs a compact 1996-era TCP-Reno (coarse-grained
+timers) over the calibrated link at each of the paper's operating
+points, under three recovery regimes — plain end-to-end, transparent
+3-retry link ARQ (the gentlest "less aggressive approach"), and a
+snoop agent at the base station (the paper's citation [5]):
+
+* on links like the paper's offices and multi-wall paths (level ≥ ~13)
+  plain TCP holds the full link rate — the paper's claim;
+* from Tx5 conditions down into the Figure-2 error region, plain TCP's
+  congestion response strangles the transfer (timeouts, RTO backoff,
+  stalls) while both remedies keep most of the rate;
+* on this single-hop LAN, eager link ARQ beats the snoop agent —
+  retry immediacy matters more than TCP-awareness, and snoop's
+  dupack-clocked recovery starves once losses empty the pipe;
+* under the spread-spectrum phone's stomping regime nothing below the
+  transport layer saves the connection — the cases that motivated
+  I-TCP-style splitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.environment.geometry import Point
+from repro.experiments.scenarios import PHONE_NEAR
+from repro.interference.spreadspectrum import SpreadSpectrumPhonePair
+from repro.transport import LinkConfig, run_transfer
+from repro.transport.snoop import run_snoop_transfer
+
+SEGMENTS = 400
+SEGMENT_BYTES = 1024
+TIME_LIMIT_S = 240.0
+
+# Operating points: the paper's environments by their signal level.
+LEVEL_POINTS = (
+    ("office (29.5)", 29.5, ()),
+    ("Tx4-like (13.8)", 13.8, ()),
+    ("Tx5-like (9.5)", 9.5, ()),
+    ("region edge (8.0)", 8.0, ()),
+    ("error region (7.0)", 7.0, ()),
+    ("deep region (6.0)", 6.0, ()),
+)
+
+# plain / 3-retry link ARQ / snoop agent at the base station [5].
+VARIANTS = ("plain", "arq", "snoop")
+
+
+def _ss_phone_interference():
+    return [
+        SpreadSpectrumPhonePair(
+            handset_position=Point(11.0, 8.7),
+            base_position=PHONE_NEAR,
+            base_level_at_1ft=31.5,
+            name="rs-et909",
+        )
+    ]
+
+
+@dataclass
+class TransferOutcome:
+    scenario: str
+    variant: str  # "plain" | "arq" | "snoop"
+    finished: bool
+    throughput_bps: float
+    segments_delivered: int
+    tcp_retransmissions: int
+    tcp_timeouts: int
+    link_retransmissions: int
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.throughput_bps / 1e6
+
+
+@dataclass
+class TcpResult:
+    outcomes: list[TransferOutcome] = field(default_factory=list)
+
+    def outcome(self, scenario: str, variant: str) -> TransferOutcome:
+        for o in self.outcomes:
+            if o.scenario == scenario and o.variant == variant:
+                return o
+        raise KeyError((scenario, variant))
+
+
+def _run_point(
+    scenario: str,
+    level: float,
+    interference,
+    variant: str,
+    segments: int,
+    seed: int,
+) -> TransferOutcome:
+    config = LinkConfig(
+        mean_level=level,
+        arq_retries=3 if variant == "arq" else 0,
+        interference=interference,
+    )
+    if variant == "snoop":
+        sender, network, link, sim = run_snoop_transfer(
+            config, total_segments=segments, seed=seed, time_limit_s=TIME_LIMIT_S
+        )
+        link_rtx = network.stats.local_retransmissions
+    else:
+        sender, link, sim = run_transfer(
+            config, total_segments=segments, seed=seed, time_limit_s=TIME_LIMIT_S
+        )
+        link_rtx = link.stats.arq_retransmissions
+    if sender.finished:
+        throughput = segments * SEGMENT_BYTES * 8 / sender.finish_time
+    else:
+        throughput = sender.highest_acked * SEGMENT_BYTES * 8 / TIME_LIMIT_S
+    return TransferOutcome(
+        scenario=scenario,
+        variant=variant,
+        finished=sender.finished,
+        throughput_bps=throughput,
+        segments_delivered=sender.highest_acked,
+        tcp_retransmissions=sender.stats.retransmissions,
+        tcp_timeouts=sender.stats.timeouts,
+        link_retransmissions=link_rtx,
+    )
+
+
+def run(scale: float = 1.0, seed: int = 103) -> TcpResult:
+    result = TcpResult()
+    segments = max(100, int(SEGMENTS * scale))
+    for index, (scenario, level, interference) in enumerate(LEVEL_POINTS):
+        for variant in VARIANTS:
+            result.outcomes.append(
+                _run_point(scenario, level, interference, variant, segments,
+                           seed + index)
+            )
+    # The stomping regime: SS phone base near the receiver.
+    for variant in VARIANTS:
+        result.outcomes.append(
+            _run_point(
+                "SS phone, base near",
+                29.6,
+                _ss_phone_interference(),
+                variant,
+                max(60, segments // 4),
+                seed + 50,
+            )
+        )
+    return result
+
+
+def main(scale: float = 1.0, seed: int = 103) -> TcpResult:
+    result = run(scale=scale, seed=seed)
+    print("Extension X9: TCP-Reno over the measured error environment")
+    print(f"{'scenario':>20} | {'plain TCP':>12} | {'link ARQ x3':>12} | "
+          f"{'snoop agent':>12} | {'plain rtx/to':>12}")
+    scenarios = [s for s, _, _ in LEVEL_POINTS] + ["SS phone, base near"]
+    for scenario in scenarios:
+        plain = result.outcome(scenario, "plain")
+        arq = result.outcome(scenario, "arq")
+        snoop = result.outcome(scenario, "snoop")
+
+        def cell(o: TransferOutcome) -> str:
+            suffix = "" if o.finished else "*"
+            return f"{o.throughput_mbps:5.2f}{suffix}"
+
+        print(f"{scenario:>20} | {cell(plain):>12} | {cell(arq):>12} | "
+              f"{cell(snoop):>12} | "
+              f"{plain.tcp_retransmissions:6d}/{plain.tcp_timeouts:<4d}")
+    print("(Mb/s; * = transfer did not complete within the time limit)")
+    print("\nThe Section-9.3 landscape, quantified: down through Tx5-like "
+          "conditions plain 1996-era TCP holds most of the link rate — "
+          "'less aggressive approaches may suffice'.  In the error region "
+          "TCP's congestion response collapses; the snoop agent [5] "
+          "recovers much of it and eager link-layer ARQ nearly all of it "
+          "(on a single-hop LAN, retry immediacy beats TCP-awareness; "
+          "snoop's dupack clock starves once losses empty the pipe).  The "
+          "SS-phone stomping regime defeats every sub-transport remedy.")
+    return result
+
+
+if __name__ == "__main__":
+    main()

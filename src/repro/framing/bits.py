@@ -1,0 +1,46 @@
+"""Byte/bit manipulation helpers shared by the framing and error layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bytes_to_bits(data: bytes | bytearray | np.ndarray) -> np.ndarray:
+    """Expand bytes to a uint8 array of bits, MSB first within each byte."""
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(arr)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack an MSB-first bit array back into bytes.
+
+    The bit array length must be a multiple of 8.
+    """
+    if len(bits) % 8 != 0:
+        raise ValueError(f"bit count {len(bits)} is not a multiple of 8")
+    return np.packbits(bits.astype(np.uint8)).tobytes()
+
+
+def hamming_distance(a: bytes, b: bytes) -> int:
+    """Number of differing bits between two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    xored = np.frombuffer(a, dtype=np.uint8) ^ np.frombuffer(b, dtype=np.uint8)
+    return int(np.unpackbits(xored).sum())
+
+
+def flip_bits(data: bytes, bit_positions: np.ndarray) -> bytes:
+    """Return ``data`` with the given (MSB-first) bit positions inverted."""
+    buf = bytearray(data)
+    for pos in np.asarray(bit_positions, dtype=np.int64):
+        byte_index = int(pos) // 8
+        bit_index = int(pos) % 8
+        buf[byte_index] ^= 0x80 >> bit_index
+    return bytes(buf)
+
+
+def popcount_bytes(data: bytes) -> int:
+    """Number of set bits in a byte string."""
+    if not data:
+        return 0
+    return int(np.unpackbits(np.frombuffer(data, dtype=np.uint8)).sum())

@@ -1,0 +1,41 @@
+"""RFC 1071 Internet checksum (used by the IPv4 and UDP headers)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Above this size the numpy path wins over the byte loop.
+_VECTOR_THRESHOLD = 64
+
+
+def _fold(total: int) -> int:
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement sum of 16-bit words, complemented.
+
+    Odd-length input is padded with a zero byte, per RFC 1071.  Large
+    inputs take a vectorized path (bit-identical; the property tests
+    compare the two).
+
+    >>> hex(internet_checksum(bytes.fromhex("45000073000040004011b861c0a80001c0a800c7")))
+    '0x0'
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    if len(data) >= _VECTOR_THRESHOLD:
+        words = np.frombuffer(data, dtype=">u2")
+        total = int(words.sum(dtype=np.uint64))
+    else:
+        total = 0
+        for i in range(0, len(data), 2):
+            total += (data[i] << 8) | data[i + 1]
+    return (~_fold(total)) & 0xFFFF
+
+
+def verify_internet_checksum(data_including_checksum: bytes) -> bool:
+    """True when a header that embeds its own checksum sums to zero."""
+    return internet_checksum(data_including_checksum) == 0

@@ -1,0 +1,76 @@
+"""IEEE 802.3 CRC-32, implemented from scratch.
+
+This is the frame check sequence the Intel 82593 appends to every frame
+and checks on receive (the paper disables the *filtering* on CRC failure
+but the trace analysis still recomputes it to classify wrapper damage).
+
+Algorithm: reflected CRC-32 with polynomial 0x04C11DB7 (reflected form
+0xEDB88320), initial value 0xFFFFFFFF, final XOR 0xFFFFFFFF — the
+standard Ethernet/zlib CRC.  A 256-entry table is built at import time.
+"""
+
+from __future__ import annotations
+
+_POLY_REFLECTED = 0xEDB88320
+
+
+def _build_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLY_REFLECTED
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32_update(crc: int, data: bytes) -> int:
+    """Feed ``data`` into a running CRC state (pre-inversion domain)."""
+    for byte in data:
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return crc
+
+
+def crc32_reference(data: bytes) -> int:
+    """CRC-32 via the table-driven from-scratch implementation.
+
+    This is the specification; :func:`crc32` delegates to the C
+    implementation in :mod:`zlib` (bit-identical — the test suite proves
+    it against this function) because million-packet traces hash a
+    gigabyte of frame bytes.
+
+    >>> hex(crc32_reference(b"123456789"))
+    '0xcbf43926'
+    """
+    return crc32_update(0xFFFFFFFF, data) ^ 0xFFFFFFFF
+
+
+def crc32(data: bytes) -> int:
+    """CRC-32 of ``data`` (IEEE 802.3), fast path.
+
+    >>> hex(crc32(b"123456789"))
+    '0xcbf43926'
+    """
+    import zlib
+
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def append_fcs(frame_without_fcs: bytes) -> bytes:
+    """Append the 4-byte frame check sequence (little-endian on the wire,
+    per 802.3 transmission order of the reflected CRC)."""
+    return frame_without_fcs + crc32(frame_without_fcs).to_bytes(4, "little")
+
+
+def check_fcs(frame_with_fcs: bytes) -> bool:
+    """True if the trailing 4 bytes are the valid FCS of the preceding bytes."""
+    if len(frame_with_fcs) < 4:
+        return False
+    body, fcs = frame_with_fcs[:-4], frame_with_fcs[-4:]
+    return crc32(body).to_bytes(4, "little") == fcs

@@ -1,0 +1,99 @@
+"""Ethernet II framing as performed by the Intel 82593 controller.
+
+The 82593 in the WaveLAN performs "all standard Ethernet functions,
+including framing, address recognition and filtering, CRC generation and
+checking" (paper, Section 2).  We model Ethernet II frames: destination
+and source MAC, 16-bit EtherType, payload, 32-bit FCS.
+
+Parsing here is deliberately *tolerant*: the trace analysis needs to look
+inside frames whose headers may be corrupted, so ``parse`` never raises
+on bad field values — only on frames physically too short to slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.framing.crc import append_fcs, check_fcs
+
+HEADER_LEN = 14
+FCS_LEN = 4
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+
+@dataclass(frozen=True)
+class MacAddress:
+    """A 48-bit MAC address."""
+
+    octets: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.octets) != 6:
+            raise ValueError(f"MAC address must be 6 bytes, got {len(self.octets)}")
+
+    @classmethod
+    def from_string(cls, text: str) -> "MacAddress":
+        """Parse ``aa:bb:cc:dd:ee:ff`` notation."""
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise ValueError(f"malformed MAC address: {text!r}")
+        return cls(bytes(int(part, 16) for part in parts))
+
+    @classmethod
+    def station(cls, index: int) -> "MacAddress":
+        """A deterministic locally-administered unicast address for tests."""
+        return cls(bytes([0x02, 0x60, 0x8C]) + index.to_bytes(3, "big"))
+
+    @property
+    def is_multicast(self) -> bool:
+        return bool(self.octets[0] & 0x01)
+
+    def __str__(self) -> str:
+        return ":".join(f"{b:02x}" for b in self.octets)
+
+
+BROADCAST = MacAddress(b"\xff" * 6)
+
+
+@dataclass
+class EthernetFrame:
+    """An Ethernet II frame (header fields + payload)."""
+
+    dst: MacAddress
+    src: MacAddress
+    ethertype: int
+    payload: bytes
+
+    def to_bytes(self, with_fcs: bool = True) -> bytes:
+        """Serialize; appends a freshly computed FCS when requested."""
+        header = (
+            self.dst.octets
+            + self.src.octets
+            + self.ethertype.to_bytes(2, "big")
+        )
+        frame = header + self.payload
+        return append_fcs(frame) if with_fcs else frame
+
+    @classmethod
+    def parse(cls, wire: bytes, with_fcs: bool = True) -> "EthernetFrame":
+        """Parse a frame; tolerant of corrupt field values.
+
+        Raises ValueError only when ``wire`` is too short to contain the
+        header (and FCS when ``with_fcs``).
+        """
+        minimum = HEADER_LEN + (FCS_LEN if with_fcs else 0)
+        if len(wire) < minimum:
+            raise ValueError(f"frame too short: {len(wire)} < {minimum} bytes")
+        body = wire[:-FCS_LEN] if with_fcs else wire
+        return cls(
+            dst=MacAddress(body[0:6]),
+            src=MacAddress(body[6:12]),
+            ethertype=int.from_bytes(body[12:14], "big"),
+            payload=body[HEADER_LEN:],
+        )
+
+    @staticmethod
+    def fcs_ok(wire: bytes) -> bool:
+        """True when the trailing FCS matches the frame contents."""
+        return check_fcs(wire)

@@ -1,0 +1,77 @@
+"""IPv4 header construction and tolerant parsing.
+
+The test traffic is UDP-over-IPv4 (paper Section 4); the analysis stage
+needs to recognise IP headers in possibly-corrupted frames, so parsing
+reports field values and checksum validity instead of raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.framing.checksum import internet_checksum
+
+HEADER_LEN = 20
+IPV4_PROTO_UDP = 17
+IPV4_PROTO_TCP = 6
+
+
+def ip_to_bytes(address: str) -> bytes:
+    """Dotted-quad string to 4 bytes."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {address!r}")
+    octets = bytes(int(p) for p in parts)
+    return octets
+
+
+def bytes_to_ip(octets: bytes) -> str:
+    """4 bytes to dotted-quad string."""
+    if len(octets) != 4:
+        raise ValueError(f"IPv4 address must be 4 bytes, got {len(octets)}")
+    return ".".join(str(b) for b in octets)
+
+
+@dataclass
+class Ipv4Header:
+    """A minimal (no-options) IPv4 header."""
+
+    src: str
+    dst: str
+    total_length: int
+    protocol: int = IPV4_PROTO_UDP
+    ttl: int = 64
+    identification: int = 0
+    checksum_valid: bool = field(default=True, compare=False)
+
+    def to_bytes(self) -> bytes:
+        """Serialize with a correct header checksum."""
+        header = bytearray(HEADER_LEN)
+        header[0] = 0x45  # version 4, IHL 5
+        header[1] = 0x00  # DSCP/ECN
+        header[2:4] = self.total_length.to_bytes(2, "big")
+        header[4:6] = (self.identification & 0xFFFF).to_bytes(2, "big")
+        header[6:8] = b"\x00\x00"  # flags/fragment offset
+        header[8] = self.ttl & 0xFF
+        header[9] = self.protocol & 0xFF
+        header[10:12] = b"\x00\x00"  # checksum placeholder
+        header[12:16] = ip_to_bytes(self.src)
+        header[16:20] = ip_to_bytes(self.dst)
+        header[10:12] = internet_checksum(bytes(header)).to_bytes(2, "big")
+        return bytes(header)
+
+    @classmethod
+    def parse(cls, wire: bytes) -> "Ipv4Header":
+        """Parse the first 20 bytes as an IPv4 header (tolerantly)."""
+        if len(wire) < HEADER_LEN:
+            raise ValueError(f"IP header too short: {len(wire)} bytes")
+        header = wire[:HEADER_LEN]
+        return cls(
+            src=bytes_to_ip(header[12:16]),
+            dst=bytes_to_ip(header[16:20]),
+            total_length=int.from_bytes(header[2:4], "big"),
+            protocol=header[9],
+            ttl=header[8],
+            identification=int.from_bytes(header[4:6], "big"),
+            checksum_valid=internet_checksum(header) == 0,
+        )

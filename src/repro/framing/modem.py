@@ -1,0 +1,42 @@
+"""The WaveLAN modem control unit's framing.
+
+The modem "prepends a 16-bit network ID to every packet on transmit, and
+can be set to reject all but one network ID on receive" (paper, Section
+2).  The network ID provides multiple logical Ethernet address spaces on
+the single shared radio channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+NETWORK_ID_LEN = 2
+
+# The network ID used by the test stations in all experiments unless a
+# scenario overrides it.
+DEFAULT_NETWORK_ID = 0xC5A3
+
+
+@dataclass
+class ModemFrame:
+    """A radio frame: 16-bit network ID followed by the Ethernet frame."""
+
+    network_id: int
+    ethernet: bytes
+
+    def to_bytes(self) -> bytes:
+        return (self.network_id & 0xFFFF).to_bytes(2, "big") + self.ethernet
+
+    @classmethod
+    def parse(cls, wire: bytes) -> "ModemFrame":
+        """Split a received radio frame into network ID + inner frame."""
+        if len(wire) < NETWORK_ID_LEN:
+            raise ValueError(f"modem frame too short: {len(wire)} bytes")
+        return cls(
+            network_id=int.from_bytes(wire[:NETWORK_ID_LEN], "big"),
+            ethernet=wire[NETWORK_ID_LEN:],
+        )
+
+    def matches(self, configured_id: int) -> bool:
+        """Receive-side network-ID filter check."""
+        return self.network_id == (configured_id & 0xFFFF)

@@ -1,0 +1,211 @@
+"""The paper's test packet format (Section 4).
+
+    "Within each trial, packets consisted of 256 32-bit words wrapped
+    inside UDP, IP, Ethernet, and modem framing.  For each packet, the
+    data words were identical to facilitate identification even in the
+    face of substantial noise, and the data value was incremented
+    between packets."
+
+The factory below builds byte-exact wire frames and records the byte
+offsets of each region so the analysis stage can distinguish *wrapper*
+damage (headers/trailer) from *body* damage, exactly as the paper's
+Table 1 columns require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.framing import ethernet, ip, modem, udp
+from repro.framing.checksum import internet_checksum
+from repro.framing.crc import crc32
+from repro.framing.ethernet import EthernetFrame, MacAddress
+from repro.framing.ip import Ipv4Header
+from repro.framing.udp import UdpHeader
+
+WORDS_PER_PACKET = 256
+WORD_BYTES = 4
+BODY_BYTES = WORDS_PER_PACKET * WORD_BYTES  # 1024
+BODY_BITS = BODY_BYTES * 8  # 8192, the per-packet "body bits" of Table 1
+
+# Region offsets within the full modem frame.
+MODEM_HEADER_END = modem.NETWORK_ID_LEN
+ETH_HEADER_END = MODEM_HEADER_END + ethernet.HEADER_LEN
+IP_HEADER_END = ETH_HEADER_END + ip.HEADER_LEN
+UDP_HEADER_END = IP_HEADER_END + udp.HEADER_LEN
+BODY_START = UDP_HEADER_END
+BODY_END = BODY_START + BODY_BYTES
+FRAME_BYTES = BODY_END + ethernet.FCS_LEN  # 1072
+
+
+@dataclass(frozen=True)
+class TestPacketSpec:
+    """Identity of a test-packet series: everything constant across a trial.
+
+    The analysis stage is given the spec (as the authors knew their own
+    tool's configuration) but must recover per-packet sequence numbers
+    from the — possibly corrupted — received bits.
+    """
+
+    src_mac: MacAddress
+    dst_mac: MacAddress
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    network_id: int = modem.DEFAULT_NETWORK_ID
+    first_sequence: int = 0
+
+    # Not a pytest test class despite the name.
+    __test__ = False
+
+    @classmethod
+    def default(cls) -> "TestPacketSpec":
+        """The configuration used by all experiments unless overridden."""
+        return cls(
+            src_mac=MacAddress.station(1),
+            dst_mac=MacAddress.station(2),
+            src_ip="128.2.222.101",
+            dst_ip="128.2.222.102",
+            src_port=5001,
+            dst_port=5001,
+        )
+
+
+class TestPacketFactory:
+    """Builds and describes the byte-exact test frames of a trial.
+
+    :meth:`build` is the fast incremental path (only the sequence-
+    dependent fields are recomputed per frame); :meth:`build_reference`
+    composes the frame through the full header classes.  The test suite
+    proves them byte-identical.
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, spec: TestPacketSpec) -> None:
+        self.spec = spec
+        self._prefix = (
+            (spec.network_id & 0xFFFF).to_bytes(2, "big")
+            + spec.dst_mac.octets
+            + spec.src_mac.octets
+            + ethernet.ETHERTYPE_IPV4.to_bytes(2, "big")
+        )
+        udp_length = udp.HEADER_LEN + BODY_BYTES
+        self._ip_template = bytearray(
+            Ipv4Header(
+                src=spec.src_ip,
+                dst=spec.dst_ip,
+                total_length=ip.HEADER_LEN + udp_length,
+                identification=0,
+            ).to_bytes()
+        )
+        # One's-complement sum of the IP header with id and checksum
+        # fields zeroed; per-sequence checksum folds the id back in.
+        zeroed = bytes(self._ip_template)
+        zeroed = zeroed[:4] + b"\x00\x00" + zeroed[6:10] + b"\x00\x00" + zeroed[12:]
+        self._ip_sum_base = (~internet_checksum(zeroed)) & 0xFFFF
+        self._udp_header_base = (
+            spec.src_port.to_bytes(2, "big")
+            + spec.dst_port.to_bytes(2, "big")
+            + udp_length.to_bytes(2, "big")
+        )
+        pseudo = (
+            ip.ip_to_bytes(spec.src_ip)
+            + ip.ip_to_bytes(spec.dst_ip)
+            + b"\x00"
+            + bytes([ip.IPV4_PROTO_UDP])
+            + udp_length.to_bytes(2, "big")
+        )
+        self._udp_sum_base = (~internet_checksum(pseudo + self._udp_header_base)) & 0xFFFF
+
+    @staticmethod
+    def _fold(total: int) -> int:
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        return total
+
+    def body_word(self, sequence: int) -> bytes:
+        """The 32-bit data word of packet ``sequence`` (big-endian).
+
+        The word value starts at ``first_sequence`` and increments by one
+        per packet, wrapping modulo 2**32.
+        """
+        value = (self.spec.first_sequence + sequence) & 0xFFFFFFFF
+        return value.to_bytes(WORD_BYTES, "big")
+
+    def body(self, sequence: int) -> bytes:
+        """The 1024-byte packet body: one word repeated 256 times."""
+        return self.body_word(sequence) * WORDS_PER_PACKET
+
+    def build(self, sequence: int) -> bytes:
+        """The full wire frame (modem + Ethernet + IP + UDP + body + FCS).
+
+        Incremental fast path: patches the sequence-dependent fields (IP
+        id + checksum, UDP checksum, body word) into precomputed
+        templates.
+        """
+        word = self.body_word(sequence)
+        body = word * WORDS_PER_PACKET
+        ident = sequence & 0xFFFF
+
+        ip_hdr = bytes(self._ip_template)
+        ip_checksum = (~self._fold(self._ip_sum_base + ident)) & 0xFFFF
+        ip_hdr = (
+            ip_hdr[:4]
+            + ident.to_bytes(2, "big")
+            + ip_hdr[6:10]
+            + ip_checksum.to_bytes(2, "big")
+            + ip_hdr[12:]
+        )
+
+        word_sum = ((word[0] << 8) | word[1]) + ((word[2] << 8) | word[3])
+        udp_sum = self._fold(self._udp_sum_base + WORDS_PER_PACKET * word_sum)
+        udp_checksum = (~udp_sum) & 0xFFFF
+        if udp_checksum == 0:
+            udp_checksum = 0xFFFF  # RFC 768: zero means "no checksum"
+        udp_hdr = self._udp_header_base + udp_checksum.to_bytes(2, "big")
+
+        eth_body = self._prefix[2:] + ip_hdr + udp_hdr + body
+        fcs = crc32(eth_body).to_bytes(4, "little")
+        frame = self._prefix[:2] + eth_body + fcs
+        return frame
+
+    def build_reference(self, sequence: int) -> bytes:
+        """Compose the frame through the full header classes (slow path,
+        used by tests to validate :meth:`build`)."""
+        body = self.body(sequence)
+        udp_length = udp.HEADER_LEN + len(body)
+        udp_bytes = UdpHeader(
+            src_port=self.spec.src_port,
+            dst_port=self.spec.dst_port,
+            length=udp_length,
+        ).to_bytes(body, self.spec.src_ip, self.spec.dst_ip)
+        ip_bytes = Ipv4Header(
+            src=self.spec.src_ip,
+            dst=self.spec.dst_ip,
+            total_length=ip.HEADER_LEN + udp_length,
+            identification=sequence & 0xFFFF,
+        ).to_bytes()
+        eth_wire = EthernetFrame(
+            dst=self.spec.dst_mac,
+            src=self.spec.src_mac,
+            ethertype=ethernet.ETHERTYPE_IPV4,
+            payload=ip_bytes + udp_bytes,
+        ).to_bytes(with_fcs=True)
+        frame = (self.spec.network_id & 0xFFFF).to_bytes(2, "big") + eth_wire
+        if len(frame) != FRAME_BYTES:
+            raise AssertionError(
+                f"frame length {len(frame)} != expected {FRAME_BYTES}"
+            )
+        return frame
+
+    @staticmethod
+    def wrapper_slices() -> list[slice]:
+        """Byte ranges of the frame that count as "wrapper" (headers+FCS)."""
+        return [slice(0, BODY_START), slice(BODY_END, FRAME_BYTES)]
+
+    @staticmethod
+    def body_slice() -> slice:
+        """Byte range of the frame occupied by the 256-word body."""
+        return slice(BODY_START, BODY_END)

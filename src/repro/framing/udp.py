@@ -1,0 +1,66 @@
+"""UDP header construction and tolerant parsing (RFC 768)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.framing.checksum import internet_checksum
+from repro.framing.ip import IPV4_PROTO_UDP, ip_to_bytes
+
+HEADER_LEN = 8
+
+
+def _pseudo_header(src_ip: str, dst_ip: str, udp_length: int) -> bytes:
+    return (
+        ip_to_bytes(src_ip)
+        + ip_to_bytes(dst_ip)
+        + b"\x00"
+        + bytes([IPV4_PROTO_UDP])
+        + udp_length.to_bytes(2, "big")
+    )
+
+
+@dataclass
+class UdpHeader:
+    """A UDP header; the checksum covers the IPv4 pseudo-header."""
+
+    src_port: int
+    dst_port: int
+    length: int
+    checksum_valid: bool = field(default=True, compare=False)
+
+    def to_bytes(self, payload: bytes, src_ip: str, dst_ip: str) -> bytes:
+        """Serialize header+payload with a correct UDP checksum."""
+        header = bytearray(HEADER_LEN)
+        header[0:2] = self.src_port.to_bytes(2, "big")
+        header[2:4] = self.dst_port.to_bytes(2, "big")
+        header[4:6] = self.length.to_bytes(2, "big")
+        header[6:8] = b"\x00\x00"
+        pseudo = _pseudo_header(src_ip, dst_ip, self.length)
+        checksum = internet_checksum(pseudo + bytes(header) + payload)
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: zero means "no checksum"
+        header[6:8] = checksum.to_bytes(2, "big")
+        return bytes(header) + payload
+
+    @classmethod
+    def parse(cls, wire: bytes, src_ip: str = "", dst_ip: str = "") -> "UdpHeader":
+        """Parse the first 8 bytes as a UDP header.
+
+        When ``src_ip``/``dst_ip`` are supplied the checksum is verified
+        against the pseudo-header; otherwise ``checksum_valid`` is left
+        True (unknown).
+        """
+        if len(wire) < HEADER_LEN:
+            raise ValueError(f"UDP header too short: {len(wire)} bytes")
+        length = int.from_bytes(wire[4:6], "big")
+        valid = True
+        if src_ip and dst_ip and len(wire) >= length >= HEADER_LEN:
+            pseudo = _pseudo_header(src_ip, dst_ip, length)
+            valid = internet_checksum(pseudo + wire[:length]) in (0, 0xFFFF)
+        return cls(
+            src_port=int.from_bytes(wire[0:2], "big"),
+            dst_port=int.from_bytes(wire[2:4], "big"),
+            length=length,
+            checksum_valid=valid,
+        )

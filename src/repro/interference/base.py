@@ -1,0 +1,58 @@
+"""The interference source interface and shared emitter geometry."""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.environment.geometry import Point
+from repro.phy.errormodel import InterferenceSample
+
+# Emitters decay like free space (the phones and WaveLAN units sit in
+# the same rooms as the receivers, mostly line of sight): path-loss
+# exponent 2 = 10 levels per decade in our 2 dB/level AGC mapping.
+EMITTER_LEVELS_PER_DECADE = 10.0
+MIN_EMITTER_DISTANCE_FT = 0.25
+
+
+@dataclass(frozen=True)
+class EmitterGeometry:
+    """A point emitter characterized in AGC level units.
+
+    ``level_at_1ft`` is the AGC level its signal would read at one foot;
+    received level decays log-linearly with distance.
+    """
+
+    position: Point
+    level_at_1ft: float
+
+    def level_at(self, rx: Point) -> float:
+        distance = max(self.position.distance_to(rx), MIN_EMITTER_DISTANCE_FT)
+        return self.level_at_1ft - EMITTER_LEVELS_PER_DECADE * math.log10(distance)
+
+
+class InterferenceSource(abc.ABC):
+    """A competing radiation source.
+
+    ``sample_packet`` is called once per test packet and returns this
+    source's contribution; ``name`` labels it in traces and diagnostics.
+    """
+
+    name: str = "interference"
+
+    @abc.abstractmethod
+    def sample_packet(
+        self,
+        rx_position: Point,
+        signal_level: float,
+        rng: np.random.Generator,
+    ) -> InterferenceSample:
+        """This source's effect on one packet arriving at ``rx_position``
+        with desired-signal level ``signal_level``."""
+
+    def quiet_sample(self) -> InterferenceSample:
+        """A no-effect sample (source inactive for this packet)."""
+        return InterferenceSample(source_name=self.name)

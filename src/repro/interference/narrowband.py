@@ -1,0 +1,139 @@
+"""Narrowband interferers: 900 MHz FM cordless phones, AMPS cellular.
+
+The paper's Table 10 finding: narrowband FM phones raise the WaveLAN
+silence level — sometimes dramatically — but cause **no damaged test
+packets** and only background packet loss, because DSSS despreading
+crushes narrowband energy ("WaveLAN's resistance to these interference
+sources is probably due to the DSSS modulation").
+
+The interesting behaviour the paper teases out of the silence numbers is
+**power control**: the phones appear to reduce transmit power when their
+own link is good ("perhaps to extend handset battery life") — the
+highest silence level came with *bases* nearby and handsets distant, not
+with the whole cluster nearby.  We model a phone pair as handset+base
+emitters whose emitted power drops by a fixed amount once their link is
+established (talking, or handset docked near its base).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.environment.geometry import Point
+from repro.interference.base import EmitterGeometry, InterferenceSource
+from repro.phy.errormodel import InterferenceSample
+from repro.units import level_to_dbm
+
+# Calibrated emitted levels (AGC level at 1 ft) — see Table 10 analysis
+# in DESIGN.md.  Bases are mains powered and run much hotter than the
+# battery-powered handsets' idle beacons.
+BASE_LEVEL_AT_1FT = 14.0
+HANDSET_LEVEL_AT_1FT = 7.5
+# Power-control reductions once the phone link is established; the
+# handset cuts back harder ("perhaps to extend handset battery life").
+BASE_POWER_CONTROL_REDUCTION = 4.0
+HANDSET_POWER_CONTROL_REDUCTION = 5.5
+# Handset-base distance below which the link counts as established even
+# when idle (docked/cradled units).
+DOCKED_DISTANCE_FT = 3.0
+
+
+@dataclass
+class NarrowbandPhonePair:
+    """One FM cordless phone: a handset and a base unit.
+
+    Parameters mirror the paper's trial configurations: unit positions
+    plus whether a call is up ("talking").
+    """
+
+    handset_position: Point
+    base_position: Point
+    talking: bool = False
+    power_control: bool = True
+    name: str = "fm-cordless-phone"
+
+    def _link_established(self) -> bool:
+        if self.talking:
+            return True
+        docked = (
+            self.handset_position.distance_to(self.base_position)
+            <= DOCKED_DISTANCE_FT
+        )
+        return docked
+
+    def _emitters(self) -> list[EmitterGeometry]:
+        handset_reduction = 0.0
+        base_reduction = 0.0
+        if self.power_control and self._link_established():
+            handset_reduction = HANDSET_POWER_CONTROL_REDUCTION
+            base_reduction = BASE_POWER_CONTROL_REDUCTION
+        return [
+            EmitterGeometry(
+                self.handset_position, HANDSET_LEVEL_AT_1FT - handset_reduction
+            ),
+            EmitterGeometry(self.base_position, BASE_LEVEL_AT_1FT - base_reduction),
+        ]
+
+    def sample_packet(
+        self,
+        rx_position: Point,
+        signal_level: float,
+        rng: np.random.Generator,
+    ) -> InterferenceSample:
+        """Narrowband energy raises both AGC samples, damages nothing."""
+        levels = [e.level_at(rx_position) for e in self._emitters()]
+        # Fold the two units into one dBm figure for the AGC (power sum
+        # happens again at the AGC across sources; pre-summing the pair
+        # keeps one sample per source).
+        total_mw = sum(10.0 ** (level_to_dbm(lv) / 10.0) for lv in levels)
+        total_dbm = 10.0 * np.log10(total_mw)
+        return InterferenceSample(
+            source_name=self.name,
+            signal_sample_dbm=total_dbm,
+            silence_sample_dbm=total_dbm,
+            # DSSS despreading rejects narrowband energy entirely.
+            jam_ber=0.0,
+            miss_probability=0.0,
+            truncate_probability=0.0,
+            clock_stress=0.0,
+        )
+
+
+InterferenceSource.register(NarrowbandPhonePair)
+
+
+@dataclass
+class AmpsCellPhone:
+    """An AMPS narrowband FM cellular phone (paper, Section 7.2).
+
+    "At varying distances, the WaveLAN seemed immune to bit errors" —
+    the phone contributes a modest silence rise at close range and
+    nothing else.  (The paper's memorable observation runs the other
+    way: the *phone* received significant white noise from WaveLAN.)
+    """
+
+    position: Point
+    level_at_1ft: float = 8.0
+    transmitting: bool = True
+    name: str = "amps-cell-phone"
+
+    def sample_packet(
+        self,
+        rx_position: Point,
+        signal_level: float,
+        rng: np.random.Generator,
+    ) -> InterferenceSample:
+        if not self.transmitting:
+            return InterferenceSample(source_name=self.name)
+        emitter = EmitterGeometry(self.position, self.level_at_1ft)
+        dbm = level_to_dbm(emitter.level_at(rx_position))
+        return InterferenceSample(
+            source_name=self.name,
+            signal_sample_dbm=dbm,
+            silence_sample_dbm=dbm,
+        )
+
+
+InterferenceSource.register(AmpsCellPhone)

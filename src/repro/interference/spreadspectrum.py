@@ -1,0 +1,198 @@
+"""900 MHz spread-spectrum cordless phones (paper, Section 7.3).
+
+These are the worst interferers the paper found, with a knife-edge,
+geometry-dependent signature (Tables 11-13):
+
+* **base unit near** the receiver (alone or with its handset): roughly
+  half of all packets lost outright, and **every** received packet
+  truncated;
+* **handset near, base far** ("AT&T handset"): an intermediate regime —
+  ~1 % loss, ~4 % truncation, but nearly two thirds of packets carrying
+  correctable body errors (worst packet: 4.9 % of body bits);
+* **both units far** ("RS remote cluster"): link unharmed, but the
+  silence level sits ~20 levels above ambient.
+
+The model: handset and base are TDD burst transmitters with different
+powers (the base is mains powered and much hotter) and burst rates.
+Per packet, each end may be active at the AGC signal sample, may cover
+the packet's start (a miss), and may overlap the packet body.  Effect
+strengths are logistic functions of the interference-to-signal level
+margin ``x = I - S``; below ``CAPTURE_CUTOFF_LEVELS`` the DSSS
+processing gain (10.4 dB ≈ 5.2 levels) plus receiver capture makes the
+phone harmless, reproducing the paper's sharp near/far contrast.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.environment.geometry import Point
+from repro.interference.base import EmitterGeometry, InterferenceSource
+from repro.phy.errormodel import InterferenceSample
+from repro.units import level_to_dbm
+
+
+def _logistic(x: float) -> float:
+    if x > 60.0:
+        return 1.0
+    if x < -60.0:
+        return 0.0
+    return 1.0 / (1.0 + math.exp(-x))
+
+
+# Below this interference-minus-signal margin (level units) the phone
+# has no bit-level effect at all: the despreader's processing gain plus
+# the capture effect of the multipath-resistant receiver reject it.
+CAPTURE_CUTOFF_LEVELS = -8.0
+
+
+@dataclass
+class _PhoneEnd:
+    """One end (handset or base) of a spread-spectrum phone."""
+
+    position: Point
+    level_at_1ft: float
+    duty: float  # fraction of time transmitting during a call
+    bursts_per_packet: float  # expected TX bursts overlapping one packet
+
+    def received_level(self, rx: Point) -> float:
+        return EmitterGeometry(self.position, self.level_at_1ft).level_at(rx)
+
+
+@dataclass
+class SpreadSpectrumPhonePair:
+    """One spread-spectrum cordless phone (handset + base) on a call.
+
+    ``variant`` selects small calibration differences between the two
+    models the paper tested (AT&T 9300 and Radio Shack ET-909); they
+    behaved "quite similar".
+    """
+
+    handset_position: Point
+    base_position: Point
+    talking: bool = True
+    variant: str = "att"
+    name: str = "ss-cordless-phone"
+
+    # Calibrated emitter parameters (see module docstring / DESIGN.md).
+    base_level_at_1ft: float = 33.0
+    handset_level_at_1ft: float = 20.0
+    base_duty: float = 0.50
+    handset_duty: float = 0.45
+    base_bursts_per_packet: float = 4.0
+    handset_bursts_per_packet: float = 0.9
+    # The AGC sample integrates a wider window than an instant, so it
+    # catches energy from bursts adjacent in time: the probability that
+    # an AGC sample reads the phone's power exceeds the instantaneous
+    # transmit duty.
+    agc_duty: float = 0.85
+
+    # Effect-strength curves (logistic in the margin x = I - S).
+    stomp_midpoint: float = 1.0
+    stomp_scale: float = 1.2
+    trunc_midpoint: float = 0.5
+    trunc_scale: float = 1.3
+    jam_peak_ber: float = 0.05
+    jam_midpoint: float = -4.5
+    jam_scale: float = 1.0
+
+    _ends: list[_PhoneEnd] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        self._ends = [
+            _PhoneEnd(
+                self.base_position,
+                self.base_level_at_1ft,
+                self.base_duty,
+                self.base_bursts_per_packet,
+            ),
+            _PhoneEnd(
+                self.handset_position,
+                self.handset_level_at_1ft,
+                self.handset_duty,
+                self.handset_bursts_per_packet,
+            ),
+        ]
+
+    # ------------------------------------------------------------------
+    def _stomp_strength(self, x: float) -> float:
+        return _logistic((x - self.stomp_midpoint) / self.stomp_scale)
+
+    def _trunc_strength(self, x: float) -> float:
+        return _logistic((x - self.trunc_midpoint) / self.trunc_scale)
+
+    def _jam_ber(self, x: float) -> float:
+        return self.jam_peak_ber * _logistic((x - self.jam_midpoint) / self.jam_scale)
+
+    # ------------------------------------------------------------------
+    def sample_packet(
+        self,
+        rx_position: Point,
+        signal_level: float,
+        rng: np.random.Generator,
+    ) -> InterferenceSample:
+        if not self.talking:
+            return InterferenceSample(source_name=self.name)
+
+        miss_p = 0.0
+        trunc_p = 0.0
+        jam_ber = 0.0
+        clock_stress = 0.0
+        signal_sample: list[float] = []
+        silence_sample: list[float] = []
+
+        for end in self._ends:
+            interference_level = end.received_level(rx_position)
+            x = interference_level - signal_level
+
+            # AGC samples: the end's energy lands in each AGC sampling
+            # window with the (window-widened) AGC duty.
+            if rng.random() < self.agc_duty:
+                signal_sample.append(level_to_dbm(interference_level))
+            if rng.random() < self.agc_duty:
+                silence_sample.append(level_to_dbm(interference_level))
+
+            if x < CAPTURE_CUTOFF_LEVELS:
+                continue  # processing gain + capture: no bit-level effect
+
+            # A burst covering the packet start stomps the BOF marker.
+            miss_p = 1.0 - (1.0 - miss_p) * (
+                1.0 - end.duty * self._stomp_strength(x)
+            )
+            # A burst overlapping the body can break clock recovery.
+            p_overlap = 1.0 - math.exp(-end.bursts_per_packet)
+            trunc_p = 1.0 - (1.0 - trunc_p) * (
+                1.0 - p_overlap * self._trunc_strength(x)
+            )
+            # Overlapped bits take errors; fold the overlap fraction into
+            # an effective whole-packet BER.
+            overlap_fraction = float(
+                np.clip(rng.uniform(0.05, 1.0), 0.0, 1.0)
+            ) if rng.random() < p_overlap else 0.0
+            jam_ber += self._jam_ber(x) * overlap_fraction
+            if overlap_fraction > 0.0:
+                clock_stress += 1.5 * _logistic((x + 4.0) / 1.0)
+
+        return InterferenceSample(
+            source_name=self.name,
+            signal_sample_dbm=_power_sum(signal_sample),
+            silence_sample_dbm=_power_sum(silence_sample),
+            jam_ber=jam_ber,
+            miss_probability=miss_p,
+            truncate_probability=trunc_p,
+            clock_stress=clock_stress,
+            bursty=True,
+        )
+
+
+def _power_sum(components_dbm: list[float]) -> float | None:
+    if not components_dbm:
+        return None
+    total_mw = sum(10.0 ** (dbm / 10.0) for dbm in components_dbm)
+    return 10.0 * math.log10(total_mw)
+
+
+InterferenceSource.register(SpreadSpectrumPhonePair)

@@ -1,0 +1,99 @@
+"""Competing WaveLAN transmitters (paper, Section 7.4).
+
+The paper configured two extra WaveLAN units to transmit continuously
+(receive threshold raised to 35 so they never defer) and observed:
+
+* with the victim's receive threshold at the default 3, the link was
+  "completely unusable": hundreds of corrupted Ethernet addresses, high
+  packet loss, very rare collision-free transmissions;
+* with the threshold raised to 25 — safely above the interferers'
+  received levels — the victims "completely mask[ed] out the
+  competition": no bit errors, insignificant loss, but a silence level
+  elevated from ~3.4 to ~13.6 (Table 14).
+
+This module models the *receiver-side* effect; the carrier-sense /
+deference side lives in the MAC+channel simulation (:mod:`repro.link`),
+which uses real overlapping transmissions.  The masked/unmasked split is
+physical: when the victim's modem ignores carrier below its threshold it
+never tries to synchronize on the competing signal, and the 15-level
+power advantage of the desired signal (capture) keeps its bits clean.
+When the threshold is low, the modem spends its time locked onto the
+continuous competing signal and the test packets arrive to a busy,
+mis-locked receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.environment.geometry import Point
+from repro.interference.base import EmitterGeometry, InterferenceSource
+from repro.phy.errormodel import InterferenceSample
+from repro.units import level_to_dbm
+
+# Collision-regime effect strengths (threshold does not mask the
+# interferer).  Calibrated to "completely unusable": high loss, frequent
+# corrupted headers, rare clean packets.
+UNMASKED_MISS_PROBABILITY = 0.72
+UNMASKED_TRUNCATE_PROBABILITY = 0.45
+UNMASKED_JAM_BER = 4.0e-3
+UNMASKED_CLOCK_STRESS = 2.0
+
+
+@dataclass
+class CompetingWaveLanTransmitter:
+    """A hostile WaveLAN unit transmitting continuously.
+
+    ``level_at_1ft`` describes its emitted power in the same AGC units
+    as the test stations (WaveLAN units all transmit 500 mW; per-room
+    propagation differences are captured by the scenario's geometry).
+    ``victim_receive_threshold`` is the threshold of the receiver this
+    sample stream feeds — the scenario wires one instance per victim.
+    """
+
+    position: Point
+    level_at_1ft: float = 45.3  # same emitted power as a test station
+    duty: float = 1.0  # continuous transmission
+    victim_receive_threshold: int = 3
+    name: str = "competing-wavelan"
+
+    def received_level(self, rx_position: Point) -> float:
+        return EmitterGeometry(self.position, self.level_at_1ft).level_at(rx_position)
+
+    def masked_at(self, rx_position: Point) -> bool:
+        """Is this interferer below the victim's receive threshold?"""
+        return self.received_level(rx_position) < self.victim_receive_threshold
+
+    def sample_packet(
+        self,
+        rx_position: Point,
+        signal_level: float,
+        rng: np.random.Generator,
+    ) -> InterferenceSample:
+        level = self.received_level(rx_position)
+        active = rng.random() < self.duty
+        dbm = level_to_dbm(level) if active else None
+        if self.masked_at(rx_position):
+            # Masked: pure silence-level contribution; capture keeps the
+            # desired bits clean (Table 14: no bit errors, level/quality
+            # unchanged, silence up ~10 levels).
+            return InterferenceSample(
+                source_name=self.name,
+                signal_sample_dbm=dbm,
+                silence_sample_dbm=dbm,
+            )
+        return InterferenceSample(
+            source_name=self.name,
+            signal_sample_dbm=dbm,
+            silence_sample_dbm=dbm,
+            jam_ber=UNMASKED_JAM_BER if active else 0.0,
+            miss_probability=UNMASKED_MISS_PROBABILITY if active else 0.0,
+            truncate_probability=UNMASKED_TRUNCATE_PROBABILITY if active else 0.0,
+            clock_stress=UNMASKED_CLOCK_STRESS if active else 0.0,
+            bursty=True,
+        )
+
+
+InterferenceSource.register(CompetingWaveLanTransmitter)

@@ -1,0 +1,87 @@
+"""Scenario wiring helpers: assemble stations + MACs on a channel.
+
+The experiment modules mostly use the contention-free fast path; the
+MAC experiments wire their own exotic topologies.  This module carries
+the common recipes so examples and downstream users don't repeat the
+boilerplate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.environment.geometry import Point
+from repro.environment.propagation import PropagationModel
+from repro.interference.base import InterferenceSource
+from repro.link.channel import RadioChannel
+from repro.link.station import LinkStation
+from repro.mac.csma import CsmaCaMac
+from repro.phy.modem import ModemConfig
+from repro.simkit.simulator import Simulator
+
+
+@dataclass
+class WaveLanNetwork:
+    """A simulator + channel + stations bundle.
+
+    Build with :meth:`create`, add stations with :meth:`add_station`
+    (each gets a CSMA/CA MAC), then drive the simulator directly or via
+    :meth:`run_for`.
+    """
+
+    sim: Simulator
+    channel: RadioChannel
+    stations: dict[int, LinkStation] = field(default_factory=dict)
+    macs: dict[int, CsmaCaMac] = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls,
+        propagation: PropagationModel,
+        seed: int = 0,
+        interference: Sequence[InterferenceSource] = (),
+    ) -> "WaveLanNetwork":
+        sim = Simulator(seed=seed)
+        channel = RadioChannel(sim, propagation, interference_sources=interference)
+        return cls(sim=sim, channel=channel)
+
+    def add_station(
+        self,
+        station_id: int,
+        position: Point,
+        modem_config: Optional[ModemConfig] = None,
+        with_mac: bool = True,
+    ) -> LinkStation:
+        """Create, register, and (optionally) MAC-equip one station."""
+        station = LinkStation.tracing_station(station_id, position, modem_config)
+        self.channel.add_station(station)
+        self.stations[station_id] = station
+        if with_mac:
+            self.macs[station_id] = CsmaCaMac(
+                self.sim,
+                self.channel,
+                station_id,
+                self.sim.rng.stream(f"mac.{station_id}"),
+            )
+        return station
+
+    def send(self, station_id: int, frame: bytes) -> None:
+        """Queue a frame on a station's MAC."""
+        self.macs[station_id].enqueue(frame)
+
+    def saturate(self, station_id: int, frame: bytes, depth: int = 4) -> None:
+        """Keep a station's queue refilled forever (a hostile/jamming
+        transmitter, the paper's raised-threshold configuration)."""
+        mac = self.macs[station_id]
+
+        def refill() -> None:
+            while mac.queue_length < depth:
+                mac.enqueue(frame)
+            self.sim.schedule(0.002, refill, name=f"saturate.{station_id}")
+
+        self.sim.schedule(0.0, refill, name=f"saturate.{station_id}")
+
+    def run_for(self, duration_s: float) -> int:
+        """Advance the simulation by ``duration_s`` seconds."""
+        return self.sim.run_until(self.sim.now + duration_s)

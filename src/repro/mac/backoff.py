@@ -1,0 +1,41 @@
+"""Truncated binary exponential backoff (IEEE 802.3 style).
+
+The 82593 performs "transmission scheduling with exponential backoff"
+(paper, Section 2).  After the n-th consecutive collision on a frame the
+station waits a uniform number of slot times in [0, 2^min(n, ceiling)),
+abandoning the frame after ``max_attempts``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BackoffPolicy:
+    """Classic truncated binary exponential backoff."""
+
+    slot_time_s: float = 50e-6
+    ceiling: int = 10
+    max_attempts: int = 16
+
+    def window_slots(self, attempt: int) -> int:
+        """Size of the contention window after ``attempt`` collisions.
+
+        ``attempt`` counts collisions already suffered for this frame
+        (first retry ⇒ attempt=1 ⇒ window of 2 slots).
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return 2 ** min(attempt, self.ceiling)
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """A random backoff delay in seconds after ``attempt`` collisions."""
+        slots = int(rng.integers(0, self.window_slots(attempt)))
+        return slots * self.slot_time_s
+
+    def exhausted(self, attempt: int) -> bool:
+        """Should the frame be dropped after this many collisions?"""
+        return attempt >= self.max_attempts

@@ -1,0 +1,228 @@
+"""CSMA/CA (WaveLAN) and CSMA/CD (wired-Ethernet baseline) MACs.
+
+The two protocols differ in what they treat as a collision:
+
+* **CSMA/CD** (wired Ethernet): a station that becomes ready while the
+  medium is busy transmits *as soon as the medium is free* — the
+  optimistic assumption that it's the only waiter — and relies on
+  collision *detection* to recover when that's wrong.
+* **CSMA/CA** (WaveLAN): collisions can't be sensed on radio, so "any
+  stations which become ready to transmit while the medium is busy will
+  delay for a random interval when the medium becomes free" — a busy
+  medium *is* a collision, and the random delay avoids the synchronized
+  pile-up.
+
+Both run against the abstract :class:`Medium` interface provided by
+:class:`repro.link.channel.RadioChannel` (or the test doubles in the
+unit tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+import numpy as np
+
+from repro.mac.backoff import BackoffPolicy
+from repro.simkit.simulator import Simulator
+
+
+class Medium(Protocol):
+    """What a MAC needs from the shared medium."""
+
+    def carrier_busy(self, station_id: int) -> bool:
+        """Does ``station_id`` currently sense carrier (above threshold)?"""
+
+    def begin_transmission(self, station_id: int, frame: bytes) -> float:
+        """Start transmitting; returns the airtime duration in seconds."""
+
+    def collision_detected(self, station_id: int) -> bool:
+        """CSMA/CD only: is another transmission overlapping ours?"""
+
+    def abort_transmission(self, station_id: int) -> None:
+        """CSMA/CD only: stop our in-flight transmission (jam + abort)."""
+
+
+@dataclass
+class MacStats:
+    """Counters the experiments read out.
+
+    ``collisions`` counts CSMA/CA "busy medium at ready time" events —
+    the quantity Figure 3's collision-rate curve is built from
+    ("Recall that WaveLAN considers 'medium busy' a collision").
+    """
+
+    attempts: int = 0
+    transmissions: int = 0
+    collisions: int = 0
+    drops: int = 0
+
+    @property
+    def collision_free_fraction(self) -> float:
+        """Fraction of attempts that went out without sensing a collision."""
+        if self.attempts == 0:
+            return 0.0
+        return 1.0 - self.collisions / self.attempts
+
+
+@dataclass
+class CsmaCaMac:
+    """The WaveLAN MAC: carrier sense, collision avoidance, backoff."""
+
+    sim: Simulator
+    medium: Medium
+    station_id: int
+    rng: np.random.Generator
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    # Gap the station leaves after the medium goes idle before sampling
+    # carrier again (models the hardware's interframe spacing).
+    interframe_gap_s: float = 40e-6
+    # Uniform jitter added to each gap.  Real stations' clocks drift;
+    # without this, two stations sending equal-length frames phase-lock
+    # and sample carrier only in each other's gaps — a simulation
+    # artifact, not a radio behaviour.
+    interframe_jitter_s: float = 30e-6
+    on_sent: Optional[Callable[[bytes], None]] = None
+    on_dropped: Optional[Callable[[bytes], None]] = None
+    stats: MacStats = field(default_factory=MacStats)
+
+    _busy: bool = field(default=False, init=False)
+    _queue: list[bytes] = field(default_factory=list, init=False)
+
+    def _gap(self) -> float:
+        return self.interframe_gap_s + self.rng.uniform(0.0, self.interframe_jitter_s)
+
+    @property
+    def queue_length(self) -> int:
+        """Frames waiting (including the one being worked on)."""
+        return len(self._queue)
+
+    def enqueue(self, frame: bytes) -> None:
+        """Hand a frame to the MAC for transmission."""
+        self._queue.append(frame)
+        if not self._busy:
+            self._busy = True
+            self.sim.schedule(0.0, self._attempt_head, name="mac.attempt")
+
+    def _attempt_head(self, attempt: int = 0) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        frame = self._queue[0]
+        self.stats.attempts += 1
+        if self.medium.carrier_busy(self.station_id):
+            # Busy medium == collision under CSMA/CA.
+            self.stats.collisions += 1
+            next_attempt = attempt + 1
+            if self.backoff.exhausted(next_attempt):
+                self.stats.drops += 1
+                self._queue.pop(0)
+                if self.on_dropped is not None:
+                    self.on_dropped(frame)
+                self.sim.schedule(0.0, self._attempt_head, name="mac.next")
+                return
+            delay = self._gap() + self.backoff.delay(next_attempt, self.rng)
+            self.sim.schedule(
+                delay, lambda: self._attempt_head(next_attempt), name="mac.retry"
+            )
+            return
+        # Medium free: transmit now.
+        duration = self.medium.begin_transmission(self.station_id, frame)
+        self.stats.transmissions += 1
+        self._queue.pop(0)
+        if self.on_sent is not None:
+            self.on_sent(frame)
+        self.sim.schedule(
+            duration + self._gap(), self._attempt_head, name="mac.done"
+        )
+
+
+@dataclass
+class CsmaCdMac:
+    """Wired-Ethernet-style CSMA/CD, the ablation baseline.
+
+    Optimistic: a waiter transmits the moment the medium frees up; a
+    detected collision aborts the transmission and triggers backoff.
+    (The radio channel reports ``collision_detected`` truthfully, which
+    on a real radio would be impossible — that is the point the
+    ablation benchmark makes.)
+    """
+
+    sim: Simulator
+    medium: Medium
+    station_id: int
+    rng: np.random.Generator
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    poll_interval_s: float = 20e-6
+    # Ethernet-style interframe spacing between back-to-back frames;
+    # also guarantees the next attempt fires strictly after our own
+    # completion event (floating-point addition is not associative).
+    interframe_gap_s: float = 10e-6
+    on_sent: Optional[Callable[[bytes], None]] = None
+    on_dropped: Optional[Callable[[bytes], None]] = None
+    stats: MacStats = field(default_factory=MacStats)
+
+    _busy: bool = field(default=False, init=False)
+    _queue: list[bytes] = field(default_factory=list, init=False)
+
+    def enqueue(self, frame: bytes) -> None:
+        self._queue.append(frame)
+        if not self._busy:
+            self._busy = True
+            self.sim.schedule(0.0, self._attempt_head, name="mac.attempt")
+
+    def _attempt_head(self, attempt: int = 0) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        if self.medium.carrier_busy(self.station_id):
+            # Optimistically poll until free, then fire immediately.
+            # Jittered so independent stations' polls do not lock into
+            # one lattice (their clocks drift in reality).
+            self.sim.schedule(
+                self.poll_interval_s * (0.5 + self.rng.random()),
+                lambda: self._attempt_head(attempt),
+                name="mac.poll",
+            )
+            return
+        frame = self._queue[0]
+        self.stats.attempts += 1
+        duration = self.medium.begin_transmission(self.station_id, frame)
+        # Collision window: check shortly after the transmission starts.
+        self.sim.schedule(
+            self.poll_interval_s,
+            lambda: self._after_start(frame, duration, attempt),
+            name="mac.cd-check",
+        )
+
+    def _after_start(self, frame: bytes, duration: float, attempt: int) -> None:
+        if self.medium.collision_detected(self.station_id):
+            self.medium.abort_transmission(self.station_id)
+            self.stats.collisions += 1
+            next_attempt = attempt + 1
+            if self.backoff.exhausted(next_attempt):
+                self.stats.drops += 1
+                self._queue.pop(0)
+                if self.on_dropped is not None:
+                    self.on_dropped(frame)
+                self.sim.schedule(0.0, self._attempt_head, name="mac.next")
+                return
+            delay = self.backoff.delay(next_attempt, self.rng)
+            self.sim.schedule(
+                delay, lambda: self._attempt_head(next_attempt), name="mac.retry"
+            )
+            return
+        # No collision: let the transmission complete.
+        self.stats.transmissions += 1
+        self._queue.pop(0)
+        if self.on_sent is not None:
+            self.on_sent(frame)
+        remaining = max(0.0, duration - self.poll_interval_s)
+        # Jittered interframe spacing (clock drift) — without it,
+        # saturated blind-CD stations phase-lock into a permanent
+        # every-frame collision.
+        gap = self.interframe_gap_s * (0.5 + 2.0 * self.rng.random())
+        self.sim.schedule(
+            remaining + gap, self._attempt_head, name="mac.done"
+        )

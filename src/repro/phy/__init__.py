@@ -1,0 +1,47 @@
+"""The WaveLAN physical layer model.
+
+The modem control unit reports, for every received packet: signal level
+and silence level (AGC readings) and signal quality (4-bit), and selects
+between two antennas (paper, Section 2).  This package models:
+
+* :mod:`~repro.phy.dsss` — the 11-chip direct-sequence spread spectrum
+  layer, implemented at chip level, which is what confers WaveLAN's
+  resistance to narrowband interference.
+* :mod:`~repro.phy.dqpsk` — DQPSK bit-error-rate theory curves.
+* :mod:`~repro.phy.agc` — AGC power summation and register readings.
+* :mod:`~repro.phy.antenna` — dual-antenna selection diversity.
+* :mod:`~repro.phy.quality` — the clock-recovery "stress" model behind
+  the signal-quality register.
+* :mod:`~repro.phy.errormodel` — the calibrated per-packet impairment
+  pipeline (miss / truncate / corrupt), the heart of the simulator.
+* :mod:`~repro.phy.modem` — the modem control unit: receive/quality
+  thresholds and per-packet status reporting.
+"""
+
+from repro.phy.agc import AgcModel, power_sum_dbm
+from repro.phy.antenna import AntennaDiversity
+from repro.phy.dqpsk import dqpsk_ber
+from repro.phy.dsss import BARKER_11, DsssCodec, processing_gain_db
+from repro.phy.errormodel import (
+    ErrorModelParams,
+    InterferenceSample,
+    PacketFate,
+    WaveLanErrorModel,
+)
+from repro.phy.modem import ModemConfig, ModemRxStatus, WaveLanModem
+
+__all__ = [
+    "AgcModel",
+    "AntennaDiversity",
+    "BARKER_11",
+    "DsssCodec",
+    "dqpsk_ber",
+    "ErrorModelParams",
+    "InterferenceSample",
+    "ModemConfig",
+    "ModemRxStatus",
+    "PacketFate",
+    "WaveLanErrorModel",
+    "power_sum_dbm",
+    "processing_gain_db",
+]

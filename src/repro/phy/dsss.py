@@ -1,0 +1,109 @@
+"""Direct-sequence spread spectrum at chip level.
+
+WaveLAN modulates each data bit with an 11-chip sequence, expanding the
+1 megabaud DQPSK symbol stream into an 11 MHz wide signal (paper,
+Section 2).  The receiver correlates against the same sequence; a
+narrowband jammer's energy is spread by the correlation while the
+desired signal is compressed, yielding a processing gain of
+10*log10(11) ≈ 10.4 dB.
+
+This module implements the chip-level codec so that the narrowband
+resistance the paper observes (Section 7.2) is demonstrated by actual
+correlation arithmetic, not merely asserted: flipping up to 5 of the 11
+chips of a bit still decodes correctly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+# The 11-chip Barker sequence (ideal autocorrelation sidelobes of ±1),
+# the spreading sequence class WaveLAN-era DSSS radios used.
+BARKER_11 = np.array([1, -1, 1, 1, -1, 1, 1, 1, -1, -1, -1], dtype=np.int8)
+
+CHIPS_PER_BIT = 11
+
+
+def processing_gain_db(chips_per_bit: int = CHIPS_PER_BIT) -> float:
+    """Spreading processing gain in dB.
+
+    >>> round(processing_gain_db(), 1)
+    10.4
+    """
+    return 10.0 * math.log10(chips_per_bit)
+
+
+class DsssCodec:
+    """Spread/despread bit streams with a chip sequence.
+
+    Chips are represented as int8 values in {-1, +1}.
+    """
+
+    def __init__(self, sequence: np.ndarray = BARKER_11) -> None:
+        sequence = np.asarray(sequence, dtype=np.int8)
+        if sequence.ndim != 1 or len(sequence) == 0:
+            raise ValueError("spreading sequence must be a non-empty 1-D array")
+        if not np.all(np.abs(sequence) == 1):
+            raise ValueError("spreading sequence chips must be +/-1")
+        self.sequence = sequence
+        self.chips_per_bit = len(sequence)
+
+    def spread(self, bits: np.ndarray) -> np.ndarray:
+        """Map bits {0,1} to chips: bit 1 → +sequence, bit 0 → -sequence."""
+        bits = np.asarray(bits)
+        symbols = np.where(bits > 0, 1, -1).astype(np.int8)
+        return (symbols[:, None] * self.sequence[None, :]).reshape(-1)
+
+    def despread(self, chips: np.ndarray) -> np.ndarray:
+        """Correlate chips against the sequence and hard-decide bits.
+
+        A bit decodes correctly as long as fewer than half of its chips
+        (≤ 5 of 11 for Barker-11) are inverted — this is the mechanism
+        behind DSSS narrowband-jam resistance.
+        """
+        chips = np.asarray(chips, dtype=np.int32)
+        if len(chips) % self.chips_per_bit != 0:
+            raise ValueError(
+                f"chip count {len(chips)} is not a multiple of {self.chips_per_bit}"
+            )
+        grouped = chips.reshape(-1, self.chips_per_bit)
+        correlation = grouped @ self.sequence.astype(np.int32)
+        return (correlation > 0).astype(np.uint8)
+
+    def chip_error_tolerance(self) -> int:
+        """Maximum chip flips per bit that still decode correctly."""
+        return (self.chips_per_bit - 1) // 2
+
+    def autocorrelation(self) -> np.ndarray:
+        """Aperiodic autocorrelation of the sequence (peak at zero lag).
+
+        For Barker-11 all off-peak magnitudes are ≤ 1 — the "very low
+        self-correlation" the paper credits for multipath resistance.
+        """
+        seq = self.sequence.astype(np.int32)
+        n = len(seq)
+        lags = []
+        for lag in range(n):
+            lags.append(int(np.dot(seq[: n - lag], seq[lag:])))
+        return np.array(lags, dtype=np.int32)
+
+    def cross_correlation(self, other: "DsssCodec") -> int:
+        """Peak-magnitude cross-correlation with another codec's sequence.
+
+        The paper notes (Section 8) that large sequence families with
+        simultaneously low self- and cross-correlation are hard to build;
+        this hook lets the CDMA extension experiments quantify that.
+        """
+        if other.chips_per_bit != self.chips_per_bit:
+            raise ValueError("sequences must have the same length")
+        a = self.sequence.astype(np.int32)
+        b = other.sequence.astype(np.int32)
+        n = len(a)
+        peak = 0
+        for lag in range(n):
+            forward = int(np.dot(a[: n - lag], b[lag:]))
+            backward = int(np.dot(b[: n - lag], a[lag:]))
+            peak = max(peak, abs(forward), abs(backward))
+        return peak

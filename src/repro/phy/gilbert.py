@@ -1,0 +1,136 @@
+"""Gilbert–Elliott two-state burst error process.
+
+The syndromes the paper's analysis extracts are *bursty* (Section 6.2:
+25 damaged packets carrying 82 bit errors; Section 7.3: contiguous jam
+windows), and burstiness is what decides whether convolutional FEC
+needs interleaving.  This module provides the classic two-state Markov
+bit-error channel used by the burst-vs-i.i.d. ablation:
+
+* GOOD state: errors at ``good_ber`` (very low);
+* BAD state: errors at ``bad_ber`` (high);
+* per-bit transition probabilities ``p_good_to_bad``/``p_bad_to_good``.
+
+The stationary mean BER is
+
+    pi_bad = g2b / (g2b + b2g)
+    mean_ber = (1 - pi_bad) * good_ber + pi_bad * bad_ber
+
+:meth:`GilbertElliott.matched_iid_ber` exposes that mean, so the
+ablation can compare a bursty channel against an i.i.d. channel at the
+*same* average error rate — the fair comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """A two-state Markov bit-error channel."""
+
+    p_good_to_bad: float = 2e-4
+    p_bad_to_good: float = 2e-2
+    good_ber: float = 1e-6
+    bad_ber: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        for name in ("good_ber", "bad_ber"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 0.5:
+                raise ValueError(f"{name} must be in [0, 0.5], got {value}")
+
+    @property
+    def stationary_bad_fraction(self) -> float:
+        """Long-run fraction of bits spent in the BAD state."""
+        return self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+
+    @property
+    def mean_ber(self) -> float:
+        """Stationary average bit error rate."""
+        pi_bad = self.stationary_bad_fraction
+        return (1.0 - pi_bad) * self.good_ber + pi_bad * self.bad_ber
+
+    @property
+    def mean_burst_bits(self) -> float:
+        """Expected BAD-state sojourn (geometric)."""
+        return 1.0 / self.p_bad_to_good
+
+    def matched_iid_ber(self) -> float:
+        """The i.i.d. BER with the same average error rate."""
+        return self.mean_ber
+
+    def error_positions(
+        self, n_bits: int, rng: np.random.Generator, start_bad: bool | None = None
+    ) -> np.ndarray:
+        """Sample the bit positions flipped over an ``n_bits`` stream.
+
+        ``start_bad`` forces the initial state; the default draws it
+        from the stationary distribution.
+        """
+        if n_bits <= 0:
+            return np.empty(0, dtype=np.int64)
+        if start_bad is None:
+            bad = rng.random() < self.stationary_bad_fraction
+        else:
+            bad = bool(start_bad)
+
+        # Sample the state sequence in sojourn chunks (geometric), which
+        # keeps the Python loop proportional to the number of bursts
+        # rather than the number of bits.
+        positions: list[np.ndarray] = []
+        cursor = 0
+        while cursor < n_bits:
+            if bad:
+                run = int(rng.geometric(self.p_bad_to_good))
+                ber = self.bad_ber
+            else:
+                run = int(rng.geometric(self.p_good_to_bad))
+                ber = self.good_ber
+            run = min(run, n_bits - cursor)
+            if ber > 0.0:
+                count = rng.binomial(run, ber)
+                if count:
+                    offsets = rng.choice(run, size=count, replace=False)
+                    positions.append(cursor + np.sort(offsets))
+            cursor += run
+            bad = not bad
+        if not positions:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(positions).astype(np.int64)
+
+    def apply(self, bits: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return ``bits`` with channel errors applied."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        out = bits.copy()
+        flips = self.error_positions(len(bits), rng)
+        out[flips] ^= 1
+        return out
+
+    @classmethod
+    def calibrated_to_syndromes(
+        cls, mean_burst_bits: float, mean_ber: float, bad_ber: float = 0.25
+    ) -> "GilbertElliott":
+        """Build a channel with a target mean burst length and mean BER.
+
+        Used to fit the process to the burst statistics the analysis
+        pipeline extracts from a trace (e.g. Tx5's ~3.3-bit bursts).
+        """
+        if mean_burst_bits < 1.0:
+            raise ValueError("mean burst length must be >= 1 bit")
+        b2g = 1.0 / mean_burst_bits
+        # Solve pi_bad from mean_ber ~= pi_bad * bad_ber (good_ber ~ 0).
+        pi_bad = min(0.5, mean_ber / bad_ber)
+        g2b = b2g * pi_bad / max(1e-12, 1.0 - pi_bad)
+        return cls(
+            p_good_to_bad=min(1.0, g2b),
+            p_bad_to_good=b2g,
+            good_ber=0.0,
+            bad_ber=bad_ber,
+        )

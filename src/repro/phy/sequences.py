@@ -1,0 +1,144 @@
+"""Spreading-sequence families for the Section-8 CDMA extension.
+
+"While it is difficult to construct large sequence families which
+simultaneously have low self-correlation and low cross-correlation,
+and the effect of higher correlation would be more errors, the current
+WaveLAN seems to have processing gain to spare" (paper, Section 8).
+
+This module makes that trade-off concrete for 11-chip sequences: it
+enumerates the whole ±1 sequence space (2^11 = 2048 candidates),
+measures aperiodic auto- and cross-correlations, and greedily builds
+families under (self, cross) constraints.  The cross-correlation peak
+of a family bounds how much one cell's signal leaks through another
+cell's despreader:
+
+    rejection_db = 20 * log10(n_chips / peak_cross_correlation)
+
+— the full processing gain when codes are orthogonal-ish, and nothing
+at all when cells share one code (today's WaveLAN).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.dsss import BARKER_11, DsssCodec
+
+CHIPS = 11
+
+
+def int_to_sequence(value: int, n_chips: int = CHIPS) -> np.ndarray:
+    """Map an integer's bits to a ±1 chip sequence."""
+    bits = [(value >> (n_chips - 1 - i)) & 1 for i in range(n_chips)]
+    return np.array([1 if bit else -1 for bit in bits], dtype=np.int8)
+
+
+def peak_autocorrelation_sidelobe(sequence: np.ndarray) -> int:
+    """Largest |aperiodic autocorrelation| at non-zero lag."""
+    codec = DsssCodec(sequence)
+    auto = codec.autocorrelation()
+    return int(np.abs(auto[1:]).max())
+
+
+def peak_cross_correlation(a: np.ndarray, b: np.ndarray) -> int:
+    """Largest |aperiodic cross-correlation| over all lags."""
+    return DsssCodec(a).cross_correlation(DsssCodec(b))
+
+
+@dataclass
+class SequenceFamily:
+    """A set of spreading sequences with measured correlation bounds."""
+
+    sequences: list[np.ndarray]
+    max_self_sidelobe: int
+    max_cross_peak: int
+
+    @property
+    def size(self) -> int:
+        return len(self.sequences)
+
+    def rejection_db(self) -> float:
+        """Cross-code rejection the family guarantees (dB).
+
+        One code against another: interference energy after despreading
+        is down by (peak_cross / n_chips)^2 relative to the matched
+        code's full correlation.
+        """
+        if self.max_cross_peak <= 0:
+            return 40.0  # orthogonal within measurement: cap the claim
+        return 20.0 * math.log10(CHIPS / self.max_cross_peak)
+
+    def rejection_levels(self) -> float:
+        """The same rejection in WaveLAN AGC level units (2 dB/unit)."""
+        from repro.units import DB_PER_LEVEL
+
+        return self.rejection_db() / DB_PER_LEVEL
+
+
+def candidate_sequences(max_self_sidelobe: int) -> list[np.ndarray]:
+    """All 11-chip sequences whose autocorrelation sidelobes are small.
+
+    Barker-11 achieves sidelobes of 1; WaveLAN-era radios need low
+    self-correlation for multipath resistance, so a family member must
+    be individually good before cross-correlation even matters.
+    """
+    good = []
+    for value in range(1 << CHIPS):
+        sequence = int_to_sequence(value)
+        if peak_autocorrelation_sidelobe(sequence) <= max_self_sidelobe:
+            good.append(sequence)
+    return good
+
+
+def build_family(
+    max_self_sidelobe: int, max_cross_peak: int, limit: int = 16
+) -> SequenceFamily:
+    """Greedily assemble a family under the given correlation bounds.
+
+    Starts from Barker-11 when it qualifies (it does for sidelobe >= 1),
+    then adds candidates that keep every pairwise cross-correlation peak
+    within the bound.
+    """
+    candidates = candidate_sequences(max_self_sidelobe)
+    chosen: list[np.ndarray] = []
+    if peak_autocorrelation_sidelobe(BARKER_11) <= max_self_sidelobe:
+        chosen.append(BARKER_11.copy())
+    for sequence in candidates:
+        if len(chosen) >= limit:
+            break
+        if any(np.array_equal(sequence, existing) for existing in chosen):
+            continue
+        if all(
+            peak_cross_correlation(sequence, existing) <= max_cross_peak
+            for existing in chosen
+        ):
+            chosen.append(sequence)
+    actual_cross = 0
+    for a, b in itertools.combinations(chosen, 2):
+        actual_cross = max(actual_cross, peak_cross_correlation(a, b))
+    actual_self = max(
+        (peak_autocorrelation_sidelobe(s) for s in chosen), default=0
+    )
+    return SequenceFamily(
+        sequences=chosen,
+        max_self_sidelobe=actual_self,
+        max_cross_peak=actual_cross,
+    )
+
+
+def family_size_tradeoff(
+    self_bounds: tuple[int, ...] = (1, 2, 3, 4),
+    cross_bounds: tuple[int, ...] = (3, 5, 7, 9),
+) -> dict[tuple[int, int], int]:
+    """Family size achievable at each (self, cross) constraint pair —
+    the quantified version of the paper's "it is difficult" remark."""
+    table: dict[tuple[int, int], int] = {}
+    for self_bound in self_bounds:
+        for cross_bound in cross_bounds:
+            family = build_family(self_bound, cross_bound)
+            table[(self_bound, cross_bound)] = family.size
+    return table

@@ -1,0 +1,96 @@
+"""Generator-based processes on top of the event kernel.
+
+A :class:`Process` wraps a Python generator that yields *wait requests*;
+the scheduler resumes the generator when the request is satisfied.  Two
+request types exist:
+
+* :class:`Timeout` — resume after a simulated delay.
+* :class:`Waiter` — a one-shot condition another component triggers.
+
+This is a deliberately small subset of SimPy-style processes: enough to
+express station send loops and interference duty cycles as sequential
+code without callback pyramids.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.simkit.simulator import Simulator
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` simulated seconds."""
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        self.delay = delay
+
+
+class Waiter:
+    """A one-shot event a process can block on until triggered.
+
+    Create a Waiter, hand it to the component that will eventually call
+    :meth:`trigger`, and ``yield`` it from the process body.  The
+    triggered value becomes the result of the yield expression.
+    """
+
+    def __init__(self) -> None:
+        self.triggered = False
+        self.value: Any = None
+        self._process: Optional["Process"] = None
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the waiter, resuming any process blocked on it."""
+        if self.triggered:
+            return
+        self.triggered = True
+        self.value = value
+        if self._process is not None:
+            process, self._process = self._process, None
+            process._resume(value)
+
+
+class Process:
+    """Drives a generator as a simulation process.
+
+    The generator may yield ``Timeout`` or ``Waiter`` instances.  When it
+    returns (or raises StopIteration) the process is finished; the return
+    value is stored in :attr:`result`.
+    """
+
+    def __init__(self, sim: Simulator, body: Generator, name: str = "") -> None:
+        self.sim = sim
+        self.body = body
+        self.name = name or getattr(body, "__name__", "process")
+        self.finished = False
+        self.result: Any = None
+        # Kick off on the next kernel step so construction order does not
+        # matter within a time instant.
+        sim.schedule(0.0, self._resume, name=f"start:{self.name}")
+
+    def _resume(self, send_value: Any = None) -> None:
+        if self.finished:
+            return
+        try:
+            request = self.body.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            return
+        if isinstance(request, Timeout):
+            self.sim.schedule(request.delay, self._resume, name=f"wake:{self.name}")
+        elif isinstance(request, Waiter):
+            if request.triggered:
+                # Already fired: resume immediately (next kernel step).
+                self.sim.schedule(
+                    0.0, lambda: self._resume(request.value), name=f"wake:{self.name}"
+                )
+            else:
+                request._process = self
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {type(request).__name__}; "
+                "expected Timeout or Waiter"
+            )

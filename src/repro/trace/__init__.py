@@ -1,0 +1,32 @@
+"""The paper's measurement methodology (Section 4).
+
+"On the receiver, the kernel device driver was modified to place both
+the Ethernet controller and the modem control unit into 'promiscuous'
+mode and to log, for each incoming packet, every bit and all available
+status information, even if the packet failed the Ethernet CRC check."
+
+* :mod:`~repro.trace.records` — the per-packet log record (raw bytes +
+  level/silence/quality/antenna) and the whole-trial container.
+* :mod:`~repro.trace.sender` — the UDP burst test-traffic generator.
+* :mod:`~repro.trace.trial` — trial runners: a vectorized fast path for
+  contention-free scenarios (half-million-packet office trials) and an
+  event-driven path through the full MAC/channel simulation.
+"""
+
+from repro.trace.persist import load_trace, save_trace
+from repro.trace.receiver import TraceRecorder
+from repro.trace.records import PacketRecord, TrialTrace
+from repro.trace.sender import BurstSender
+from repro.trace.trial import TrialConfig, run_fast_trial, run_mac_trial
+
+__all__ = [
+    "BurstSender",
+    "PacketRecord",
+    "TraceRecorder",
+    "TrialConfig",
+    "TrialTrace",
+    "load_trace",
+    "run_fast_trial",
+    "run_mac_trial",
+    "save_trace",
+]

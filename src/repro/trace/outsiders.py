@@ -1,0 +1,86 @@
+"""Foreign ("outsider") traffic.
+
+"In some trials we received packets from WaveLAN units in nearby rooms
+or in other buildings.  Typically these packets were few, had poor
+signal characteristics, and were damaged.  Frequently we could determine
+that they were ARP packets or inter-bridge routing packets" (Section 4).
+
+Outsider frames are ordinary short Ethernet frames (ARP requests and
+spanning-tree-style bridge hellos) from foreign stations at low signal
+level; they run through the *same* modem pipeline as test packets, so
+their observed signatures — weak, low quality, usually damaged — emerge
+from the channel model rather than being scripted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.framing import ethernet
+from repro.framing.ethernet import BROADCAST, EthernetFrame, MacAddress
+from repro.framing.modem import DEFAULT_NETWORK_ID
+
+
+def build_arp_request(src: MacAddress, seed_byte: int) -> bytes:
+    """A plausible ARP-request payload (28 bytes, RFC 826 layout)."""
+    payload = bytearray(28)
+    payload[0:2] = (1).to_bytes(2, "big")  # HTYPE Ethernet
+    payload[2:4] = ethernet.ETHERTYPE_IPV4.to_bytes(2, "big")
+    payload[4] = 6  # HLEN
+    payload[5] = 4  # PLEN
+    payload[6:8] = (1).to_bytes(2, "big")  # OPER request
+    payload[8:14] = src.octets
+    payload[14:18] = bytes([128, 2, seed_byte, 1])  # SPA
+    payload[24:28] = bytes([128, 2, seed_byte, 254])  # TPA
+    return bytes(payload)
+
+
+def build_bridge_hello(src: MacAddress, sequence: int) -> bytes:
+    """A small inter-bridge routing frame payload."""
+    body = bytearray(46)
+    body[0:4] = b"BRDG"
+    body[4:8] = (sequence & 0xFFFFFFFF).to_bytes(4, "big")
+    body[8:14] = src.octets
+    return bytes(body)
+
+
+@dataclass
+class OutsiderTraffic:
+    """A population of distant foreign WaveLAN stations.
+
+    ``rate_per_test_packet`` is the expected number of outsider frames
+    arriving per test packet sent; ``mean_level``/``level_sd`` describe
+    how weak they are at the receiver (other rooms, other buildings).
+    """
+
+    mean_level: float = 5.0
+    level_sd: float = 1.3
+    rate_per_test_packet: float = 0.05
+    network_id: int = DEFAULT_NETWORK_ID
+    station_count: int = 6
+
+    def frame_count(self, test_packets: int, rng: np.random.Generator) -> int:
+        return int(rng.poisson(self.rate_per_test_packet * test_packets))
+
+    def sample_level(self, rng: np.random.Generator) -> float:
+        return float(rng.normal(self.mean_level, self.level_sd))
+
+    def build_frame(self, rng: np.random.Generator) -> bytes:
+        """One outsider frame (modem framing + Ethernet + ARP/hello)."""
+        station = int(rng.integers(100, 100 + self.station_count))
+        src = MacAddress.station(station)
+        if rng.random() < 0.5:
+            payload = build_arp_request(src, station & 0xFF)
+            ethertype = ethernet.ETHERTYPE_ARP
+        else:
+            payload = build_bridge_hello(src, int(rng.integers(0, 1 << 16)))
+            ethertype = 0x4242  # bridge-protocol style
+        # Pad to the Ethernet minimum payload.
+        if len(payload) < 46:
+            payload = payload + bytes(46 - len(payload))
+        eth = EthernetFrame(
+            dst=BROADCAST, src=src, ethertype=ethertype, payload=payload
+        ).to_bytes(with_fcs=True)
+        return (self.network_id & 0xFFFF).to_bytes(2, "big") + eth

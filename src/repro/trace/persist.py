@@ -1,0 +1,129 @@
+"""Trace persistence: save and reload trial traces.
+
+The paper's workflow was capture-then-analyze-offline; a library user
+wants the same separation — run a long capture once, keep the trace,
+iterate on analysis.  The format is JSON-lines (optionally gzipped by
+file extension):
+
+* line 1 — the trial header: name, packets sent, the test-packet spec;
+* each further line — one packet record: timestamp, the four status
+  registers, and the raw bytes (hex).
+
+The format is deliberately self-describing and greppable; a trace
+captured from real hardware could be converted to it and fed to the
+same analysis.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import IO, Union
+
+from repro.framing.ethernet import MacAddress
+from repro.framing.testpacket import TestPacketSpec
+from repro.phy.modem import ModemRxStatus
+from repro.trace.records import PacketRecord, TrialTrace
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _spec_to_dict(spec: TestPacketSpec) -> dict:
+    return {
+        "src_mac": str(spec.src_mac),
+        "dst_mac": str(spec.dst_mac),
+        "src_ip": spec.src_ip,
+        "dst_ip": spec.dst_ip,
+        "src_port": spec.src_port,
+        "dst_port": spec.dst_port,
+        "network_id": spec.network_id,
+        "first_sequence": spec.first_sequence,
+    }
+
+
+def _spec_from_dict(data: dict) -> TestPacketSpec:
+    return TestPacketSpec(
+        src_mac=MacAddress.from_string(data["src_mac"]),
+        dst_mac=MacAddress.from_string(data["dst_mac"]),
+        src_ip=data["src_ip"],
+        dst_ip=data["dst_ip"],
+        src_port=data["src_port"],
+        dst_port=data["dst_port"],
+        network_id=data["network_id"],
+        first_sequence=data["first_sequence"],
+    )
+
+
+def _open(path: PathLike, mode: str) -> IO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_trace(trace: TrialTrace, path: PathLike) -> None:
+    """Write a trace to ``path`` (gzipped when it ends in .gz)."""
+    with _open(path, "w") as stream:
+        header = {
+            "format": FORMAT_VERSION,
+            "kind": "wavelan-trial-trace",
+            "name": trace.name,
+            "packets_sent": trace.packets_sent,
+            "spec": _spec_to_dict(trace.spec),
+        }
+        stream.write(json.dumps(header) + "\n")
+        for record in trace.records:
+            status = record.status
+            line = {
+                "t": record.time,
+                "lvl": status.signal_level,
+                "sil": status.silence_level,
+                "q": status.signal_quality,
+                "ant": status.antenna,
+                "data": record.data.hex(),
+            }
+            stream.write(json.dumps(line) + "\n")
+
+
+def load_trace(path: PathLike) -> TrialTrace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises ValueError on version/kind mismatches — the format is simple
+    enough that failing loudly beats guessing.
+    """
+    with _open(path, "r") as stream:
+        header_line = stream.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("kind") != "wavelan-trial-trace":
+            raise ValueError(f"{path}: not a trial trace file")
+        if header.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: format {header.get('format')} "
+                f"(this reader supports {FORMAT_VERSION})"
+            )
+        trace = TrialTrace(
+            name=header["name"],
+            spec=_spec_from_dict(header["spec"]),
+            packets_sent=header["packets_sent"],
+        )
+        for line in stream:
+            if not line.strip():
+                continue
+            entry = json.loads(line)
+            status = ModemRxStatus(
+                signal_level=entry["lvl"],
+                silence_level=entry["sil"],
+                signal_quality=entry["q"],
+                antenna=entry["ant"],
+            )
+            trace.records.append(
+                PacketRecord.from_bytes(
+                    bytes.fromhex(entry["data"]), status, entry["t"]
+                )
+            )
+        return trace

@@ -1,0 +1,96 @@
+"""Trace records: what the paper's modified driver logged.
+
+A :class:`PacketRecord` holds the raw received bytes (possibly damaged,
+possibly truncated, possibly not a test packet at all) plus the modem
+status registers.  The analysis package consumes *only* this artifact —
+it re-identifies test packets heuristically, exactly as the paper's
+offline tooling had to.
+
+For memory efficiency on half-million-packet trials, records whose
+bytes are byte-identical to a known pristine frame may be stored as a
+(factory, sequence) reference and materialized on demand; the analysis
+stage still sees plain bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.framing.testpacket import TestPacketFactory, TestPacketSpec
+from repro.phy.modem import ModemRxStatus
+
+
+@dataclass
+class PacketRecord:
+    """One received packet: every bit, plus the status registers."""
+
+    status: ModemRxStatus
+    time: float = 0.0
+    _data: Optional[bytes] = None
+    _pristine_ref: Optional[tuple[TestPacketFactory, int]] = None
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, status: ModemRxStatus, time: float = 0.0
+    ) -> "PacketRecord":
+        return cls(status=status, time=time, _data=data)
+
+    @classmethod
+    def pristine(
+        cls,
+        factory: TestPacketFactory,
+        sequence: int,
+        status: ModemRxStatus,
+        time: float = 0.0,
+    ) -> "PacketRecord":
+        """A record whose bytes equal the undamaged frame ``sequence``.
+
+        Storage optimization only — :attr:`data` returns the same bytes
+        a full copy would.
+        """
+        return cls(status=status, time=time, _pristine_ref=(factory, sequence))
+
+    @property
+    def data(self) -> bytes:
+        if self._data is not None:
+            return self._data
+        if self._pristine_ref is not None:
+            factory, sequence = self._pristine_ref
+            return factory.build(sequence)
+        raise ValueError("empty PacketRecord")
+
+    @property
+    def length(self) -> int:
+        if self._data is not None:
+            return len(self._data)
+        from repro.framing.testpacket import FRAME_BYTES
+
+        return FRAME_BYTES
+
+
+@dataclass
+class TrialTrace:
+    """Everything one trial produced, as the offline analysis sees it.
+
+    ``packets_sent`` is ground truth the experimenters knew (they ran
+    the sender); everything else must be inferred from ``records``.
+    """
+
+    name: str
+    spec: TestPacketSpec
+    packets_sent: int
+    records: list[PacketRecord] = field(default_factory=list)
+    first_sequence: int = 0
+
+    @property
+    def packets_received(self) -> int:
+        return len(self.records)
+
+    def extend(self, other: "TrialTrace") -> None:
+        """Aggregate another burst into this trial (paper: "aggregating
+        multiple bursts to form a long trial")."""
+        if other.spec != self.spec:
+            raise ValueError("cannot aggregate traces with different specs")
+        self.packets_sent += other.packets_sent
+        self.records.extend(other.records)

@@ -1,0 +1,38 @@
+"""A small reliable-transport layer over the simulated WaveLAN link.
+
+The paper's Section 9.3 surveys the mobile-IP community's work on
+TCP-over-wireless (I-TCP, proxies, snooping) and closes with a claim
+this package makes testable: "Our initial experience suggests that
+there may be a class of high-performance wireless networks for which
+less aggressive approaches may suffice."
+
+* :mod:`~repro.transport.link` — a half-duplex WaveLAN link adapter:
+  one shared transmit queue, per-packet fates from the calibrated PHY
+  pipeline, optional transparent link-layer ARQ.
+* :mod:`~repro.transport.tcp` — a compact TCP-Reno sender/receiver
+  (slow start, congestion avoidance, fast retransmit, Jacobson/Karels
+  RTO) driven by the event kernel.
+"""
+
+from repro.transport.link import HalfDuplexLink, LinkConfig
+from repro.transport.snoop import SnoopNetwork, WiredPipe, run_snoop_transfer
+from repro.transport.tcp import (
+    DirectNetwork,
+    TcpConfig,
+    TcpReceiver,
+    TcpSender,
+    run_transfer,
+)
+
+__all__ = [
+    "DirectNetwork",
+    "HalfDuplexLink",
+    "LinkConfig",
+    "SnoopNetwork",
+    "TcpConfig",
+    "TcpReceiver",
+    "TcpSender",
+    "WiredPipe",
+    "run_snoop_transfer",
+    "run_transfer",
+]

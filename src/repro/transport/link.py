@@ -1,0 +1,146 @@
+"""A half-duplex WaveLAN link for transport-layer experiments.
+
+One shared 2 Mb/s channel serves both directions FIFO (WaveLAN is a
+single channel; CSMA/CA interleaves data and ACKs).  Each frame's fate
+comes from the same calibrated impairment pipeline the measurement
+experiments use: a frame is delivered iff the modem didn't miss it and
+the payload survived intact (a corrupted TCP segment fails its checksum
+and is dropped by the receiver — invisible loss, exactly what the
+mobile-IP literature worries about).
+
+``LinkConfig.arq_retries`` enables transparent link-layer
+retransmission — the "less aggressive approach" of Section 9.3: the
+link immediately retries a failed frame up to N times, costing airtime
+instead of triggering TCP's congestion response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.environment.geometry import Point
+from repro.interference.base import InterferenceSource
+from repro.link.channel import DATA_RATE_BPS
+from repro.phy.errormodel import WaveLanErrorModel
+from repro.simkit.simulator import Simulator
+
+# Per-frame MAC/PHY overhead: modem id + Ethernet + IP + TCP headers +
+# FCS, plus interframe spacing folded into the byte count.
+FRAME_OVERHEAD_BYTES = 2 + 14 + 20 + 20 + 4 + 12
+
+
+@dataclass
+class LinkConfig:
+    """The channel conditions of one transport experiment."""
+
+    mean_level: float = 29.5
+    data_rate_bps: float = DATA_RATE_BPS
+    # One-way propagation + processing latency per frame.
+    latency_s: float = 1.5e-3
+    # Transparent link-layer retransmissions (0 = the paper's WaveLAN,
+    # which "does not include such a mechanism").
+    arq_retries: int = 0
+    interference: Sequence[InterferenceSource] = ()
+    rx_position: Point = Point(0.0, 0.0)
+
+
+@dataclass
+class LinkStats:
+    frames_offered: int = 0
+    frames_failed_first_try: int = 0
+    frames_lost_after_arq: int = 0
+    arq_retransmissions: int = 0
+    busy_time_s: float = 0.0
+
+
+class HalfDuplexLink:
+    """The shared channel both TCP directions ride on."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: LinkConfig,
+        error_model: Optional[WaveLanErrorModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.error_model = error_model or WaveLanErrorModel()
+        self.rng = sim.rng.stream("transport.link")
+        self.stats = LinkStats()
+        self._queue: list[tuple[int, Callable[[], None]]] = []
+        self._busy = False
+
+    # ------------------------------------------------------------------
+    def airtime(self, payload_bytes: int) -> float:
+        frame_bytes = payload_bytes + FRAME_OVERHEAD_BYTES
+        return frame_bytes * 8.0 / self.config.data_rate_bps
+
+    def _frame_survives(self, payload_bytes: int) -> bool:
+        """One on-air attempt: does the frame arrive intact?"""
+        samples = [
+            source.sample_packet(
+                self.config.rx_position, self.config.mean_level, self.rng
+            )
+            for source in self.config.interference
+        ]
+        fate = self.error_model.sample_packet(
+            self.config.mean_level,
+            payload_bytes + FRAME_OVERHEAD_BYTES,
+            self.rng,
+            samples,
+        )
+        return not fate.missed and not fate.damaged
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        payload_bytes: int,
+        on_delivered: Callable[[], None],
+        priority: bool = False,
+    ) -> None:
+        """Queue a frame; ``on_delivered`` fires only if it survives.
+
+        ``priority`` frames jump the queue (the snoop agent's local
+        retransmissions must not wait behind a window of fresh data).
+        """
+        self.stats.frames_offered += 1
+        if priority:
+            self._queue.insert(0, (payload_bytes, on_delivered))
+        else:
+            self._queue.append((payload_bytes, on_delivered))
+        if not self._busy:
+            self._service()
+
+    def _service(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        payload_bytes, on_delivered = self._queue.pop(0)
+
+        attempts = 0
+        survived = False
+        while attempts <= self.config.arq_retries:
+            attempts += 1
+            if self._frame_survives(payload_bytes):
+                survived = True
+                break
+        if attempts > 1:
+            self.stats.arq_retransmissions += attempts - 1
+        if not survived:
+            self.stats.frames_lost_after_arq += 1
+        if attempts > 1 or not survived:
+            self.stats.frames_failed_first_try += 1
+
+        occupancy = attempts * self.airtime(payload_bytes)
+        self.stats.busy_time_s += occupancy
+        if survived:
+            self.sim.schedule(
+                occupancy + self.config.latency_s,
+                on_delivered,
+                name="link.deliver",
+            )
+        self.sim.schedule(occupancy, self._service, name="link.service")

@@ -1,0 +1,278 @@
+"""A snoop agent at the base station (Balakrishnan et al., the paper's
+citation [5]).
+
+Topology: the fixed host reaches the base station over a wired segment
+(lossless, fast, with real latency); the mobile host hangs off the
+WaveLAN hop.  The agent snoops both directions:
+
+* **data, wired → wireless**: cache each segment before forwarding;
+* **ACKs, wireless → wired**: a *new* cumulative ACK purges the cache
+  and is forwarded; a *duplicate* ACK for a cached segment triggers a
+  local wireless retransmission and is suppressed — the fixed sender
+  never learns a wireless loss happened, so its congestion window never
+  collapses.  A per-segment local timer covers losses that produce no
+  dupacks.
+
+This is the "TCP-aware link layer" point in the design space between
+plain end-to-end TCP and blind link ARQ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.simkit.simulator import Simulator
+from repro.transport.link import HalfDuplexLink
+from repro.transport.tcp import ACK_BYTES, TcpReceiver, TcpSender
+
+
+@dataclass
+class WiredConfig:
+    """The fixed-network segment between sender and base station."""
+
+    bandwidth_bps: float = 10_000_000.0
+    latency_s: float = 10e-3
+    overhead_bytes: int = 58  # Ethernet + IP + TCP headers
+
+
+class WiredPipe:
+    """A lossless FIFO pipe (classic wired Ethernet segment)."""
+
+    def __init__(self, sim: Simulator, config: WiredConfig | None = None) -> None:
+        self.sim = sim
+        self.config = config or WiredConfig()
+        self._free_at = 0.0
+
+    def send(self, payload_bytes: int, on_delivered) -> None:
+        airtime = (
+            (payload_bytes + self.config.overhead_bytes)
+            * 8.0
+            / self.config.bandwidth_bps
+        )
+        start = max(self.sim.now, self._free_at)
+        self._free_at = start + airtime
+        delay = (start - self.sim.now) + airtime + self.config.latency_s
+        self.sim.schedule(delay, on_delivered, name="wired.deliver")
+
+
+@dataclass
+class SnoopStats:
+    segments_cached: int = 0
+    local_retransmissions: int = 0
+    dupacks_suppressed: int = 0
+    timer_retransmissions: int = 0
+
+
+class SnoopNetwork:
+    """Wired + wireless two-hop path with a snoop agent at the junction.
+
+    Local recovery follows the snoop protocol's discipline: the agent
+    keeps its own smoothed estimate of the *wireless* round trip
+    (including queueing behind the shared channel), runs one timer for
+    the head-of-line cached segment, retransmits a missing segment at
+    most once per loss event (suppressing the dupack burst), and backs
+    its timer off exponentially.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        wired: WiredPipe,
+        wireless: HalfDuplexLink,
+        mss_bytes: int = 1024,
+        initial_local_rto_s: float = 0.3,
+        min_local_rto_s: float = 0.02,
+        max_local_rto_s: float = 0.6,
+        max_local_retries: int = 10,
+    ) -> None:
+        self.sim = sim
+        self.wired = wired
+        self.wireless = wireless
+        self.mss_bytes = mss_bytes
+        self.min_local_rto_s = min_local_rto_s
+        self.max_local_rto_s = max_local_rto_s
+        self.max_local_retries = max_local_retries
+        self.stats = SnoopStats()
+
+        self.sender: Optional[TcpSender] = None
+        self.receiver: Optional[TcpReceiver] = None
+
+        # Agent state.
+        self._cache: dict[int, int] = {}  # seq -> local retransmit count
+        self._first_forward_time: dict[int, float] = {}
+        self._rtx_inflight: set[int] = set()
+        self._last_rtx_time: dict[int, float] = {}
+        self._last_ack_seen = 0
+        # A lost local retransmission shows up as continuing dupacks;
+        # retransmit again once this much time has passed (about one
+        # unqueued wireless round trip).
+        self.rtx_interval_s = 0.012
+        # Local wireless-RTT estimator (Jacobson-style).
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._local_rto = initial_local_rto_s
+        self._backed_off_rto: Optional[float] = None
+        self._head_timer = None
+        self._timer_head: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Data path: fixed sender -> wired -> agent -> wireless -> mobile
+    # ------------------------------------------------------------------
+    def send_data(self, seq: int, payload_bytes: int) -> None:
+        self.wired.send(
+            payload_bytes, lambda: self._agent_data_arrived(seq, payload_bytes)
+        )
+
+    def _agent_data_arrived(self, seq: int, payload_bytes: int) -> None:
+        if seq >= self._last_ack_seen and seq not in self._cache:
+            self._cache[seq] = 0
+            self._first_forward_time[seq] = self.sim.now
+            self.stats.segments_cached += 1
+        self._forward_wireless(seq, payload_bytes)
+        self._arm_head_timer()
+
+    def _forward_wireless(
+        self, seq: int, payload_bytes: int, priority: bool = False
+    ) -> None:
+        self.wireless.send(
+            payload_bytes, lambda: self.receiver.on_segment(seq), priority
+        )
+
+    # ------------------------------------------------------------------
+    # The single head-of-line timer
+    # ------------------------------------------------------------------
+    def _current_rto(self) -> float:
+        rto = (
+            self._backed_off_rto
+            if self._backed_off_rto is not None
+            else self._local_rto
+        )
+        # The retry is one frame of airtime: keeping the timer tight is
+        # cheap, and an unbounded backoff deadlocks recovery once the
+        # sender's window is exhausted (no data in flight => no dupacks
+        # to clock the agent).
+        return min(rto, self.max_local_rto_s)
+
+    def _arm_head_timer(self, force: bool = False) -> None:
+        if not self._cache:
+            self._cancel_head_timer()
+            self._timer_head = None
+            return
+        head = min(self._cache)
+        if not force and self._head_timer is not None and self._timer_head == head:
+            return  # a deadline for this head is already pending
+        self._cancel_head_timer()
+        self._timer_head = head
+        self._head_timer = self.sim.schedule(
+            self._current_rto(), self._head_timeout, name="snoop.timer"
+        )
+
+    def _cancel_head_timer(self) -> None:
+        if self._head_timer is not None:
+            self.sim.cancel(self._head_timer)
+            self._head_timer = None
+
+    def _head_timeout(self) -> None:
+        self._head_timer = None
+        if not self._cache:
+            return
+        head = min(self._cache)
+        if self._cache[head] >= self.max_local_retries:
+            # Give up on this segment; end-to-end recovery takes over.
+            del self._cache[head]
+            self._rtx_inflight.discard(head)
+            self._arm_head_timer()
+            return
+        self._cache[head] += 1
+        self.stats.local_retransmissions += 1
+        self.stats.timer_retransmissions += 1
+        self._forward_wireless(head, self.mss_bytes, priority=True)
+        self._backed_off_rto = 2.0 * self._current_rto()
+        self._arm_head_timer(force=True)
+
+    def _sample_rtt(self, acked_up_to: int) -> None:
+        """Sample the wireless RTT from the newest cleanly acked segment."""
+        seq = acked_up_to - 1
+        forwarded_at = self._first_forward_time.pop(seq, None)
+        if forwarded_at is None or seq in self._rtx_inflight:
+            return
+        sample = self.sim.now - forwarded_at
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2.0
+        else:
+            delta = sample - self._srtt
+            self._srtt += 0.125 * delta
+            self._rttvar += 0.25 * (abs(delta) - self._rttvar)
+        self._local_rto = min(
+            self.max_local_rto_s,
+            max(self.min_local_rto_s, self._srtt + 4.0 * self._rttvar),
+        )
+
+    # ------------------------------------------------------------------
+    # ACK path: mobile -> wireless -> agent -> wired -> fixed sender
+    # ------------------------------------------------------------------
+    def send_ack(self, ack: int) -> None:
+        self.wireless.send(ACK_BYTES, lambda: self._agent_ack_arrived(ack))
+
+    def _agent_ack_arrived(self, ack: int) -> None:
+        if ack > self._last_ack_seen:
+            # New data acknowledged: sample RTT, purge, forward the ACK.
+            self._sample_rtt(ack)
+            for seq in [s for s in self._cache if s < ack]:
+                del self._cache[seq]
+                self._first_forward_time.pop(seq, None)
+            self._rtx_inflight = {s for s in self._rtx_inflight if s >= ack}
+            self._last_rtx_time = {
+                s: t for s, t in self._last_rtx_time.items() if s >= ack
+            }
+            self._last_ack_seen = ack
+            self._backed_off_rto = None
+            self._arm_head_timer(force=True)
+            self.wired.send(ACK_BYTES, lambda: self.sender.on_ack(ack))
+            return
+        # Duplicate ACK: the mobile is missing segment `ack`.
+        if ack in self._cache:
+            self.stats.dupacks_suppressed += 1
+            since_last = self.sim.now - self._last_rtx_time.get(ack, -1.0)
+            first_time = ack not in self._rtx_inflight
+            if self._cache[ack] < self.max_local_retries and (
+                first_time or since_last > self.rtx_interval_s
+            ):
+                # Retransmit once per loss event, dupack-clocked: if the
+                # retransmission itself dies, the continuing dupacks
+                # trigger another after rtx_interval_s.
+                self._cache[ack] += 1
+                self._rtx_inflight.add(ack)
+                self._last_rtx_time[ack] = self.sim.now
+                self.stats.local_retransmissions += 1
+                # Jump the queue: recovery latency gates the whole
+                # window's progress.
+                self._forward_wireless(ack, self.mss_bytes, priority=True)
+                self._arm_head_timer()
+            return
+        # Not cached: let the sender handle it end to end.
+        self.wired.send(ACK_BYTES, lambda: self.sender.on_ack(ack))
+
+
+def run_snoop_transfer(
+    link_config,
+    total_segments: int = 400,
+    seed: int = 0,
+    wired_config: WiredConfig | None = None,
+    tcp_config=None,
+    time_limit_s: float = 600.0,
+):
+    """Transfer over wired+wireless with a snoop agent; return
+    (sender, network, wireless link, sim)."""
+    sim = Simulator(seed=seed)
+    wireless = HalfDuplexLink(sim, link_config)
+    wired = WiredPipe(sim, wired_config)
+    network = SnoopNetwork(sim, wired, wireless)
+    TcpReceiver(sim, network)
+    sender = TcpSender(sim, network, total_segments, tcp_config)
+    network.mss_bytes = sender.config.mss_bytes
+    sender.start()
+    sim.run_until(time_limit_s)
+    return sender, network, wireless, sim

@@ -1,0 +1,285 @@
+"""A compact TCP-Reno sender and receiver.
+
+Enough of TCP to reproduce its wireless pathology: slow start,
+congestion avoidance, duplicate-ACK fast retransmit with fast recovery
+halving, Jacobson/Karels RTT estimation, and exponential RTO backoff.
+No SACK, no delayed ACKs, segment-granular sequence numbers, a fixed
+receive window.
+
+The pathology under test (Sections 1 and 9.3 of the paper): TCP reads
+*any* loss as congestion, so corruption losses on a wireless hop cut
+the window and strangle throughput even though the channel has
+capacity to spare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from typing import Protocol
+
+from repro.simkit.simulator import Simulator
+from repro.transport.link import HalfDuplexLink
+
+ACK_BYTES = 0  # ACK payload; headers are counted by the link overhead
+
+
+class Network(Protocol):
+    """The path between the TCP endpoints.
+
+    :class:`DirectNetwork` is a single (wireless) hop;
+    :class:`repro.transport.snoop.SnoopNetwork` is the wired+wireless
+    two-hop topology of the mobile-IP literature with a base-station
+    agent in the middle.
+    """
+
+    sender: "TcpSender"
+    receiver: "TcpReceiver"
+
+    def send_data(self, seq: int, payload_bytes: int) -> None:
+        """Carry a data segment toward the receiver."""
+
+    def send_ack(self, ack: int) -> None:
+        """Carry a cumulative ACK toward the sender."""
+
+
+class DirectNetwork:
+    """Both directions over one shared wireless link."""
+
+    def __init__(self, link: HalfDuplexLink) -> None:
+        self.link = link
+        self.sender: Optional["TcpSender"] = None
+        self.receiver: Optional["TcpReceiver"] = None
+
+    def send_data(self, seq: int, payload_bytes: int) -> None:
+        self.link.send(payload_bytes, lambda: self.receiver.on_segment(seq))
+
+    def send_ack(self, ack: int) -> None:
+        self.link.send(ACK_BYTES, lambda: self.sender.on_ack(ack))
+
+
+@dataclass
+class TcpConfig:
+    """Sender parameters (segment-granular)."""
+
+    mss_bytes: int = 1024
+    initial_cwnd: int = 2
+    initial_ssthresh: int = 32
+    receive_window: int = 32
+    dupack_threshold: int = 3
+    # 1996 BSD TCPs ran coarse-grained (500 ms) retransmission timers
+    # with an effective minimum RTO around a second — the setting the
+    # paper's contemporaries (I-TCP, snoop) assumed.
+    rto_min_s: float = 1.0
+    rto_max_s: float = 30.0
+
+
+@dataclass
+class TcpStats:
+    segments_sent: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    fast_retransmits: int = 0
+    acks_received: int = 0
+
+    @property
+    def goodput_segments(self) -> int:
+        return self.segments_sent - self.retransmissions
+
+
+class TcpReceiver:
+    """Cumulative-ACK receiver."""
+
+    def __init__(self, sim: Simulator, network: "Network") -> None:
+        self.sim = sim
+        self.network = network
+        network.receiver = self
+        self.next_expected = 0
+        self.out_of_order: set[int] = set()
+
+    def on_segment(self, seq: int) -> None:
+        """A data segment arrived; return a cumulative ACK."""
+        if seq == self.next_expected:
+            self.next_expected += 1
+            while self.next_expected in self.out_of_order:
+                self.out_of_order.discard(self.next_expected)
+                self.next_expected += 1
+        elif seq > self.next_expected:
+            self.out_of_order.add(seq)
+        self.network.send_ack(self.next_expected)
+
+
+class TcpSender:
+    """Reno congestion control over the half-duplex link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: "Network",
+        total_segments: int,
+        config: TcpConfig | None = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        network.sender = self
+        self.config = config or TcpConfig()
+        self.total_segments = total_segments
+        self.stats = TcpStats()
+
+        self.cwnd = float(self.config.initial_cwnd)
+        self.ssthresh = float(self.config.initial_ssthresh)
+        self.next_to_send = 0
+        self.highest_acked = 0  # first unacked segment index
+        self.dupacks = 0
+        self.in_fast_recovery = False
+
+        # Jacobson/Karels RTT estimation.
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.rto = 1.0
+        self._rto_event = None
+        self._send_times: dict[int, float] = {}
+        self._retransmitted: set[int] = set()
+
+        self.finished = False
+        self.finish_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._fill_window()
+
+    @property
+    def window(self) -> int:
+        return int(min(self.cwnd, self.config.receive_window))
+
+    def _outstanding(self) -> int:
+        return self.next_to_send - self.highest_acked
+
+    def _fill_window(self) -> None:
+        while (
+            self._outstanding() < self.window
+            and self.next_to_send < self.total_segments
+        ):
+            self._transmit(self.next_to_send)
+            self.next_to_send += 1
+
+    def _transmit(self, seq: int, retransmission: bool = False) -> None:
+        self.stats.segments_sent += 1
+        if retransmission:
+            self.stats.retransmissions += 1
+            self._retransmitted.add(seq)
+        else:
+            self._send_times[seq] = self.sim.now
+        self.network.send_data(seq, self.config.mss_bytes)
+        if self._rto_event is None:
+            self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def _arm_rto(self) -> None:
+        self._cancel_rto()
+        self._rto_event = self.sim.schedule(self.rto, self._on_timeout, name="tcp.rto")
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self.sim.cancel(self._rto_event)
+            self._rto_event = None
+
+    def _update_rtt(self, seq: int) -> None:
+        sent_at = self._send_times.pop(seq, None)
+        if sent_at is None or seq in self._retransmitted:
+            return  # Karn's algorithm: never sample retransmits
+        sample = self.sim.now - sent_at
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            delta = sample - self.srtt
+            self.srtt += 0.125 * delta
+            self.rttvar += 0.25 * (abs(delta) - self.rttvar)
+        self.rto = min(
+            self.config.rto_max_s,
+            max(self.config.rto_min_s, self.srtt + 4.0 * self.rttvar),
+        )
+
+    def _on_timeout(self) -> None:
+        self._rto_event = None
+        if self.finished or self.highest_acked >= self.total_segments:
+            return
+        self.stats.timeouts += 1
+        # Classic Reno timeout response.
+        self.ssthresh = max(2.0, self._outstanding() / 2.0)
+        self.cwnd = 1.0
+        self.dupacks = 0
+        self.in_fast_recovery = False
+        self.rto = min(self.config.rto_max_s, self.rto * 2.0)
+        self._transmit(self.highest_acked, retransmission=True)
+        self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # ACK clock
+    # ------------------------------------------------------------------
+    def on_ack(self, ack: int) -> None:
+        if self.finished:
+            return
+        self.stats.acks_received += 1
+        if ack > self.highest_acked:
+            newly_acked = ack - self.highest_acked
+            for seq in range(self.highest_acked, ack):
+                self._update_rtt(seq)
+            self.highest_acked = ack
+            self.dupacks = 0
+            if self.in_fast_recovery:
+                # Fast recovery exit: deflate to ssthresh.
+                self.cwnd = self.ssthresh
+                self.in_fast_recovery = False
+            elif self.cwnd < self.ssthresh:
+                self.cwnd += newly_acked  # slow start
+            else:
+                self.cwnd += newly_acked / self.cwnd  # congestion avoidance
+            if self.highest_acked >= self.total_segments:
+                self.finished = True
+                self.finish_time = self.sim.now
+                self._cancel_rto()
+                return
+            self._arm_rto()
+            self._fill_window()
+        else:
+            self.dupacks += 1
+            if (
+                self.dupacks == self.config.dupack_threshold
+                and not self.in_fast_recovery
+            ):
+                # Fast retransmit + enter fast recovery.
+                self.stats.fast_retransmits += 1
+                self.ssthresh = max(2.0, self._outstanding() / 2.0)
+                self.cwnd = self.ssthresh + 3
+                self.in_fast_recovery = True
+                self._transmit(self.highest_acked, retransmission=True)
+            elif self.in_fast_recovery:
+                self.cwnd += 1.0  # inflate per extra dupack
+                self._fill_window()
+
+
+def run_transfer(
+    link_config,
+    total_segments: int = 400,
+    seed: int = 0,
+    tcp_config: TcpConfig | None = None,
+    time_limit_s: float = 600.0,
+):
+    """Transfer ``total_segments`` over a link; return (sender, link, sim).
+
+    The simulation stops at ``time_limit_s`` if the transfer stalls
+    (deep error region with no ARQ can starve entirely).
+    """
+    sim = Simulator(seed=seed)
+    link = HalfDuplexLink(sim, link_config)
+    network = DirectNetwork(link)
+    TcpReceiver(sim, network)
+    sender = TcpSender(sim, network, total_segments, tcp_config)
+    sender.start()
+    sim.run_until(time_limit_s)
+    return sender, link, sim

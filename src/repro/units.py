@@ -1,0 +1,156 @@
+"""Physical unit conversions and the WaveLAN AGC unit mapping.
+
+The WaveLAN modem control unit reports *signal level* and *silence level*
+as 5-bit-or-so automatic-gain-control (AGC) readings, and *signal quality*
+as a 4-bit value.  The paper reports all propagation results in these
+dimensionless AGC units (observed range roughly 2..41 for level/silence
+and 0..15 for quality).
+
+This module defines the calibrated mapping between physical received power
+(dBm) and AGC "level units" used throughout the simulator:
+
+    level = (P_rx_dBm - AGC_FLOOR_DBM) / DB_PER_LEVEL
+
+with the constants chosen so that the scenarios of the paper produce level
+readings in the bands the paper reports (see DESIGN.md section 3).
+"""
+
+from __future__ import annotations
+
+import math
+
+# Speed of light, metres / second.
+SPEED_OF_LIGHT_M_S = 299_792_458.0
+
+# WaveLAN 900 MHz ISM band centre frequency (Hz).  The units under study
+# operate in the 902-928 MHz band; we use the centre.
+WAVELAN_FREQ_HZ = 915e6
+
+# WaveLAN transmit power: 500 milliwatts (paper, Section 2).
+WAVELAN_TX_POWER_MW = 500.0
+
+# Calibrated AGC mapping (DESIGN.md section 3).  One AGC level unit spans
+# DB_PER_LEVEL decibels, and AGC_FLOOR_DBM is the received power that
+# reads as level 0.
+DB_PER_LEVEL = 2.0
+AGC_FLOOR_DBM = -72.0
+
+# The level/silence registers are reported in a bounded hardware range.
+# The paper observes values up to 41, so the register is wider than 5
+# bits of dynamic range at 1 unit granularity; we bound at 6 bits.
+AGC_MAX_READING = 63
+QUALITY_MAX = 15
+
+FEET_PER_METRE = 3.280839895
+
+
+def mw_to_dbm(milliwatts: float) -> float:
+    """Convert a power in milliwatts to dBm.
+
+    >>> mw_to_dbm(1.0)
+    0.0
+    >>> round(mw_to_dbm(500.0), 2)
+    26.99
+    """
+    if milliwatts <= 0.0:
+        raise ValueError(f"power must be positive, got {milliwatts} mW")
+    return 10.0 * math.log10(milliwatts)
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert a power in dBm to milliwatts.
+
+    >>> dbm_to_mw(0.0)
+    1.0
+    """
+    return 10.0 ** (dbm / 10.0)
+
+
+def db_ratio(numerator_mw: float, denominator_mw: float) -> float:
+    """Power ratio in decibels.
+
+    >>> db_ratio(100.0, 1.0)
+    20.0
+    """
+    if numerator_mw <= 0.0 or denominator_mw <= 0.0:
+        raise ValueError("powers must be positive")
+    return 10.0 * math.log10(numerator_mw / denominator_mw)
+
+
+def feet_to_metres(feet: float) -> float:
+    """Convert feet to metres (the paper reports distances in feet)."""
+    return feet / FEET_PER_METRE
+
+
+def metres_to_feet(metres: float) -> float:
+    """Convert metres to feet."""
+    return metres * FEET_PER_METRE
+
+
+def free_space_path_loss_db(distance_m: float, freq_hz: float = WAVELAN_FREQ_HZ) -> float:
+    """Free-space path loss (Friis) in dB at ``distance_m`` metres.
+
+    Clamps the distance to a tenth of a wavelength so that the formula
+    remains finite for units in physical contact (the paper's "zero
+    point" of Figure 1).
+    """
+    wavelength_m = SPEED_OF_LIGHT_M_S / freq_hz
+    d = max(distance_m, wavelength_m / 10.0)
+    return 20.0 * math.log10(4.0 * math.pi * d / wavelength_m)
+
+
+def dbm_to_level(p_rx_dbm: float) -> float:
+    """Map received power in dBm to a continuous AGC level reading.
+
+    The hardware rounds and clamps; callers that want the register value
+    should pass the result through :func:`clamp_agc`.
+    """
+    return (p_rx_dbm - AGC_FLOOR_DBM) / DB_PER_LEVEL
+
+
+def level_to_dbm(level: float) -> float:
+    """Inverse of :func:`dbm_to_level`."""
+    return AGC_FLOOR_DBM + level * DB_PER_LEVEL
+
+
+def clamp_agc(reading: float) -> int:
+    """Round and clamp a continuous AGC reading to the hardware register."""
+    return int(min(max(round(reading), 0), AGC_MAX_READING))
+
+
+def clamp_quality(reading: float) -> int:
+    """Round and clamp a continuous quality reading to the 4-bit register."""
+    return int(min(max(round(reading), 0), QUALITY_MAX))
+
+
+# ----------------------------------------------------------------------
+# Motion / Doppler (paper, Section 3: error sources NOT considered)
+# ----------------------------------------------------------------------
+
+# Frequency tolerance of the crystal oscillators WaveLAN-era radios
+# used (a typical ±25 ppm part).
+CRYSTAL_TOLERANCE_PPM = 25.0
+
+SPEED_OF_SOUND_M_S = 343.0
+
+
+def doppler_shift_hz(
+    relative_speed_m_s: float, freq_hz: float = WAVELAN_FREQ_HZ
+) -> float:
+    """Doppler shift for two units closing at ``relative_speed_m_s``.
+
+    The paper's Section-3 argument for ignoring motion: "the Doppler
+    shift due to moving a WaveLAN unit at the speed of sound would be
+    substantially less than the inaccuracy of the clock crystals".
+
+    >>> doppler_shift_hz(343.0) < crystal_offset_hz()
+    True
+    """
+    return freq_hz * relative_speed_m_s / SPEED_OF_LIGHT_M_S
+
+
+def crystal_offset_hz(
+    freq_hz: float = WAVELAN_FREQ_HZ, tolerance_ppm: float = CRYSTAL_TOLERANCE_PPM
+) -> float:
+    """Worst-case carrier offset from crystal tolerance alone."""
+    return freq_hz * tolerance_ppm * 1e-6

@@ -1,0 +1,153 @@
+"""Heuristic test-packet matching and sequence recovery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.matching import MatchOutcome, TraceMatcher
+from repro.framing.bits import flip_bits
+from repro.framing.testpacket import BODY_START, FRAME_BYTES
+from repro.trace.outsiders import OutsiderTraffic
+from repro.trace.records import PacketRecord
+from repro.phy.modem import ModemRxStatus
+
+STATUS = ModemRxStatus(29, 3, 15, 0)
+
+
+@pytest.fixture
+def matcher(spec):
+    return TraceMatcher(spec, packets_sent=10_000)
+
+
+def _record(data: bytes) -> PacketRecord:
+    return PacketRecord.from_bytes(data, STATUS)
+
+
+class TestExactMatch:
+    def test_pristine_frame_matches_fast_path(self, matcher, factory):
+        result = matcher.match(_record(factory.build(123)))
+        assert result.outcome is MatchOutcome.TEST_PACKET
+        assert result.sequence == 123
+        assert result.exact
+
+    def test_every_sequence_recoverable(self, matcher, factory):
+        for sequence in (0, 1, 999, 9_999):
+            assert matcher.match(_record(factory.build(sequence))).sequence == sequence
+
+
+class TestVotingMatch:
+    def test_survives_scattered_corruption(self, matcher, factory):
+        frame = factory.build(77)
+        # Flip 200 scattered bits: vote still recovers the sequence.
+        rng = np.random.default_rng(0)
+        positions = rng.choice(FRAME_BYTES * 8, size=200, replace=False)
+        damaged = flip_bits(frame, positions)
+        result = matcher.match(_record(damaged))
+        assert result.outcome is MatchOutcome.TEST_PACKET
+        assert result.sequence == 77
+        assert not result.exact
+
+    def test_survives_truncation(self, matcher, factory):
+        frame = factory.build(55)[:500]
+        result = matcher.match(_record(frame))
+        assert result.outcome is MatchOutcome.TEST_PACKET
+        assert result.sequence == 55
+
+    def test_survives_truncation_plus_corruption(self, matcher, factory):
+        rng = np.random.default_rng(1)
+        frame = factory.build(55)[:700]
+        positions = rng.choice(len(frame) * 8, size=80, replace=False)
+        damaged = flip_bits(frame, positions)
+        result = matcher.match(_record(damaged))
+        assert result.sequence == 55
+
+    def test_deep_truncation_recovered_by_header(self, matcher, factory):
+        """Fewer than MIN_WORDS_FOR_VOTE body words survive, but the
+        intact headers (and the IP id field, which carries the sequence)
+        still identify the packet."""
+        frame = factory.build(55)[: BODY_START + 10]
+        result = matcher.match(_record(frame))
+        assert result.outcome is MatchOutcome.TEST_PACKET
+        assert result.sequence == 55
+        assert result.header_led
+
+
+class TestOutsiderRejection:
+    def test_arp_frame_is_outsider(self, matcher, rng):
+        frame = OutsiderTraffic().build_frame(rng)
+        assert matcher.match(_record(frame)).outcome is MatchOutcome.OUTSIDER
+
+    def test_implausible_sequence_rejected(self, matcher, factory):
+        """A frame whose body word implies a sequence far beyond the
+        number of packets sent fails the vote — though with genuine
+        test-packet headers it is still (correctly) identified as a
+        catastrophically corrupted test packet via the header path."""
+        bogus_spec_frame = bytearray(factory.build(0))
+        body = (500_000).to_bytes(4, "big") * 256
+        bogus_spec_frame[BODY_START : BODY_START + 1024] = body
+        result = matcher.match(_record(bytes(bogus_spec_frame)))
+        assert result.outcome is MatchOutcome.TEST_PACKET
+        assert result.header_led
+        assert result.sequence == 0
+        # With foreign headers as well, it is an outsider.
+        foreign = bytes(44) + body + bytes(4)
+        assert matcher.match(_record(foreign)).outcome is MatchOutcome.OUTSIDER
+
+    def test_repeating_word_with_foreign_wrapper_rejected(self, matcher):
+        """A foreign frame that happens to repeat a plausible word must
+        fail the wrapper score."""
+        body = (42).to_bytes(4, "big") * 256
+        frame = bytes(FRAME_BYTES - 1024 - 4) + body + bytes(4)
+        result = matcher.match(_record(frame))
+        assert result.outcome is MatchOutcome.OUTSIDER
+        assert result.wrapper_score < 0.5
+
+    def test_tiny_frame_is_outsider(self, matcher):
+        assert matcher.match(_record(b"\x01\x02\x03")).outcome is MatchOutcome.OUTSIDER
+
+
+class TestHeaderLedMatching:
+    def test_corrupt_header_rejected(self, matcher, factory):
+        """A deep-truncated frame with a battered header stays an
+        outsider: the header path demands a near-perfect prefix."""
+        import numpy as np
+
+        from repro.framing.bits import flip_bits
+
+        frame = factory.build(55)[: BODY_START + 4]
+        rng = np.random.default_rng(0)
+        positions = rng.choice(len(frame) * 8, size=60, replace=False)
+        damaged = flip_bits(frame, positions)
+        assert matcher.match(_record(damaged)).outcome is MatchOutcome.OUTSIDER
+
+    def test_implausible_ip_id_rejected(self, spec, factory):
+        """A header whose id field exceeds the packets-sent bound is not
+        claimed."""
+        matcher = TraceMatcher(spec, packets_sent=100)
+        frame = factory.build(5000)[: BODY_START + 4]  # id = 5000 > 100
+        assert matcher.match(_record(frame)).outcome is MatchOutcome.OUTSIDER
+
+    def test_too_short_for_header(self, matcher):
+        assert (
+            matcher.match(_record(b"\x01" * 10)).outcome
+            is MatchOutcome.OUTSIDER
+        )
+
+    def test_voting_still_preferred_when_possible(self, matcher, factory):
+        """When the body vote works, the result is vote-led (richer
+        evidence) rather than header-led."""
+        frame = factory.build(77)[:700]
+        result = matcher.match(_record(frame))
+        assert result.sequence == 77
+        assert not result.header_led
+
+
+class TestSequencePlausibility:
+    def test_slack_window(self, spec, factory):
+        matcher = TraceMatcher(spec, packets_sent=100)
+        # Just beyond sent count but within slack: plausible.
+        assert matcher.match(_record(factory.build(105))).sequence == 105
+        # Far beyond: outsider.
+        assert (
+            matcher.match(_record(factory.build(500))).outcome
+            is MatchOutcome.OUTSIDER
+        )

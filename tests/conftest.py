@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.framing.testpacket import TestPacketFactory, TestPacketSpec
+from repro.simkit.simulator import Simulator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulation kernel."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def spec() -> TestPacketSpec:
+    """The default test-packet series configuration."""
+    return TestPacketSpec.default()
+
+
+@pytest.fixture
+def factory(spec: TestPacketSpec) -> TestPacketFactory:
+    """A frame factory for the default spec."""
+    return TestPacketFactory(spec)

@@ -1,0 +1,62 @@
+"""Floor plans: wall crossing and obstacle accounting."""
+
+import pytest
+
+from repro.environment.floorplan import FloorPlan, Wall
+from repro.environment.geometry import Point
+from repro.environment.materials import (
+    CONCRETE_BLOCK_WALL,
+    HUMAN_BODY,
+    PLASTER_MESH_WALL,
+)
+
+
+class TestMaterials:
+    def test_paper_calibrated_attenuations(self):
+        # Section 6.1: plaster+mesh ~5 levels, concrete ~2 levels;
+        # Section 6.3: human body ~6 levels.
+        assert PLASTER_MESH_WALL.attenuation_levels == pytest.approx(5.0)
+        assert CONCRETE_BLOCK_WALL.attenuation_levels == pytest.approx(2.0)
+        assert HUMAN_BODY.attenuation_levels == pytest.approx(6.0)
+
+    def test_db_conversion(self):
+        assert PLASTER_MESH_WALL.attenuation_db == pytest.approx(10.0)
+
+
+class TestFloorPlan:
+    def _plan(self) -> FloorPlan:
+        plan = FloorPlan(name="test")
+        plan.add_wall(Wall.between(5.0, -10.0, 5.0, 10.0, CONCRETE_BLOCK_WALL))
+        plan.add_wall(Wall.between(8.0, -10.0, 8.0, 10.0, PLASTER_MESH_WALL))
+        return plan
+
+    def test_path_crossing_both_walls(self):
+        materials = self._plan().obstacles_between(Point(0, 0), Point(10, 0))
+        names = sorted(m.name for m in materials)
+        assert names == sorted(
+            [CONCRETE_BLOCK_WALL.name, PLASTER_MESH_WALL.name]
+        )
+
+    def test_path_crossing_one_wall(self):
+        materials = self._plan().obstacles_between(Point(0, 0), Point(6, 0))
+        assert [m.name for m in materials] == [CONCRETE_BLOCK_WALL.name]
+
+    def test_path_crossing_nothing(self):
+        assert self._plan().obstacles_between(Point(0, 0), Point(4, 0)) == []
+
+    def test_path_parallel_to_walls(self):
+        assert self._plan().obstacles_between(Point(0, -5), Point(0, 5)) == []
+
+    def test_total_levels(self):
+        total = self._plan().total_obstacle_levels(Point(0, 0), Point(10, 0))
+        assert total == pytest.approx(7.0)
+
+    def test_extra_obstacles_apply_to_every_path(self):
+        plan = FloorPlan.open_room()
+        plan.add_obstacle(HUMAN_BODY)
+        assert plan.total_obstacle_levels(Point(0, 0), Point(1, 1)) == pytest.approx(6.0)
+        assert plan.total_obstacle_levels(Point(9, 9), Point(5, 5)) == pytest.approx(6.0)
+
+    def test_open_room_is_empty(self):
+        plan = FloorPlan.open_room("hall")
+        assert plan.obstacles_between(Point(0, 0), Point(100, 100)) == []

@@ -1,0 +1,68 @@
+"""2-D geometry: distances and segment intersection."""
+
+import pytest
+
+from repro.environment.geometry import Point, Segment, segments_intersect
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-3.0, 7.5)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_midpoint(self):
+        mid = Point(0, 0).midpoint(Point(4, 6))
+        assert (mid.x, mid.y) == (2.0, 3.0)
+
+    def test_translated(self):
+        p = Point(1, 1).translated(2, -3)
+        assert (p.x, p.y) == (3.0, -2.0)
+
+
+class TestSegment:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(0, 5)).length == pytest.approx(5.0)
+
+    def test_midpoint(self):
+        mid = Segment(Point(0, 0), Point(2, 2)).midpoint()
+        assert (mid.x, mid.y) == (1.0, 1.0)
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        s1 = Segment(Point(0, 0), Point(10, 10))
+        s2 = Segment(Point(0, 10), Point(10, 0))
+        assert segments_intersect(s1, s2)
+
+    def test_parallel_disjoint(self):
+        s1 = Segment(Point(0, 0), Point(10, 0))
+        s2 = Segment(Point(0, 1), Point(10, 1))
+        assert not segments_intersect(s1, s2)
+
+    def test_collinear_overlapping(self):
+        s1 = Segment(Point(0, 0), Point(5, 0))
+        s2 = Segment(Point(3, 0), Point(8, 0))
+        assert segments_intersect(s1, s2)
+
+    def test_collinear_disjoint(self):
+        s1 = Segment(Point(0, 0), Point(2, 0))
+        s2 = Segment(Point(3, 0), Point(8, 0))
+        assert not segments_intersect(s1, s2)
+
+    def test_touching_at_endpoint(self):
+        s1 = Segment(Point(0, 0), Point(5, 5))
+        s2 = Segment(Point(5, 5), Point(9, 0))
+        assert segments_intersect(s1, s2)
+
+    def test_t_junction(self):
+        s1 = Segment(Point(0, 0), Point(10, 0))
+        s2 = Segment(Point(5, -3), Point(5, 0))
+        assert segments_intersect(s1, s2)
+
+    def test_near_miss(self):
+        s1 = Segment(Point(0, 0), Point(10, 0))
+        s2 = Segment(Point(5, 0.001), Point(5, 3))
+        assert not segments_intersect(s1, s2)

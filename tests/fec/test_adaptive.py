@@ -1,0 +1,68 @@
+"""The adaptive FEC rate controller."""
+
+import pytest
+
+from repro.fec.adaptive import AdaptiveFecController
+
+
+class TestRateSelection:
+    def test_clean_strong_link_uses_weakest_code(self):
+        controller = AdaptiveFecController()
+        for _ in range(20):
+            decision = controller.observe(30, 3, 15)
+        assert decision.rate_name == "8/9"
+        assert decision.overhead_fraction == pytest.approx(0.125)
+
+    def test_error_region_uses_strongest_code(self):
+        controller = AdaptiveFecController()
+        for _ in range(20):
+            decision = controller.observe(6, 3, 15)
+        assert decision.rate_name == "1/2"
+
+    def test_marginal_level_steps_up(self):
+        controller = AdaptiveFecController()
+        for _ in range(20):
+            decision = controller.observe(10, 3, 15)
+        assert decision.rate_name == "2/3"
+
+    def test_wideband_interference_alarm(self):
+        """Silence near the signal level + depressed quality: the
+        Table-12 signature selects maximum redundancy."""
+        controller = AdaptiveFecController()
+        for _ in range(20):
+            decision = controller.observe(30, 25, 13)
+        assert decision.rate_name == "1/2"
+        assert "interference" in decision.reason
+
+    def test_quality_depression_alone_steps_up(self):
+        controller = AdaptiveFecController()
+        for _ in range(20):
+            decision = controller.observe(30, 3, 12)
+        assert decision.rate_name in ("2/3", "4/5")
+
+
+class TestSmoothing:
+    def test_single_outlier_does_not_thrash(self):
+        controller = AdaptiveFecController()
+        for _ in range(30):
+            controller.observe(30, 3, 15)
+        decision = controller.observe(6, 3, 15)  # one bad reading
+        assert decision.rate_name == "8/9"
+
+    def test_sustained_change_adapts(self):
+        controller = AdaptiveFecController()
+        for _ in range(30):
+            controller.observe(30, 3, 15)
+        for _ in range(30):
+            decision = controller.observe(6, 3, 15)
+        assert decision.rate_name == "1/2"
+
+    def test_history_recorded(self):
+        controller = AdaptiveFecController()
+        controller.observe(30, 3, 15)
+        controller.observe(30, 3, 15)
+        assert len(controller.history) == 2
+
+    def test_rate_index_ordering(self):
+        controller = AdaptiveFecController()
+        assert controller.rate_index("8/9") < controller.rate_index("1/2")

@@ -1,0 +1,80 @@
+"""Rate-compatible punctured codes."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.fec.rcpc import PUNCTURE_PERIOD, RATE_ORDER, RcpcCodec, RcpcFamily, _PATTERNS
+
+
+class TestFamilyStructure:
+    def test_rates_declared(self):
+        assert RATE_ORDER == ("8/9", "4/5", "2/3", "1/2")
+
+    @pytest.mark.parametrize("name", RATE_ORDER)
+    def test_rate_value(self, name):
+        codec = RcpcCodec(name)
+        num, den = name.split("/")
+        assert codec.rate == Fraction(int(num), int(den))
+
+    def test_overheads_span_hagenauer_range(self):
+        overheads = [RcpcCodec(r).overhead for r in RATE_ORDER]
+        assert overheads[0] == pytest.approx(0.125)  # 12.5 %
+        assert overheads[-1] == pytest.approx(1.0)  # 100 %
+        assert overheads == sorted(overheads)
+
+    def test_rate_compatibility(self):
+        """Every lower-rate pattern transmits a superset of the positions
+        of every higher-rate pattern — Hagenauer's defining property."""
+        for stronger, weaker in zip(RATE_ORDER[1:], RATE_ORDER[:-1]):
+            strong_pattern = _PATTERNS[stronger]
+            weak_pattern = _PATTERNS[weaker]
+            assert ((strong_pattern - weak_pattern) >= 0).all()
+
+    def test_unknown_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RcpcCodec("3/4")
+
+    def test_family_codecs(self):
+        family = RcpcFamily()
+        assert [c.rate_name for c in family.codecs()] == list(RATE_ORDER)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("name", RATE_ORDER)
+    def test_clean_roundtrip(self, name, rng):
+        codec = RcpcCodec(name)
+        bits = rng.integers(0, 2, 512).astype(np.uint8)
+        assert np.array_equal(codec.decode(codec.encode(bits)), bits)
+
+    @pytest.mark.parametrize("name", RATE_ORDER)
+    def test_coded_length_accounting(self, name, rng):
+        codec = RcpcCodec(name)
+        bits = rng.integers(0, 2, 512).astype(np.uint8)
+        assert len(codec.encode(bits)) == codec.coded_length(512)
+
+    def test_stronger_rates_send_more_bits(self, rng):
+        lengths = [RcpcCodec(r).coded_length(512) for r in RATE_ORDER]
+        assert lengths == sorted(lengths)
+
+    def test_stronger_rates_correct_more(self, rng):
+        """The family's raison d'être: robustness rises with redundancy."""
+        bits = rng.integers(0, 2, 1_024).astype(np.uint8)
+        residuals = []
+        for name in RATE_ORDER:
+            codec = RcpcCodec(name)
+            transmitted = codec.encode(bits)
+            positions = rng.choice(
+                len(transmitted), size=int(0.02 * len(transmitted)), replace=False
+            )
+            residuals.append(codec.roundtrip_errors(bits, positions))
+        assert residuals[-1] == 0  # 1/2 handles 2 %
+        assert residuals[0] > residuals[-1]  # 8/9 does not
+
+    def test_roundtrip_errors_zero_for_clean(self, rng):
+        bits = rng.integers(0, 2, 256).astype(np.uint8)
+        assert RcpcCodec("2/3").roundtrip_errors(bits, np.array([], dtype=np.int64)) == 0
+
+    def test_puncture_period(self):
+        assert PUNCTURE_PERIOD == 8

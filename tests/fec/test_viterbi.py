@@ -1,0 +1,209 @@
+"""Viterbi decoding: clean, noisy, and erased channels."""
+
+import numpy as np
+import pytest
+
+from repro.fec.convolutional import ConvolutionalCode
+from repro.fec.viterbi import ERASED, viterbi_decode
+
+
+@pytest.fixture
+def code():
+    return ConvolutionalCode()
+
+
+class TestCleanDecoding:
+    def test_roundtrip(self, code, rng):
+        bits = rng.integers(0, 2, 500).astype(np.uint8)
+        assert np.array_equal(viterbi_decode(code, code.encode(bits)), bits)
+
+    def test_empty_input(self, code):
+        assert len(viterbi_decode(code, np.empty(0, dtype=np.uint8))) == 0
+
+    def test_misaligned_length_rejected(self, code):
+        with pytest.raises(ValueError):
+            viterbi_decode(code, np.zeros(7, dtype=np.uint8))
+
+    def test_small_code_roundtrip(self, rng):
+        code = ConvolutionalCode(constraint_length=3, generators=(0o7, 0o5))
+        bits = rng.integers(0, 2, 100).astype(np.uint8)
+        assert np.array_equal(viterbi_decode(code, code.encode(bits)), bits)
+
+
+class TestErrorCorrection:
+    def test_corrects_isolated_errors(self, code, rng):
+        bits = rng.integers(0, 2, 400).astype(np.uint8)
+        coded = code.encode(bits)
+        # One error every ~40 coded bits: well within K=7 capability.
+        damaged = coded.copy()
+        damaged[::40] ^= 1
+        assert np.array_equal(viterbi_decode(code, damaged), bits)
+
+    def test_corrects_3_percent_random(self, code, rng):
+        bits = rng.integers(0, 2, 1_000).astype(np.uint8)
+        coded = code.encode(bits)
+        damaged = coded.copy()
+        positions = rng.choice(len(coded), size=int(0.03 * len(coded)), replace=False)
+        damaged[positions] ^= 1
+        residual = int((viterbi_decode(code, damaged) != bits).sum())
+        assert residual == 0
+
+    def test_fails_gracefully_at_heavy_noise(self, code, rng):
+        bits = rng.integers(0, 2, 500).astype(np.uint8)
+        coded = code.encode(bits)
+        damaged = coded ^ (rng.random(len(coded)) < 0.25).astype(np.uint8)
+        decoded = viterbi_decode(code, damaged)
+        # Not required to succeed, but must return the right shape.
+        assert len(decoded) == len(bits)
+
+    def test_dense_burst_overwhelms_without_interleaving(self, code, rng):
+        """A contiguous 60-bit burst exceeds the code's memory."""
+        bits = rng.integers(0, 2, 500).astype(np.uint8)
+        coded = code.encode(bits)
+        damaged = coded.copy()
+        damaged[100:160] ^= 1
+        residual = int((viterbi_decode(code, damaged) != bits).sum())
+        assert residual > 0
+
+
+class TestErasures:
+    def test_30_percent_erasures_recoverable(self, code, rng):
+        bits = rng.integers(0, 2, 500).astype(np.uint8)
+        coded = code.encode(bits)
+        received = coded.copy()
+        positions = rng.choice(len(coded), size=int(0.3 * len(coded)), replace=False)
+        received[positions] = ERASED
+        assert np.array_equal(viterbi_decode(code, received), bits)
+
+    def test_all_erased_decodes_something(self, code):
+        received = np.full(100, ERASED, dtype=np.uint8)
+        decoded = viterbi_decode(code, received)
+        assert len(decoded) == 50 - code.tail_bits()
+
+    def test_erasures_plus_errors(self, code, rng):
+        bits = rng.integers(0, 2, 500).astype(np.uint8)
+        coded = code.encode(bits)
+        received = coded.copy()
+        erase = rng.choice(len(coded), size=int(0.2 * len(coded)), replace=False)
+        received[erase] = ERASED
+        flip = rng.choice(
+            np.setdiff1d(np.arange(len(coded)), erase), size=10, replace=False
+        )
+        received[flip] ^= 1
+        assert np.array_equal(viterbi_decode(code, received), bits)
+
+
+class TestUnterminated:
+    def test_unterminated_roundtrip_mostly_correct(self, code, rng):
+        bits = rng.integers(0, 2, 300).astype(np.uint8)
+        coded = code.encode(bits, terminate=False)
+        decoded = viterbi_decode(code, coded, terminated=False)
+        # The final few bits may be ambiguous without termination.
+        assert np.array_equal(decoded[:-8], bits[:-8])
+
+
+class TestWeightedDecoding:
+    """Poor-man's soft decision: per-position confidence weights."""
+
+    def test_uniform_weights_match_unweighted(self, code, rng):
+        import numpy as np
+
+        bits = rng.integers(0, 2, 300).astype(np.uint8)
+        coded = code.encode(bits)
+        damaged = coded.copy()
+        positions = rng.choice(len(coded), size=20, replace=False)
+        damaged[positions] ^= 1
+        plain = viterbi_decode(code, damaged)
+        weighted = viterbi_decode(
+            code, damaged, weights=np.ones(len(coded))
+        )
+        assert np.array_equal(plain, weighted)
+
+    def test_downweighting_confines_damage_to_the_window(self, code, rng):
+        """A 50%-BER window carries no information either way, but a
+        decoder that *knows* which span to distrust confines the damage
+        to that window's own info bits and still corrects scattered
+        errors elsewhere — full-confidence decoding lets the garbage
+        window corrupt decisions beyond it."""
+        import numpy as np
+
+        bits = rng.integers(0, 2, 500).astype(np.uint8)
+        coded = code.encode(bits)
+        damaged = coded.copy()
+        # Garbage window + scattered errors elsewhere.
+        window = slice(300, 360)
+        flips = 300 + np.flatnonzero(rng.random(60) < 0.5)
+        damaged[flips] ^= 1
+        outside = np.array([40, 200, 480, 700, 900])
+        damaged[outside] ^= 1
+        hard = viterbi_decode(code, damaged)
+        weights = np.ones(len(coded))
+        weights[window] = 0.05
+        soft = viterbi_decode(code, damaged, weights=weights)
+        # Info bits covered by the window (coded pos / 2), with slack
+        # for the code's memory.
+        lo, hi = 300 // 2 - 8, 360 // 2 + 8
+        soft_outside = int(
+            (soft[:lo] != bits[:lo]).sum() + (soft[hi:] != bits[hi:]).sum()
+        )
+        soft_total = int((soft != bits).sum())
+        assert soft_outside == 0  # damage quarantined
+        assert soft_total <= hi - lo  # and bounded by the window's span
+
+    def test_zero_weight_equals_erasure(self, code, rng):
+        import numpy as np
+
+        from repro.fec.viterbi import ERASED
+
+        bits = rng.integers(0, 2, 300).astype(np.uint8)
+        coded = code.encode(bits)
+        garbled = coded.copy()
+        garbled[50:80] ^= 1
+        weights = np.ones(len(coded))
+        weights[50:80] = 0.0
+        weighted = viterbi_decode(code, garbled, weights=weights)
+        erased = coded.copy()
+        erased[50:80] = ERASED
+        via_erasure = viterbi_decode(code, erased)
+        assert np.array_equal(weighted, via_erasure)
+
+    def test_bad_weights_shape_rejected(self, code):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            viterbi_decode(
+                code, np.zeros(100, dtype=np.uint8), weights=np.ones(99)
+            )
+
+    def test_rcpc_weights_passthrough(self, rng):
+        """Weights thread through the depuncturer: damage stays
+        confined to the distrusted window's info span."""
+        import numpy as np
+
+        from repro.fec.rcpc import RcpcCodec
+
+        codec = RcpcCodec("1/2")
+        bits = rng.integers(0, 2, 256).astype(np.uint8)
+        tx = codec.encode(bits)
+        damaged = tx.copy()
+        damaged[100:140] ^= (rng.random(40) < 0.5).astype(np.uint8)
+        weights = np.ones(len(tx))
+        weights[100:140] = 0.05
+        decoded = codec.decode(damaged, weights=weights)
+        lo, hi = 100 // 2 - 8, 140 // 2 + 8
+        errors_outside = int(
+            (decoded[:lo] != bits[:lo]).sum()
+            + (decoded[hi:] != bits[hi:]).sum()
+        )
+        assert errors_outside == 0
+
+    def test_rcpc_bad_weights_length_rejected(self, rng):
+        import numpy as np
+
+        from repro.fec.rcpc import RcpcCodec
+
+        codec = RcpcCodec("1/2")
+        bits = rng.integers(0, 2, 64).astype(np.uint8)
+        tx = codec.encode(bits)
+        with pytest.raises(ValueError):
+            codec.decode(tx, weights=np.ones(len(tx) - 1))

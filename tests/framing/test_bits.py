@@ -1,0 +1,72 @@
+"""Bit/byte manipulation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.framing.bits import (
+    bits_to_bytes,
+    bytes_to_bits,
+    flip_bits,
+    hamming_distance,
+    popcount_bytes,
+)
+
+
+class TestBitConversion:
+    def test_msb_first_order(self):
+        bits = bytes_to_bits(b"\x80")
+        assert bits.tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_roundtrip(self):
+        data = bytes(range(256))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_non_octet_length_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.array([1, 0, 1]))
+
+
+class TestHammingDistance:
+    def test_identical_is_zero(self):
+        assert hamming_distance(b"abc", b"abc") == 0
+
+    def test_single_bit(self):
+        assert hamming_distance(b"\x00", b"\x01") == 1
+
+    def test_all_bits(self):
+        assert hamming_distance(b"\x00\x00", b"\xff\xff") == 16
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_distance(b"ab", b"abc")
+
+
+class TestFlipBits:
+    def test_flip_msb_of_first_byte(self):
+        assert flip_bits(b"\x00\x00", np.array([0])) == b"\x80\x00"
+
+    def test_flip_lsb_of_second_byte(self):
+        assert flip_bits(b"\x00\x00", np.array([15])) == b"\x00\x01"
+
+    def test_flip_is_involution(self):
+        data = bytes(range(16))
+        positions = np.array([0, 7, 33, 100])
+        assert flip_bits(flip_bits(data, positions), positions) == data
+
+    def test_flip_count_matches_hamming(self):
+        data = bytes(32)
+        positions = np.array([1, 17, 99, 200])
+        flipped = flip_bits(data, positions)
+        assert hamming_distance(data, flipped) == len(positions)
+
+    def test_empty_positions_identity(self):
+        data = b"hello"
+        assert flip_bits(data, np.array([], dtype=np.int64)) == data
+
+
+class TestPopcount:
+    def test_empty(self):
+        assert popcount_bytes(b"") == 0
+
+    def test_known(self):
+        assert popcount_bytes(b"\xff\x0f") == 12

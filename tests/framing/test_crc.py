@@ -1,0 +1,66 @@
+"""CRC-32: the from-scratch implementation is the specification."""
+
+import zlib
+
+import pytest
+
+from repro.framing.crc import (
+    append_fcs,
+    check_fcs,
+    crc32,
+    crc32_reference,
+    crc32_update,
+)
+
+
+class TestCrc32KnownVectors:
+    def test_check_value(self):
+        # The standard CRC-32 check vector.
+        assert crc32_reference(b"123456789") == 0xCBF43926
+
+    def test_empty_input(self):
+        assert crc32_reference(b"") == 0x00000000
+
+    def test_single_zero_byte(self):
+        assert crc32_reference(b"\x00") == 0xD202EF8D
+
+    @pytest.mark.parametrize(
+        "data",
+        [b"", b"a", b"hello world", bytes(range(256)), b"\xff" * 64],
+    )
+    def test_fast_path_matches_reference(self, data):
+        assert crc32(data) == crc32_reference(data)
+
+    @pytest.mark.parametrize(
+        "data", [b"", b"x", b"The quick brown fox", bytes(1000)]
+    )
+    def test_matches_zlib(self, data):
+        assert crc32_reference(data) == zlib.crc32(data) & 0xFFFFFFFF
+
+
+class TestCrc32Update:
+    def test_incremental_equals_oneshot(self):
+        data = b"abcdefghij"
+        state = 0xFFFFFFFF
+        state = crc32_update(state, data[:4])
+        state = crc32_update(state, data[4:])
+        assert (state ^ 0xFFFFFFFF) == crc32_reference(data)
+
+
+class TestFcs:
+    def test_append_then_check(self):
+        frame = append_fcs(b"payload bytes here")
+        assert check_fcs(frame)
+
+    def test_detects_single_bit_flip(self):
+        frame = bytearray(append_fcs(b"payload bytes here"))
+        frame[3] ^= 0x01
+        assert not check_fcs(bytes(frame))
+
+    def test_detects_fcs_corruption(self):
+        frame = bytearray(append_fcs(b"payload"))
+        frame[-1] ^= 0x80
+        assert not check_fcs(bytes(frame))
+
+    def test_too_short_fails(self):
+        assert not check_fcs(b"abc")

@@ -1,0 +1,73 @@
+"""Ethernet II framing and the MAC address type."""
+
+import pytest
+
+from repro.framing.ethernet import (
+    BROADCAST,
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    MacAddress,
+)
+
+
+class TestMacAddress:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress(b"\x01\x02")
+
+    def test_from_string_roundtrip(self):
+        mac = MacAddress.from_string("02:60:8c:00:00:01")
+        assert str(mac) == "02:60:8c:00:00:01"
+
+    def test_malformed_string_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress.from_string("02:60:8c:00:00")
+
+    def test_station_addresses_distinct_and_unicast(self):
+        a = MacAddress.station(1)
+        b = MacAddress.station(2)
+        assert a.octets != b.octets
+        assert not a.is_multicast
+
+    def test_broadcast_is_multicast(self):
+        assert BROADCAST.is_multicast
+
+
+class TestEthernetFrame:
+    def _frame(self) -> EthernetFrame:
+        return EthernetFrame(
+            dst=MacAddress.station(2),
+            src=MacAddress.station(1),
+            ethertype=ETHERTYPE_IPV4,
+            payload=b"x" * 50,
+        )
+
+    def test_roundtrip_with_fcs(self):
+        wire = self._frame().to_bytes(with_fcs=True)
+        parsed = EthernetFrame.parse(wire, with_fcs=True)
+        assert parsed == self._frame()
+
+    def test_roundtrip_without_fcs(self):
+        wire = self._frame().to_bytes(with_fcs=False)
+        parsed = EthernetFrame.parse(wire, with_fcs=False)
+        assert parsed.payload == b"x" * 50
+
+    def test_fcs_valid_on_fresh_frame(self):
+        assert EthernetFrame.fcs_ok(self._frame().to_bytes())
+
+    def test_fcs_invalid_after_corruption(self):
+        wire = bytearray(self._frame().to_bytes())
+        wire[20] ^= 0x40
+        assert not EthernetFrame.fcs_ok(bytes(wire))
+
+    def test_parse_tolerates_garbage_fields(self):
+        # Corrupt every header byte: parse must not raise.
+        wire = bytearray(self._frame().to_bytes())
+        for i in range(14):
+            wire[i] ^= 0xFF
+        parsed = EthernetFrame.parse(bytes(wire))
+        assert len(parsed.payload) == 50
+
+    def test_parse_too_short_raises(self):
+        with pytest.raises(ValueError):
+            EthernetFrame.parse(b"short")

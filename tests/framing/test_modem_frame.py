@@ -1,0 +1,26 @@
+"""The WaveLAN modem's network-ID framing."""
+
+import pytest
+
+from repro.framing.modem import DEFAULT_NETWORK_ID, ModemFrame
+
+
+class TestModemFrame:
+    def test_roundtrip(self):
+        frame = ModemFrame(network_id=0x1234, ethernet=b"inner frame")
+        parsed = ModemFrame.parse(frame.to_bytes())
+        assert parsed.network_id == 0x1234
+        assert parsed.ethernet == b"inner frame"
+
+    def test_network_id_is_16_bits(self):
+        frame = ModemFrame(network_id=0x1_FFFF, ethernet=b"")
+        assert ModemFrame.parse(frame.to_bytes()).network_id == 0xFFFF
+
+    def test_matches_configured_id(self):
+        frame = ModemFrame(network_id=DEFAULT_NETWORK_ID, ethernet=b"")
+        assert frame.matches(DEFAULT_NETWORK_ID)
+        assert not frame.matches(DEFAULT_NETWORK_ID ^ 1)
+
+    def test_parse_too_short_raises(self):
+        with pytest.raises(ValueError):
+            ModemFrame.parse(b"\x01")

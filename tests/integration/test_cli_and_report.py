@@ -1,0 +1,62 @@
+"""The CLI surface and the reproduction-report builder."""
+
+import pytest
+
+from repro.experiments.report import ReportLine, ReproductionReport
+
+
+class TestReportContainer:
+    def test_counts(self):
+        report = ReproductionReport()
+        report.add("T1", "q1", "p", "m", True)
+        report.add("T1", "q2", "p", "m", False)
+        assert report.total == 2
+        assert report.in_band_count == 1
+
+    def test_markdown_shape(self):
+        report = ReproductionReport()
+        report.add("T2 baseline", "loss", "<= .07%", "0.03%", True)
+        text = report.markdown()
+        assert "1/1 headline quantities in band" in text
+        assert "| T2 baseline | loss |" in text
+
+    def test_out_of_band_flagged(self):
+        line = ReportLine("T", "q", "p", "m", False)
+        assert "**NO**" in line.markdown()
+
+
+class TestCliExperiments:
+    def test_alias_resolution(self, capsys):
+        """table6/7/9/12/13 and figure2 resolve to their carrier module."""
+        from repro.__main__ import _DUPLICATE_OF, EXPERIMENTS
+
+        for alias, canonical in _DUPLICATE_OF.items():
+            assert canonical in EXPERIMENTS
+
+    def test_all_deduplicates_modules(self):
+        """'all' must not run the same module twice via aliases."""
+        from repro.__main__ import _DUPLICATE_OF, EXPERIMENTS
+
+        modules = [module for module, _, _ in EXPERIMENTS.values()]
+        # figure2 aliases table3's module; both names exist but the
+        # runner dedupes by module object.
+        assert len(set(modules)) < len(modules)
+
+    def test_every_experiment_module_has_run_and_main(self):
+        from repro.__main__ import EXPERIMENTS
+
+        for module, _, _ in EXPERIMENTS.values():
+            assert callable(getattr(module, "run"))
+            assert callable(getattr(module, "main"))
+
+
+@pytest.mark.slow
+class TestReportEndToEnd:
+    def test_small_scale_report_mostly_in_band(self, tmp_path):
+        """A tiny-scale report still lands most quantities in band
+        (the bands are shape claims, not decimals)."""
+        from repro.experiments.report import build_report
+
+        report = build_report(scale=0.1, seed=1996)
+        assert report.total >= 20
+        assert report.in_band_count >= report.total - 3

@@ -1,0 +1,54 @@
+"""The example scripts must run end to end (examples rot otherwise).
+
+The quick ones run in-process on every test run; the heavyweight ones
+are marked slow.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart", capsys)
+        assert "Table-1-style metrics" in out
+        assert "quickstart-office" in out
+        assert "human body" in out
+
+    def test_tcp_over_wireless(self, capsys):
+        out = _run_example("tcp_over_wireless", capsys)
+        assert "desk next to the base station" in out
+        assert "the stairwell" in out
+        # The clean stops finish in about a second.
+        assert " 0.9 s" in out or " 1.0 s" in out
+
+
+@pytest.mark.slow
+class TestSlowExamples:
+    def test_offline_analysis(self, capsys):
+        out = _run_example("offline_analysis", capsys)
+        assert "cheapest rate surviving this link" in out or "no rate" in out
+
+    def test_interference_survey(self, capsys):
+        out = _run_example("interference_survey", capsys)
+        assert "quiet baseline" in out
+        assert "competing WaveLAN, masked" in out

@@ -1,0 +1,48 @@
+"""Front-end overload sources: no effect, per Section 7.1."""
+
+from repro.environment.geometry import Point
+from repro.interference.frontend import AmateurRadioTransmitter, MicrowaveOven
+
+RX = Point(0.0, 0.0)
+TOUCHING = Point(0.1, 0.0)
+
+
+class TestAmateurRadio:
+    def test_default_contributes_nothing(self, rng):
+        ham = AmateurRadioTransmitter(TOUCHING)
+        sample = ham.sample_packet(RX, 29.5, rng)
+        assert sample.signal_sample_dbm is None
+        assert sample.jam_ber == 0.0
+        assert sample.miss_probability == 0.0
+
+    def test_configurable_leakage_raises_silence(self, rng):
+        ham = AmateurRadioTransmitter(TOUCHING, leakage_level=10.0)
+        sample = ham.sample_packet(RX, 29.5, rng)
+        assert sample.silence_sample_dbm is not None
+        assert sample.jam_ber == 0.0
+
+
+class TestMicrowaveOven:
+    def test_900mhz_band_sees_nothing(self, rng):
+        oven = MicrowaveOven(TOUCHING, band_ghz=0.915)
+        for _ in range(20):
+            sample = oven.sample_packet(RX, 29.5, rng)
+            assert sample.signal_sample_dbm is None
+            assert sample.jam_ber == 0.0
+
+    def test_oven_off_sees_nothing(self, rng):
+        oven = MicrowaveOven(TOUCHING, operating=False, band_ghz=2.45)
+        sample = oven.sample_packet(RX, 29.5, rng)
+        assert sample.signal_sample_dbm is None
+
+    def test_24ghz_band_what_if(self, rng):
+        """The paper's caveat: 2.4 GHz units 'would receive more
+        interference' — the what-if knob produces duty-cycled noise."""
+        oven = MicrowaveOven(TOUCHING, band_ghz=2.45)
+        active = 0
+        for _ in range(400):
+            sample = oven.sample_packet(RX, 29.5, rng)
+            if sample.signal_sample_dbm is not None:
+                active += 1
+        # Magnetron duty ~50%.
+        assert 120 < active < 280

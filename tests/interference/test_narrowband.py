@@ -1,0 +1,84 @@
+"""Narrowband phone models: silence-only signature and power control."""
+
+import pytest
+
+from repro.environment.geometry import Point
+from repro.interference.narrowband import AmpsCellPhone, NarrowbandPhonePair
+from repro.units import dbm_to_level
+
+RX = Point(0.0, 0.0)
+NEAR = Point(0.4, 0.3)
+FAR = Point(0.0, 30.0)
+
+
+class TestDsssRejection:
+    """The headline finding of Table 10: narrowband sources damage nothing."""
+
+    @pytest.mark.parametrize(
+        "pair",
+        [
+            NarrowbandPhonePair(NEAR, NEAR),
+            NarrowbandPhonePair(NEAR, FAR, talking=True),
+            NarrowbandPhonePair(FAR, NEAR),
+        ],
+    )
+    def test_no_bit_level_effects(self, pair, rng):
+        for _ in range(20):
+            sample = pair.sample_packet(RX, 26.7, rng)
+            assert sample.jam_ber == 0.0
+            assert sample.miss_probability == 0.0
+            assert sample.truncate_probability == 0.0
+            assert sample.clock_stress == 0.0
+
+    def test_contributes_to_both_agc_samples(self, rng):
+        sample = NarrowbandPhonePair(NEAR, NEAR).sample_packet(RX, 26.7, rng)
+        assert sample.signal_sample_dbm is not None
+        assert sample.silence_sample_dbm is not None
+
+
+class TestPowerControl:
+    """The Table-10 silence ordering fingerprint."""
+
+    def _silence_level(self, pair, rng) -> float:
+        sample = pair.sample_packet(RX, 26.7, rng)
+        return dbm_to_level(sample.silence_sample_dbm)
+
+    def test_bases_near_loudest(self, rng):
+        bases_near = self._silence_level(NarrowbandPhonePair(FAR, NEAR), rng)
+        cluster = self._silence_level(NarrowbandPhonePair(NEAR, NEAR), rng)
+        assert bases_near > cluster
+
+    def test_cluster_beats_idle_handsets(self, rng):
+        cluster = self._silence_level(NarrowbandPhonePair(NEAR, NEAR), rng)
+        handsets = self._silence_level(NarrowbandPhonePair(NEAR, FAR), rng)
+        assert cluster > handsets
+
+    def test_talking_handsets_quietest(self, rng):
+        idle = self._silence_level(NarrowbandPhonePair(NEAR, FAR), rng)
+        talking = self._silence_level(
+            NarrowbandPhonePair(NEAR, FAR, talking=True), rng
+        )
+        assert talking < idle
+
+    def test_power_control_can_be_disabled(self, rng):
+        controlled = self._silence_level(
+            NarrowbandPhonePair(NEAR, NEAR, power_control=True), rng
+        )
+        uncontrolled = self._silence_level(
+            NarrowbandPhonePair(NEAR, NEAR, power_control=False), rng
+        )
+        assert uncontrolled > controlled
+
+
+class TestAmpsPhone:
+    def test_no_errors_ever(self, rng):
+        phone = AmpsCellPhone(NEAR)
+        sample = phone.sample_packet(RX, 26.7, rng)
+        assert sample.jam_ber == 0.0
+        assert sample.miss_probability == 0.0
+
+    def test_off_phone_contributes_nothing(self, rng):
+        phone = AmpsCellPhone(NEAR, transmitting=False)
+        sample = phone.sample_packet(RX, 26.7, rng)
+        assert sample.signal_sample_dbm is None
+        assert sample.silence_sample_dbm is None

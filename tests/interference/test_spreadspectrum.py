@@ -1,0 +1,112 @@
+"""Spread-spectrum phone: the knife-edge near/far signature."""
+
+from repro.environment.geometry import Point
+from repro.interference.spreadspectrum import SpreadSpectrumPhonePair
+
+RX = Point(0.0, 0.0)
+NEAR = Point(0.4, 0.3)
+FAR = Point(11.0, 8.7)
+ACROSS = Point(0.0, 30.0)
+SIGNAL = 29.6
+
+
+def _mean_effects(pair, rng, n=400):
+    miss = trunc = jam = 0.0
+    for _ in range(n):
+        sample = pair.sample_packet(RX, SIGNAL, rng)
+        miss += sample.miss_probability
+        trunc += sample.truncate_probability
+        jam += sample.jam_ber
+    return miss / n, trunc / n, jam / n
+
+
+class TestBaseNearStomps:
+    def test_half_loss_full_truncation(self, rng):
+        pair = SpreadSpectrumPhonePair(
+            handset_position=FAR, base_position=NEAR, base_level_at_1ft=31.5
+        )
+        miss, trunc, _ = _mean_effects(pair, rng)
+        assert 0.35 < miss < 0.65  # ~50% loss (Table 11)
+        assert trunc > 0.85  # ~100% truncation of survivors
+
+
+class TestRemoteIsHarmless:
+    def test_below_capture_cutoff_no_effects(self, rng):
+        pair = SpreadSpectrumPhonePair(
+            handset_position=FAR,
+            base_position=Point(12.5, 8.7),
+            base_level_at_1ft=31.5,
+        )
+        miss, trunc, jam = _mean_effects(pair, rng, n=200)
+        assert miss == 0.0
+        assert trunc == 0.0
+        assert jam == 0.0
+
+    def test_still_raises_silence(self, rng):
+        pair = SpreadSpectrumPhonePair(
+            handset_position=FAR,
+            base_position=Point(12.5, 8.7),
+            base_level_at_1ft=31.5,
+        )
+        silences = [
+            pair.sample_packet(RX, SIGNAL, rng).silence_sample_dbm
+            for _ in range(200)
+        ]
+        active = [s for s in silences if s is not None]
+        assert len(active) > 100  # high AGC duty
+
+
+class TestHandsetIntermediate:
+    def _pair(self):
+        return SpreadSpectrumPhonePair(
+            handset_position=NEAR,
+            base_position=ACROSS,
+            handset_level_at_1ft=23.5,
+        )
+
+    def test_small_loss_small_truncation(self, rng):
+        miss, trunc, _ = _mean_effects(self._pair(), rng)
+        assert miss < 0.05
+        assert trunc < 0.10
+
+    def test_substantial_jam_ber(self, rng):
+        _, _, jam = _mean_effects(self._pair(), rng)
+        # Mean effective BER in the 1e-3 .. 1e-1 band: frequent but
+        # minor corruption (Table 11: 59 % of packets body-damaged).
+        assert 1e-3 < jam < 1e-1
+
+    def test_samples_are_bursty(self, rng):
+        sample = self._pair().sample_packet(RX, SIGNAL, rng)
+        assert sample.bursty
+
+
+class TestQuietPhone:
+    def test_not_talking_contributes_nothing(self, rng):
+        pair = SpreadSpectrumPhonePair(
+            handset_position=NEAR, base_position=NEAR, talking=False
+        )
+        sample = pair.sample_packet(RX, SIGNAL, rng)
+        assert sample.signal_sample_dbm is None
+        assert sample.miss_probability == 0.0
+
+
+class TestCutoffBoundary:
+    def test_cutoff_is_sharp(self, rng):
+        """Effects vanish entirely below the capture cutoff — the model
+        mechanism behind the paper's near/far knife edge."""
+        # Margin just above cutoff: some effect.
+        hot = SpreadSpectrumPhonePair(
+            handset_position=FAR,
+            base_position=Point(5.0, 0.0),  # base at 5 ft: level ~24.5
+            base_level_at_1ft=31.5,
+        )
+        _, _, jam_hot = _mean_effects(hot, rng, n=300)
+        assert jam_hot > 0.0
+        # Same phone pushed far enough that the margin drops below cutoff.
+        cold = SpreadSpectrumPhonePair(
+            handset_position=FAR,
+            base_position=Point(14.0, 0.0),  # level ~20 => margin < -8
+            base_level_at_1ft=31.5,
+        )
+        _, _, jam_cold = _mean_effects(cold, rng, n=300)
+        assert jam_cold == 0.0

@@ -1,0 +1,53 @@
+"""Competing WaveLAN transmitters: masked vs unmasked regimes."""
+
+from repro.environment.geometry import Point
+from repro.interference.wavelan import CompetingWaveLanTransmitter
+
+RX = Point(0.0, 0.0)
+# 30 ft away with default emitted power: received level ~30.5.
+NEARBY = Point(30.0, 0.0)
+
+
+class TestMasking:
+    def test_received_level_from_geometry(self):
+        tx = CompetingWaveLanTransmitter(NEARBY)
+        assert 28.0 < tx.received_level(RX) < 34.0
+
+    def test_masked_when_threshold_above_level(self):
+        tx = CompetingWaveLanTransmitter(
+            NEARBY, level_at_1ft=20.0, victim_receive_threshold=25
+        )
+        assert tx.masked_at(RX)  # ~5.2 at 30 ft
+
+    def test_unmasked_at_default_threshold(self):
+        tx = CompetingWaveLanTransmitter(NEARBY, victim_receive_threshold=3)
+        assert not tx.masked_at(RX)
+
+
+class TestEffects:
+    def test_masked_contributes_silence_only(self, rng):
+        tx = CompetingWaveLanTransmitter(
+            NEARBY, level_at_1ft=24.0, victim_receive_threshold=25
+        )
+        assert tx.masked_at(RX)
+        sample = tx.sample_packet(RX, 28.6, rng)
+        assert sample.silence_sample_dbm is not None
+        assert sample.jam_ber == 0.0
+        assert sample.miss_probability == 0.0
+        assert sample.truncate_probability == 0.0
+
+    def test_unmasked_is_devastating(self, rng):
+        tx = CompetingWaveLanTransmitter(NEARBY, victim_receive_threshold=3)
+        sample = tx.sample_packet(RX, 28.6, rng)
+        assert sample.miss_probability > 0.5
+        assert sample.truncate_probability > 0.3
+        assert sample.jam_ber > 0.0
+        assert sample.clock_stress > 0.0
+
+    def test_duty_cycle_respected(self, rng):
+        tx = CompetingWaveLanTransmitter(
+            NEARBY, duty=0.0, victim_receive_threshold=3
+        )
+        sample = tx.sample_packet(RX, 28.6, rng)
+        assert sample.signal_sample_dbm is None
+        assert sample.miss_probability == 0.0

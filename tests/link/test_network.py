@@ -1,0 +1,56 @@
+"""The WaveLanNetwork wiring helper."""
+
+from repro.environment.geometry import Point
+from repro.environment.propagation import PropagationModel
+from repro.link.network import WaveLanNetwork
+from repro.phy.modem import ModemConfig
+
+
+class TestWaveLanNetwork:
+    def _network(self) -> WaveLanNetwork:
+        return WaveLanNetwork.create(PropagationModel.office(), seed=7)
+
+    def test_add_station_registers_everywhere(self):
+        network = self._network()
+        station = network.add_station(1, Point(0, 0))
+        assert network.stations[1] is station
+        assert 1 in network.macs
+        assert 1 in network.channel.stations
+
+    def test_station_without_mac(self):
+        network = self._network()
+        network.add_station(2, Point(5, 0), with_mac=False)
+        assert 2 not in network.macs
+
+    def test_send_delivers(self):
+        network = self._network()
+        network.add_station(1, Point(0, 0))
+        receiver = network.add_station(2, Point(8, 0), with_mac=False)
+        frame = bytes(range(100))
+        network.send(1, frame)
+        network.run_for(0.05)
+        assert [f.data for f in receiver.log] == [frame]
+
+    def test_modem_config_honoured(self):
+        network = self._network()
+        network.add_station(1, Point(0, 0))
+        masked = network.add_station(
+            2, Point(8, 0), ModemConfig(receive_threshold=35), with_mac=False
+        )
+        network.send(1, bytes(100))
+        network.run_for(0.05)
+        assert masked.log == []
+
+    def test_saturate_keeps_transmitting(self):
+        network = self._network()
+        network.add_station(1, Point(0, 0), ModemConfig(receive_threshold=35))
+        receiver = network.add_station(2, Point(8, 0), with_mac=False)
+        network.saturate(1, bytes(1072))
+        network.run_for(0.1)
+        # ~0.1s / 4.3ms per frame => ~20 frames.
+        assert len(receiver.log) >= 15
+
+    def test_run_for_advances_clock(self):
+        network = self._network()
+        network.run_for(1.5)
+        assert network.sim.now == 1.5

@@ -1,0 +1,40 @@
+"""LinkStation wiring."""
+
+from repro.environment.geometry import Point
+from repro.link.station import LinkStation, ReceivedFrame
+from repro.phy.modem import ModemConfig, ModemRxStatus
+
+
+class TestTracingStation:
+    def test_promiscuous_no_crc(self):
+        station = LinkStation.tracing_station(1, Point(0, 0))
+        assert station.controller.config.promiscuous
+        assert not station.controller.config.check_crc
+
+    def test_modem_config_applied(self):
+        station = LinkStation.tracing_station(
+            1, Point(0, 0), ModemConfig(receive_threshold=25)
+        )
+        assert station.receive_threshold == 25
+
+    def test_default_controller_uses_station_address(self):
+        station = LinkStation.tracing_station(7, Point(0, 0))
+        assert (
+            station.controller.config.station_address.octets
+            == station.mac_address.octets
+        )
+
+
+class TestDelivery:
+    def test_deliver_appends_and_notifies(self):
+        received = []
+        station = LinkStation.tracing_station(1, Point(0, 0))
+        station.on_receive = received.append
+        frame = ReceivedFrame(
+            data=b"abc",
+            status=ModemRxStatus(30, 3, 15, 0),
+            time=1.5,
+        )
+        station.deliver(frame)
+        assert station.log == [frame]
+        assert received == [frame]

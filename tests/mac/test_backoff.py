@@ -1,0 +1,53 @@
+"""Truncated binary exponential backoff."""
+
+import numpy as np
+import pytest
+
+from repro.mac.backoff import BackoffPolicy
+
+
+class TestWindow:
+    def test_window_doubles(self):
+        policy = BackoffPolicy()
+        assert policy.window_slots(1) == 2
+        assert policy.window_slots(2) == 4
+        assert policy.window_slots(5) == 32
+
+    def test_window_truncated_at_ceiling(self):
+        policy = BackoffPolicy(ceiling=10)
+        assert policy.window_slots(10) == 1024
+        assert policy.window_slots(15) == 1024
+
+    def test_attempt_zero_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy().window_slots(0)
+
+
+class TestDelay:
+    def test_delay_within_window(self, rng):
+        policy = BackoffPolicy(slot_time_s=50e-6)
+        for attempt in (1, 3, 12):
+            for _ in range(50):
+                delay = policy.delay(attempt, rng)
+                max_delay = policy.window_slots(attempt) * policy.slot_time_s
+                assert 0.0 <= delay < max_delay
+
+    def test_delay_is_slot_quantized(self, rng):
+        policy = BackoffPolicy(slot_time_s=50e-6)
+        delay = policy.delay(4, rng)
+        slots = delay / policy.slot_time_s
+        assert slots == pytest.approx(round(slots))
+
+    def test_mean_delay_grows_with_attempts(self, rng):
+        policy = BackoffPolicy()
+        early = np.mean([policy.delay(1, rng) for _ in range(500)])
+        late = np.mean([policy.delay(6, rng) for _ in range(500)])
+        assert late > early * 4
+
+
+class TestExhaustion:
+    def test_exhausted_at_max_attempts(self):
+        policy = BackoffPolicy(max_attempts=16)
+        assert not policy.exhausted(15)
+        assert policy.exhausted(16)
+        assert policy.exhausted(20)

@@ -1,0 +1,88 @@
+"""The 82593 controller's receive filters."""
+
+import pytest
+
+from repro.framing.crc import append_fcs
+from repro.framing.ethernet import BROADCAST, MacAddress
+from repro.framing.modem import DEFAULT_NETWORK_ID
+from repro.mac.controller import ControllerConfig, LanController, RxFrameStatus
+
+MY_MAC = MacAddress.station(2)
+OTHER_MAC = MacAddress.station(9)
+
+
+def _modem_frame(
+    dst: MacAddress,
+    network_id: int = DEFAULT_NETWORK_ID,
+    corrupt_crc: bool = False,
+) -> bytes:
+    eth = dst.octets + MacAddress.station(1).octets + b"\x08\x00" + b"payload" * 8
+    wire = append_fcs(eth)
+    if corrupt_crc:
+        wire = wire[:-1] + bytes([wire[-1] ^ 0xFF])
+    return network_id.to_bytes(2, "big") + wire
+
+
+@pytest.fixture
+def controller() -> LanController:
+    return LanController(ControllerConfig(station_address=MY_MAC))
+
+
+@pytest.fixture
+def promiscuous() -> LanController:
+    return LanController(
+        ControllerConfig(station_address=MY_MAC, promiscuous=True, check_crc=False)
+    )
+
+
+class TestNormalFiltering:
+    def test_accepts_own_address(self, controller):
+        result = controller.receive(_modem_frame(MY_MAC))
+        assert result.status is RxFrameStatus.ACCEPTED
+        assert result.crc_ok
+
+    def test_accepts_broadcast(self, controller):
+        assert controller.receive(_modem_frame(BROADCAST)).delivered
+
+    def test_rejects_foreign_address(self, controller):
+        result = controller.receive(_modem_frame(OTHER_MAC))
+        assert result.status is RxFrameStatus.ADDRESS_MISMATCH
+
+    def test_rejects_wrong_network_id(self, controller):
+        result = controller.receive(_modem_frame(MY_MAC, network_id=0xBEEF))
+        assert result.status is RxFrameStatus.WRONG_NETWORK_ID
+
+    def test_rejects_bad_crc(self, controller):
+        result = controller.receive(_modem_frame(MY_MAC, corrupt_crc=True))
+        assert result.status is RxFrameStatus.CRC_ERROR
+
+    def test_runt_frame(self, controller):
+        assert controller.receive(b"\x01").status is RxFrameStatus.RUNT
+        # Correct network ID but an ethernet header too short to parse.
+        short = DEFAULT_NETWORK_ID.to_bytes(2, "big") + b"\x03\x04"
+        assert controller.receive(short).status is RxFrameStatus.RUNT
+
+    def test_stats_counted(self, controller):
+        controller.receive(_modem_frame(MY_MAC))
+        controller.receive(_modem_frame(OTHER_MAC))
+        assert controller.stats[RxFrameStatus.ACCEPTED] == 1
+        assert controller.stats[RxFrameStatus.ADDRESS_MISMATCH] == 1
+
+
+class TestPromiscuousTracing:
+    """The paper's configuration: everything is logged, CRC verdicts
+    computed but not enforced."""
+
+    def test_accepts_foreign_address(self, promiscuous):
+        assert promiscuous.receive(_modem_frame(OTHER_MAC)).delivered
+
+    def test_accepts_wrong_network_id(self, promiscuous):
+        assert promiscuous.receive(_modem_frame(MY_MAC, network_id=0xBEEF)).delivered
+
+    def test_accepts_bad_crc_but_reports_it(self, promiscuous):
+        result = promiscuous.receive(_modem_frame(MY_MAC, corrupt_crc=True))
+        assert result.delivered
+        assert result.crc_ok is False
+
+    def test_good_crc_reported(self, promiscuous):
+        assert promiscuous.receive(_modem_frame(MY_MAC)).crc_ok is True

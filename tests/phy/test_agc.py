@@ -1,0 +1,58 @@
+"""AGC power summation and register readings."""
+
+import pytest
+
+from repro.phy.agc import AgcModel, power_sum_dbm
+from repro.units import level_to_dbm
+
+
+class TestPowerSum:
+    def test_all_none_is_none(self):
+        assert power_sum_dbm([None, None]) is None
+
+    def test_single_component_identity(self):
+        assert power_sum_dbm([-20.0]) == pytest.approx(-20.0)
+
+    def test_equal_components_add_3db(self):
+        assert power_sum_dbm([-20.0, -20.0]) == pytest.approx(-16.99, abs=0.01)
+
+    def test_dominant_component_wins(self):
+        # A component 20 dB down moves the sum by < 0.05 dB.
+        assert power_sum_dbm([-10.0, -30.0]) == pytest.approx(-10.0, abs=0.05)
+
+    def test_none_entries_skipped(self):
+        assert power_sum_dbm([None, -15.0, None]) == pytest.approx(-15.0)
+
+
+class TestAgcReadings:
+    def test_clean_signal_reads_its_level(self, rng):
+        agc = AgcModel(reading_jitter_sd=0.0)
+        assert agc.signal_reading(29.5, (), rng) == 30 or agc.signal_reading(
+            29.5, (), rng
+        ) == 29
+
+    def test_interference_inflates_signal_reading(self, rng):
+        """The Table 12/14 signature: the AGC reads signal+interference."""
+        agc = AgcModel(reading_jitter_sd=0.0)
+        clean = agc.signal_reading(29.5)
+        inflated = agc.signal_reading(29.5, [level_to_dbm(33.0)])
+        assert inflated >= clean + 3
+
+    def test_silence_reads_ambient_when_quiet(self):
+        agc = AgcModel(reading_jitter_sd=0.0)
+        assert agc.silence_reading(2.8) == 3
+
+    def test_silence_reads_interferer(self):
+        agc = AgcModel(reading_jitter_sd=0.0)
+        reading = agc.silence_reading(2.8, [level_to_dbm(19.3)])
+        assert reading == pytest.approx(19, abs=1)
+
+    def test_reading_is_clamped_to_register(self, rng):
+        agc = AgcModel()
+        assert 0 <= agc.signal_reading(-50.0, (), rng) <= 63
+        assert agc.signal_reading(200.0, (), rng) == 63
+
+    def test_jitter_produces_spread(self, rng):
+        agc = AgcModel(reading_jitter_sd=0.35)
+        readings = {agc.signal_reading(29.5, (), rng) for _ in range(200)}
+        assert len(readings) >= 2

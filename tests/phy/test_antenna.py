@@ -1,0 +1,47 @@
+"""Dual-antenna selection diversity."""
+
+import numpy as np
+
+from repro.phy.antenna import AntennaDiversity
+
+
+class TestSelection:
+    def test_picks_stronger_branch(self, rng):
+        diversity = AntennaDiversity(fading_sd=1.0)
+        for _ in range(100):
+            selection = diversity.select(20.0, rng)
+            assert selection.level == max(selection.branch_levels)
+            assert selection.antenna in (0, 1)
+
+    def test_both_antennas_used(self, rng):
+        diversity = AntennaDiversity()
+        antennas = {diversity.select(20.0, rng).antenna for _ in range(200)}
+        assert antennas == {0, 1}
+
+    def test_selection_bias_is_positive(self, rng):
+        """Max of two fades has positive mean: E[max] = sd/sqrt(pi)."""
+        diversity = AntennaDiversity(fading_sd=0.55)
+        levels = [diversity.select(20.0, rng).level for _ in range(20_000)]
+        expected_bias = 0.55 / np.sqrt(np.pi)
+        assert abs(np.mean(levels) - 20.0 - expected_bias) < 0.02
+
+    def test_zero_fading_deterministic(self, rng):
+        diversity = AntennaDiversity(fading_sd=0.0)
+        selection = diversity.select(15.0, rng)
+        assert selection.level == 15.0
+
+
+class TestBulkSelection:
+    def test_bulk_matches_distribution(self, rng):
+        diversity = AntennaDiversity(fading_sd=0.55)
+        levels, antennas = diversity.select_bulk(20.0, 20_000, rng)
+        assert levels.shape == (20_000,)
+        assert set(np.unique(antennas)) <= {0, 1}
+        expected_bias = 0.55 / np.sqrt(np.pi)
+        assert abs(levels.mean() - 20.0 - expected_bias) < 0.03
+
+    def test_bulk_levels_are_branch_maxima(self, rng):
+        diversity = AntennaDiversity(fading_sd=2.0)
+        levels, _ = diversity.select_bulk(10.0, 5_000, rng)
+        # Selection can only raise the median relative to one branch.
+        assert np.median(levels) > 10.0

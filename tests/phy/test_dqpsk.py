@@ -1,0 +1,35 @@
+"""DQPSK BER theory curve."""
+
+import pytest
+
+from repro.phy.dqpsk import dqpsk_ber, required_eb_n0_db
+
+
+class TestDqpskBer:
+    def test_approaches_half_at_terrible_snr(self):
+        assert dqpsk_ber(-50.0) == pytest.approx(0.5, abs=1e-4)
+        assert dqpsk_ber(-50.0) <= 0.5
+
+    def test_monotone_decreasing(self):
+        bers = [dqpsk_ber(snr) for snr in range(-10, 20)]
+        assert bers == sorted(bers, reverse=True)
+
+    def test_good_snr_is_effectively_error_free(self):
+        assert dqpsk_ber(14.0) < 1e-6
+
+    def test_moderate_snr_ballpark(self):
+        # DQPSK needs roughly 12-13 dB Eb/N0 for 1e-5 (about 2.3 dB
+        # worse than coherent QPSK).
+        assert 11.0 < required_eb_n0_db(1e-5) < 14.0
+
+
+class TestInverse:
+    @pytest.mark.parametrize("target", [1e-2, 1e-4, 1e-6, 1e-9])
+    def test_roundtrip(self, target):
+        assert dqpsk_ber(required_eb_n0_db(target)) == pytest.approx(target)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            required_eb_n0_db(0.0)
+        with pytest.raises(ValueError):
+            required_eb_n0_db(0.6)

@@ -1,0 +1,82 @@
+"""Chip-level DSSS: the mechanism behind narrowband jam resistance."""
+
+import numpy as np
+import pytest
+
+from repro.phy.dsss import BARKER_11, CHIPS_PER_BIT, DsssCodec, processing_gain_db
+
+
+class TestBarkerSequence:
+    def test_length_11(self):
+        assert len(BARKER_11) == CHIPS_PER_BIT == 11
+
+    def test_chips_are_plus_minus_one(self):
+        assert set(np.abs(BARKER_11).tolist()) == {1}
+
+    def test_barker_autocorrelation_sidelobes(self):
+        """Barker property: all off-peak autocorrelation magnitudes <= 1 —
+        the 'very low self-correlation' of Section 8."""
+        auto = DsssCodec().autocorrelation()
+        assert auto[0] == 11
+        assert (np.abs(auto[1:]) <= 1).all()
+
+    def test_processing_gain(self):
+        assert processing_gain_db() == pytest.approx(10.41, abs=0.01)
+
+
+class TestCodecValidation:
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            DsssCodec(np.array([], dtype=np.int8))
+
+    def test_non_unit_chips_rejected(self):
+        with pytest.raises(ValueError):
+            DsssCodec(np.array([1, 2, -1], dtype=np.int8))
+
+
+class TestSpreadDespread:
+    def test_roundtrip(self, rng):
+        codec = DsssCodec()
+        bits = rng.integers(0, 2, 200).astype(np.uint8)
+        assert np.array_equal(codec.despread(codec.spread(bits)), bits)
+
+    def test_spread_length(self):
+        codec = DsssCodec()
+        chips = codec.spread(np.array([0, 1, 1], dtype=np.uint8))
+        assert len(chips) == 3 * 11
+
+    def test_tolerates_5_chip_flips_per_bit(self, rng):
+        """Flipping up to 5 of 11 chips never corrupts a bit — the
+        arithmetic core of DSSS noise tolerance."""
+        codec = DsssCodec()
+        bits = rng.integers(0, 2, 50).astype(np.uint8)
+        chips = codec.spread(bits).astype(np.int32)
+        for bit_index in range(50):
+            flip_at = rng.choice(11, size=5, replace=False) + bit_index * 11
+            chips[flip_at] *= -1
+        assert np.array_equal(codec.despread(chips), bits)
+
+    def test_six_flips_corrupts(self):
+        codec = DsssCodec()
+        chips = codec.spread(np.array([1], dtype=np.uint8)).astype(np.int32)
+        chips[:6] *= -1
+        assert codec.despread(chips)[0] == 0
+
+    def test_chip_error_tolerance_value(self):
+        assert DsssCodec().chip_error_tolerance() == 5
+
+    def test_misaligned_chip_count_rejected(self):
+        with pytest.raises(ValueError):
+            DsssCodec().despread(np.ones(12, dtype=np.int32))
+
+
+class TestCrossCorrelation:
+    def test_self_peak(self):
+        codec = DsssCodec()
+        assert codec.cross_correlation(codec) == 11
+
+    def test_length_mismatch_rejected(self):
+        a = DsssCodec()
+        b = DsssCodec(np.array([1, -1, 1], dtype=np.int8))
+        with pytest.raises(ValueError):
+            a.cross_correlation(b)

@@ -1,0 +1,122 @@
+"""The Gilbert-Elliott burst error process."""
+
+import numpy as np
+import pytest
+
+from repro.phy.gilbert import GilbertElliott
+
+
+class TestParameters:
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliott(p_good_to_bad=0.0)
+        with pytest.raises(ValueError):
+            GilbertElliott(p_bad_to_good=1.5)
+        with pytest.raises(ValueError):
+            GilbertElliott(bad_ber=0.9)
+
+    def test_stationary_fraction(self):
+        channel = GilbertElliott(p_good_to_bad=0.01, p_bad_to_good=0.09)
+        assert channel.stationary_bad_fraction == pytest.approx(0.1)
+
+    def test_mean_ber_formula(self):
+        channel = GilbertElliott(
+            p_good_to_bad=0.01, p_bad_to_good=0.09, good_ber=0.0, bad_ber=0.3
+        )
+        assert channel.mean_ber == pytest.approx(0.03)
+
+    def test_mean_burst_length(self):
+        channel = GilbertElliott(p_bad_to_good=0.1)
+        assert channel.mean_burst_bits == pytest.approx(10.0)
+
+
+class TestSampling:
+    def test_positions_sorted_unique_in_range(self, rng):
+        channel = GilbertElliott()
+        positions = channel.error_positions(50_000, rng)
+        assert (np.diff(positions) > 0).all()
+        assert positions.min() >= 0 and positions.max() < 50_000
+
+    def test_empty_stream(self, rng):
+        assert len(GilbertElliott().error_positions(0, rng)) == 0
+
+    def test_empirical_ber_matches_stationary(self, rng):
+        channel = GilbertElliott(
+            p_good_to_bad=1e-3, p_bad_to_good=0.05, good_ber=0.0, bad_ber=0.25
+        )
+        n = 2_000_000
+        errors = len(channel.error_positions(n, rng))
+        assert errors / n == pytest.approx(channel.mean_ber, rel=0.15)
+
+    def test_errors_are_clustered(self, rng):
+        """The burstiness property: error gaps are far more skewed than
+        an i.i.d. channel at the same rate."""
+        channel = GilbertElliott(
+            p_good_to_bad=2e-4, p_bad_to_good=0.05, good_ber=0.0, bad_ber=0.25
+        )
+        positions = channel.error_positions(3_000_000, rng)
+        gaps = np.diff(positions)
+        # Many tiny gaps (inside bursts) AND some huge gaps (between).
+        assert np.median(gaps) < 20
+        assert np.percentile(gaps, 99) > 500
+
+    def test_apply_flips_exactly_sampled_positions(self, rng):
+        channel = GilbertElliott()
+        bits = np.zeros(10_000, dtype=np.uint8)
+        out = channel.apply(bits, rng)
+        assert set(np.unique(out)) <= {0, 1}
+
+    def test_forced_start_state(self, rng):
+        hot = GilbertElliott(
+            p_good_to_bad=1e-6, p_bad_to_good=1e-6, good_ber=0.0, bad_ber=0.5
+        )
+        # Starting BAD with a nearly absorbing chain: errors everywhere.
+        errors_bad = len(hot.error_positions(10_000, rng, start_bad=True))
+        errors_good = len(hot.error_positions(10_000, rng, start_bad=False))
+        assert errors_bad > 4_000
+        assert errors_good == 0
+
+
+class TestCalibration:
+    def test_calibrated_to_syndromes(self):
+        channel = GilbertElliott.calibrated_to_syndromes(
+            mean_burst_bits=12.0, mean_ber=1e-3
+        )
+        assert channel.mean_burst_bits == pytest.approx(12.0)
+        assert channel.mean_ber == pytest.approx(1e-3, rel=0.01)
+
+    def test_bad_burst_length_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliott.calibrated_to_syndromes(0.5, 1e-3)
+
+
+class TestScramble:
+    """The length-preserving interleaver permutation (added for the
+    burst ablation; lives in repro.fec.interleave)."""
+
+    def test_roundtrip_any_length(self, rng):
+        from repro.fec.interleave import BlockInterleaver
+
+        interleaver = BlockInterleaver(16, 64)
+        for n in (1, 100, 1024, 2311):
+            bits = rng.integers(0, 2, n).astype(np.uint8)
+            assert np.array_equal(
+                interleaver.unscramble(interleaver.scramble(bits)), bits
+            )
+
+    def test_scramble_is_length_preserving(self, rng):
+        from repro.fec.interleave import BlockInterleaver
+
+        interleaver = BlockInterleaver(16, 64)
+        bits = rng.integers(0, 2, 2311).astype(np.uint8)
+        assert len(interleaver.scramble(bits)) == 2311
+
+    def test_scramble_spreads_bursts(self, rng):
+        from repro.fec.interleave import BlockInterleaver
+
+        interleaver = BlockInterleaver(16, 64)
+        n = 2048
+        perm = interleaver.permutation(n)
+        # A 20-bit wire burst maps to source positions far apart.
+        burst_sources = perm[500:520]
+        assert np.median(np.abs(np.diff(np.sort(burst_sources)))) >= 16

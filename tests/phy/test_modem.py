@@ -1,0 +1,111 @@
+"""The modem control unit: thresholds, status, fate application."""
+
+import numpy as np
+import pytest
+
+from repro.phy.errormodel import InterferenceSample, PacketFate
+from repro.phy.modem import (
+    ModemConfig,
+    RxDisposition,
+    WaveLanModem,
+)
+
+
+@pytest.fixture
+def modem() -> WaveLanModem:
+    return WaveLanModem()
+
+
+FRAME = bytes(range(256)) * 4  # 1024 arbitrary bytes
+
+
+class TestReceivePipeline:
+    def test_strong_clean_delivery(self, modem, rng):
+        reception = modem.receive(FRAME, 29.5, 2.8, rng)
+        assert reception.disposition is RxDisposition.DELIVERED
+        assert reception.data == FRAME
+        assert 27 <= reception.status.signal_level <= 32
+        assert reception.status.signal_quality >= 13
+        assert reception.status.antenna in (0, 1)
+
+    def test_hopeless_level_missed(self, modem, rng):
+        dispositions = {
+            modem.receive(FRAME, -5.0, 2.8, rng).disposition for _ in range(50)
+        }
+        assert dispositions == {RxDisposition.MISSED}
+
+    def test_threshold_filters_weak_packets(self, rng):
+        modem = WaveLanModem(config=ModemConfig(receive_threshold=25))
+        outcomes = [
+            modem.receive(FRAME, 15.0, 2.8, rng).disposition for _ in range(100)
+        ]
+        assert all(d is RxDisposition.THRESHOLD_FILTERED for d in outcomes)
+
+    def test_threshold_jitter_makes_imperfect_boundary(self, rng):
+        """Figure 3: filtering near the signal level is partial."""
+        modem = WaveLanModem(config=ModemConfig(receive_threshold=15))
+        outcomes = [
+            modem.receive(FRAME, 15.0, 2.8, rng).disposition for _ in range(400)
+        ]
+        filtered = sum(1 for d in outcomes if d is RxDisposition.THRESHOLD_FILTERED)
+        delivered = sum(1 for d in outcomes if d is RxDisposition.DELIVERED)
+        assert filtered > 20
+        assert delivered > 20
+
+    def test_quality_threshold_filters(self, rng):
+        modem = WaveLanModem(config=ModemConfig(quality_threshold=16))
+        reception = modem.receive(FRAME, 29.5, 2.8, rng)
+        assert reception.disposition is RxDisposition.QUALITY_FILTERED
+
+    def test_interference_inflates_silence(self, modem, rng):
+        jam = InterferenceSample(
+            source_name="phone",
+            silence_sample_dbm=-40.0,  # ~level 16
+        )
+        reception = modem.receive(FRAME, 29.5, 2.8, rng, [jam])
+        assert reception.status.silence_level >= 14
+
+
+class TestApplyFate:
+    def test_truncation(self):
+        fate = PacketFate(
+            missed=False,
+            truncated_at_byte=100,
+            flipped_bits=np.empty(0, dtype=np.int64),
+            stress=4.0,
+            quality=10,
+        )
+        assert WaveLanModem.apply_fate(FRAME, fate) == FRAME[:100]
+
+    def test_bit_flips(self):
+        fate = PacketFate(
+            missed=False,
+            truncated_at_byte=None,
+            flipped_bits=np.array([0, 15]),
+            stress=0.0,
+            quality=15,
+        )
+        damaged = WaveLanModem.apply_fate(FRAME, fate)
+        assert damaged[0] == FRAME[0] ^ 0x80
+        assert damaged[1] == FRAME[1] ^ 0x01
+        assert damaged[2:] == FRAME[2:]
+
+    def test_flips_then_truncation(self):
+        fate = PacketFate(
+            missed=False,
+            truncated_at_byte=1,
+            flipped_bits=np.array([3]),
+            stress=4.0,
+            quality=9,
+        )
+        damaged = WaveLanModem.apply_fate(FRAME, fate)
+        assert len(damaged) == 1
+        assert damaged[0] == FRAME[0] ^ 0x10
+
+
+class TestCarrierSense:
+    def test_threshold_hides_carrier(self):
+        modem = WaveLanModem(config=ModemConfig(receive_threshold=25))
+        assert not modem.senses_carrier(20)
+        assert modem.senses_carrier(25)
+        assert modem.senses_carrier(30)

@@ -1,0 +1,98 @@
+"""The clock-stress / quality model."""
+
+import numpy as np
+import pytest
+
+from repro.phy.quality import ClockStressModel, ClockStressParams
+
+
+@pytest.fixture
+def model() -> ClockStressModel:
+    return ClockStressModel(ClockStressParams())
+
+
+class TestMeanStress:
+    def test_zero_above_onset(self, model):
+        assert model.mean_stress(10.0) == 0.0
+        assert model.mean_stress(29.5) == 0.0
+
+    def test_rises_below_onset(self, model):
+        assert model.mean_stress(5.0) > model.mean_stress(6.0) > 0.0
+
+
+class TestSampledStress:
+    def test_non_negative(self, model, rng):
+        for level in (2.0, 6.0, 12.0, 30.0):
+            for _ in range(50):
+                assert model.sample_stress(level, 0.0, rng) >= 0.0
+
+    def test_healthy_link_stress_mostly_zero(self, model, rng):
+        """At strong levels the shifted draw clips to zero almost always,
+        keeping undamaged quality pinned at 15 (paper Tables 4/6)."""
+        draws = [model.sample_stress(29.5, 0.0, rng) for _ in range(2_000)]
+        assert np.mean(np.array(draws) > 0.5) < 0.1
+
+    def test_interference_stress_adds(self, model, rng):
+        base = [model.sample_stress(29.5, 0.0, rng) for _ in range(500)]
+        jammed = [model.sample_stress(29.5, 6.0, rng) for _ in range(500)]
+        assert np.mean(jammed) > np.mean(base) + 5.0
+
+    def test_bulk_matches_scalar_distribution(self, model, rng):
+        bulk = model.sample_stress_bulk(np.full(20_000, 5.5), rng)
+        scalar = [model.sample_stress(5.5, 0.0, rng) for _ in range(20_000)]
+        assert abs(bulk.mean() - np.mean(scalar)) < 0.05
+
+
+class TestTruncationProbability:
+    def test_floor_at_strong_levels(self, model):
+        p = model.truncation_probability(29.5)
+        assert p == pytest.approx(model.params.truncation_floor, rel=0.2)
+
+    def test_mid_ramp_around_level_10(self, model):
+        """Tables 5/7: occasional truncations at levels 9-14."""
+        assert 2e-4 < model.truncation_probability(9.5) < 3e-3
+
+    def test_steep_in_error_region(self, model):
+        assert model.truncation_probability(4.0) > 0.03
+
+    def test_monotone_decreasing_in_level(self, model):
+        levels = [2.0, 4.0, 6.0, 8.0, 10.0, 15.0, 30.0]
+        probs = [model.truncation_probability(lv) for lv in levels]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_bulk_matches_scalar(self, model):
+        levels = np.array([2.0, 6.2, 9.5, 13.8, 29.5])
+        bulk = model.truncation_probability_bulk(levels)
+        scalar = [model.truncation_probability(float(lv)) for lv in levels]
+        assert np.allclose(bulk, scalar)
+
+
+class TestQualityReading:
+    def test_slip_stress_exceeds_threshold(self, model, rng):
+        for _ in range(100):
+            assert model.slip_stress(rng) > model.params.truncation_threshold
+
+    def test_truncated_packets_read_low_quality(self, model, rng):
+        """Paper: truncated quality means 8.8-12."""
+        qualities = [
+            model.quality_reading(model.slip_stress(rng), False, rng)
+            for _ in range(2_000)
+        ]
+        assert 8.0 < np.mean(qualities) < 12.0
+
+    def test_clean_packets_read_near_15(self, model, rng):
+        qualities = [model.quality_reading(0.0, False, rng) for _ in range(2_000)]
+        assert 14.8 < np.mean(qualities) <= 15.0
+
+    def test_bit_errors_cost_about_one_unit(self, model, rng):
+        clean = np.mean(
+            [model.quality_reading(0.0, False, rng) for _ in range(2_000)]
+        )
+        damaged = np.mean(
+            [model.quality_reading(0.0, True, rng) for _ in range(2_000)]
+        )
+        assert 0.7 < clean - damaged < 1.7
+
+    def test_register_clamped(self, model, rng):
+        assert model.quality_reading(100.0, True, rng) == 0
+        assert 0 <= model.quality_reading(0.0, False, rng) <= 15

@@ -1,0 +1,74 @@
+"""Spreading-sequence family search."""
+
+import numpy as np
+import pytest
+
+from repro.phy.dsss import BARKER_11
+from repro.phy.sequences import (
+    build_family,
+    candidate_sequences,
+    int_to_sequence,
+    peak_autocorrelation_sidelobe,
+    peak_cross_correlation,
+)
+
+
+class TestPrimitives:
+    def test_int_to_sequence_bits(self):
+        seq = int_to_sequence(0b10000000001)
+        assert seq[0] == 1 and seq[-1] == 1
+        assert (seq[1:-1] == -1).all()
+
+    def test_barker_has_unit_sidelobes(self):
+        assert peak_autocorrelation_sidelobe(BARKER_11) == 1
+
+    def test_cross_correlation_symmetric(self):
+        a = int_to_sequence(0b10110111000)
+        b = int_to_sequence(0b11100010010)
+        assert peak_cross_correlation(a, b) == peak_cross_correlation(b, a)
+
+    def test_cross_correlation_self_is_peak(self):
+        assert peak_cross_correlation(BARKER_11, BARKER_11) == 11
+
+
+class TestCandidates:
+    def test_sidelobe_1_candidates_are_barker_class(self):
+        """Only Barker-11 and its trivial transforms have sidelobes <= 1."""
+        candidates = candidate_sequences(max_self_sidelobe=1)
+        assert 1 <= len(candidates) <= 8  # negation/reversal symmetries
+        for seq in candidates:
+            assert peak_autocorrelation_sidelobe(seq) <= 1
+
+    def test_looser_bound_more_candidates(self):
+        tight = candidate_sequences(max_self_sidelobe=1)
+        loose = candidate_sequences(max_self_sidelobe=3)
+        assert len(loose) > len(tight)
+
+
+class TestFamilies:
+    def test_family_honours_bounds(self):
+        family = build_family(max_self_sidelobe=2, max_cross_peak=7)
+        assert family.max_self_sidelobe <= 2
+        assert family.max_cross_peak <= 7
+        for seq in family.sequences:
+            assert peak_autocorrelation_sidelobe(seq) <= 2
+
+    def test_family_starts_from_barker(self):
+        family = build_family(max_self_sidelobe=1, max_cross_peak=9)
+        assert any(np.array_equal(s, BARKER_11) for s in family.sequences)
+
+    def test_barker_quality_family_is_tiny(self):
+        """The paper's 'difficult' claim: sidelobe <= 1 caps the family
+        at ~2 sequences no matter the cross bound."""
+        family = build_family(max_self_sidelobe=1, max_cross_peak=9)
+        assert family.size <= 2
+
+    def test_rejection_db_decreases_with_cross_peak(self):
+        tight = build_family(max_self_sidelobe=3, max_cross_peak=5)
+        loose = build_family(max_self_sidelobe=3, max_cross_peak=9)
+        if tight.size >= 2 and loose.size >= 2:
+            assert tight.rejection_db() >= loose.rejection_db()
+
+    def test_limit_respected(self):
+        family = build_family(max_self_sidelobe=4, max_cross_peak=9, limit=5)
+        assert family.size <= 5

@@ -1,0 +1,83 @@
+"""Property-based tests on the analysis pipeline.
+
+The central invariant: whatever damage the channel inflicts (bit flips
+outside the body's majority, truncation keeping enough words), the
+matcher recovers the true sequence number, and the syndrome equals the
+inflicted damage exactly.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.matching import MatchOutcome, TraceMatcher
+from repro.analysis.syndrome import extract_syndrome
+from repro.framing.bits import flip_bits
+from repro.framing.testpacket import (
+    BODY_START,
+    FRAME_BYTES,
+    TestPacketFactory,
+    TestPacketSpec,
+)
+
+_SPEC = TestPacketSpec.default()
+_FACTORY = TestPacketFactory(_SPEC)
+_MATCHER = TraceMatcher(_SPEC, packets_sent=1_000)
+
+sequences = st.integers(0, 999)
+flip_sets = st.sets(st.integers(0, FRAME_BYTES * 8 - 1), max_size=120)
+
+
+class TestMatcherProperties:
+    @given(sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_pristine_always_exact(self, sequence):
+        result = _MATCHER.match_bytes(_FACTORY.build(sequence))
+        assert result.exact and result.sequence == sequence
+
+    @given(sequences, flip_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_sequence_recovered_under_scattered_damage(self, sequence, flips):
+        """Up to 120 scattered bit flips never defeat the majority vote
+        (120 flips can corrupt at most 120 of 255 non-FCS words) — as
+        long as they don't wipe out most of the wrapper, which is the
+        legitimate "corrupted beyond recognition" case the paper also
+        has."""
+        wrapper_bytes_hit = {p // 8 for p in flips if p < BODY_START * 8}
+        assume(len(wrapper_bytes_hit) <= BODY_START // 2 - 2)
+        positions = np.array(sorted(flips), dtype=np.int64)
+        damaged = flip_bits(_FACTORY.build(sequence), positions)
+        result = _MATCHER.match_bytes(damaged)
+        assert result.outcome is MatchOutcome.TEST_PACKET
+        assert result.sequence == sequence
+
+    @given(sequences, st.integers(BODY_START + 40, FRAME_BYTES - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_sequence_recovered_under_truncation(self, sequence, keep):
+        damaged = _FACTORY.build(sequence)[:keep]
+        result = _MATCHER.match_bytes(damaged)
+        assert result.outcome is MatchOutcome.TEST_PACKET
+        assert result.sequence == sequence
+
+
+class TestSyndromeProperties:
+    @given(sequences, flip_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_syndrome_equals_inflicted_damage(self, sequence, flips):
+        """extract_syndrome is the exact inverse of flip_bits."""
+        positions = np.array(sorted(flips), dtype=np.int64)
+        damaged = flip_bits(_FACTORY.build(sequence), positions)
+        syndrome = extract_syndrome(damaged, sequence, _FACTORY)
+        body_lo, body_hi = BODY_START * 8, (BODY_START + 1024) * 8
+        expected_body = sorted(
+            p - body_lo for p in flips if body_lo <= p < body_hi
+        )
+        expected_wrapper = sorted(p for p in flips if not body_lo <= p < body_hi)
+        assert syndrome.body_bit_positions.tolist() == expected_body
+        assert syndrome.wrapper_bit_positions.tolist() == expected_wrapper
+
+    @given(sequences)
+    @settings(max_examples=20, deadline=None)
+    def test_clean_frame_has_empty_syndrome(self, sequence):
+        syndrome = extract_syndrome(_FACTORY.build(sequence), sequence, _FACTORY)
+        assert not syndrome.damaged

@@ -1,0 +1,93 @@
+"""Property-based tests on the FEC stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fec.convolutional import ConvolutionalCode
+from repro.fec.interleave import BlockInterleaver
+from repro.fec.rcpc import RATE_ORDER, RcpcCodec
+from repro.fec.viterbi import viterbi_decode
+
+bit_arrays = st.lists(st.integers(0, 1), min_size=1, max_size=200).map(
+    lambda bits: np.array(bits, dtype=np.uint8)
+)
+
+_CODE = ConvolutionalCode()
+_CODECS = {name: RcpcCodec(name, _CODE) for name in RATE_ORDER}
+
+
+class TestViterbiProperties:
+    @given(bit_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_clean_roundtrip_always_exact(self, bits):
+        assert np.array_equal(viterbi_decode(_CODE, _CODE.encode(bits)), bits)
+
+    @given(bit_arrays, st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_single_coded_bit_error_always_corrected(self, bits, raw_pos):
+        """A K=7 rate-1/2 code corrects any single channel error."""
+        coded = _CODE.encode(bits)
+        damaged = coded.copy()
+        damaged[raw_pos % len(coded)] ^= 1
+        assert np.array_equal(viterbi_decode(_CODE, damaged), bits)
+
+    @given(bit_arrays)
+    @settings(max_examples=20, deadline=None)
+    def test_decoded_length_matches_input(self, bits):
+        decoded = viterbi_decode(_CODE, _CODE.encode(bits))
+        assert len(decoded) == len(bits)
+
+
+class TestRcpcProperties:
+    @given(bit_arrays, st.sampled_from(RATE_ORDER))
+    @settings(max_examples=40, deadline=None)
+    def test_clean_roundtrip_every_rate(self, bits, rate):
+        codec = _CODECS[rate]
+        assert np.array_equal(codec.decode(codec.encode(bits)), bits)
+
+    @given(bit_arrays, st.sampled_from(RATE_ORDER))
+    @settings(max_examples=30, deadline=None)
+    def test_coded_length_formula(self, bits, rate):
+        codec = _CODECS[rate]
+        assert len(codec.encode(bits)) == codec.coded_length(len(bits))
+
+    @given(bit_arrays)
+    @settings(max_examples=20, deadline=None)
+    def test_rate_compatible_prefix_property(self, bits):
+        """The punctured stream of a weaker rate is a sub-selection of
+        the stronger rate's stream (same mother bits transmitted)."""
+        weak = _CODECS["8/9"]
+        strong = _CODECS["1/2"]
+        weak_tx = weak.encode(bits)
+        strong_tx = strong.encode(bits)  # unpunctured mother stream
+        # Every weakly-transmitted bit appears in the mother stream at
+        # the positions the weak mask selects.
+        n_steps = len(bits) + _CODE.tail_bits()
+        mask = weak._mask(n_steps)
+        assert np.array_equal(strong_tx[mask], weak_tx)
+
+
+class TestInterleaverProperties:
+    @given(
+        st.lists(st.integers(0, 1), min_size=0, max_size=3000).map(
+            lambda b: np.array(b, dtype=np.uint8)
+        ),
+        st.sampled_from([(4, 8), (16, 64), (32, 64)]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, bits, shape):
+        rows, cols = shape
+        interleaver = BlockInterleaver(rows, cols)
+        restored = interleaver.deinterleave(interleaver.interleave(bits), len(bits))
+        assert np.array_equal(restored, bits)
+
+    @given(st.sampled_from([(4, 8), (8, 16), (16, 64)]))
+    @settings(max_examples=10, deadline=None)
+    def test_interleave_is_permutation(self, shape):
+        rows, cols = shape
+        interleaver = BlockInterleaver(rows, cols)
+        n = interleaver.block_size
+        index = np.arange(n, dtype=np.uint8) % 2  # parity pattern
+        out = interleaver.interleave(index)
+        assert sorted(out.tolist()) == sorted(index.tolist())

@@ -1,0 +1,107 @@
+"""Property-based tests on the framing substrate."""
+
+import zlib
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framing.bits import bits_to_bytes, bytes_to_bits, flip_bits, hamming_distance
+from repro.framing.checksum import internet_checksum
+from repro.framing.crc import crc32, crc32_reference
+from repro.framing.ethernet import EthernetFrame, MacAddress
+from repro.framing.testpacket import FRAME_BYTES, TestPacketFactory, TestPacketSpec
+
+payloads = st.binary(min_size=0, max_size=512)
+
+
+class TestCrcProperties:
+    @given(payloads)
+    def test_fast_path_equals_reference(self, data):
+        assert crc32(data) == crc32_reference(data)
+
+    @given(payloads)
+    def test_reference_equals_zlib(self, data):
+        assert crc32_reference(data) == zlib.crc32(data) & 0xFFFFFFFF
+
+    @given(payloads, st.integers(0, 511 * 8))
+    def test_single_bit_flip_always_detected(self, data, bit):
+        """CRC-32 detects every single-bit error."""
+        if not data:
+            return
+        bit = bit % (len(data) * 8)
+        flipped = flip_bits(data, np.array([bit]))
+        assert crc32(data) != crc32(flipped)
+
+
+class TestChecksumProperties:
+    @given(payloads)
+    def test_header_with_embedded_checksum_verifies(self, data):
+        """Appending the computed checksum makes the whole sum zero-ish
+        (the defining property of the one's-complement checksum)."""
+        checksum = internet_checksum(data)
+        full = data + checksum.to_bytes(2, "big")
+        # Verification: full message checksums to 0 when data length is
+        # even (checksum lands on a 16-bit boundary).
+        if len(data) % 2 == 0:
+            assert internet_checksum(full) == 0
+
+    @given(payloads)
+    def test_checksum_is_16_bits(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+class TestBitProperties:
+    @given(payloads)
+    def test_bits_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    @given(payloads.filter(bool), st.sets(st.integers(0, 10_000), max_size=16))
+    def test_flip_involution(self, data, raw_positions):
+        positions = np.array(
+            sorted(p % (len(data) * 8) for p in raw_positions), dtype=np.int64
+        )
+        positions = np.unique(positions)
+        assert flip_bits(flip_bits(data, positions), positions) == data
+
+    @given(payloads.filter(bool), st.sets(st.integers(0, 10_000), max_size=16))
+    def test_hamming_counts_flips(self, data, raw_positions):
+        positions = np.unique(
+            np.array([p % (len(data) * 8) for p in raw_positions], dtype=np.int64)
+        )
+        assert hamming_distance(data, flip_bits(data, positions)) == len(positions)
+
+
+class TestEthernetProperties:
+    macs = st.binary(min_size=6, max_size=6).map(MacAddress)
+
+    @given(macs, macs, st.integers(0, 0xFFFF), payloads)
+    def test_parse_inverts_build(self, dst, src, ethertype, payload):
+        frame = EthernetFrame(dst=dst, src=src, ethertype=ethertype, payload=payload)
+        assert EthernetFrame.parse(frame.to_bytes()) == frame
+
+    @given(macs, macs, payloads)
+    def test_fcs_always_valid_on_build(self, dst, src, payload):
+        frame = EthernetFrame(dst=dst, src=src, ethertype=0x0800, payload=payload)
+        assert EthernetFrame.fcs_ok(frame.to_bytes())
+
+
+class TestTestPacketProperties:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_fast_build_equals_reference_everywhere(self, sequence):
+        factory = TestPacketFactory(TestPacketSpec.default())
+        assert factory.build(sequence) == factory.build_reference(sequence)
+
+    @given(st.integers(0, 2**31), st.integers(0, 2**31))
+    @settings(max_examples=50)
+    def test_distinct_sequences_distinct_frames(self, a, b):
+        factory = TestPacketFactory(TestPacketSpec.default())
+        if a != b:
+            assert factory.build(a) != factory.build(b)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=30)
+    def test_frame_length_constant(self, sequence):
+        factory = TestPacketFactory(TestPacketSpec.default())
+        assert len(factory.build(sequence)) == FRAME_BYTES

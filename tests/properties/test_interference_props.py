@@ -1,0 +1,78 @@
+"""Property-based tests: every interference source emits valid samples."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.environment.geometry import Point
+from repro.interference.frontend import AmateurRadioTransmitter, MicrowaveOven
+from repro.interference.narrowband import AmpsCellPhone, NarrowbandPhonePair
+from repro.interference.spreadspectrum import SpreadSpectrumPhonePair
+from repro.interference.wavelan import CompetingWaveLanTransmitter
+
+positions = st.builds(
+    Point,
+    st.floats(min_value=-60.0, max_value=60.0),
+    st.floats(min_value=-60.0, max_value=60.0),
+)
+signal_levels = st.floats(min_value=0.0, max_value=35.0)
+seeds = st.integers(0, 2**31)
+
+
+def _sources(position_a: Point, position_b: Point):
+    return [
+        NarrowbandPhonePair(position_a, position_b),
+        NarrowbandPhonePair(position_a, position_b, talking=True),
+        AmpsCellPhone(position_a),
+        SpreadSpectrumPhonePair(
+            handset_position=position_a, base_position=position_b
+        ),
+        AmateurRadioTransmitter(position_a),
+        MicrowaveOven(position_a),
+        MicrowaveOven(position_a, band_ghz=2.45),
+        CompetingWaveLanTransmitter(position_a, victim_receive_threshold=3),
+        CompetingWaveLanTransmitter(position_a, victim_receive_threshold=25),
+    ]
+
+
+class TestSampleValidity:
+    @given(positions, positions, signal_levels, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_all_fields_in_valid_ranges(self, pos_a, pos_b, signal, seed):
+        rng = np.random.default_rng(seed)
+        rx = Point(0.0, 0.0)
+        for source in _sources(pos_a, pos_b):
+            for _ in range(3):
+                sample = source.sample_packet(rx, signal, rng)
+                assert 0.0 <= sample.miss_probability <= 1.0
+                assert 0.0 <= sample.truncate_probability <= 1.0
+                assert sample.jam_ber >= 0.0
+                assert sample.clock_stress >= 0.0
+                for dbm in (sample.signal_sample_dbm, sample.silence_sample_dbm):
+                    if dbm is not None:
+                        assert -200.0 < dbm < 60.0
+
+    @given(positions, signal_levels, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_narrowband_never_damages(self, position, signal, seed):
+        """The DSSS-rejection invariant holds at any geometry."""
+        rng = np.random.default_rng(seed)
+        pair = NarrowbandPhonePair(position, Point(0.5, 0.5))
+        sample = pair.sample_packet(Point(0, 0), signal, rng)
+        assert sample.jam_ber == 0.0
+        assert sample.miss_probability == 0.0
+        assert sample.truncate_probability == 0.0
+
+    @given(positions, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_masked_wavelan_never_damages(self, position, seed):
+        """A competing unit below the threshold contributes silence only
+        — the Table-14 invariant — at any position where it is masked."""
+        rng = np.random.default_rng(seed)
+        tx = CompetingWaveLanTransmitter(
+            position, level_at_1ft=20.0, victim_receive_threshold=25
+        )
+        if tx.masked_at(Point(0, 0)):
+            sample = tx.sample_packet(Point(0, 0), 28.0, rng)
+            assert sample.jam_ber == 0.0
+            assert sample.miss_probability == 0.0

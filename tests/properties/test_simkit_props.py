@@ -1,0 +1,51 @@
+"""Property-based tests on the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkit.simulator import Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=0, max_size=50
+)
+
+
+class TestKernelProperties:
+    @given(delays)
+    @settings(max_examples=50, deadline=None)
+    def test_events_fire_in_nondecreasing_time_order(self, offsets):
+        sim = Simulator()
+        fired = []
+        for offset in offsets:
+            sim.schedule(offset, lambda t=offset: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(offsets)
+
+    @given(delays)
+    @settings(max_examples=30, deadline=None)
+    def test_clock_never_goes_backwards(self, offsets):
+        sim = Simulator()
+        observed = []
+        for offset in offsets:
+            sim.schedule(offset, lambda: observed.append(sim.now))
+        previous = 0.0
+        while sim.step():
+            assert sim.now >= previous
+            previous = sim.now
+
+    @given(delays, st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_run_until_fires_exactly_events_within_horizon(self, offsets, horizon):
+        sim = Simulator()
+        for offset in offsets:
+            sim.schedule(offset, lambda: None)
+        fired = sim.run_until(horizon)
+        assert fired == sum(1 for o in offsets if o <= horizon)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_same_seed_same_streams(self, seed):
+        a = Simulator(seed=seed).rng.stream("x").random(5)
+        b = Simulator(seed=seed).rng.stream("x").random(5)
+        assert (a == b).all()

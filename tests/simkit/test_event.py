@@ -1,0 +1,67 @@
+"""Event queue ordering and cancellation."""
+
+from repro.simkit.event import EventQueue
+
+
+def _noop():
+    pass
+
+
+class TestEventQueueOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(3.0, _noop, name="c")
+        q.push(1.0, _noop, name="a")
+        q.push(2.0, _noop, name="b")
+        names = [q.pop().name for _ in range(3)]
+        assert names == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        q = EventQueue()
+        for label in "abcde":
+            q.push(1.0, _noop, name=label)
+        names = [q.pop().name for _ in range(5)]
+        assert names == list("abcde")
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(1.0, _noop, priority=5, name="low")
+        q.push(1.0, _noop, priority=0, name="high")
+        assert q.pop().name == "high"
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestEventQueueCancellation:
+    def test_cancelled_event_is_skipped(self):
+        q = EventQueue()
+        victim = q.push(1.0, _noop, name="victim")
+        q.push(2.0, _noop, name="survivor")
+        q.cancel(victim)
+        assert q.pop().name == "survivor"
+
+    def test_cancel_updates_length(self):
+        q = EventQueue()
+        event = q.push(1.0, _noop)
+        assert len(q) == 1
+        q.cancel(event)
+        assert len(q) == 0
+        assert not q
+
+    def test_double_cancel_is_idempotent(self):
+        q = EventQueue()
+        event = q.push(1.0, _noop)
+        q.cancel(event)
+        q.cancel(event)
+        assert len(q) == 0
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        first = q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        q.cancel(first)
+        assert q.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None

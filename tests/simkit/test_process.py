@@ -1,0 +1,104 @@
+"""Generator-based processes."""
+
+import pytest
+
+from repro.simkit.process import Process, Timeout, Waiter
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_process_sleeps(self, sim):
+        trace = []
+
+        def body():
+            trace.append(("start", sim.now))
+            yield Timeout(2.5)
+            trace.append(("end", sim.now))
+
+        Process(sim, body())
+        sim.run()
+        assert trace == [("start", 0.0), ("end", 2.5)]
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        times = []
+
+        def body():
+            for _ in range(3):
+                yield Timeout(1.0)
+                times.append(sim.now)
+
+        Process(sim, body())
+        sim.run()
+        assert times == [1.0, 2.0, 3.0]
+
+
+class TestWaiter:
+    def test_process_blocks_until_trigger(self, sim):
+        waiter = Waiter()
+        got = []
+
+        def body():
+            value = yield waiter
+            got.append((value, sim.now))
+
+        Process(sim, body())
+        sim.schedule(4.0, lambda: waiter.trigger("payload"))
+        sim.run()
+        assert got == [("payload", 4.0)]
+
+    def test_pre_triggered_waiter_resumes_immediately(self, sim):
+        waiter = Waiter()
+        waiter.trigger("early")
+        got = []
+
+        def body():
+            value = yield waiter
+            got.append(value)
+
+        Process(sim, body())
+        sim.run()
+        assert got == ["early"]
+
+    def test_double_trigger_keeps_first_value(self, sim):
+        waiter = Waiter()
+        waiter.trigger("first")
+        waiter.trigger("second")
+        assert waiter.value == "first"
+
+
+class TestProcessCompletion:
+    def test_return_value_stored(self, sim):
+        def body():
+            yield Timeout(1.0)
+            return "done"
+
+        process = Process(sim, body())
+        sim.run()
+        assert process.finished
+        assert process.result == "done"
+
+    def test_bad_yield_type_raises(self, sim):
+        def body():
+            yield "not a request"
+
+        Process(sim, body())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_two_processes_interleave(self, sim):
+        order = []
+
+        def maker(name, delay):
+            def body():
+                yield Timeout(delay)
+                order.append(name)
+
+            return body()
+
+        Process(sim, maker("slow", 2.0))
+        Process(sim, maker("fast", 1.0))
+        sim.run()
+        assert order == ["fast", "slow"]

@@ -1,0 +1,114 @@
+"""Calibration regression pins.
+
+Every constant in docs/CALIBRATION.md is pinned here against the paper
+quantity it encodes.  If a refactor moves one of these numbers, this
+file fails with the paper's context attached — update the ledger and
+the affected benchmark bands deliberately, not by accident.
+"""
+
+import pytest
+
+from repro import units
+from repro.environment.geometry import Point
+from repro.environment.materials import (
+    CONCRETE_BLOCK_WALL,
+    HUMAN_BODY,
+    PLASTER_MESH_WALL,
+)
+from repro.environment.propagation import (
+    SIGNAL_SATURATION_LEVEL,
+    AmbientNoise,
+    PropagationModel,
+)
+from repro.interference.spreadspectrum import CAPTURE_CUTOFF_LEVELS
+from repro.phy.dsss import processing_gain_db
+from repro.phy.errormodel import WaveLanErrorModel
+from repro.phy.quality import ClockStressModel, ClockStressParams
+
+
+class TestUnitMapping:
+    def test_tx_power_is_the_papers_500mw(self):
+        assert units.WAVELAN_TX_POWER_MW == 500.0
+
+    def test_quality_register_is_4_bits(self):
+        assert units.QUALITY_MAX == 15
+
+    def test_agc_mapping(self):
+        assert units.DB_PER_LEVEL == 2.0
+        assert units.AGC_FLOOR_DBM == -72.0
+
+
+class TestMaterialLedger:
+    def test_section_6_1_wall_costs(self):
+        assert PLASTER_MESH_WALL.attenuation_levels == 5.0  # "about 5 points"
+        assert CONCRETE_BLOCK_WALL.attenuation_levels == 2.0  # "only 2 points"
+
+    def test_section_6_3_body_cost(self):
+        assert HUMAN_BODY.attenuation_levels == 6.0  # 12.55 -> 6.73
+
+
+class TestPropagationLedger:
+    def test_office_anchor(self):
+        # Sec 5.1: office trials at level ~29.5; Table 4 Air 1: 30.58@7ft.
+        model = PropagationModel.office()
+        level = model.mean_level(Point(0, 0), Point(7, 0))
+        assert level == pytest.approx(30.5, abs=0.3)
+
+    def test_saturation_reading(self):
+        assert SIGNAL_SATURATION_LEVEL == 34.0
+
+    def test_ambient_band(self):
+        ambient = AmbientNoise()
+        assert 2.0 < ambient.mean_level < 4.0  # quiet-trial silence means
+
+
+class TestErrorModelLedger:
+    @pytest.fixture
+    def model(self):
+        return WaveLanErrorModel()
+
+    def test_host_loss_floor(self, model):
+        # Table 2: .01-.07% loss on a perfect channel.
+        assert 1e-4 < model.params.host_loss_probability < 7e-4
+
+    def test_tx5_hit_rate(self, model):
+        # Table 5: 25 of 1440 packets damaged at level 9.5 (1.7%).
+        assert model.hit_probability(9.5) == pytest.approx(0.017, abs=0.008)
+
+    def test_body_hit_rate(self, model):
+        # Table 8: 224 of 1442 at level 6.73 (15.5%).
+        assert model.hit_probability(6.73) == pytest.approx(0.155, abs=0.05)
+
+    def test_burst_mean_matches_tx5(self, model):
+        # 82 bits over 25 packets: mean burst ~3.3 bits.
+        p = model.params.burst_continue_probability
+        mean_burst = 1.0 + p / (1.0 - p)
+        assert mean_burst == pytest.approx(3.3, abs=0.7)
+
+    def test_residual_ber_matches_table2(self, model):
+        # ~1 corrupted bit over >1e10 office bits.
+        assert 5e-11 < model.params.residual_ber < 1e-9
+
+    def test_office_truncation_floor(self):
+        # Table 2: 1 truncation in 102,720 packets.
+        model = ClockStressModel(ClockStressParams())
+        assert model.truncation_probability(29.5) == pytest.approx(1e-5, rel=0.5)
+
+    def test_error_region_boundary(self, model):
+        # Figure 2: reliable at >= 10, "very high" below 8.
+        assert model.miss_probability(10.0) < 1e-3
+        assert model.miss_probability(5.0) > 0.3
+
+
+class TestPhyLedger:
+    def test_processing_gain_is_11_chips(self):
+        assert processing_gain_db() == pytest.approx(10.41, abs=0.01)
+
+    def test_ss_capture_cutoff(self):
+        # RS remote cluster harmless at margin ~-9; AT&T handset
+        # damaging at ~-3.5.
+        assert -9.0 < CAPTURE_CUTOFF_LEVELS < -3.5
+
+    def test_jam_density_matches_worst_body(self):
+        # Table 11 worst packet: 4.9% of body bits over partial overlap.
+        assert WaveLanErrorModel.JAM_DENSITY == pytest.approx(0.03, abs=0.02)

@@ -1,0 +1,30 @@
+"""Run the doctests embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.framing.checksum
+import repro.framing.crc
+import repro.phy.dqpsk
+import repro.phy.dsss
+import repro.simkit.rng
+import repro.units
+
+DOCTEST_MODULES = [
+    repro.units,
+    repro.framing.crc,
+    repro.framing.checksum,
+    repro.phy.dsss,
+    repro.phy.dqpsk,
+    repro.simkit.rng,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCTEST_MODULES, ids=lambda m: m.__name__
+)
+def test_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert result.failed == 0

@@ -1,0 +1,105 @@
+"""Unit conversions and the AGC level mapping."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestPowerConversions:
+    def test_one_milliwatt_is_zero_dbm(self):
+        assert units.mw_to_dbm(1.0) == 0.0
+
+    def test_wavelan_tx_power_is_27_dbm(self):
+        assert units.mw_to_dbm(units.WAVELAN_TX_POWER_MW) == pytest.approx(
+            26.99, abs=0.01
+        )
+
+    def test_dbm_roundtrip(self):
+        for mw in (0.001, 1.0, 500.0, 12345.0):
+            assert units.dbm_to_mw(units.mw_to_dbm(mw)) == pytest.approx(mw)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(0.0)
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(-3.0)
+
+    def test_db_ratio_of_equal_powers_is_zero(self):
+        assert units.db_ratio(5.0, 5.0) == pytest.approx(0.0)
+
+    def test_db_ratio_of_100x_is_20db(self):
+        assert units.db_ratio(100.0, 1.0) == pytest.approx(20.0)
+
+    def test_db_ratio_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.db_ratio(0.0, 1.0)
+
+
+class TestDistanceConversions:
+    def test_feet_metres_roundtrip(self):
+        assert units.metres_to_feet(units.feet_to_metres(56.0)) == pytest.approx(56.0)
+
+    def test_one_metre_is_about_3_28_feet(self):
+        assert units.metres_to_feet(1.0) == pytest.approx(3.2808, abs=1e-3)
+
+
+class TestFreeSpacePathLoss:
+    def test_doubles_distance_adds_6db(self):
+        loss_1 = units.free_space_path_loss_db(10.0)
+        loss_2 = units.free_space_path_loss_db(20.0)
+        assert loss_2 - loss_1 == pytest.approx(20.0 * math.log10(2.0), abs=1e-9)
+
+    def test_finite_at_zero_distance(self):
+        assert math.isfinite(units.free_space_path_loss_db(0.0))
+
+    def test_higher_frequency_more_loss(self):
+        assert units.free_space_path_loss_db(
+            10.0, freq_hz=2.4e9
+        ) > units.free_space_path_loss_db(10.0, freq_hz=915e6)
+
+
+class TestAgcMapping:
+    def test_level_dbm_roundtrip(self):
+        for level in (0.0, 8.0, 29.5, 41.0):
+            assert units.dbm_to_level(units.level_to_dbm(level)) == pytest.approx(level)
+
+    def test_one_level_unit_is_two_db(self):
+        delta = units.level_to_dbm(11.0) - units.level_to_dbm(10.0)
+        assert delta == pytest.approx(units.DB_PER_LEVEL)
+
+    def test_clamp_agc_bounds(self):
+        assert units.clamp_agc(-5.0) == 0
+        assert units.clamp_agc(12.4) == 12
+        assert units.clamp_agc(12.6) == 13
+        assert units.clamp_agc(1000.0) == units.AGC_MAX_READING
+
+    def test_clamp_quality_bounds(self):
+        assert units.clamp_quality(-1.0) == 0
+        assert units.clamp_quality(15.2) == 15
+        assert units.clamp_quality(9.5) in (9, 10)  # banker's rounding boundary
+
+
+class TestDopplerArgument:
+    """Section 3: why the paper ignores motion-induced errors."""
+
+    def test_speed_of_sound_doppler_is_tiny(self):
+        # ~1 kHz shift at Mach 1...
+        shift = units.doppler_shift_hz(units.SPEED_OF_SOUND_M_S)
+        assert 500.0 < shift < 2_000.0
+
+    def test_crystal_tolerance_dwarfs_doppler(self):
+        """The paper's exact argument, as arithmetic: Mach-1 Doppler is
+        'substantially less than the inaccuracy of the clock crystals'."""
+        doppler = units.doppler_shift_hz(units.SPEED_OF_SOUND_M_S)
+        crystal = units.crystal_offset_hz()
+        assert crystal > 10 * doppler
+
+    def test_walking_speed_is_negligible(self):
+        assert units.doppler_shift_hz(1.5) < 10.0  # a few Hz
+
+    def test_scales_with_frequency(self):
+        at_900 = units.doppler_shift_hz(10.0, freq_hz=915e6)
+        at_2400 = units.doppler_shift_hz(10.0, freq_hz=2.4e9)
+        assert at_2400 > 2 * at_900

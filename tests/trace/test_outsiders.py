@@ -1,0 +1,70 @@
+"""Foreign (outsider) traffic generation."""
+
+import numpy as np
+import pytest
+
+from repro.framing.crc import check_fcs
+from repro.framing.ethernet import EthernetFrame
+from repro.framing.modem import NETWORK_ID_LEN
+from repro.trace.outsiders import (
+    OutsiderTraffic,
+    build_arp_request,
+    build_bridge_hello,
+)
+
+
+class TestFrameBuilders:
+    def test_arp_request_layout(self):
+        from repro.framing.ethernet import MacAddress
+
+        src = MacAddress.station(5)
+        payload = build_arp_request(src, 7)
+        assert len(payload) == 28
+        assert payload[0:2] == b"\x00\x01"  # HTYPE Ethernet
+        assert payload[6:8] == b"\x00\x01"  # OPER request
+        assert payload[8:14] == src.octets
+
+    def test_bridge_hello_carries_sequence(self):
+        from repro.framing.ethernet import MacAddress
+
+        src = MacAddress.station(5)
+        payload = build_bridge_hello(src, 0xDEAD)
+        assert payload[0:4] == b"BRDG"
+        assert int.from_bytes(payload[4:8], "big") == 0xDEAD
+
+
+class TestOutsiderTraffic:
+    def test_frames_are_valid_ethernet(self, rng):
+        traffic = OutsiderTraffic()
+        for _ in range(20):
+            wire = traffic.build_frame(rng)
+            eth = wire[NETWORK_ID_LEN:]
+            assert check_fcs(eth)
+            frame = EthernetFrame.parse(eth)
+            assert len(frame.payload) >= 46  # Ethernet minimum
+
+    def test_frames_are_broadcast(self, rng):
+        wire = OutsiderTraffic().build_frame(rng)
+        frame = EthernetFrame.parse(wire[NETWORK_ID_LEN:])
+        assert frame.dst.octets == b"\xff" * 6
+
+    def test_source_stations_vary(self, rng):
+        traffic = OutsiderTraffic(station_count=6)
+        sources = set()
+        for _ in range(60):
+            wire = traffic.build_frame(rng)
+            sources.add(EthernetFrame.parse(wire[NETWORK_ID_LEN:]).src.octets)
+        assert len(sources) >= 3
+
+    def test_frame_count_scales_with_rate(self, rng):
+        low = OutsiderTraffic(rate_per_test_packet=0.01)
+        high = OutsiderTraffic(rate_per_test_packet=0.5)
+        n_low = low.frame_count(10_000, np.random.default_rng(1))
+        n_high = high.frame_count(10_000, np.random.default_rng(1))
+        assert n_high > n_low * 10
+
+    def test_level_distribution(self, rng):
+        traffic = OutsiderTraffic(mean_level=5.0, level_sd=1.3)
+        levels = [traffic.sample_level(rng) for _ in range(5_000)]
+        assert np.mean(levels) == pytest.approx(5.0, abs=0.15)
+        assert np.std(levels) == pytest.approx(1.3, abs=0.15)

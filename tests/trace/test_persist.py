@@ -1,0 +1,71 @@
+"""Trace save/load roundtrips."""
+
+import pytest
+
+from repro.analysis import analyze_trial
+from repro.trace.persist import load_trace, save_trace
+from repro.trace.trial import TrialConfig, run_fast_trial
+
+
+@pytest.fixture
+def trace():
+    output = run_fast_trial(
+        TrialConfig(name="persist-test", packets=300, mean_level=8.0, seed=42)
+    )
+    return output.trace
+
+
+class TestRoundtrip:
+    def test_plain_json(self, trace, tmp_path):
+        path = tmp_path / "trial.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.packets_sent == trace.packets_sent
+        assert loaded.packets_received == trace.packets_received
+        assert loaded.spec == trace.spec
+
+    def test_gzip(self, trace, tmp_path):
+        path = tmp_path / "trial.jsonl.gz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.packets_received == trace.packets_received
+
+    def test_bytes_survive_exactly(self, trace, tmp_path):
+        path = tmp_path / "trial.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        for original, restored in zip(trace.records, loaded.records):
+            assert restored.data == original.data
+            assert restored.status == original.status
+            assert restored.time == original.time
+
+    def test_analysis_identical_after_reload(self, trace, tmp_path):
+        path = tmp_path / "trial.jsonl"
+        save_trace(trace, path)
+        before = analyze_trial(trace)
+        after = analyze_trial(load_trace(path))
+        assert before.packets_received == after.packets_received
+        assert before.body_bits_damaged == after.body_bits_damaged
+        assert before.packets_truncated == after.packets_truncated
+        assert before.worst_body_bits == after.worst_body_bits
+
+
+class TestErrorHandling:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(path)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"kind": "something-else", "format": 1}\n')
+        with pytest.raises(ValueError, match="not a trial trace"):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"kind": "wavelan-trial-trace", "format": 99}\n')
+        with pytest.raises(ValueError, match="format"):
+            load_trace(path)

@@ -1,0 +1,54 @@
+"""The burst test-traffic sender."""
+
+import pytest
+
+from repro.framing.testpacket import FRAME_BYTES
+from repro.trace.sender import HOST_LIMITED_RATE_BPS, BurstSender
+
+
+class TestBurstSender:
+    def test_sends_requested_count_in_sequence(self, sim, spec):
+        sent = []
+        sender = BurstSender.for_spec(sim, spec, sent.append, count=5)
+        sender.start()
+        sim.run()
+        assert sender.sent == 5
+        assert len(sent) == 5
+        # Frames carry increasing sequence numbers (check body words).
+        words = [frame[44:48] for frame in sent]
+        assert words == [i.to_bytes(4, "big") for i in range(5)]
+
+    def test_host_limited_pacing(self, sim, spec):
+        times = []
+        sender = BurstSender.for_spec(
+            sim, spec, lambda f: times.append(sim.now), count=3
+        )
+        sender.start()
+        sim.run()
+        interval = FRAME_BYTES * 8.0 / HOST_LIMITED_RATE_BPS
+        assert times[1] - times[0] == pytest.approx(interval)
+        assert times[2] - times[1] == pytest.approx(interval)
+
+    def test_custom_rate(self, sim, spec):
+        times = []
+        sender = BurstSender.for_spec(
+            sim, spec, lambda f: times.append(sim.now), count=2, rate_bps=2e6
+        )
+        sender.start()
+        sim.run()
+        assert times[1] - times[0] == pytest.approx(FRAME_BYTES * 8.0 / 2e6)
+
+    def test_on_done_callback(self, sim, spec):
+        done = []
+        sender = BurstSender.for_spec(sim, spec, lambda f: None, count=2)
+        sender.on_done = lambda: done.append(sim.now)
+        sender.start()
+        sim.run()
+        assert len(done) == 1
+
+    def test_zero_count(self, sim, spec):
+        sent = []
+        sender = BurstSender.for_spec(sim, spec, sent.append, count=0)
+        sender.start()
+        sim.run()
+        assert sent == []

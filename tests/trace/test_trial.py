@@ -1,0 +1,161 @@
+"""Trial runners: the fast path, the per-packet path, and outsiders."""
+
+import pytest
+
+from repro.environment.geometry import Point
+from repro.phy.errormodel import InterferenceSample
+from repro.phy.modem import ModemConfig
+from repro.trace.outsiders import OutsiderTraffic
+from repro.trace.trial import TrialConfig, run_fast_trial, run_mac_trial
+
+
+class _AlwaysJam:
+    """An interference source with fixed, scripted effects."""
+
+    name = "scripted"
+
+    def __init__(self, **effects):
+        self.effects = effects
+
+    def sample_packet(self, rx_position, signal_level, rng):
+        return InterferenceSample(source_name=self.name, **self.effects)
+
+
+class TestFastTrialVectorized:
+    def test_clean_strong_trial(self):
+        output = run_fast_trial(
+            TrialConfig(name="t", packets=5_000, mean_level=29.5, seed=3)
+        )
+        assert output.trace.packets_sent == 5_000
+        received = output.trace.packets_received
+        assert 4_980 <= received <= 5_000
+        assert output.dispositions.delivered == received
+
+    def test_deterministic_given_seed(self):
+        a = run_fast_trial(TrialConfig(name="t", packets=2_000, mean_level=9.5, seed=7))
+        b = run_fast_trial(TrialConfig(name="t", packets=2_000, mean_level=9.5, seed=7))
+        assert a.trace.packets_received == b.trace.packets_received
+        assert [r.data for r in a.trace.records[:20]] == [
+            r.data for r in b.trace.records[:20]
+        ]
+
+    def test_different_seed_differs(self):
+        a = run_fast_trial(TrialConfig(name="t", packets=2_000, mean_level=6.5, seed=1))
+        b = run_fast_trial(TrialConfig(name="t", packets=2_000, mean_level=6.5, seed=2))
+        assert a.dispositions.missed != b.dispositions.missed
+
+    def test_threshold_filters_everything_below(self):
+        output = run_fast_trial(
+            TrialConfig(
+                name="t",
+                packets=1_000,
+                mean_level=15.0,
+                seed=5,
+                modem_config=ModemConfig(receive_threshold=25),
+            )
+        )
+        assert output.trace.packets_received == 0
+        assert output.dispositions.threshold_filtered > 990
+
+    def test_geometry_resolves_mean_level(self):
+        from repro.environment.propagation import PropagationModel
+
+        config = TrialConfig(
+            name="t",
+            packets=10,
+            propagation=PropagationModel.office(),
+            tx_position=Point(0, 0),
+            rx_position=Point(7, 0),
+        )
+        assert config.resolved_mean_level() == pytest.approx(30.5, abs=0.5)
+
+
+class TestFastTrialPerPacket:
+    def test_interference_path_used(self):
+        jam = _AlwaysJam(miss_probability=1.0)
+        output = run_fast_trial(
+            TrialConfig(
+                name="t", packets=200, mean_level=29.5, seed=1, interference=[jam]
+            )
+        )
+        assert output.trace.packets_received == 0
+        assert output.dispositions.missed == 200
+
+    def test_interference_truncation_shortens_frames(self):
+        jam = _AlwaysJam(truncate_probability=1.0, clock_stress=5.0)
+        output = run_fast_trial(
+            TrialConfig(
+                name="t", packets=100, mean_level=29.5, seed=1, interference=[jam]
+            )
+        )
+        from repro.framing.testpacket import FRAME_BYTES
+
+        assert output.trace.packets_received > 90
+        assert all(r.length < FRAME_BYTES for r in output.trace.records)
+
+
+class TestOutsiders:
+    def test_outsiders_interleaved_into_trace(self):
+        output = run_fast_trial(
+            TrialConfig(
+                name="t",
+                packets=1_000,
+                mean_level=29.5,
+                seed=9,
+                outsiders=OutsiderTraffic(rate_per_test_packet=0.1, mean_level=10.0),
+            )
+        )
+        from repro.framing.testpacket import FRAME_BYTES
+
+        short_frames = [r for r in output.trace.records if r.length < 200]
+        assert output.dispositions.outsiders_delivered == len(short_frames)
+        assert output.dispositions.outsiders_delivered > 50
+        # Records stay time-sorted after interleaving.
+        times = [r.time for r in output.trace.records]
+        assert times == sorted(times)
+
+    def test_weak_outsiders_mostly_lost(self):
+        output = run_fast_trial(
+            TrialConfig(
+                name="t",
+                packets=1_000,
+                mean_level=29.5,
+                seed=9,
+                outsiders=OutsiderTraffic(rate_per_test_packet=0.2, mean_level=2.0),
+            )
+        )
+        d = output.dispositions
+        assert d.outsiders_lost > d.outsiders_delivered
+
+
+class TestMacTrial:
+    def test_point_to_point_delivers(self):
+        config = TrialConfig(name="mac", packets=40, mean_level=None, seed=4)
+        output, channel = run_mac_trial(config)
+        assert output.trace.packets_sent == 40
+        assert output.trace.packets_received >= 38
+        assert channel.stats.transmissions >= 40
+
+    def test_jammer_reduces_delivery(self):
+        from repro.analysis.classify import classify_trace
+        from repro.link.station import LinkStation
+        from repro.phy.modem import ModemConfig as MC
+
+        config = TrialConfig(name="mac", packets=30, seed=4)
+        jammer = LinkStation.tracing_station(
+            9, Point(3.0, 3.0), MC(receive_threshold=35)
+        )
+        output, channel = run_mac_trial(
+            config, extra_stations=[(jammer, bytes(1072))]
+        )
+        # The promiscuous receiver logs the jammer's frames too; count
+        # only intact test packets.  A continuously transmitting
+        # same-room jammer devastates the link.
+        classified = classify_trace(output.trace)
+        intact = [
+            p
+            for p in classified.test_packets
+            if p.packet_class.name == "UNDAMAGED"
+        ]
+        assert len(intact) < 20
+        assert channel.stats.misses > 0

@@ -1,0 +1,79 @@
+"""The half-duplex link adapter."""
+
+import pytest
+
+from repro.simkit.simulator import Simulator
+from repro.transport.link import FRAME_OVERHEAD_BYTES, HalfDuplexLink, LinkConfig
+
+
+class TestCleanLink:
+    def test_delivery_and_timing(self):
+        sim = Simulator(seed=1)
+        link = HalfDuplexLink(sim, LinkConfig(mean_level=29.5))
+        delivered = []
+        link.send(1024, lambda: delivered.append(sim.now))
+        sim.run()
+        airtime = (1024 + FRAME_OVERHEAD_BYTES) * 8 / 2e6
+        assert delivered == [pytest.approx(airtime + link.config.latency_s)]
+
+    def test_fifo_serialization(self):
+        """Two frames share the channel: the second waits its turn."""
+        sim = Simulator(seed=1)
+        link = HalfDuplexLink(sim, LinkConfig(mean_level=29.5))
+        times = []
+        link.send(1024, lambda: times.append(("a", sim.now)))
+        link.send(0, lambda: times.append(("b", sim.now)))
+        sim.run()
+        airtime_a = (1024 + FRAME_OVERHEAD_BYTES) * 8 / 2e6
+        airtime_b = FRAME_OVERHEAD_BYTES * 8 / 2e6
+        assert times[0][0] == "a"
+        assert times[1][1] == pytest.approx(
+            airtime_a + airtime_b + link.config.latency_s
+        )
+
+    def test_nearly_lossless_when_strong(self):
+        sim = Simulator(seed=2)
+        link = HalfDuplexLink(sim, LinkConfig(mean_level=29.5))
+        delivered = []
+        for _ in range(500):
+            link.send(1024, lambda: delivered.append(1))
+        sim.run()
+        assert len(delivered) >= 498
+
+
+class TestLossyLink:
+    def test_error_region_drops_frames(self):
+        sim = Simulator(seed=3)
+        link = HalfDuplexLink(sim, LinkConfig(mean_level=6.5))
+        delivered = []
+        for _ in range(400):
+            link.send(1024, lambda: delivered.append(1))
+        sim.run()
+        assert link.stats.frames_lost_after_arq > 20
+        assert len(delivered) == 400 - link.stats.frames_lost_after_arq
+
+    def test_arq_recovers_most_losses(self):
+        def losses(arq: int) -> int:
+            sim = Simulator(seed=3)
+            link = HalfDuplexLink(
+                sim, LinkConfig(mean_level=6.5, arq_retries=arq)
+            )
+            for _ in range(400):
+                link.send(1024, lambda: None)
+            sim.run()
+            return link.stats.frames_lost_after_arq
+
+        assert losses(3) < losses(0) / 5
+
+    def test_arq_costs_airtime(self):
+        def busy(arq: int) -> float:
+            sim = Simulator(seed=3)
+            link = HalfDuplexLink(
+                sim, LinkConfig(mean_level=6.5, arq_retries=arq)
+            )
+            for _ in range(200):
+                link.send(1024, lambda: None)
+            sim.run()
+            return link.stats.busy_time_s
+
+        assert busy(3) > busy(0) * 1.05

@@ -1,0 +1,137 @@
+"""The snoop agent: caching, suppression, local recovery."""
+
+import pytest
+
+from repro.simkit.simulator import Simulator
+from repro.transport.link import HalfDuplexLink, LinkConfig
+from repro.transport.snoop import (
+    SnoopNetwork,
+    WiredConfig,
+    WiredPipe,
+    run_snoop_transfer,
+)
+from repro.transport.tcp import run_transfer
+
+
+class TestWiredPipe:
+    def test_lossless_ordered_delivery(self):
+        sim = Simulator(seed=1)
+        pipe = WiredPipe(sim, WiredConfig(bandwidth_bps=1e6, latency_s=0.01))
+        arrivals = []
+        pipe.send(1000, lambda: arrivals.append(("a", sim.now)))
+        pipe.send(1000, lambda: arrivals.append(("b", sim.now)))
+        sim.run()
+        assert [name for name, _ in arrivals] == ["a", "b"]
+        airtime = (1000 + 58) * 8 / 1e6
+        assert arrivals[0][1] == pytest.approx(airtime + 0.01)
+        assert arrivals[1][1] == pytest.approx(2 * airtime + 0.01)
+
+
+class TestSnoopAgentMechanics:
+    def _network(self, level=29.5, seed=1):
+        sim = Simulator(seed=seed)
+        wireless = HalfDuplexLink(sim, LinkConfig(mean_level=level))
+        network = SnoopNetwork(sim, WiredPipe(sim), wireless)
+        return sim, network
+
+    def test_caches_forwarded_segments(self):
+        sim, network = self._network()
+        delivered = []
+
+        class FakeReceiver:
+            def on_segment(self, seq):
+                delivered.append(seq)
+
+        network.receiver = FakeReceiver()
+        network._agent_data_arrived(0, 1024)
+        assert 0 in network._cache
+        assert network.stats.segments_cached == 1
+        sim.run_until(0.1)
+        assert delivered == [0]
+
+    def test_new_ack_purges_and_forwards(self):
+        sim, network = self._network()
+        acks = []
+
+        class FakeSender:
+            def on_ack(self, ack):
+                acks.append(ack)
+
+        network.sender = FakeSender()
+        network._cache = {0: 0, 1: 0}
+        network._agent_ack_arrived(2)
+        assert network._cache == {}
+        sim.run_until(0.1)
+        assert acks == [2]
+
+    def test_dupack_suppressed_and_locally_retransmitted(self):
+        sim, network = self._network()
+        acks = []
+        segments = []
+
+        class FakeSender:
+            def on_ack(self, ack):
+                acks.append(ack)
+
+        class FakeReceiver:
+            def on_segment(self, seq):
+                segments.append(seq)
+
+        network.sender = FakeSender()
+        network.receiver = FakeReceiver()
+        network._cache = {3: 0, 4: 0}
+        network._last_ack_seen = 3
+        network._agent_ack_arrived(3)  # duplicate for cached 3
+        sim.run_until(0.1)
+        assert acks == []  # suppressed
+        assert segments == [3]  # locally retransmitted
+        assert network.stats.dupacks_suppressed == 1
+        assert network.stats.local_retransmissions == 1
+
+    def test_uncached_dupack_passes_through(self):
+        sim, network = self._network()
+        acks = []
+
+        class FakeSender:
+            def on_ack(self, ack):
+                acks.append(ack)
+
+        network.sender = FakeSender()
+        network._last_ack_seen = 5
+        network._agent_ack_arrived(5)  # dup, nothing cached
+        sim.run_until(0.1)
+        assert acks == [5]
+
+    def test_local_rto_bounded(self):
+        sim, network = self._network()
+        network._local_rto = 99.0
+        assert network._current_rto() <= network.max_local_rto_s
+        network._backed_off_rto = 50.0
+        assert network._current_rto() <= network.max_local_rto_s
+
+
+class TestSnoopEndToEnd:
+    def test_clean_transfer_unharmed(self):
+        sender, network, link, sim = run_snoop_transfer(
+            LinkConfig(mean_level=29.5), total_segments=150, seed=2,
+            time_limit_s=60,
+        )
+        assert sender.finished
+        assert network.stats.local_retransmissions == 0
+        assert sender.stats.timeouts == 0
+
+    def test_snoop_beats_plain_at_region_edge(self):
+        plain, _, _ = run_transfer(
+            LinkConfig(mean_level=8.0), total_segments=200, seed=7,
+            time_limit_s=120,
+        )
+        snoop, network, _, _ = run_snoop_transfer(
+            LinkConfig(mean_level=8.0), total_segments=200, seed=7,
+            time_limit_s=120,
+        )
+        assert snoop.finished
+        plain_time = plain.finish_time if plain.finished else 120.0
+        assert snoop.finish_time < plain_time / 1.5
+        # The whole point: the fixed sender never saw the losses.
+        assert snoop.stats.timeouts == 0
+        assert network.stats.dupacks_suppressed > 0

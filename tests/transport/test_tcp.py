@@ -1,0 +1,97 @@
+"""TCP-Reno mechanics over clean and lossy links."""
+
+from repro.simkit.simulator import Simulator
+from repro.transport.link import HalfDuplexLink, LinkConfig
+from repro.transport.tcp import TcpReceiver, TcpSender, run_transfer
+
+
+def _transfer(level: float, segments: int = 100, seed: int = 1, arq: int = 0):
+    return run_transfer(
+        LinkConfig(mean_level=level, arq_retries=arq),
+        total_segments=segments,
+        seed=seed,
+        time_limit_s=120.0,
+    )
+
+
+class TestCleanTransfer:
+    def test_completes_without_retransmission(self):
+        sender, link, sim = _transfer(29.5)
+        assert sender.finished
+        assert sender.stats.retransmissions == 0
+        assert sender.stats.timeouts == 0
+
+    def test_throughput_near_link_rate(self):
+        sender, link, sim = _transfer(29.5, segments=300)
+        mbps = 300 * 1024 * 8 / sender.finish_time / 1e6
+        # 2 Mb/s channel minus header+ACK overhead: ~1.75 Mb/s.
+        assert 1.6 < mbps < 1.9
+
+    def test_slow_start_doubles_window(self):
+        from repro.transport.tcp import DirectNetwork
+
+        sim = Simulator(seed=1)
+        link = HalfDuplexLink(sim, LinkConfig(mean_level=29.5))
+        network = DirectNetwork(link)
+        TcpReceiver(sim, network)
+        sender = TcpSender(sim, network, total_segments=64)
+        sender.start()
+        # After a few RTTs of slow start the window has grown well past
+        # the initial 2 segments.
+        sim.run_until(0.2)
+        assert sender.cwnd > 8
+
+    def test_rtt_estimator_converges(self):
+        sender, link, sim = _transfer(29.5, segments=200)
+        assert sender.srtt is not None
+        # RTT ~ data airtime + ack airtime + 2 latencies, plus queueing
+        # behind the shared channel (a full window can be in flight).
+        assert 0.003 < sender.srtt < 0.25
+        assert sender.rto >= sender.config.rto_min_s
+
+
+class TestLossRecovery:
+    def test_fast_retransmit_fires_on_moderate_loss(self):
+        sender, link, sim = _transfer(8.5, segments=400, seed=7)
+        assert sender.finished
+        assert sender.stats.fast_retransmits > 0
+
+    def test_error_region_collapses_plain_tcp(self):
+        plain, _, _ = _transfer(6.5, segments=200, seed=7)
+        helped, _, _ = _transfer(6.5, segments=200, seed=7, arq=3)
+        assert helped.finished
+        helped_time = helped.finish_time
+        if plain.finished:
+            assert plain.finish_time > 3 * helped_time
+        else:
+            assert helped.finished  # plain stalled inside the limit
+
+    def test_timeouts_back_off_exponentially(self):
+        sender, link, sim = _transfer(5.5, segments=50, seed=3)
+        if sender.stats.timeouts >= 2:
+            assert sender.rto > sender.config.rto_min_s
+
+    def test_receiver_reorders_out_of_order_segments(self):
+        sim = Simulator(seed=1)
+        acks = []
+
+        class FakeNetwork:
+            sender = None
+            receiver = None
+
+            def send_ack(self, ack):
+                acks.append(ack)
+
+        receiver = TcpReceiver(sim, FakeNetwork())
+        receiver.on_segment(0)
+        receiver.on_segment(2)  # gap
+        receiver.on_segment(1)  # fills it
+        assert acks == [1, 1, 3]
+
+
+class TestStats:
+    def test_goodput_accounting(self):
+        sender, link, sim = _transfer(8.5, segments=300, seed=11)
+        stats = sender.stats
+        assert stats.goodput_segments == stats.segments_sent - stats.retransmissions
+        assert stats.acks_received > 0
