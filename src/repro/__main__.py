@@ -4,13 +4,17 @@
     python -m repro table5
     python -m repro figure1 --scale 0.5
     python -m repro all --scale 0.2
+    python -m repro table2 --telemetry run.jsonl --metrics
+    python -m repro stats run.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from time import perf_counter
 
+from repro import obs
 from repro.experiments import (
     baseline,
     body,
@@ -62,6 +66,38 @@ _DUPLICATE_OF = {"figure2": "table3", "table6": "table5", "table7": "table5",
                  "table9": "table8", "table12": "table11", "table13": "table11"}
 
 
+def _emit_manifest(
+    experiment: str,
+    counters_before: dict[str, int],
+    wall_clock_s: float,
+    seed: int | None,
+    scale: float | None,
+    git_rev: str | None,
+) -> None:
+    """Build the per-experiment run manifest and write it to the sink."""
+    manifest = obs.build_manifest(
+        experiment,
+        metrics=obs.STATE.metrics,
+        counters_before=counters_before,
+        wall_clock_s=wall_clock_s,
+        seed=seed,
+        scale=scale,
+        git_rev=git_rev,
+    )
+    if obs.STATE.sink is not None:
+        obs.STATE.sink.emit(manifest.to_record())
+
+
+def _finish_observation(want_metrics: bool) -> None:
+    """Flush the final metrics record and optionally print the summary."""
+    snapshot = obs.STATE.metrics.snapshot()
+    if obs.STATE.sink is not None:
+        obs.STATE.sink.emit({"type": "metrics", "metrics": snapshot})
+    if want_metrics:
+        print()
+        print(obs.render_snapshot(snapshot))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -70,7 +106,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'list', or 'all'",
+        help="experiment name, 'list', 'all', or 'stats'",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="('stats' only) telemetry JSONL file to summarize",
     )
     parser.add_argument(
         "--scale",
@@ -83,44 +125,102 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", default=None, help="('report' only) write Markdown here"
     )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="write structured run telemetry (JSONL; gzip if PATH ends "
+             "in .gz) with per-experiment manifests",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect per-layer metrics and print the registry summary "
+             "after the run",
+    )
     args = parser.parse_args(argv)
 
-    if args.experiment == "report":
-        from repro.experiments import report as report_module
+    if args.experiment == "stats":
+        from repro.obs import stats as stats_module
 
-        kwargs = {"scale": args.scale if args.scale is not None else 0.25,
-                  "out": args.out}
-        if args.seed is not None:
-            kwargs["seed"] = args.seed
-        report = report_module.main(**kwargs)
-        return 0 if report.in_band_count == report.total else 1
-
-    if args.experiment == "list":
-        for name, (module, description, default_scale) in EXPERIMENTS.items():
-            print(f"  {name:<10} {description} (default scale {default_scale:g})")
-        print("  report     run everything, emit a paper-vs-measured Markdown "
-              "report (default scale 0.25)")
-        return 0
-
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    seen_modules = set()
-    for name in names:
-        canonical = _DUPLICATE_OF.get(name, name)
-        if canonical not in EXPERIMENTS:
-            print(f"unknown experiment {name!r}; try 'python -m repro list'",
+        if args.target is None:
+            print("usage: python -m repro stats TELEMETRY_FILE",
                   file=sys.stderr)
             return 2
-        module, description, default_scale = EXPERIMENTS[canonical]
-        if module in seen_modules:
-            continue
-        seen_modules.add(module)
-        print("=" * 72)
-        kwargs = {"scale": args.scale if args.scale is not None else default_scale}
-        if args.seed is not None:
-            kwargs["seed"] = args.seed
-        module.main(**kwargs)
-        print()
-    return 0
+        try:
+            return stats_module.main(args.target)
+        except (OSError, ValueError) as exc:
+            print(f"stats: {exc}", file=sys.stderr)
+            return 2
+
+    observing = args.metrics or args.telemetry is not None
+    if observing:
+        try:
+            obs.configure(telemetry_path=args.telemetry)
+        except OSError as exc:
+            print(f"--telemetry: {exc}", file=sys.stderr)
+            return 2
+    git_rev = obs.git_revision() if observing else None
+
+    try:
+        if args.experiment == "report":
+            from repro.experiments import report as report_module
+
+            kwargs = {"scale": args.scale if args.scale is not None else 0.25,
+                      "out": args.out}
+            if args.seed is not None:
+                kwargs["seed"] = args.seed
+            report = report_module.main(**kwargs)
+            if observing:
+                _finish_observation(args.metrics)
+            return 0 if report.in_band_count == report.total else 1
+
+        if args.experiment == "list":
+            for name, (module, description, default_scale) in EXPERIMENTS.items():
+                print(f"  {name:<10} {description} "
+                      f"(default scale {default_scale:g})")
+            print("  report     run everything, emit a paper-vs-measured "
+                  "Markdown report (default scale 0.25)")
+            print("  stats      summarize a telemetry file written with "
+                  "--telemetry")
+            return 0
+
+        names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        seen_modules = set()
+        for name in names:
+            canonical = _DUPLICATE_OF.get(name, name)
+            if canonical not in EXPERIMENTS:
+                print(f"unknown experiment {name!r}; try 'python -m repro list'",
+                      file=sys.stderr)
+                return 2
+            module, description, default_scale = EXPERIMENTS[canonical]
+            if module in seen_modules:
+                continue
+            seen_modules.add(module)
+            print("=" * 72)
+            kwargs = {"scale": args.scale if args.scale is not None
+                      else default_scale}
+            if args.seed is not None:
+                kwargs["seed"] = args.seed
+            counters_before = obs.STATE.metrics.counters_snapshot()
+            start = perf_counter()
+            module.main(**kwargs)
+            if observing:
+                _emit_manifest(
+                    canonical,
+                    counters_before,
+                    perf_counter() - start,
+                    seed=args.seed,
+                    scale=kwargs["scale"],
+                    git_rev=git_rev,
+                )
+            print()
+        if observing:
+            _finish_observation(args.metrics)
+        return 0
+    finally:
+        if observing:
+            obs.reset()
 
 
 if __name__ == "__main__":

@@ -37,6 +37,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import runtime as _obs
 from repro.framing.testpacket import (
     BODY_START,
     FRAME_BYTES,
@@ -89,6 +90,17 @@ class MatchResult:
     header_led: bool = False
 
 
+def _path_counter_name(result: MatchResult) -> str:
+    """Which ``match.*`` counter a finished match result lands in."""
+    if result.outcome is MatchOutcome.OUTSIDER:
+        return "match.outsiders"
+    if result.exact:
+        return "match.fast_path_hits"
+    if result.header_led:
+        return "match.header_path_hits"
+    return "match.voting_path_hits"
+
+
 class TraceMatcher:
     """Matches records against one trial's test-packet series.
 
@@ -109,6 +121,18 @@ class TraceMatcher:
 
     def match_bytes(self, data: bytes) -> MatchResult:
         """Like :meth:`match` for callers that already hold the bytes."""
+        state = _obs.STATE
+        if not state.enabled:
+            return self._match_impl(data)
+        if state.profiling:
+            with state.metrics.timer("profile.match").time():
+                result = self._match_impl(data)
+        else:
+            result = self._match_impl(data)
+        state.metrics.counter(_path_counter_name(result)).inc()
+        return result
+
+    def _match_impl(self, data: bytes) -> MatchResult:
         fast = self._fast_match(data)
         if fast is not None:
             return fast

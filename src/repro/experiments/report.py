@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass, field
+from time import perf_counter
 
+from repro import obs
 from repro.experiments import (
     baseline,
     body,
@@ -47,8 +49,19 @@ class ReportLine:
 
 
 @dataclass
+class ExperimentResources:
+    """Resource footprint of one experiment within the report run."""
+
+    experiment: str
+    wall_clock_s: float
+    events_fired: int
+    packets_offered: int
+
+
+@dataclass
 class ReproductionReport:
     lines: list[ReportLine] = field(default_factory=list)
+    resources: list[ExperimentResources] = field(default_factory=list)
 
     def add(
         self,
@@ -80,14 +93,70 @@ class ReproductionReport:
         out.write("|---|---|---|---|---|\n")
         for line in self.lines:
             out.write(line.markdown() + "\n")
+        if self.resources:
+            out.write("\n## Resource footprint\n\n")
+            out.write("| experiment | wall-clock (s) | events fired "
+                      "| packets simulated |\n")
+            out.write("|---|---:|---:|---:|\n")
+            for r in self.resources:
+                out.write(
+                    f"| {r.experiment} | {r.wall_clock_s:.2f} "
+                    f"| {r.events_fired} | {r.packets_offered} |\n"
+                )
+            out.write(
+                f"| **total** "
+                f"| {sum(r.wall_clock_s for r in self.resources):.2f} "
+                f"| {sum(r.events_fired for r in self.resources)} "
+                f"| {sum(r.packets_offered for r in self.resources)} |\n"
+            )
         return out.getvalue()
 
 
 def build_report(scale: float = 0.25, seed: int = 1996) -> ReproductionReport:
-    """Run every experiment at ``scale`` and compare headline numbers."""
-    report = ReproductionReport()
+    """Run every experiment at ``scale`` and compare headline numbers.
 
-    r = baseline.run(scale=max(scale * 0.2, 0.01), seed=seed)
+    Runs under an observability session (reusing the CLI's if one is
+    active): each experiment is timed, its per-layer counter deltas are
+    folded into a run manifest (written to the telemetry sink when one
+    is open), and the report gains a resource-footprint footer.
+    """
+    report = ReproductionReport()
+    with obs.ensure_metrics() as state:
+        git_rev = obs.git_revision()
+
+        def timed(name, thunk):
+            counters_before = state.metrics.counters_snapshot()
+            start = perf_counter()
+            result = thunk()
+            manifest = obs.build_manifest(
+                name,
+                metrics=state.metrics,
+                counters_before=counters_before,
+                wall_clock_s=perf_counter() - start,
+                seed=seed,
+                scale=scale,
+                git_rev=git_rev,
+            )
+            if state.sink is not None:
+                state.sink.emit(manifest.to_record())
+            report.resources.append(
+                ExperimentResources(
+                    experiment=name,
+                    wall_clock_s=manifest.wall_clock_s,
+                    events_fired=manifest.events_fired,
+                    packets_offered=manifest.packets_offered,
+                )
+            )
+            return result
+
+        _populate_report(report, timed, scale, seed)
+    return report
+
+
+def _populate_report(report, timed, scale: float, seed: int) -> None:
+    """Run every experiment (through ``timed``) and add headline lines."""
+    r = timed("table2", lambda: baseline.run(scale=max(scale * 0.2, 0.01),
+                                             seed=seed))
     report.add(
         "T2 baseline", "worst trial loss", "<= .07%",
         f"{r.worst_loss_percent:.3f}%", r.worst_loss_percent < 0.2,
@@ -97,7 +166,8 @@ def build_report(scale: float = 0.25, seed: int = 1996) -> ReproductionReport:
         f"{r.aggregate_ber:.1e}", r.aggregate_ber < 1e-7,
     )
 
-    f1 = signal_vs_distance.run(scale=scale, seed=seed + 1)
+    f1 = timed("figure1", lambda: signal_vs_distance.run(scale=scale,
+                                                          seed=seed + 1))
     report.add(
         "F1 path loss", "dip at 6 ft", "noticeable",
         f"{f1.dip_depth(6.0):.1f} levels", f1.dip_depth(6.0) > 2.0,
@@ -107,7 +177,8 @@ def build_report(scale: float = 0.25, seed: int = 1996) -> ReproductionReport:
         f"{f1.dip_depth(30.0):.1f} levels", f1.dip_depth(30.0) > 2.0,
     )
 
-    t3 = error_vs_level.run(scale=scale, seed=seed + 2)
+    t3 = timed("table3", lambda: error_vs_level.run(scale=scale,
+                                                     seed=seed + 2))
     damaged_mean = t3.group("Body damaged").level.mean
     undamaged_mean = t3.group("Undamaged").level.mean
     report.add(
@@ -120,7 +191,7 @@ def build_report(scale: float = 0.25, seed: int = 1996) -> ReproductionReport:
         undamaged_mean - damaged_mean > 2.0,
     )
 
-    t4 = walls.run(scale=scale, seed=seed + 3)
+    t4 = timed("table4", lambda: walls.run(scale=scale, seed=seed + 3))
     plaster = t4.wall_cost(("Air 1", "Wall 1"))
     concrete = t4.wall_cost(("Air 2", "Wall 2"))
     report.add("T4 walls", "plaster+mesh cost", "~5 levels",
@@ -128,7 +199,7 @@ def build_report(scale: float = 0.25, seed: int = 1996) -> ReproductionReport:
     report.add("T4 walls", "concrete cost", "~2 levels",
                f"{concrete:.1f}", 1.0 < concrete < 3.0)
 
-    t5 = multiroom.run(scale=scale, seed=seed + 4)
+    t5 = timed("table5", lambda: multiroom.run(scale=scale, seed=seed + 4))
     tx5 = t5.metrics("Tx5")
     report.add(
         "T5-7 multiroom", "Tx5 level mean", "9.50",
@@ -140,13 +211,14 @@ def build_report(scale: float = 0.25, seed: int = 1996) -> ReproductionReport:
         tx5.body_damaged_packets > 0,
     )
 
-    t8 = body.run(scale=scale, seed=seed + 5)
+    t8 = timed("table8", lambda: body.run(scale=scale, seed=seed + 5))
     report.add(
         "T8-9 body", "body cost", "~5.8 levels",
         f"{t8.body_cost_levels:.1f}", 4.5 < t8.body_cost_levels < 7.5,
     )
 
-    t10 = phones_narrowband.run(scale=scale, seed=seed + 6)
+    t10 = timed("table10", lambda: phones_narrowband.run(scale=scale,
+                                                          seed=seed + 6))
     ordering_ok = (
         t10.silence_mean("Bases nearby")
         > t10.silence_mean("Cluster")
@@ -164,7 +236,8 @@ def build_report(scale: float = 0.25, seed: int = 1996) -> ReproductionReport:
         "reproduced" if ordering_ok else "violated", ordering_ok,
     )
 
-    t11 = phones_spread.run(scale=scale, seed=seed + 7)
+    t11 = timed("table11", lambda: phones_spread.run(scale=scale,
+                                                      seed=seed + 7))
     stomped = t11.summary("RS base")
     handset = t11.summary("AT&T handset")
     report.add(
@@ -185,7 +258,8 @@ def build_report(scale: float = 0.25, seed: int = 1996) -> ReproductionReport:
         t11.summary("RS remote cluster").loss_percent < 1.0,
     )
 
-    t14 = competing.run(scale=scale, seed=seed + 8, include_unusable=True)
+    t14 = timed("table14", lambda: competing.run(scale=scale, seed=seed + 8,
+                                                  include_unusable=True))
     masked = t14.metrics("With interference")
     silence_delta = t14.silence_mean("With interference") - t14.silence_mean(
         "Without interference"
@@ -204,7 +278,8 @@ def build_report(scale: float = 0.25, seed: int = 1996) -> ReproductionReport:
         t14.unusable_metrics.packet_loss_percent > 50,
     )
 
-    x1 = fec_eval.run(scale=scale, seed=seed + 9, syndrome_limit=25)
+    x1 = timed("fec", lambda: fec_eval.run(scale=scale, seed=seed + 9,
+                                            syndrome_limit=25))
     tx5_fec = x1.outcome("Tx5 attenuation", "4/5", interleaved=True)
     ss_fec = x1.outcome("SS-phone handset", "1/2", interleaved=True)
     report.add(
@@ -220,7 +295,8 @@ def build_report(scale: float = 0.25, seed: int = 1996) -> ReproductionReport:
 
     # MAC statistics need enough frames to wash out the startup
     # transient (all three senders fire at t=0).
-    x3 = mac_ablation.run(scale=max(scale, 0.7), seed=seed + 10)
+    x3 = timed("mac", lambda: mac_ablation.run(scale=max(scale, 0.7),
+                                                seed=seed + 10))
     report.add(
         "X3 MAC", "blind CSMA/CD delivery", "(rationale for CSMA/CA)",
         f"{100 * x3.outcome('csma_cd_blind').delivery_fraction:.0f}%",
@@ -232,7 +308,8 @@ def build_report(scale: float = 0.25, seed: int = 1996) -> ReproductionReport:
         x3.outcome("csma_ca").delivery_fraction > 0.85,
     )
 
-    x6 = hidden_terminal.run(scale=scale, seed=seed + 11)
+    x6 = timed("hidden", lambda: hidden_terminal.run(scale=scale,
+                                                      seed=seed + 11))
     report.add(
         "X6 hidden terminal", "capture saves stronger sender",
         "conjectured",
@@ -240,13 +317,12 @@ def build_report(scale: float = 0.25, seed: int = 1996) -> ReproductionReport:
         x6.outcome("hidden, receiver off-centre").stronger_intact_fraction > 0.7,
     )
 
-    x7 = throughput.run(scale=scale, seed=seed + 12)
+    x7 = timed("throughput", lambda: throughput.run(scale=scale,
+                                                     seed=seed + 12))
     report.add(
         "X7 throughput", "FEC/raw crossover level", "inside error region (<8)",
         f"{x7.crossover_level():.1f}", 4.0 <= x7.crossover_level() <= 8.0,
     )
-
-    return report
 
 
 def main(scale: float = 0.25, seed: int = 1996, out: str | None = None) -> ReproductionReport:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fec.convolutional import ConvolutionalCode
+from repro.obs import runtime as _obs
 
 ERASED = 2  # sentinel value in the received stream: no bit at this slot
 
@@ -68,6 +69,19 @@ def viterbi_decode(
     Returns the decoded information bits (flush bits stripped when
     ``terminated``).
     """
+    state = _obs.STATE
+    if state.profiling:
+        with state.metrics.timer("profile.viterbi_decode").time():
+            return _decode_impl(code, received, terminated, weights)
+    return _decode_impl(code, received, terminated, weights)
+
+
+def _decode_impl(
+    code: ConvolutionalCode,
+    received: np.ndarray,
+    terminated: bool,
+    weights: np.ndarray | None,
+) -> np.ndarray:
     received = np.asarray(received, dtype=np.uint8)
     n_out = code.n_outputs
     if len(received) % n_out != 0:

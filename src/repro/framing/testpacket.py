@@ -22,6 +22,7 @@ from repro.framing.crc import crc32
 from repro.framing.ethernet import EthernetFrame, MacAddress
 from repro.framing.ip import Ipv4Header
 from repro.framing.udp import UdpHeader
+from repro.obs import runtime as _obs
 
 WORDS_PER_PACKET = 256
 WORD_BYTES = 4
@@ -145,6 +146,13 @@ class TestPacketFactory:
         id + checksum, UDP checksum, body word) into precomputed
         templates.
         """
+        state = _obs.STATE
+        if state.profiling:
+            with state.metrics.timer("profile.frame_build").time():
+                return self._build_impl(sequence)
+        return self._build_impl(sequence)
+
+    def _build_impl(self, sequence: int) -> bytes:
         word = self.body_word(sequence)
         body = word * WORDS_PER_PACKET
         ident = sequence & 0xFFFF

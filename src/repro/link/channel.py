@@ -27,8 +27,9 @@ import numpy as np
 from repro.environment.propagation import PropagationModel
 from repro.interference.base import InterferenceSource
 from repro.link.station import LinkStation, ReceivedFrame
+from repro.obs import runtime as _obs
 from repro.phy.errormodel import InterferenceSample
-from repro.phy.modem import RxDisposition
+from repro.phy.modem import DropReason, RxDisposition
 from repro.simkit.event import Event
 from repro.simkit.simulator import Simulator
 from repro.units import level_to_dbm
@@ -169,6 +170,9 @@ class RadioChannel:
         )
         self.active[station_id] = tx
         self.stats.transmissions += 1
+        state = _obs.STATE
+        if state.enabled:
+            state.metrics.counter("link.transmissions").inc()
         return duration
 
     def collision_detected(self, station_id: int) -> bool:
@@ -184,6 +188,11 @@ class RadioChannel:
         tx.aborted = True
         self.sim.cancel(tx.completion)
         self.stats.aborted += 1
+        state = _obs.STATE
+        if state.enabled:
+            state.metrics.counter(
+                "link.drops", reason=DropReason.MAC_COLLISION.value
+            ).inc()
 
     # ------------------------------------------------------------------
     # Delivery
@@ -241,12 +250,17 @@ class RadioChannel:
     def _complete(self, tx: ActiveTransmission) -> None:
         self.active.pop(tx.station_id, None)
         sender = self.stations[tx.station_id]
+        state = _obs.STATE
         for receiver in self.stations.values():
             if receiver.station_id == tx.station_id:
                 continue
             if receiver.station_id in self.active:
                 # Half duplex: a station that is itself transmitting
                 # cannot receive.
+                if state.enabled:
+                    state.metrics.counter(
+                        "link.drops", reason=DropReason.HALF_DUPLEX.value
+                    ).inc()
                 continue
             self._deliver(tx, sender, receiver)
 
@@ -261,20 +275,29 @@ class RadioChannel:
         reception = receiver.modem.receive(
             tx.frame, signal_level, ambient, rng, samples
         )
-        if reception.disposition is RxDisposition.MISSED:
-            self.stats.misses += 1
-            return
-        if reception.disposition is RxDisposition.THRESHOLD_FILTERED:
-            self.stats.threshold_filtered += 1
-            return
-        if reception.disposition is RxDisposition.QUALITY_FILTERED:
-            self.stats.quality_filtered += 1
+        state = _obs.STATE
+        if reception.disposition is not RxDisposition.DELIVERED:
+            if reception.disposition is RxDisposition.MISSED:
+                self.stats.misses += 1
+            elif reception.disposition is RxDisposition.THRESHOLD_FILTERED:
+                self.stats.threshold_filtered += 1
+            else:
+                self.stats.quality_filtered += 1
+            if state.enabled:
+                reason = DropReason.from_disposition(reception.disposition)
+                state.metrics.counter("link.drops", reason=reason.value).inc()
             return
         result = receiver.controller.receive(reception.data)
         if not result.delivered:
             self.stats.controller_rejected += 1
+            if state.enabled:
+                state.metrics.counter(
+                    "link.drops", reason=DropReason.CONTROLLER_REJECTED.value
+                ).inc()
             return
         self.stats.deliveries += 1
+        if state.enabled:
+            state.metrics.counter("link.deliveries").inc()
         receiver.deliver(
             ReceivedFrame(
                 data=reception.data,

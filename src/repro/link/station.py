@@ -8,6 +8,7 @@ from typing import Callable, Optional
 from repro.environment.geometry import Point
 from repro.framing.ethernet import MacAddress
 from repro.mac.controller import ControllerConfig, LanController
+from repro.obs import runtime as _obs
 from repro.phy.modem import ModemConfig, ModemRxStatus, WaveLanModem
 
 
@@ -73,6 +74,9 @@ class LinkStation:
     def deliver(self, frame: ReceivedFrame) -> None:
         """Called by the channel when the controller accepted a frame."""
         self.log.append(frame)
+        state = _obs.STATE
+        if state.enabled:
+            state.metrics.counter("link.frames_logged").inc()
         if self.on_receive is not None:
             self.on_receive(frame)
 

@@ -18,6 +18,7 @@ from typing import Optional
 from repro.framing import ethernet, modem
 from repro.framing.crc import check_fcs
 from repro.framing.ethernet import MacAddress
+from repro.obs import runtime as _obs
 
 
 class RxFrameStatus(enum.Enum):
@@ -64,6 +65,9 @@ class LanController:
 
     def _count(self, status: RxFrameStatus) -> None:
         self.stats[status] = self.stats.get(status, 0) + 1
+        state = _obs.STATE
+        if state.enabled:
+            state.metrics.counter("mac.controller_rx", status=status.value).inc()
 
     def receive(self, modem_frame: bytes) -> RxResult:
         """Apply network-ID, length, address and CRC filters.

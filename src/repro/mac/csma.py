@@ -25,6 +25,7 @@ from typing import Callable, Optional, Protocol
 import numpy as np
 
 from repro.mac.backoff import BackoffPolicy
+from repro.obs import runtime as _obs
 from repro.simkit.simulator import Simulator
 
 
@@ -111,25 +112,45 @@ class CsmaCaMac:
             return
         frame = self._queue[0]
         self.stats.attempts += 1
+        state = _obs.STATE
+        if state.enabled:
+            state.metrics.counter("mac.attempts", protocol="csma_ca").inc()
         if self.medium.carrier_busy(self.station_id):
             # Busy medium == collision under CSMA/CA.
             self.stats.collisions += 1
+            if state.enabled:
+                state.metrics.counter("mac.collisions", protocol="csma_ca").inc()
             next_attempt = attempt + 1
             if self.backoff.exhausted(next_attempt):
                 self.stats.drops += 1
+                if state.enabled:
+                    state.metrics.counter(
+                        "mac.drops", reason="backoff_exhausted"
+                    ).inc()
                 self._queue.pop(0)
                 if self.on_dropped is not None:
                     self.on_dropped(frame)
                 self.sim.schedule(0.0, self._attempt_head, name="mac.next")
                 return
-            delay = self._gap() + self.backoff.delay(next_attempt, self.rng)
+            # Draw order (gap, then backoff) must match the original
+            # single-expression form to keep the rng stream stable.
+            gap = self._gap()
+            backoff_delay = self.backoff.delay(next_attempt, self.rng)
+            if state.enabled:
+                state.metrics.histogram("mac.backoff_slots").record(
+                    backoff_delay / self.backoff.slot_time_s
+                )
             self.sim.schedule(
-                delay, lambda: self._attempt_head(next_attempt), name="mac.retry"
+                gap + backoff_delay,
+                lambda: self._attempt_head(next_attempt),
+                name="mac.retry",
             )
             return
         # Medium free: transmit now.
         duration = self.medium.begin_transmission(self.station_id, frame)
         self.stats.transmissions += 1
+        if state.enabled:
+            state.metrics.counter("mac.transmissions", protocol="csma_ca").inc()
         self._queue.pop(0)
         if self.on_sent is not None:
             self.on_sent(frame)
@@ -188,6 +209,9 @@ class CsmaCdMac:
             return
         frame = self._queue[0]
         self.stats.attempts += 1
+        state = _obs.STATE
+        if state.enabled:
+            state.metrics.counter("mac.attempts", protocol="csma_cd").inc()
         duration = self.medium.begin_transmission(self.station_id, frame)
         # Collision window: check shortly after the transmission starts.
         self.sim.schedule(
@@ -197,24 +221,37 @@ class CsmaCdMac:
         )
 
     def _after_start(self, frame: bytes, duration: float, attempt: int) -> None:
+        state = _obs.STATE
         if self.medium.collision_detected(self.station_id):
             self.medium.abort_transmission(self.station_id)
             self.stats.collisions += 1
+            if state.enabled:
+                state.metrics.counter("mac.collisions", protocol="csma_cd").inc()
             next_attempt = attempt + 1
             if self.backoff.exhausted(next_attempt):
                 self.stats.drops += 1
+                if state.enabled:
+                    state.metrics.counter(
+                        "mac.drops", reason="backoff_exhausted"
+                    ).inc()
                 self._queue.pop(0)
                 if self.on_dropped is not None:
                     self.on_dropped(frame)
                 self.sim.schedule(0.0, self._attempt_head, name="mac.next")
                 return
             delay = self.backoff.delay(next_attempt, self.rng)
+            if state.enabled:
+                state.metrics.histogram("mac.backoff_slots").record(
+                    delay / self.backoff.slot_time_s
+                )
             self.sim.schedule(
                 delay, lambda: self._attempt_head(next_attempt), name="mac.retry"
             )
             return
         # No collision: let the transmission complete.
         self.stats.transmissions += 1
+        if state.enabled:
+            state.metrics.counter("mac.transmissions", protocol="csma_cd").inc()
         self._queue.pop(0)
         if self.on_sent is not None:
             self.on_sent(frame)

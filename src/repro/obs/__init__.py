@@ -1,0 +1,80 @@
+"""Instrumentation bus: metrics, run telemetry, and profiling hooks.
+
+The paper's contribution rests on *instrumented* measurement — a driver
+modified to log every received bit plus per-packet status.  This package
+gives the reproduction the same property about itself: a metrics
+registry with hierarchical names (``phy.bits_flipped``,
+``link.drops{reason=...}``), structured JSONL run telemetry, per-run
+manifests, and profiling timers around the hot paths — all near-zero
+cost when disabled (the default).
+
+Quick use::
+
+    from repro import obs
+
+    with obs.session(telemetry_path="run.jsonl") as state:
+        ...  # run experiments; layers record into state.metrics
+        print(obs.render_snapshot(state.metrics.snapshot()))
+
+See docs/OBSERVABILITY.md for the metric namespace and file schema.
+"""
+
+from repro.obs.events import (
+    EventTracer,
+    JsonlTelemetrySink,
+    TELEMETRY_FORMAT,
+    TELEMETRY_KIND,
+    read_telemetry,
+)
+from repro.obs.manifest import RunManifest, build_manifest, git_revision
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    NULL_SPAN,
+    Timer,
+    render_snapshot,
+    scoped_name,
+)
+from repro.obs.runtime import (
+    STATE,
+    ObsState,
+    configure,
+    ensure_metrics,
+    metrics,
+    reset,
+    session,
+    span,
+)
+from repro.obs.stats import TelemetrySummary, render_summary, summarize_telemetry
+
+__all__ = [
+    "Counter",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "JsonlTelemetrySink",
+    "Metrics",
+    "NULL_SPAN",
+    "ObsState",
+    "RunManifest",
+    "STATE",
+    "TELEMETRY_FORMAT",
+    "TELEMETRY_KIND",
+    "TelemetrySummary",
+    "Timer",
+    "build_manifest",
+    "configure",
+    "ensure_metrics",
+    "git_revision",
+    "metrics",
+    "read_telemetry",
+    "render_snapshot",
+    "render_summary",
+    "reset",
+    "scoped_name",
+    "session",
+    "span",
+    "summarize_telemetry",
+]

@@ -1,0 +1,138 @@
+"""Structured run telemetry: the JSONL sink and the simulator tracer.
+
+The telemetry file follows the same conventions as the trial-trace
+format (docs/TRACE_FORMAT.md): JSON-lines, gzipped when the filename
+ends in ``.gz``, a self-describing header on line 1, and a reader that
+refuses unknown versions loudly.  Record types after the header:
+
+* ``event`` — one fired simulator event (name, sim time, queueing
+  delay, handler wall-clock, queue depth after firing);
+* ``manifest`` — one per-experiment run manifest (see
+  :mod:`repro.obs.manifest`);
+* ``metrics`` — a full metrics snapshot, normally emitted once when the
+  observability session closes.
+
+The schema is documented in docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import time
+from pathlib import Path
+from typing import IO, Iterator, Optional, Union
+
+TELEMETRY_FORMAT = 1
+TELEMETRY_KIND = "repro-telemetry"
+
+PathLike = Union[str, Path]
+
+
+def _open(path: PathLike, mode: str) -> IO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+class JsonlTelemetrySink:
+    """Append-only JSONL telemetry writer.
+
+    Writes the header eagerly so even an aborted run leaves a valid,
+    identifiable file.  ``emit`` takes any JSON-serializable mapping
+    with a ``type`` key; the sink never rewrites or buffers records
+    beyond the underlying stream's own buffering.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.records_written = 0
+        self._stream: Optional[IO] = _open(path, "w")
+        self._stream.write(json.dumps({
+            "format": TELEMETRY_FORMAT,
+            "kind": TELEMETRY_KIND,
+            "created_unix": time.time(),
+        }) + "\n")
+
+    def emit(self, record: dict) -> None:
+        if self._stream is None:
+            raise ValueError(f"{self.path}: telemetry sink already closed")
+        self._stream.write(json.dumps(record) + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "JsonlTelemetrySink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_telemetry(path: PathLike) -> tuple[dict, list[dict]]:
+    """Read a telemetry file; returns ``(header, records)``.
+
+    Raises ValueError on kind/format mismatches — same contract as the
+    trial-trace reader.
+    """
+    with _open(path, "r") as stream:
+        header_line = stream.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty telemetry file")
+        header = json.loads(header_line)
+        if header.get("kind") != TELEMETRY_KIND:
+            raise ValueError(f"{path}: not a telemetry file")
+        if header.get("format") != TELEMETRY_FORMAT:
+            raise ValueError(
+                f"{path}: format {header.get('format')} "
+                f"(this reader supports {TELEMETRY_FORMAT})"
+            )
+        records = [json.loads(line) for line in stream if line.strip()]
+    return header, records
+
+
+def iter_telemetry(path: PathLike) -> Iterator[dict]:
+    """Stream records (header validated and skipped)."""
+    header, records = read_telemetry(path)
+    yield from records
+
+
+class EventTracer:
+    """Per-event tracing hook the :class:`~repro.simkit.simulator.Simulator`
+    calls from its dispatch loop.
+
+    ``sample_every`` thins the record stream (1 = every event); the
+    aggregate histograms in the metrics registry are unaffected by
+    sampling, so summaries stay exact even when the event log is thinned.
+    """
+
+    def __init__(self, sink: JsonlTelemetrySink, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.sink = sink
+        self.sample_every = sample_every
+        self.events_seen = 0
+
+    def event_fired(
+        self,
+        name: str,
+        sim_time: float,
+        created_time: float,
+        duration_s: float,
+        queue_depth: int,
+    ) -> None:
+        self.events_seen += 1
+        if self.events_seen % self.sample_every:
+            return
+        self.sink.emit({
+            "type": "event",
+            "name": name,
+            "sim_t": sim_time,
+            "queued_s": sim_time - created_time,
+            "dur_us": duration_s * 1e6,
+            "queue_depth": queue_depth,
+        })

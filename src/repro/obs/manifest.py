@@ -1,0 +1,114 @@
+"""Per-run manifests: the run-level metadata the paper's methodology
+kept (who measured, with what configuration, for how long) and that
+trace-driven replay arguments depend on.
+
+A manifest is built per experiment from a before/after pair of counter
+snapshots, so concurrent-in-process experiments compose: each manifest
+reports only the counter *deltas* its experiment produced.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.metrics import Metrics
+
+_RNG_PREFIX = "rng.calls{stream="
+
+
+def git_revision() -> Optional[str]:
+    """Short git revision of the working tree, or None outside a repo."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+@dataclass
+class RunManifest:
+    """Run-level metadata for one experiment execution."""
+
+    experiment: str
+    seed: Optional[int]
+    scale: Optional[float]
+    git_rev: Optional[str]
+    wall_clock_s: float
+    events_fired: int
+    packets_offered: int
+    rng_streams: dict[str, int] = field(default_factory=dict)
+    layer_counters: dict[str, int] = field(default_factory=dict)
+
+    def to_record(self) -> dict:
+        """The ``type: manifest`` telemetry record."""
+        return {
+            "type": "manifest",
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "scale": self.scale,
+            "git_rev": self.git_rev,
+            "wall_clock_s": self.wall_clock_s,
+            "events_fired": self.events_fired,
+            "packets_offered": self.packets_offered,
+            "rng_streams": self.rng_streams,
+            "layer_counters": self.layer_counters,
+        }
+
+
+def counter_deltas(
+    before: dict[str, int], after: dict[str, int]
+) -> dict[str, int]:
+    """Nonzero counter increases between two snapshots."""
+    deltas: dict[str, int] = {}
+    for key, value in after.items():
+        delta = value - before.get(key, 0)
+        if delta:
+            deltas[key] = delta
+    return deltas
+
+
+def build_manifest(
+    experiment: str,
+    *,
+    metrics: Metrics,
+    counters_before: dict[str, int],
+    wall_clock_s: float,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    git_rev: Optional[str] = None,
+) -> RunManifest:
+    """Fold a before/after counter diff into a :class:`RunManifest`.
+
+    RNG-stream call counts (``rng.calls{stream=...}``) are split out of
+    the layer counters into their own mapping.
+    """
+    deltas = counter_deltas(counters_before, metrics.counters_snapshot())
+    rng_streams: dict[str, int] = {}
+    layer_counters: dict[str, int] = {}
+    for key, delta in deltas.items():
+        if key.startswith(_RNG_PREFIX) and key.endswith("}"):
+            rng_streams[key[len(_RNG_PREFIX):-1]] = delta
+        else:
+            layer_counters[key] = delta
+    return RunManifest(
+        experiment=experiment,
+        seed=seed,
+        scale=scale,
+        git_rev=git_rev,
+        wall_clock_s=wall_clock_s,
+        events_fired=layer_counters.get("sim.events_fired", 0),
+        packets_offered=layer_counters.get("trace.packets_offered", 0),
+        rng_streams=rng_streams,
+        layer_counters=layer_counters,
+    )

@@ -1,0 +1,315 @@
+"""Metric instruments and the hierarchical registry.
+
+The registry hands out four instrument kinds, all addressed by a
+dot-hierarchical name plus optional labels::
+
+    registry.counter("phy.bits_flipped").inc(3)
+    registry.counter("link.drops", reason="mac_collision").inc()
+    registry.gauge("sim.queue_depth").set(17)
+    with registry.timer("profile.trial_fast").time():
+        ...
+
+Names follow the layer namespace documented in docs/OBSERVABILITY.md
+(``sim.*``, ``phy.*``, ``mac.*``, ``link.*``, ``trace.*``, ``match.*``,
+``fec.*``, ``rng.*``, ``profile.*``).  Labels are folded into the storage
+key as ``name{k=v,...}`` with keys sorted, so snapshots are plain
+string-keyed dictionaries.
+
+A registry created with ``enabled=False`` returns shared *null*
+instruments whose mutators are no-ops — the disabled mode the hot paths
+rely on.  Instrument handles are cheap to re-fetch (one dict lookup) but
+callers on per-event paths should fetch once and hold the handle.
+"""
+
+from __future__ import annotations
+
+import math
+from time import perf_counter
+from typing import Optional
+
+
+def scoped_name(name: str, labels: Optional[dict] = None) -> str:
+    """Fold ``labels`` into a flat storage key: ``name{k=v,...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary statistics (count/total/min/max/stddev).
+
+    Keeps running moments rather than samples, so recording is O(1) and
+    the memory footprint is constant regardless of event volume.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_sumsq")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._sumsq = 0.0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self._sumsq += value * value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        variance = self._sumsq / self.count - self.mean**2
+        return math.sqrt(max(0.0, variance))
+
+    def summary(self) -> dict:
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "min": None, "max": None,
+                    "mean": 0.0, "stddev": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "stddev": self.stddev,
+        }
+
+
+class Timer:
+    """A histogram of elapsed seconds with a context-manager front end."""
+
+    __slots__ = ("histogram",)
+
+    def __init__(self) -> None:
+        self.histogram = Histogram()
+
+    def time(self) -> "_TimerSpan":
+        return _TimerSpan(self.histogram)
+
+    def record(self, elapsed_s: float) -> None:
+        self.histogram.record(elapsed_s)
+
+    @property
+    def count(self) -> int:
+        return self.histogram.count
+
+    @property
+    def total_s(self) -> float:
+        return self.histogram.total
+
+
+class _TimerSpan:
+    """One timed region; records wall-clock seconds on exit."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerSpan":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.record(perf_counter() - self._start)
+
+
+# ----------------------------------------------------------------------
+# Null instruments: what a disabled registry hands out.  All mutators
+# are no-ops; reads report zero/empty.  Shared singletons, stateless.
+# ----------------------------------------------------------------------
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def record(self, value: float) -> None:
+        pass
+
+
+class _NullSpan:
+    """A reusable no-op context manager (no per-use state)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def time(self) -> "_NullSpan":  # type: ignore[override]
+        return NULL_SPAN
+
+    def record(self, elapsed_s: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+NULL_SPAN = _NullSpan()
+NULL_TIMER = _NullTimer()
+
+
+class Metrics:
+    """The instrument registry.
+
+    One instance per observability session; the process-wide default
+    lives in :mod:`repro.obs.runtime` and is disabled until the CLI (or
+    a test) configures a session.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._timers: dict[str, Timer] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        key = scoped_name(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        key = scoped_name(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        key = scoped_name(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    def timer(self, name: str, **labels: str) -> Timer:
+        if not self.enabled:
+            return NULL_TIMER
+        key = scoped_name(name, labels)
+        instrument = self._timers.get(key)
+        if instrument is None:
+            instrument = self._timers[key] = Timer()
+        return instrument
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """All instrument values as plain JSON-serializable dictionaries."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.summary() for k, h in sorted(self._histograms.items())
+            },
+            "timers": {
+                k: t.histogram.summary() for k, t in sorted(self._timers.items())
+            },
+        }
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """Just the counters — the cheap diffable slice manifests use."""
+        return {k: c.value for k, c in self._counters.items()}
+
+    def reset(self) -> None:
+        """Forget every instrument (values and registrations)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._timers.clear()
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Human-readable multi-section rendering of :meth:`Metrics.snapshot`."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(k) for k in counters)
+        for key, value in counters.items():
+            lines.append(f"  {key:<{width}}  {value}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(k) for k in gauges)
+        for key, value in gauges.items():
+            lines.append(f"  {key:<{width}}  {value:g}")
+    for section in ("histograms", "timers"):
+        entries = snapshot.get(section, {})
+        if not entries:
+            continue
+        lines.append(f"{section}:")
+        width = max(len(k) for k in entries)
+        for key, summary in entries.items():
+            if summary["count"] == 0:
+                lines.append(f"  {key:<{width}}  (empty)")
+                continue
+            lines.append(
+                f"  {key:<{width}}  n={summary['count']} "
+                f"mean={summary['mean']:.3g} min={summary['min']:.3g} "
+                f"max={summary['max']:.3g} total={summary['total']:.3g}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"

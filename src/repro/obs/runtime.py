@@ -1,0 +1,126 @@
+"""The process-wide observability state and its lifecycle.
+
+Instrumented modules consult one module-level :data:`STATE` object.  By
+default it is *disabled*: ``STATE.enabled`` and ``STATE.profiling`` are
+``False`` and ``STATE.metrics`` is a registry that hands out no-op
+instruments.  Hot paths therefore pay at most one attribute load and a
+branch per instrumentation point::
+
+    from repro.obs import runtime as _obs
+    ...
+    state = _obs.STATE
+    if state.enabled:
+        state.metrics.counter("phy.missed").inc()
+
+The CLI (``--telemetry`` / ``--metrics``) and tests turn instrumentation
+on with :func:`configure` or the :func:`session` context manager, and
+restore the disabled default with :func:`reset`.  The state object is
+deliberately mutated in place (never replaced) so modules may cache a
+reference to ``STATE`` itself — but must not cache its attributes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.events import EventTracer, JsonlTelemetrySink
+from repro.obs.metrics import NULL_SPAN, Metrics
+
+
+class ObsState:
+    """Mutable holder of the active observability session."""
+
+    __slots__ = ("metrics", "tracer", "sink", "enabled", "profiling",
+                 "rng_accounting")
+
+    def __init__(self) -> None:
+        self.metrics = Metrics(enabled=False)
+        self.tracer: Optional[EventTracer] = None
+        self.sink: Optional[JsonlTelemetrySink] = None
+        self.enabled = False
+        self.profiling = False
+        self.rng_accounting = False
+
+
+STATE = ObsState()
+
+
+def configure(
+    *,
+    telemetry_path: Optional[str] = None,
+    profiling: bool = True,
+    rng_accounting: bool = True,
+    trace_sample_every: int = 1,
+) -> ObsState:
+    """Enable instrumentation process-wide.
+
+    ``telemetry_path`` additionally opens a JSONL sink and attaches an
+    event tracer that simulators created *after* this call pick up.
+    Returns :data:`STATE` (mutated in place).
+    """
+    reset()
+    STATE.metrics = Metrics(enabled=True)
+    STATE.enabled = True
+    STATE.profiling = profiling
+    STATE.rng_accounting = rng_accounting
+    if telemetry_path is not None:
+        STATE.sink = JsonlTelemetrySink(telemetry_path)
+        STATE.tracer = EventTracer(STATE.sink, sample_every=trace_sample_every)
+    return STATE
+
+
+def reset() -> None:
+    """Close any sink and restore the disabled defaults."""
+    if STATE.sink is not None:
+        STATE.sink.close()
+    STATE.metrics = Metrics(enabled=False)
+    STATE.tracer = None
+    STATE.sink = None
+    STATE.enabled = False
+    STATE.profiling = False
+    STATE.rng_accounting = False
+
+
+@contextmanager
+def session(**kwargs) -> Iterator[ObsState]:
+    """``configure(**kwargs)`` for the duration of a with-block."""
+    state = configure(**kwargs)
+    try:
+        yield state
+    finally:
+        reset()
+
+
+@contextmanager
+def ensure_metrics() -> Iterator[ObsState]:
+    """Yield an enabled state, reusing an active session if one exists.
+
+    Used by callers (the report builder) that want metrics regardless of
+    whether the CLI already opened a session; only tears down what it
+    set up.
+    """
+    if STATE.enabled:
+        yield STATE
+        return
+    configure(telemetry_path=None)
+    try:
+        yield STATE
+    finally:
+        reset()
+
+
+def metrics() -> Metrics:
+    """The active metrics registry (a null registry when disabled)."""
+    return STATE.metrics
+
+
+def span(name: str, **labels: str):
+    """A context-manager timer on the active registry (no-op when
+    disabled).  For per-call hot paths prefer an explicit
+    ``STATE.profiling`` guard; this helper is for per-trial /
+    per-experiment granularity."""
+    m = STATE.metrics
+    if not m.enabled:
+        return NULL_SPAN
+    return m.timer(name, **labels).time()

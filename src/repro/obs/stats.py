@@ -1,0 +1,109 @@
+"""Summarize a telemetry JSONL file (``python -m repro stats FILE``)."""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.events import PathLike, read_telemetry
+
+
+@dataclass
+class TelemetrySummary:
+    """Aggregate view of one telemetry file."""
+
+    path: str
+    header: dict
+    record_count: int = 0
+    event_count: int = 0
+    event_names: TallyCounter = field(default_factory=TallyCounter)
+    event_handler_s: float = 0.0
+    max_queue_depth: int = 0
+    manifests: list[dict] = field(default_factory=list)
+    final_metrics: Optional[dict] = None
+
+    @property
+    def total_wall_clock_s(self) -> float:
+        return sum(m.get("wall_clock_s", 0.0) for m in self.manifests)
+
+    @property
+    def total_events_fired(self) -> int:
+        return sum(m.get("events_fired", 0) for m in self.manifests)
+
+    @property
+    def total_packets_offered(self) -> int:
+        return sum(m.get("packets_offered", 0) for m in self.manifests)
+
+
+def summarize_telemetry(path: PathLike) -> TelemetrySummary:
+    """Parse and aggregate a telemetry file."""
+    header, records = read_telemetry(path)
+    summary = TelemetrySummary(path=str(path), header=header,
+                               record_count=len(records))
+    for record in records:
+        kind = record.get("type")
+        if kind == "event":
+            summary.event_count += 1
+            summary.event_names[record.get("name") or "(unnamed)"] += 1
+            summary.event_handler_s += record.get("dur_us", 0.0) * 1e-6
+            depth = record.get("queue_depth", 0)
+            if depth > summary.max_queue_depth:
+                summary.max_queue_depth = depth
+        elif kind == "manifest":
+            summary.manifests.append(record)
+        elif kind == "metrics":
+            summary.final_metrics = record.get("metrics")
+    return summary
+
+
+def render_summary(summary: TelemetrySummary, top: int = 10) -> str:
+    """Human-readable report for one telemetry file."""
+    lines = [
+        f"telemetry file: {summary.path}",
+        f"  records: {summary.record_count} "
+        f"(events {summary.event_count}, manifests {len(summary.manifests)})",
+    ]
+    if summary.manifests:
+        lines.append(
+            f"  run totals: {summary.total_wall_clock_s:.2f}s wall-clock, "
+            f"{summary.total_events_fired} events fired, "
+            f"{summary.total_packets_offered} packets offered"
+        )
+        lines.append("  experiments:")
+        for manifest in summary.manifests:
+            seed = manifest.get("seed")
+            scale = manifest.get("scale")
+            lines.append(
+                f"    {manifest.get('experiment', '?'):<12} "
+                f"wall={manifest.get('wall_clock_s', 0.0):.2f}s "
+                f"events={manifest.get('events_fired', 0)} "
+                f"packets={manifest.get('packets_offered', 0)} "
+                f"seed={'default' if seed is None else seed} "
+                f"scale={'default' if scale is None else f'{scale:g}'}"
+            )
+    if summary.event_count:
+        lines.append(
+            f"  event spans: {summary.event_handler_s * 1e3:.1f}ms handler "
+            f"time, max queue depth {summary.max_queue_depth}"
+        )
+        lines.append("  top event names:")
+        for name, count in summary.event_names.most_common(top):
+            lines.append(f"    {name:<20} {count}")
+    if summary.final_metrics is not None:
+        counters = summary.final_metrics.get("counters", {})
+        nonzero = {k: v for k, v in counters.items() if v}
+        lines.append(f"  final counters ({len(nonzero)} nonzero):")
+        for key in sorted(nonzero):
+            lines.append(f"    {key:<40} {nonzero[key]}")
+    return "\n".join(lines)
+
+
+def main(path: str) -> int:
+    """CLI entry point for the ``stats`` subcommand."""
+    summary = summarize_telemetry(path)
+    try:
+        print(render_summary(summary))
+    except BrokenPipeError:
+        pass  # downstream pager/head closed the pipe; not an error
+    return 0

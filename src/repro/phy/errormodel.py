@@ -29,6 +29,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.obs import runtime as _obs
 from repro.phy.quality import ClockStressModel, ClockStressParams
 
 
@@ -110,6 +111,29 @@ def _logistic(x: float) -> float:
     if x < -60.0:
         return 0.0
     return 1.0 / (1.0 + math.exp(-x))
+
+
+def _record_fate_metrics(fate: PacketFate) -> None:
+    """Mirror one sampled fate into the ``phy.*`` counters.
+
+    The vectorized path accounts its bulk flags separately (see
+    :meth:`WaveLanErrorModel.sample_bulk_clean`), so this is only
+    called on the per-packet paths.
+    """
+    state = _obs.STATE
+    if not state.enabled:
+        return
+    metrics = state.metrics
+    metrics.counter("phy.packets_sampled").inc()
+    if fate.missed:
+        metrics.counter("phy.missed").inc()
+        return
+    if fate.truncated:
+        metrics.counter("phy.truncated").inc()
+    flipped = len(fate.flipped_bits)
+    if flipped:
+        metrics.counter("phy.corrupted_packets").inc()
+        metrics.counter("phy.bits_flipped").inc(flipped)
 
 
 class WaveLanErrorModel:
@@ -235,13 +259,15 @@ class WaveLanErrorModel:
         for sample in interference:
             p_miss = 1.0 - (1.0 - p_miss) * (1.0 - sample.miss_probability)
         if rng.random() < p_miss:
-            return PacketFate(
+            fate = PacketFate(
                 missed=True,
                 truncated_at_byte=None,
                 flipped_bits=np.empty(0, dtype=np.int64),
                 stress=0.0,
                 quality=0,
             )
+            _record_fate_metrics(fate)
+            return fate
 
         # 2. Clock stress and truncation.
         interference_stress = sum(s.clock_stress for s in interference)
@@ -288,13 +314,15 @@ class WaveLanErrorModel:
             stress, had_bit_errors=len(all_flips) > 0, rng=rng
         )
 
-        return PacketFate(
+        fate = PacketFate(
             missed=False,
             truncated_at_byte=truncated_at,
             flipped_bits=all_flips,
             stress=stress,
             quality=quality,
         )
+        _record_fate_metrics(fate)
+        return fate
 
     # ------------------------------------------------------------------
     # Vectorized fast path for interference-free trials
@@ -333,6 +361,20 @@ class WaveLanErrorModel:
         ))
         hit = (rng.random(n) < p_hit) & ~missed
         residual_hit = (rng.random(n) < p.residual_ber * frame_bytes * 8) & ~missed
+
+        state = _obs.STATE
+        if state.enabled:
+            # Bulk accounting: one increment batch per trial, so the
+            # vectorized hot path pays nothing per packet.
+            metrics = state.metrics
+            metrics.counter("phy.packets_sampled").inc(n)
+            metrics.counter("phy.missed").inc(int(np.count_nonzero(missed)))
+            metrics.counter("phy.truncated").inc(
+                int(np.count_nonzero(truncated))
+            )
+            metrics.counter("phy.corruption_hits").inc(
+                int(np.count_nonzero(hit)) + int(np.count_nonzero(residual_hit))
+            )
 
         return {
             "missed": missed,
@@ -373,6 +415,14 @@ class WaveLanErrorModel:
         quality = self.stress_model.quality_reading(
             stress, had_bit_errors=len(all_flips) > 0, rng=rng
         )
+        state = _obs.STATE
+        if state.enabled and len(all_flips):
+            # sample_bulk_clean already counted this packet's sampling,
+            # miss and truncation flags; only the materialized bit
+            # damage is new information here.
+            metrics = state.metrics
+            metrics.counter("phy.corrupted_packets").inc()
+            metrics.counter("phy.bits_flipped").inc(len(all_flips))
         return PacketFate(
             missed=False,
             truncated_at_byte=truncated_at,

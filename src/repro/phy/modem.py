@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.framing.bits import flip_bits
 from repro.framing.modem import DEFAULT_NETWORK_ID
+from repro.obs import runtime as _obs
 from repro.phy.agc import AgcModel
 from repro.phy.antenna import AntennaDiversity
 from repro.phy.errormodel import (
@@ -48,6 +49,47 @@ class RxDisposition(enum.Enum):
     MISSED = "missed"  # BOF never detected / host loss: nothing logged
     THRESHOLD_FILTERED = "threshold_filtered"  # masked by receive threshold
     QUALITY_FILTERED = "quality_filtered"  # masked by quality threshold
+
+
+class DropReason(enum.Enum):
+    """Why a transmitted frame never reached the receiving host.
+
+    Mirrors the paper's loss / truncation / corruption split at the
+    granularity the metrics need: "lost below receive threshold" and
+    "quality-threshold truncation" are distinguishable from each other
+    and from MAC-level causes.  Used as the ``reason`` label of the
+    ``link.drops`` counter family.
+    """
+
+    BOF_MISSED = "bof_missed"  # beginning-of-frame never detected / host loss
+    BELOW_RECEIVE_THRESHOLD = "below_receive_threshold"
+    QUALITY_FILTERED = "quality_filtered"  # quality-threshold truncation mask
+    HALF_DUPLEX = "half_duplex"  # receiver was itself transmitting
+    MAC_COLLISION = "mac_collision"  # transmission aborted after overlap
+    MAC_BACKOFF_EXHAUSTED = "mac_backoff_exhausted"  # dropped before airtime
+    CONTROLLER_REJECTED = "controller_rejected"  # 82593 filter discard
+
+    @classmethod
+    def from_disposition(
+        cls, disposition: RxDisposition
+    ) -> Optional["DropReason"]:
+        """The drop reason a non-delivered disposition maps to."""
+        return _DISPOSITION_DROPS.get(disposition)
+
+
+_DISPOSITION_DROPS = {
+    RxDisposition.MISSED: DropReason.BOF_MISSED,
+    RxDisposition.THRESHOLD_FILTERED: DropReason.BELOW_RECEIVE_THRESHOLD,
+    RxDisposition.QUALITY_FILTERED: DropReason.QUALITY_FILTERED,
+}
+
+
+def _record_disposition(disposition: RxDisposition) -> None:
+    """Tally one receive disposition into ``phy.rx`` (no-op when
+    observability is disabled)."""
+    state = _obs.STATE
+    if state.enabled:
+        state.metrics.counter("phy.rx", disposition=disposition.value).inc()
 
 
 @dataclass(frozen=True)
@@ -110,6 +152,7 @@ class WaveLanModem:
             selection.level, len(frame), rng, interference
         )
         if fate.missed:
+            _record_disposition(RxDisposition.MISSED)
             return Reception(RxDisposition.MISSED, fate=fate)
 
         signal_reading = self.agc.signal_reading(
@@ -120,8 +163,10 @@ class WaveLanModem:
         if signal_reading < self.config.receive_threshold:
             # The receive threshold filters cleanly: the packet never
             # reaches the controller (paper, Section 5.3).
+            _record_disposition(RxDisposition.THRESHOLD_FILTERED)
             return Reception(RxDisposition.THRESHOLD_FILTERED, fate=fate)
         if fate.quality < self.config.quality_threshold:
+            _record_disposition(RxDisposition.QUALITY_FILTERED)
             return Reception(RxDisposition.QUALITY_FILTERED, fate=fate)
 
         silence_reading = self.agc.silence_reading(
@@ -136,6 +181,7 @@ class WaveLanModem:
             signal_quality=fate.quality,
             antenna=selection.antenna,
         )
+        _record_disposition(RxDisposition.DELIVERED)
         return Reception(RxDisposition.DELIVERED, data=data, status=status, fate=fate)
 
     @staticmethod

@@ -14,6 +14,8 @@ import zlib
 
 import numpy as np
 
+from repro.obs import runtime as _obs
+
 
 def derive_seed(root_seed: int, name: str) -> int:
     """Derive a deterministic child seed from a root seed and a label.
@@ -23,6 +25,38 @@ def derive_seed(root_seed: int, name: str) -> int:
     """
     label_code = zlib.crc32(name.encode("utf-8"))
     return (root_seed * 0x9E3779B1 + label_code) & 0xFFFFFFFF
+
+
+class _CountingStream:
+    """Transparent proxy over a generator that tallies method calls.
+
+    Only installed when an observability session enables RNG
+    accounting; the tally feeds the ``rng.calls{stream=...}`` counters
+    the run manifest reports as each stream's draw budget.  Counting
+    wraps *calls*, not elements, so a vectorized ``rng.random(n)`` is
+    one call — the interesting quantity for reproducibility audits is
+    how often a stream is consulted, and wrapping per element would
+    change hot-path costs.  The proxy never touches the underlying
+    draw sequence, so seeds stay stable with accounting on or off.
+    """
+
+    __slots__ = ("_generator", "_counter")
+
+    def __init__(self, generator: np.random.Generator, counter) -> None:
+        self._generator = generator
+        self._counter = counter
+
+    def __getattr__(self, name: str):
+        attribute = getattr(self._generator, name)
+        if not callable(attribute):
+            return attribute
+        counter = self._counter
+
+        def counted(*args, **kwargs):
+            counter.inc()
+            return attribute(*args, **kwargs)
+
+        return counted
 
 
 class RngRegistry:
@@ -47,6 +81,11 @@ class RngRegistry:
         if generator is None:
             child_seed = derive_seed(self.seed, name)
             generator = np.random.Generator(np.random.PCG64(child_seed))
+            state = _obs.STATE
+            if state.rng_accounting and state.enabled:
+                generator = _CountingStream(
+                    generator, state.metrics.counter("rng.calls", stream=name)
+                )
             self._streams[name] = generator
         return generator
 

@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
+import warnings
+from time import perf_counter
 from typing import Any, Callable, Optional
 
+from repro.obs import runtime as _obs
+from repro.obs.events import EventTracer
+from repro.obs.metrics import Metrics
 from repro.simkit.event import Event, EventQueue
 from repro.simkit.rng import RngRegistry
 
@@ -19,15 +24,35 @@ class Simulator:
     registry.  Components schedule callbacks with :meth:`schedule` /
     :meth:`schedule_at`, and the experiment driver advances time with
     :meth:`run` or :meth:`run_until`.
+
+    Observability: the kernel mirrors its event accounting into the
+    active metrics registry (``sim.events_fired``, ``sim.queue_depth``,
+    ``sim.event_queued_s``, ``sim.event_handler_s``) and, when an event
+    tracer is attached, emits one telemetry record per fired event.
+    Both default to the process-wide state in :mod:`repro.obs.runtime`
+    and cost one branch per event when disabled.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        metrics: Optional[Metrics] = None,
+        tracer: Optional[EventTracer] = None,
+    ) -> None:
         self.now = 0.0
         self.queue = EventQueue()
         self.rng = RngRegistry(seed)
-        self._events_fired = 0
+        self.metrics = metrics if metrics is not None else _obs.STATE.metrics
+        self.tracer = tracer if tracer is not None else _obs.STATE.tracer
+        self._fired = 0
         self._running = False
         self._stop_requested = False
+        # Instrument handles are fetched once; on a disabled registry
+        # they are shared no-ops.
+        self._fired_counter = self.metrics.counter("sim.events_fired")
+        self._queued_histogram = self.metrics.histogram("sim.event_queued_s")
+        self._handler_timer = self.metrics.timer("sim.event_handler_s")
+        self._depth_gauge = self.metrics.gauge("sim.queue_depth")
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -54,7 +79,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past: now={self.now}, requested={time}"
             )
-        return self.queue.push(time, action, priority, name)
+        event = self.queue.push(time, action, priority, name)
+        event.created = self.now
+        return event
 
     def cancel(self, event: Event) -> None:
         """Cancel a scheduled event."""
@@ -69,8 +96,28 @@ class Simulator:
         if event is None:
             return False
         self.now = event.time
-        self._events_fired += 1
+        self._fired += 1
+        metrics = self.metrics
+        tracer = self.tracer
+        if tracer is None and not metrics.enabled:
+            event.action()
+            return True
+        start = perf_counter()
         event.action()
+        elapsed = perf_counter() - start
+        if metrics.enabled:
+            self._fired_counter.inc()
+            self._queued_histogram.record(event.time - event.created)
+            self._handler_timer.record(elapsed)
+            self._depth_gauge.set(len(self.queue))
+        if tracer is not None:
+            tracer.event_fired(
+                name=event.name,
+                sim_time=event.time,
+                created_time=event.created,
+                duration_s=elapsed,
+                queue_depth=len(self.queue),
+            )
         return True
 
     def run(self, max_events: Optional[int] = None) -> int:
@@ -120,5 +167,25 @@ class Simulator:
 
     @property
     def events_fired(self) -> int:
-        """Total events executed over the simulator's lifetime."""
-        return self._events_fired
+        """Total events executed over the simulator's lifetime.
+
+        Also mirrored into the ``sim.events_fired`` counter of the
+        attached metrics registry when one is enabled.
+        """
+        return self._fired
+
+    @property
+    def _events_fired(self) -> int:
+        """Deprecated alias of :attr:`events_fired`.
+
+        The counter used to be a bare underscore attribute; external
+        readers should use the public property or the
+        ``sim.events_fired`` metric.
+        """
+        warnings.warn(
+            "Simulator._events_fired is deprecated; use the events_fired "
+            "property or the sim.events_fired metrics counter",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._fired

@@ -26,7 +26,14 @@ from repro.interference.base import InterferenceSource
 from repro.link.channel import RadioChannel
 from repro.link.station import LinkStation
 from repro.mac.csma import CsmaCaMac
-from repro.phy.modem import ModemConfig, ModemRxStatus, RxDisposition, WaveLanModem
+from repro.obs import runtime as _obs
+from repro.phy.modem import (
+    DropReason,
+    ModemConfig,
+    ModemRxStatus,
+    RxDisposition,
+    WaveLanModem,
+)
 from repro.simkit.rng import RngRegistry
 from repro.simkit.simulator import Simulator
 from repro.trace.outsiders import OutsiderTraffic
@@ -94,25 +101,62 @@ def _clamp_array(values: np.ndarray, maximum: int) -> np.ndarray:
 
 def run_fast_trial(config: TrialConfig) -> TrialOutput:
     """Run a contention-free trial and return its trace."""
-    rng_registry = RngRegistry(config.seed).fork(config.name)
-    factory = TestPacketFactory(config.spec)
-    modem = WaveLanModem(config=config.modem_config)
-    modem.antenna.branches = config.antenna_branches
-    mean_level = config.resolved_mean_level()
-    dispositions = TrialDispositions()
-    trace = TrialTrace(
-        name=config.name, spec=config.spec, packets_sent=config.packets
-    )
+    with _obs.span("profile.trial_fast"):
+        rng_registry = RngRegistry(config.seed).fork(config.name)
+        factory = TestPacketFactory(config.spec)
+        modem = WaveLanModem(config=config.modem_config)
+        modem.antenna.branches = config.antenna_branches
+        mean_level = config.resolved_mean_level()
+        dispositions = TrialDispositions()
+        trace = TrialTrace(
+            name=config.name, spec=config.spec, packets_sent=config.packets
+        )
 
-    if config.interference:
-        _run_per_packet(config, factory, modem, mean_level, rng_registry, trace, dispositions)
-    else:
-        _run_vectorized(config, factory, modem, mean_level, rng_registry, trace, dispositions)
+        if config.interference:
+            _run_per_packet(config, factory, modem, mean_level, rng_registry, trace, dispositions)
+        else:
+            _run_vectorized(config, factory, modem, mean_level, rng_registry, trace, dispositions)
 
-    if config.outsiders is not None:
-        _inject_outsiders(config, modem, rng_registry, trace, dispositions)
+        if config.outsiders is not None:
+            _inject_outsiders(config, modem, rng_registry, trace, dispositions)
+
+        _record_fast_trial_metrics(config, dispositions)
 
     return TrialOutput(trace=trace, dispositions=dispositions)
+
+
+def _record_fast_trial_metrics(
+    config: TrialConfig, dispositions: TrialDispositions
+) -> None:
+    """Account one completed fast trial in the metrics registry.
+
+    The fast path bypasses the MAC and channel objects, so the MAC/link
+    accounting those layers would have produced is synthesized here:
+    every frame of a contention-free point-to-point trial is one
+    collision-free MAC transmission offered to the link.
+    """
+    state = _obs.STATE
+    if not state.enabled:
+        return
+    metrics = state.metrics
+    metrics.counter("trace.trials", mode="fast").inc()
+    metrics.counter("trace.packets_offered").inc(config.packets)
+    metrics.counter("trace.packets_delivered").inc(dispositions.delivered)
+    metrics.counter("mac.attempts", protocol="contention_free").inc(
+        config.packets
+    )
+    metrics.counter("mac.transmissions", protocol="contention_free").inc(
+        config.packets
+    )
+    metrics.counter("link.transmissions").inc(config.packets)
+    metrics.counter("link.deliveries").inc(dispositions.delivered)
+    for reason, count in (
+        (DropReason.BOF_MISSED, dispositions.missed),
+        (DropReason.BELOW_RECEIVE_THRESHOLD, dispositions.threshold_filtered),
+        (DropReason.QUALITY_FILTERED, dispositions.quality_filtered),
+    ):
+        if count:
+            metrics.counter("link.drops", reason=reason.value).inc(count)
 
 
 def _run_per_packet(
@@ -295,60 +339,68 @@ def run_mac_trial(
     (the paper's "raise the receive threshold to 35 so they transmit
     continuously" hostile configuration).
     """
-    sim = Simulator(seed=config.seed)
-    channel = RadioChannel(
-        sim,
-        config.propagation,
-        interference_sources=list(config.interference),
-    )
-
-    sender_station = LinkStation.tracing_station(1, config.tx_position)
-    receiver_station = LinkStation.tracing_station(
-        2, config.rx_position, modem_config=config.modem_config
-    )
-    channel.add_station(sender_station)
-    channel.add_station(receiver_station)
-    for station, payload in extra_stations:
-        channel.add_station(station)
-
-    sender_mac = CsmaCaMac(
-        sim, channel, sender_station.station_id, sim.rng.stream("mac.sender")
-    )
-    burst = BurstSender.for_spec(
-        sim, config.spec, sender_mac.enqueue, config.packets, rate_bps
-    )
-    burst.start()
-
-    for station, payload in extra_stations:
-        if payload is None:
-            continue
-        jammer_mac = CsmaCaMac(
+    with _obs.span("profile.trial_mac"):
+        sim = Simulator(seed=config.seed)
+        channel = RadioChannel(
             sim,
-            channel,
-            station.station_id,
-            sim.rng.stream(f"mac.jammer.{station.station_id}"),
+            config.propagation,
+            interference_sources=list(config.interference),
         )
-        _keep_queue_full(sim, jammer_mac, payload)
 
-    # Bound the run: the burst takes count * frame-interval at the
-    # offered rate; allow generous slack for backoff, then stop (jammers
-    # would otherwise refill forever).
-    horizon = config.packets * (FRAME_BYTES * 8.0 / rate_bps) * 3.0 + 1.0
-    sim.run_until(horizon)
-
-    trace = TrialTrace(
-        name=config.name, spec=config.spec, packets_sent=config.packets
-    )
-    for received in receiver_station.log:
-        trace.records.append(
-            PacketRecord.from_bytes(received.data, received.status, received.time)
+        sender_station = LinkStation.tracing_station(1, config.tx_position)
+        receiver_station = LinkStation.tracing_station(
+            2, config.rx_position, modem_config=config.modem_config
         )
-    dispositions = TrialDispositions(
-        delivered=len(receiver_station.log),
-        missed=channel.stats.misses,
-        threshold_filtered=channel.stats.threshold_filtered,
-        quality_filtered=channel.stats.quality_filtered,
-    )
+        channel.add_station(sender_station)
+        channel.add_station(receiver_station)
+        for station, payload in extra_stations:
+            channel.add_station(station)
+
+        sender_mac = CsmaCaMac(
+            sim, channel, sender_station.station_id, sim.rng.stream("mac.sender")
+        )
+        burst = BurstSender.for_spec(
+            sim, config.spec, sender_mac.enqueue, config.packets, rate_bps
+        )
+        burst.start()
+
+        for station, payload in extra_stations:
+            if payload is None:
+                continue
+            jammer_mac = CsmaCaMac(
+                sim,
+                channel,
+                station.station_id,
+                sim.rng.stream(f"mac.jammer.{station.station_id}"),
+            )
+            _keep_queue_full(sim, jammer_mac, payload)
+
+        # Bound the run: the burst takes count * frame-interval at the
+        # offered rate; allow generous slack for backoff, then stop (jammers
+        # would otherwise refill forever).
+        horizon = config.packets * (FRAME_BYTES * 8.0 / rate_bps) * 3.0 + 1.0
+        sim.run_until(horizon)
+
+        trace = TrialTrace(
+            name=config.name, spec=config.spec, packets_sent=config.packets
+        )
+        for received in receiver_station.log:
+            trace.records.append(
+                PacketRecord.from_bytes(received.data, received.status, received.time)
+            )
+        dispositions = TrialDispositions(
+            delivered=len(receiver_station.log),
+            missed=channel.stats.misses,
+            threshold_filtered=channel.stats.threshold_filtered,
+            quality_filtered=channel.stats.quality_filtered,
+        )
+        state = _obs.STATE
+        if state.enabled:
+            state.metrics.counter("trace.trials", mode="mac").inc()
+            state.metrics.counter("trace.packets_offered").inc(config.packets)
+            state.metrics.counter("trace.packets_delivered").inc(
+                dispositions.delivered
+            )
     return TrialOutput(trace=trace, dispositions=dispositions), channel
 
 

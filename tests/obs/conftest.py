@@ -1,0 +1,15 @@
+"""Observability test fixtures: never leak an enabled session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs_state():
+    """Restore the disabled-by-default state around every test."""
+    obs.reset()
+    yield
+    obs.reset()

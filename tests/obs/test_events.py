@@ -1,0 +1,138 @@
+"""Telemetry sink round-trips and simulator event tracing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.events import (
+    EventTracer,
+    JsonlTelemetrySink,
+    TELEMETRY_FORMAT,
+    TELEMETRY_KIND,
+    iter_telemetry,
+    read_telemetry,
+)
+from repro.simkit.simulator import Simulator
+
+
+class TestSinkRoundTrip:
+    def test_header_then_records(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlTelemetrySink(path) as sink:
+            sink.emit({"type": "event", "name": "a"})
+            sink.emit({"type": "manifest", "experiment": "t"})
+            assert sink.records_written == 2
+        header, records = read_telemetry(path)
+        assert header["kind"] == TELEMETRY_KIND
+        assert header["format"] == TELEMETRY_FORMAT
+        assert [r["type"] for r in records] == ["event", "manifest"]
+
+    def test_gzip_by_suffix(self, tmp_path):
+        path = tmp_path / "run.jsonl.gz"
+        with JsonlTelemetrySink(path) as sink:
+            sink.emit({"type": "event", "name": "a"})
+        with open(path, "rb") as raw:
+            assert raw.read(2) == b"\x1f\x8b"  # gzip magic
+        _, records = read_telemetry(path)
+        assert records[0]["name"] == "a"
+
+    def test_aborted_run_leaves_valid_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlTelemetrySink(path)
+        sink.close()  # no records ever emitted
+        header, records = read_telemetry(path)
+        assert header["kind"] == TELEMETRY_KIND
+        assert records == []
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlTelemetrySink(tmp_path / "run.jsonl")
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit({"type": "event"})
+
+    def test_iter_telemetry(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlTelemetrySink(path) as sink:
+            sink.emit({"type": "event", "name": "x"})
+        assert [r["name"] for r in iter_telemetry(path)] == ["x"]
+
+
+class TestReaderValidation:
+    def test_rejects_foreign_kind(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text(json.dumps({"format": 1, "kind": "something-else"}) + "\n")
+        with pytest.raises(ValueError, match="not a telemetry file"):
+            read_telemetry(path)
+
+    def test_rejects_future_format(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"format": TELEMETRY_FORMAT + 1,
+                        "kind": TELEMETRY_KIND}) + "\n"
+        )
+        with pytest.raises(ValueError, match="format"):
+            read_telemetry(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_telemetry(path)
+
+
+class TestEventTracer:
+    def test_records_queueing_and_duration(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlTelemetrySink(path) as sink:
+            tracer = EventTracer(sink)
+            tracer.event_fired("tick", sim_time=2.5, created_time=1.0,
+                               duration_s=0.25, queue_depth=3)
+        _, records = read_telemetry(path)
+        (record,) = records
+        assert record["type"] == "event"
+        assert record["name"] == "tick"
+        assert record["sim_t"] == 2.5
+        assert record["queued_s"] == 1.5
+        assert record["dur_us"] == pytest.approx(250_000)
+        assert record["queue_depth"] == 3
+
+    def test_sampling_thins_records(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlTelemetrySink(path) as sink:
+            tracer = EventTracer(sink, sample_every=3)
+            for _ in range(9):
+                tracer.event_fired("tick", 0.0, 0.0, 0.0, 0)
+        _, records = read_telemetry(path)
+        assert len(records) == 3
+
+    def test_rejects_bad_sample_every(self, tmp_path):
+        with JsonlTelemetrySink(tmp_path / "run.jsonl") as sink:
+            with pytest.raises(ValueError):
+                EventTracer(sink, sample_every=0)
+
+
+class TestSimulatorTracing:
+    def test_simulator_emits_event_records(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with obs.session(telemetry_path=str(path)):
+            sim = Simulator(seed=1)
+            sim.schedule(1.0, lambda: None, name="tick")
+            sim.schedule(2.0, lambda: None, name="tock")
+            sim.run()
+        _, records = read_telemetry(path)
+        events = [r for r in records if r["type"] == "event"]
+        assert [e["name"] for e in events] == ["tick", "tock"]
+        assert events[0]["sim_t"] == 1.0
+        # Scheduled at t=0 and fired at t=1: one simulated second queued.
+        assert events[0]["queued_s"] == pytest.approx(1.0)
+
+    def test_simulator_metrics_when_enabled(self):
+        with obs.session() as state:
+            sim = Simulator(seed=1)
+            sim.schedule(1.0, lambda: None, name="tick")
+            sim.run()
+            counters = state.metrics.counters_snapshot()
+        assert counters["sim.events_fired"] == 1

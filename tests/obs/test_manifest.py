@@ -1,0 +1,95 @@
+"""Run-manifest construction from counter snapshots."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.obs.manifest import build_manifest, counter_deltas, git_revision
+from repro.obs.metrics import Metrics
+
+
+class TestCounterDeltas:
+    def test_reports_only_increases(self):
+        before = {"a": 1, "b": 5}
+        after = {"a": 4, "b": 5, "c": 2}
+        assert counter_deltas(before, after) == {"a": 3, "c": 2}
+
+    def test_empty_when_nothing_changed(self):
+        assert counter_deltas({"a": 1}, {"a": 1}) == {}
+
+
+class TestBuildManifest:
+    def _metrics(self) -> Metrics:
+        metrics = Metrics()
+        metrics.counter("sim.events_fired").inc(100)
+        metrics.counter("trace.packets_offered").inc(2000)
+        metrics.counter("phy.bits_flipped").inc(17)
+        metrics.counter("rng.calls", stream="channel").inc(42)
+        metrics.counter("rng.calls", stream="mac.0").inc(7)
+        return metrics
+
+    def test_splits_rng_streams_from_layer_counters(self):
+        manifest = build_manifest(
+            "table2",
+            metrics=self._metrics(),
+            counters_before={},
+            wall_clock_s=1.5,
+            seed=1996,
+            scale=0.05,
+            git_rev="abc1234",
+        )
+        assert manifest.experiment == "table2"
+        assert manifest.events_fired == 100
+        assert manifest.packets_offered == 2000
+        assert manifest.rng_streams == {"channel": 42, "mac.0": 7}
+        assert manifest.layer_counters["phy.bits_flipped"] == 17
+        assert all(not k.startswith("rng.calls")
+                   for k in manifest.layer_counters)
+
+    def test_deltas_relative_to_before_snapshot(self):
+        metrics = self._metrics()
+        before = metrics.counters_snapshot()
+        metrics.counter("phy.bits_flipped").inc(3)
+        manifest = build_manifest(
+            "table2", metrics=metrics, counters_before=before,
+            wall_clock_s=0.1,
+        )
+        assert manifest.layer_counters == {"phy.bits_flipped": 3}
+        assert manifest.events_fired == 0
+
+    def test_record_is_json_serializable(self):
+        manifest = build_manifest(
+            "mac", metrics=self._metrics(), counters_before={},
+            wall_clock_s=2.0, seed=1, scale=1.0, git_rev=None,
+        )
+        record = manifest.to_record()
+        assert record["type"] == "manifest"
+        json.dumps(record)  # must not raise
+        assert record["rng_streams"]["channel"] == 42
+
+
+class TestGitRevision:
+    def test_returns_short_hash_in_this_repo(self):
+        rev = git_revision()
+        # This test runs inside the repository, so a hash is expected;
+        # tolerate None for source exports without .git.
+        if rev is not None:
+            assert 6 <= len(rev) <= 16
+            int(rev, 16)  # hex
+
+
+class TestManifestThroughSession:
+    def test_manifest_record_round_trips_through_sink(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with obs.session(telemetry_path=str(path)) as state:
+            state.metrics.counter("phy.missed").inc(2)
+            manifest = build_manifest(
+                "table2", metrics=state.metrics, counters_before={},
+                wall_clock_s=0.5,
+            )
+            state.sink.emit(manifest.to_record())
+        _, records = obs.read_telemetry(path)
+        (record,) = records
+        assert record["experiment"] == "table2"
+        assert record["layer_counters"] == {"phy.missed": 2}

@@ -1,0 +1,157 @@
+"""Registry semantics: instruments, labels, snapshots, disabled no-ops."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Metrics,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_TIMER,
+    render_snapshot,
+    scoped_name,
+)
+
+
+class TestScopedName:
+    def test_plain_name_unchanged(self):
+        assert scoped_name("phy.bits_flipped") == "phy.bits_flipped"
+
+    def test_labels_folded_sorted(self):
+        key = scoped_name("link.drops", {"reason": "mac_collision"})
+        assert key == "link.drops{reason=mac_collision}"
+        multi = scoped_name("m", {"b": "2", "a": "1"})
+        assert multi == "m{a=1,b=2}"
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        metrics = Metrics()
+        counter = metrics.counter("phy.missed")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_same_key_same_instrument(self):
+        metrics = Metrics()
+        a = metrics.counter("mac.attempts", protocol="csma_ca")
+        b = metrics.counter("mac.attempts", protocol="csma_ca")
+        assert a is b
+        c = metrics.counter("mac.attempts", protocol="csma_cd")
+        assert c is not a
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Metrics().gauge("sim.queue_depth")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3
+
+
+class TestHistogram:
+    def test_running_moments(self):
+        histogram = Metrics().histogram("mac.backoff_slots")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.record(value)
+        assert histogram.count == 4
+        assert histogram.total == 10.0
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 4.0
+        assert histogram.mean == pytest.approx(2.5)
+        assert histogram.stddev == pytest.approx(1.118, abs=1e-3)
+
+    def test_empty_summary(self):
+        summary = Metrics().histogram("h").summary()
+        assert summary["count"] == 0
+        assert summary["min"] is None
+
+
+class TestTimer:
+    def test_span_records_elapsed(self):
+        timer = Metrics().timer("profile.match")
+        with timer.time():
+            pass
+        assert timer.count == 1
+        assert timer.total_s >= 0.0
+
+    def test_exception_still_recorded(self):
+        timer = Metrics().timer("profile.match")
+        with pytest.raises(ValueError):
+            with timer.time():
+                raise ValueError("boom")
+        assert timer.count == 1
+
+
+class TestDisabledRegistry:
+    def test_hands_out_shared_null_instruments(self):
+        metrics = Metrics(enabled=False)
+        assert metrics.counter("x") is NULL_COUNTER
+        assert metrics.gauge("x") is NULL_GAUGE
+        assert metrics.histogram("x") is NULL_HISTOGRAM
+        assert metrics.timer("x") is NULL_TIMER
+
+    def test_null_mutators_are_noops(self):
+        metrics = Metrics(enabled=False)
+        metrics.counter("x").inc(5)
+        metrics.gauge("x").set(5)
+        metrics.histogram("x").record(5)
+        with metrics.timer("x").time():
+            pass
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0
+        assert NULL_TIMER.count == 0
+
+    def test_disabled_snapshot_empty(self):
+        metrics = Metrics(enabled=False)
+        metrics.counter("x").inc()
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["timers"] == {}
+
+
+class TestSnapshot:
+    def test_json_serializable_and_sorted(self):
+        metrics = Metrics()
+        metrics.counter("b").inc(2)
+        metrics.counter("a").inc(1)
+        metrics.gauge("g").set(1.5)
+        metrics.histogram("h").record(2.0)
+        with metrics.timer("t").time():
+            pass
+        snapshot = metrics.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_counters_snapshot_is_plain_dict(self):
+        metrics = Metrics()
+        metrics.counter("phy.missed").inc(4)
+        assert metrics.counters_snapshot() == {"phy.missed": 4}
+
+    def test_reset_forgets_everything(self):
+        metrics = Metrics()
+        metrics.counter("x").inc()
+        metrics.reset()
+        assert metrics.counters_snapshot() == {}
+
+
+class TestRenderSnapshot:
+    def test_mentions_each_section(self):
+        metrics = Metrics()
+        metrics.counter("phy.missed").inc(2)
+        metrics.gauge("sim.queue_depth").set(3)
+        metrics.histogram("mac.backoff_slots").record(1.0)
+        text = render_snapshot(metrics.snapshot())
+        assert "phy.missed" in text
+        assert "sim.queue_depth" in text
+        assert "mac.backoff_slots" in text
+
+    def test_empty_snapshot(self):
+        assert "no metrics" in render_snapshot(Metrics().snapshot())

@@ -1,0 +1,68 @@
+"""The ``stats`` subcommand: telemetry summarization and rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import JsonlTelemetrySink
+from repro.obs.stats import main, render_summary, summarize_telemetry
+
+
+@pytest.fixture
+def telemetry_file(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with JsonlTelemetrySink(path) as sink:
+        sink.emit({"type": "event", "name": "mac.poll", "sim_t": 0.1,
+                   "queued_s": 0.1, "dur_us": 50.0, "queue_depth": 4})
+        sink.emit({"type": "event", "name": "mac.poll", "sim_t": 0.2,
+                   "queued_s": 0.1, "dur_us": 30.0, "queue_depth": 2})
+        sink.emit({"type": "event", "name": "tx.end", "sim_t": 0.3,
+                   "queued_s": 0.2, "dur_us": 20.0, "queue_depth": 1})
+        sink.emit({"type": "manifest", "experiment": "table2",
+                   "seed": 1996, "scale": 0.05, "wall_clock_s": 1.25,
+                   "events_fired": 3, "packets_offered": 500})
+        sink.emit({"type": "metrics",
+                   "metrics": {"counters": {"phy.missed": 2, "zeroed": 0}}})
+    return path
+
+
+class TestSummarize:
+    def test_aggregates_events(self, telemetry_file):
+        summary = summarize_telemetry(telemetry_file)
+        assert summary.record_count == 5
+        assert summary.event_count == 3
+        assert summary.event_names["mac.poll"] == 2
+        assert summary.event_handler_s == pytest.approx(100e-6)
+        assert summary.max_queue_depth == 4
+
+    def test_collects_manifests_and_metrics(self, telemetry_file):
+        summary = summarize_telemetry(telemetry_file)
+        assert len(summary.manifests) == 1
+        assert summary.total_wall_clock_s == pytest.approx(1.25)
+        assert summary.total_events_fired == 3
+        assert summary.total_packets_offered == 500
+        assert summary.final_metrics["counters"]["phy.missed"] == 2
+
+
+class TestRender:
+    def test_mentions_headline_numbers(self, telemetry_file):
+        text = render_summary(summarize_telemetry(telemetry_file))
+        assert "table2" in text
+        assert "500 packets offered" in text
+        assert "mac.poll" in text
+        assert "phy.missed" in text
+        # zero-valued counters are suppressed in the final section
+        assert "zeroed" not in text
+
+
+class TestMain:
+    def test_prints_summary_and_returns_zero(self, telemetry_file, capsys):
+        assert main(str(telemetry_file)) == 0
+        captured = capsys.readouterr()
+        assert "table2" in captured.out
+
+    def test_refuses_non_telemetry_file(self, tmp_path):
+        path = tmp_path / "not-telemetry.jsonl"
+        path.write_text('{"kind": "something-else", "format": 1}\n')
+        with pytest.raises(ValueError):
+            main(str(path))
