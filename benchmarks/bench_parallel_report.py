@@ -1,0 +1,62 @@
+"""Parallel report runner: speedup measurement + determinism gate.
+
+Times ``build_report`` serially and with a process pool, prints the
+speedup, and asserts the invariant that makes ``--jobs`` safe to use at
+all: the comparison table and per-experiment event/packet counts are
+byte-identical.  The speedup assertion only arms on hosts with enough
+cores for it to be physical (the pool costs fork + pickle overhead, so
+a 1-core container legitimately sees ~1x or slightly below).
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+import pytest
+
+from repro.experiments.report import build_report
+
+SCALE = 0.05
+SEED = 1996
+JOBS = 8
+# Hosts with at least this many cores must show a real speedup.
+SPEEDUP_MIN_CORES = 8
+SPEEDUP_FLOOR = 3.0
+
+
+@pytest.mark.slow
+def test_parallel_report_speedup_and_determinism(benchmark, bench_scale):
+    scale = SCALE * bench_scale
+
+    start = perf_counter()
+    serial = build_report(scale=scale, seed=SEED, jobs=1)
+    serial_s = perf_counter() - start
+
+    def parallel_run():
+        return build_report(scale=scale, seed=SEED, jobs=JOBS)
+
+    start = perf_counter()
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel_s = perf_counter() - start
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    print()
+    print(f"serial {serial_s:.2f}s, parallel (jobs={JOBS}) {parallel_s:.2f}s "
+          f"-> speedup {speedup:.2f}x on {cores} cores")
+
+    # Determinism is unconditional — the whole point of the subsystem.
+    assert parallel.table_markdown() == serial.table_markdown()
+    assert [
+        (r.experiment, r.events_fired, r.packets_offered)
+        for r in parallel.resources
+    ] == [
+        (r.experiment, r.events_fired, r.packets_offered)
+        for r in serial.resources
+    ]
+
+    if cores >= SPEEDUP_MIN_CORES:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"expected >= {SPEEDUP_FLOOR}x on {cores} cores, got {speedup:.2f}x"
+        )

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from inspect import signature
 from time import perf_counter
 
 from repro import obs
@@ -123,6 +124,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=None, help="override seed")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent work across N worker processes where the "
+             "experiment supports it (report, table2, table5); output is "
+             "identical to --jobs 1, which runs everything in-process",
+    )
+    parser.add_argument(
         "--out", default=None, help="('report' only) write Markdown here"
     )
     parser.add_argument(
@@ -167,7 +177,7 @@ def main(argv: list[str] | None = None) -> int:
             from repro.experiments import report as report_module
 
             kwargs = {"scale": args.scale if args.scale is not None else 0.25,
-                      "out": args.out}
+                      "out": args.out, "jobs": args.jobs}
             if args.seed is not None:
                 kwargs["seed"] = args.seed
             report = report_module.main(**kwargs)
@@ -202,10 +212,15 @@ def main(argv: list[str] | None = None) -> int:
                       else default_scale}
             if args.seed is not None:
                 kwargs["seed"] = args.seed
+            if args.jobs > 1 and "jobs" in signature(module.main).parameters:
+                kwargs["jobs"] = args.jobs
             counters_before = obs.STATE.metrics.counters_snapshot()
             start = perf_counter()
             module.main(**kwargs)
-            if observing:
+            # An experiment that fanned its trials across a pool already
+            # emitted per-trial manifests (in shards) plus one merged
+            # manifest; a wrapper manifest here would double-count them.
+            if observing and "jobs" not in kwargs:
                 _emit_manifest(
                     canonical,
                     counters_before,

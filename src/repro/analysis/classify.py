@@ -96,7 +96,23 @@ def classify_trace(trace: TrialTrace) -> ClassifiedTrace:
             )
             continue
         sequence = match.sequence
-        assert sequence is not None
+        if sequence is None:
+            # Confident test packet, ambiguous sequence: the IP id only
+            # carries seq mod 2^16 and no surviving byte broke the tie
+            # between trial epochs.  These are (near-)always deeply
+            # truncated frames; classify the damage without claiming a
+            # sequence rather than guessing the wrong epoch.
+            assert match.ambiguous
+            result.packets.append(
+                ClassifiedPacket(
+                    record=record,
+                    packet_class=PacketClass.TRUNCATED
+                    if len(data) < FRAME_BYTES
+                    else PacketClass.WRAPPER_DAMAGED,
+                    truncated_bytes_missing=max(0, FRAME_BYTES - len(data)),
+                )
+            )
+            continue
         if match.exact:
             result.packets.append(
                 ClassifiedPacket(

@@ -88,6 +88,12 @@ class MatchResult:
     # True when the body was useless and the headers (plus the IP
     # identification field) carried the identification.
     header_led: bool = False
+    # True when the record is confidently a test packet but the exact
+    # sequence could not be pinned down (the IP id only carries the low
+    # 16 bits; in trials longer than 2^16 packets several sequences
+    # share it, and the bytes that could break the tie were damaged or
+    # missing).  ``sequence`` is None in that case.
+    ambiguous: bool = False
 
 
 def _path_counter_name(result: MatchResult) -> str:
@@ -96,6 +102,8 @@ def _path_counter_name(result: MatchResult) -> str:
         return "match.outsiders"
     if result.exact:
         return "match.fast_path_hits"
+    if result.ambiguous:
+        return "match.header_ambiguous"
     if result.header_led:
         return "match.header_path_hits"
     return "match.voting_path_hits"
@@ -239,19 +247,25 @@ class TraceMatcher:
         if len(data) < IP_ID_OFFSET + 2:
             return None
         candidate_id = int.from_bytes(data[IP_ID_OFFSET : IP_ID_OFFSET + 2], "big")
-        # The id carries seq mod 2^16; trials are < 2^16 + slack packets,
-        # so within one trial the mapping is unambiguous.
-        sequence = candidate_id
-        if sequence >= self.packets_sent + SEQUENCE_SLACK:
+        # The id carries seq mod 2^16, so every sequence congruent to it
+        # below the plausibility bound is a candidate.  Trials of up to
+        # 2^16 packets have at most one; longer trials (office5 at full
+        # scale is 488k packets) alias seven or eight and need the
+        # tie-break below.
+        candidates = list(
+            range(candidate_id, self.packets_sent + SEQUENCE_SLACK, 1 << 16)
+        )
+        if not candidates:
             return None
-        expected = self.factory.build(sequence)
+        # Score the wrapper once: the sequence-dependent bytes (IP
+        # id+checksum, UDP checksum) are excluded because they prove
+        # nothing beyond the id we already read — and with them masked,
+        # every candidate's template is byte-identical in the prefix.
+        expected = self.factory.build(candidates[0])
         prefix_len = min(len(data), BODY_START)
         received = np.frombuffer(data[:prefix_len], dtype=np.uint8)
         template = np.frombuffer(expected[:prefix_len], dtype=np.uint8)
         matches = received == template
-        # Exclude the sequence-dependent header bytes (IP id+checksum,
-        # UDP checksum) from the score: they prove nothing beyond the id
-        # we already read.
         exclude = [20, 21, 26, 27, 42, 43]
         keep = np.ones(prefix_len, dtype=bool)
         for index in exclude:
@@ -260,12 +274,51 @@ class TraceMatcher:
         score = float(matches[keep].mean()) if keep.any() else 0.0
         if score < MIN_HEADER_SCORE:
             return None
+        if len(candidates) == 1:
+            sequence, ambiguous = candidates[0], False
+        else:
+            sequence, ambiguous = self._disambiguate(data, candidates)
         return MatchResult(
             MatchOutcome.TEST_PACKET,
             sequence=sequence,
             wrapper_score=score,
             header_led=True,
+            ambiguous=ambiguous,
         )
+
+    def _disambiguate(
+        self, data: bytes, candidates: list[int]
+    ) -> tuple[Optional[int], bool]:
+        """Pick among sequences that share the same low 16 bits.
+
+        Only bytes that depend on the *full* 32-bit sequence can break
+        the tie: the UDP checksum (folded over the body word) and any
+        surviving body bytes.  The IP id and IP checksum cannot — they
+        are functions of seq mod 2^16 alone, identical for every
+        candidate.  A unique best-scoring candidate wins; a tie (or no
+        discriminating bytes at all) is reported as ambiguous rather
+        than silently resolved to the wrong trial epoch.
+        """
+        length = min(len(data), FRAME_BYTES)
+        scores = []
+        for candidate in candidates:
+            expected = self.factory.build(candidate)
+            score = 0
+            for index in (42, 43):  # UDP checksum
+                if index < length and data[index] == expected[index]:
+                    score += 1
+            if length > BODY_START:
+                received = np.frombuffer(data[BODY_START:length], dtype=np.uint8)
+                template = np.frombuffer(
+                    expected[BODY_START:length], dtype=np.uint8
+                )
+                score += int((received == template).sum())
+            scores.append(score)
+        best = max(scores)
+        winners = [c for c, s in zip(candidates, scores) if s == best]
+        if best > 0 and len(winners) == 1:
+            return winners[0], False
+        return None, True
 
 
 def match_record(

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.analysis.metrics import TrialMetrics, analyze_trial
 from repro.analysis.tables import render_metrics_table
 from repro.experiments.scenarios import office_scenario
+from repro.parallel import Task, run_tasks
 from repro.trace.trial import TrialConfig, run_fast_trial
 
 # The paper's nine office trials and their packet counts (Table 2).
@@ -62,27 +63,60 @@ class BaselineResult:
         return max((r.packet_loss_percent for r in self.rows), default=0.0)
 
 
-def run(scale: float = 1.0, seed: int = 1996) -> BaselineResult:
-    """Run the nine office trials at ``scale`` times the paper's lengths."""
+def _run_trial(name: str, packets: int, seed: int) -> TrialMetrics:
+    """One office trial, self-contained and picklable.
+
+    Rebuilds the (deterministic, RNG-free) scenario in-process rather
+    than shipping model objects to workers; every random stream derives
+    from ``seed``, so the row is identical on any worker or inline.
+    """
     propagation, tx, rx = office_scenario()
-    result = BaselineResult()
-    for index, (name, paper_count) in enumerate(PAPER_TRIALS):
-        packets = max(1000, int(paper_count * scale))
-        config = TrialConfig(
-            name=name,
-            packets=packets,
+    config = TrialConfig(
+        name=name,
+        packets=packets,
+        seed=seed,
+        propagation=propagation,
+        tx_position=tx,
+        rx_position=rx,
+    )
+    output = run_fast_trial(config)
+    return analyze_trial(output.trace)
+
+
+def trial_tasks(scale: float, seed: int) -> list[Task]:
+    """The nine trials as independent tasks (seeds fixed in the parent)."""
+    return [
+        Task(
+            name,
+            _run_trial,
+            {
+                "name": name,
+                "packets": max(1000, int(paper_count * scale)),
+                "seed": seed + index,
+            },
             seed=seed + index,
-            propagation=propagation,
-            tx_position=tx,
-            rx_position=rx,
+            scale=scale,
         )
-        output = run_fast_trial(config)
-        result.rows.append(analyze_trial(output.trace))
-    return result
+        for index, (name, paper_count) in enumerate(PAPER_TRIALS)
+    ]
 
 
-def main(scale: float = 0.1, seed: int = 1996) -> BaselineResult:
-    result = run(scale=scale, seed=seed)
+def run(scale: float = 1.0, seed: int = 1996, jobs: int = 1) -> BaselineResult:
+    """Run the nine office trials at ``scale`` times the paper's lengths.
+
+    The trials are mutually independent, so ``jobs > 1`` fans them over
+    a process pool (:mod:`repro.parallel`); rows come back in trial
+    order and are identical to a serial run.
+    """
+    tasks = trial_tasks(scale, seed)
+    if jobs <= 1:
+        return BaselineResult(rows=[_run_trial(**task.kwargs) for task in tasks])
+    results = run_tasks(tasks, jobs=jobs, label="table2-trials")
+    return BaselineResult(rows=[r.value for r in results])
+
+
+def main(scale: float = 0.1, seed: int = 1996, jobs: int = 1) -> BaselineResult:
+    result = run(scale=scale, seed=seed, jobs=jobs)
     print("Table 2: Results of in-room experiment "
           f"(scale={scale:g} x paper trial lengths)")
     print(render_metrics_table(result.rows))

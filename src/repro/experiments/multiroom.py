@@ -28,6 +28,7 @@ from repro.analysis.signalstats import (
 )
 from repro.analysis.tables import render_metrics_table, render_signal_table
 from repro.experiments.scenarios import multiroom_scenario
+from repro.parallel import Task, run_tasks
 from repro.trace.trial import TrialConfig, run_fast_trial
 
 # Paper packet counts per location (Table 5).
@@ -56,32 +57,76 @@ class MultiroomResult:
         raise KeyError(name)
 
 
-def run(scale: float = 1.0, seed: int = 65) -> MultiroomResult:
+def _run_location(name: str, packets: int, seed: int) -> tuple:
+    """One transmitter location, self-contained and picklable.
+
+    Rebuilds the deterministic layout in-process (models don't travel
+    to workers) and returns everything the result aggregates: metrics
+    row, signal row, and — for Tx5 — the classified trace itself.
+    """
     layout = multiroom_scenario()
-    result = MultiroomResult()
-    for index, (name, tx_position) in enumerate(layout.tx_positions().items()):
-        config = TrialConfig(
-            name=name,
-            packets=max(400, int(PAPER_PACKETS[name] * scale)),
+    config = TrialConfig(
+        name=name,
+        packets=packets,
+        seed=seed,
+        propagation=layout.propagation,
+        tx_position=layout.tx_positions()[name],
+        rx_position=layout.rx,
+    )
+    output = run_fast_trial(config)
+    classified = classify_trace(output.trace)
+    return (
+        metrics_from_classified(classified),
+        stats_for_packets(name, classified.test_packets),
+        classified if name == "Tx5" else None,
+    )
+
+
+def location_tasks(scale: float, seed: int) -> list[Task]:
+    """The four locations as independent tasks, in layout order."""
+    layout = multiroom_scenario()
+    return [
+        Task(
+            name,
+            _run_location,
+            {
+                "name": name,
+                "packets": max(400, int(PAPER_PACKETS[name] * scale)),
+                "seed": seed + index,
+            },
             seed=seed + index,
-            propagation=layout.propagation,
-            tx_position=tx_position,
-            rx_position=layout.rx,
+            scale=scale,
         )
-        output = run_fast_trial(config)
-        classified = classify_trace(output.trace)
-        result.metrics_rows.append(metrics_from_classified(classified))
-        result.signal_rows.append(
-            stats_for_packets(name, classified.test_packets)
-        )
-        if name == "Tx5":
+        for index, name in enumerate(layout.tx_positions())
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 65, jobs: int = 1) -> MultiroomResult:
+    """Run the four locations; ``jobs > 1`` fans them over a pool.
+
+    Location order, seeds, and every row are identical for any ``jobs``
+    value (see :mod:`repro.parallel`).
+    """
+    tasks = location_tasks(scale, seed)
+    if jobs <= 1:
+        outputs = [_run_location(**task.kwargs) for task in tasks]
+    else:
+        outputs = [
+            r.value
+            for r in run_tasks(tasks, jobs=jobs, label="table5-locations")
+        ]
+    result = MultiroomResult()
+    for metrics_row, signal_row, classified in outputs:
+        result.metrics_rows.append(metrics_row)
+        result.signal_rows.append(signal_row)
+        if classified is not None:
             result.tx5_classified = classified
             result.tx5_breakdown = signal_stats_by_class(classified)
     return result
 
 
-def main(scale: float = 1.0, seed: int = 65) -> MultiroomResult:
-    result = run(scale=scale, seed=seed)
+def main(scale: float = 1.0, seed: int = 65, jobs: int = 1) -> MultiroomResult:
+    result = run(scale=scale, seed=seed, jobs=jobs)
     print(f"Table 5: Results of multi-room experiments (scale={scale:g})")
     print(render_metrics_table(result.metrics_rows))
     print("\nTable 6: Signal metrics for multi-room experiment")

@@ -1,16 +1,20 @@
 """One-shot reproduction report: run everything, compare to the paper.
 
-``python -m repro report [--scale S] [--out report.md]`` executes every
-experiment and emits a Markdown report with a paper-vs-measured line per
-headline quantity — a regenerable, seed-stable version of
-EXPERIMENTS.md's tables.
+``python -m repro report [--scale S] [--out report.md] [--jobs N]``
+executes every experiment and emits a Markdown report with a
+paper-vs-measured line per headline quantity — a regenerable,
+seed-stable version of EXPERIMENTS.md's tables.
+
+The experiments are mutually independent (each derives every random
+stream from its own seed), so the report fans them out across a
+process pool when ``--jobs N`` is given; results, tables, and merged
+metrics are byte-identical to the serial run (see ``repro.parallel``).
 """
 
 from __future__ import annotations
 
 import io
 from dataclasses import dataclass, field
-from time import perf_counter
 
 from repro import obs
 from repro.experiments import (
@@ -28,6 +32,7 @@ from repro.experiments import (
     throughput,
     walls,
 )
+from repro.parallel import Task, run_tasks
 
 
 @dataclass
@@ -83,9 +88,10 @@ class ReproductionReport:
     def in_band_count(self) -> int:
         return sum(1 for line in self.lines if line.in_band)
 
-    def markdown(self) -> str:
+    def table_markdown(self) -> str:
+        """Just the deterministic comparison table — the part of the
+        report that is byte-identical for any ``--jobs`` value."""
         out = io.StringIO()
-        out.write("# Reproduction report\n\n")
         out.write(
             f"{self.in_band_count}/{self.total} headline quantities in band.\n\n"
         )
@@ -93,6 +99,12 @@ class ReproductionReport:
         out.write("|---|---|---|---|---|\n")
         for line in self.lines:
             out.write(line.markdown() + "\n")
+        return out.getvalue()
+
+    def markdown(self) -> str:
+        out = io.StringIO()
+        out.write("# Reproduction report\n\n")
+        out.write(self.table_markdown())
         if self.resources:
             out.write("\n## Resource footprint\n\n")
             out.write("| experiment | wall-clock (s) | events fired "
@@ -112,51 +124,91 @@ class ReproductionReport:
         return out.getvalue()
 
 
-def build_report(scale: float = 0.25, seed: int = 1996) -> ReproductionReport:
+def _report_tasks(scale: float, seed: int) -> list[Task]:
+    """Every report experiment as an independent, picklable task.
+
+    Seeds and scale tweaks are exactly what the serial report has
+    always used — byte-identical output depends on it.
+    """
+    return [
+        Task("table2", baseline.run,
+             {"scale": max(scale * 0.2, 0.01), "seed": seed},
+             seed=seed, scale=max(scale * 0.2, 0.01)),
+        Task("figure1", signal_vs_distance.run,
+             {"scale": scale, "seed": seed + 1}, seed=seed + 1, scale=scale),
+        Task("table3", error_vs_level.run,
+             {"scale": scale, "seed": seed + 2}, seed=seed + 2, scale=scale),
+        Task("table4", walls.run,
+             {"scale": scale, "seed": seed + 3}, seed=seed + 3, scale=scale),
+        Task("table5", multiroom.run,
+             {"scale": scale, "seed": seed + 4}, seed=seed + 4, scale=scale),
+        Task("table8", body.run,
+             {"scale": scale, "seed": seed + 5}, seed=seed + 5, scale=scale),
+        Task("table10", phones_narrowband.run,
+             {"scale": scale, "seed": seed + 6}, seed=seed + 6, scale=scale),
+        Task("table11", phones_spread.run,
+             {"scale": scale, "seed": seed + 7}, seed=seed + 7, scale=scale),
+        Task("table14", competing.run,
+             {"scale": scale, "seed": seed + 8, "include_unusable": True},
+             seed=seed + 8, scale=scale),
+        Task("fec", fec_eval.run,
+             {"scale": scale, "seed": seed + 9, "syndrome_limit": 25},
+             seed=seed + 9, scale=scale),
+        # MAC statistics need enough frames to wash out the startup
+        # transient (all three senders fire at t=0).
+        Task("mac", mac_ablation.run,
+             {"scale": max(scale, 0.7), "seed": seed + 10},
+             seed=seed + 10, scale=max(scale, 0.7)),
+        Task("hidden", hidden_terminal.run,
+             {"scale": scale, "seed": seed + 11}, seed=seed + 11, scale=scale),
+        Task("throughput", throughput.run,
+             {"scale": scale, "seed": seed + 12}, seed=seed + 12, scale=scale),
+    ]
+
+
+def build_report(
+    scale: float = 0.25, seed: int = 1996, jobs: int = 1
+) -> ReproductionReport:
     """Run every experiment at ``scale`` and compare headline numbers.
 
     Runs under an observability session (reusing the CLI's if one is
     active): each experiment is timed, its per-layer counter deltas are
     folded into a run manifest (written to the telemetry sink when one
     is open), and the report gains a resource-footprint footer.
+
+    ``jobs > 1`` fans the experiments across a process pool; the
+    comparison table, the per-experiment events/packets columns, and
+    the merged metric counters are byte-identical to ``jobs=1`` (only
+    wall-clock readings differ — they are measurements, not results).
     """
     report = ReproductionReport()
-    with obs.ensure_metrics() as state:
+    with obs.ensure_metrics():
         git_rev = obs.git_revision()
-
-        def timed(name, thunk):
-            counters_before = state.metrics.counters_snapshot()
-            start = perf_counter()
-            result = thunk()
-            manifest = obs.build_manifest(
-                name,
-                metrics=state.metrics,
-                counters_before=counters_before,
-                wall_clock_s=perf_counter() - start,
-                seed=seed,
-                scale=scale,
-                git_rev=git_rev,
-            )
-            if state.sink is not None:
-                state.sink.emit(manifest.to_record())
+        results = run_tasks(
+            _report_tasks(scale, seed), jobs=jobs, label="report",
+            git_rev=git_rev,
+        )
+        for result in results:
+            manifest = result.manifest or {}
             report.resources.append(
                 ExperimentResources(
-                    experiment=name,
-                    wall_clock_s=manifest.wall_clock_s,
-                    events_fired=manifest.events_fired,
-                    packets_offered=manifest.packets_offered,
+                    experiment=result.name,
+                    wall_clock_s=manifest.get(
+                        "wall_clock_s", result.wall_clock_s
+                    ),
+                    events_fired=manifest.get("events_fired", 0),
+                    packets_offered=manifest.get("packets_offered", 0),
                 )
             )
-            return result
-
-        _populate_report(report, timed, scale, seed)
+            _LINE_BUILDERS[result.name](report, result.value, scale)
     return report
 
 
-def _populate_report(report, timed, scale: float, seed: int) -> None:
-    """Run every experiment (through ``timed``) and add headline lines."""
-    r = timed("table2", lambda: baseline.run(scale=max(scale * 0.2, 0.01),
-                                             seed=seed))
+# ----------------------------------------------------------------------
+# Per-experiment headline lines.  Split out per task so parallel runs
+# can apply them in fixed task order whatever the completion order.
+# ----------------------------------------------------------------------
+def _lines_table2(report: ReproductionReport, r, scale: float) -> None:
     report.add(
         "T2 baseline", "worst trial loss", "<= .07%",
         f"{r.worst_loss_percent:.3f}%", r.worst_loss_percent < 0.2,
@@ -166,8 +218,8 @@ def _populate_report(report, timed, scale: float, seed: int) -> None:
         f"{r.aggregate_ber:.1e}", r.aggregate_ber < 1e-7,
     )
 
-    f1 = timed("figure1", lambda: signal_vs_distance.run(scale=scale,
-                                                          seed=seed + 1))
+
+def _lines_figure1(report: ReproductionReport, f1, scale: float) -> None:
     report.add(
         "F1 path loss", "dip at 6 ft", "noticeable",
         f"{f1.dip_depth(6.0):.1f} levels", f1.dip_depth(6.0) > 2.0,
@@ -177,8 +229,8 @@ def _populate_report(report, timed, scale: float, seed: int) -> None:
         f"{f1.dip_depth(30.0):.1f} levels", f1.dip_depth(30.0) > 2.0,
     )
 
-    t3 = timed("table3", lambda: error_vs_level.run(scale=scale,
-                                                     seed=seed + 2))
+
+def _lines_table3(report: ReproductionReport, t3, scale: float) -> None:
     damaged_mean = t3.group("Body damaged").level.mean
     undamaged_mean = t3.group("Undamaged").level.mean
     report.add(
@@ -191,7 +243,8 @@ def _populate_report(report, timed, scale: float, seed: int) -> None:
         undamaged_mean - damaged_mean > 2.0,
     )
 
-    t4 = timed("table4", lambda: walls.run(scale=scale, seed=seed + 3))
+
+def _lines_table4(report: ReproductionReport, t4, scale: float) -> None:
     plaster = t4.wall_cost(("Air 1", "Wall 1"))
     concrete = t4.wall_cost(("Air 2", "Wall 2"))
     report.add("T4 walls", "plaster+mesh cost", "~5 levels",
@@ -199,7 +252,8 @@ def _populate_report(report, timed, scale: float, seed: int) -> None:
     report.add("T4 walls", "concrete cost", "~2 levels",
                f"{concrete:.1f}", 1.0 < concrete < 3.0)
 
-    t5 = timed("table5", lambda: multiroom.run(scale=scale, seed=seed + 4))
+
+def _lines_table5(report: ReproductionReport, t5, scale: float) -> None:
     tx5 = t5.metrics("Tx5")
     report.add(
         "T5-7 multiroom", "Tx5 level mean", "9.50",
@@ -211,14 +265,15 @@ def _populate_report(report, timed, scale: float, seed: int) -> None:
         tx5.body_damaged_packets > 0,
     )
 
-    t8 = timed("table8", lambda: body.run(scale=scale, seed=seed + 5))
+
+def _lines_table8(report: ReproductionReport, t8, scale: float) -> None:
     report.add(
         "T8-9 body", "body cost", "~5.8 levels",
         f"{t8.body_cost_levels:.1f}", 4.5 < t8.body_cost_levels < 7.5,
     )
 
-    t10 = timed("table10", lambda: phones_narrowband.run(scale=scale,
-                                                          seed=seed + 6))
+
+def _lines_table10(report: ReproductionReport, t10, scale: float) -> None:
     ordering_ok = (
         t10.silence_mean("Bases nearby")
         > t10.silence_mean("Cluster")
@@ -236,8 +291,8 @@ def _populate_report(report, timed, scale: float, seed: int) -> None:
         "reproduced" if ordering_ok else "violated", ordering_ok,
     )
 
-    t11 = timed("table11", lambda: phones_spread.run(scale=scale,
-                                                      seed=seed + 7))
+
+def _lines_table11(report: ReproductionReport, t11, scale: float) -> None:
     stomped = t11.summary("RS base")
     handset = t11.summary("AT&T handset")
     report.add(
@@ -258,8 +313,8 @@ def _populate_report(report, timed, scale: float, seed: int) -> None:
         t11.summary("RS remote cluster").loss_percent < 1.0,
     )
 
-    t14 = timed("table14", lambda: competing.run(scale=scale, seed=seed + 8,
-                                                  include_unusable=True))
+
+def _lines_table14(report: ReproductionReport, t14, scale: float) -> None:
     masked = t14.metrics("With interference")
     silence_delta = t14.silence_mean("With interference") - t14.silence_mean(
         "Without interference"
@@ -278,8 +333,8 @@ def _populate_report(report, timed, scale: float, seed: int) -> None:
         t14.unusable_metrics.packet_loss_percent > 50,
     )
 
-    x1 = timed("fec", lambda: fec_eval.run(scale=scale, seed=seed + 9,
-                                            syndrome_limit=25))
+
+def _lines_fec(report: ReproductionReport, x1, scale: float) -> None:
     tx5_fec = x1.outcome("Tx5 attenuation", "4/5", interleaved=True)
     ss_fec = x1.outcome("SS-phone handset", "1/2", interleaved=True)
     report.add(
@@ -293,10 +348,8 @@ def _populate_report(report, timed, scale: float, seed: int) -> None:
         ss_fec.recovery_fraction > 0.8,
     )
 
-    # MAC statistics need enough frames to wash out the startup
-    # transient (all three senders fire at t=0).
-    x3 = timed("mac", lambda: mac_ablation.run(scale=max(scale, 0.7),
-                                                seed=seed + 10))
+
+def _lines_mac(report: ReproductionReport, x3, scale: float) -> None:
     report.add(
         "X3 MAC", "blind CSMA/CD delivery", "(rationale for CSMA/CA)",
         f"{100 * x3.outcome('csma_cd_blind').delivery_fraction:.0f}%",
@@ -308,8 +361,8 @@ def _populate_report(report, timed, scale: float, seed: int) -> None:
         x3.outcome("csma_ca").delivery_fraction > 0.85,
     )
 
-    x6 = timed("hidden", lambda: hidden_terminal.run(scale=scale,
-                                                      seed=seed + 11))
+
+def _lines_hidden(report: ReproductionReport, x6, scale: float) -> None:
     report.add(
         "X6 hidden terminal", "capture saves stronger sender",
         "conjectured",
@@ -317,16 +370,38 @@ def _populate_report(report, timed, scale: float, seed: int) -> None:
         x6.outcome("hidden, receiver off-centre").stronger_intact_fraction > 0.7,
     )
 
-    x7 = timed("throughput", lambda: throughput.run(scale=scale,
-                                                     seed=seed + 12))
+
+def _lines_throughput(report: ReproductionReport, x7, scale: float) -> None:
     report.add(
         "X7 throughput", "FEC/raw crossover level", "inside error region (<8)",
         f"{x7.crossover_level():.1f}", 4.0 <= x7.crossover_level() <= 8.0,
     )
 
 
-def main(scale: float = 0.25, seed: int = 1996, out: str | None = None) -> ReproductionReport:
-    report = build_report(scale=scale, seed=seed)
+_LINE_BUILDERS = {
+    "table2": _lines_table2,
+    "figure1": _lines_figure1,
+    "table3": _lines_table3,
+    "table4": _lines_table4,
+    "table5": _lines_table5,
+    "table8": _lines_table8,
+    "table10": _lines_table10,
+    "table11": _lines_table11,
+    "table14": _lines_table14,
+    "fec": _lines_fec,
+    "mac": _lines_mac,
+    "hidden": _lines_hidden,
+    "throughput": _lines_throughput,
+}
+
+
+def main(
+    scale: float = 0.25,
+    seed: int = 1996,
+    out: str | None = None,
+    jobs: int = 1,
+) -> ReproductionReport:
+    report = build_report(scale=scale, seed=seed, jobs=jobs)
     text = report.markdown()
     if out:
         with open(out, "w", encoding="utf-8") as stream:

@@ -155,6 +155,10 @@ class TestPacketFactory:
     def _build_impl(self, sequence: int) -> bytes:
         word = self.body_word(sequence)
         body = word * WORDS_PER_PACKET
+        # The IP id is 16 bits wide, so it aliases sequences mod 2^16;
+        # header-led matching must unalias against the trial length
+        # (TraceMatcher._header_match).  The UDP checksum folds over the
+        # full 32-bit body word and so still discriminates epochs.
         ident = sequence & 0xFFFF
 
         ip_hdr = bytes(self._ip_template)

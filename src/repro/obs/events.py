@@ -61,6 +61,16 @@ class JsonlTelemetrySink:
         self._stream.write(json.dumps(record) + "\n")
         self.records_written += 1
 
+    def flush(self) -> None:
+        """Push buffered records to disk now.
+
+        Worker processes of a parallel run exit through ``os._exit``
+        (multiprocessing skips ``atexit``), which discards stream
+        buffers — so shard sinks flush after every record batch.
+        """
+        if self._stream is not None:
+            self._stream.flush()
+
     def close(self) -> None:
         if self._stream is not None:
             self._stream.close()

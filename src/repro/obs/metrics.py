@@ -85,6 +85,33 @@ class Histogram:
         if value > self.maximum:
             self.maximum = value
 
+    def state(self) -> dict:
+        """Exact internal moments — the mergeable representation.
+
+        Unlike :meth:`summary` (which reports derived statistics), this
+        keeps the raw sum of squares so two histograms can be folded
+        together without precision loss.
+        """
+        return {
+            "count": self.count,
+            "total": self.total,
+            "sumsq": self._sumsq,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one."""
+        if not state["count"]:
+            return
+        self.count += state["count"]
+        self.total += state["total"]
+        self._sumsq += state["sumsq"]
+        if state["min"] < self.minimum:
+            self.minimum = state["min"]
+        if state["max"] > self.maximum:
+            self.maximum = state["max"]
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -273,6 +300,56 @@ class Metrics:
     def counters_snapshot(self) -> dict[str, int]:
         """Just the counters — the cheap diffable slice manifests use."""
         return {k: c.value for k, c in self._counters.items()}
+
+    # ------------------------------------------------------------------
+    # Mergeable state: how worker-process registries fold back into the
+    # parent's after a parallel run (see repro.parallel).
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Every instrument's exact internal state, JSON/pickle-safe.
+
+        Counters and gauges export their values; histograms and timers
+        export raw moments (:meth:`Histogram.state`), so a merge is
+        exact — no reconstruction from derived statistics.
+        """
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "histograms": {k: h.state() for k, h in self._histograms.items()},
+            "timers": {
+                k: t.histogram.state() for k, t in self._timers.items()
+            },
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold an :meth:`export_state` dictionary into this registry.
+
+        Counters add, histogram/timer moments add (min/max take the
+        extremum), gauges take the incoming value (last write wins, so
+        merge in a deterministic order).  No-op on a disabled registry.
+        """
+        if not self.enabled:
+            return
+        for key, value in state.get("counters", {}).items():
+            self._plain(self._counters, key, Counter).value += value
+        for key, value in state.get("gauges", {}).items():
+            self._plain(self._gauges, key, Gauge).value = value
+        for key, hist_state in state.get("histograms", {}).items():
+            self._plain(self._histograms, key, Histogram).merge_state(
+                hist_state
+            )
+        for key, timer_state in state.get("timers", {}).items():
+            self._plain(self._timers, key, Timer).histogram.merge_state(
+                timer_state
+            )
+
+    @staticmethod
+    def _plain(table: dict, key: str, kind: type):
+        """Fetch-or-create by pre-scoped key (labels already folded in)."""
+        instrument = table.get(key)
+        if instrument is None:
+            instrument = table[key] = kind()
+        return instrument
 
     def reset(self) -> None:
         """Forget every instrument (values and registrations)."""

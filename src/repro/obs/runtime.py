@@ -70,6 +70,24 @@ def configure(
     return STATE
 
 
+def detach_inherited_session() -> None:
+    """Disable a session inherited through ``fork`` without closing it.
+
+    A forked worker process shares the parent's telemetry sink object
+    (and its buffered, not-yet-flushed bytes).  Closing it from the
+    child would flush that buffer a second time into the shared file
+    descriptor, corrupting the parent's telemetry.  Workers therefore
+    *detach* — null the references and restore disabled defaults — and
+    then configure their own session (see :mod:`repro.parallel`).
+    """
+    STATE.metrics = Metrics(enabled=False)
+    STATE.tracer = None
+    STATE.sink = None
+    STATE.enabled = False
+    STATE.profiling = False
+    STATE.rng_accounting = False
+
+
 def reset() -> None:
     """Close any sink and restore the disabled defaults."""
     if STATE.sink is not None:

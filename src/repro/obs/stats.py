@@ -1,4 +1,14 @@
-"""Summarize a telemetry JSONL file (``python -m repro stats FILE``)."""
+"""Summarize a telemetry JSONL file (``python -m repro stats FILE``).
+
+A parallel run (``--jobs N``) writes per-worker shard files next to the
+parent telemetry file (see :mod:`repro.parallel.shards`); the
+summarizer discovers them automatically and folds their records into
+one stream, so ``stats run.jsonl`` reports the whole run whether it was
+serial or parallel.  Merged run manifests (records carrying
+``merged_from``) are reported separately and excluded from the
+per-experiment totals — their counters are sums of per-task manifests
+already in the stream.
+"""
 
 from __future__ import annotations
 
@@ -11,7 +21,7 @@ from repro.obs.events import PathLike, read_telemetry
 
 @dataclass
 class TelemetrySummary:
-    """Aggregate view of one telemetry file."""
+    """Aggregate view of one telemetry file (plus its shards)."""
 
     path: str
     header: dict
@@ -21,6 +31,8 @@ class TelemetrySummary:
     event_handler_s: float = 0.0
     max_queue_depth: int = 0
     manifests: list[dict] = field(default_factory=list)
+    merged_manifests: list[dict] = field(default_factory=list)
+    shard_paths: list[str] = field(default_factory=list)
     final_metrics: Optional[dict] = None
 
     @property
@@ -36,11 +48,32 @@ class TelemetrySummary:
         return sum(m.get("packets_offered", 0) for m in self.manifests)
 
 
-def summarize_telemetry(path: PathLike) -> TelemetrySummary:
-    """Parse and aggregate a telemetry file."""
+def summarize_telemetry(
+    path: PathLike, include_shards: bool = True
+) -> TelemetrySummary:
+    """Parse and aggregate a telemetry file.
+
+    ``include_shards`` (the default) folds any per-worker shard files
+    of a parallel run into the same summary, reading the family as one
+    stream.
+    """
     header, records = read_telemetry(path)
     summary = TelemetrySummary(path=str(path), header=header,
                                record_count=len(records))
+    _fold_records(summary, records)
+    if include_shards:
+        from repro.parallel.shards import find_shards
+
+        for shard in find_shards(path):
+            _, shard_records = read_telemetry(shard)
+            summary.shard_paths.append(str(shard))
+            summary.record_count += len(shard_records)
+            _fold_records(summary, shard_records)
+    return summary
+
+
+def _fold_records(summary: TelemetrySummary, records: list[dict]) -> None:
+    """Accumulate one record stream into ``summary``."""
     for record in records:
         kind = record.get("type")
         if kind == "event":
@@ -51,10 +84,12 @@ def summarize_telemetry(path: PathLike) -> TelemetrySummary:
             if depth > summary.max_queue_depth:
                 summary.max_queue_depth = depth
         elif kind == "manifest":
-            summary.manifests.append(record)
+            if record.get("merged_from") is not None:
+                summary.merged_manifests.append(record)
+            else:
+                summary.manifests.append(record)
         elif kind == "metrics":
             summary.final_metrics = record.get("metrics")
-    return summary
 
 
 def render_summary(summary: TelemetrySummary, top: int = 10) -> str:
@@ -64,6 +99,18 @@ def render_summary(summary: TelemetrySummary, top: int = 10) -> str:
         f"  records: {summary.record_count} "
         f"(events {summary.event_count}, manifests {len(summary.manifests)})",
     ]
+    if summary.shard_paths:
+        lines.append(
+            f"  shards: {len(summary.shard_paths)} worker files folded in"
+        )
+    for merged in summary.merged_manifests:
+        lines.append(
+            f"  merged run '{merged.get('experiment', '?')}': "
+            f"{len(merged.get('merged_from', []))} tasks, "
+            f"jobs={merged.get('jobs', '?')}, "
+            f"{merged.get('wall_clock_s', 0.0):.2f}s wall-clock, "
+            f"{merged.get('packets_offered', 0)} packets offered"
+        )
     if summary.manifests:
         lines.append(
             f"  run totals: {summary.total_wall_clock_s:.2f}s wall-clock, "

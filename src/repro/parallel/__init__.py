@@ -1,0 +1,39 @@
+"""Parallel experiment execution.
+
+A process-pool runner (:func:`run_tasks`) that fans independent,
+seed-stable tasks across workers while keeping three invariants:
+results are byte-identical to a serial run, worker metrics fold back
+into the parent registry exactly, and telemetry lands in per-worker
+shards the ``stats`` subcommand reads as one stream.
+
+Quick use::
+
+    from repro.parallel import Task, run_tasks
+
+    tasks = [Task(name, fn, kwargs={"seed": seed, ...}) for ...]
+    results = run_tasks(tasks, jobs=8, label="my-run")
+    values = [r.value for r in results]   # in task order
+
+Wired into the CLI as ``python -m repro report --jobs N`` (and
+``--jobs`` on experiments with independent trials, e.g. ``table2``).
+See docs/OBSERVABILITY.md for the sharding and merge semantics.
+"""
+
+from repro.parallel.runner import (
+    Task,
+    TaskResult,
+    default_jobs,
+    merged_manifest_record,
+    run_tasks,
+)
+from repro.parallel.shards import find_shards, shard_path
+
+__all__ = [
+    "Task",
+    "TaskResult",
+    "default_jobs",
+    "find_shards",
+    "merged_manifest_record",
+    "run_tasks",
+    "shard_path",
+]

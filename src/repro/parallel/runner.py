@@ -1,0 +1,284 @@
+"""The process-pool task runner.
+
+Fans independent, seed-stable tasks (whole experiments, or the trials
+inside one) out across worker processes, with three guarantees:
+
+* **Determinism** — a task's result depends only on its own arguments
+  (every seed is derived from the experiment seed and the task's name
+  through :mod:`repro.simkit.rng`, never from worker rank or execution
+  order), and results are returned in task order.  ``jobs=N`` therefore
+  produces byte-identical tables to ``jobs=1``.
+* **Mergeable observability** — each worker runs its own metrics
+  registry per task and exports its exact state; the parent folds the
+  states back in task order (:meth:`repro.obs.Metrics.merge_state`), so
+  final counters equal a serial run's.  Worker telemetry goes to
+  per-worker JSONL shards (:mod:`repro.parallel.shards`); the parent
+  file gets one merged run manifest.
+* **Serial fidelity** — ``jobs=1`` runs every task in-process against
+  the active observability session, byte-for-byte what the pre-parallel
+  code paths did.  The pool only exists when requested.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Optional, Sequence
+
+from repro import obs
+from repro.obs import runtime as _obs_runtime
+from repro.parallel.shards import shard_path
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of parallel work.
+
+    ``fn`` must be picklable by reference (a module-level callable) and
+    ``kwargs`` must carry everything the task needs — including its
+    seed, so the result is independent of which worker runs it.
+    ``seed``/``scale`` are metadata stamped into the task's manifest.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    kwargs: dict = field(default_factory=dict)
+    seed: Optional[int] = None
+    scale: Optional[float] = None
+
+    __test__ = False  # not a pytest test class despite the name
+
+
+@dataclass
+class TaskResult:
+    """A finished task: its value plus its observability freight."""
+
+    name: str
+    value: Any
+    wall_clock_s: float
+    # Exact worker-registry state for this task (None when the run was
+    # unobserved or executed inline against the parent registry).
+    metrics_state: Optional[dict] = None
+    # The task's run-manifest record (None when unobserved).
+    manifest: Optional[dict] = None
+
+    __test__ = False
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` default for "use the machine": cpu count."""
+    return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+def _worker_init(session_kwargs: Optional[dict], telemetry_parent: Optional[str],
+                 index_counter) -> None:
+    """Per-worker-process setup: its own observability session.
+
+    A forked worker inherits the parent's live session; it must detach
+    (not close) before configuring its own, or the parent's buffered
+    telemetry would be flushed twice into the shared file descriptor.
+    """
+    _obs_runtime.detach_inherited_session()
+    if session_kwargs is None:
+        return  # parent was not observing; workers don't either
+    telemetry = None
+    if telemetry_parent is not None:
+        if index_counter is not None:
+            with index_counter.get_lock():
+                index = index_counter.value
+                index_counter.value += 1
+        else:  # spawn start method: no inherited counter, use the pid
+            index = os.getpid()
+        telemetry = str(shard_path(telemetry_parent, index))
+    obs.configure(telemetry_path=telemetry, **session_kwargs)
+    # Pool workers exit through os._exit, which skips atexit and drops
+    # stream buffers — land the shard header now and flush after every
+    # task (_execute_task) so shards are always complete on disk.
+    state = obs.STATE
+    if state.sink is not None:
+        state.sink.flush()
+
+
+def _execute_task(task: Task, git_rev: Optional[str]) -> TaskResult:
+    """Run one task in a worker and capture its observability state.
+
+    The worker registry is reset per task, so the exported state and
+    the manifest both describe exactly this task's deltas.
+    """
+    state = obs.STATE
+    if state.enabled:
+        state.metrics.reset()
+    start = perf_counter()
+    value = task.fn(**task.kwargs)
+    wall_clock_s = perf_counter() - start
+    metrics_state = manifest = None
+    if state.enabled:
+        manifest = obs.build_manifest(
+            task.name,
+            metrics=state.metrics,
+            counters_before={},
+            wall_clock_s=wall_clock_s,
+            seed=task.seed,
+            scale=task.scale,
+            git_rev=git_rev,
+        ).to_record()
+        if state.sink is not None:
+            state.sink.emit(manifest)
+            state.sink.flush()
+        metrics_state = state.metrics.export_state()
+    return TaskResult(
+        name=task.name,
+        value=value,
+        wall_clock_s=wall_clock_s,
+        metrics_state=metrics_state,
+        manifest=manifest,
+    )
+
+
+# ----------------------------------------------------------------------
+# Parent-process side
+# ----------------------------------------------------------------------
+def _run_task_inline(task: Task, git_rev: Optional[str]) -> TaskResult:
+    """Serial path: run against the active session, as pre-parallel
+    code did — counter deltas via a before snapshot, manifest straight
+    to the session sink."""
+    state = obs.STATE
+    counters_before = state.metrics.counters_snapshot()
+    start = perf_counter()
+    value = task.fn(**task.kwargs)
+    wall_clock_s = perf_counter() - start
+    manifest = None
+    if state.enabled:
+        manifest = obs.build_manifest(
+            task.name,
+            metrics=state.metrics,
+            counters_before=counters_before,
+            wall_clock_s=wall_clock_s,
+            seed=task.seed,
+            scale=task.scale,
+            git_rev=git_rev,
+        ).to_record()
+        if state.sink is not None:
+            state.sink.emit(manifest)
+    return TaskResult(
+        name=task.name,
+        value=value,
+        wall_clock_s=wall_clock_s,
+        manifest=manifest,
+    )
+
+
+def _pool_context():
+    """Fork when the platform offers it (cheap, shares loaded modules);
+    spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _session_kwargs(state) -> Optional[dict]:
+    """The worker-session configuration mirroring the parent's."""
+    if not state.enabled:
+        return None
+    return {
+        "profiling": state.profiling,
+        "rng_accounting": state.rng_accounting,
+        "trace_sample_every": (
+            state.tracer.sample_every if state.tracer is not None else 1
+        ),
+    }
+
+
+def merged_manifest_record(
+    label: str, results: Sequence[TaskResult], wall_clock_s: float
+) -> dict:
+    """One manifest summarizing a whole parallel run.
+
+    Carries ``merged_from`` (the task names) so readers — the ``stats``
+    subcommand in particular — can tell it from per-task manifests and
+    avoid double counting.
+    """
+    merged = obs.RunManifest(
+        experiment=label,
+        seed=None,
+        scale=None,
+        git_rev=next(
+            (r.manifest.get("git_rev") for r in results if r.manifest), None
+        ),
+        wall_clock_s=wall_clock_s,
+        events_fired=0,
+        packets_offered=0,
+    )
+    for result in results:
+        if result.manifest is None:
+            continue
+        merged.events_fired += result.manifest.get("events_fired", 0)
+        merged.packets_offered += result.manifest.get("packets_offered", 0)
+        for key, delta in result.manifest.get("rng_streams", {}).items():
+            merged.rng_streams[key] = merged.rng_streams.get(key, 0) + delta
+        for key, delta in result.manifest.get("layer_counters", {}).items():
+            merged.layer_counters[key] = (
+                merged.layer_counters.get(key, 0) + delta
+            )
+    record = merged.to_record()
+    record["merged_from"] = [r.name for r in results]
+    return record
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    jobs: int = 1,
+    label: Optional[str] = None,
+    git_rev: Optional[str] = None,
+) -> list[TaskResult]:
+    """Run ``tasks`` and return their results in task order.
+
+    ``jobs <= 1`` executes inline (the exact serial code path);
+    ``jobs > 1`` fans out over a process pool, folds each worker's
+    metrics state back into the active registry in task order, and —
+    when ``label`` is given and a telemetry sink is open — emits one
+    merged run manifest to the parent sink.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_run_task_inline(task, git_rev) for task in tasks]
+
+    state = obs.STATE
+    context = _pool_context()
+    session_kwargs = _session_kwargs(state)
+    telemetry_parent = (
+        str(state.sink.path) if state.sink is not None else None
+    )
+    index_counter = (
+        context.Value("i", 0)
+        if telemetry_parent is not None and context.get_start_method() == "fork"
+        else None
+    )
+    start = perf_counter()
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=context,
+        initializer=_worker_init,
+        initargs=(session_kwargs, telemetry_parent, index_counter),
+    ) as pool:
+        futures = [pool.submit(_execute_task, task, git_rev) for task in tasks]
+        results = [future.result() for future in futures]
+    # Fold worker registries back in task order (deterministic merge).
+    if state.enabled:
+        for result in results:
+            if result.metrics_state is not None:
+                state.metrics.merge_state(result.metrics_state)
+        if state.sink is not None and label is not None:
+            record = merged_manifest_record(
+                label, results, perf_counter() - start
+            )
+            record["jobs"] = workers
+            state.sink.emit(record)
+    return results

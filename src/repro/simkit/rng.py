@@ -6,6 +6,14 @@ draw.  The registry hands out one :class:`numpy.random.Generator` per
 *name*, each derived from the experiment seed and the name via NumPy's
 ``SeedSequence.spawn`` mechanism, so streams are mutually independent and
 stable under code evolution.
+
+Because every seed is a pure function of ``(root seed, label)`` — never
+of process identity, wall clock, or draw order in a shared stream —
+work that forks its registry per trial can be executed on any worker
+process of a pool and still produce bit-identical results.  This is
+the property :mod:`repro.parallel` relies on: per-task seeds are
+derived here, in the parent, from the task's *name*, and travel with
+the task.
 """
 
 from __future__ import annotations
@@ -89,12 +97,22 @@ class RngRegistry:
             self._streams[name] = generator
         return generator
 
+    def child_seed(self, name: str) -> int:
+        """The root seed a :meth:`fork` for ``name`` would use.
+
+        Exposed so callers that ship work to other processes (the
+        parallel runner, the trial fan-out in scale-heavy experiments)
+        can derive a task's seed in the parent and send the plain
+        integer — the worker reconstructs an identical registry.
+        """
+        return derive_seed(self.seed, name)
+
     def fork(self, name: str) -> "RngRegistry":
         """Return a new registry whose root seed is derived from ``name``.
 
         Used to give each trial within an experiment its own seed space.
         """
-        return RngRegistry(derive_seed(self.seed, name))
+        return RngRegistry(self.child_seed(name))
 
     def names(self) -> list[str]:
         """Names of the streams created so far (for diagnostics)."""

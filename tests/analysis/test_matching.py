@@ -141,6 +141,80 @@ class TestHeaderLedMatching:
         assert not result.header_led
 
 
+class TestSequenceAliasing:
+    """Header-led recovery in trials longer than 2^16 packets.
+
+    The IP id only carries seq mod 2^16; the matcher must unalias
+    against the trial length instead of returning the low 16 bits
+    verbatim (which silently mislabeled every deep-truncated packet
+    beyond sequence 65535 — e.g. 66000 came back as 464)."""
+
+    @pytest.fixture
+    def long_matcher(self, spec):
+        return TraceMatcher(spec, packets_sent=70_000)
+
+    def test_deep_truncation_beyond_two_16(self, long_matcher, factory):
+        frame = factory.build(66_000)[:BODY_START]
+        result = long_matcher.match(_record(frame))
+        assert result.outcome is MatchOutcome.TEST_PACKET
+        assert result.header_led
+        # Never the aliased low-16-bit value.
+        assert result.sequence != 66_000 - (1 << 16)
+        assert result.sequence == 66_000
+        assert not result.ambiguous
+
+    def test_first_epoch_still_exact(self, long_matcher, factory):
+        result = long_matcher.match(_record(factory.build(464)[:BODY_START]))
+        assert result.sequence == 464
+        assert not result.ambiguous
+
+    def test_body_fragment_discriminates(self, long_matcher, factory):
+        """A few surviving body bytes (too few to vote) still pick the
+        right epoch."""
+        frame = factory.build(66_000)[: BODY_START + 8]
+        result = long_matcher.match(_record(frame))
+        assert result.sequence == 66_000
+        assert result.header_led
+
+    def test_damaged_discriminators_give_ambiguous(self, long_matcher, factory):
+        """With the UDP checksum corrupted and no body left, the tie
+        between epochs cannot be broken: the packet is still a test
+        packet, but the sequence is reported as unknown, not guessed."""
+        frame = bytearray(factory.build(66_000)[:BODY_START])
+        frame[42] ^= 0xFF
+        frame[43] ^= 0xFF
+        result = long_matcher.match(_record(bytes(frame)))
+        assert result.outcome is MatchOutcome.TEST_PACKET
+        assert result.ambiguous
+        assert result.sequence is None
+
+    def test_short_trial_never_ambiguous(self, matcher, factory):
+        """Trials under 2^16 packets have a single candidate; behaviour
+        is unchanged even with the discriminating bytes damaged."""
+        frame = bytearray(factory.build(464)[:BODY_START])
+        frame[42] ^= 0xFF
+        frame[43] ^= 0xFF
+        result = matcher.match(_record(bytes(frame)))
+        assert result.sequence == 464
+        assert not result.ambiguous
+
+    def test_ambiguous_packet_classifies_as_truncated(self, spec, factory):
+        """classify_trace folds an ambiguous match into the truncated
+        class without claiming a sequence."""
+        from repro.analysis.classify import PacketClass, classify_trace
+        from repro.trace.records import TrialTrace
+
+        damaged = bytearray(factory.build(66_000)[:BODY_START])
+        damaged[42] ^= 0xFF
+        damaged[43] ^= 0xFF
+        trace = TrialTrace(name="t", spec=spec, packets_sent=70_000)
+        trace.records.append(_record(bytes(damaged)))
+        classified = classify_trace(trace)
+        packet = classified.packets[0]
+        assert packet.packet_class is PacketClass.TRUNCATED
+        assert packet.sequence is None
+
+
 class TestSequencePlausibility:
     def test_slack_window(self, spec, factory):
         matcher = TraceMatcher(spec, packets_sent=100)

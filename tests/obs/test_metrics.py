@@ -72,6 +72,77 @@ class TestHistogram:
         assert summary["min"] is None
 
 
+class TestMergeableState:
+    """export_state/merge_state: how worker registries fold into the
+    parent's after a parallel run."""
+
+    def test_counters_add(self):
+        parent, worker = Metrics(), Metrics()
+        parent.counter("trace.packets_offered").inc(10)
+        worker.counter("trace.packets_offered").inc(5)
+        worker.counter("link.drops", reason="missed").inc(2)
+        parent.merge_state(worker.export_state())
+        assert parent.counter("trace.packets_offered").value == 15
+        assert parent.counter("link.drops", reason="missed").value == 2
+
+    def test_histogram_merge_is_exact(self):
+        parent, worker = Metrics(), Metrics()
+        for value in (1.0, 5.0):
+            parent.histogram("h").record(value)
+        for value in (2.0, 3.0, 10.0):
+            worker.histogram("h").record(value)
+        parent.merge_state(worker.export_state())
+        merged = parent.histogram("h")
+        reference = Metrics().histogram("h")
+        for value in (1.0, 5.0, 2.0, 3.0, 10.0):
+            reference.record(value)
+        assert merged.count == reference.count
+        assert merged.total == reference.total
+        assert merged.minimum == reference.minimum
+        assert merged.maximum == reference.maximum
+        assert merged.stddev == pytest.approx(reference.stddev)
+
+    def test_empty_worker_state_is_noop(self):
+        parent = Metrics()
+        parent.counter("c").inc(3)
+        parent.merge_state(Metrics().export_state())
+        assert parent.counter("c").value == 3
+        assert parent.histogram("h").count == 0
+
+    def test_gauges_last_write_wins(self):
+        parent, worker = Metrics(), Metrics()
+        parent.gauge("g").set(1)
+        worker.gauge("g").set(9)
+        parent.merge_state(worker.export_state())
+        assert parent.gauge("g").value == 9
+
+    def test_timer_state_round_trips(self):
+        worker = Metrics()
+        with worker.timer("profile.t").time():
+            pass
+        parent = Metrics()
+        parent.merge_state(worker.export_state())
+        assert parent.timer("profile.t").count == 1
+
+    def test_state_is_pickle_friendly(self):
+        import pickle
+
+        worker = Metrics()
+        worker.counter("c").inc()
+        worker.histogram("h").record(2.0)
+        state = pickle.loads(pickle.dumps(worker.export_state()))
+        parent = Metrics()
+        parent.merge_state(state)
+        assert parent.counter("c").value == 1
+
+    def test_disabled_registry_merge_is_noop(self):
+        disabled = Metrics(enabled=False)
+        worker = Metrics()
+        worker.counter("c").inc(5)
+        disabled.merge_state(worker.export_state())
+        assert all(not section for section in disabled.snapshot().values())
+
+
 class TestTimer:
     def test_span_records_elapsed(self):
         timer = Metrics().timer("profile.match")

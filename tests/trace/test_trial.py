@@ -114,6 +114,45 @@ class TestOutsiders:
         times = [r.time for r in output.trace.records]
         assert times == sorted(times)
 
+    def test_dense_outsiders_never_collide_with_test_packets(self):
+        """With more outsiders than test packets the midpoint spacing
+        lands on integers — exactly where test packets sit.  The
+        perturbation must keep outsider times non-integer, distinct,
+        and sorted."""
+        output = run_fast_trial(
+            TrialConfig(
+                name="t",
+                packets=50,
+                mean_level=29.5,
+                seed=11,
+                outsiders=OutsiderTraffic(
+                    rate_per_test_packet=4.0, mean_level=25.0
+                ),
+            )
+        )
+        assert output.dispositions.outsiders_delivered > 50
+        outsider_times = [
+            r.time for r in output.trace.records if r.length < 200
+        ]
+        assert all(not float(t).is_integer() for t in outsider_times)
+        assert len(set(outsider_times)) == len(outsider_times)
+        times = [r.time for r in output.trace.records]
+        assert times == sorted(times)
+
+    def test_dense_outsiders_deterministic(self):
+        config = dict(
+            name="t",
+            packets=50,
+            mean_level=29.5,
+            seed=11,
+            outsiders=OutsiderTraffic(rate_per_test_packet=4.0, mean_level=25.0),
+        )
+        a = run_fast_trial(TrialConfig(**config))
+        b = run_fast_trial(TrialConfig(**config))
+        assert [(r.time, r.data) for r in a.trace.records] == [
+            (r.time, r.data) for r in b.trace.records
+        ]
+
     def test_weak_outsiders_mostly_lost(self):
         output = run_fast_trial(
             TrialConfig(
@@ -159,3 +198,52 @@ class TestMacTrial:
         ]
         assert len(intact) < 20
         assert channel.stats.misses > 0
+
+
+class TestMacTrialConservation:
+    """Every offered packet must land in exactly one disposition bucket
+    (docs/TRACE_FORMAT.md)."""
+
+    @staticmethod
+    def _accounted(d):
+        return (
+            d.delivered
+            + d.missed
+            + d.threshold_filtered
+            + d.quality_filtered
+            + d.controller_rejected
+            + d.mac_dropped
+            + d.not_transmitted
+        )
+
+    def test_full_run_conserves(self):
+        config = TrialConfig(name="mac", packets=40, seed=4)
+        output, _ = run_mac_trial(config)
+        assert self._accounted(output.dispositions) == 40
+
+    def test_horizon_cut_surfaces_not_transmitted(self):
+        """A horizon shorter than the burst leaves packets queued, in
+        backoff, mid-flight, or ungenerated — they must show up as
+        not_transmitted instead of silently vanishing."""
+        config = TrialConfig(name="mac", packets=40, seed=4)
+        # The burst alone needs packets * frame-airtime at 1.4 Mb/s;
+        # stop a quarter of the way through.
+        from repro.framing.testpacket import FRAME_BYTES
+
+        horizon = 10 * (FRAME_BYTES * 8.0 / 1_400_000.0)
+        output, _ = run_mac_trial(config, horizon_s=horizon)
+        d = output.dispositions
+        assert d.not_transmitted > 0
+        assert d.delivered < 40
+        assert self._accounted(d) == 40
+
+    def test_weak_link_conserves(self):
+        """Losses at the modem (misses/filters) stay inside the
+        identity."""
+        config = TrialConfig(
+            name="mac", packets=30, seed=8, rx_position=Point(200.0, 0.0)
+        )
+        output, _ = run_mac_trial(config)
+        d = output.dispositions
+        assert d.missed + d.threshold_filtered + d.quality_filtered > 0
+        assert self._accounted(d) == 30
