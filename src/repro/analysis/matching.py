@@ -33,7 +33,7 @@ from __future__ import annotations
 import enum
 from collections import Counter
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -127,23 +127,78 @@ class TraceMatcher:
         """Classify one record as test packet (with sequence) or outsider."""
         return self.match_bytes(record.data)
 
-    def match_bytes(self, data: bytes) -> MatchResult:
-        """Like :meth:`match` for callers that already hold the bytes."""
+    def match_bytes(self, data: bytes, skip_fast: bool = False) -> MatchResult:
+        """Like :meth:`match` for callers that already hold the bytes.
+
+        ``skip_fast`` elides the exact-comparison fast path; callers use
+        it after :meth:`match_bulk` has already proven the record is not
+        byte-identical to any plausible template.
+        """
         state = _obs.STATE
         if not state.enabled:
-            return self._match_impl(data)
+            return self._match_impl(data, skip_fast)
         if state.profiling:
             with state.metrics.timer("profile.match").time():
-                result = self._match_impl(data)
+                result = self._match_impl(data, skip_fast)
         else:
-            result = self._match_impl(data)
+            result = self._match_impl(data, skip_fast)
         state.metrics.counter(_path_counter_name(result)).inc()
         return result
 
-    def _match_impl(self, data: bytes) -> MatchResult:
-        fast = self._fast_match(data)
-        if fast is not None:
-            return fast
+    def match_bulk(self, datas: Sequence[bytes]) -> list[Optional[MatchResult]]:
+        """Batched fast path over many records at once.
+
+        Returns one entry per input: a fast-path :class:`MatchResult`
+        where the record is byte-identical to its expected frame, else
+        ``None`` (caller falls back to ``match_bytes(data,
+        skip_fast=True)``).  The criteria are exactly those of
+        :meth:`_fast_match` — full length, unanimous body words,
+        plausible sequence, byte equality against the template bank —
+        evaluated as whole-matrix reductions.
+        """
+        results: list[Optional[MatchResult]] = [None] * len(datas)
+        full_rows = [i for i, data in enumerate(datas) if len(data) == FRAME_BYTES]
+        if not full_rows:
+            return results
+        matrix = np.frombuffer(
+            b"".join(datas[i] for i in full_rows), dtype=np.uint8
+        ).reshape(len(full_rows), FRAME_BYTES)
+        body = np.ascontiguousarray(
+            matrix[:, BODY_START : FRAME_BYTES - 4]
+        ).view(">u4")
+        unanimous = (body == body[:, :1]).all(axis=1)
+        sequences = (
+            body[:, 0].astype(np.int64) - self.spec.first_sequence
+        ) & 0xFFFFFFFF
+        candidates = unanimous & (
+            sequences < self.packets_sent + SEQUENCE_SLACK
+        )
+        hits = 0
+        if candidates.any():
+            rows = np.nonzero(candidates)[0]
+            bank = self.factory.build_bulk(sequences[rows])
+            exact = (matrix[rows] == bank).all(axis=1)
+            for row, is_exact in zip(rows.tolist(), exact.tolist()):
+                if not is_exact:
+                    continue
+                results[full_rows[row]] = MatchResult(
+                    MatchOutcome.TEST_PACKET,
+                    sequence=int(sequences[row]),
+                    exact=True,
+                    vote_fraction=1.0,
+                    wrapper_score=1.0,
+                )
+                hits += 1
+        state = _obs.STATE
+        if state.enabled and hits:
+            state.metrics.counter("match.fast_path_hits").inc(hits)
+        return results
+
+    def _match_impl(self, data: bytes, skip_fast: bool = False) -> MatchResult:
+        if not skip_fast:
+            fast = self._fast_match(data)
+            if fast is not None:
+                return fast
         voted = self._voting_match(data)
         if voted.outcome is MatchOutcome.TEST_PACKET:
             return voted

@@ -23,6 +23,7 @@ from repro.analysis.signalstats import SignalStats, stats_for_packets
 from repro.analysis.tables import render_signal_table
 from repro.experiments.scenarios import multiroom_scenario
 from repro.interference.wavelan import CompetingWaveLanTransmitter
+from repro.parallel import Task, run_tasks
 from repro.phy.modem import ModemConfig
 from repro.trace.trial import TrialConfig, run_fast_trial
 
@@ -83,55 +84,91 @@ def _jammers(layout, victim_threshold: int) -> list[CompetingWaveLanTransmitter]
     return jammers
 
 
-def run(
-    scale: float = 1.0, seed: int = 74, include_unusable: bool = True
-) -> CompetingResult:
+def _run_trial(
+    name: str, packets: int, seed: int, threshold: int, jammed: bool
+) -> tuple[TrialMetrics, SignalStats]:
+    """One Table-14 trial, self-contained and picklable."""
     layout = multiroom_scenario()
-    result = CompetingResult()
+    config = TrialConfig(
+        name=name,
+        packets=packets,
+        seed=seed,
+        propagation=layout.propagation,
+        tx_position=layout.tx1,
+        rx_position=layout.rx,
+        modem_config=ModemConfig(receive_threshold=threshold),
+        interference=_jammers(layout, threshold) if jammed else [],
+    )
+    output = run_fast_trial(config)
+    classified = classify_trace(output.trace)
+    return (
+        metrics_from_classified(classified),
+        stats_for_packets(name, classified.test_packets),
+    )
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 74,
+    include_unusable: bool = True,
+    jobs: int = 1,
+) -> CompetingResult:
+    """Run the masked pair of Table-14 trials (plus the unmasked one).
+
+    The trials are mutually independent, so ``jobs > 1`` fans them over
+    a process pool; the assembled result is identical to a serial run.
+    """
     packets = max(400, int(PAPER_PACKETS * scale))
-
-    trials = [
-        ("Without interference", [], MASKING_THRESHOLD),
-        ("With interference", _jammers(layout, MASKING_THRESHOLD), MASKING_THRESHOLD),
+    plans = [
+        ("Without interference", packets, seed, MASKING_THRESHOLD, False),
+        ("With interference", packets, seed + 1, MASKING_THRESHOLD, True),
     ]
-    for index, (name, interference, threshold) in enumerate(trials):
-        config = TrialConfig(
-            name=name,
-            packets=packets,
-            seed=seed + index,
-            propagation=layout.propagation,
-            tx_position=layout.tx1,
-            rx_position=layout.rx,
-            modem_config=ModemConfig(receive_threshold=threshold),
-            interference=interference,
-        )
-        output = run_fast_trial(config)
-        classified = classify_trace(output.trace)
-        result.metrics_rows.append(metrics_from_classified(classified))
-        result.signal_rows.append(stats_for_packets(name, classified.test_packets))
-
     if include_unusable:
         # The paper's first attempt: victim at the default threshold 3,
         # the competition unmasked — "completely unusable".
-        config = TrialConfig(
-            name="Unmasked (threshold 3)",
-            packets=min(packets, 1_440),
-            seed=seed + 10,
-            propagation=layout.propagation,
-            tx_position=layout.tx1,
-            rx_position=layout.rx,
-            modem_config=ModemConfig(receive_threshold=DEFAULT_THRESHOLD),
-            interference=_jammers(layout, DEFAULT_THRESHOLD),
+        plans.append(
+            (
+                "Unmasked (threshold 3)",
+                min(packets, 1_440),
+                seed + 10,
+                DEFAULT_THRESHOLD,
+                True,
+            )
         )
-        output = run_fast_trial(config)
-        result.unusable_metrics = metrics_from_classified(
-            classify_trace(output.trace)
+    tasks = [
+        Task(
+            name,
+            _run_trial,
+            {
+                "name": name,
+                "packets": count,
+                "seed": trial_seed,
+                "threshold": threshold,
+                "jammed": jammed,
+            },
+            seed=trial_seed,
+            scale=scale,
         )
+        for name, count, trial_seed, threshold, jammed in plans
+    ]
+    if jobs <= 1:
+        rows = [_run_trial(**task.kwargs) for task in tasks]
+    else:
+        rows = [
+            r.value for r in run_tasks(tasks, jobs=jobs, label="table14-trials")
+        ]
+    result = CompetingResult()
+    for (metrics, signal_row), (name, *_rest) in zip(rows, plans):
+        if name == "Unmasked (threshold 3)":
+            result.unusable_metrics = metrics
+        else:
+            result.metrics_rows.append(metrics)
+            result.signal_rows.append(signal_row)
     return result
 
 
-def main(scale: float = 0.25, seed: int = 74) -> CompetingResult:
-    result = run(scale=scale, seed=seed)
+def main(scale: float = 0.25, seed: int = 74, jobs: int = 1) -> CompetingResult:
+    result = run(scale=scale, seed=seed, jobs=jobs)
     print("Table 14: Signal metrics with and without interfering WaveLAN "
           f"transmitters (victim threshold {MASKING_THRESHOLD}, scale={scale:g})")
     print(render_signal_table(result.signal_rows, label="Trial"))

@@ -33,6 +33,7 @@ from repro.experiments.scenarios import (
     narrowband_phone_room,
 )
 from repro.interference.narrowband import NarrowbandPhonePair
+from repro.parallel import Task, run_tasks
 from repro.trace.outsiders import OutsiderTraffic
 from repro.trace.trial import TrialConfig, run_fast_trial
 
@@ -115,38 +116,69 @@ class NarrowbandResult:
         )
 
 
-def run(scale: float = 1.0, seed: int = 710) -> NarrowbandResult:
+def _run_trial(
+    trial: str, packets: int, seed: int
+) -> tuple[TrialMetrics, SignalStats, SignalStats | None]:
+    """One Table-10 configuration, self-contained and picklable."""
     propagation, tx, rx = narrowband_phone_room()
-    result = NarrowbandResult()
-    for index, trial in enumerate(TRIALS):
-        config = TrialConfig(
-            name=trial,
-            packets=max(400, int(PAPER_PACKETS * scale)),
+    config = TrialConfig(
+        name=trial,
+        packets=packets,
+        seed=seed,
+        propagation=propagation,
+        tx_position=tx,
+        rx_position=rx,
+        interference=_phone_pairs(trial),
+        outsiders=OUTSIDER_TRIALS.get(trial),
+    )
+    output = run_fast_trial(config)
+    classified = classify_trace(output.trace)
+    outsiders = classified.by_class(
+        PacketClass.OUTSIDER_UNDAMAGED, PacketClass.OUTSIDER_DAMAGED
+    )
+    return (
+        metrics_from_classified(classified),
+        stats_for_packets(trial, classified.test_packets),
+        stats_for_packets(f"{trial} (outsiders)", outsiders)
+        if outsiders
+        else None,
+    )
+
+
+def run(scale: float = 1.0, seed: int = 710, jobs: int = 1) -> NarrowbandResult:
+    """Run the five Table-10 configurations.
+
+    The trials are mutually independent, so ``jobs > 1`` fans them over
+    a process pool; the assembled result is identical to a serial run.
+    """
+    packets = max(400, int(PAPER_PACKETS * scale))
+    tasks = [
+        Task(
+            trial,
+            _run_trial,
+            {"trial": trial, "packets": packets, "seed": seed + index},
             seed=seed + index,
-            propagation=propagation,
-            tx_position=tx,
-            rx_position=rx,
-            interference=_phone_pairs(trial),
-            outsiders=OUTSIDER_TRIALS.get(trial),
+            scale=scale,
         )
-        output = run_fast_trial(config)
-        classified = classify_trace(output.trace)
-        result.metrics_rows.append(metrics_from_classified(classified))
-        result.signal_rows.append(
-            stats_for_packets(trial, classified.test_packets)
-        )
-        outsiders = classified.by_class(
-            PacketClass.OUTSIDER_UNDAMAGED, PacketClass.OUTSIDER_DAMAGED
-        )
-        if outsiders:
-            result.outsider_rows.append(
-                stats_for_packets(f"{trial} (outsiders)", outsiders)
-            )
+        for index, trial in enumerate(TRIALS)
+    ]
+    if jobs <= 1:
+        rows = [_run_trial(**task.kwargs) for task in tasks]
+    else:
+        rows = [
+            r.value for r in run_tasks(tasks, jobs=jobs, label="table10-trials")
+        ]
+    result = NarrowbandResult()
+    for metrics, signal_row, outsider_row in rows:
+        result.metrics_rows.append(metrics)
+        result.signal_rows.append(signal_row)
+        if outsider_row is not None:
+            result.outsider_rows.append(outsider_row)
     return result
 
 
-def main(scale: float = 1.0, seed: int = 710) -> NarrowbandResult:
-    result = run(scale=scale, seed=seed)
+def main(scale: float = 1.0, seed: int = 710, jobs: int = 1) -> NarrowbandResult:
+    result = run(scale=scale, seed=seed, jobs=jobs)
     print("Table 10: The effects of narrowband 900 MHz cordless phones "
           f"(scale={scale:g})")
     print(render_signal_table(result.signal_rows, label="Trial"))

@@ -33,6 +33,7 @@ from repro.experiments.scenarios import (
 )
 from repro.framing.testpacket import BODY_BITS
 from repro.interference.spreadspectrum import SpreadSpectrumPhonePair
+from repro.parallel import Task, run_tasks
 from repro.trace.outsiders import OutsiderTraffic
 from repro.trace.trial import TrialConfig, run_fast_trial
 
@@ -154,46 +155,95 @@ class SpreadResult:
         raise KeyError(trial)
 
 
-def run(scale: float = 1.0, seed: int = 73) -> SpreadResult:
+@dataclass
+class _TrialBundle:
+    """Everything one Table-11 trial contributes to the result."""
+
+    trial: str
+    classified: ClassifiedTrace
+    metrics: TrialMetrics
+    summary: TrialSummary
+    signal_row: SignalStats
+    handset_breakdown: list[SignalStats]
+
+
+def _run_trial(trial: str, packets: int, seed: int) -> _TrialBundle:
+    """One Table-11 configuration, self-contained and picklable.
+
+    Rebuilds the deterministic scenario in-process; the bundle is
+    identical whether it runs inline or on a pool worker.
+    """
     propagation, tx, rx = spread_spectrum_room()
-    result = SpreadResult()
-    for index, trial in enumerate(TRIALS):
-        config = TrialConfig(
-            name=trial,
-            packets=max(400, int(PAPER_PACKETS * scale)),
+    config = TrialConfig(
+        name=trial,
+        packets=packets,
+        seed=seed,
+        propagation=propagation,
+        tx_position=tx,
+        rx_position=rx,
+        interference=_phone(trial),
+        outsiders=OUTSIDER_TRIALS.get(trial),
+    )
+    output = run_fast_trial(config)
+    classified = classify_trace(output.trace)
+    metrics = metrics_from_classified(classified)
+    received = max(1, metrics.packets_received)
+    summary = TrialSummary(
+        name=trial,
+        loss_percent=metrics.packet_loss_percent,
+        truncated_percent=100.0 * metrics.packets_truncated / received,
+        wrapper_percent=100.0 * metrics.wrapper_damaged / received,
+        body_percent=100.0 * metrics.body_damaged_packets / received,
+        worst_body_fraction=(metrics.worst_body_bits or 0) / BODY_BITS,
+    )
+    return _TrialBundle(
+        trial=trial,
+        classified=classified,
+        metrics=metrics,
+        summary=summary,
+        signal_row=stats_for_packets(trial, classified.test_packets),
+        handset_breakdown=(
+            signal_stats_by_class(classified) if trial == "AT&T handset" else []
+        ),
+    )
+
+
+def run(scale: float = 1.0, seed: int = 73, jobs: int = 1) -> SpreadResult:
+    """Run the six Table-11 configurations.
+
+    The trials are mutually independent, so ``jobs > 1`` fans them over
+    a process pool; the assembled result is identical to a serial run.
+    """
+    packets = max(400, int(PAPER_PACKETS * scale))
+    tasks = [
+        Task(
+            trial,
+            _run_trial,
+            {"trial": trial, "packets": packets, "seed": seed + index},
             seed=seed + index,
-            propagation=propagation,
-            tx_position=tx,
-            rx_position=rx,
-            interference=_phone(trial),
-            outsiders=OUTSIDER_TRIALS.get(trial),
+            scale=scale,
         )
-        output = run_fast_trial(config)
-        classified = classify_trace(output.trace)
-        result.classified[trial] = classified
-        metrics = metrics_from_classified(classified)
-        result.metrics_rows.append(metrics)
-        received = max(1, metrics.packets_received)
-        result.summaries.append(
-            TrialSummary(
-                name=trial,
-                loss_percent=metrics.packet_loss_percent,
-                truncated_percent=100.0 * metrics.packets_truncated / received,
-                wrapper_percent=100.0 * metrics.wrapper_damaged / received,
-                body_percent=100.0 * metrics.body_damaged_packets / received,
-                worst_body_fraction=(metrics.worst_body_bits or 0) / BODY_BITS,
-            )
-        )
-        result.signal_rows.append(
-            stats_for_packets(trial, classified.test_packets)
-        )
-        if trial == "AT&T handset":
-            result.handset_breakdown = signal_stats_by_class(classified)
+        for index, trial in enumerate(TRIALS)
+    ]
+    if jobs <= 1:
+        bundles = [_run_trial(**task.kwargs) for task in tasks]
+    else:
+        bundles = [
+            r.value for r in run_tasks(tasks, jobs=jobs, label="table11-trials")
+        ]
+    result = SpreadResult()
+    for bundle in bundles:
+        result.classified[bundle.trial] = bundle.classified
+        result.metrics_rows.append(bundle.metrics)
+        result.summaries.append(bundle.summary)
+        result.signal_rows.append(bundle.signal_row)
+        if bundle.handset_breakdown:
+            result.handset_breakdown = bundle.handset_breakdown
     return result
 
 
-def main(scale: float = 1.0, seed: int = 73) -> SpreadResult:
-    result = run(scale=scale, seed=seed)
+def main(scale: float = 1.0, seed: int = 73, jobs: int = 1) -> SpreadResult:
+    result = run(scale=scale, seed=seed, jobs=jobs)
     print("Table 11: Summary of spread spectrum cordless phones "
           f"(scale={scale:g})")
     header = (f"{'Trial':>18} | {'Loss':>6} | {'Trunc%':>7} | "

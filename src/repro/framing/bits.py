@@ -31,12 +31,22 @@ def hamming_distance(a: bytes, b: bytes) -> int:
 
 def flip_bits(data: bytes, bit_positions: np.ndarray) -> bytes:
     """Return ``data`` with the given (MSB-first) bit positions inverted."""
-    buf = bytearray(data)
-    for pos in np.asarray(bit_positions, dtype=np.int64):
-        byte_index = int(pos) // 8
-        bit_index = int(pos) % 8
-        buf[byte_index] ^= 0x80 >> bit_index
-    return bytes(buf)
+    positions = np.asarray(bit_positions, dtype=np.int64)
+    if positions.size == 0:
+        return bytes(data)
+    if positions.size < 24:
+        # Scalar loop wins for the typical small-burst case.
+        buf = bytearray(data)
+        for pos in positions.tolist():
+            buf[pos >> 3] ^= 0x80 >> (pos & 7)
+        return bytes(buf)
+    # Dense damage (jam windows): XOR-accumulate masks per byte.
+    # ``bitwise_xor.at`` is unbuffered, so several flips landing in the
+    # same byte compose exactly like the sequential loop.
+    out = np.frombuffer(data, dtype=np.uint8).copy()
+    masks = (0x80 >> (positions & 7)).astype(np.uint8)
+    np.bitwise_xor.at(out, positions >> 3, masks)
+    return out.tobytes()
 
 
 def popcount_bytes(data: bytes) -> int:

@@ -14,7 +14,10 @@ Table 1 columns require.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.framing import ethernet, ip, modem, udp
 from repro.framing.checksum import internet_checksum
@@ -119,12 +122,23 @@ class TestPacketFactory:
             + udp_length.to_bytes(2, "big")
         )
         self._udp_sum_base = (~internet_checksum(pseudo + self._udp_header_base)) & 0xFFFF
+        # Lazily-built base frame for the vectorized template bank
+        # (:meth:`build_bulk`); every sequence-dependent byte is patched
+        # per row, so any sequence works as the base.
+        self._bulk_base: np.ndarray | None = None
 
     @staticmethod
     def _fold(total: int) -> int:
         while total >> 16:
             total = (total & 0xFFFF) + (total >> 16)
         return total
+
+    @staticmethod
+    def _fold_array(totals: np.ndarray) -> np.ndarray:
+        """Vectorized one's-complement fold of 32-bit running sums."""
+        while (totals >> 16).any():
+            totals = (totals & 0xFFFF) + (totals >> 16)
+        return totals
 
     def body_word(self, sequence: int) -> bytes:
         """The 32-bit data word of packet ``sequence`` (big-endian).
@@ -182,6 +196,70 @@ class TestPacketFactory:
         fcs = crc32(eth_body).to_bytes(4, "little")
         frame = self._prefix[:2] + eth_body + fcs
         return frame
+
+    # Byte offsets of the sequence-dependent header fields within the
+    # full modem frame (modem prefix 2 + Ethernet 14 + IP offsets).
+    _IP_ID_OFFSET = 20
+    _IP_CHECKSUM_OFFSET = 26
+    _UDP_CHECKSUM_OFFSET = 42
+
+    def build_bulk(self, sequences: np.ndarray) -> np.ndarray:
+        """The template bank: one full wire frame per requested sequence.
+
+        Returns a ``(len(sequences), FRAME_BYTES)`` uint8 matrix, each
+        row byte-identical to ``build(sequence)``.  All header patching
+        is column-vectorized; only the FCS runs per row (zlib's C CRC
+        over each row's buffer).  The bulk matcher compares candidate
+        records against this bank with a single equality reduction.
+        """
+        sequences = np.asarray(sequences, dtype=np.int64)
+        n = len(sequences)
+        if self._bulk_base is None:
+            self._bulk_base = np.frombuffer(
+                self._build_impl(0), dtype=np.uint8
+            ).copy()
+        frames = np.tile(self._bulk_base, (n, 1))
+        if n == 0:
+            return frames
+
+        # IP identification + checksum (both functions of seq mod 2^16).
+        idents = sequences & 0xFFFF
+        frames[:, self._IP_ID_OFFSET] = idents >> 8
+        frames[:, self._IP_ID_OFFSET + 1] = idents & 0xFF
+        ip_checksums = ~self._fold_array(self._ip_sum_base + idents) & 0xFFFF
+        frames[:, self._IP_CHECKSUM_OFFSET] = ip_checksums >> 8
+        frames[:, self._IP_CHECKSUM_OFFSET + 1] = ip_checksums & 0xFF
+
+        # Body: the 32-bit word repeated 256 times.
+        values = (self.spec.first_sequence + sequences) & 0xFFFFFFFF
+        word_bytes = np.empty((n, WORD_BYTES), dtype=np.uint8)
+        word_bytes[:, 0] = values >> 24
+        word_bytes[:, 1] = (values >> 16) & 0xFF
+        word_bytes[:, 2] = (values >> 8) & 0xFF
+        word_bytes[:, 3] = values & 0xFF
+        frames[:, BODY_START:BODY_END] = np.tile(word_bytes, (1, WORDS_PER_PACKET))
+
+        # UDP checksum (folds over the full 32-bit word, so it
+        # discriminates sequence epochs the IP id aliases).
+        word_sums = (values >> 16) + (values & 0xFFFF)
+        udp_sums = self._fold_array(
+            self._udp_sum_base + WORDS_PER_PACKET * word_sums
+        )
+        udp_checksums = ~udp_sums & 0xFFFF
+        udp_checksums[udp_checksums == 0] = 0xFFFF  # RFC 768
+        frames[:, self._UDP_CHECKSUM_OFFSET] = udp_checksums >> 8
+        frames[:, self._UDP_CHECKSUM_OFFSET + 1] = udp_checksums & 0xFF
+
+        # FCS over everything after the modem prefix (little-endian).
+        fcs_start = FRAME_BYTES - ethernet.FCS_LEN
+        crcs = np.empty(n, dtype=np.int64)
+        for row in range(n):
+            crcs[row] = zlib.crc32(frames[row, MODEM_HEADER_END:fcs_start])
+        frames[:, fcs_start] = crcs & 0xFF
+        frames[:, fcs_start + 1] = (crcs >> 8) & 0xFF
+        frames[:, fcs_start + 2] = (crcs >> 16) & 0xFF
+        frames[:, fcs_start + 3] = (crcs >> 24) & 0xFF
+        return frames
 
     def build_reference(self, sequence: int) -> bytes:
         """Compose the frame through the full header classes (slow path,

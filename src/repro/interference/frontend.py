@@ -17,7 +17,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.environment.geometry import Point
-from repro.interference.base import EmitterGeometry, InterferenceSource
+from repro.interference.base import (
+    BulkInterference,
+    EmitterGeometry,
+    InterferenceSource,
+)
 from repro.phy.errormodel import InterferenceSample
 from repro.units import level_to_dbm
 
@@ -52,6 +56,25 @@ class AmateurRadioTransmitter:
             signal_sample_dbm=dbm,
             silence_sample_dbm=dbm,
         )
+
+    def sample_bulk(
+        self,
+        rx_position: Point,
+        signal_level: float,
+        count: int,
+        rng: np.random.Generator,
+    ) -> BulkInterference:
+        """Vectorized schedule (deterministic: leakage is constant)."""
+        schedule = BulkInterference.quiet(self.name, count)
+        if self.leakage_level > 0.0:
+            dbm = level_to_dbm(
+                EmitterGeometry(self.position, self.leakage_level).level_at(
+                    rx_position
+                )
+            )
+            schedule.signal_sample_dbm[:] = dbm
+            schedule.silence_sample_dbm[:] = dbm
+        return schedule
 
 
 InterferenceSource.register(AmateurRadioTransmitter)
@@ -101,6 +124,30 @@ class MicrowaveOven:
             jam_ber=jam,
             bursty=True,
         )
+
+    def sample_bulk(
+        self,
+        rx_position: Point,
+        signal_level: float,
+        count: int,
+        rng: np.random.Generator,
+    ) -> BulkInterference:
+        """Vectorized schedule: one magnetron duty-cycle draw per packet."""
+        schedule = BulkInterference.quiet(self.name, count)
+        if not self._in_band():
+            return schedule
+        firing = rng.random(count) < self.magnetron_duty
+        level = EmitterGeometry(
+            self.position, self.in_band_level_at_1ft
+        ).level_at(rx_position)
+        dbm = np.where(firing, level_to_dbm(level), np.nan)
+        schedule.signal_sample_dbm = dbm
+        schedule.silence_sample_dbm = dbm.copy()
+        margin = level - signal_level
+        if margin > -4.0:
+            schedule.jam_ber = np.where(firing, 2e-4, 0.0)
+        schedule.bursty = bool(firing.any())
+        return schedule
 
 
 InterferenceSource.register(MicrowaveOven)

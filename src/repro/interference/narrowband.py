@@ -22,7 +22,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.environment.geometry import Point
-from repro.interference.base import EmitterGeometry, InterferenceSource
+from repro.interference.base import (
+    BulkInterference,
+    EmitterGeometry,
+    InterferenceSource,
+)
 from repro.phy.errormodel import InterferenceSample
 from repro.units import level_to_dbm
 
@@ -100,6 +104,22 @@ class NarrowbandPhonePair:
             clock_stress=0.0,
         )
 
+    def sample_bulk(
+        self,
+        rx_position: Point,
+        signal_level: float,
+        count: int,
+        rng: np.random.Generator,
+    ) -> BulkInterference:
+        """Vectorized schedule: the pair's effect is deterministic (a
+        constant silence-raising power, no bit-level processes), so the
+        whole trial is one broadcast column."""
+        sample = self.sample_packet(rx_position, signal_level, rng)
+        schedule = BulkInterference.quiet(self.name, count)
+        schedule.signal_sample_dbm[:] = sample.signal_sample_dbm
+        schedule.silence_sample_dbm[:] = sample.silence_sample_dbm
+        return schedule
+
 
 InterferenceSource.register(NarrowbandPhonePair)
 
@@ -134,6 +154,21 @@ class AmpsCellPhone:
             signal_sample_dbm=dbm,
             silence_sample_dbm=dbm,
         )
+
+    def sample_bulk(
+        self,
+        rx_position: Point,
+        signal_level: float,
+        count: int,
+        rng: np.random.Generator,
+    ) -> BulkInterference:
+        """Vectorized schedule (the phone's contribution is constant)."""
+        sample = self.sample_packet(rx_position, signal_level, rng)
+        schedule = BulkInterference.quiet(self.name, count)
+        if sample.signal_sample_dbm is not None:
+            schedule.signal_sample_dbm[:] = sample.signal_sample_dbm
+            schedule.silence_sample_dbm[:] = sample.silence_sample_dbm
+        return schedule
 
 
 InterferenceSource.register(AmpsCellPhone)

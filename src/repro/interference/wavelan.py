@@ -29,7 +29,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.environment.geometry import Point
-from repro.interference.base import EmitterGeometry, InterferenceSource
+from repro.interference.base import (
+    BulkInterference,
+    EmitterGeometry,
+    InterferenceSource,
+)
 from repro.phy.errormodel import InterferenceSample
 from repro.units import level_to_dbm
 
@@ -94,6 +98,36 @@ class CompetingWaveLanTransmitter:
             clock_stress=UNMASKED_CLOCK_STRESS if active else 0.0,
             bursty=True,
         )
+
+    def sample_bulk(
+        self,
+        rx_position: Point,
+        signal_level: float,
+        count: int,
+        rng: np.random.Generator,
+    ) -> BulkInterference:
+        """Vectorized whole-trial schedule.
+
+        Per packet only the duty-cycle activity draw varies; the
+        masked/unmasked regime and effect strengths are fixed by the
+        geometry and threshold for the whole trial.
+        """
+        level = self.received_level(rx_position)
+        active = rng.random(count) < self.duty
+        schedule = BulkInterference.quiet(self.name, count)
+        dbm = np.where(active, level_to_dbm(level), np.nan)
+        schedule.signal_sample_dbm = dbm
+        schedule.silence_sample_dbm = dbm.copy()
+        if self.masked_at(rx_position):
+            return schedule
+        schedule.bursty = True
+        schedule.jam_ber = np.where(active, UNMASKED_JAM_BER, 0.0)
+        schedule.miss_probability = np.where(active, UNMASKED_MISS_PROBABILITY, 0.0)
+        schedule.truncate_probability = np.where(
+            active, UNMASKED_TRUNCATE_PROBABILITY, 0.0
+        )
+        schedule.clock_stress = np.where(active, UNMASKED_CLOCK_STRESS, 0.0)
+        return schedule
 
 
 InterferenceSource.register(CompetingWaveLanTransmitter)

@@ -24,6 +24,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import util as _mp_util
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable, Optional, Sequence
@@ -103,6 +104,11 @@ def _worker_init(session_kwargs: Optional[dict], telemetry_parent: Optional[str]
     state = obs.STATE
     if state.sink is not None:
         state.sink.flush()
+        # flush() is not enough for .gz shards: GzipFile writes its
+        # end-of-stream trailer only on close().  multiprocessing runs
+        # Finalize callbacks in the worker's bootstrap teardown (before
+        # os._exit), so close the shard there.
+        _mp_util.Finalize(state.sink, state.sink.close, exitpriority=100)
 
 
 def _execute_task(task: Task, git_rev: Optional[str]) -> TaskResult:

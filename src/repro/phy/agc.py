@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -88,3 +88,30 @@ class AgcModel:
         if rng is not None:
             reading += rng.normal(0.0, self.reading_jitter_sd)
         return clamp_agc(reading)
+
+    def readings_bulk(
+        self,
+        base_levels: np.ndarray,
+        interference_dbm: Sequence[np.ndarray],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Vectorized reading column for a whole trial.
+
+        ``base_levels`` is the desired-signal (or ambient) level per
+        packet; ``interference_dbm`` holds one dBm column per source
+        with ``NaN`` marking quiet sampling instants (the array analogue
+        of the scalar paths' ``None``).  Powers are summed in mW exactly
+        as :func:`power_sum_dbm` does, jitter is added, and the
+        *continuous* reading is returned — callers round/clamp to the
+        register range themselves.
+        """
+        total_mw = 10.0 ** (level_to_dbm(base_levels) / 10.0)
+        for column in interference_dbm:
+            with np.errstate(invalid="ignore"):
+                total_mw = total_mw + np.where(
+                    np.isnan(column), 0.0, 10.0 ** (column / 10.0)
+                )
+        readings = dbm_to_level(10.0 * np.log10(total_mw))
+        return readings + rng.normal(
+            0.0, self.reading_jitter_sd, size=len(base_levels)
+        )

@@ -25,12 +25,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from repro.obs import runtime as _obs
 from repro.phy.quality import ClockStressModel, ClockStressParams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is typing-only
+    from repro.interference.base import BulkInterference
 
 
 @dataclass(frozen=True)
@@ -113,11 +116,46 @@ def _logistic(x: float) -> float:
     return 1.0 / (1.0 + math.exp(-x))
 
 
+def _sorted_unique(values: np.ndarray) -> np.ndarray:
+    """``np.unique`` for small 1-D integer draws, minus its overhead.
+
+    The damage paths dedup a few dozen bit offsets per packet;
+    ``np.unique``'s generic machinery costs more than the sort itself
+    at that size.
+    """
+    if values.size <= 1:
+        return np.sort(values)
+    ordered = np.sort(values)
+    keep = np.empty(values.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]
+
+
+def _fold_probabilities(
+    base: np.ndarray, columns: Sequence[np.ndarray]
+) -> np.ndarray:
+    """``1 - ∏(1 - p_i)`` across per-packet probability columns.
+
+    The independent-process fold the scalar path performs one packet at
+    a time, computed as a log-space sum (``log1p``) so stacking many
+    sources stays numerically stable; a column entry at exactly 1 gives
+    ``-inf`` and correctly folds to probability 1.
+    """
+    if not columns:
+        return base
+    with np.errstate(divide="ignore"):
+        log_keep = np.log1p(-base)
+        for column in columns:
+            log_keep = log_keep + np.log1p(-column)
+    return 1.0 - np.exp(log_keep)
+
+
 def _record_fate_metrics(fate: PacketFate) -> None:
     """Mirror one sampled fate into the ``phy.*`` counters.
 
     The vectorized path accounts its bulk flags separately (see
-    :meth:`WaveLanErrorModel.sample_bulk_clean`), so this is only
+    :meth:`WaveLanErrorModel.sample_bulk`), so this is only
     called on the per-packet paths.
     """
     state = _obs.STATE
@@ -213,10 +251,25 @@ class WaveLanErrorModel:
         if expected <= 0.0:
             return np.empty(0, dtype=np.int64)
         total = int(rng.poisson(expected))
+        return self._jam_positions_from_total(frame_bits, total, bursty, rng)
+
+    def _jam_positions_from_total(
+        self,
+        frame_bits: int,
+        total: int,
+        bursty: bool,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Place ``total`` jam errors (the count having been drawn already).
+
+        Split from :meth:`_jam_positions` so the bulk path can draw all
+        packets' Poisson totals vectorized and only place positions for
+        the damaged minority.
+        """
         if total == 0:
             return np.empty(0, dtype=np.int64)
         if not bursty:
-            return np.unique(rng.integers(0, frame_bits, size=total))
+            return _sorted_unique(rng.integers(0, frame_bits, size=total))
         # Bursty: one contiguous jam window at a fixed in-window error
         # density, biased toward the frame interior — the receiver's
         # AGC and clock are freshly trained at the frame edges, so the
@@ -234,7 +287,9 @@ class WaveLanErrorModel:
         start = int(rng.integers(lead_margin, latest_start))
         span = max(1, min(window_bits, frame_bits - tail_margin - start))
         positions = start + rng.choice(span, size=min(total, span), replace=False)
-        return np.unique(positions.astype(np.int64))
+        # choice(replace=False) already yields distinct offsets; sorting
+        # is all that is left to normalize.
+        return np.sort(positions.astype(np.int64))
 
     # ------------------------------------------------------------------
     # Main per-packet pipeline
@@ -295,15 +350,24 @@ class WaveLanErrorModel:
         flipped: list[np.ndarray] = []
         if rng.random() < self.hit_probability(level, frame_bytes):
             flipped.append(self._burst_positions(frame_bits, rng))
-        residual = self.params.residual_ber * frame_bits
-        if residual > 0.0 and rng.random() < residual:
-            flipped.append(rng.integers(0, frame_bits, size=1).astype(np.int64))
+        if self.params.residual_ber > 0.0:
+            # Binomial thinning of the residual channel BER.  (The old
+            # ``rng.random() < residual_ber * frame_bits`` shortcut flips
+            # at most one bit and breaks down once the expected count
+            # approaches 1.)
+            residual_bits = int(
+                rng.binomial(frame_bits, min(1.0, self.params.residual_ber))
+            )
+            if residual_bits:
+                flipped.append(
+                    _sorted_unique(rng.integers(0, frame_bits, size=residual_bits))
+                )
         for sample in interference:
             flipped.append(
                 self._jam_positions(frame_bits, sample.jam_ber, sample.bursty, rng)
             )
         if flipped:
-            all_flips = np.unique(np.concatenate(flipped))
+            all_flips = _sorted_unique(np.concatenate(flipped))
         else:
             all_flips = np.empty(0, dtype=np.int64)
         if truncated_at is not None:
@@ -325,42 +389,87 @@ class WaveLanErrorModel:
         return fate
 
     # ------------------------------------------------------------------
-    # Vectorized fast path for interference-free trials
+    # Vectorized fast path (whole-trial fates)
     # ------------------------------------------------------------------
-    def sample_bulk_clean(
+    def sample_bulk(
         self,
         levels: np.ndarray,
         frame_bytes: int,
+        interference: Sequence["BulkInterference"],
         rng: np.random.Generator,
     ) -> dict[str, np.ndarray]:
-        """Vectorized fates for a clean channel (no interference).
+        """Vectorized fates for a whole trial, interference included.
+
+        ``interference`` is a sequence of per-source
+        :class:`~repro.interference.base.BulkInterference` schedules
+        (empty for a clean channel).  Source probability columns fold
+        into the attenuation probabilities via vectorized log-space
+        products — the same independent-process combination the scalar
+        :meth:`sample_packet` performs one packet at a time.
 
         Returns arrays: ``missed`` (bool), ``stress`` (float),
-        ``truncated`` (bool), ``hit`` (bool), ``residual_hit`` (bool).
-        Packets flagged ``truncated``/``hit``/``residual_hit`` still need
-        per-packet detailing via :meth:`detail_clean_packet`; for a strong
-        link that is a tiny minority, which is what makes half-million
-        packet trials (Table 2) tractable.
+        ``truncated`` (bool), ``hit`` (bool), ``residual_bits`` (int),
+        ``jam_totals`` (one int array per source, Poisson error counts),
+        and ``needs_detail`` (bool: packets that must be expanded via
+        :meth:`detail_packet`).  For realistic channels the flagged set
+        is a small minority, which is what makes half-million packet
+        trials (Table 2) and the interference tables (10-14) tractable.
         """
         p = self.params
         n = len(levels)
+        frame_bits = frame_bytes * 8
+
+        # 1. Miss: host + beginning-of-frame, folded with each source's
+        # per-packet stomp columns.
         p_bof = 1.0 / (1.0 + np.exp(
             np.clip(p.bof_steepness * (levels - p.bof_midpoint_level), -60, 60)
         ))
         p_miss = 1.0 - (1.0 - p_bof) * (1.0 - p.host_loss_probability)
+        p_miss = _fold_probabilities(
+            p_miss, [s.miss_probability for s in interference]
+        )
         missed = rng.random(n) < p_miss
 
-        stress = self.stress_model.sample_stress_bulk(levels, rng)
-        p_slip = self.stress_model.truncation_probability_bulk(levels)
+        # 2. Clock stress and truncation (slip chance scales with
+        # airtime, calibrated at the 1072-byte test frame).
+        interference_stress: np.ndarray | float = 0.0
+        for schedule in interference:
+            interference_stress = interference_stress + schedule.clock_stress
+        stress = self.stress_model.sample_stress_bulk(
+            levels, rng, interference_stress=interference_stress
+        )
+        p_slip = self.stress_model.truncation_probability_bulk(levels) * (
+            frame_bytes / self.REFERENCE_FRAME_BYTES
+        )
+        p_slip = _fold_probabilities(
+            p_slip, [s.truncate_probability for s in interference]
+        )
         truncated = (
             (stress > p.stress.truncation_threshold) | (rng.random(n) < p_slip)
         ) & ~missed
 
+        # 3. Corruption processes: attenuation burst hit, residual BER
+        # (Binomial thinning), and per-source Poisson jam totals.
         p_hit = 1.0 / (1.0 + np.exp(
             np.clip(p.hit_steepness * (levels - p.hit_midpoint_level), -60, 60)
         ))
+        p_hit = np.minimum(1.0, p_hit * (frame_bytes / self.REFERENCE_FRAME_BYTES))
         hit = (rng.random(n) < p_hit) & ~missed
-        residual_hit = (rng.random(n) < p.residual_ber * frame_bytes * 8) & ~missed
+        if p.residual_ber > 0.0:
+            residual_bits = rng.binomial(frame_bits, min(1.0, p.residual_ber), size=n)
+            residual_bits[missed] = 0
+        else:
+            residual_bits = np.zeros(n, dtype=np.int64)
+        jam_totals: list[np.ndarray] = []
+        for schedule in interference:
+            totals = rng.poisson(schedule.jam_ber * frame_bits)
+            totals[missed] = 0
+            jam_totals.append(totals)
+
+        needs_detail = truncated | hit | (residual_bits > 0)
+        for totals in jam_totals:
+            needs_detail = needs_detail | (totals > 0)
+        needs_detail &= ~missed
 
         state = _obs.STATE
         if state.enabled:
@@ -373,7 +482,8 @@ class WaveLanErrorModel:
                 int(np.count_nonzero(truncated))
             )
             metrics.counter("phy.corruption_hits").inc(
-                int(np.count_nonzero(hit)) + int(np.count_nonzero(residual_hit))
+                int(np.count_nonzero(hit))
+                + int(np.count_nonzero(residual_bits > 0))
             )
 
         return {
@@ -381,19 +491,43 @@ class WaveLanErrorModel:
             "stress": stress,
             "truncated": truncated,
             "hit": hit,
-            "residual_hit": residual_hit,
+            "residual_bits": residual_bits,
+            "jam_totals": jam_totals,
+            "needs_detail": needs_detail,
         }
 
-    def detail_clean_packet(
+    def sample_bulk_clean(
+        self,
+        levels: np.ndarray,
+        frame_bytes: int,
+        rng: np.random.Generator,
+    ) -> dict[str, np.ndarray]:
+        """Vectorized fates for a clean channel (no interference).
+
+        Thin wrapper over :meth:`sample_bulk` with an empty schedule;
+        kept for callers that want the historical ``residual_hit``
+        boolean view of the residual-BER column.
+        """
+        fates = self.sample_bulk(levels, frame_bytes, (), rng)
+        fates["residual_hit"] = fates["residual_bits"] > 0
+        return fates
+
+    def detail_packet(
         self,
         stress: float,
         truncated: bool,
         hit: bool,
-        residual_hit: bool,
+        residual_bits: int,
         frame_bytes: int,
         rng: np.random.Generator,
+        jam: Sequence[tuple[int, bool]] = (),
     ) -> PacketFate:
-        """Expand a bulk-flagged packet into a full :class:`PacketFate`."""
+        """Expand one bulk-flagged packet into a full :class:`PacketFate`.
+
+        ``jam`` carries one ``(error_total, bursty)`` pair per
+        interference source, with totals as drawn by
+        :meth:`sample_bulk`; only position placement happens here.
+        """
         frame_bits = frame_bytes * 8
         truncated_at = None
         if truncated:
@@ -403,13 +537,25 @@ class WaveLanErrorModel:
         flipped: list[np.ndarray] = []
         if hit:
             flipped.append(self._burst_positions(frame_bits, rng))
-        if residual_hit:
-            flipped.append(rng.integers(0, frame_bits, size=1).astype(np.int64))
-        all_flips = (
-            np.unique(np.concatenate(flipped))
-            if flipped
-            else np.empty(0, dtype=np.int64)
-        )
+        if residual_bits:
+            flipped.append(
+                _sorted_unique(rng.integers(0, frame_bits, size=int(residual_bits)))
+            )
+        for total, bursty in jam:
+            if total:
+                flipped.append(
+                    self._jam_positions_from_total(
+                        frame_bits, int(total), bursty, rng
+                    )
+                )
+        # Each component is already sorted and duplicate-free; merging
+        # is only needed when several processes fired on one packet.
+        if not flipped:
+            all_flips = np.empty(0, dtype=np.int64)
+        elif len(flipped) == 1:
+            all_flips = flipped[0]
+        else:
+            all_flips = _sorted_unique(np.concatenate(flipped))
         if truncated_at is not None:
             all_flips = all_flips[all_flips < truncated_at * 8]
         quality = self.stress_model.quality_reading(
@@ -417,9 +563,9 @@ class WaveLanErrorModel:
         )
         state = _obs.STATE
         if state.enabled and len(all_flips):
-            # sample_bulk_clean already counted this packet's sampling,
-            # miss and truncation flags; only the materialized bit
-            # damage is new information here.
+            # sample_bulk already counted this packet's sampling, miss
+            # and truncation flags; only the materialized bit damage is
+            # new information here.
             metrics = state.metrics
             metrics.counter("phy.corrupted_packets").inc()
             metrics.counter("phy.bits_flipped").inc(len(all_flips))
@@ -429,4 +575,18 @@ class WaveLanErrorModel:
             flipped_bits=all_flips,
             stress=stress,
             quality=quality,
+        )
+
+    def detail_clean_packet(
+        self,
+        stress: float,
+        truncated: bool,
+        hit: bool,
+        residual_bits: int,
+        frame_bytes: int,
+        rng: np.random.Generator,
+    ) -> PacketFate:
+        """Expand a bulk-flagged packet of an interference-free trial."""
+        return self.detail_packet(
+            stress, truncated, hit, residual_bits, frame_bytes, rng
         )

@@ -108,16 +108,23 @@ class ClockStressModel:
         return max(0.0, base) + max(0.0, interference_stress)
 
     def sample_stress_bulk(
-        self, levels: np.ndarray, rng: np.random.Generator
+        self,
+        levels: np.ndarray,
+        rng: np.random.Generator,
+        interference_stress: np.ndarray | float = 0.0,
     ) -> np.ndarray:
-        """Vectorized attenuation-only stress for interference-free trials."""
+        """Vectorized :meth:`sample_stress` for a whole trial.
+
+        ``interference_stress`` is the per-packet sum of the schedule's
+        clock-stress columns (0 for interference-free trials).
+        """
         p = self.params
         means = (
             np.maximum(0.0, (p.level_onset - levels) * p.level_slope)
             - p.stress_shift
         )
         draws = rng.normal(means, p.stress_sd)
-        return np.maximum(0.0, draws)
+        return np.maximum(0.0, draws) + np.maximum(0.0, interference_stress)
 
     def truncation_probability(self, level: float) -> float:
         """Chance of a clock slip (mid-packet truncation) at this level."""

@@ -225,3 +225,54 @@ class TestSequencePlausibility:
             matcher.match(_record(factory.build(500))).outcome
             is MatchOutcome.OUTSIDER
         )
+
+
+class TestBulkMatching:
+    """``match_bulk`` + scalar fallback must equal the scalar matcher."""
+
+    def _mixed_batch(self, factory, rng) -> list[bytes]:
+        datas: list[bytes] = []
+        for sequence in (0, 1, 77, 9_999):
+            datas.append(factory.build(sequence))  # pristine → bulk exact
+        damaged = factory.build(55)
+        positions = rng.choice(FRAME_BYTES * 8, size=200, replace=False)
+        datas.append(flip_bits(damaged, positions))  # scattered corruption
+        datas.append(factory.build(56)[:500])  # truncated
+        datas.append(factory.build(57)[: BODY_START + 10])  # deep truncation
+        datas.append(OutsiderTraffic().build_frame(rng))  # foreign frame
+        datas.append(b"\x00" * FRAME_BYTES)  # full-length garbage
+        return datas
+
+    def test_bulk_exactly_equals_scalar(self, matcher, factory, rng):
+        datas = self._mixed_batch(factory, rng)
+        bulk = matcher.match_bulk(datas)
+        for data, bulk_result in zip(datas, bulk):
+            scalar = matcher.match_bytes(data)
+            resolved = (
+                bulk_result
+                if bulk_result is not None
+                else matcher.match_bytes(data, skip_fast=True)
+            )
+            assert resolved.outcome is scalar.outcome
+            assert resolved.sequence == scalar.sequence
+            assert resolved.exact == scalar.exact
+
+    def test_bulk_hits_only_pristine_frames(self, matcher, factory, rng):
+        datas = self._mixed_batch(factory, rng)
+        bulk = matcher.match_bulk(datas)
+        # The first four are byte-identical pristine frames: the bulk
+        # fast path must resolve them without scalar fallback.
+        assert all(r is not None and r.exact for r in bulk[:4])
+        # Everything else is damaged/foreign and must defer to scalar.
+        assert all(r is None for r in bulk[4:])
+
+    def test_empty_batch(self, matcher):
+        assert matcher.match_bulk([]) == []
+
+    def test_wrapped_sequences_and_slack(self, spec, factory):
+        short = TraceMatcher(spec, packets_sent=100)
+        inside = factory.build(105)  # within SEQUENCE_SLACK
+        outside = factory.build(500)  # implausible → not a bulk hit
+        results = short.match_bulk([inside, outside])
+        assert results[0] is not None and results[0].sequence == 105
+        assert results[1] is None

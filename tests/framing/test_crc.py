@@ -10,6 +10,7 @@ from repro.framing.crc import (
     crc32,
     crc32_reference,
     crc32_update,
+    crc32_update_reference,
 )
 
 
@@ -45,6 +46,16 @@ class TestCrc32Update:
         state = crc32_update(state, data[:4])
         state = crc32_update(state, data[4:])
         assert (state ^ 0xFFFFFFFF) == crc32_reference(data)
+
+    @pytest.mark.parametrize("state", [0x00000000, 0xFFFFFFFF, 0xDEADBEEF])
+    @pytest.mark.parametrize(
+        "data", [b"", b"z", b"streaming chunk", bytes(range(256))]
+    )
+    def test_fast_update_matches_reference(self, state, data):
+        assert crc32_update(state, data) == crc32_update_reference(state, data)
+
+    def test_empty_chunk_is_identity(self):
+        assert crc32_update(0x12345678, b"") == 0x12345678
 
 
 class TestFcs:

@@ -223,3 +223,31 @@ class TestCompetingWaveLan:
     def test_unmasked_link_unusable(self, result):
         unusable = result.unusable_metrics
         assert unusable.packet_loss_percent > 50.0
+
+
+class TestJobsInvariance:
+    """``jobs=N`` must be a pure wall-clock knob: fanning the
+    interference experiments over a process pool returns results
+    byte-identical to the serial run (every random stream derives from
+    per-trial seeds fixed in the parent)."""
+
+    def test_phones_spread(self):
+        serial = phones_spread.run(scale=0.3, seed=73, jobs=1)
+        pooled = phones_spread.run(scale=0.3, seed=73, jobs=2)
+        assert repr(serial.summaries) == repr(pooled.summaries)
+        assert repr(serial.metrics_rows) == repr(pooled.metrics_rows)
+        assert repr(serial.signal_rows) == repr(pooled.signal_rows)
+
+    def test_phones_narrowband(self):
+        serial = phones_narrowband.run(scale=0.3, seed=710, jobs=1)
+        pooled = phones_narrowband.run(scale=0.3, seed=710, jobs=2)
+        assert repr(serial.metrics_rows) == repr(pooled.metrics_rows)
+        assert repr(serial.signal_rows) == repr(pooled.signal_rows)
+        assert repr(serial.outsider_rows) == repr(pooled.outsider_rows)
+
+    def test_competing(self):
+        serial = competing.run(scale=0.05, seed=74, jobs=1)
+        pooled = competing.run(scale=0.05, seed=74, jobs=3)
+        assert repr(serial.metrics_rows) == repr(pooled.metrics_rows)
+        assert repr(serial.signal_rows) == repr(pooled.signal_rows)
+        assert repr(serial.unusable_metrics) == repr(pooled.unusable_metrics)

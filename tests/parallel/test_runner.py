@@ -14,6 +14,7 @@ import pytest
 
 from repro import obs
 from repro.experiments import baseline, multiroom
+from repro.obs.events import read_telemetry
 from repro.obs.stats import summarize_telemetry
 from repro.parallel import (
     Task,
@@ -150,6 +151,23 @@ class TestShards:
         ]
         # A shard is not the parent of further shards.
         assert find_shards(found[0]) == []
+
+    def test_gzip_shards_complete_on_disk(self, tmp_path):
+        """Workers exit through os._exit, so only an explicit close in
+        the worker's teardown lands the gzip end-of-stream trailer —
+        flush alone leaves .gz shards unreadable (regression)."""
+        telemetry = tmp_path / "run.jsonl.gz"
+        with obs.session(telemetry_path=str(telemetry)):
+            baseline.run(scale=0.01, seed=1996, jobs=2)
+        shards = find_shards(telemetry)
+        assert len(shards) == 2
+        for shard in shards:  # every shard fully decompresses
+            header, records = read_telemetry(shard)
+            assert header["kind"] == "repro-telemetry"
+            assert records
+        summary = summarize_telemetry(telemetry)
+        assert len(summary.shard_paths) == 2
+        assert len(summary.manifests) == 9
 
 
 class TestMergedManifest:

@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.framing.testpacket import FRAME_BYTES
-from repro.phy.errormodel import InterferenceSample, WaveLanErrorModel
+from repro.phy.errormodel import (
+    ErrorModelParams,
+    InterferenceSample,
+    WaveLanErrorModel,
+)
 
 
 @pytest.fixture
@@ -164,9 +168,60 @@ class TestBulkPath:
             stress=0.0,
             truncated=True,
             hit=True,
-            residual_hit=False,
+            residual_bits=0,
             frame_bytes=FRAME_BYTES,
             rng=rng,
         )
         assert fate.truncated
         assert fate.quality < 12  # slip stress applied
+
+
+class TestResidualBer:
+    """The residual-BER process is Binomial in the frame's bit count:
+    at high BER a packet must be able to carry *several* residual bit
+    errors (the old one-draw Bernoulli capped it at one per packet)."""
+
+    BER = 1e-3  # ~8.6 expected bit errors per 1072-byte frame
+
+    @pytest.fixture
+    def hot_model(self) -> WaveLanErrorModel:
+        return WaveLanErrorModel(ErrorModelParams(residual_ber=self.BER))
+
+    def test_scalar_mean_bits_match_binomial(self, hot_model):
+        rng = np.random.default_rng(7)
+        frame_bits = FRAME_BYTES * 8
+        n = 2_000
+        total = 0
+        multi_bit_packets = 0
+        for _ in range(n):
+            fate = hot_model.sample_packet(29.5, FRAME_BYTES, rng)
+            if fate.missed:
+                continue
+            total += len(fate.flipped_bits)
+            if len(fate.flipped_bits) > 1:
+                multi_bit_packets += 1
+        expected = self.BER * frame_bits
+        assert total / n == pytest.approx(expected, rel=0.1)
+        # The defining regression: multi-bit residual damage exists.
+        assert multi_bit_packets > n / 2
+
+    def test_bulk_mean_bits_match_binomial(self, hot_model):
+        rng = np.random.default_rng(8)
+        frame_bits = FRAME_BYTES * 8
+        n = 20_000
+        flags = hot_model.sample_bulk_clean(
+            np.full(n, 29.5), FRAME_BYTES, rng
+        )
+        residual = flags["residual_bits"]
+        expected = self.BER * frame_bits
+        assert residual.mean() == pytest.approx(expected, rel=0.05)
+        assert (residual > 1).mean() > 0.5
+
+    def test_low_ber_still_rare(self, model):
+        """At the calibrated 2e-10 the process stays a near-never event
+        (Table 2: ~1 corrupted bit in 10^10)."""
+        rng = np.random.default_rng(9)
+        flags = model.sample_bulk_clean(
+            np.full(50_000, 29.5), FRAME_BYTES, rng
+        )
+        assert int(flags["residual_bits"].sum()) <= 1

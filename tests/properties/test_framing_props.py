@@ -8,7 +8,12 @@ from hypothesis import strategies as st
 
 from repro.framing.bits import bits_to_bytes, bytes_to_bits, flip_bits, hamming_distance
 from repro.framing.checksum import internet_checksum
-from repro.framing.crc import crc32, crc32_reference
+from repro.framing.crc import (
+    crc32,
+    crc32_reference,
+    crc32_update,
+    crc32_update_reference,
+)
 from repro.framing.ethernet import EthernetFrame, MacAddress
 from repro.framing.testpacket import FRAME_BYTES, TestPacketFactory, TestPacketSpec
 
@@ -23,6 +28,23 @@ class TestCrcProperties:
     @given(payloads)
     def test_reference_equals_zlib(self, data):
         assert crc32_reference(data) == zlib.crc32(data) & 0xFFFFFFFF
+
+    @given(payloads, st.integers(0, 0xFFFFFFFF))
+    def test_streaming_update_equals_reference(self, data, state):
+        """The zlib-backed streaming update matches the table-driven
+        reference from *any* intermediate register state."""
+        assert crc32_update(state, data) == crc32_update_reference(state, data)
+
+    @given(payloads, st.lists(st.integers(0, 512), max_size=4))
+    def test_streaming_chunking_invariant(self, data, cuts):
+        """Feeding a payload in arbitrary chunks equals one-shot CRC."""
+        bounds = sorted(min(c, len(data)) for c in cuts)
+        state = 0xFFFFFFFF
+        start = 0
+        for bound in bounds + [len(data)]:
+            state = crc32_update(state, data[start:bound])
+            start = bound
+        assert (state ^ 0xFFFFFFFF) == crc32(data)
 
     @given(payloads, st.integers(0, 511 * 8))
     def test_single_bit_flip_always_detected(self, data, bit):

@@ -1,9 +1,11 @@
 """Statistical equivalence of the two fast-trial execution paths.
 
-``run_fast_trial`` picks ``_run_vectorized`` when no interference is
-configured and ``_run_per_packet`` otherwise.  Both must sample the
-same calibrated impairment model — a quiet (no-op) interference source
-must not shift the error statistics beyond sampling noise.  The paths
+``run_fast_trial`` runs the vectorized ``_run_bulk`` path unless
+``force_per_packet`` pins the scalar ``_run_per_packet`` reference
+loop.  Both must sample the same calibrated impairment model — a quiet
+(no-op) interference source must not shift the error statistics beyond
+sampling noise.  (Equivalence with *active* interference sources is
+covered by ``tests/trace/test_bulk_interference.py``.)  The paths
 consume their RNG streams differently, so the comparison is
 distributional, not byte-wise: rates are checked within a few standard
 errors deep in the paper's error region (level 6.5, where misses,
@@ -37,6 +39,7 @@ def _rates(seed: int, per_packet: bool) -> dict[str, float]:
         mean_level=MEAN_LEVEL,
         seed=seed,
         interference=[_QuietSource()] if per_packet else (),
+        force_per_packet=per_packet,
     )
     output = run_fast_trial(config)
     classified = classify_trace(output.trace)
