@@ -259,6 +259,65 @@ def test_perf_clean_trial_throughput():
 
 
 @pytest.mark.bench_smoke
+def test_perf_trace_persist_v1_vs_v2(tmp_path):
+    """Trace save/load throughput: v1 JSON-lines against the v2
+    columnar binary store, on the same 20k-record trace.
+
+    The acceptance floor for the columnar store is a 10x records/s
+    advantage on load — in practice the memory-mapped column reader
+    runs orders of magnitude ahead of JSON parsing.  A ride-along
+    equivalence check classifies the loaded columnar trace and
+    requires verdict-identical output to classifying in memory.
+    """
+    from repro.trace.persist import load_trace, save_trace
+
+    output = run_fast_trial(
+        TrialConfig(name="bench-persist", packets=20_000, mean_level=10.0, seed=7)
+    )
+    trace = output.trace
+    records = len(trace.records)
+    v1_path = tmp_path / "bench.jsonl"
+    v2_path = tmp_path / "bench.wlt2"
+
+    v1_save_s, _ = _best_of(lambda: save_trace(trace, v1_path))
+    v2_save_s, _ = _best_of(lambda: save_trace(trace, v2_path))
+    v1_load_s, v1_trace = _best_of(lambda: load_trace(v1_path))
+    v2_load_s, v2_trace = _best_of(lambda: load_trace(v2_path))
+    load_speedup = v1_load_s / v2_load_s
+    _record_stage(
+        "trace_persist",
+        {
+            "records": records,
+            "v1_bytes": v1_path.stat().st_size,
+            "v2_bytes": v2_path.stat().st_size,
+            "v1_save_wall_s": round(v1_save_s, 4),
+            "v2_save_wall_s": round(v2_save_s, 4),
+            "v1_load_wall_s": round(v1_load_s, 4),
+            "v2_load_wall_s": round(v2_load_s, 4),
+            "v1_load_records_per_s": round(records / v1_load_s),
+            "v2_load_records_per_s": round(records / v2_load_s),
+            "v2_load_speedup_vs_v1": round(load_speedup, 2),
+        },
+    )
+    assert len(v1_trace.records) == v2_trace.packets_received == records
+    # Acceptance floor: the columnar load must be >= 10x the JSONL load.
+    assert load_speedup >= 10.0
+    # Equivalence ride-along: classifying the memory-mapped columnar
+    # trace yields exactly what classifying the in-memory trace does.
+    mem = classify_trace(trace)
+    col = classify_trace(v2_trace)
+    assert [
+        (p.packet_class, p.sequence, p.wrapper_damaged,
+         p.body_bits_damaged, p.truncated_bytes_missing)
+        for p in mem.packets
+    ] == [
+        (p.packet_class, p.sequence, p.wrapper_damaged,
+         p.body_bits_damaged, p.truncated_bytes_missing)
+        for p in col.packets
+    ]
+
+
+@pytest.mark.bench_smoke
 def test_bench_json_well_formed():
     """The emitted JSON is parseable and carries the required fields."""
     doc = json.loads(BENCH_JSON.read_text())

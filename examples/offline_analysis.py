@@ -29,7 +29,11 @@ from repro.trace.persist import load_trace, save_trace
 
 def main() -> None:
     workdir = Path(tempfile.mkdtemp(prefix="wavelan-trace-"))
-    trace_path = workdir / "marginal-link.jsonl.gz"
+    # .wlt2 selects the v2 columnar binary store: memory-mapped,
+    # zero-copy analysis.  Swap the suffix for .jsonl.gz to get the
+    # greppable v1 interchange format — load_trace auto-detects either
+    # from the file's leading bytes.
+    trace_path = workdir / "marginal-link.wlt2"
 
     # ------------------------------------------------------------------
     print("1. capturing 4,000 packets on a marginal link (level ~7.2)...")
@@ -40,11 +44,11 @@ def main() -> None:
     print(f"2. saving the raw trace to {trace_path}")
     save_trace(output.trace, trace_path)
     size_kb = trace_path.stat().st_size / 1024
-    print(f"   {output.trace.packets_received} records, {size_kb:.0f} KiB gzipped\n")
+    print(f"   {output.trace.packets_received} records, {size_kb:.0f} KiB columnar\n")
     del output  # the simulator's ground truth is gone now
 
     # ------------------------------------------------------------------
-    print("3. reloading and analyzing offline:")
+    print("3. reloading (memory-mapped) and analyzing offline:")
     trace = load_trace(trace_path)
     metrics = analyze_trial(trace)
     print(render_metrics_table([metrics]))

@@ -5,7 +5,9 @@
     python -m repro figure1 --scale 0.5
     python -m repro all --scale 0.2
     python -m repro table2 --telemetry run.jsonl --metrics
+    python -m repro table2 --save-traces traces/ --trace-format v2
     python -m repro stats run.jsonl
+    python -m repro convert traces/office1.wlt2 office1.jsonl
 """
 
 from __future__ import annotations
@@ -67,6 +69,32 @@ _DUPLICATE_OF = {"figure2": "table3", "table6": "table5", "table7": "table5",
                  "table9": "table8", "table12": "table11", "table13": "table11"}
 
 
+def _convert(targets: list[str], trace_format: str | None) -> int:
+    """``python -m repro convert IN OUT`` — re-encode a trace.
+
+    The input format is auto-detected from the file's leading bytes
+    (v1 JSONL, gzipped v1, or v2 columnar); the output format comes
+    from ``--trace-format``, or failing that the output suffix
+    (``.wlt2`` means v2, anything else v1).  Works in both directions.
+    """
+    from repro.trace.persist import load_trace, save_trace
+
+    if len(targets) != 2:
+        print("usage: python -m repro convert IN OUT [--trace-format v1|v2]",
+              file=sys.stderr)
+        return 2
+    source, destination = targets
+    try:
+        trace = load_trace(source)
+        save_trace(trace, destination, format=trace_format)
+    except (OSError, ValueError) as exc:
+        print(f"convert: {exc}", file=sys.stderr)
+        return 2
+    print(f"converted {source} -> {destination} "
+          f"({len(trace.records)} records)")
+    return 0
+
+
 def _emit_manifest(
     experiment: str,
     counters_before: dict[str, int],
@@ -107,13 +135,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'list', 'all', or 'stats'",
+        help="experiment name, 'list', 'all', 'stats', or 'convert'",
     )
     parser.add_argument(
         "target",
-        nargs="?",
-        default=None,
-        help="('stats' only) telemetry JSONL file to summarize",
+        nargs="*",
+        default=[],
+        help="'stats': telemetry JSONL file to summarize; "
+             "'convert': input and output trace paths",
     )
     parser.add_argument(
         "--scale",
@@ -148,20 +177,41 @@ def main(argv: list[str] | None = None) -> int:
         help="collect per-layer metrics and print the registry summary "
              "after the run",
     )
+    parser.add_argument(
+        "--save-traces",
+        default=None,
+        metavar="DIR",
+        dest="save_traces",
+        help="persist each trial's raw trace into DIR (experiments that "
+             "support it: table2, table11) for offline analysis",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("v1", "v2"),
+        default=None,
+        dest="trace_format",
+        help="trace format for --save-traces and 'convert' "
+             "(v1 JSON-lines, v2 columnar binary; default: v2 for "
+             "--save-traces, inferred from the output suffix for "
+             "'convert')",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "stats":
         from repro.obs import stats as stats_module
 
-        if args.target is None:
+        if len(args.target) != 1:
             print("usage: python -m repro stats TELEMETRY_FILE",
                   file=sys.stderr)
             return 2
         try:
-            return stats_module.main(args.target)
+            return stats_module.main(args.target[0])
         except (OSError, ValueError) as exc:
             print(f"stats: {exc}", file=sys.stderr)
             return 2
+
+    if args.experiment == "convert":
+        return _convert(args.target, args.trace_format)
 
     observing = args.metrics or args.telemetry is not None
     if observing:
@@ -214,6 +264,10 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["seed"] = args.seed
             if args.jobs > 1 and "jobs" in signature(module.main).parameters:
                 kwargs["jobs"] = args.jobs
+            if (args.save_traces is not None
+                    and "trace_dir" in signature(module.main).parameters):
+                kwargs["trace_dir"] = args.save_traces
+                kwargs["trace_format"] = args.trace_format or "v2"
             counters_before = obs.STATE.metrics.counters_snapshot()
             start = perf_counter()
             module.main(**kwargs)

@@ -11,14 +11,19 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
+
+import numpy as np
 
 from repro.analysis.matching import MatchOutcome, MatchResult, TraceMatcher
 from repro.analysis.syndrome import ErrorSyndrome, extract_syndrome
 from repro.framing.crc import check_fcs
 from repro.framing.modem import NETWORK_ID_LEN
 from repro.framing.testpacket import FRAME_BYTES
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.records import PacketRecord, TrialTrace, materialize_data
+
+AnyTrace = Union[TrialTrace, ColumnarTrace]
 
 
 class PacketClass(enum.Enum):
@@ -87,14 +92,23 @@ def _classify_outsider(data: bytes) -> PacketClass:
 MATCH_CHUNK_RECORDS = 2048
 
 
-def classify_trace(trace: TrialTrace) -> ClassifiedTrace:
+def classify_trace(trace: AnyTrace) -> ClassifiedTrace:
     """Run matching + damage classification over a whole trial.
 
     Matching runs chunk-at-a-time through the batched fast path
     (:meth:`TraceMatcher.match_bulk`); only records it could not prove
     byte-identical to their expected frame — the damaged minority —
     fall back to the scalar voting/header procedure.
+
+    A :class:`~repro.trace.columnar.ColumnarTrace` (a memory-mapped v2
+    file, or a shared-memory handoff block) takes the zero-copy route:
+    frame matrices are sliced straight off the flat payload and fed to
+    :meth:`TraceMatcher.match_matrix`, and the undamaged majority never
+    materializes per-packet records or bytes — classified packets carry
+    lazy record views instead.
     """
+    if isinstance(trace, ColumnarTrace):
+        return _classify_columnar(trace)
     matcher = TraceMatcher(trace.spec, trace.packets_sent)
     result = ClassifiedTrace(trace=trace)
     records = trace.records
@@ -109,13 +123,69 @@ def classify_trace(trace: TrialTrace) -> ClassifiedTrace:
     return result
 
 
+def _classify_columnar(trace: ColumnarTrace) -> ClassifiedTrace:
+    """The zero-copy classification path over columnar storage.
+
+    Byte-for-byte the same verdicts as the record-list path: the frame
+    matrix rows feed the identical matrix reductions, and the fallback
+    minority goes through the identical scalar procedure.
+    """
+    matcher = TraceMatcher(trace.spec, trace.packets_sent)
+    result = ClassifiedTrace(trace=trace)
+    lengths = trace.lengths
+    n = trace.packets_received
+    packets_append = result.packets.append
+    for chunk_start in range(0, n, MATCH_CHUNK_RECORDS):
+        chunk_stop = min(chunk_start + MATCH_CHUNK_RECORDS, n)
+        chunk_lengths = lengths[chunk_start:chunk_stop]
+        full_rows = chunk_start + np.nonzero(
+            chunk_lengths == FRAME_BYTES
+        )[0]
+        matches: list[Optional[MatchResult]] = [None] * (
+            chunk_stop - chunk_start
+        )
+        if full_rows.size:
+            matrix = trace.frame_matrix(full_rows, FRAME_BYTES)
+            for row, match in zip(
+                (full_rows - chunk_start).tolist(),
+                matcher.match_matrix(matrix),
+            ):
+                matches[row] = match
+        lengths_list = chunk_lengths.tolist()
+        for offset, index in enumerate(range(chunk_start, chunk_stop)):
+            match = matches[offset]
+            data: Optional[bytes] = None
+            if match is None:
+                data = trace.data(index)
+                match = matcher.match_bytes(data, skip_fast=True)
+            packets_append(
+                _classify_one(
+                    matcher,
+                    trace.record_view(index),
+                    data,
+                    match,
+                    length=lengths_list[offset],
+                )
+            )
+    return result
+
+
 def _classify_one(
     matcher: TraceMatcher,
     record: PacketRecord,
-    data: bytes,
+    data: Optional[bytes],
     match: MatchResult,
+    length: Optional[int] = None,
 ) -> ClassifiedPacket:
-    """Turn one record's match result into its classification."""
+    """Turn one record's match result into its classification.
+
+    ``data`` may be ``None`` on the columnar path — but only for exact
+    (fast-path) matches, whose branches never touch the bytes; every
+    fallback verdict (outsiders, voting, header-led) arrives with the
+    frame already materialized.
+    """
+    if length is None:
+        length = len(data)
     if match.outcome is MatchOutcome.OUTSIDER:
         return ClassifiedPacket(
             record=record, packet_class=_classify_outsider(data)
@@ -131,9 +201,9 @@ def _classify_one(
         return ClassifiedPacket(
             record=record,
             packet_class=PacketClass.TRUNCATED
-            if len(data) < FRAME_BYTES
+            if length < FRAME_BYTES
             else PacketClass.WRAPPER_DAMAGED,
-            truncated_bytes_missing=max(0, FRAME_BYTES - len(data)),
+            truncated_bytes_missing=max(0, FRAME_BYTES - length),
         )
     if match.exact:
         return ClassifiedPacket(
@@ -141,12 +211,12 @@ def _classify_one(
             packet_class=PacketClass.UNDAMAGED,
             sequence=sequence,
         )
-    if len(data) < FRAME_BYTES:
+    if length < FRAME_BYTES:
         return ClassifiedPacket(
             record=record,
             packet_class=PacketClass.TRUNCATED,
             sequence=sequence,
-            truncated_bytes_missing=FRAME_BYTES - len(data),
+            truncated_bytes_missing=FRAME_BYTES - length,
         )
     syndrome = extract_syndrome(data, sequence, matcher.factory)
     if syndrome.body_bits_damaged > 0:

@@ -163,6 +163,25 @@ class TraceMatcher:
         matrix = np.frombuffer(
             b"".join(datas[i] for i in full_rows), dtype=np.uint8
         ).reshape(len(full_rows), FRAME_BYTES)
+        for row, match in enumerate(self.match_matrix(matrix)):
+            results[full_rows[row]] = match
+        return results
+
+    def match_matrix(
+        self, matrix: np.ndarray
+    ) -> list[Optional[MatchResult]]:
+        """The fast path over an ``(n, FRAME_BYTES)`` uint8 matrix.
+
+        The columnar analysis path (:class:`repro.trace.columnar
+        .ColumnarTrace`) feeds frame matrices straight off the
+        memory-mapped payload — no per-record bytes objects are ever
+        created for the rows this method resolves.  Same contract as
+        :meth:`match_bulk`: a fast-path result per exactly-matching
+        row, ``None`` elsewhere.
+        """
+        results: list[Optional[MatchResult]] = [None] * matrix.shape[0]
+        if not matrix.shape[0]:
+            return results
         body = np.ascontiguousarray(
             matrix[:, BODY_START : FRAME_BYTES - 4]
         ).view(">u4")
@@ -181,7 +200,7 @@ class TraceMatcher:
             for row, is_exact in zip(rows.tolist(), exact.tolist()):
                 if not is_exact:
                     continue
-                results[full_rows[row]] = MatchResult(
+                results[row] = MatchResult(
                     MatchOutcome.TEST_PACKET,
                     sequence=int(sequences[row]),
                     exact=True,

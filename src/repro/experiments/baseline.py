@@ -10,11 +10,15 @@ environment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
 
 from repro.analysis.metrics import TrialMetrics, analyze_trial
 from repro.analysis.tables import render_metrics_table
 from repro.experiments.scenarios import office_scenario
+from repro.experiments.tracedir import trial_trace_path
 from repro.parallel import Task, run_tasks
+from repro.trace.persist import save_trace
 from repro.trace.trial import TrialConfig, run_fast_trial
 
 # The paper's nine office trials and their packet counts (Table 2).
@@ -63,12 +67,21 @@ class BaselineResult:
         return max((r.packet_loss_percent for r in self.rows), default=0.0)
 
 
-def _run_trial(name: str, packets: int, seed: int) -> TrialMetrics:
+def _run_trial(
+    name: str,
+    packets: int,
+    seed: int,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
+) -> TrialMetrics:
     """One office trial, self-contained and picklable.
 
     Rebuilds the (deterministic, RNG-free) scenario in-process rather
     than shipping model objects to workers; every random stream derives
     from ``seed``, so the row is identical on any worker or inline.
+    ``trace_dir`` persists the raw trace (capture-then-analyze-offline,
+    like the paper's workflow) as ``<dir>/<name>.wlt2`` columnar or
+    ``<dir>/<name>.jsonl`` v1, per ``trace_format``.
     """
     propagation, tx, rx = office_scenario()
     config = TrialConfig(
@@ -80,10 +93,21 @@ def _run_trial(name: str, packets: int, seed: int) -> TrialMetrics:
         rx_position=rx,
     )
     output = run_fast_trial(config)
+    if trace_dir is not None:
+        save_trace(
+            output.trace,
+            trial_trace_path(trace_dir, name, trace_format),
+            format=trace_format,
+        )
     return analyze_trial(output.trace)
 
 
-def trial_tasks(scale: float, seed: int) -> list[Task]:
+def trial_tasks(
+    scale: float,
+    seed: int,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
+) -> list[Task]:
     """The nine trials as independent tasks (seeds fixed in the parent)."""
     return [
         Task(
@@ -93,6 +117,8 @@ def trial_tasks(scale: float, seed: int) -> list[Task]:
                 "name": name,
                 "packets": max(1000, int(paper_count * scale)),
                 "seed": seed + index,
+                "trace_dir": trace_dir,
+                "trace_format": trace_format,
             },
             seed=seed + index,
             scale=scale,
@@ -101,22 +127,41 @@ def trial_tasks(scale: float, seed: int) -> list[Task]:
     ]
 
 
-def run(scale: float = 1.0, seed: int = 1996, jobs: int = 1) -> BaselineResult:
+def run(
+    scale: float = 1.0,
+    seed: int = 1996,
+    jobs: int = 1,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
+) -> BaselineResult:
     """Run the nine office trials at ``scale`` times the paper's lengths.
 
     The trials are mutually independent, so ``jobs > 1`` fans them over
     a process pool (:mod:`repro.parallel`); rows come back in trial
-    order and are identical to a serial run.
+    order and are identical to a serial run.  ``trace_dir`` saves each
+    trial's raw trace there for offline analysis (workers write their
+    own shard files directly — nothing extra crosses the pool
+    boundary).
     """
-    tasks = trial_tasks(scale, seed)
+    if trace_dir is not None:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
+    tasks = trial_tasks(scale, seed, trace_dir=trace_dir,
+                        trace_format=trace_format)
     if jobs <= 1:
         return BaselineResult(rows=[_run_trial(**task.kwargs) for task in tasks])
     results = run_tasks(tasks, jobs=jobs, label="table2-trials")
     return BaselineResult(rows=[r.value for r in results])
 
 
-def main(scale: float = 0.1, seed: int = 1996, jobs: int = 1) -> BaselineResult:
-    result = run(scale=scale, seed=seed, jobs=jobs)
+def main(
+    scale: float = 0.1,
+    seed: int = 1996,
+    jobs: int = 1,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
+) -> BaselineResult:
+    result = run(scale=scale, seed=seed, jobs=jobs, trace_dir=trace_dir,
+                 trace_format=trace_format)
     print("Table 2: Results of in-room experiment "
           f"(scale={scale:g} x paper trial lengths)")
     print(render_metrics_table(result.rows))

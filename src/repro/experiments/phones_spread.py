@@ -16,6 +16,8 @@ in a conference room.  Paper findings to preserve (Table 11):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.analysis.classify import ClassifiedTrace, classify_trace
 from repro.analysis.metrics import TrialMetrics, metrics_from_classified
@@ -31,10 +33,17 @@ from repro.experiments.scenarios import (
     PHONE_NEAR,
     spread_spectrum_room,
 )
+from repro.experiments.tracedir import trial_trace_path
 from repro.framing.testpacket import BODY_BITS
 from repro.interference.spreadspectrum import SpreadSpectrumPhonePair
 from repro.parallel import Task, run_tasks
+from repro.parallel.handoff import (
+    PortableClassifiedTrace,
+    export_classified,
+    resolve_portable,
+)
 from repro.trace.outsiders import OutsiderTraffic
+from repro.trace.persist import save_trace
 from repro.trace.trial import TrialConfig, run_fast_trial
 
 PAPER_PACKETS = 1_440
@@ -157,21 +166,46 @@ class SpreadResult:
 
 @dataclass
 class _TrialBundle:
-    """Everything one Table-11 trial contributes to the result."""
+    """Everything one Table-11 trial contributes to the result.
+
+    ``classified`` crosses the pool boundary as a
+    :class:`~repro.parallel.handoff.PortableClassifiedTrace` (columnar
+    handle + verdict columns) rather than a pickled record graph;
+    ``run_tasks`` calls ``__portable_resolve__`` on the parent side, so
+    consumers always see a resolved :class:`ClassifiedTrace` (or
+    ``None`` when the caller asked to drop it).
+    """
 
     trial: str
-    classified: ClassifiedTrace
+    classified: Optional[Union[ClassifiedTrace, PortableClassifiedTrace]]
     metrics: TrialMetrics
     summary: TrialSummary
     signal_row: SignalStats
     handset_breakdown: list[SignalStats]
 
+    def __portable_resolve__(self) -> "_TrialBundle":
+        self.classified = resolve_portable(self.classified)
+        return self
 
-def _run_trial(trial: str, packets: int, seed: int) -> _TrialBundle:
+
+def _run_trial(
+    trial: str,
+    packets: int,
+    seed: int,
+    transport: Optional[str] = None,
+    keep_classified: bool = True,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
+) -> _TrialBundle:
     """One Table-11 configuration, self-contained and picklable.
 
     Rebuilds the deterministic scenario in-process; the bundle is
-    identical whether it runs inline or on a pool worker.
+    identical whether it runs inline or on a pool worker.  ``transport``
+    (``"file"`` / ``"shm"`` / ``"inline"``) exports the classified
+    trace as a columnar handoff block instead of returning the live
+    object — set by :func:`run` on pool paths.  ``keep_classified=False``
+    drops the per-packet output entirely for callers that only read the
+    summary tables.
     """
     propagation, tx, rx = spread_spectrum_room()
     config = TrialConfig(
@@ -185,6 +219,12 @@ def _run_trial(trial: str, packets: int, seed: int) -> _TrialBundle:
         outsiders=OUTSIDER_TRIALS.get(trial),
     )
     output = run_fast_trial(config)
+    if trace_dir is not None:
+        save_trace(
+            output.trace,
+            trial_trace_path(trace_dir, trial, trace_format),
+            format=trace_format,
+        )
     classified = classify_trace(output.trace)
     metrics = metrics_from_classified(classified)
     received = max(1, metrics.packets_received)
@@ -196,9 +236,16 @@ def _run_trial(trial: str, packets: int, seed: int) -> _TrialBundle:
         body_percent=100.0 * metrics.body_damaged_packets / received,
         worst_body_fraction=(metrics.worst_body_bits or 0) / BODY_BITS,
     )
+    shipped: Optional[Union[ClassifiedTrace, PortableClassifiedTrace]]
+    if not keep_classified:
+        shipped = None
+    elif transport is not None:
+        shipped = export_classified(classified, via=transport)
+    else:
+        shipped = classified
     return _TrialBundle(
         trial=trial,
-        classified=classified,
+        classified=shipped,
         metrics=metrics,
         summary=summary,
         signal_row=stats_for_packets(trial, classified.test_packets),
@@ -208,18 +255,42 @@ def _run_trial(trial: str, packets: int, seed: int) -> _TrialBundle:
     )
 
 
-def run(scale: float = 1.0, seed: int = 73, jobs: int = 1) -> SpreadResult:
+def run(
+    scale: float = 1.0,
+    seed: int = 73,
+    jobs: int = 1,
+    transport: str = "file",
+    keep_classified: bool = True,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
+) -> SpreadResult:
     """Run the six Table-11 configurations.
 
     The trials are mutually independent, so ``jobs > 1`` fans them over
     a process pool; the assembled result is identical to a serial run.
+    Pool workers hand their classified traces back through a columnar
+    handoff block (``transport``: ``"file"`` temp file, ``"shm"``
+    shared memory, ``"inline"`` bytes-in-pickle) instead of pickling
+    per-packet record objects.  ``keep_classified=False`` omits
+    ``SpreadResult.classified`` for callers that only read the summary
+    tables — e.g. the report, which then ships no records at all.
     """
     packets = max(400, int(PAPER_PACKETS * scale))
+    if trace_dir is not None:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
     tasks = [
         Task(
             trial,
             _run_trial,
-            {"trial": trial, "packets": packets, "seed": seed + index},
+            {
+                "trial": trial,
+                "packets": packets,
+                "seed": seed + index,
+                "transport": transport if jobs > 1 else None,
+                "keep_classified": keep_classified,
+                "trace_dir": trace_dir,
+                "trace_format": trace_format,
+            },
             seed=seed + index,
             scale=scale,
         )
@@ -233,7 +304,8 @@ def run(scale: float = 1.0, seed: int = 73, jobs: int = 1) -> SpreadResult:
         ]
     result = SpreadResult()
     for bundle in bundles:
-        result.classified[bundle.trial] = bundle.classified
+        if bundle.classified is not None:
+            result.classified[bundle.trial] = bundle.classified
         result.metrics_rows.append(bundle.metrics)
         result.summaries.append(bundle.summary)
         result.signal_rows.append(bundle.signal_row)
@@ -242,8 +314,15 @@ def run(scale: float = 1.0, seed: int = 73, jobs: int = 1) -> SpreadResult:
     return result
 
 
-def main(scale: float = 1.0, seed: int = 73, jobs: int = 1) -> SpreadResult:
-    result = run(scale=scale, seed=seed, jobs=jobs)
+def main(
+    scale: float = 1.0,
+    seed: int = 73,
+    jobs: int = 1,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
+) -> SpreadResult:
+    result = run(scale=scale, seed=seed, jobs=jobs, trace_dir=trace_dir,
+                 trace_format=trace_format)
     print("Table 11: Summary of spread spectrum cordless phones "
           f"(scale={scale:g})")
     header = (f"{'Trial':>18} | {'Loss':>6} | {'Trunc%':>7} | "

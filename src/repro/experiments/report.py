@@ -146,8 +146,11 @@ def _report_tasks(scale: float, seed: int) -> list[Task]:
              {"scale": scale, "seed": seed + 5}, seed=seed + 5, scale=scale),
         Task("table10", phones_narrowband.run,
              {"scale": scale, "seed": seed + 6}, seed=seed + 6, scale=scale),
+        # keep_classified=False: the report reads only the summary
+        # tables, so the worker ships no per-packet records at all.
         Task("table11", phones_spread.run,
-             {"scale": scale, "seed": seed + 7}, seed=seed + 7, scale=scale),
+             {"scale": scale, "seed": seed + 7, "keep_classified": False},
+             seed=seed + 7, scale=scale),
         Task("table14", competing.run,
              {"scale": scale, "seed": seed + 8, "include_unusable": True},
              seed=seed + 8, scale=scale),

@@ -1,0 +1,33 @@
+"""Where experiment drivers put persisted trial traces.
+
+The paper's workflow was capture-then-analyze-offline; experiments that
+take a ``trace_dir`` mirror it by saving each trial's raw trace for
+later ``python -m repro``-independent analysis (docs/TRACE_FORMAT.md).
+Names derive only from the trial name and format, so re-runs overwrite
+in place and parallel workers never collide (trial names are unique
+within an experiment).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.trace.columnar import V2_SUFFIX
+
+_V1_SUFFIX = ".jsonl"
+
+
+def _slug(name: str) -> str:
+    """A filesystem-safe version of a trial name ("AT&T handset" ->
+    "at_t_handset")."""
+    return "".join(
+        c.lower() if c.isalnum() else "_" for c in name
+    ).strip("_") or "trial"
+
+
+def trial_trace_path(
+    directory: str | Path, trial: str, trace_format: str = "v2"
+) -> Path:
+    """The canonical path for one trial's persisted trace."""
+    suffix = V2_SUFFIX if trace_format == "v2" else _V1_SUFFIX
+    return Path(directory) / f"{_slug(trial)}{suffix}"

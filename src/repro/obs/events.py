@@ -32,6 +32,14 @@ PathLike = Union[str, Path]
 def _open(path: PathLike, mode: str) -> IO:
     path = Path(path)
     if path.suffix == ".gz":
+        if "w" in mode:
+            # Deterministic member header (mtime=0, no filename), so
+            # identical telemetry compresses to identical bytes — the
+            # serial-vs-jobs=N byte-identity invariants extend to .gz
+            # shard families.
+            from repro.parallel.shards import open_deterministic_gzip_text
+
+            return open_deterministic_gzip_text(path)
         return gzip.open(path, mode + "t", encoding="utf-8")
     return open(path, mode, encoding="utf-8")
 

@@ -14,11 +14,24 @@ Quick use::
     results = run_tasks(tasks, jobs=8, label="my-run")
     values = [r.value for r in results]   # in task order
 
+Workers that produce traces (or classified traces) hand them back as
+columnar handoff blocks (:mod:`repro.parallel.handoff`) — a v2 file,
+shared-memory block, or inline bytes — instead of pickling per-packet
+record objects; ``run_tasks`` resolves the handles transparently.
+
 Wired into the CLI as ``python -m repro report --jobs N`` (and
 ``--jobs`` on experiments with independent trials, e.g. ``table2``).
 See docs/OBSERVABILITY.md for the sharding and merge semantics.
 """
 
+from repro.parallel.handoff import (
+    PortableClassifiedTrace,
+    TraceHandle,
+    export_classified,
+    export_trace,
+    merge_trace_handles,
+    resolve_portable,
+)
 from repro.parallel.runner import (
     Task,
     TaskResult,
@@ -29,11 +42,17 @@ from repro.parallel.runner import (
 from repro.parallel.shards import find_shards, shard_path
 
 __all__ = [
+    "PortableClassifiedTrace",
     "Task",
     "TaskResult",
+    "TraceHandle",
     "default_jobs",
+    "export_classified",
+    "export_trace",
     "find_shards",
+    "merge_trace_handles",
     "merged_manifest_record",
+    "resolve_portable",
     "run_tasks",
     "shard_path",
 ]

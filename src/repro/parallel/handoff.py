@@ -1,0 +1,266 @@
+"""Shared-memory / columnar-file handoff for parallel trace results.
+
+Before this module, a pool worker that produced a trace (or a classified
+trace) pickled every :class:`~repro.trace.records.PacketRecord` back to
+the parent — hundreds of thousands of per-object pickle round-trips that
+threw away the bulk-path speedups the worker had just earned.  The
+handoff instead persists the worker's records as a **format v2 columnar
+block** (:mod:`repro.trace.columnar`) and ships only a small handle:
+
+* ``via="file"`` — a temp file next to the system temp dir (or a caller
+  directory); the parent memory-maps it zero-copy and unlinks it on
+  load (POSIX keeps the mapping valid).  The default: robust across
+  fork and spawn.
+* ``via="shm"`` — a ``multiprocessing.shared_memory`` block; the parent
+  attaches and reads the columns in place — no filesystem traffic at
+  all.  For in-process fan-out on fork platforms.
+* ``via="inline"`` — the v2 bytes ride inside the pickle itself.  Still
+  ~100x cheaper than pickling record objects (one flat buffer instead
+  of an object graph); useful for tiny traces and tests.
+
+The bytes in the block are exactly the v2 file format, so all three
+transports share one reader.  Classified traces travel as compact
+per-packet columns plus the trace handle
+(:class:`PortableClassifiedTrace`); the parent's ``resolve()`` rebuilds
+a :class:`~repro.analysis.classify.ClassifiedTrace` whose packets carry
+lazy record views over the shared columns.  ``run_tasks`` resolves
+top-level portable values automatically, and
+:func:`merge_trace_handles` concatenates shard columns for
+single-trace workloads split across workers.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.classify import (
+    ClassifiedPacket,
+    ClassifiedTrace,
+    PacketClass,
+)
+from repro.analysis.syndrome import ErrorSyndrome
+from repro.trace.columnar import (
+    ColumnarTrace,
+    read_columnar,
+    read_columnar_buffer,
+    write_columnar,
+)
+from repro.trace.records import TrialTrace
+
+AnyTrace = Union[TrialTrace, ColumnarTrace]
+
+# Stable wire order for PacketClass codes (u1 column).
+_CLASS_ORDER = list(PacketClass)
+_CLASS_CODE = {cls: code for code, cls in enumerate(_CLASS_ORDER)}
+
+
+@dataclass
+class TraceHandle:
+    """A picklable pointer to a columnar trace block.
+
+    ``load()`` consumes the handle: file backings are unlinked once
+    mapped and shared-memory blocks unlinked once attached, so a handle
+    is a transfer of ownership, not a shared reference.  ``release()``
+    discards the block without reading it (error paths).
+    """
+
+    kind: str  # "file" | "shm" | "inline"
+    location: Union[str, bytes]
+
+    def load(self) -> ColumnarTrace:
+        if self.kind == "file":
+            trace = read_columnar(self.location)
+            try:
+                os.unlink(self.location)
+            except OSError:
+                pass
+            return trace
+        if self.kind == "shm":
+            from multiprocessing import shared_memory
+
+            block = shared_memory.SharedMemory(name=self.location)
+            trace = read_columnar_buffer(
+                block.buf, origin=f"shm://{self.location}", backing=block
+            )
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            return trace
+        if self.kind == "inline":
+            return read_columnar_buffer(self.location, origin="<inline>")
+        raise ValueError(f"unknown trace handle kind {self.kind!r}")
+
+    def release(self) -> None:
+        """Discard the block without loading it."""
+        if self.kind == "file":
+            try:
+                os.unlink(self.location)
+            except OSError:
+                pass
+        elif self.kind == "shm":
+            from multiprocessing import shared_memory
+
+            try:
+                block = shared_memory.SharedMemory(name=self.location)
+            except FileNotFoundError:
+                return
+            block.close()
+            block.unlink()
+
+    def __portable_resolve__(self) -> ColumnarTrace:
+        return self.load()
+
+
+def _columnar_bytes(trace: AnyTrace) -> bytes:
+    buffer = io.BytesIO()
+    write_columnar(trace, buffer)
+    return buffer.getvalue()
+
+
+def export_trace(
+    trace: AnyTrace,
+    via: str = "file",
+    directory: Optional[Union[str, Path]] = None,
+) -> TraceHandle:
+    """Persist ``trace`` as a v2 columnar block and return its handle.
+
+    Called on the worker side of a pool boundary; the returned handle
+    pickles in constant size however many records the trace holds.
+    """
+    if via == "file":
+        fd, path = tempfile.mkstemp(
+            prefix=f"repro-{os.getpid()}-", suffix=".wlt2",
+            dir=str(directory) if directory is not None else None,
+        )
+        with os.fdopen(fd, "wb") as stream:
+            write_columnar(trace, stream)
+        return TraceHandle(kind="file", location=path)
+    if via == "shm":
+        from multiprocessing import resource_tracker, shared_memory
+
+        payload = _columnar_bytes(trace)
+        block = shared_memory.SharedMemory(create=True, size=len(payload))
+        block.buf[: len(payload)] = payload
+        name = block.name
+        block.close()
+        # Ownership moves to whoever loads the handle; stop this
+        # process's resource tracker from unlinking (and warning about)
+        # the block when the worker exits.
+        try:
+            resource_tracker.unregister(f"/{name}", "shared_memory")
+        except Exception:  # pragma: no cover - tracker impl detail
+            pass
+        return TraceHandle(kind="shm", location=name)
+    if via == "inline":
+        return TraceHandle(kind="inline", location=_columnar_bytes(trace))
+    raise ValueError(f"unknown handoff transport {via!r}")
+
+
+# ----------------------------------------------------------------------
+# Classified traces
+# ----------------------------------------------------------------------
+@dataclass
+class PortableClassifiedTrace:
+    """A classified trace flattened for the pool boundary.
+
+    Per-packet verdicts travel as compact numpy columns, raw records as
+    a :class:`TraceHandle`; only the damaged minority's syndromes keep
+    their object form.  ``resolve()`` reconstructs a
+    :class:`ClassifiedTrace` equivalent (verdict-for-verdict) to the
+    one the worker classified.
+    """
+
+    handle: TraceHandle
+    class_codes: np.ndarray
+    sequences: np.ndarray  # -1 encodes "no sequence recovered"
+    wrapper_damaged: np.ndarray
+    body_bits_damaged: np.ndarray
+    truncated_missing: np.ndarray
+    syndromes: list[tuple[int, ErrorSyndrome]] = field(default_factory=list)
+
+    def resolve(self) -> ClassifiedTrace:
+        trace = self.handle.load()
+        syndrome_by_index = dict(self.syndromes)
+        packets = []
+        sequences = self.sequences.tolist()
+        for index, code in enumerate(self.class_codes.tolist()):
+            sequence = sequences[index]
+            packets.append(
+                ClassifiedPacket(
+                    record=trace.record_view(index),
+                    packet_class=_CLASS_ORDER[code],
+                    sequence=None if sequence < 0 else sequence,
+                    syndrome=syndrome_by_index.get(index),
+                    wrapper_damaged=bool(self.wrapper_damaged[index]),
+                    body_bits_damaged=int(self.body_bits_damaged[index]),
+                    truncated_bytes_missing=int(
+                        self.truncated_missing[index]
+                    ),
+                )
+            )
+        return ClassifiedTrace(trace=trace, packets=packets)
+
+    def __portable_resolve__(self) -> ClassifiedTrace:
+        return self.resolve()
+
+
+def export_classified(
+    classified: ClassifiedTrace,
+    via: str = "file",
+    directory: Optional[Union[str, Path]] = None,
+) -> PortableClassifiedTrace:
+    """Flatten a classified trace for the pool boundary (worker side)."""
+    packets = classified.packets
+    n = len(packets)
+    class_codes = np.empty(n, dtype=np.uint8)
+    sequences = np.empty(n, dtype=np.int64)
+    wrapper_damaged = np.empty(n, dtype=bool)
+    body_bits = np.empty(n, dtype=np.int64)
+    truncated = np.empty(n, dtype=np.int32)
+    syndromes: list[tuple[int, ErrorSyndrome]] = []
+    for index, packet in enumerate(packets):
+        class_codes[index] = _CLASS_CODE[packet.packet_class]
+        sequences[index] = -1 if packet.sequence is None else packet.sequence
+        wrapper_damaged[index] = packet.wrapper_damaged
+        body_bits[index] = packet.body_bits_damaged
+        truncated[index] = packet.truncated_bytes_missing
+        if packet.syndrome is not None:
+            syndromes.append((index, packet.syndrome))
+    return PortableClassifiedTrace(
+        handle=export_trace(classified.trace, via=via, directory=directory),
+        class_codes=class_codes,
+        sequences=sequences,
+        wrapper_damaged=wrapper_damaged,
+        body_bits_damaged=body_bits,
+        truncated_missing=truncated,
+        syndromes=syndromes,
+    )
+
+
+def merge_trace_handles(
+    handles: Sequence[TraceHandle], name: Optional[str] = None
+) -> ColumnarTrace:
+    """The merge step for single-trace workloads split across workers:
+    load every shard handle and concatenate the columns (offsets are
+    rebased; ``packets_sent`` adds up, matching
+    :meth:`TrialTrace.extend` semantics)."""
+    return ColumnarTrace.concat([h.load() for h in handles], name=name)
+
+
+def resolve_portable(value):
+    """Resolve one task value if it is a handoff object (else pass it
+    through).  Used by :func:`repro.parallel.runner.run_tasks` so pool
+    results arrive resolved, exactly as a serial run would have
+    produced them."""
+    resolver = getattr(value, "__portable_resolve__", None)
+    if resolver is not None:
+        return resolver()
+    return value

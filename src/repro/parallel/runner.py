@@ -31,6 +31,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro import obs
 from repro.obs import runtime as _obs_runtime
+from repro.parallel.handoff import resolve_portable
 from repro.parallel.shards import shard_path
 
 
@@ -251,9 +252,17 @@ def run_tasks(
     metrics state back into the active registry in task order, and —
     when ``label`` is given and a telemetry sink is open — emits one
     merged run manifest to the parent sink.
+
+    Task values that are handoff objects (:mod:`repro.parallel.handoff`
+    — a worker-persisted columnar trace handle or a portable classified
+    trace) are resolved before the results are returned, so callers see
+    the same materialized values a serial run produces.
     """
     if jobs <= 1 or len(tasks) <= 1:
-        return [_run_task_inline(task, git_rev) for task in tasks]
+        results = [_run_task_inline(task, git_rev) for task in tasks]
+        for result in results:
+            result.value = resolve_portable(result.value)
+        return results
 
     state = obs.STATE
     context = _pool_context()
@@ -276,6 +285,8 @@ def run_tasks(
     ) as pool:
         futures = [pool.submit(_execute_task, task, git_rev) for task in tasks]
         results = [future.result() for future in futures]
+    for result in results:
+        result.value = resolve_portable(result.value)
     # Fold worker registries back in task order (deterministic merge).
     if state.enabled:
         for result in results:

@@ -7,12 +7,21 @@ status information, even if the packet failed the Ethernet CRC check."
 
 * :mod:`~repro.trace.records` — the per-packet log record (raw bytes +
   level/silence/quality/antenna) and the whole-trial container.
+* :mod:`~repro.trace.columnar` — the v2 columnar binary store: flat
+  frame-bytes payload + numpy columns, memory-mapped for zero-copy
+  analysis.
 * :mod:`~repro.trace.sender` — the UDP burst test-traffic generator.
 * :mod:`~repro.trace.trial` — trial runners: a vectorized fast path for
   contention-free scenarios (half-million-packet office trials) and an
   event-driven path through the full MAC/channel simulation.
 """
 
+from repro.trace.columnar import (
+    ColumnarTrace,
+    ColumnarTraceWriter,
+    read_columnar,
+    write_columnar,
+)
 from repro.trace.persist import load_trace, save_trace
 from repro.trace.receiver import TraceRecorder
 from repro.trace.records import PacketRecord, TrialTrace
@@ -21,12 +30,16 @@ from repro.trace.trial import TrialConfig, run_fast_trial, run_mac_trial
 
 __all__ = [
     "BurstSender",
+    "ColumnarTrace",
+    "ColumnarTraceWriter",
     "PacketRecord",
     "TraceRecorder",
     "TrialConfig",
     "TrialTrace",
     "load_trace",
+    "read_columnar",
     "run_fast_trial",
     "run_mac_trial",
     "save_trace",
+    "write_columnar",
 ]

@@ -1,0 +1,603 @@
+"""Columnar binary trace storage (format v2).
+
+The v1 JSON-lines format (:mod:`repro.trace.persist`) is self-describing
+and greppable, but reloading a half-million-packet trial means parsing
+half a million JSON objects and hex-decoding every frame — the analysis
+pipeline's bulk paths then immediately re-pack those per-record objects
+into matrices.  Format v2 stores the trace the way the analysis consumes
+it: contiguous numpy columns plus one flat frame-bytes buffer, so a
+loader can ``np.memmap`` the file and hand the columns straight to
+:meth:`repro.analysis.matching.TraceMatcher.match_matrix` without ever
+materializing per-packet objects for the undamaged majority.
+
+Layout (single file; identical bytes when stored in a shared-memory
+block for the parallel handoff)::
+
+    [0:8]   magic  b"WLTRACE2"
+    [8:..]  payload — every record's raw bytes, back to back
+    ...     columns, each 8-byte aligned:
+              times     <f8   offsets  <u8 (relative to payload start)
+              levels    <i2   lengths  <u4
+              silences  <i2
+              qualities <i2
+              antennas  <i2
+    [..]    footer JSON (name, spec, packets_sent, counts, column table)
+    [-16:-8] footer length, little-endian u64
+    [-8:]   magic  b"WLTRACE2"  (trailer: absent on a truncated write)
+
+The footer lives at the end so the writer can stream the payload without
+knowing record counts up front; the trailing magic makes truncation
+detectable (a crashed writer leaves no trailer, and the loader refuses
+the file loudly rather than serving partial columns).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from array import array
+from pathlib import Path
+from typing import IO, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.framing.ethernet import MacAddress
+from repro.framing.testpacket import TestPacketSpec
+from repro.phy.modem import ModemRxStatus
+from repro.trace.records import PacketRecord, TrialTrace, materialize_data
+
+MAGIC = b"WLTRACE2"
+FORMAT_VERSION = 2
+TRACE_KIND = "wavelan-trial-trace"
+# Canonical filename suffix for v2 columnar traces (detection is by
+# magic, not suffix; the suffix only steers ``save_trace``'s default).
+V2_SUFFIX = ".wlt2"
+
+_ALIGN = 8
+_LEN_STRUCT = struct.Struct("<Q")
+
+# Column name -> (dtype, array.array typecode used while writing).
+_COLUMNS: dict[str, tuple[str, str]] = {
+    "times": ("<f8", "d"),
+    "levels": ("<i2", "h"),
+    "silences": ("<i2", "h"),
+    "qualities": ("<i2", "h"),
+    "antennas": ("<i2", "h"),
+    "offsets": ("<u8", "Q"),
+    "lengths": ("<u4", "I"),
+}
+
+PathLike = Union[str, Path]
+
+
+def spec_to_dict(spec: TestPacketSpec) -> dict:
+    """JSON-serializable form of a test-packet spec (shared with v1)."""
+    return {
+        "src_mac": str(spec.src_mac),
+        "dst_mac": str(spec.dst_mac),
+        "src_ip": spec.src_ip,
+        "dst_ip": spec.dst_ip,
+        "src_port": spec.src_port,
+        "dst_port": spec.dst_port,
+        "network_id": spec.network_id,
+        "first_sequence": spec.first_sequence,
+    }
+
+
+def spec_from_dict(data: dict) -> TestPacketSpec:
+    return TestPacketSpec(
+        src_mac=MacAddress.from_string(data["src_mac"]),
+        dst_mac=MacAddress.from_string(data["dst_mac"]),
+        src_ip=data["src_ip"],
+        dst_ip=data["dst_ip"],
+        src_port=data["src_port"],
+        dst_port=data["dst_port"],
+        network_id=data["network_id"],
+        first_sequence=data["first_sequence"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+class ColumnarTraceWriter:
+    """Streaming append writer for format v2.
+
+    Frame bytes go straight to the output stream as records arrive —
+    the writer never holds the payload in memory — while the per-record
+    scalars (26 bytes each) accumulate in compact typed arrays and land
+    as contiguous columns at :meth:`close`.  Use as a context manager::
+
+        with ColumnarTraceWriter(path, name, spec, packets_sent) as w:
+            for record in records:
+                w.append_record(record)
+    """
+
+    def __init__(
+        self,
+        target: Union[PathLike, IO[bytes]],
+        name: str,
+        spec: TestPacketSpec,
+        packets_sent: int,
+        first_sequence: int = 0,
+    ) -> None:
+        if hasattr(target, "write"):
+            self._stream: IO[bytes] = target  # type: ignore[assignment]
+            self._owns_stream = False
+        else:
+            self._stream = open(target, "wb")
+            self._owns_stream = True
+        self.name = name
+        self.spec = spec
+        self.packets_sent = packets_sent
+        self.first_sequence = first_sequence
+        self._cols = {key: array(code) for key, (_, code) in _COLUMNS.items()}
+        self._payload_nbytes = 0
+        self._closed = False
+        self._stream.write(MAGIC)
+
+    # ------------------------------------------------------------------
+    def append(
+        self, data: bytes, status: ModemRxStatus, time: float = 0.0
+    ) -> None:
+        """Append one record (raw bytes + status registers)."""
+        cols = self._cols
+        cols["times"].append(time)
+        cols["levels"].append(status.signal_level)
+        cols["silences"].append(status.silence_level)
+        cols["qualities"].append(status.signal_quality)
+        cols["antennas"].append(status.antenna)
+        cols["offsets"].append(self._payload_nbytes)
+        cols["lengths"].append(len(data))
+        self._payload_nbytes += len(data)
+        self._stream.write(data)
+
+    def append_record(self, record: PacketRecord) -> None:
+        self.append(record.data, record.status, record.time)
+
+    # ------------------------------------------------------------------
+    def _pad(self, position: int) -> int:
+        pad = (-position) % _ALIGN
+        if pad:
+            self._stream.write(b"\0" * pad)
+        return position + pad
+
+    def close(self) -> None:
+        """Land the columns and the self-describing footer."""
+        if self._closed:
+            return
+        self._closed = True
+        position = self._pad(len(MAGIC) + self._payload_nbytes)
+        count = len(self._cols["times"])
+        column_table: dict[str, dict] = {}
+        for key, (dtype, _) in _COLUMNS.items():
+            block = np.asarray(self._cols[key], dtype=dtype).tobytes()
+            column_table[key] = {
+                "dtype": dtype, "offset": position, "count": count
+            }
+            self._stream.write(block)
+            position = self._pad(position + len(block))
+        footer = json.dumps(
+            {
+                "kind": TRACE_KIND,
+                "format": FORMAT_VERSION,
+                "name": self.name,
+                "spec": spec_to_dict(self.spec),
+                "packets_sent": self.packets_sent,
+                "first_sequence": self.first_sequence,
+                "count": count,
+                "payload": {
+                    "offset": len(MAGIC), "nbytes": self._payload_nbytes
+                },
+                "columns": column_table,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        self._stream.write(footer)
+        self._stream.write(_LEN_STRUCT.pack(len(footer)))
+        self._stream.write(MAGIC)
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "ColumnarTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# Records are appended through ``materialize_data`` in batches of this
+# many so pristine references hit the bulk template bank, not the
+# scalar ``build()`` path.
+_WRITE_CHUNK_RECORDS = 4096
+
+
+def write_columnar(
+    trace: Union[TrialTrace, "ColumnarTrace"],
+    target: Union[PathLike, IO[bytes]],
+) -> None:
+    """Write ``trace`` (in-memory or already-columnar) as format v2."""
+    if isinstance(trace, ColumnarTrace):
+        with ColumnarTraceWriter(
+            target, trace.name, trace.spec, trace.packets_sent,
+            trace.first_sequence,
+        ) as writer:
+            # Columns are already materialized: stream the payload
+            # wholesale and splice the columns in directly.
+            writer._stream.write(trace.payload.tobytes())
+            writer._payload_nbytes = int(trace.payload.shape[0])
+            for key, (dtype, code) in _COLUMNS.items():
+                column = array(code)
+                column.frombytes(
+                    np.ascontiguousarray(
+                        getattr(trace, key), dtype=dtype
+                    ).tobytes()
+                )
+                writer._cols[key] = column
+        return
+    with ColumnarTraceWriter(
+        target, trace.name, trace.spec, trace.packets_sent,
+        trace.first_sequence,
+    ) as writer:
+        records = trace.records
+        for start in range(0, len(records), _WRITE_CHUNK_RECORDS):
+            chunk = records[start : start + _WRITE_CHUNK_RECORDS]
+            for record, data in zip(chunk, materialize_data(chunk)):
+                writer.append(data, record.status, record.time)
+
+
+# ----------------------------------------------------------------------
+# Lazy record views
+# ----------------------------------------------------------------------
+class PacketRecordView:
+    """One record of a :class:`ColumnarTrace`, materialized on access.
+
+    Quacks like :class:`~repro.trace.records.PacketRecord` — ``status``,
+    ``time``, ``data``, ``length`` — but holds only an index into the
+    trace's columns until a field is read.  ``status`` is cached after
+    first access (the signal-statistics pass reads it three times).
+    """
+
+    __slots__ = ("_trace", "_index", "_status")
+
+    def __init__(self, trace: "ColumnarTrace", index: int) -> None:
+        self._trace = trace
+        self._index = index
+        self._status: Optional[ModemRxStatus] = None
+
+    @property
+    def status(self) -> ModemRxStatus:
+        if self._status is None:
+            t, i = self._trace, self._index
+            self._status = ModemRxStatus(
+                signal_level=int(t.levels[i]),
+                silence_level=int(t.silences[i]),
+                signal_quality=int(t.qualities[i]),
+                antenna=int(t.antennas[i]),
+            )
+        return self._status
+
+    @property
+    def time(self) -> float:
+        return float(self._trace.times[self._index])
+
+    @property
+    def data(self) -> bytes:
+        return self._trace.data(self._index)
+
+    @property
+    def length(self) -> int:
+        return int(self._trace.lengths[self._index])
+
+    def materialize(self) -> PacketRecord:
+        return PacketRecord.from_bytes(self.data, self.status, self.time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PacketRecordView(index={self._index}, time={self.time}, "
+            f"length={self.length})"
+        )
+
+
+class LazyRecords(Sequence[PacketRecordView]):
+    """Sequence facade over a :class:`ColumnarTrace`'s columns.
+
+    Keeps the scalar ``trace.records[i]`` / iteration API working for
+    existing callers without materializing anything until a record is
+    actually touched.
+    """
+
+    __slots__ = ("_trace",)
+
+    def __init__(self, trace: "ColumnarTrace") -> None:
+        self._trace = trace
+
+    def __len__(self) -> int:
+        return self._trace.packets_received
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [
+                PacketRecordView(self._trace, i)
+                for i in range(*index.indices(len(self)))
+            ]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return PacketRecordView(self._trace, index)
+
+    def __iter__(self) -> Iterator[PacketRecordView]:
+        for i in range(len(self)):
+            yield PacketRecordView(self._trace, i)
+
+
+# ----------------------------------------------------------------------
+# The columnar trace
+# ----------------------------------------------------------------------
+class ColumnarTrace:
+    """A trial trace held as contiguous columns.
+
+    Drop-in for :class:`~repro.trace.records.TrialTrace` wherever the
+    analysis pipeline consumes traces (``classify_trace``,
+    ``analyze_trial``, the signal-statistics passes): ``name``, ``spec``,
+    ``packets_sent``, ``packets_received`` and ``records`` all work.
+    Columns may be views onto a memory-mapped file or a shared-memory
+    block (``_backing`` keeps the mapping alive); nothing is copied
+    until a consumer asks for per-record bytes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        spec: TestPacketSpec,
+        packets_sent: int,
+        *,
+        times: np.ndarray,
+        levels: np.ndarray,
+        silences: np.ndarray,
+        qualities: np.ndarray,
+        antennas: np.ndarray,
+        offsets: np.ndarray,
+        lengths: np.ndarray,
+        payload: np.ndarray,
+        first_sequence: int = 0,
+        backing: object = None,
+    ) -> None:
+        self.name = name
+        self.spec = spec
+        self.packets_sent = packets_sent
+        self.first_sequence = first_sequence
+        self.times = times
+        self.levels = levels
+        self.silences = silences
+        self.qualities = qualities
+        self.antennas = antennas
+        self.offsets = offsets
+        self.lengths = lengths
+        self.payload = payload
+        self._backing = backing
+
+    # -- TrialTrace-compatible surface ---------------------------------
+    @property
+    def packets_received(self) -> int:
+        return int(self.times.shape[0])
+
+    @property
+    def records(self) -> LazyRecords:
+        return LazyRecords(self)
+
+    def record_view(self, index: int) -> PacketRecordView:
+        return PacketRecordView(self, index)
+
+    def data(self, index: int) -> bytes:
+        offset = int(self.offsets[index])
+        return self.payload[offset : offset + int(self.lengths[index])].tobytes()
+
+    # -- bulk access ---------------------------------------------------
+    def frame_matrix(self, rows: np.ndarray, frame_bytes: int) -> np.ndarray:
+        """An ``(len(rows), frame_bytes)`` uint8 matrix of full frames.
+
+        ``rows`` must index records whose length is ``frame_bytes``.
+        When the selected payload spans are back to back (the common
+        case: a clean trial written in arrival order) the matrix is a
+        zero-copy reshape of the payload; otherwise a single vectorized
+        gather builds it.
+        """
+        offsets = self.offsets[rows]
+        if offsets.size == 0:
+            return np.empty((0, frame_bytes), dtype=np.uint8)
+        start = int(offsets[0])
+        if offsets.size == 1 or bool(
+            (np.diff(offsets) == frame_bytes).all()
+        ):
+            flat = self.payload[start : start + offsets.size * frame_bytes]
+            return flat.reshape(offsets.size, frame_bytes)
+        gather = offsets[:, None].astype(np.int64) + np.arange(frame_bytes)
+        return self.payload[gather]
+
+    # -- conversion ----------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace: TrialTrace) -> "ColumnarTrace":
+        """Columnarize an in-memory :class:`TrialTrace` (no file I/O)."""
+        buffer = io.BytesIO()
+        write_columnar(trace, buffer)
+        return read_columnar_buffer(buffer.getbuffer(), copy=True)
+
+    def to_trial_trace(self) -> TrialTrace:
+        """Materialize every record into a plain :class:`TrialTrace`."""
+        trace = TrialTrace(
+            name=self.name,
+            spec=self.spec,
+            packets_sent=self.packets_sent,
+            first_sequence=self.first_sequence,
+        )
+        payload = self.payload
+        for i in range(self.packets_received):
+            offset = int(self.offsets[i])
+            data = payload[offset : offset + int(self.lengths[i])].tobytes()
+            trace.records.append(
+                PacketRecord.from_bytes(
+                    data,
+                    ModemRxStatus(
+                        signal_level=int(self.levels[i]),
+                        silence_level=int(self.silences[i]),
+                        signal_quality=int(self.qualities[i]),
+                        antenna=int(self.antennas[i]),
+                    ),
+                    time=float(self.times[i]),
+                )
+            )
+        return trace
+
+    # -- merge ---------------------------------------------------------
+    @classmethod
+    def concat(
+        cls, traces: Sequence["ColumnarTrace"], name: Optional[str] = None
+    ) -> "ColumnarTrace":
+        """Concatenate shard traces column-wise (the parallel merge step).
+
+        ``packets_sent`` adds up (the paper's "aggregating multiple
+        bursts to form a long trial"); specs must agree, exactly as
+        :meth:`TrialTrace.extend` demands.
+        """
+        if not traces:
+            raise ValueError("cannot concatenate zero traces")
+        spec = traces[0].spec
+        for trace in traces[1:]:
+            if trace.spec != spec:
+                raise ValueError(
+                    "cannot aggregate traces with different specs"
+                )
+        shifts = np.cumsum([0] + [t.payload.shape[0] for t in traces[:-1]])
+        return cls(
+            name=name if name is not None else traces[0].name,
+            spec=spec,
+            packets_sent=sum(t.packets_sent for t in traces),
+            first_sequence=traces[0].first_sequence,
+            times=np.concatenate([t.times for t in traces]),
+            levels=np.concatenate([t.levels for t in traces]),
+            silences=np.concatenate([t.silences for t in traces]),
+            qualities=np.concatenate([t.qualities for t in traces]),
+            antennas=np.concatenate([t.antennas for t in traces]),
+            offsets=np.concatenate(
+                [t.offsets + shift for t, shift in zip(traces, shifts)]
+            ),
+            lengths=np.concatenate([t.lengths for t in traces]),
+            payload=np.concatenate([t.payload for t in traces]),
+        )
+
+    def extend(self, other: "ColumnarTrace") -> None:
+        """In-place aggregation (column concatenation under the hood)."""
+        merged = ColumnarTrace.concat([self, other], name=self.name)
+        self.__dict__.update(merged.__dict__)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnarTrace(name={self.name!r}, "
+            f"packets_sent={self.packets_sent}, "
+            f"packets_received={self.packets_received})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Readers
+# ----------------------------------------------------------------------
+def _parse_columnar(flat: np.ndarray, origin: str, backing: object,
+                    copy: bool) -> ColumnarTrace:
+    """Build a :class:`ColumnarTrace` over a flat uint8 buffer."""
+    total = flat.shape[0]
+    min_size = 2 * len(MAGIC) + _LEN_STRUCT.size
+    if total < min_size or flat[: len(MAGIC)].tobytes() != MAGIC:
+        raise ValueError(f"{origin}: not a columnar (v2) trace file")
+    if flat[total - len(MAGIC) :].tobytes() != MAGIC:
+        raise ValueError(
+            f"{origin}: truncated columnar trace (trailer magic missing — "
+            "the writer did not finish)"
+        )
+    (footer_len,) = _LEN_STRUCT.unpack(
+        flat[total - len(MAGIC) - _LEN_STRUCT.size : total - len(MAGIC)]
+        .tobytes()
+    )
+    footer_start = total - len(MAGIC) - _LEN_STRUCT.size - footer_len
+    if footer_start < len(MAGIC):
+        raise ValueError(f"{origin}: corrupt columnar trace footer")
+    try:
+        footer = json.loads(
+            flat[footer_start : footer_start + footer_len].tobytes()
+        )
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{origin}: corrupt columnar trace footer: {exc}"
+        ) from exc
+    if footer.get("kind") != TRACE_KIND:
+        raise ValueError(f"{origin}: not a trial trace file")
+    if footer.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"{origin}: format {footer.get('format')} "
+            f"(this reader supports {FORMAT_VERSION})"
+        )
+
+    def column(key: str) -> np.ndarray:
+        entry = footer["columns"][key]
+        start, count = entry["offset"], entry["count"]
+        dtype = np.dtype(entry["dtype"])
+        stop = start + count * dtype.itemsize
+        if stop > footer_start:
+            raise ValueError(f"{origin}: column {key!r} overruns the file")
+        view = flat[start:stop].view(dtype)
+        return view.copy() if copy else view
+
+    payload_meta = footer["payload"]
+    payload = flat[
+        payload_meta["offset"] : payload_meta["offset"]
+        + payload_meta["nbytes"]
+    ]
+    return ColumnarTrace(
+        name=footer["name"],
+        spec=spec_from_dict(footer["spec"]),
+        packets_sent=footer["packets_sent"],
+        first_sequence=footer.get("first_sequence", 0),
+        times=column("times"),
+        levels=column("levels"),
+        silences=column("silences"),
+        qualities=column("qualities"),
+        antennas=column("antennas"),
+        offsets=column("offsets"),
+        lengths=column("lengths"),
+        payload=payload.copy() if copy else payload,
+        backing=None if copy else backing,
+    )
+
+
+def read_columnar(path: PathLike) -> ColumnarTrace:
+    """Memory-map a v2 file; columns are zero-copy views into the map."""
+    path = Path(path)
+    size = path.stat().st_size
+    if size == 0:
+        raise ValueError(f"{path}: empty trace file")
+    flat = np.memmap(path, dtype=np.uint8, mode="r")
+    return _parse_columnar(flat, str(path), backing=flat, copy=False)
+
+
+def read_columnar_buffer(
+    buffer, origin: str = "<buffer>", *, copy: bool = False,
+    backing: object = None,
+) -> ColumnarTrace:
+    """Read v2 bytes from any buffer (shared memory, BytesIO contents).
+
+    With ``copy=False`` the columns are views — the caller must keep the
+    buffer alive, or pass it as ``backing`` so the trace pins it.
+    """
+    flat = np.frombuffer(buffer, dtype=np.uint8)
+    return _parse_columnar(flat, origin, backing=backing, copy=copy)
+
+
+def is_columnar_file(path: PathLike) -> bool:
+    """True when ``path`` starts with the v2 magic."""
+    try:
+        with open(path, "rb") as stream:
+            return stream.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False

@@ -2,70 +2,114 @@
 
 The paper's workflow was capture-then-analyze-offline; a library user
 wants the same separation — run a long capture once, keep the trace,
-iterate on analysis.  The format is JSON-lines (optionally gzipped by
-file extension):
+iterate on analysis.  Two formats are supported (docs/TRACE_FORMAT.md):
 
-* line 1 — the trial header: name, packets sent, the test-packet spec;
-* each further line — one packet record: timestamp, the four status
-  registers, and the raw bytes (hex).
+* **v1 — JSON-lines** (optionally gzipped by ``.gz`` extension):
+  line 1 the trial header, each further line one packet record with
+  hex-encoded bytes.  Deliberately self-describing and greppable; the
+  interchange format for traces captured from real hardware.
+* **v2 — columnar binary** (:mod:`repro.trace.columnar`): a flat
+  frame-bytes payload plus contiguous numpy columns and a JSON footer,
+  loaded via ``np.memmap`` so the analysis pipeline consumes the
+  columns zero-copy.  The performance format for large traces.
 
-The format is deliberately self-describing and greppable; a trace
-captured from real hardware could be converted to it and fed to the
-same analysis.
+``load_trace`` auto-detects the format from the file's leading bytes
+(v2 magic / gzip magic / JSON), never from the filename.  ``save_trace``
+picks v2 for the ``.wlt2`` suffix and v1 otherwise unless ``format=``
+overrides.  Gzipped v1 output is byte-deterministic: the gzip member
+header is written with ``mtime=0`` and no embedded filename, so two
+identical saves produce identical files (the serial-vs-``jobs=N``
+byte-identity invariants extend to compressed artifacts).
 """
 
 from __future__ import annotations
 
 import gzip
+import io
 import json
 from pathlib import Path
-from typing import IO, Union
+from typing import IO, Optional, Union
 
-from repro.framing.ethernet import MacAddress
-from repro.framing.testpacket import TestPacketSpec
 from repro.phy.modem import ModemRxStatus
-from repro.trace.records import PacketRecord, TrialTrace
+from repro.trace import columnar
+from repro.trace.columnar import (
+    ColumnarTrace,
+    read_columnar,
+    spec_from_dict,
+    spec_to_dict,
+    write_columnar,
+)
+from repro.trace.records import PacketRecord, TrialTrace, materialize_data
 
 FORMAT_VERSION = 1
+GZIP_MAGIC = b"\x1f\x8b"
 
 PathLike = Union[str, Path]
+AnyTrace = Union[TrialTrace, ColumnarTrace]
+
+# Spec serialization lives in repro.trace.columnar (shared by both
+# formats); re-exported here for callers of the historical names.
+_spec_to_dict = spec_to_dict
+_spec_from_dict = spec_from_dict
 
 
-def _spec_to_dict(spec: TestPacketSpec) -> dict:
-    return {
-        "src_mac": str(spec.src_mac),
-        "dst_mac": str(spec.dst_mac),
-        "src_ip": spec.src_ip,
-        "dst_ip": spec.dst_ip,
-        "src_port": spec.src_port,
-        "dst_port": spec.dst_port,
-        "network_id": spec.network_id,
-        "first_sequence": spec.first_sequence,
-    }
+class _DeterministicGzipFile(gzip.GzipFile):
+    """Gzip writer with a reproducible member header.
 
+    ``gzip.open(path, "wt")`` embeds the current time (and the target
+    filename) in the member header, so two byte-identical saves differ.
+    Opening the raw stream ourselves and passing it as ``fileobj`` with
+    ``mtime=0`` drops both fields — identical traces compress to
+    identical files.
+    """
 
-def _spec_from_dict(data: dict) -> TestPacketSpec:
-    return TestPacketSpec(
-        src_mac=MacAddress.from_string(data["src_mac"]),
-        dst_mac=MacAddress.from_string(data["dst_mac"]),
-        src_ip=data["src_ip"],
-        dst_ip=data["dst_ip"],
-        src_port=data["src_port"],
-        dst_port=data["dst_port"],
-        network_id=data["network_id"],
-        first_sequence=data["first_sequence"],
-    )
+    def __init__(self, path: PathLike) -> None:
+        self._raw = open(path, "wb")
+        # filename="" stops GzipFile from lifting the FNAME field off
+        # the raw stream's .name attribute.
+        super().__init__(filename="", fileobj=self._raw, mode="wb", mtime=0)
+
+    def close(self) -> None:
+        try:
+            super().close()
+        finally:
+            self._raw.close()
 
 
 def _open(path: PathLike, mode: str) -> IO:
     path = Path(path)
     if path.suffix == ".gz":
+        if "w" in mode:
+            return io.TextIOWrapper(
+                _DeterministicGzipFile(path), encoding="utf-8"
+            )
         return gzip.open(path, mode + "t", encoding="utf-8")
     return open(path, mode, encoding="utf-8")
 
 
-def save_trace(trace: TrialTrace, path: PathLike) -> None:
-    """Write a trace to ``path`` (gzipped when it ends in .gz)."""
+def _infer_save_format(path: PathLike, format: Optional[str]) -> str:
+    if format is not None:
+        if format not in ("v1", "v2"):
+            raise ValueError(f"unknown trace format {format!r}")
+        return format
+    return "v2" if Path(path).suffix == columnar.V2_SUFFIX else "v1"
+
+
+def save_trace(
+    trace: AnyTrace, path: PathLike, format: Optional[str] = None
+) -> None:
+    """Write a trace to ``path``.
+
+    ``format`` is ``"v1"`` (JSON-lines; gzipped when the name ends in
+    ``.gz``) or ``"v2"`` (columnar binary); when omitted it is inferred
+    from the suffix — ``.wlt2`` means v2, anything else v1, preserving
+    the historical behaviour of every existing call site.
+    """
+    if _infer_save_format(path, format) == "v2":
+        write_columnar(trace, path)
+        return
+    if isinstance(trace, ColumnarTrace):
+        trace = trace.to_trial_trace()
     with _open(path, "w") as stream:
         header = {
             "format": FORMAT_VERSION,
@@ -75,7 +119,8 @@ def save_trace(trace: TrialTrace, path: PathLike) -> None:
             "spec": _spec_to_dict(trace.spec),
         }
         stream.write(json.dumps(header) + "\n")
-        for record in trace.records:
+        records = trace.records
+        for record, data in zip(records, materialize_data(records)):
             status = record.status
             line = {
                 "t": record.time,
@@ -83,22 +128,33 @@ def save_trace(trace: TrialTrace, path: PathLike) -> None:
                 "sil": status.silence_level,
                 "q": status.signal_quality,
                 "ant": status.antenna,
-                "data": record.data.hex(),
+                "data": data.hex(),
             }
             stream.write(json.dumps(line) + "\n")
 
 
-def load_trace(path: PathLike) -> TrialTrace:
-    """Read a trace written by :func:`save_trace`.
+def load_trace(path: PathLike) -> AnyTrace:
+    """Read a trace written by :func:`save_trace`, either format.
 
-    Raises ValueError on version/kind mismatches — the format is simple
-    enough that failing loudly beats guessing.
+    The format is sniffed from the file's first bytes: the v2 magic
+    selects the zero-copy columnar reader (returning a
+    :class:`ColumnarTrace`), anything else the v1 JSON-lines reader
+    (returning a :class:`TrialTrace`).  Raises ValueError on
+    version/kind mismatches and on malformed record lines — the formats
+    are simple enough that failing loudly beats guessing.
     """
+    with open(path, "rb") as probe:
+        head = probe.read(len(columnar.MAGIC))
+    if head == columnar.MAGIC:
+        return read_columnar(path)
     with _open(path, "r") as stream:
         header_line = stream.readline()
         if not header_line:
             raise ValueError(f"{path}: empty trace file")
-        header = json.loads(header_line)
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:1: malformed trace header: {exc}") from exc
         if header.get("kind") != "wavelan-trial-trace":
             raise ValueError(f"{path}: not a trial trace file")
         if header.get("format") != FORMAT_VERSION:
@@ -111,19 +167,23 @@ def load_trace(path: PathLike) -> TrialTrace:
             spec=_spec_from_dict(header["spec"]),
             packets_sent=header["packets_sent"],
         )
-        for line in stream:
+        for lineno, line in enumerate(stream, start=2):
             if not line.strip():
                 continue
-            entry = json.loads(line)
-            status = ModemRxStatus(
-                signal_level=entry["lvl"],
-                silence_level=entry["sil"],
-                signal_quality=entry["q"],
-                antenna=entry["ant"],
-            )
-            trace.records.append(
-                PacketRecord.from_bytes(
+            try:
+                entry = json.loads(line)
+                status = ModemRxStatus(
+                    signal_level=entry["lvl"],
+                    silence_level=entry["sil"],
+                    signal_quality=entry["q"],
+                    antenna=entry["ant"],
+                )
+                record = PacketRecord.from_bytes(
                     bytes.fromhex(entry["data"]), status, entry["t"]
                 )
-            )
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace record: {exc!r}"
+                ) from exc
+            trace.records.append(record)
         return trace

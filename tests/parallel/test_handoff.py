@@ -1,0 +1,129 @@
+"""The columnar handoff across pool boundaries."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.classify import classify_trace
+from repro.analysis.metrics import metrics_from_classified
+from repro.parallel.handoff import (
+    PortableClassifiedTrace,
+    TraceHandle,
+    export_classified,
+    export_trace,
+    merge_trace_handles,
+    resolve_portable,
+)
+from repro.trace.columnar import ColumnarTrace
+from repro.trace.trial import TrialConfig, run_fast_trial
+
+TRANSPORTS = ["file", "shm", "inline"]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_fast_trial(
+        TrialConfig(name="handoff", packets=300, mean_level=10.0, seed=21)
+    ).trace
+
+
+@pytest.fixture(scope="module")
+def classified(trace):
+    return classify_trace(trace)
+
+
+def _assert_same_records(original, loaded):
+    assert loaded.packets_received == len(original.records)
+    for a, b in zip(original.records, loaded.records):
+        assert bytes(a.data) == bytes(b.data)
+        assert a.time == b.time
+        assert a.status.signal_level == b.status.signal_level
+
+
+class TestTraceHandle:
+    @pytest.mark.parametrize("via", TRANSPORTS)
+    def test_roundtrip(self, trace, via):
+        handle = export_trace(trace, via=via)
+        loaded = handle.load()
+        assert isinstance(loaded, ColumnarTrace)
+        _assert_same_records(trace, loaded)
+
+    @pytest.mark.parametrize("via", TRANSPORTS)
+    def test_handle_survives_pickle(self, trace, via):
+        """The whole point: the handle crosses the pool boundary as a
+        pickle of constant (file/shm) or flat-buffer (inline) size."""
+        handle = pickle.loads(pickle.dumps(export_trace(trace, via=via)))
+        _assert_same_records(trace, handle.load())
+
+    def test_file_handle_pickles_small(self, trace):
+        handle = export_trace(trace, via="file")
+        try:
+            assert len(pickle.dumps(handle)) < 500
+        finally:
+            handle.release()
+
+    def test_file_consumed_on_load(self, trace, tmp_path):
+        import os
+
+        handle = export_trace(trace, via="file", directory=tmp_path)
+        location = handle.location
+        assert os.path.exists(location)
+        loaded = handle.load()
+        assert not os.path.exists(location)  # unlinked once mapped
+        _assert_same_records(trace, loaded)  # mapping stays valid
+
+    @pytest.mark.parametrize("via", TRANSPORTS)
+    def test_release_discards(self, trace, via):
+        export_trace(trace, via=via).release()
+
+    def test_unknown_transport_rejected(self, trace):
+        with pytest.raises(ValueError, match="transport"):
+            export_trace(trace, via="carrier-pigeon")
+        with pytest.raises(ValueError, match="kind"):
+            TraceHandle(kind="carrier-pigeon", location="x").load()
+
+
+class TestPortableClassified:
+    @pytest.mark.parametrize("via", TRANSPORTS)
+    def test_resolve_equivalent(self, classified, via):
+        portable = export_classified(classified, via=via)
+        resolved = pickle.loads(pickle.dumps(portable)).resolve()
+        assert len(resolved.packets) == len(classified.packets)
+        for a, b in zip(classified.packets, resolved.packets):
+            assert a.packet_class == b.packet_class
+            assert a.sequence == b.sequence
+            assert a.wrapper_damaged == b.wrapper_damaged
+            assert a.body_bits_damaged == b.body_bits_damaged
+            assert a.truncated_bytes_missing == b.truncated_bytes_missing
+            assert (a.syndrome is None) == (b.syndrome is None)
+            if a.syndrome is not None:
+                assert repr(a.syndrome) == repr(b.syndrome)
+        assert repr(metrics_from_classified(classified)) == repr(
+            metrics_from_classified(resolved)
+        )
+
+    def test_resolve_portable_protocol(self, classified):
+        portable = export_classified(classified, via="inline")
+        assert isinstance(portable, PortableClassifiedTrace)
+        resolved = resolve_portable(portable)
+        assert resolved.__class__.__name__ == "ClassifiedTrace"
+
+    def test_resolve_portable_passthrough(self):
+        sentinel = object()
+        assert resolve_portable(sentinel) is sentinel
+        assert resolve_portable(None) is None
+
+
+class TestMerge:
+    def test_merge_concatenates_shards(self, trace):
+        handles = [
+            export_trace(trace, via="file"),
+            export_trace(trace, via="inline"),
+        ]
+        merged = merge_trace_handles(handles, name="merged")
+        assert merged.name == "merged"
+        assert merged.packets_received == 2 * len(trace.records)
+        assert merged.packets_sent == 2 * trace.packets_sent
+        doubled = list(trace.records) + list(trace.records)
+        for view, record in zip(merged.records, doubled):
+            assert bytes(view.data) == bytes(record.data)

@@ -1,9 +1,13 @@
-"""Trace save/load roundtrips."""
+"""Trace save/load roundtrips, across both formats."""
+
+import json
 
 import pytest
 
 from repro.analysis import analyze_trial
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.persist import load_trace, save_trace
+from repro.trace.records import TrialTrace
 from repro.trace.trial import TrialConfig, run_fast_trial
 
 
@@ -13,6 +17,24 @@ def trace():
         TrialConfig(name="persist-test", packets=300, mean_level=8.0, seed=42)
     )
     return output.trace
+
+
+def _assert_records_equal(original, restored):
+    assert len(original.records) == len(restored.records)
+    for a, b in zip(original.records, restored.records):
+        assert bytes(b.data) == bytes(a.data)
+        assert b.time == a.time
+        assert (
+            b.status.signal_level,
+            b.status.silence_level,
+            b.status.signal_quality,
+            b.status.antenna,
+        ) == (
+            a.status.signal_level,
+            a.status.silence_level,
+            a.status.signal_quality,
+            a.status.antenna,
+        )
 
 
 class TestRoundtrip:
@@ -51,6 +73,86 @@ class TestRoundtrip:
         assert before.worst_body_bits == after.worst_body_bits
 
 
+class TestFormatMatrix:
+    """Round-trip property: save -> load restores every record exactly,
+    in each format, including through cross-format conversion."""
+
+    @pytest.mark.parametrize(
+        "filename,format",
+        [
+            ("trial.jsonl", None),
+            ("trial.jsonl.gz", None),
+            ("trial.wlt2", None),
+            ("oddly-named.dat", "v2"),
+            ("oddly-named.bin", "v1"),
+        ],
+    )
+    def test_roundtrip_exact(self, trace, tmp_path, filename, format):
+        path = tmp_path / filename
+        save_trace(trace, path, format=format)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.packets_sent == trace.packets_sent
+        assert loaded.spec == trace.spec
+        _assert_records_equal(trace, loaded)
+
+    def test_autodetect_is_content_based(self, trace, tmp_path):
+        """A v2 file under a v1-looking name still loads as columnar,
+        and vice versa — detection reads bytes, never filenames."""
+        v2_in_disguise = tmp_path / "looks-like-v1.jsonl"
+        save_trace(trace, v2_in_disguise, format="v2")
+        assert isinstance(load_trace(v2_in_disguise), ColumnarTrace)
+        v1_in_disguise = tmp_path / "looks-like-v2.wlt2"
+        save_trace(trace, v1_in_disguise, format="v1")
+        assert isinstance(load_trace(v1_in_disguise), TrialTrace)
+
+    def test_v2_to_v1_to_v2_byte_identical(self, trace, tmp_path):
+        a, b, c = (tmp_path / n for n in ("a.wlt2", "b.jsonl", "c.wlt2"))
+        save_trace(trace, a)
+        save_trace(load_trace(a), b)
+        save_trace(load_trace(b), c)
+        assert a.read_bytes() == c.read_bytes()
+
+    def test_empty_trace_roundtrips(self, trace, tmp_path):
+        empty = TrialTrace(
+            name="empty", spec=trace.spec, packets_sent=0
+        )
+        for name in ("empty.jsonl", "empty.jsonl.gz", "empty.wlt2"):
+            path = tmp_path / name
+            save_trace(empty, path)
+            loaded = load_trace(path)
+            assert len(loaded.records) == 0
+            assert loaded.name == "empty"
+            assert loaded.spec == trace.spec
+
+    def test_unknown_format_rejected(self, trace, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            save_trace(trace, tmp_path / "x.jsonl", format="v3")
+
+
+class TestDeterministicOutput:
+    """Identical traces must persist to identical bytes in every
+    format — the serial-vs-jobs=N byte-identity invariant extends to
+    saved artifacts, gzipped ones included."""
+
+    @pytest.mark.parametrize(
+        "names", [("a.jsonl", "b.jsonl"), ("a.jsonl.gz", "b.jsonl.gz"),
+                  ("a.wlt2", "b.wlt2")]
+    )
+    def test_two_saves_identical(self, trace, tmp_path, names):
+        first, second = (tmp_path / n for n in names)
+        save_trace(trace, first)
+        save_trace(trace, second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_gzip_header_carries_no_mtime(self, trace, tmp_path):
+        path = tmp_path / "trial.jsonl.gz"
+        save_trace(trace, path)
+        header = path.read_bytes()[:10]
+        # RFC 1952: MTIME is bytes 4-7 of the member header.
+        assert header[4:8] == b"\x00\x00\x00\x00"
+
+
 class TestErrorHandling:
     def test_empty_file_rejected(self, tmp_path):
         path = tmp_path / "empty.jsonl"
@@ -68,4 +170,51 @@ class TestErrorHandling:
         path = tmp_path / "future.jsonl"
         path.write_text('{"kind": "wavelan-trial-trace", "format": 99}\n')
         with pytest.raises(ValueError, match="format"):
+            load_trace(path)
+
+    def test_malformed_record_reports_line_number(self, trace, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        save_trace(trace, path)
+        lines = path.read_text().splitlines()
+        lines[4] = "{not json"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"broken\.jsonl:5: malformed"):
+            load_trace(path)
+
+    def test_missing_field_reports_line_number(self, trace, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        save_trace(trace, path)
+        lines = path.read_text().splitlines()
+        entry = json.loads(lines[2])
+        del entry["data"]
+        lines[2] = json.dumps(entry)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"broken\.jsonl:3: malformed"):
+            load_trace(path)
+
+    def test_bad_hex_reports_line_number(self, trace, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        save_trace(trace, path)
+        lines = path.read_text().splitlines()
+        entry = json.loads(lines[1])
+        entry["data"] = "zz-not-hex"
+        lines[1] = json.dumps(entry)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"broken\.jsonl:2: malformed"):
+            load_trace(path)
+
+    def test_truncated_final_record_v1(self, trace, tmp_path):
+        path = tmp_path / "cut.jsonl"
+        save_trace(trace, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 40])  # cut mid-final-record
+        with pytest.raises(ValueError, match="malformed trace record"):
+            load_trace(path)
+
+    def test_truncated_v2_rejected(self, trace, tmp_path):
+        path = tmp_path / "cut.wlt2"
+        save_trace(trace, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 17])
+        with pytest.raises(ValueError, match="truncated"):
             load_trace(path)
