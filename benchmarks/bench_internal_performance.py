@@ -318,6 +318,61 @@ def test_perf_trace_persist_v1_vs_v2(tmp_path):
 
 
 @pytest.mark.bench_smoke
+def test_perf_engine_dispatch_overhead():
+    """The unified experiment engine against a hand-rolled loop over
+    the same worker functions with the same derived seeds.
+
+    The engine's declarative layer (spec lookup, plan building, seed
+    derivation, task wrapping, aggregation) must stay measurement
+    noise, not a tax: the acceptance ceiling is 5% wall-clock overhead
+    on a real experiment (Table 4 at scale 0.25, ~12k fast-path
+    packets).  An equivalence ride-along requires identical rows out
+    of both paths.
+    """
+    from repro.experiments import engine as experiment_engine
+    from repro.experiments import walls
+    from repro.experiments.engine import PlanContext
+    from repro.experiments.scenarios import single_wall_scenarios
+
+    scale, seed = 0.25, 64
+    packets = max(500, int(walls.PAPER_PACKETS * scale))
+
+    def direct():
+        values = [
+            walls._run_wall(
+                setup.name,
+                packets,
+                experiment_engine.trial_seed(seed, "table4", setup.name),
+            )
+            for setup in single_wall_scenarios()
+        ]
+        return walls._aggregate(PlanContext(scale=scale, seed=seed), values)
+
+    def engined():
+        return walls.run(scale=scale, seed=seed)
+
+    direct()  # warm
+    engined()
+    direct_s, direct_result = _best_of(direct, rounds=3)
+    engine_s, engine_result = _best_of(engined, rounds=3)
+    overhead = engine_s / direct_s - 1.0
+    _record_stage(
+        "engine_overhead",
+        {
+            "packets": 4 * packets,
+            "direct_wall_s": round(direct_s, 4),
+            "engine_wall_s": round(engine_s, 4),
+            "overhead_percent": round(100.0 * overhead, 2),
+        },
+    )
+    # Equivalence ride-along: the engine is plumbing, not a model.
+    assert engine_result.signal_rows == direct_result.signal_rows
+    assert engine_result.metrics_rows == direct_result.metrics_rows
+    # Acceptance ceiling: declarative dispatch costs < 5% wall-clock.
+    assert overhead < 0.05
+
+
+@pytest.mark.bench_smoke
 def test_bench_json_well_formed():
     """The emitted JSON is parseable and carries the required fields."""
     doc = json.loads(BENCH_JSON.read_text())

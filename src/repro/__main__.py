@@ -6,70 +6,160 @@
     python -m repro all --scale 0.2
     python -m repro table2 --telemetry run.jsonl --metrics
     python -m repro table2 --save-traces traces/ --trace-format v2
+    python -m repro report --jobs 4 --out report.md
     python -m repro stats run.jsonl
     python -m repro convert traces/office1.wlt2 office1.jsonl
+
+Every experiment subcommand is generated from the spec registry
+(:mod:`repro.experiments.engine`): names, aliases, descriptions,
+default scales, and the ``--jobs``/``--save-traces`` capability lists
+all come from the registered :class:`ExperimentSpec` objects, so a new
+experiment module shows up here by registering itself — no CLI edit.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from inspect import signature
 from time import perf_counter
 
 from repro import obs
-from repro.experiments import (
-    baseline,
-    body,
-    burst_ablation,
-    cdma_extension,
-    competing,
-    diversity_ablation,
-    error_vs_level,
-    fec_eval,
-    hidden_terminal,
-    mac_ablation,
-    multiroom,
-    phones_narrowband,
-    phones_spread,
-    signal_vs_distance,
-    tcp_over_wavelan,
-    threshold,
-    throughput,
-    validation,
-    walls,
-)
-
-# name -> (module, description, default scale)
-EXPERIMENTS = {
-    "table2": (baseline, "Table 2: in-room base case", 0.05),
-    "figure1": (signal_vs_distance, "Figure 1: signal level vs distance", 1.0),
-    "table3": (error_vs_level, "Table 3 + Figure 2: errors vs signal metrics", 1.0),
-    "figure2": (error_vs_level, "Figure 2 (alias of table3)", 1.0),
-    "figure3": (threshold, "Figure 3: receive threshold sweep", 0.15),
-    "table4": (walls, "Table 4: single wall", 0.5),
-    "table5": (multiroom, "Tables 5-7: multi-room experiment", 1.0),
-    "table8": (body, "Tables 8-9: human body", 1.0),
-    "table10": (phones_narrowband, "Table 10: narrowband phones", 1.0),
-    "table11": (phones_spread, "Tables 11-13: spread-spectrum phones", 1.0),
-    "table14": (competing, "Table 14: competing WaveLAN units", 0.25),
-    "fec": (fec_eval, "X1: variable FEC on observed syndromes", 1.0),
-    "mac": (mac_ablation, "X3: CSMA/CA vs CSMA/CD ablation", 1.0),
-    "burst": (burst_ablation, "X4: burst vs i.i.d. error ablation", 1.0),
-    "cdma": (cdma_extension, "X5: cellular WaveLAN (codes + power control)", 1.0),
-    "hidden": (hidden_terminal, "X6: hidden transmitters and capture", 1.0),
-    "diversity": (diversity_ablation, "X8: antenna diversity ablation", 1.0),
-    "throughput": (throughput, "X7: goodput across the error environment", 1.0),
-    "tcp": (tcp_over_wavelan, "X9: TCP-Reno over the error environment", 1.0),
-    "validate": (validation, "V1: fast path vs MAC path self-check", 1.0),
-}
-
-# Aliases covered by another module's output.
-_DUPLICATE_OF = {"figure2": "table3", "table6": "table5", "table7": "table5",
-                 "table9": "table8", "table12": "table11", "table13": "table11"}
+from repro.experiments import engine
 
 
-def _convert(targets: list[str], trace_format: str | None) -> int:
+def _jobs_help() -> str:
+    names = ", ".join(engine.parallel_names())
+    return (
+        "fan the experiment's independent trials across N worker "
+        f"processes (supported: {names}); output is identical to "
+        "--jobs 1, which runs everything in-process"
+    )
+
+
+def _save_traces_help() -> str:
+    names = ", ".join(engine.traceable_names())
+    return (
+        "persist each trial's raw trace into DIR for offline analysis "
+        f"(experiments that capture traces: {names})"
+    )
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="write structured run telemetry (JSONL; gzip if PATH ends "
+             "in .gz) with per-experiment manifests",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect per-layer metrics and print the registry summary "
+             "after the run",
+    )
+
+
+def _add_run_flags(parser: argparse.ArgumentParser, default_scale: float) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="multiplier on the paper's trial lengths "
+             f"(default {default_scale:g})",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override seed")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help=_jobs_help())
+    parser.add_argument("--save-traces", default=None, metavar="DIR",
+                        dest="save_traces", help=_save_traces_help())
+    parser.add_argument(
+        "--trace-format",
+        choices=("v1", "v2"),
+        default=None,
+        dest="trace_format",
+        help="trace format for --save-traces (v1 JSON-lines, v2 "
+             "columnar binary; default v2)",
+    )
+    _add_observability_flags(parser)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures from Eckhardt & Steenkiste, "
+                    "SIGCOMM 1996.",
+    )
+    commands = parser.add_subparsers(dest="command", metavar="COMMAND",
+                                     required=True)
+
+    commands.add_parser("list", help="list every experiment")
+
+    for spec in engine.specs():
+        sub = commands.add_parser(
+            spec.name,
+            aliases=list(spec.aliases),
+            help=f"{spec.description} (default scale {spec.default_scale:g})",
+        )
+        _add_run_flags(sub, spec.default_scale)
+        sub.set_defaults(experiment=spec.name)
+
+    run_all = commands.add_parser("all", help="run every experiment")
+    _add_run_flags(run_all, 1.0)
+    run_all.set_defaults(experiment=None)
+
+    report = commands.add_parser(
+        "report",
+        help="run everything, emit a paper-vs-measured Markdown report",
+    )
+    report.add_argument("--scale", type=float, default=0.25,
+                        help="report scale (default 0.25)")
+    report.add_argument("--seed", type=int, default=None, help="override seed")
+    report.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan the report's experiments across N worker "
+                             "processes; the comparison table is identical "
+                             "to --jobs 1")
+    report.add_argument("--out", default=None, help="write Markdown here")
+    _add_observability_flags(report)
+
+    stats = commands.add_parser(
+        "stats", help="summarize a telemetry file written with --telemetry"
+    )
+    stats.add_argument("target", metavar="TELEMETRY_FILE")
+
+    convert = commands.add_parser(
+        "convert", help="re-encode a saved trace between v1 and v2"
+    )
+    convert.add_argument("source", metavar="IN")
+    convert.add_argument("destination", metavar="OUT")
+    convert.add_argument(
+        "--trace-format",
+        choices=("v1", "v2"),
+        default=None,
+        dest="trace_format",
+        help="output format (default: inferred from the output suffix)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    for spec in engine.specs():
+        names = spec.name
+        if spec.aliases:
+            names += " (" + ", ".join(spec.aliases) + ")"
+        print(f"  {names:<28} {spec.description} "
+              f"(default scale {spec.default_scale:g})")
+    print("  report                       run everything, emit a "
+          "paper-vs-measured Markdown report (default scale 0.25)")
+    print("  stats                        summarize a telemetry file "
+          "written with --telemetry")
+    print("  convert                      re-encode a saved trace "
+          "between v1 and v2")
+    return 0
+
+
+def _cmd_convert(source: str, destination: str,
+                 trace_format: str | None) -> int:
     """``python -m repro convert IN OUT`` — re-encode a trace.
 
     The input format is auto-detected from the file's leading bytes
@@ -79,11 +169,6 @@ def _convert(targets: list[str], trace_format: str | None) -> int:
     """
     from repro.trace.persist import load_trace, save_trace
 
-    if len(targets) != 2:
-        print("usage: python -m repro convert IN OUT [--trace-format v1|v2]",
-              file=sys.stderr)
-        return 2
-    source, destination = targets
     try:
         trace = load_trace(source)
         save_trace(trace, destination, format=trace_format)
@@ -127,91 +212,55 @@ def _finish_observation(want_metrics: bool) -> None:
         print(obs.render_snapshot(snapshot))
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate tables/figures from Eckhardt & Steenkiste, "
-                    "SIGCOMM 1996.",
+def _run_one(spec, args, observing: bool, git_rev: str | None) -> None:
+    print("=" * 72)
+    scale = args.scale if args.scale is not None else spec.default_scale
+    counters_before = obs.STATE.metrics.counters_snapshot()
+    start = perf_counter()
+    result = engine.ENGINE.run(
+        spec,
+        scale=scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        trace_dir=args.save_traces,
+        trace_format=args.trace_format or "v2",
     )
-    parser.add_argument(
-        "experiment",
-        help="experiment name, 'list', 'all', 'stats', or 'convert'",
-    )
-    parser.add_argument(
-        "target",
-        nargs="*",
-        default=[],
-        help="'stats': telemetry JSONL file to summarize; "
-             "'convert': input and output trace paths",
-    )
-    parser.add_argument(
-        "--scale",
-        type=float,
-        default=None,
-        help="multiplier on the paper's trial lengths "
-             "(default: per-experiment)",
-    )
-    parser.add_argument("--seed", type=int, default=None, help="override seed")
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="fan independent work across N worker processes where the "
-             "experiment supports it (report, table2, table5); output is "
-             "identical to --jobs 1, which runs everything in-process",
-    )
-    parser.add_argument(
-        "--out", default=None, help="('report' only) write Markdown here"
-    )
-    parser.add_argument(
-        "--telemetry",
-        default=None,
-        metavar="PATH",
-        help="write structured run telemetry (JSONL; gzip if PATH ends "
-             "in .gz) with per-experiment manifests",
-    )
-    parser.add_argument(
-        "--metrics",
-        action="store_true",
-        help="collect per-layer metrics and print the registry summary "
-             "after the run",
-    )
-    parser.add_argument(
-        "--save-traces",
-        default=None,
-        metavar="DIR",
-        dest="save_traces",
-        help="persist each trial's raw trace into DIR (experiments that "
-             "support it: table2, table11) for offline analysis",
-    )
-    parser.add_argument(
-        "--trace-format",
-        choices=("v1", "v2"),
-        default=None,
-        dest="trace_format",
-        help="trace format for --save-traces and 'convert' "
-             "(v1 JSON-lines, v2 columnar binary; default: v2 for "
-             "--save-traces, inferred from the output suffix for "
-             "'convert')",
-    )
-    args = parser.parse_args(argv)
+    if spec.render is not None:
+        spec.render(result, scale)
+    # An experiment that fanned its trials across a pool already
+    # emitted per-trial manifests (in shards) plus one merged
+    # manifest; a wrapper manifest here would double-count them.
+    if observing and (args.jobs <= 1 or not spec.parallel):
+        _emit_manifest(
+            spec.name,
+            counters_before,
+            perf_counter() - start,
+            seed=args.seed,
+            scale=scale,
+            git_rev=git_rev,
+        )
+    print()
 
-    if args.experiment == "stats":
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "stats":
         from repro.obs import stats as stats_module
 
-        if len(args.target) != 1:
-            print("usage: python -m repro stats TELEMETRY_FILE",
-                  file=sys.stderr)
-            return 2
         try:
-            return stats_module.main(args.target[0])
+            return stats_module.main(args.target)
         except (OSError, ValueError) as exc:
             print(f"stats: {exc}", file=sys.stderr)
             return 2
-
-    if args.experiment == "convert":
-        return _convert(args.target, args.trace_format)
+    if args.command == "convert":
+        return _cmd_convert(args.source, args.destination, args.trace_format)
 
     observing = args.metrics or args.telemetry is not None
     if observing:
@@ -223,11 +272,10 @@ def main(argv: list[str] | None = None) -> int:
     git_rev = obs.git_revision() if observing else None
 
     try:
-        if args.experiment == "report":
+        if args.command == "report":
             from repro.experiments import report as report_module
 
-            kwargs = {"scale": args.scale if args.scale is not None else 0.25,
-                      "out": args.out, "jobs": args.jobs}
+            kwargs = {"scale": args.scale, "out": args.out, "jobs": args.jobs}
             if args.seed is not None:
                 kwargs["seed"] = args.seed
             report = report_module.main(**kwargs)
@@ -235,55 +283,11 @@ def main(argv: list[str] | None = None) -> int:
                 _finish_observation(args.metrics)
             return 0 if report.in_band_count == report.total else 1
 
-        if args.experiment == "list":
-            for name, (module, description, default_scale) in EXPERIMENTS.items():
-                print(f"  {name:<10} {description} "
-                      f"(default scale {default_scale:g})")
-            print("  report     run everything, emit a paper-vs-measured "
-                  "Markdown report (default scale 0.25)")
-            print("  stats      summarize a telemetry file written with "
-                  "--telemetry")
-            return 0
-
-        names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-        seen_modules = set()
-        for name in names:
-            canonical = _DUPLICATE_OF.get(name, name)
-            if canonical not in EXPERIMENTS:
-                print(f"unknown experiment {name!r}; try 'python -m repro list'",
-                      file=sys.stderr)
-                return 2
-            module, description, default_scale = EXPERIMENTS[canonical]
-            if module in seen_modules:
-                continue
-            seen_modules.add(module)
-            print("=" * 72)
-            kwargs = {"scale": args.scale if args.scale is not None
-                      else default_scale}
-            if args.seed is not None:
-                kwargs["seed"] = args.seed
-            if args.jobs > 1 and "jobs" in signature(module.main).parameters:
-                kwargs["jobs"] = args.jobs
-            if (args.save_traces is not None
-                    and "trace_dir" in signature(module.main).parameters):
-                kwargs["trace_dir"] = args.save_traces
-                kwargs["trace_format"] = args.trace_format or "v2"
-            counters_before = obs.STATE.metrics.counters_snapshot()
-            start = perf_counter()
-            module.main(**kwargs)
-            # An experiment that fanned its trials across a pool already
-            # emitted per-trial manifests (in shards) plus one merged
-            # manifest; a wrapper manifest here would double-count them.
-            if observing and "jobs" not in kwargs:
-                _emit_manifest(
-                    canonical,
-                    counters_before,
-                    perf_counter() - start,
-                    seed=args.seed,
-                    scale=kwargs["scale"],
-                    git_rev=git_rev,
-                )
-            print()
+        if args.experiment is None:  # "all"
+            for spec in engine.specs():
+                _run_one(spec, args, observing, git_rev)
+        else:
+            _run_one(engine.get(args.experiment), args, observing, git_rev)
         if observing:
             _finish_observation(args.metrics)
         return 0

@@ -10,14 +10,13 @@ environment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Optional
 
 from repro.analysis.metrics import TrialMetrics, analyze_trial
 from repro.analysis.tables import render_metrics_table
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.experiments.scenarios import office_scenario
 from repro.experiments.tracedir import trial_trace_path
-from repro.parallel import Task, run_tasks
 from repro.trace.persist import save_trace
 from repro.trace.trial import TrialConfig, run_fast_trial
 
@@ -102,28 +101,61 @@ def _run_trial(
     return analyze_trial(output.trace)
 
 
-def trial_tasks(
-    scale: float,
-    seed: int,
-    trace_dir: Optional[str] = None,
-    trace_format: str = "v2",
-) -> list[Task]:
-    """The nine trials as independent tasks (seeds fixed in the parent)."""
+def _aggregate(ctx: PlanContext, values: list) -> BaselineResult:
+    return BaselineResult(rows=list(values))
+
+
+def _render(result: BaselineResult, scale: float) -> None:
+    print("Table 2: Results of in-room experiment "
+          f"(scale={scale:g} x paper trial lengths)")
+    print(render_metrics_table(result.rows))
+    print(
+        f"\nAggregate: {result.total_body_bits:.3g} body bits received, "
+        f"{result.total_damaged_bits} damaged "
+        f"(BER ~ {result.aggregate_ber:.2g}); "
+        f"worst trial loss {result.worst_loss_percent:.3f}%"
+    )
+
+
+def _report_lines(report, result: BaselineResult, scale: float) -> None:
+    report.add(
+        "T2 baseline", "worst trial loss", "<= .07%",
+        f"{result.worst_loss_percent:.3f}%", result.worst_loss_percent < 0.2,
+    )
+    report.add(
+        "T2 baseline", "aggregate BER", "~1e-10",
+        f"{result.aggregate_ber:.1e}", result.aggregate_ber < 1e-7,
+    )
+
+
+def _report_scale(scale: float) -> float:
+    # The paper's office trials are ~70x longer than everything else;
+    # a fifth of the report scale keeps the report tractable.
+    return max(scale * 0.2, 0.01)
+
+
+@experiment(
+    name="table2",
+    artifact="Table 2",
+    description="Table 2: in-room base case",
+    aggregate=_aggregate,
+    render=_render,
+    default_scale=0.05,
+    default_seed=1996,
+    traceable=True,
+    report_lines=_report_lines,
+    report_scale=_report_scale,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """The nine office trials as independent plans."""
     return [
-        Task(
+        TrialPlan(
             name,
             _run_trial,
-            {
-                "name": name,
-                "packets": max(1000, int(paper_count * scale)),
-                "seed": seed + index,
-                "trace_dir": trace_dir,
-                "trace_format": trace_format,
-            },
-            seed=seed + index,
-            scale=scale,
+            {"name": name, "packets": max(1000, int(paper_count * ctx.scale))},
+            traceable=True,
         )
-        for index, (name, paper_count) in enumerate(PAPER_TRIALS)
+        for name, paper_count in PAPER_TRIALS
     ]
 
 
@@ -143,14 +175,10 @@ def run(
     own shard files directly — nothing extra crosses the pool
     boundary).
     """
-    if trace_dir is not None:
-        Path(trace_dir).mkdir(parents=True, exist_ok=True)
-    tasks = trial_tasks(scale, seed, trace_dir=trace_dir,
-                        trace_format=trace_format)
-    if jobs <= 1:
-        return BaselineResult(rows=[_run_trial(**task.kwargs) for task in tasks])
-    results = run_tasks(tasks, jobs=jobs, label="table2-trials")
-    return BaselineResult(rows=[r.value for r in results])
+    return ENGINE.run(
+        "table2", scale=scale, seed=seed, jobs=jobs,
+        trace_dir=trace_dir, trace_format=trace_format,
+    )
 
 
 def main(
@@ -162,15 +190,7 @@ def main(
 ) -> BaselineResult:
     result = run(scale=scale, seed=seed, jobs=jobs, trace_dir=trace_dir,
                  trace_format=trace_format)
-    print("Table 2: Results of in-room experiment "
-          f"(scale={scale:g} x paper trial lengths)")
-    print(render_metrics_table(result.rows))
-    print(
-        f"\nAggregate: {result.total_body_bits:.3g} body bits received, "
-        f"{result.total_damaged_bits} damaged "
-        f"(BER ~ {result.aggregate_ber:.2g}); "
-        f"worst trial loss {result.worst_loss_percent:.3f}%"
-    )
+    _render(result, scale)
     return result
 
 

@@ -10,6 +10,7 @@ received packets — while the no-body control is error free.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analysis.classify import ClassifiedTrace, classify_trace
 from repro.analysis.metrics import TrialMetrics, metrics_from_classified
@@ -19,7 +20,10 @@ from repro.analysis.signalstats import (
     stats_for_packets,
 )
 from repro.analysis.tables import render_metrics_table, render_signal_table
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.experiments.scenarios import body_scenario
+from repro.experiments.tracedir import trial_trace_path
+from repro.trace.persist import save_trace
 from repro.trace.trial import TrialConfig, run_fast_trial
 
 PAPER_PACKETS = 1_440
@@ -52,34 +56,51 @@ class BodyResult:
         return self.level_mean("No body") - self.level_mean("Body")
 
 
-def run(scale: float = 1.0, seed: int = 63) -> BodyResult:
+def _run_trial(
+    name: str,
+    with_body: bool,
+    packets: int,
+    seed: int,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
+) -> tuple:
+    """One body trial, picklable; rebuilds the scenario in-process."""
+    propagation, tx, rx = body_scenario(with_body)
+    config = TrialConfig(
+        name=name,
+        packets=packets,
+        seed=seed,
+        propagation=propagation,
+        tx_position=tx,
+        rx_position=rx,
+    )
+    output = run_fast_trial(config)
+    if trace_dir is not None:
+        save_trace(
+            output.trace,
+            trial_trace_path(trace_dir, name, trace_format),
+            format=trace_format,
+        )
+    classified = classify_trace(output.trace)
+    return (
+        metrics_from_classified(classified),
+        stats_for_packets(name, classified.test_packets),
+        classified if with_body else None,
+    )
+
+
+def _aggregate(ctx: PlanContext, values: list) -> BodyResult:
     result = BodyResult()
-    for index, (name, with_body) in enumerate(
-        [("No body", False), ("Body", True)]
-    ):
-        propagation, tx, rx = body_scenario(with_body)
-        config = TrialConfig(
-            name=name,
-            packets=max(400, int(PAPER_PACKETS * scale)),
-            seed=seed + index,
-            propagation=propagation,
-            tx_position=tx,
-            rx_position=rx,
-        )
-        output = run_fast_trial(config)
-        classified = classify_trace(output.trace)
-        result.metrics_rows.append(metrics_from_classified(classified))
-        result.signal_rows.append(
-            stats_for_packets(name, classified.test_packets)
-        )
-        if with_body:
+    for metrics_row, signal_row, classified in values:
+        result.metrics_rows.append(metrics_row)
+        result.signal_rows.append(signal_row)
+        if classified is not None:
             result.body_classified = classified
             result.body_breakdown = signal_stats_by_class(classified)
     return result
 
 
-def main(scale: float = 1.0, seed: int = 63) -> BodyResult:
-    result = run(scale=scale, seed=seed)
+def _render(result: BodyResult, scale: float) -> None:
     print(f"Table 8: Effects of human body on packet loss and errors "
           f"(scale={scale:g})")
     print(render_metrics_table(result.metrics_rows))
@@ -89,6 +110,57 @@ def main(scale: float = 1.0, seed: int = 63) -> BodyResult:
     print(render_signal_table(result.body_breakdown))
     print(f"\nBody cost: {result.body_cost_levels:.1f} levels "
           f"(paper: ~{PAPER_LEVEL_MEANS['No body'] - PAPER_LEVEL_MEANS['Body']:.1f})")
+
+
+def _report_lines(report, result: BodyResult, scale: float) -> None:
+    report.add(
+        "T8-9 body", "body cost", "~5.8 levels",
+        f"{result.body_cost_levels:.1f}",
+        4.5 < result.body_cost_levels < 7.5,
+    )
+
+
+@experiment(
+    name="table8",
+    artifact="Tables 8-9",
+    description="Tables 8-9: human body",
+    aggregate=_aggregate,
+    render=_render,
+    default_scale=1.0,
+    default_seed=63,
+    aliases=("table9",),
+    traceable=True,
+    report_lines=_report_lines,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """The no-body control and the body trial."""
+    packets = max(400, int(PAPER_PACKETS * ctx.scale))
+    return [
+        TrialPlan(
+            name,
+            _run_trial,
+            {"name": name, "with_body": with_body, "packets": packets},
+            traceable=True,
+        )
+        for name, with_body in [("No body", False), ("Body", True)]
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 63, jobs: int = 1,
+        trace_dir: Optional[str] = None,
+        trace_format: str = "v2") -> BodyResult:
+    return ENGINE.run(
+        "table8", scale=scale, seed=seed, jobs=jobs,
+        trace_dir=trace_dir, trace_format=trace_format,
+    )
+
+
+def main(scale: float = 1.0, seed: int = 63, jobs: int = 1,
+         trace_dir: Optional[str] = None,
+         trace_format: str = "v2") -> BodyResult:
+    result = run(scale=scale, seed=seed, jobs=jobs, trace_dir=trace_dir,
+                 trace_format=trace_format)
+    _render(result, scale)
     return result
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.fec.interleave import BlockInterleaver
 from repro.fec.rcpc import RATE_ORDER, RcpcCodec
 from repro.phy.gilbert import GilbertElliott
@@ -76,49 +77,53 @@ def _error_positions(
     return np.sort(rng.choice(n_bits, size=count, replace=False)).astype(np.int64)
 
 
-def run(scale: float = 1.0, seed: int = 91) -> BurstAblationResult:
-    result = BurstAblationResult()
+def _run_ber(mean_ber: float, packets: int, seed: int) -> list[BurstOutcome]:
+    """Every rate × channel × interleaving cell at one mean BER."""
+    outcomes = []
     rng = np.random.default_rng(seed)
-    packets = max(10, int(PACKETS * scale))
     interleaver = BlockInterleaver(32, 64)
     info = rng.integers(0, 2, INFO_BITS).astype(np.uint8)
-
-    for mean_ber in MEAN_BERS:
-        for rate_name in RATE_ORDER:
-            codec = RcpcCodec(rate_name)
-            transmitted = codec.encode(info)
-            for channel in ("iid", "burst"):
-                for interleaved in (False, True):
-                    recovered = 0
-                    for _ in range(packets):
-                        positions = _error_positions(
-                            channel, mean_ber, len(transmitted), rng
-                        )
-                        stream = (
-                            interleaver.scramble(transmitted)
-                            if interleaved
-                            else transmitted
-                        ).copy()
-                        stream[positions] ^= 1
-                        if interleaved:
-                            stream = interleaver.unscramble(stream)
-                        if np.array_equal(codec.decode(stream), info):
-                            recovered += 1
-                    result.outcomes.append(
-                        BurstOutcome(
-                            mean_ber=mean_ber,
-                            rate_name=rate_name,
-                            channel=channel,
-                            interleaved=interleaved,
-                            packets=packets,
-                            packets_recovered=recovered,
-                        )
+    for rate_name in RATE_ORDER:
+        codec = RcpcCodec(rate_name)
+        transmitted = codec.encode(info)
+        for channel in ("iid", "burst"):
+            for interleaved in (False, True):
+                recovered = 0
+                for _ in range(packets):
+                    positions = _error_positions(
+                        channel, mean_ber, len(transmitted), rng
                     )
+                    stream = (
+                        interleaver.scramble(transmitted)
+                        if interleaved
+                        else transmitted
+                    ).copy()
+                    stream[positions] ^= 1
+                    if interleaved:
+                        stream = interleaver.unscramble(stream)
+                    if np.array_equal(codec.decode(stream), info):
+                        recovered += 1
+                outcomes.append(
+                    BurstOutcome(
+                        mean_ber=mean_ber,
+                        rate_name=rate_name,
+                        channel=channel,
+                        interleaved=interleaved,
+                        packets=packets,
+                        packets_recovered=recovered,
+                    )
+                )
+    return outcomes
+
+
+def _aggregate(ctx: PlanContext, values: list) -> BurstAblationResult:
+    result = BurstAblationResult()
+    for outcomes in values:
+        result.outcomes.extend(outcomes)
     return result
 
 
-def main(scale: float = 1.0, seed: int = 91) -> BurstAblationResult:
-    result = run(scale=scale, seed=seed)
+def _render(result: BurstAblationResult, scale: float) -> None:
     print("Ablation X4: burst (Gilbert-Elliott) vs i.i.d. errors, "
           f"matched mean BER (burst length ~{MEAN_BURST_BITS:.0f} bits)")
     print(f"{'BER':>8} | {'rate':>4} | {'iid':>6} | {'iid+ilv':>7} | "
@@ -133,6 +138,37 @@ def main(scale: float = 1.0, seed: int = 91) -> BurstAblationResult:
             ]
             print(f"{mean_ber:8.0e} | {rate:>4} | "
                   + " | ".join(f"{100 * c.recovery_fraction:5.0f}%" for c in cells))
+
+
+@experiment(
+    name="burst",
+    artifact="X4",
+    description="X4: burst vs i.i.d. error ablation",
+    aggregate=_aggregate,
+    render=_render,
+    default_scale=1.0,
+    default_seed=91,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """One plan per mean-BER operating point."""
+    packets = max(10, int(PACKETS * ctx.scale))
+    return [
+        TrialPlan(
+            f"ber-{mean_ber:.0e}",
+            _run_ber,
+            {"mean_ber": mean_ber, "packets": packets},
+        )
+        for mean_ber in MEAN_BERS
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 91, jobs: int = 1) -> BurstAblationResult:
+    return ENGINE.run("burst", scale=scale, seed=seed, jobs=jobs)
+
+
+def main(scale: float = 1.0, seed: int = 91, jobs: int = 1) -> BurstAblationResult:
+    result = run(scale=scale, seed=seed, jobs=jobs)
+    _render(result, scale)
     return result
 
 

@@ -33,6 +33,7 @@ import numpy as np
 from repro.analysis.metrics import TrialMetrics, analyze_trial
 from repro.environment.geometry import Point
 from repro.environment.propagation import PropagationModel
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.interference.base import EmitterGeometry, InterferenceSource
 from repro.phy.errormodel import InterferenceSample
 from repro.phy.sequences import SequenceFamily, build_family, family_size_tradeoff
@@ -161,56 +162,82 @@ def _power_controlled_level(propagation: PropagationModel) -> float:
     return full - max(0.0, surplus)
 
 
-def run(scale: float = 1.0, seed: int = 95) -> CdmaResult:
-    family = build_family(max_self_sidelobe=2, max_cross_peak=7)
-    result = CdmaResult(family=family, tradeoff=family_size_tradeoff())
+def _run_variant(variant: str, packets: int, seed: int) -> VariantOutcome:
+    """Cell A's link quality under one neighbour-cell variant.
 
+    The sequence family is deterministic (an exhaustive search, no
+    randomness), so each worker rebuilds it rather than pickling it.
+    """
     propagation = PropagationModel.office()
-    packets = max(400, int(PACKETS * scale))
     full_power = 45.3
-    controlled_power = _power_controlled_level(propagation)
-
-    for index, variant in enumerate(VARIANTS):
-        if variant == "same code" or variant == "power control only":
-            rejection = 0.0
-        elif variant == "cdma (63-chip hypothetical)":
-            rejection = HYPOTHETICAL_63_REJECTION_LEVELS
-        else:
-            rejection = family.rejection_levels()
-        emitted = (
-            controlled_power
-            if variant in ("power control only", "cdma + power control")
-            else full_power
+    if variant == "same code" or variant == "power control only":
+        rejection = 0.0
+    elif variant == "cdma (63-chip hypothetical)":
+        rejection = HYPOTHETICAL_63_REJECTION_LEVELS
+    else:
+        family = build_family(max_self_sidelobe=2, max_cross_peak=7)
+        rejection = family.rejection_levels()
+    emitted = (
+        _power_controlled_level(propagation)
+        if variant in ("power control only", "cdma + power control")
+        else full_power
+    )
+    interferer = CodeDivisionInterferer(
+        position=CELL_B_TX,
+        emitted_level_at_1ft=emitted,
+        rejection_levels=rejection,
+    )
+    output = run_fast_trial(
+        TrialConfig(
+            name=variant,
+            packets=packets,
+            seed=seed,
+            propagation=propagation,
+            tx_position=CELL_A_TX,
+            rx_position=CELL_A_RX,
+            interference=[interferer],
         )
-        interferer = CodeDivisionInterferer(
-            position=CELL_B_TX,
-            emitted_level_at_1ft=emitted,
-            rejection_levels=rejection,
-        )
-        output = run_fast_trial(
-            TrialConfig(
-                name=variant,
-                packets=packets,
-                seed=seed + index,
-                propagation=propagation,
-                tx_position=CELL_A_TX,
-                rx_position=CELL_A_RX,
-                interference=[interferer],
-            )
-        )
-        result.outcomes.append(
-            VariantOutcome(
-                variant=variant,
-                metrics=analyze_trial(output.trace),
-                neighbour_emitted_level_1ft=emitted,
-                rejection_levels=rejection,
-            )
-        )
-    return result
+    )
+    return VariantOutcome(
+        variant=variant,
+        metrics=analyze_trial(output.trace),
+        neighbour_emitted_level_1ft=emitted,
+        rejection_levels=rejection,
+    )
 
 
-def main(scale: float = 1.0, seed: int = 95) -> CdmaResult:
-    result = run(scale=scale, seed=seed)
+def _aggregate(ctx: PlanContext, values: list) -> CdmaResult:
+    family = build_family(max_self_sidelobe=2, max_cross_peak=7)
+    return CdmaResult(
+        family=family,
+        tradeoff=family_size_tradeoff(),
+        outcomes=list(values),
+    )
+
+
+@experiment(
+    name="cdma",
+    artifact="X5",
+    description="X5: cellular WaveLAN (CDMA + power control)",
+    aggregate=_aggregate,
+    render=lambda result, scale: _render(result, scale),
+    default_scale=1.0,
+    default_seed=95,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """One plan per neighbour-cell variant."""
+    packets = max(400, int(PACKETS * ctx.scale))
+    return [
+        TrialPlan(variant, _run_variant, {"variant": variant, "packets": packets})
+        for variant in VARIANTS
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 95, jobs: int = 1) -> CdmaResult:
+    return ENGINE.run("cdma", scale=scale, seed=seed, jobs=jobs)
+
+
+def _render(result: CdmaResult, scale: float) -> None:
     print("Extension X5: the Section-8 cellular WaveLAN")
     print("\nSequence-family trade-off (family size at (self, cross) bounds):")
     print("        cross<=3  cross<=5  cross<=7  cross<=9")
@@ -234,6 +261,11 @@ def main(scale: float = 1.0, seed: int = 95) -> CdmaResult:
           "and codes+power together give the paper's 'sharp cell "
           "boundaries'.  This sharpens Section 8's caveat that large "
           "low-cross-correlation families are hard to build.")
+
+
+def main(scale: float = 1.0, seed: int = 95, jobs: int = 1) -> CdmaResult:
+    result = run(scale=scale, seed=seed, jobs=jobs)
+    _render(result, scale)
     return result
 
 

@@ -16,15 +16,18 @@ never defer).  Paper findings:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analysis.classify import classify_trace
 from repro.analysis.metrics import TrialMetrics, metrics_from_classified
 from repro.analysis.signalstats import SignalStats, stats_for_packets
 from repro.analysis.tables import render_signal_table
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.experiments.scenarios import multiroom_scenario
+from repro.experiments.tracedir import trial_trace_path
 from repro.interference.wavelan import CompetingWaveLanTransmitter
-from repro.parallel import Task, run_tasks
 from repro.phy.modem import ModemConfig
+from repro.trace.persist import save_trace
 from repro.trace.trial import TrialConfig, run_fast_trial
 
 PAPER_PACKETS = 12_715
@@ -85,7 +88,13 @@ def _jammers(layout, victim_threshold: int) -> list[CompetingWaveLanTransmitter]
 
 
 def _run_trial(
-    name: str, packets: int, seed: int, threshold: int, jammed: bool
+    name: str,
+    packets: int,
+    seed: int,
+    threshold: int,
+    jammed: bool,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
 ) -> tuple[TrialMetrics, SignalStats]:
     """One Table-14 trial, self-contained and picklable."""
     layout = multiroom_scenario()
@@ -100,6 +109,12 @@ def _run_trial(
         interference=_jammers(layout, threshold) if jammed else [],
     )
     output = run_fast_trial(config)
+    if trace_dir is not None:
+        save_trace(
+            output.trace,
+            trial_trace_path(trace_dir, name, trace_format),
+            format=trace_format,
+        )
     classified = classify_trace(output.trace)
     return (
         metrics_from_classified(classified),
@@ -107,58 +122,12 @@ def _run_trial(
     )
 
 
-def run(
-    scale: float = 1.0,
-    seed: int = 74,
-    include_unusable: bool = True,
-    jobs: int = 1,
-) -> CompetingResult:
-    """Run the masked pair of Table-14 trials (plus the unmasked one).
-
-    The trials are mutually independent, so ``jobs > 1`` fans them over
-    a process pool; the assembled result is identical to a serial run.
-    """
-    packets = max(400, int(PAPER_PACKETS * scale))
-    plans = [
-        ("Without interference", packets, seed, MASKING_THRESHOLD, False),
-        ("With interference", packets, seed + 1, MASKING_THRESHOLD, True),
-    ]
-    if include_unusable:
-        # The paper's first attempt: victim at the default threshold 3,
-        # the competition unmasked — "completely unusable".
-        plans.append(
-            (
-                "Unmasked (threshold 3)",
-                min(packets, 1_440),
-                seed + 10,
-                DEFAULT_THRESHOLD,
-                True,
-            )
-        )
-    tasks = [
-        Task(
-            name,
-            _run_trial,
-            {
-                "name": name,
-                "packets": count,
-                "seed": trial_seed,
-                "threshold": threshold,
-                "jammed": jammed,
-            },
-            seed=trial_seed,
-            scale=scale,
-        )
-        for name, count, trial_seed, threshold, jammed in plans
-    ]
-    if jobs <= 1:
-        rows = [_run_trial(**task.kwargs) for task in tasks]
-    else:
-        rows = [
-            r.value for r in run_tasks(tasks, jobs=jobs, label="table14-trials")
-        ]
+def _aggregate(ctx: PlanContext, values: list) -> CompetingResult:
     result = CompetingResult()
-    for (metrics, signal_row), (name, *_rest) in zip(rows, plans):
+    names = ["Without interference", "With interference"]
+    if ctx.extra("include_unusable", True):
+        names.append("Unmasked (threshold 3)")
+    for (metrics, signal_row), name in zip(values, names):
         if name == "Unmasked (threshold 3)":
             result.unusable_metrics = metrics
         else:
@@ -167,8 +136,7 @@ def run(
     return result
 
 
-def main(scale: float = 0.25, seed: int = 74, jobs: int = 1) -> CompetingResult:
-    result = run(scale=scale, seed=seed, jobs=jobs)
+def _render(result: CompetingResult, scale: float) -> None:
     print("Table 14: Signal metrics with and without interfering WaveLAN "
           f"transmitters (victim threshold {MASKING_THRESHOLD}, scale={scale:g})")
     print(render_signal_table(result.signal_rows, label="Trial"))
@@ -182,6 +150,95 @@ def main(scale: float = 0.25, seed: int = 74, jobs: int = 1) -> CompetingResult:
               f"damaged {u.body_damaged_packets} of {u.packets_received} "
               f"received — \"completely unusable\"")
     print("Paper silence means:", PAPER_SILENCE)
+
+
+def _report_lines(report, result: CompetingResult, scale: float) -> None:
+    masked = result.metrics("With interference")
+    silence_delta = result.silence_mean("With interference") - result.silence_mean(
+        "Without interference"
+    )
+    report.add(
+        "T14 competing", "masked: bit errors", "0",
+        str(masked.body_bits_damaged), masked.body_bits_damaged == 0,
+    )
+    report.add(
+        "T14 competing", "silence rise", "+10.3 levels",
+        f"+{silence_delta:.1f}", 8.0 < silence_delta < 14.0,
+    )
+    report.add(
+        "T14 competing", "unmasked", "completely unusable",
+        f"{result.unusable_metrics.packet_loss_percent:.0f}% loss",
+        result.unusable_metrics.packet_loss_percent > 50,
+    )
+
+
+@experiment(
+    name="table14",
+    artifact="Table 14",
+    description="Table 14: competing WaveLAN units",
+    aggregate=_aggregate,
+    render=_render,
+    default_scale=0.25,
+    default_seed=74,
+    traceable=True,
+    report_lines=_report_lines,
+    report_extras={"include_unusable": True},
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """The masked pair, plus the unmasked "unusable" trial."""
+    packets = max(400, int(PAPER_PACKETS * ctx.scale))
+    setups = [
+        ("Without interference", packets, MASKING_THRESHOLD, False),
+        ("With interference", packets, MASKING_THRESHOLD, True),
+    ]
+    if ctx.extra("include_unusable", True):
+        # The paper's first attempt: victim at the default threshold 3,
+        # the competition unmasked — "completely unusable".
+        setups.append(
+            ("Unmasked (threshold 3)", min(packets, 1_440), DEFAULT_THRESHOLD, True)
+        )
+    return [
+        TrialPlan(
+            name,
+            _run_trial,
+            {
+                "name": name,
+                "packets": count,
+                "threshold": threshold,
+                "jammed": jammed,
+            },
+            traceable=True,
+        )
+        for name, count, threshold, jammed in setups
+    ]
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 74,
+    include_unusable: bool = True,
+    jobs: int = 1,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
+) -> CompetingResult:
+    """Run the masked pair of Table-14 trials (plus the unmasked one).
+
+    The trials are mutually independent, so ``jobs > 1`` fans them over
+    a process pool; the assembled result is identical to a serial run.
+    """
+    return ENGINE.run(
+        "table14", scale=scale, seed=seed, jobs=jobs,
+        trace_dir=trace_dir, trace_format=trace_format,
+        extras={"include_unusable": include_unusable},
+    )
+
+
+def main(scale: float = 0.25, seed: int = 74, jobs: int = 1,
+         trace_dir: Optional[str] = None,
+         trace_format: str = "v2") -> CompetingResult:
+    result = run(scale=scale, seed=seed, jobs=jobs, trace_dir=trace_dir,
+                 trace_format=trace_format)
+    _render(result, scale)
     return result
 
 

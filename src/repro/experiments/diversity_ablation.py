@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.classify import PacketClass, classify_trace
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.trace.trial import TrialConfig, run_fast_trial
 
 LEVELS = (9.5, 8.0, 7.0, 6.0)
@@ -54,42 +55,72 @@ class DiversityResult:
         return single / double
 
 
-def run(scale: float = 1.0, seed: int = 101) -> DiversityResult:
+def _run_level(level: float, packets: int, seed: int) -> list[DiversityPoint]:
+    """All branch counts at one signal level, with one shared seed:
+    identical channel draws, the only change is the selector."""
+    points = []
+    for branches in BRANCH_COUNTS:
+        output = run_fast_trial(
+            TrialConfig(
+                name=f"div-{level}-{branches}",
+                packets=packets,
+                seed=seed,
+                mean_level=level,
+                antenna_branches=branches,
+            )
+        )
+        classified = classify_trace(output.trace)
+        damaged = sum(
+            1
+            for p in classified.test_packets
+            if p.packet_class is not PacketClass.UNDAMAGED
+        )
+        points.append(
+            DiversityPoint(
+                level=level,
+                branches=branches,
+                packets_sent=packets,
+                lost=packets - len(classified.test_packets),
+                damaged=damaged,
+            )
+        )
+    return points
+
+
+def _aggregate(ctx: PlanContext, values: list) -> DiversityResult:
     result = DiversityResult()
-    packets = max(400, int(PACKETS_PER_POINT * scale))
-    for level_index, level in enumerate(LEVELS):
-        for branch_index, branches in enumerate(BRANCH_COUNTS):
-            output = run_fast_trial(
-                TrialConfig(
-                    name=f"div-{level}-{branches}",
-                    packets=packets,
-                    # Same seed across branch counts: identical channel
-                    # draws, the only change is the selector.
-                    seed=seed + level_index,
-                    mean_level=level,
-                    antenna_branches=branches,
-                )
-            )
-            classified = classify_trace(output.trace)
-            damaged = sum(
-                1
-                for p in classified.test_packets
-                if p.packet_class is not PacketClass.UNDAMAGED
-            )
-            result.points.append(
-                DiversityPoint(
-                    level=level,
-                    branches=branches,
-                    packets_sent=packets,
-                    lost=packets - len(classified.test_packets),
-                    damaged=damaged,
-                )
-            )
+    for points in values:
+        result.points.extend(points)
     return result
 
 
-def main(scale: float = 1.0, seed: int = 101) -> DiversityResult:
-    result = run(scale=scale, seed=seed)
+@experiment(
+    name="diversity",
+    artifact="X8",
+    description="X8: antenna diversity ablation",
+    aggregate=_aggregate,
+    render=lambda result, scale: _render(result, scale),
+    default_scale=1.0,
+    default_seed=101,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """One plan per signal level (branch counts share the seed)."""
+    packets = max(400, int(PACKETS_PER_POINT * ctx.scale))
+    return [
+        TrialPlan(
+            f"level-{level:g}",
+            _run_level,
+            {"level": level, "packets": packets},
+        )
+        for level in LEVELS
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 101, jobs: int = 1) -> DiversityResult:
+    return ENGINE.run("diversity", scale=scale, seed=seed, jobs=jobs)
+
+
+def _render(result: DiversityResult, scale: float) -> None:
     print("Ablation X8: antenna selection diversity at the error-region edge")
     header = f"{'level':>6} | " + " | ".join(
         f"{b} antenna{'s' if b > 1 else ' '}" for b in BRANCH_COUNTS
@@ -106,6 +137,11 @@ def main(scale: float = 1.0, seed: int = 101) -> DiversityResult:
           "packets under the corruption thresholds; its value concentrates "
           "exactly at the Figure-2 boundary, which is why the hardware "
           "pays for a second antenna.")
+
+
+def main(scale: float = 1.0, seed: int = 101, jobs: int = 1) -> DiversityResult:
+    result = run(scale=scale, seed=seed, jobs=jobs)
+    _render(result, scale)
     return result
 
 

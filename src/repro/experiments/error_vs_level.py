@@ -16,14 +16,19 @@ are summarized per damage class.  Paper findings to preserve:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analysis.classify import ClassifiedTrace, classify_trace
 from repro.analysis.signalstats import SignalStats, signal_stats_by_class
 from repro.analysis.tables import render_signal_table
 from repro.environment.geometry import Point
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.experiments.scenarios import lecture_hall_scenario
+from repro.experiments.tracedir import trial_trace_path
+from repro.parallel import export_trace
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.outsiders import OutsiderTraffic
-from repro.trace.records import TrialTrace
+from repro.trace.persist import save_trace
 from repro.trace.trial import TrialConfig, run_fast_trial
 
 # The aggregated trials: distances spanning strong to error-region, with
@@ -77,49 +82,78 @@ class ErrorVsLevelResult:
         raise KeyError(name)
 
 
-def run(scale: float = 1.0, seed: int = 52) -> ErrorVsLevelResult:
-    propagation = lecture_hall_scenario()
-    rx = Point(0.0, 0.0)
-    packets = max(200, int(PACKETS_PER_SUBTRIAL * scale))
+def _run_subtrial(
+    distance: float,
+    index: int,
+    packets: int,
+    seed: int,
+    transport: Optional[str] = None,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
+) -> dict:
+    """One lecture-hall sub-trial, picklable.
 
-    # Aggregate all sub-trials into one trace (the paper's Table 3 is
-    # "the aggregated results of several trials").
-    aggregate: TrialTrace | None = None
+    Returns the Figure-2 bin counts plus the sub-trial's raw trace as a
+    :class:`ColumnarTrace` (inline) or a handoff handle (``transport``
+    set, pool workers) — either way the aggregator concatenates
+    columnar traces, so the ``jobs=1`` and ``jobs=N`` aggregation paths
+    are structurally identical.
+    """
+    propagation = lecture_hall_scenario()
+    config = TrialConfig(
+        name="distance-aggregate",
+        packets=packets,
+        seed=seed,
+        propagation=propagation,
+        tx_position=Point(float(distance), 0.35 * (index % 3 - 1)),
+        rx_position=Point(0.0, 0.0),
+        outsiders=OutsiderTraffic(
+            mean_level=4.6, level_sd=1.6, rate_per_test_packet=0.11
+        )
+        if index % 3 == 0
+        else None,
+    )
+    output = run_fast_trial(config)
+    if trace_dir is not None:
+        save_trace(
+            output.trace,
+            trial_trace_path(trace_dir, f"subtrial-{distance:g}ft", trace_format),
+            format=trace_format,
+        )
+    # Figure-2 bins use the *predicted* mean level of the sub-trial for
+    # the sent count and observed readings for received packets.
+    mean_level = int(round(config.resolved_mean_level()))
+    classified_sub = classify_trace(output.trace)
+    received = len(classified_sub.test_packets)
+    damaged = sum(
+        1
+        for packet in classified_sub.test_packets
+        if packet.packet_class.name != "UNDAMAGED"
+    )
+    trace = ColumnarTrace.from_trace(output.trace)
+    return {
+        "mean_level": mean_level,
+        "sent": packets,
+        "received": received,
+        "damaged": damaged,
+        "trace": export_trace(trace, via=transport) if transport else trace,
+    }
+
+
+def _aggregate(ctx: PlanContext, values: list) -> ErrorVsLevelResult:
     sent_by_level: dict[int, int] = {}
     received_by_level: dict[int, int] = {}
     damaged_by_level: dict[int, int] = {}
-
-    for index, distance in enumerate(SUBTRIAL_DISTANCES_FT):
-        config = TrialConfig(
-            name="distance-aggregate",
-            packets=packets,
-            seed=seed + index,
-            propagation=propagation,
-            tx_position=Point(float(distance), 0.35 * (index % 3 - 1)),
-            rx_position=rx,
-            outsiders=OutsiderTraffic(
-                mean_level=4.6, level_sd=1.6, rate_per_test_packet=0.11
-            )
-            if index % 3 == 0
-            else None,
+    for sub in values:
+        level = sub["mean_level"]
+        sent_by_level[level] = sent_by_level.get(level, 0) + sub["sent"]
+        received_by_level[level] = (
+            received_by_level.get(level, 0) + sub["received"]
         )
-        output = run_fast_trial(config)
-        # Figure-2 bins use the *predicted* mean level of the sub-trial
-        # for the sent count and observed readings for received packets.
-        mean_level = int(round(config.resolved_mean_level()))
-        sent_by_level[mean_level] = sent_by_level.get(mean_level, 0) + packets
-        classified_sub = classify_trace(output.trace)
-        for packet in classified_sub.test_packets:
-            lvl = mean_level
-            received_by_level[lvl] = received_by_level.get(lvl, 0) + 1
-            if packet.packet_class.name != "UNDAMAGED":
-                damaged_by_level[lvl] = damaged_by_level.get(lvl, 0) + 1
-        if aggregate is None:
-            aggregate = output.trace
-        else:
-            aggregate.extend(output.trace)
-
-    assert aggregate is not None
+        damaged_by_level[level] = damaged_by_level.get(level, 0) + sub["damaged"]
+    aggregate = ColumnarTrace.concat(
+        [sub["trace"] for sub in values], name="distance-aggregate"
+    )
     classified = classify_trace(aggregate)
     result = ErrorVsLevelResult(classified=classified)
     result.table3 = signal_stats_by_class(classified)
@@ -135,8 +169,7 @@ def run(scale: float = 1.0, seed: int = 52) -> ErrorVsLevelResult:
     return result
 
 
-def main(scale: float = 1.0, seed: int = 52) -> ErrorVsLevelResult:
-    result = run(scale=scale, seed=seed)
+def _render(result: ErrorVsLevelResult, scale: float) -> None:
     print("Table 3: Packet error conditions versus signal metrics "
           f"(scale={scale:g})")
     print(render_signal_table(result.table3))
@@ -148,6 +181,64 @@ def main(scale: float = 1.0, seed: int = 52) -> ErrorVsLevelResult:
         print(f"{b.level:6d} | {b.sent:6d} | {b.received:6d} | "
               f"{100 * b.loss_fraction:6.2f} | {100 * b.damage_fraction:6.2f}"
               f"{marker}")
+
+
+def _report_lines(report, result: ErrorVsLevelResult, scale: float) -> None:
+    damaged_mean = result.group("Body damaged").level.mean
+    undamaged_mean = result.group("Undamaged").level.mean
+    report.add(
+        "T3/F2 error region", "body-damaged level mean", "7.52",
+        f"{damaged_mean:.2f}", 5.5 < damaged_mean < 9.0,
+    )
+    report.add(
+        "T3/F2 error region", "undamaged - damaged gap", ">= ~7 levels",
+        f"{undamaged_mean - damaged_mean:.1f}",
+        undamaged_mean - damaged_mean > 2.0,
+    )
+
+
+@experiment(
+    name="table3",
+    artifact="Table 3 + Figure 2",
+    description="Table 3 + Figure 2: errors vs signal metrics",
+    aggregate=_aggregate,
+    render=_render,
+    default_scale=1.0,
+    default_seed=52,
+    aliases=("figure2",),
+    traceable=True,
+    report_lines=_report_lines,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """One plan per sub-trial distance."""
+    packets = max(200, int(PACKETS_PER_SUBTRIAL * ctx.scale))
+    return [
+        TrialPlan(
+            f"subtrial-{distance:g}ft",
+            _run_subtrial,
+            {"distance": float(distance), "index": index, "packets": packets},
+            traceable=True,
+            pool_kwargs={"transport": "file"},
+        )
+        for index, distance in enumerate(SUBTRIAL_DISTANCES_FT)
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 52, jobs: int = 1,
+        trace_dir: Optional[str] = None,
+        trace_format: str = "v2") -> ErrorVsLevelResult:
+    return ENGINE.run(
+        "table3", scale=scale, seed=seed, jobs=jobs,
+        trace_dir=trace_dir, trace_format=trace_format,
+    )
+
+
+def main(scale: float = 1.0, seed: int = 52, jobs: int = 1,
+         trace_dir: Optional[str] = None,
+         trace_format: str = "v2") -> ErrorVsLevelResult:
+    result = run(scale=scale, seed=seed, jobs=jobs, trace_dir=trace_dir,
+                 trace_format=trace_format)
+    _render(result, scale)
     return result
 
 

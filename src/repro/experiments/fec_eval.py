@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.analysis.classify import PacketClass
 from repro.analysis.syndrome import ErrorSyndrome
-from repro.experiments import multiroom, phones_spread
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.fec.adaptive import AdaptiveFecController
 from repro.fec.interleave import BlockInterleaver
 from repro.fec.rcpc import RATE_ORDER, RcpcCodec
@@ -213,41 +213,58 @@ def _adaptive_schedule(scenario: str, classified) -> AdaptiveOutcome:
     )
 
 
-def run(scale: float = 1.0, seed: int = 81, syndrome_limit: int = 60) -> FecEvalResult:
-    result = FecEvalResult()
+def _run_scenario(
+    scenario: str, scale: float, seed: int, syndrome_limit: int
+) -> tuple[list[RateOutcome], AdaptiveOutcome]:
+    """One damage scenario end to end, picklable.
 
-    # Scenario A: attenuation bursts (multi-room Tx5).
-    multiroom_result = multiroom.run(scale=scale, seed=seed)
-    tx5 = multiroom_result.tx5_classified
-    scenarios = [("Tx5 attenuation", tx5, _collect_syndromes(tx5, syndrome_limit))]
+    Re-runs the source experiment (serially, in-process), harvests its
+    syndromes, replays them against every rate/interleaving/marking
+    combination, and drives the adaptive controller — so nothing but
+    small outcome dataclasses crosses a pool boundary.
+    """
+    from repro.experiments import multiroom, phones_spread
 
-    # Scenario B: SS-phone jam windows ("AT&T handset").
-    spread_result = phones_spread.run(scale=scale, seed=seed + 1)
-    handset = spread_result.classified["AT&T handset"]
-    scenarios.append(
-        ("SS-phone handset", handset, _collect_syndromes(handset, syndrome_limit))
-    )
-
-    for scenario, classified, syndromes in scenarios:
-        for rate_name in RATE_ORDER:
-            for interleaved in (False, True):
-                result.outcomes.append(
-                    _evaluate_rate(scenario, syndromes, rate_name, interleaved)
-                )
-        # Burst-aware receiver variants at the strongest rate: the
-        # modem's AGC flags the jam window, the decoder exploits it.
-        for marking in ("erase", "soft"):
-            result.outcomes.append(
-                _evaluate_rate(
-                    scenario, syndromes, "1/2", interleaved=True, marking=marking
-                )
+    if scenario == "Tx5 attenuation":
+        # Attenuation bursts (multi-room Tx5).
+        classified = multiroom.run(scale=scale, seed=seed).tx5_classified
+    elif scenario == "SS-phone handset":
+        # SS-phone jam windows ("AT&T handset").
+        classified = phones_spread.run(scale=scale, seed=seed).classified[
+            "AT&T handset"
+        ]
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}")
+    syndromes = _collect_syndromes(classified, syndrome_limit)
+    outcomes = []
+    for rate_name in RATE_ORDER:
+        for interleaved in (False, True):
+            outcomes.append(
+                _evaluate_rate(scenario, syndromes, rate_name, interleaved)
             )
-        result.adaptive.append(_adaptive_schedule(scenario, classified))
+    # Burst-aware receiver variants at the strongest rate: the modem's
+    # AGC flags the jam window, the decoder exploits it.
+    for marking in ("erase", "soft"):
+        outcomes.append(
+            _evaluate_rate(
+                scenario, syndromes, "1/2", interleaved=True, marking=marking
+            )
+        )
+    return outcomes, _adaptive_schedule(scenario, classified)
+
+
+SCENARIOS = ("Tx5 attenuation", "SS-phone handset")
+
+
+def _aggregate(ctx: PlanContext, values: list) -> FecEvalResult:
+    result = FecEvalResult()
+    for outcomes, adaptive in values:
+        result.outcomes.extend(outcomes)
+        result.adaptive.append(adaptive)
     return result
 
 
-def main(scale: float = 1.0, seed: int = 81) -> FecEvalResult:
-    result = run(scale=scale, seed=seed)
+def _render(result: FecEvalResult, scale: float) -> None:
     print("Extension X1: RCPC recoverability of observed error syndromes")
     print(f"{'scenario':>18} | {'rate':>4} | {'ilv':>3} | {'pkts':>5} | "
           f"{'recovered':>9} | {'residual':>8} | {'overhead':>8}")
@@ -261,6 +278,62 @@ def main(scale: float = 1.0, seed: int = 81) -> FecEvalResult:
     for a in result.adaptive:
         print(f"  {a.scenario}: {a.rate_counts} "
               f"mean overhead {100 * a.mean_overhead:.1f}%")
+
+
+def _report_lines(report, result: FecEvalResult, scale: float) -> None:
+    tx5_fec = result.outcome("Tx5 attenuation", "4/5", interleaved=True)
+    ss_fec = result.outcome("SS-phone handset", "1/2", interleaved=True)
+    report.add(
+        "X1 variable FEC", "Tx5 @ 4/5+ilv", "'trivial to correct'",
+        f"{100 * tx5_fec.recovery_fraction:.0f}% recovered",
+        tx5_fec.recovery_fraction > 0.9,
+    )
+    report.add(
+        "X1 variable FEC", "SS phone @ 1/2", "'might be recoverable'",
+        f"{100 * ss_fec.recovery_fraction:.0f}% recovered",
+        ss_fec.recovery_fraction > 0.8,
+    )
+
+
+@experiment(
+    name="fec",
+    artifact="X1",
+    description="X1: variable FEC on observed syndromes",
+    aggregate=_aggregate,
+    render=_render,
+    default_scale=1.0,
+    default_seed=81,
+    report_lines=_report_lines,
+    report_extras={"syndrome_limit": 25},
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """One plan per damage scenario."""
+    syndrome_limit = ctx.extra("syndrome_limit", 60)
+    return [
+        TrialPlan(
+            scenario,
+            _run_scenario,
+            {
+                "scenario": scenario,
+                "scale": ctx.scale,
+                "syndrome_limit": syndrome_limit,
+            },
+        )
+        for scenario in SCENARIOS
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 81, syndrome_limit: int = 60,
+        jobs: int = 1) -> FecEvalResult:
+    return ENGINE.run(
+        "fec", scale=scale, seed=seed, jobs=jobs,
+        extras={"syndrome_limit": syndrome_limit},
+    )
+
+
+def main(scale: float = 1.0, seed: int = 81, jobs: int = 1) -> FecEvalResult:
+    result = run(scale=scale, seed=seed, jobs=jobs)
+    _render(result, scale)
     return result
 
 

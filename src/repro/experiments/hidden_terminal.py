@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.environment.geometry import Point
 from repro.environment.propagation import PropagationModel
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.framing.testpacket import TestPacketFactory, TestPacketSpec
 from repro.link.network import WaveLanNetwork
 from repro.phy.modem import ModemConfig
@@ -134,16 +135,47 @@ def _run_scenario(
     )
 
 
-def run(scale: float = 1.0, seed: int = 97) -> HiddenTerminalResult:
-    result = HiddenTerminalResult()
-    frames = max(30, int(FRAMES_PER_SENDER * scale))
-    for index, scenario in enumerate(SCENARIOS):
-        result.outcomes.append(_run_scenario(scenario, frames, seed + index))
-    return result
+def _aggregate(ctx: PlanContext, values: list) -> HiddenTerminalResult:
+    return HiddenTerminalResult(outcomes=list(values))
 
 
-def main(scale: float = 1.0, seed: int = 97) -> HiddenTerminalResult:
-    result = run(scale=scale, seed=seed)
+def _report_lines(report, result: HiddenTerminalResult, scale: float) -> None:
+    report.add(
+        "X6 hidden terminal", "capture saves stronger sender",
+        "conjectured",
+        f"{100 * result.outcome('hidden, receiver off-centre').stronger_intact_fraction:.0f}%",
+        result.outcome("hidden, receiver off-centre").stronger_intact_fraction > 0.7,
+    )
+
+
+@experiment(
+    name="hidden",
+    artifact="X6",
+    description="X6: hidden-transmitter capture effect",
+    aggregate=_aggregate,
+    render=lambda result, scale: _render(result, scale),
+    default_scale=1.0,
+    default_seed=97,
+    report_lines=_report_lines,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """One plan per carrier-sense scenario."""
+    frames = max(30, int(FRAMES_PER_SENDER * ctx.scale))
+    return [
+        TrialPlan(
+            scenario,
+            _run_scenario,
+            {"scenario": scenario, "frames": frames},
+        )
+        for scenario in SCENARIOS
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 97, jobs: int = 1) -> HiddenTerminalResult:
+    return ENGINE.run("hidden", scale=scale, seed=seed, jobs=jobs)
+
+
+def _render(result: HiddenTerminalResult, scale: float) -> None:
     print("Extension X6: the hidden-transmitter problem (Section 7.4)")
     print(f"{'scenario':>28} | {'A intact':>8} | {'B intact':>8} | "
           f"{'total':>6} | {'best':>6} | {'CSMA collisions':>15}")
@@ -157,6 +189,11 @@ def main(scale: float = 1.0, seed: int = 97) -> HiddenTerminalResult:
           "what survives at the receiver is governed by capture — the "
           "equidistant receiver loses both, the off-centre receiver "
           "still hears its stronger neighbour.")
+
+
+def main(scale: float = 1.0, seed: int = 97, jobs: int = 1) -> HiddenTerminalResult:
+    result = run(scale=scale, seed=seed, jobs=jobs)
+    _render(result, scale)
     return result
 
 

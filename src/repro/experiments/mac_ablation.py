@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.environment.geometry import Point
 from repro.environment.propagation import PropagationModel
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.link.channel import RadioChannel
 from repro.link.station import LinkStation
 from repro.mac.csma import CsmaCaMac, CsmaCdMac, MacStats
@@ -131,15 +132,11 @@ def _run_variant(variant: str, scale: float, seed: int) -> VariantOutcome:
     )
 
 
-def run(scale: float = 1.0, seed: int = 83) -> MacAblationResult:
-    result = MacAblationResult()
-    for index, variant in enumerate(VARIANTS):
-        result.outcomes.append(_run_variant(variant, scale, seed + index))
-    return result
+def _aggregate(ctx: PlanContext, values: list) -> MacAblationResult:
+    return MacAblationResult(outcomes=list(values))
 
 
-def main(scale: float = 1.0, seed: int = 83) -> MacAblationResult:
-    result = run(scale=scale, seed=seed)
+def _render(result: MacAblationResult, scale: float) -> None:
     print("Ablation X3: MAC protocol under 3-sender contention "
           f"(scale={scale:g})")
     print(f"{'variant':>14} | {'offered':>7} | {'intact':>6} | "
@@ -148,6 +145,53 @@ def main(scale: float = 1.0, seed: int = 83) -> MacAblationResult:
         print(f"{o.variant:>14} | {o.frames_offered:7d} | {o.frames_intact:6d} | "
               f"{100 * o.delivery_fraction:7.1f}% | {o.collisions:10d} | "
               f"{o.goodput_bps / 1e6:7.2f} Mb/s")
+
+
+def _report_lines(report, result: MacAblationResult, scale: float) -> None:
+    report.add(
+        "X3 MAC", "blind CSMA/CD delivery", "(rationale for CSMA/CA)",
+        f"{100 * result.outcome('csma_cd_blind').delivery_fraction:.0f}%",
+        result.outcome("csma_cd_blind").delivery_fraction < 0.3,
+    )
+    report.add(
+        "X3 MAC", "CSMA/CA delivery", "near wired",
+        f"{100 * result.outcome('csma_ca').delivery_fraction:.0f}%",
+        result.outcome("csma_ca").delivery_fraction > 0.85,
+    )
+
+
+def _report_scale(scale: float) -> float:
+    # MAC statistics need enough frames to wash out the startup
+    # transient (all three senders fire at t=0).
+    return max(scale, 0.7)
+
+
+@experiment(
+    name="mac",
+    artifact="X3",
+    description="X3: CSMA/CA vs CSMA/CD ablation",
+    aggregate=_aggregate,
+    render=_render,
+    default_scale=1.0,
+    default_seed=83,
+    report_lines=_report_lines,
+    report_scale=_report_scale,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """One plan per MAC variant on the saturated channel."""
+    return [
+        TrialPlan(variant, _run_variant, {"variant": variant, "scale": ctx.scale})
+        for variant in VARIANTS
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 83, jobs: int = 1) -> MacAblationResult:
+    return ENGINE.run("mac", scale=scale, seed=seed, jobs=jobs)
+
+
+def main(scale: float = 1.0, seed: int = 83, jobs: int = 1) -> MacAblationResult:
+    result = run(scale=scale, seed=seed, jobs=jobs)
+    _render(result, scale)
     return result
 
 

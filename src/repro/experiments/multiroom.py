@@ -18,6 +18,7 @@ fixed receiver.  Paper findings to preserve:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analysis.classify import ClassifiedTrace, classify_trace
 from repro.analysis.metrics import TrialMetrics, metrics_from_classified
@@ -27,8 +28,10 @@ from repro.analysis.signalstats import (
     stats_for_packets,
 )
 from repro.analysis.tables import render_metrics_table, render_signal_table
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.experiments.scenarios import multiroom_scenario
-from repro.parallel import Task, run_tasks
+from repro.experiments.tracedir import trial_trace_path
+from repro.trace.persist import save_trace
 from repro.trace.trial import TrialConfig, run_fast_trial
 
 # Paper packet counts per location (Table 5).
@@ -57,7 +60,13 @@ class MultiroomResult:
         raise KeyError(name)
 
 
-def _run_location(name: str, packets: int, seed: int) -> tuple:
+def _run_location(
+    name: str,
+    packets: int,
+    seed: int,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
+) -> tuple:
     """One transmitter location, self-contained and picklable.
 
     Rebuilds the deterministic layout in-process (models don't travel
@@ -74,6 +83,12 @@ def _run_location(name: str, packets: int, seed: int) -> tuple:
         rx_position=layout.rx,
     )
     output = run_fast_trial(config)
+    if trace_dir is not None:
+        save_trace(
+            output.trace,
+            trial_trace_path(trace_dir, name, trace_format),
+            format=trace_format,
+        )
     classified = classify_trace(output.trace)
     return (
         metrics_from_classified(classified),
@@ -82,41 +97,9 @@ def _run_location(name: str, packets: int, seed: int) -> tuple:
     )
 
 
-def location_tasks(scale: float, seed: int) -> list[Task]:
-    """The four locations as independent tasks, in layout order."""
-    layout = multiroom_scenario()
-    return [
-        Task(
-            name,
-            _run_location,
-            {
-                "name": name,
-                "packets": max(400, int(PAPER_PACKETS[name] * scale)),
-                "seed": seed + index,
-            },
-            seed=seed + index,
-            scale=scale,
-        )
-        for index, name in enumerate(layout.tx_positions())
-    ]
-
-
-def run(scale: float = 1.0, seed: int = 65, jobs: int = 1) -> MultiroomResult:
-    """Run the four locations; ``jobs > 1`` fans them over a pool.
-
-    Location order, seeds, and every row are identical for any ``jobs``
-    value (see :mod:`repro.parallel`).
-    """
-    tasks = location_tasks(scale, seed)
-    if jobs <= 1:
-        outputs = [_run_location(**task.kwargs) for task in tasks]
-    else:
-        outputs = [
-            r.value
-            for r in run_tasks(tasks, jobs=jobs, label="table5-locations")
-        ]
+def _aggregate(ctx: PlanContext, values: list) -> MultiroomResult:
     result = MultiroomResult()
-    for metrics_row, signal_row, classified in outputs:
+    for metrics_row, signal_row, classified in values:
         result.metrics_rows.append(metrics_row)
         result.signal_rows.append(signal_row)
         if classified is not None:
@@ -125,8 +108,7 @@ def run(scale: float = 1.0, seed: int = 65, jobs: int = 1) -> MultiroomResult:
     return result
 
 
-def main(scale: float = 1.0, seed: int = 65, jobs: int = 1) -> MultiroomResult:
-    result = run(scale=scale, seed=seed, jobs=jobs)
+def _render(result: MultiroomResult, scale: float) -> None:
     print(f"Table 5: Results of multi-room experiments (scale={scale:g})")
     print(render_metrics_table(result.metrics_rows))
     print("\nTable 6: Signal metrics for multi-room experiment")
@@ -134,6 +116,71 @@ def main(scale: float = 1.0, seed: int = 65, jobs: int = 1) -> MultiroomResult:
     print("\nTable 7: Signal metrics for multi-room scenario Tx5")
     print(render_signal_table(result.tx5_breakdown))
     print("\nPaper level means:", PAPER_LEVEL_MEANS)
+
+
+def _report_lines(report, result: MultiroomResult, scale: float) -> None:
+    tx5 = result.metrics("Tx5")
+    report.add(
+        "T5-7 multiroom", "Tx5 level mean", "9.50",
+        f"{result.level_mean('Tx5'):.2f}",
+        abs(result.level_mean("Tx5") - 9.5) < 1.5,
+    )
+    report.add(
+        "T5-7 multiroom", "Tx5 damaged packets / 1440", "~25",
+        f"{tx5.body_damaged_packets / max(scale, 1e-9):.0f} (scaled)",
+        tx5.body_damaged_packets > 0,
+    )
+
+
+@experiment(
+    name="table5",
+    artifact="Tables 5-7",
+    description="Tables 5-7: multi-room experiment",
+    aggregate=_aggregate,
+    render=_render,
+    default_scale=1.0,
+    default_seed=65,
+    aliases=("table6", "table7"),
+    traceable=True,
+    report_lines=_report_lines,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """The four transmitter locations, in layout order."""
+    layout = multiroom_scenario()
+    return [
+        TrialPlan(
+            name,
+            _run_location,
+            {
+                "name": name,
+                "packets": max(400, int(PAPER_PACKETS[name] * ctx.scale)),
+            },
+            traceable=True,
+        )
+        for name in layout.tx_positions()
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 65, jobs: int = 1,
+        trace_dir: Optional[str] = None,
+        trace_format: str = "v2") -> MultiroomResult:
+    """Run the four locations; ``jobs > 1`` fans them over a pool.
+
+    Location order, seeds, and every row are identical for any ``jobs``
+    value (see :mod:`repro.parallel`).
+    """
+    return ENGINE.run(
+        "table5", scale=scale, seed=seed, jobs=jobs,
+        trace_dir=trace_dir, trace_format=trace_format,
+    )
+
+
+def main(scale: float = 1.0, seed: int = 65, jobs: int = 1,
+         trace_dir: Optional[str] = None,
+         trace_format: str = "v2") -> MultiroomResult:
+    result = run(scale=scale, seed=seed, jobs=jobs, trace_dir=trace_dir,
+                 trace_format=trace_format)
+    _render(result, scale)
     return result
 
 

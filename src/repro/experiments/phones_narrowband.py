@@ -16,6 +16,7 @@ apart in a lecture hall.  Paper findings to preserve:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analysis.classify import classify_trace
 from repro.analysis.metrics import TrialMetrics, metrics_from_classified
@@ -26,15 +27,17 @@ from repro.analysis.signalstats import (
 )
 from repro.analysis.tables import render_signal_table
 from repro.environment.geometry import Point
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.experiments.scenarios import (
     PHONE_ACROSS_HALL,
     PHONE_NEAR,
     PHONE_NEAR_2,
     narrowband_phone_room,
 )
+from repro.experiments.tracedir import trial_trace_path
 from repro.interference.narrowband import NarrowbandPhonePair
-from repro.parallel import Task, run_tasks
 from repro.trace.outsiders import OutsiderTraffic
+from repro.trace.persist import save_trace
 from repro.trace.trial import TrialConfig, run_fast_trial
 
 PAPER_PACKETS = 1_440
@@ -117,7 +120,11 @@ class NarrowbandResult:
 
 
 def _run_trial(
-    trial: str, packets: int, seed: int
+    trial: str,
+    packets: int,
+    seed: int,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
 ) -> tuple[TrialMetrics, SignalStats, SignalStats | None]:
     """One Table-10 configuration, self-contained and picklable."""
     propagation, tx, rx = narrowband_phone_room()
@@ -132,6 +139,12 @@ def _run_trial(
         outsiders=OUTSIDER_TRIALS.get(trial),
     )
     output = run_fast_trial(config)
+    if trace_dir is not None:
+        save_trace(
+            output.trace,
+            trial_trace_path(trace_dir, trial, trace_format),
+            format=trace_format,
+        )
     classified = classify_trace(output.trace)
     outsiders = classified.by_class(
         PacketClass.OUTSIDER_UNDAMAGED, PacketClass.OUTSIDER_DAMAGED
@@ -145,31 +158,9 @@ def _run_trial(
     )
 
 
-def run(scale: float = 1.0, seed: int = 710, jobs: int = 1) -> NarrowbandResult:
-    """Run the five Table-10 configurations.
-
-    The trials are mutually independent, so ``jobs > 1`` fans them over
-    a process pool; the assembled result is identical to a serial run.
-    """
-    packets = max(400, int(PAPER_PACKETS * scale))
-    tasks = [
-        Task(
-            trial,
-            _run_trial,
-            {"trial": trial, "packets": packets, "seed": seed + index},
-            seed=seed + index,
-            scale=scale,
-        )
-        for index, trial in enumerate(TRIALS)
-    ]
-    if jobs <= 1:
-        rows = [_run_trial(**task.kwargs) for task in tasks]
-    else:
-        rows = [
-            r.value for r in run_tasks(tasks, jobs=jobs, label="table10-trials")
-        ]
+def _aggregate(ctx: PlanContext, values: list) -> NarrowbandResult:
     result = NarrowbandResult()
-    for metrics, signal_row, outsider_row in rows:
+    for metrics, signal_row, outsider_row in values:
         result.metrics_rows.append(metrics)
         result.signal_rows.append(signal_row)
         if outsider_row is not None:
@@ -177,8 +168,7 @@ def run(scale: float = 1.0, seed: int = 710, jobs: int = 1) -> NarrowbandResult:
     return result
 
 
-def main(scale: float = 1.0, seed: int = 710, jobs: int = 1) -> NarrowbandResult:
-    result = run(scale=scale, seed=seed, jobs=jobs)
+def _render(result: NarrowbandResult, scale: float) -> None:
     print("Table 10: The effects of narrowband 900 MHz cordless phones "
           f"(scale={scale:g})")
     print(render_signal_table(result.signal_rows, label="Trial"))
@@ -188,6 +178,73 @@ def main(scale: float = 1.0, seed: int = 710, jobs: int = 1) -> NarrowbandResult
     print(f"\nDamaged test packets across all trials: "
           f"{result.total_damaged_test_packets} (paper: 0)")
     print("Paper silence means:", PAPER_SILENCE_MEANS)
+
+
+def _report_lines(report, result: NarrowbandResult, scale: float) -> None:
+    ordering_ok = (
+        result.silence_mean("Bases nearby")
+        > result.silence_mean("Cluster")
+        > result.silence_mean("Handsets nearby")
+        > result.silence_mean("Handsets nearby talking")
+        > result.silence_mean("Phones off")
+    )
+    report.add(
+        "T10 narrowband", "damaged test packets", "0",
+        str(result.total_damaged_test_packets),
+        result.total_damaged_test_packets == 0,
+    )
+    report.add(
+        "T10 narrowband", "silence ordering (power control)",
+        "bases > cluster > handsets > talking > off",
+        "reproduced" if ordering_ok else "violated", ordering_ok,
+    )
+
+
+@experiment(
+    name="table10",
+    artifact="Table 10",
+    description="Table 10: narrowband phones",
+    aggregate=_aggregate,
+    render=_render,
+    default_scale=1.0,
+    default_seed=710,
+    traceable=True,
+    report_lines=_report_lines,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """One plan per Table-10 phone configuration."""
+    packets = max(400, int(PAPER_PACKETS * ctx.scale))
+    return [
+        TrialPlan(
+            trial,
+            _run_trial,
+            {"trial": trial, "packets": packets},
+            traceable=True,
+        )
+        for trial in TRIALS
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 710, jobs: int = 1,
+        trace_dir: Optional[str] = None,
+        trace_format: str = "v2") -> NarrowbandResult:
+    """Run the five Table-10 configurations.
+
+    The trials are mutually independent, so ``jobs > 1`` fans them over
+    a process pool; the assembled result is identical to a serial run.
+    """
+    return ENGINE.run(
+        "table10", scale=scale, seed=seed, jobs=jobs,
+        trace_dir=trace_dir, trace_format=trace_format,
+    )
+
+
+def main(scale: float = 1.0, seed: int = 710, jobs: int = 1,
+         trace_dir: Optional[str] = None,
+         trace_format: str = "v2") -> NarrowbandResult:
+    result = run(scale=scale, seed=seed, jobs=jobs, trace_dir=trace_dir,
+                 trace_format=trace_format)
+    _render(result, scale)
     return result
 
 

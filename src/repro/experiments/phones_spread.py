@@ -16,7 +16,6 @@ in a conference room.  Paper findings to preserve (Table 11):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Optional, Union
 
 from repro.analysis.classify import ClassifiedTrace, classify_trace
@@ -28,6 +27,7 @@ from repro.analysis.signalstats import (
 )
 from repro.analysis.tables import render_signal_table
 from repro.environment.geometry import Point
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.experiments.scenarios import (
     PHONE_FAR,
     PHONE_NEAR,
@@ -36,7 +36,6 @@ from repro.experiments.scenarios import (
 from repro.experiments.tracedir import trial_trace_path
 from repro.framing.testpacket import BODY_BITS
 from repro.interference.spreadspectrum import SpreadSpectrumPhonePair
-from repro.parallel import Task, run_tasks
 from repro.parallel.handoff import (
     PortableClassifiedTrace,
     export_classified,
@@ -203,9 +202,9 @@ def _run_trial(
     identical whether it runs inline or on a pool worker.  ``transport``
     (``"file"`` / ``"shm"`` / ``"inline"``) exports the classified
     trace as a columnar handoff block instead of returning the live
-    object — set by :func:`run` on pool paths.  ``keep_classified=False``
-    drops the per-packet output entirely for callers that only read the
-    summary tables.
+    object — set on pool paths via the plan's ``pool_kwargs``.
+    ``keep_classified=False`` drops the per-packet output entirely for
+    callers that only read the summary tables.
     """
     propagation, tx, rx = spread_spectrum_room()
     config = TrialConfig(
@@ -255,6 +254,97 @@ def _run_trial(
     )
 
 
+def _aggregate(ctx: PlanContext, values: list) -> SpreadResult:
+    result = SpreadResult()
+    for bundle in values:
+        if bundle.classified is not None:
+            result.classified[bundle.trial] = bundle.classified
+        result.metrics_rows.append(bundle.metrics)
+        result.summaries.append(bundle.summary)
+        result.signal_rows.append(bundle.signal_row)
+        if bundle.handset_breakdown:
+            result.handset_breakdown = bundle.handset_breakdown
+    return result
+
+
+def _render(result: SpreadResult, scale: float) -> None:
+    print("Table 11: Summary of spread spectrum cordless phones "
+          f"(scale={scale:g})")
+    header = (f"{'Trial':>18} | {'Loss':>6} | {'Trunc%':>7} | "
+              f"{'Wrap%':>6} | {'Body%':>6} | {'Worst':>6}")
+    print(header)
+    print("-" * len(header))
+    for s in result.summaries:
+        print(
+            f"{s.name:>18} | {s.loss_percent:5.1f}% | {s.truncated_percent:6.1f}% | "
+            f"{s.wrapper_percent:5.1f}% | {s.body_percent:5.1f}% | "
+            f"{100 * s.worst_body_fraction:5.2f}%"
+        )
+    print("\nTable 12: Signal measurements for spread spectrum phones")
+    print(render_signal_table(result.signal_rows, label="Trial"))
+    print("\nTable 13-style breakdown for the 'AT&T handset' trial:")
+    print(render_signal_table(result.handset_breakdown))
+    print("\nPaper Table 11:", PAPER_TABLE_11)
+
+
+def _report_lines(report, result: SpreadResult, scale: float) -> None:
+    stomped = result.summary("RS base")
+    handset = result.summary("AT&T handset")
+    report.add(
+        "T11-13 SS phones", "base-near loss", "~52%",
+        f"{stomped.loss_percent:.0f}%", 35 < stomped.loss_percent < 70,
+    )
+    report.add(
+        "T11-13 SS phones", "base-near truncation", "100%",
+        f"{stomped.truncated_percent:.0f}%", stomped.truncated_percent > 80,
+    )
+    report.add(
+        "T11-13 SS phones", "handset body damage", "59%",
+        f"{handset.body_percent:.0f}%", 40 < handset.body_percent < 75,
+    )
+    report.add(
+        "T11-13 SS phones", "remote cluster", "harmless",
+        f"{result.summary('RS remote cluster').loss_percent:.1f}% loss",
+        result.summary("RS remote cluster").loss_percent < 1.0,
+    )
+
+
+@experiment(
+    name="table11",
+    artifact="Tables 11-13",
+    description="Tables 11-13: spread-spectrum phones",
+    aggregate=_aggregate,
+    render=_render,
+    default_scale=1.0,
+    default_seed=73,
+    aliases=("table12", "table13"),
+    traceable=True,
+    report_lines=_report_lines,
+    # The report reads only the summary tables, so its workers ship no
+    # per-packet records at all.
+    report_extras={"keep_classified": False},
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """One plan per Table-11 phone configuration."""
+    packets = max(400, int(PAPER_PACKETS * ctx.scale))
+    keep_classified = ctx.extra("keep_classified", True)
+    transport = ctx.extra("transport", "file")
+    return [
+        TrialPlan(
+            trial,
+            _run_trial,
+            {
+                "trial": trial,
+                "packets": packets,
+                "keep_classified": keep_classified,
+            },
+            traceable=True,
+            pool_kwargs={"transport": transport},
+        )
+        for trial in TRIALS
+    ]
+
+
 def run(
     scale: float = 1.0,
     seed: int = 73,
@@ -275,43 +365,11 @@ def run(
     ``SpreadResult.classified`` for callers that only read the summary
     tables — e.g. the report, which then ships no records at all.
     """
-    packets = max(400, int(PAPER_PACKETS * scale))
-    if trace_dir is not None:
-        Path(trace_dir).mkdir(parents=True, exist_ok=True)
-    tasks = [
-        Task(
-            trial,
-            _run_trial,
-            {
-                "trial": trial,
-                "packets": packets,
-                "seed": seed + index,
-                "transport": transport if jobs > 1 else None,
-                "keep_classified": keep_classified,
-                "trace_dir": trace_dir,
-                "trace_format": trace_format,
-            },
-            seed=seed + index,
-            scale=scale,
-        )
-        for index, trial in enumerate(TRIALS)
-    ]
-    if jobs <= 1:
-        bundles = [_run_trial(**task.kwargs) for task in tasks]
-    else:
-        bundles = [
-            r.value for r in run_tasks(tasks, jobs=jobs, label="table11-trials")
-        ]
-    result = SpreadResult()
-    for bundle in bundles:
-        if bundle.classified is not None:
-            result.classified[bundle.trial] = bundle.classified
-        result.metrics_rows.append(bundle.metrics)
-        result.summaries.append(bundle.summary)
-        result.signal_rows.append(bundle.signal_row)
-        if bundle.handset_breakdown:
-            result.handset_breakdown = bundle.handset_breakdown
-    return result
+    return ENGINE.run(
+        "table11", scale=scale, seed=seed, jobs=jobs,
+        trace_dir=trace_dir, trace_format=trace_format,
+        extras={"keep_classified": keep_classified, "transport": transport},
+    )
 
 
 def main(
@@ -323,23 +381,7 @@ def main(
 ) -> SpreadResult:
     result = run(scale=scale, seed=seed, jobs=jobs, trace_dir=trace_dir,
                  trace_format=trace_format)
-    print("Table 11: Summary of spread spectrum cordless phones "
-          f"(scale={scale:g})")
-    header = (f"{'Trial':>18} | {'Loss':>6} | {'Trunc%':>7} | "
-              f"{'Wrap%':>6} | {'Body%':>6} | {'Worst':>6}")
-    print(header)
-    print("-" * len(header))
-    for s in result.summaries:
-        print(
-            f"{s.name:>18} | {s.loss_percent:5.1f}% | {s.truncated_percent:6.1f}% | "
-            f"{s.wrapper_percent:5.1f}% | {s.body_percent:5.1f}% | "
-            f"{100 * s.worst_body_fraction:5.2f}%"
-        )
-    print("\nTable 12: Signal measurements for spread spectrum phones")
-    print(render_signal_table(result.signal_rows, label="Trial"))
-    print("\nTable 13-style breakdown for the 'AT&T handset' trial:")
-    print(render_signal_table(result.handset_breakdown))
-    print("\nPaper Table 11:", PAPER_TABLE_11)
+    _render(result, scale)
     return result
 
 

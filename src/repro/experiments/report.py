@@ -5,10 +5,17 @@ executes every experiment and emits a Markdown report with a
 paper-vs-measured line per headline quantity — a regenerable,
 seed-stable version of EXPERIMENTS.md's tables.
 
-The experiments are mutually independent (each derives every random
-stream from its own seed), so the report fans them out across a
-process pool when ``--jobs N`` is given; results, tables, and merged
-metrics are byte-identical to the serial run (see ``repro.parallel``).
+The report is registry-driven: it covers every registered
+:class:`repro.experiments.engine.ExperimentSpec` whose ``report_lines``
+hook is set, in registry order.  Per-experiment scale tweaks
+(``report_scale``) and options (``report_extras``) live on the specs,
+next to the experiments they describe.
+
+The experiments are mutually independent (the engine derives every
+trial seed from ``(root seed, experiment name, trial label)``), so the
+report fans them out across a process pool when ``--jobs N`` is given;
+results, tables, and merged metrics are byte-identical to the serial
+run (see ``repro.parallel``).
 """
 
 from __future__ import annotations
@@ -17,21 +24,7 @@ import io
 from dataclasses import dataclass, field
 
 from repro import obs
-from repro.experiments import (
-    baseline,
-    body,
-    competing,
-    error_vs_level,
-    fec_eval,
-    hidden_terminal,
-    mac_ablation,
-    multiroom,
-    phones_narrowband,
-    phones_spread,
-    signal_vs_distance,
-    throughput,
-    walls,
-)
+from repro.experiments import engine
 from repro.parallel import Task, run_tasks
 
 
@@ -124,55 +117,47 @@ class ReproductionReport:
         return out.getvalue()
 
 
+def report_specs() -> list:
+    """Every registered spec that contributes report lines, in order."""
+    return [spec for spec in engine.specs() if spec.report_lines is not None]
+
+
+def _run_report_experiment(name: str, scale: float, seed: int):
+    """One report experiment, resolved in-worker (picklable by name)."""
+    spec = engine.get(name)
+    return engine.ENGINE.run(
+        spec, scale=scale, seed=seed, extras=dict(spec.report_extras)
+    )
+
+
 def _report_tasks(scale: float, seed: int) -> list[Task]:
     """Every report experiment as an independent, picklable task.
 
-    Seeds and scale tweaks are exactly what the serial report has
-    always used — byte-identical output depends on it.
+    All experiments share the report's root seed: the engine derives
+    each trial's stream from ``(root seed, experiment name, trial
+    label)``, so no two trials anywhere in the run collide.
     """
-    return [
-        Task("table2", baseline.run,
-             {"scale": max(scale * 0.2, 0.01), "seed": seed},
-             seed=seed, scale=max(scale * 0.2, 0.01)),
-        Task("figure1", signal_vs_distance.run,
-             {"scale": scale, "seed": seed + 1}, seed=seed + 1, scale=scale),
-        Task("table3", error_vs_level.run,
-             {"scale": scale, "seed": seed + 2}, seed=seed + 2, scale=scale),
-        Task("table4", walls.run,
-             {"scale": scale, "seed": seed + 3}, seed=seed + 3, scale=scale),
-        Task("table5", multiroom.run,
-             {"scale": scale, "seed": seed + 4}, seed=seed + 4, scale=scale),
-        Task("table8", body.run,
-             {"scale": scale, "seed": seed + 5}, seed=seed + 5, scale=scale),
-        Task("table10", phones_narrowband.run,
-             {"scale": scale, "seed": seed + 6}, seed=seed + 6, scale=scale),
-        # keep_classified=False: the report reads only the summary
-        # tables, so the worker ships no per-packet records at all.
-        Task("table11", phones_spread.run,
-             {"scale": scale, "seed": seed + 7, "keep_classified": False},
-             seed=seed + 7, scale=scale),
-        Task("table14", competing.run,
-             {"scale": scale, "seed": seed + 8, "include_unusable": True},
-             seed=seed + 8, scale=scale),
-        Task("fec", fec_eval.run,
-             {"scale": scale, "seed": seed + 9, "syndrome_limit": 25},
-             seed=seed + 9, scale=scale),
-        # MAC statistics need enough frames to wash out the startup
-        # transient (all three senders fire at t=0).
-        Task("mac", mac_ablation.run,
-             {"scale": max(scale, 0.7), "seed": seed + 10},
-             seed=seed + 10, scale=max(scale, 0.7)),
-        Task("hidden", hidden_terminal.run,
-             {"scale": scale, "seed": seed + 11}, seed=seed + 11, scale=scale),
-        Task("throughput", throughput.run,
-             {"scale": scale, "seed": seed + 12}, seed=seed + 12, scale=scale),
-    ]
+    tasks = []
+    for spec in report_specs():
+        eff_scale = (
+            spec.report_scale(scale) if spec.report_scale is not None else scale
+        )
+        tasks.append(
+            Task(
+                spec.name,
+                _run_report_experiment,
+                {"name": spec.name, "scale": eff_scale, "seed": seed},
+                seed=seed,
+                scale=eff_scale,
+            )
+        )
+    return tasks
 
 
 def build_report(
     scale: float = 0.25, seed: int = 1996, jobs: int = 1
 ) -> ReproductionReport:
-    """Run every experiment at ``scale`` and compare headline numbers.
+    """Run every report experiment at ``scale`` and compare headlines.
 
     Runs under an observability session (reusing the CLI's if one is
     active): each experiment is timed, its per-layer counter deltas are
@@ -185,6 +170,7 @@ def build_report(
     wall-clock readings differ — they are measurements, not results).
     """
     report = ReproductionReport()
+    specs = {spec.name: spec for spec in report_specs()}
     with obs.ensure_metrics():
         git_rev = obs.git_revision()
         results = run_tasks(
@@ -203,199 +189,8 @@ def build_report(
                     packets_offered=manifest.get("packets_offered", 0),
                 )
             )
-            _LINE_BUILDERS[result.name](report, result.value, scale)
+            specs[result.name].report_lines(report, result.value, scale)
     return report
-
-
-# ----------------------------------------------------------------------
-# Per-experiment headline lines.  Split out per task so parallel runs
-# can apply them in fixed task order whatever the completion order.
-# ----------------------------------------------------------------------
-def _lines_table2(report: ReproductionReport, r, scale: float) -> None:
-    report.add(
-        "T2 baseline", "worst trial loss", "<= .07%",
-        f"{r.worst_loss_percent:.3f}%", r.worst_loss_percent < 0.2,
-    )
-    report.add(
-        "T2 baseline", "aggregate BER", "~1e-10",
-        f"{r.aggregate_ber:.1e}", r.aggregate_ber < 1e-7,
-    )
-
-
-def _lines_figure1(report: ReproductionReport, f1, scale: float) -> None:
-    report.add(
-        "F1 path loss", "dip at 6 ft", "noticeable",
-        f"{f1.dip_depth(6.0):.1f} levels", f1.dip_depth(6.0) > 2.0,
-    )
-    report.add(
-        "F1 path loss", "dip at 30 ft", "noticeable",
-        f"{f1.dip_depth(30.0):.1f} levels", f1.dip_depth(30.0) > 2.0,
-    )
-
-
-def _lines_table3(report: ReproductionReport, t3, scale: float) -> None:
-    damaged_mean = t3.group("Body damaged").level.mean
-    undamaged_mean = t3.group("Undamaged").level.mean
-    report.add(
-        "T3/F2 error region", "body-damaged level mean", "7.52",
-        f"{damaged_mean:.2f}", 5.5 < damaged_mean < 9.0,
-    )
-    report.add(
-        "T3/F2 error region", "undamaged - damaged gap", ">= ~7 levels",
-        f"{undamaged_mean - damaged_mean:.1f}",
-        undamaged_mean - damaged_mean > 2.0,
-    )
-
-
-def _lines_table4(report: ReproductionReport, t4, scale: float) -> None:
-    plaster = t4.wall_cost(("Air 1", "Wall 1"))
-    concrete = t4.wall_cost(("Air 2", "Wall 2"))
-    report.add("T4 walls", "plaster+mesh cost", "~5 levels",
-               f"{plaster:.1f}", 4.0 < plaster < 6.0)
-    report.add("T4 walls", "concrete cost", "~2 levels",
-               f"{concrete:.1f}", 1.0 < concrete < 3.0)
-
-
-def _lines_table5(report: ReproductionReport, t5, scale: float) -> None:
-    tx5 = t5.metrics("Tx5")
-    report.add(
-        "T5-7 multiroom", "Tx5 level mean", "9.50",
-        f"{t5.level_mean('Tx5'):.2f}", abs(t5.level_mean("Tx5") - 9.5) < 1.5,
-    )
-    report.add(
-        "T5-7 multiroom", "Tx5 damaged packets / 1440", "~25",
-        f"{tx5.body_damaged_packets / max(scale, 1e-9):.0f} (scaled)",
-        tx5.body_damaged_packets > 0,
-    )
-
-
-def _lines_table8(report: ReproductionReport, t8, scale: float) -> None:
-    report.add(
-        "T8-9 body", "body cost", "~5.8 levels",
-        f"{t8.body_cost_levels:.1f}", 4.5 < t8.body_cost_levels < 7.5,
-    )
-
-
-def _lines_table10(report: ReproductionReport, t10, scale: float) -> None:
-    ordering_ok = (
-        t10.silence_mean("Bases nearby")
-        > t10.silence_mean("Cluster")
-        > t10.silence_mean("Handsets nearby")
-        > t10.silence_mean("Handsets nearby talking")
-        > t10.silence_mean("Phones off")
-    )
-    report.add(
-        "T10 narrowband", "damaged test packets", "0",
-        str(t10.total_damaged_test_packets), t10.total_damaged_test_packets == 0,
-    )
-    report.add(
-        "T10 narrowband", "silence ordering (power control)",
-        "bases > cluster > handsets > talking > off",
-        "reproduced" if ordering_ok else "violated", ordering_ok,
-    )
-
-
-def _lines_table11(report: ReproductionReport, t11, scale: float) -> None:
-    stomped = t11.summary("RS base")
-    handset = t11.summary("AT&T handset")
-    report.add(
-        "T11-13 SS phones", "base-near loss", "~52%",
-        f"{stomped.loss_percent:.0f}%", 35 < stomped.loss_percent < 70,
-    )
-    report.add(
-        "T11-13 SS phones", "base-near truncation", "100%",
-        f"{stomped.truncated_percent:.0f}%", stomped.truncated_percent > 80,
-    )
-    report.add(
-        "T11-13 SS phones", "handset body damage", "59%",
-        f"{handset.body_percent:.0f}%", 40 < handset.body_percent < 75,
-    )
-    report.add(
-        "T11-13 SS phones", "remote cluster", "harmless",
-        f"{t11.summary('RS remote cluster').loss_percent:.1f}% loss",
-        t11.summary("RS remote cluster").loss_percent < 1.0,
-    )
-
-
-def _lines_table14(report: ReproductionReport, t14, scale: float) -> None:
-    masked = t14.metrics("With interference")
-    silence_delta = t14.silence_mean("With interference") - t14.silence_mean(
-        "Without interference"
-    )
-    report.add(
-        "T14 competing", "masked: bit errors", "0",
-        str(masked.body_bits_damaged), masked.body_bits_damaged == 0,
-    )
-    report.add(
-        "T14 competing", "silence rise", "+10.3 levels",
-        f"+{silence_delta:.1f}", 8.0 < silence_delta < 14.0,
-    )
-    report.add(
-        "T14 competing", "unmasked", "completely unusable",
-        f"{t14.unusable_metrics.packet_loss_percent:.0f}% loss",
-        t14.unusable_metrics.packet_loss_percent > 50,
-    )
-
-
-def _lines_fec(report: ReproductionReport, x1, scale: float) -> None:
-    tx5_fec = x1.outcome("Tx5 attenuation", "4/5", interleaved=True)
-    ss_fec = x1.outcome("SS-phone handset", "1/2", interleaved=True)
-    report.add(
-        "X1 variable FEC", "Tx5 @ 4/5+ilv", "'trivial to correct'",
-        f"{100 * tx5_fec.recovery_fraction:.0f}% recovered",
-        tx5_fec.recovery_fraction > 0.9,
-    )
-    report.add(
-        "X1 variable FEC", "SS phone @ 1/2", "'might be recoverable'",
-        f"{100 * ss_fec.recovery_fraction:.0f}% recovered",
-        ss_fec.recovery_fraction > 0.8,
-    )
-
-
-def _lines_mac(report: ReproductionReport, x3, scale: float) -> None:
-    report.add(
-        "X3 MAC", "blind CSMA/CD delivery", "(rationale for CSMA/CA)",
-        f"{100 * x3.outcome('csma_cd_blind').delivery_fraction:.0f}%",
-        x3.outcome("csma_cd_blind").delivery_fraction < 0.3,
-    )
-    report.add(
-        "X3 MAC", "CSMA/CA delivery", "near wired",
-        f"{100 * x3.outcome('csma_ca').delivery_fraction:.0f}%",
-        x3.outcome("csma_ca").delivery_fraction > 0.85,
-    )
-
-
-def _lines_hidden(report: ReproductionReport, x6, scale: float) -> None:
-    report.add(
-        "X6 hidden terminal", "capture saves stronger sender",
-        "conjectured",
-        f"{100 * x6.outcome('hidden, receiver off-centre').stronger_intact_fraction:.0f}%",
-        x6.outcome("hidden, receiver off-centre").stronger_intact_fraction > 0.7,
-    )
-
-
-def _lines_throughput(report: ReproductionReport, x7, scale: float) -> None:
-    report.add(
-        "X7 throughput", "FEC/raw crossover level", "inside error region (<8)",
-        f"{x7.crossover_level():.1f}", 4.0 <= x7.crossover_level() <= 8.0,
-    )
-
-
-_LINE_BUILDERS = {
-    "table2": _lines_table2,
-    "figure1": _lines_figure1,
-    "table3": _lines_table3,
-    "table4": _lines_table4,
-    "table5": _lines_table5,
-    "table8": _lines_table8,
-    "table10": _lines_table10,
-    "table11": _lines_table11,
-    "table14": _lines_table14,
-    "fec": _lines_fec,
-    "mac": _lines_mac,
-    "hidden": _lines_hidden,
-    "throughput": _lines_throughput,
-}
 
 
 def main(

@@ -10,11 +10,15 @@ min/max observed per distance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analysis.classify import classify_trace
 from repro.analysis.signalstats import stats_for_packets
 from repro.environment.geometry import Point
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.experiments.scenarios import lecture_hall_scenario
+from repro.experiments.tracedir import trial_trace_path
+from repro.trace.persist import save_trace
 from repro.trace.trial import TrialConfig, run_fast_trial
 
 # Transmitter distances in feet (0 = physical contact).
@@ -54,42 +58,48 @@ class PathLossResult:
         return neighbour_mean - at_dip[0].level_mean
 
 
-def run(scale: float = 1.0, seed: int = 51) -> PathLossResult:
+def _run_point(
+    distance: float,
+    packets: int,
+    seed: int,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
+) -> DistancePoint:
+    """One distance step, picklable."""
     propagation = lecture_hall_scenario()
-    rx = Point(0.0, 0.0)
-    result = PathLossResult()
-    packets = max(100, int(PACKETS_PER_POINT * scale))
-    for index, distance in enumerate(DISTANCES_FT):
-        config = TrialConfig(
-            name=f"d={distance}ft",
-            packets=packets,
-            seed=seed + index,
-            propagation=propagation,
-            tx_position=Point(float(distance), 0.0),
-            rx_position=rx,
+    config = TrialConfig(
+        name=f"d={distance}ft",
+        packets=packets,
+        seed=seed,
+        propagation=propagation,
+        tx_position=Point(float(distance), 0.0),
+        rx_position=Point(0.0, 0.0),
+    )
+    output = run_fast_trial(config)
+    if trace_dir is not None:
+        save_trace(
+            output.trace,
+            trial_trace_path(trace_dir, config.name, trace_format),
+            format=trace_format,
         )
-        output = run_fast_trial(config)
-        classified = classify_trace(output.trace)
-        stats = stats_for_packets(config.name, classified.test_packets)
-        if stats.level is None:
-            result.points.append(
-                DistancePoint(distance, 0, 0, 0.0, 0)
-            )
-            continue
-        result.points.append(
-            DistancePoint(
-                distance_ft=distance,
-                packets_received=stats.packets,
-                level_min=stats.level.minimum,
-                level_mean=stats.level.mean,
-                level_max=stats.level.maximum,
-            )
-        )
-    return result
+    classified = classify_trace(output.trace)
+    stats = stats_for_packets(config.name, classified.test_packets)
+    if stats.level is None:
+        return DistancePoint(distance, 0, 0, 0.0, 0)
+    return DistancePoint(
+        distance_ft=distance,
+        packets_received=stats.packets,
+        level_min=stats.level.minimum,
+        level_mean=stats.level.mean,
+        level_max=stats.level.maximum,
+    )
 
 
-def main(scale: float = 1.0, seed: int = 51) -> PathLossResult:
-    result = run(scale=scale, seed=seed)
+def _aggregate(ctx: PlanContext, values: list) -> PathLossResult:
+    return PathLossResult(points=list(values))
+
+
+def _render(result: PathLossResult, scale: float) -> None:
     print("Figure 1: Signal level as a function of distance "
           "(lecture hall; error bars = min/max)")
     print(f"{'ft':>4} | {'min':>4} | {'mean':>6} | {'max':>4} | bar")
@@ -100,6 +110,59 @@ def main(scale: float = 1.0, seed: int = 51) -> PathLossResult:
     print(f"\nMultipath dip depths: 6 ft -> {result.dip_depth(6.0):.1f} levels, "
           f"30 ft -> {result.dip_depth(30.0):.1f} levels "
           "(paper: noticeable dips at both)")
+
+
+def _report_lines(report, result: PathLossResult, scale: float) -> None:
+    report.add(
+        "F1 path loss", "dip at 6 ft", "noticeable",
+        f"{result.dip_depth(6.0):.1f} levels", result.dip_depth(6.0) > 2.0,
+    )
+    report.add(
+        "F1 path loss", "dip at 30 ft", "noticeable",
+        f"{result.dip_depth(30.0):.1f} levels", result.dip_depth(30.0) > 2.0,
+    )
+
+
+@experiment(
+    name="figure1",
+    artifact="Figure 1",
+    description="Figure 1: signal level vs distance",
+    aggregate=_aggregate,
+    render=_render,
+    default_scale=1.0,
+    default_seed=51,
+    traceable=True,
+    report_lines=_report_lines,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """One plan per distance step."""
+    packets = max(100, int(PACKETS_PER_POINT * ctx.scale))
+    return [
+        TrialPlan(
+            f"d={distance}ft",
+            _run_point,
+            {"distance": float(distance), "packets": packets},
+            traceable=True,
+        )
+        for distance in DISTANCES_FT
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 51, jobs: int = 1,
+        trace_dir: Optional[str] = None,
+        trace_format: str = "v2") -> PathLossResult:
+    return ENGINE.run(
+        "figure1", scale=scale, seed=seed, jobs=jobs,
+        trace_dir=trace_dir, trace_format=trace_format,
+    )
+
+
+def main(scale: float = 1.0, seed: int = 51, jobs: int = 1,
+         trace_dir: Optional[str] = None,
+         trace_format: str = "v2") -> PathLossResult:
+    result = run(scale=scale, seed=seed, jobs=jobs, trace_dir=trace_dir,
+                 trace_format=trace_format)
+    _render(result, scale)
     return result
 
 

@@ -28,9 +28,9 @@ snoop agent at the base station (the paper's citation [5]):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.environment.geometry import Point
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.experiments.scenarios import PHONE_NEAR
 from repro.interference.spreadspectrum import SpreadSpectrumPhonePair
 from repro.transport import LinkConfig, run_transfer
@@ -131,32 +131,74 @@ def _run_point(
     )
 
 
-def run(scale: float = 1.0, seed: int = 103) -> TcpResult:
+def _run_operating_point(
+    scenario: str, level: float, ss_phone: bool, segments: int, seed: int
+) -> list[TransferOutcome]:
+    """All three recovery variants at one operating point.
+
+    The variants intentionally share one seed so they face identical
+    channel draws — the comparison isolates the recovery mechanism.
+    """
+    interference = _ss_phone_interference() if ss_phone else ()
+    return [
+        _run_point(scenario, level, interference, variant, segments, seed)
+        for variant in VARIANTS
+    ]
+
+
+def _aggregate(ctx: PlanContext, values: list) -> TcpResult:
     result = TcpResult()
-    segments = max(100, int(SEGMENTS * scale))
-    for index, (scenario, level, interference) in enumerate(LEVEL_POINTS):
-        for variant in VARIANTS:
-            result.outcomes.append(
-                _run_point(scenario, level, interference, variant, segments,
-                           seed + index)
-            )
-    # The stomping regime: SS phone base near the receiver.
-    for variant in VARIANTS:
-        result.outcomes.append(
-            _run_point(
-                "SS phone, base near",
-                29.6,
-                _ss_phone_interference(),
-                variant,
-                max(60, segments // 4),
-                seed + 50,
-            )
-        )
+    for outcomes in values:
+        result.outcomes.extend(outcomes)
     return result
 
 
-def main(scale: float = 1.0, seed: int = 103) -> TcpResult:
-    result = run(scale=scale, seed=seed)
+@experiment(
+    name="tcp",
+    artifact="X9",
+    description="X9: TCP-Reno over the error environment",
+    aggregate=_aggregate,
+    render=lambda result, scale: _render(result, scale),
+    default_scale=1.0,
+    default_seed=103,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """One plan per operating point (variants share its seed)."""
+    segments = max(100, int(SEGMENTS * ctx.scale))
+    plans = [
+        TrialPlan(
+            scenario,
+            _run_operating_point,
+            {
+                "scenario": scenario,
+                "level": level,
+                "ss_phone": False,
+                "segments": segments,
+            },
+        )
+        for scenario, level, _ in LEVEL_POINTS
+    ]
+    # The stomping regime: SS phone base near the receiver.
+    plans.append(
+        TrialPlan(
+            "SS phone, base near",
+            _run_operating_point,
+            {
+                "scenario": "SS phone, base near",
+                "level": 29.6,
+                "ss_phone": True,
+                "segments": max(60, segments // 4),
+            },
+        )
+    )
+    return plans
+
+
+def run(scale: float = 1.0, seed: int = 103, jobs: int = 1) -> TcpResult:
+    return ENGINE.run("tcp", scale=scale, seed=seed, jobs=jobs)
+
+
+def _render(result: TcpResult, scale: float) -> None:
     print("Extension X9: TCP-Reno over the measured error environment")
     print(f"{'scenario':>20} | {'plain TCP':>12} | {'link ARQ x3':>12} | "
           f"{'snoop agent':>12} | {'plain rtx/to':>12}")
@@ -182,6 +224,11 @@ def main(scale: float = 1.0, seed: int = 103) -> TcpResult:
           "(on a single-hop LAN, retry immediacy beats TCP-awareness; "
           "snoop's dupack clock starves once losses empty the pipe).  The "
           "SS-phone stomping regime defeats every sub-transport remedy.")
+
+
+def main(scale: float = 1.0, seed: int = 103, jobs: int = 1) -> TcpResult:
+    result = run(scale=scale, seed=seed, jobs=jobs)
+    _render(result, scale)
     return result
 
 

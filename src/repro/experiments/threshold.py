@@ -19,15 +19,19 @@ truncated remnants leak through.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analysis.classify import PacketClass, classify_trace
 from repro.environment.geometry import Point
 from repro.environment.propagation import PropagationModel
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
+from repro.experiments.tracedir import trial_trace_path
 from repro.link.channel import RadioChannel
 from repro.link.station import LinkStation
 from repro.mac.csma import CsmaCaMac
 from repro.phy.modem import ModemConfig
 from repro.simkit.simulator import Simulator
+from repro.trace.persist import save_trace
 from repro.trace.trial import TrialConfig, run_fast_trial
 
 # The enemy sits across the hall: received level ~15 at the victim.
@@ -85,7 +89,11 @@ class ThresholdResult:
 
 
 def _filtering_point(
-    threshold: int, packets: int, seed: int
+    threshold: int,
+    packets: int,
+    seed: int,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
 ) -> tuple[int, int, int, int, int]:
     """Enemy→victim delivery at one threshold (contention-free path)."""
     config = TrialConfig(
@@ -96,6 +104,12 @@ def _filtering_point(
         modem_config=ModemConfig(receive_threshold=threshold),
     )
     output = run_fast_trial(config)
+    if trace_dir is not None:
+        save_trace(
+            output.trace,
+            trial_trace_path(trace_dir, config.name, trace_format),
+            format=trace_format,
+        )
     classified = classify_trace(output.trace)
     received = len(classified.test_packets)
     damaged = sum(
@@ -160,28 +174,25 @@ def _collision_point(threshold: int, attempts: int, seed: int) -> tuple[int, int
     return stats.attempts, stats.attempts - stats.collisions
 
 
-def run(
-    scale: float = 1.0,
-    seed: int = 53,
-    include_collisions: bool = True,
-) -> ThresholdResult:
+def _aggregate(ctx: PlanContext, values: list) -> ThresholdResult:
+    include_collisions = ctx.extra("include_collisions", True)
+    packets = max(200, int(PACKETS_PER_POINT * ctx.scale))
+    filter_values = values[: len(THRESHOLD_SWEEP)]
+    collision_values = (
+        values[len(THRESHOLD_SWEEP):]
+        if include_collisions
+        else [(0, 0)] * len(THRESHOLD_SWEEP)
+    )
     result = ThresholdResult()
-    packets = max(200, int(PACKETS_PER_POINT * scale))
-    attempts = max(500, int(ATTEMPTS_PER_POINT * scale))
     observed_min, observed_max = 99, 0
-    for index, threshold in enumerate(THRESHOLD_SWEEP):
-        received, damaged, level_min, level_max, _ = _filtering_point(
-            threshold, packets, seed + index
-        )
+    for threshold, filtering, collisions in zip(
+        THRESHOLD_SWEEP, filter_values, collision_values
+    ):
+        received, damaged, level_min, level_max, _ = filtering
         if received:
             observed_min = min(observed_min, level_min)
             observed_max = max(observed_max, level_max)
-        if include_collisions:
-            total_attempts, collision_free = _collision_point(
-                threshold, attempts, seed + 100 + index
-            )
-        else:
-            total_attempts, collision_free = 0, 0
+        total_attempts, collision_free = collisions
         result.points.append(
             ThresholdPoint(
                 threshold=threshold,
@@ -197,8 +208,7 @@ def run(
     return result
 
 
-def main(scale: float = 0.2, seed: int = 53) -> ThresholdResult:
-    result = run(scale=scale, seed=seed)
+def _render(result: ThresholdResult, scale: float) -> None:
     print("Figure 3: Effects of receive threshold "
           f"(enemy level ~{ENEMY_LEVEL:.0f}; observed "
           f"{result.observed_level_min}-{result.observed_level_max}; "
@@ -215,6 +225,64 @@ def main(scale: float = 0.2, seed: int = 53) -> ThresholdResult:
     total_leaked = sum(p.damaged_leaked for p in result.points)
     print(f"Damaged/truncated packets leaked through the filter: "
           f"{total_leaked} (paper: 0 — clean filtering)")
+
+
+@experiment(
+    name="figure3",
+    artifact="Figure 3",
+    description="Figure 3: receive threshold sweep",
+    aggregate=_aggregate,
+    render=_render,
+    default_scale=0.15,
+    default_seed=53,
+    traceable=True,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """Filtering plans for every threshold, then collision plans."""
+    packets = max(200, int(PACKETS_PER_POINT * ctx.scale))
+    attempts = max(500, int(ATTEMPTS_PER_POINT * ctx.scale))
+    plans = [
+        TrialPlan(
+            f"filter-{threshold}",
+            _filtering_point,
+            {"threshold": threshold, "packets": packets},
+            traceable=True,
+        )
+        for threshold in THRESHOLD_SWEEP
+    ]
+    if ctx.extra("include_collisions", True):
+        plans.extend(
+            TrialPlan(
+                f"collide-{threshold}",
+                _collision_point,
+                {"threshold": threshold, "attempts": attempts},
+            )
+            for threshold in THRESHOLD_SWEEP
+        )
+    return plans
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 53,
+    include_collisions: bool = True,
+    jobs: int = 1,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
+) -> ThresholdResult:
+    return ENGINE.run(
+        "figure3", scale=scale, seed=seed, jobs=jobs,
+        trace_dir=trace_dir, trace_format=trace_format,
+        extras={"include_collisions": include_collisions},
+    )
+
+
+def main(scale: float = 0.2, seed: int = 53, jobs: int = 1,
+         trace_dir: Optional[str] = None,
+         trace_format: str = "v2") -> ThresholdResult:
+    result = run(scale=scale, seed=seed, jobs=jobs, trace_dir=trace_dir,
+                 trace_format=trace_format)
+    _render(result, scale)
     return result
 
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.classify import PacketClass, classify_trace
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.fec.interleave import BlockInterleaver
 from repro.fec.rcpc import RcpcCodec
 from repro.framing.testpacket import BODY_BITS
@@ -103,48 +104,83 @@ def _fec_recovers(syndrome, codec, interleaver, info, transmitted) -> bool:
     return bool(np.array_equal(codec.decode(interleaver.unscramble(stream)), info))
 
 
-def run(scale: float = 1.0, seed: int = 99) -> ThroughputResult:
+def _run_level(level: float, packets: int, seed: int) -> ThroughputPoint:
+    """One operating point: trial, classification, FEC replay."""
     codec = RcpcCodec(FEC_RATE)
     interleaver = BlockInterleaver(32, 64)
     rng = np.random.default_rng(seed)
     info = rng.integers(0, 2, FEC_INFO_BITS).astype(np.uint8)
     transmitted = codec.encode(info)
 
-    result = ThroughputResult(fec_overhead=codec.overhead)
-    packets = max(300, int(PACKETS_PER_LEVEL * scale))
-    for index, level in enumerate(LEVELS):
-        output = run_fast_trial(
-            TrialConfig(
-                name=f"tp-{level}", packets=packets, seed=seed + index,
-                mean_level=level,
-            )
+    output = run_fast_trial(
+        TrialConfig(
+            name=f"tp-{level}", packets=packets, seed=seed,
+            mean_level=level,
         )
-        classified = classify_trace(output.trace)
-        undamaged = len(classified.by_class(PacketClass.UNDAMAGED))
-        damaged = classified.by_class(PacketClass.BODY_DAMAGED)
-        truncated = len(classified.by_class(PacketClass.TRUNCATED))
-        recovered = sum(
-            1
-            for p in damaged
-            if p.syndrome is not None
-            and _fec_recovers(p.syndrome, codec, interleaver, info, transmitted)
-        )
-        result.points.append(
-            ThroughputPoint(
-                level=level,
-                packets_sent=packets,
-                undamaged=undamaged,
-                body_damaged=len(damaged),
-                truncated=truncated,
-                lost=packets - len(classified.test_packets),
-                fec_recovered=recovered,
-            )
-        )
-    return result
+    )
+    classified = classify_trace(output.trace)
+    undamaged = len(classified.by_class(PacketClass.UNDAMAGED))
+    damaged = classified.by_class(PacketClass.BODY_DAMAGED)
+    truncated = len(classified.by_class(PacketClass.TRUNCATED))
+    recovered = sum(
+        1
+        for p in damaged
+        if p.syndrome is not None
+        and _fec_recovers(p.syndrome, codec, interleaver, info, transmitted)
+    )
+    return ThroughputPoint(
+        level=level,
+        packets_sent=packets,
+        undamaged=undamaged,
+        body_damaged=len(damaged),
+        truncated=truncated,
+        lost=packets - len(classified.test_packets),
+        fec_recovered=recovered,
+    )
 
 
-def main(scale: float = 1.0, seed: int = 99) -> ThroughputResult:
-    result = run(scale=scale, seed=seed)
+def _aggregate(ctx: PlanContext, values: list) -> ThroughputResult:
+    return ThroughputResult(
+        points=list(values), fec_overhead=RcpcCodec(FEC_RATE).overhead
+    )
+
+
+def _report_lines(report, result: ThroughputResult, scale: float) -> None:
+    report.add(
+        "X7 throughput", "FEC/raw crossover level", "inside error region (<8)",
+        f"{result.crossover_level():.1f}",
+        4.0 <= result.crossover_level() <= 8.0,
+    )
+
+
+@experiment(
+    name="throughput",
+    artifact="X7",
+    description="X7: goodput across the error environment",
+    aggregate=_aggregate,
+    render=lambda result, scale: _render(result, scale),
+    default_scale=1.0,
+    default_seed=99,
+    report_lines=_report_lines,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """One plan per signal level."""
+    packets = max(300, int(PACKETS_PER_LEVEL * ctx.scale))
+    return [
+        TrialPlan(
+            f"level-{level:g}",
+            _run_level,
+            {"level": level, "packets": packets},
+        )
+        for level in LEVELS
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 99, jobs: int = 1) -> ThroughputResult:
+    return ENGINE.run("throughput", scale=scale, seed=seed, jobs=jobs)
+
+
+def _render(result: ThroughputResult, scale: float) -> None:
     print("Extension X7: effective throughput across the error environment "
           f"(offered {OFFERED_RATE_BPS / 1e6:.1f} Mb/s)")
     print(f"{'level':>6} | {'loss%':>6} | {'dmg%':>6} | {'raw Mb/s':>8} | "
@@ -159,6 +195,11 @@ def main(scale: float = 1.0, seed: int = 99) -> ThroughputResult:
     print(f"\nFEC/raw goodput crossover at level ~{result.crossover_level():.1f} "
           "— above it FEC is 'useless overhead in most situations' "
           "(Section 8); below it the redundancy pays.")
+
+
+def main(scale: float = 1.0, seed: int = 99, jobs: int = 1) -> ThroughputResult:
+    result = run(scale=scale, seed=seed, jobs=jobs)
+    _render(result, scale)
     return result
 
 

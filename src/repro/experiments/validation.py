@@ -22,6 +22,7 @@ from repro.analysis.classify import classify_trace
 from repro.analysis.signalstats import stats_for_packets
 from repro.environment.geometry import Point
 from repro.environment.propagation import PropagationModel
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.trace.trial import TrialConfig, run_fast_trial, run_mac_trial
 
 # Scenarios spanning clean to error region.
@@ -89,49 +90,81 @@ def _trace_stats(trace):
     )
 
 
-def run(scale: float = 1.0, seed: int = 111) -> ValidationResult:
-    result = ValidationResult()
-    packets = max(300, int(PACKETS * scale))
-    for index, (scenario, distance_ft, anchor_level) in enumerate(SCENARIOS):
-        propagation = PropagationModel.calibrated(
-            level=anchor_level, at_distance_ft=distance_ft
-        )
-        config = TrialConfig(
-            name=f"validate-{scenario}",
-            packets=packets,
-            seed=seed + index,
-            propagation=propagation,
-            tx_position=Point(0.0, 0.0),
-            rx_position=Point(distance_ft, 0.0),
-        )
-        fast = run_fast_trial(config)
-        mac_output, channel = run_mac_trial(config)
+def _compare_paths(
+    scenario: str, distance_ft: float, anchor_level: float, packets: int,
+    seed: int,
+) -> PathComparison:
+    """Run both trial paths on one geometry and compare, picklable."""
+    propagation = PropagationModel.calibrated(
+        level=anchor_level, at_distance_ft=distance_ft
+    )
+    config = TrialConfig(
+        name=f"validate-{scenario}",
+        packets=packets,
+        seed=seed,
+        propagation=propagation,
+        tx_position=Point(0.0, 0.0),
+        rx_position=Point(distance_ft, 0.0),
+    )
+    fast = run_fast_trial(config)
+    mac_output, channel = run_mac_trial(config)
 
-        fast_received, fast_level, fast_quality, fast_silence = _trace_stats(
-            fast.trace
-        )
-        mac_received, mac_level, mac_quality, mac_silence = _trace_stats(
-            mac_output.trace
-        )
-        result.comparisons.append(
-            PathComparison(
-                scenario=scenario,
-                packets=packets,
-                fast_delivery=fast_received / packets,
-                mac_delivery=mac_received / packets,
-                fast_level_mean=fast_level,
-                mac_level_mean=mac_level,
-                fast_quality_mean=fast_quality,
-                mac_quality_mean=mac_quality,
-                fast_silence_mean=fast_silence,
-                mac_silence_mean=mac_silence,
-            )
-        )
-    return result
+    fast_received, fast_level, fast_quality, fast_silence = _trace_stats(
+        fast.trace
+    )
+    mac_received, mac_level, mac_quality, mac_silence = _trace_stats(
+        mac_output.trace
+    )
+    return PathComparison(
+        scenario=scenario,
+        packets=packets,
+        fast_delivery=fast_received / packets,
+        mac_delivery=mac_received / packets,
+        fast_level_mean=fast_level,
+        mac_level_mean=mac_level,
+        fast_quality_mean=fast_quality,
+        mac_quality_mean=mac_quality,
+        fast_silence_mean=fast_silence,
+        mac_silence_mean=mac_silence,
+    )
 
 
-def main(scale: float = 1.0, seed: int = 111) -> ValidationResult:
-    result = run(scale=scale, seed=seed)
+def _aggregate(ctx: PlanContext, values: list) -> ValidationResult:
+    return ValidationResult(comparisons=list(values))
+
+
+@experiment(
+    name="validate",
+    artifact="V1",
+    description="V1: fast path vs MAC path validation",
+    aggregate=_aggregate,
+    render=lambda result, scale: _render(result, scale),
+    default_scale=1.0,
+    default_seed=111,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """One plan per validation scenario."""
+    packets = max(300, int(PACKETS * ctx.scale))
+    return [
+        TrialPlan(
+            scenario,
+            _compare_paths,
+            {
+                "scenario": scenario,
+                "distance_ft": distance_ft,
+                "anchor_level": anchor_level,
+                "packets": packets,
+            },
+        )
+        for scenario, distance_ft, anchor_level in SCENARIOS
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 111, jobs: int = 1) -> ValidationResult:
+    return ENGINE.run("validate", scale=scale, seed=seed, jobs=jobs)
+
+
+def _render(result: ValidationResult, scale: float) -> None:
     print("V1: fast path vs event-driven MAC path (contention-free)")
     print(f"{'scenario':>12} | {'delivery f/m':>14} | {'level f/m':>14} | "
           f"{'quality f/m':>14}")
@@ -142,6 +175,11 @@ def main(scale: float = 1.0, seed: int = 111) -> ValidationResult:
               f"{c.fast_quality_mean:6.2f}/{c.mac_quality_mean:6.2f}")
     print(f"\nworst gaps: delivery {100 * result.worst_delivery_gap:.2f}pp, "
           f"level {result.worst_level_gap:.2f} units")
+
+
+def main(scale: float = 1.0, seed: int = 111, jobs: int = 1) -> ValidationResult:
+    result = run(scale=scale, seed=seed, jobs=jobs)
+    _render(result, scale)
     return result
 
 

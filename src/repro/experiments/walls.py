@@ -9,12 +9,16 @@ concrete-block wall only ~2; signal *quality* is unaffected.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analysis.classify import classify_trace
 from repro.analysis.metrics import TrialMetrics, metrics_from_classified
 from repro.analysis.signalstats import SignalStats, stats_for_packets
 from repro.analysis.tables import render_signal_table
+from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.experiments.scenarios import single_wall_scenarios
+from repro.experiments.tracedir import trial_trace_path
+from repro.trace.persist import save_trace
 from repro.trace.trial import TrialConfig, run_fast_trial
 
 # Table 4 ran 12,720 packets per trial (~10^8 body bits).
@@ -40,28 +44,46 @@ class WallsResult:
         return self.level_mean(air) - self.level_mean(wall)
 
 
-def run(scale: float = 1.0, seed: int = 64) -> WallsResult:
+def _run_wall(
+    name: str,
+    packets: int,
+    seed: int,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "v2",
+) -> tuple[TrialMetrics, SignalStats]:
+    """One wall trial, picklable: rebuilds the named scenario in-process."""
+    setup = next(s for s in single_wall_scenarios() if s.name == name)
+    config = TrialConfig(
+        name=setup.name,
+        packets=packets,
+        seed=seed,
+        propagation=setup.propagation,
+        tx_position=setup.tx,
+        rx_position=setup.rx,
+    )
+    output = run_fast_trial(config)
+    if trace_dir is not None:
+        save_trace(
+            output.trace,
+            trial_trace_path(trace_dir, name, trace_format),
+            format=trace_format,
+        )
+    classified = classify_trace(output.trace)
+    return (
+        metrics_from_classified(classified),
+        stats_for_packets(setup.name, classified.test_packets),
+    )
+
+
+def _aggregate(ctx: PlanContext, values: list) -> WallsResult:
     result = WallsResult()
-    for index, setup in enumerate(single_wall_scenarios()):
-        config = TrialConfig(
-            name=setup.name,
-            packets=max(500, int(PAPER_PACKETS * scale)),
-            seed=seed + index,
-            propagation=setup.propagation,
-            tx_position=setup.tx,
-            rx_position=setup.rx,
-        )
-        output = run_fast_trial(config)
-        classified = classify_trace(output.trace)
-        result.metrics_rows.append(metrics_from_classified(classified))
-        result.signal_rows.append(
-            stats_for_packets(setup.name, classified.test_packets)
-        )
+    for metrics, signal_row in values:
+        result.metrics_rows.append(metrics)
+        result.signal_rows.append(signal_row)
     return result
 
 
-def main(scale: float = 0.25, seed: int = 64) -> WallsResult:
-    result = run(scale=scale, seed=seed)
+def _render(result: WallsResult, scale: float) -> None:
     print("Table 4: Signal metrics with a single wall "
           f"(scale={scale:g})")
     print(render_signal_table(result.signal_rows, label="Trial"))
@@ -73,6 +95,59 @@ def main(scale: float = 0.25, seed: int = 64) -> WallsResult:
     total_loss = sum(m.packets_lost for m in result.metrics_rows)
     print(f"Damaged bits across all four trials: {total_damage} (paper: 0); "
           f"lost packets: {total_loss} (paper: 0)")
+
+
+def _report_lines(report, result: WallsResult, scale: float) -> None:
+    plaster = result.wall_cost(("Air 1", "Wall 1"))
+    concrete = result.wall_cost(("Air 2", "Wall 2"))
+    report.add("T4 walls", "plaster+mesh cost", "~5 levels",
+               f"{plaster:.1f}", 4.0 < plaster < 6.0)
+    report.add("T4 walls", "concrete cost", "~2 levels",
+               f"{concrete:.1f}", 1.0 < concrete < 3.0)
+
+
+@experiment(
+    name="table4",
+    artifact="Table 4",
+    description="Table 4: single wall",
+    aggregate=_aggregate,
+    render=_render,
+    default_scale=0.5,
+    default_seed=64,
+    traceable=True,
+    report_lines=_report_lines,
+)
+def _plans(ctx: PlanContext) -> list[TrialPlan]:
+    """One plan per wall setup (two air references, two walls)."""
+    return [
+        TrialPlan(
+            setup.name,
+            _run_wall,
+            {
+                "name": setup.name,
+                "packets": max(500, int(PAPER_PACKETS * ctx.scale)),
+            },
+            traceable=True,
+        )
+        for setup in single_wall_scenarios()
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 64, jobs: int = 1,
+        trace_dir: Optional[str] = None,
+        trace_format: str = "v2") -> WallsResult:
+    return ENGINE.run(
+        "table4", scale=scale, seed=seed, jobs=jobs,
+        trace_dir=trace_dir, trace_format=trace_format,
+    )
+
+
+def main(scale: float = 0.25, seed: int = 64, jobs: int = 1,
+         trace_dir: Optional[str] = None,
+         trace_format: str = "v2") -> WallsResult:
+    result = run(scale=scale, seed=seed, jobs=jobs, trace_dir=trace_dir,
+                 trace_format=trace_format)
+    _render(result, scale)
     return result
 
 

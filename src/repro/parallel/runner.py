@@ -112,7 +112,9 @@ def _worker_init(session_kwargs: Optional[dict], telemetry_parent: Optional[str]
         _mp_util.Finalize(state.sink, state.sink.close, exitpriority=100)
 
 
-def _execute_task(task: Task, git_rev: Optional[str]) -> TaskResult:
+def _execute_task(
+    task: Task, git_rev: Optional[str], task_manifests: bool = True
+) -> TaskResult:
     """Run one task in a worker and capture its observability state.
 
     The worker registry is reset per task, so the exported state and
@@ -135,7 +137,7 @@ def _execute_task(task: Task, git_rev: Optional[str]) -> TaskResult:
             scale=task.scale,
             git_rev=git_rev,
         ).to_record()
-        if state.sink is not None:
+        if task_manifests and state.sink is not None:
             state.sink.emit(manifest)
             state.sink.flush()
         metrics_state = state.metrics.export_state()
@@ -151,7 +153,9 @@ def _execute_task(task: Task, git_rev: Optional[str]) -> TaskResult:
 # ----------------------------------------------------------------------
 # Parent-process side
 # ----------------------------------------------------------------------
-def _run_task_inline(task: Task, git_rev: Optional[str]) -> TaskResult:
+def _run_task_inline(
+    task: Task, git_rev: Optional[str], task_manifests: bool = True
+) -> TaskResult:
     """Serial path: run against the active session, as pre-parallel
     code did — counter deltas via a before snapshot, manifest straight
     to the session sink."""
@@ -171,7 +175,7 @@ def _run_task_inline(task: Task, git_rev: Optional[str]) -> TaskResult:
             scale=task.scale,
             git_rev=git_rev,
         ).to_record()
-        if state.sink is not None:
+        if task_manifests and state.sink is not None:
             state.sink.emit(manifest)
     return TaskResult(
         name=task.name,
@@ -244,6 +248,7 @@ def run_tasks(
     jobs: int = 1,
     label: Optional[str] = None,
     git_rev: Optional[str] = None,
+    task_manifests: bool = True,
 ) -> list[TaskResult]:
     """Run ``tasks`` and return their results in task order.
 
@@ -253,13 +258,20 @@ def run_tasks(
     when ``label`` is given and a telemetry sink is open — emits one
     merged run manifest to the parent sink.
 
+    ``task_manifests=False`` suppresses the per-task manifest records
+    (each :class:`TaskResult` still carries its own manifest) — used
+    when the caller emits a single per-experiment manifest and
+    trial-level records would double-count in ``stats``.
+
     Task values that are handoff objects (:mod:`repro.parallel.handoff`
     — a worker-persisted columnar trace handle or a portable classified
     trace) are resolved before the results are returned, so callers see
     the same materialized values a serial run produces.
     """
     if jobs <= 1 or len(tasks) <= 1:
-        results = [_run_task_inline(task, git_rev) for task in tasks]
+        results = [
+            _run_task_inline(task, git_rev, task_manifests) for task in tasks
+        ]
         for result in results:
             result.value = resolve_portable(result.value)
         return results
@@ -283,7 +295,10 @@ def run_tasks(
         initializer=_worker_init,
         initargs=(session_kwargs, telemetry_parent, index_counter),
     ) as pool:
-        futures = [pool.submit(_execute_task, task, git_rev) for task in tasks]
+        futures = [
+            pool.submit(_execute_task, task, git_rev, task_manifests)
+            for task in tasks
+        ]
         results = [future.result() for future in futures]
     for result in results:
         result.value = resolve_portable(result.value)

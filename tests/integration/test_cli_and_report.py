@@ -26,26 +26,33 @@ class TestReportContainer:
 
 
 class TestCliExperiments:
-    def test_alias_resolution(self, capsys):
-        """table6/7/9/12/13 and figure2 resolve to their carrier module."""
-        from repro.__main__ import _DUPLICATE_OF, EXPERIMENTS
+    def test_alias_resolution(self):
+        """table6/7/9/12/13 and figure2 resolve to their carrier spec."""
+        from repro.experiments import engine
 
-        for alias, canonical in _DUPLICATE_OF.items():
-            assert canonical in EXPERIMENTS
+        for alias in ("figure2", "table6", "table7", "table9", "table12",
+                      "table13"):
+            spec = engine.get(alias)
+            assert spec.name != alias
+            assert engine.canonical_name(alias) == spec.name
 
-    def test_all_deduplicates_modules(self):
-        """'all' must not run the same module twice via aliases."""
-        from repro.__main__ import _DUPLICATE_OF, EXPERIMENTS
+    def test_aliases_never_shadow_canonical_names(self):
+        """'all' covers each spec exactly once: no alias is also a
+        canonical name, so iterating the registry never duplicates."""
+        from repro.experiments import engine
 
-        modules = [module for module, _, _ in EXPERIMENTS.values()]
-        # figure2 aliases table3's module; both names exist but the
-        # runner dedupes by module object.
-        assert len(set(modules)) < len(modules)
+        canonical = {spec.name for spec in engine.specs()}
+        aliases = set(engine.alias_map())
+        assert not canonical & aliases
+        assert set(engine.alias_map().values()) <= canonical
 
     def test_every_experiment_module_has_run_and_main(self):
-        from repro.__main__ import EXPERIMENTS
+        import importlib
 
-        for module, _, _ in EXPERIMENTS.values():
+        from repro.experiments import engine
+
+        for spec in engine.specs():
+            module = importlib.import_module(spec.module)
             assert callable(getattr(module, "run"))
             assert callable(getattr(module, "main"))
 

@@ -1,0 +1,271 @@
+"""The unified experiment engine: registry, seed streams, golden pins.
+
+Three pillars:
+
+* **Registry coverage** — every experiment module registers exactly one
+  spec, the CLI surfaces (``list``, per-name subcommands, ``report``)
+  are generated from the registry, and aliases resolve without
+  shadowing canonical names.
+* **Seed streams** — every trial's RNG stream is a pure function of
+  ``(root seed, experiment name, trial label)``; no two trials anywhere
+  in a full ``report`` run collide, which is what makes sharing one
+  root seed across all experiments sound.
+* **Golden equivalence** — the engine's plumbing (plan -> task -> seed
+  injection -> aggregation) is behaviour-neutral: running through
+  ``ExperimentEngine`` equals a hand-rolled loop over the module's
+  worker function with the same derived seeds.
+"""
+
+import pkgutil
+
+import pytest
+
+import repro.experiments as experiments_pkg
+from repro.experiments import baseline, engine, phones_spread, walls
+from repro.experiments.engine import (
+    ENGINE,
+    ExperimentSpec,
+    PlanContext,
+    TrialPlan,
+    experiment,
+)
+from repro.experiments.report import report_specs
+from repro.simkit.rng import spawn_seed
+
+# Package modules that are infrastructure, not experiments.
+NON_EXPERIMENT_MODULES = {"engine", "report", "scenarios", "tracedir"}
+
+
+class TestRegistry:
+    def test_every_experiment_module_registers_exactly_one_spec(self):
+        """New module => new spec; the CLI and report pick it up free."""
+        modules = {
+            info.name
+            for info in pkgutil.iter_modules(experiments_pkg.__path__)
+            if info.name not in NON_EXPERIMENT_MODULES
+        }
+        by_module: dict[str, list[str]] = {}
+        for spec in engine.specs():
+            short = spec.module.rsplit(".", 1)[-1]
+            by_module.setdefault(short, []).append(spec.name)
+        assert set(by_module) == modules
+        for short, names in by_module.items():
+            assert len(names) == 1, f"{short} registered {names}"
+
+    def test_cli_parser_accepts_every_registered_name(self):
+        """Subcommands are generated from the registry, aliases too."""
+        from repro.__main__ import _build_parser
+
+        parser = _build_parser()
+        for name in engine.known_names():
+            args = parser.parse_args([name])
+            assert args.experiment == engine.canonical_name(name)
+
+    def test_cli_list_covers_registry(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for spec in engine.specs():
+            assert spec.name in out
+            for alias in spec.aliases:
+                assert alias in out
+
+    def test_report_covers_every_spec_with_report_lines(self):
+        with_lines = [
+            spec.name for spec in engine.specs()
+            if spec.report_lines is not None
+        ]
+        assert [spec.name for spec in report_specs()] == with_lines
+        assert len(with_lines) >= 13  # every paper table/figure headline
+
+    def test_duplicate_registration_rejected(self):
+        decorate = experiment(
+            name="table2",  # already taken by baseline
+            artifact="dup",
+            description="dup",
+            aggregate=lambda ctx, values: values,
+        )
+        with pytest.raises(ValueError, match="registered twice"):
+            decorate(lambda ctx: [])
+
+    def test_alias_collision_rejected(self):
+        decorate = experiment(
+            name="definitely-new",
+            artifact="dup",
+            description="dup",
+            aggregate=lambda ctx, values: values,
+            aliases=("table6",),  # already an alias of table5
+        )
+        with pytest.raises(ValueError, match="already taken"):
+            decorate(lambda ctx: [])
+        assert "definitely-new" not in {s.name for s in engine.specs()}
+
+    def test_parallel_flag_matches_plan_count(self):
+        """``parallel_names()`` (the --jobs help text) is honest: every
+        listed experiment really fans into more than one plan."""
+        for spec in engine.specs():
+            ctx = PlanContext(
+                scale=spec.default_scale,
+                seed=spec.default_seed,
+                extras=dict(spec.report_extras),
+            )
+            plans = spec.build_plans(ctx)
+            assert (len(plans) > 1) == spec.parallel, spec.name
+
+    def test_traceable_specs_have_traceable_plans(self):
+        for spec in engine.specs():
+            ctx = PlanContext(scale=spec.default_scale, seed=spec.default_seed)
+            plans = spec.build_plans(ctx)
+            assert any(p.traceable for p in plans) == spec.traceable, spec.name
+
+
+class TestSeedStreams:
+    def test_spawn_seed_is_pure_and_label_sensitive(self):
+        assert spawn_seed(1996, "table2", "office1") == spawn_seed(
+            1996, "table2", "office1"
+        )
+        assert spawn_seed(1996, "table2", "office1") != spawn_seed(
+            1996, "table2", "office2"
+        )
+        assert spawn_seed(1996, "table2", "office1") != spawn_seed(
+            1996, "table4", "office1"
+        )
+        # Label order matters: (a, b) and (b, a) are different streams.
+        assert spawn_seed(7, "a", "b") != spawn_seed(7, "b", "a")
+
+    def test_no_two_trials_in_a_full_report_share_a_stream(self):
+        """The report hands ONE root seed to every experiment; the
+        engine's ``(root, experiment, label)`` derivation must keep all
+        trial streams distinct — the collision the old ``seed + index``
+        scheme could not rule out."""
+        root = 1996
+        seeds: dict[int, tuple[str, str]] = {}
+        total_plans = 0
+        for spec in report_specs():
+            scale = (
+                spec.report_scale(0.25)
+                if spec.report_scale is not None
+                else 0.25
+            )
+            ctx = PlanContext(
+                scale=scale, seed=root, extras=dict(spec.report_extras)
+            )
+            for plan in spec.build_plans(ctx):
+                total_plans += 1
+                if plan.seed_arg is None:
+                    continue
+                label = plan.seed_label or plan.name
+                derived = engine.trial_seed(root, spec.name, label)
+                owner = (spec.name, label)
+                assert seeds.get(derived, owner) == owner, (
+                    f"stream collision: {owner} vs {seeds[derived]}"
+                )
+                seeds[derived] = owner
+        assert len(seeds) == total_plans  # every plan has its own stream
+        assert total_plans > 40
+
+    def test_derived_seed_ignores_job_count_and_plan_order(self):
+        """A trial's seed depends only on (root, experiment, label) —
+        the engine derives it in the parent before any fan-out."""
+        ctx1 = PlanContext(scale=0.1, seed=11, jobs=1)
+        ctx8 = PlanContext(scale=0.1, seed=11, jobs=8)
+        spec = engine.get("table4")
+        for plan1, plan8 in zip(spec.build_plans(ctx1), spec.build_plans(ctx8)):
+            assert plan1.name == plan8.name
+            assert engine.trial_seed(
+                ctx1.seed, spec.name, plan1.name
+            ) == engine.trial_seed(ctx8.seed, spec.name, plan8.name)
+
+
+class TestGoldenEquivalence:
+    """Engine runs equal hand-rolled loops over the worker functions."""
+
+    def test_baseline_rows_match_hand_rolled_loop(self):
+        scale, seed = 0.01, 1996
+        result = baseline.run(scale=scale, seed=seed)
+        expected = [
+            baseline._run_trial(
+                name,
+                max(1000, int(paper_count * scale)),
+                engine.trial_seed(seed, "table2", name),
+            )
+            for name, paper_count in baseline.PAPER_TRIALS
+        ]
+        assert result.rows == expected
+
+    def test_walls_rows_match_hand_rolled_loop(self):
+        from repro.experiments.scenarios import single_wall_scenarios
+
+        scale, seed = 0.05, 64
+        result = walls.run(scale=scale, seed=seed)
+        packets = max(500, int(walls.PAPER_PACKETS * scale))
+        expected = [
+            walls._run_wall(
+                setup.name, packets, engine.trial_seed(seed, "table4", setup.name)
+            )
+            for setup in single_wall_scenarios()
+        ]
+        assert result.metrics_rows == [m for m, _ in expected]
+        assert result.signal_rows == [s for _, s in expected]
+
+    def test_phones_spread_match_hand_rolled_loop(self):
+        scale, seed = 0.1, 73
+        result = ENGINE.run(
+            "table11", scale=scale, seed=seed,
+            extras={"keep_classified": False},
+        )
+        packets = max(400, int(phones_spread.PAPER_PACKETS * scale))
+        expected = [
+            phones_spread._run_trial(
+                trial,
+                packets,
+                engine.trial_seed(seed, "table11", trial),
+                keep_classified=False,
+            )
+            for trial in phones_spread.TRIALS
+        ]
+        assert result.summaries == [b.summary for b in expected]
+        assert result.metrics_rows == [b.metrics for b in expected]
+        assert result.signal_rows == [b.signal_row for b in expected]
+        assert result.classified == {}  # keep_classified=False dropped them
+
+
+def _single_plan_fn(seed: int) -> int:
+    """Module-level so the engine can build a Task around it."""
+    return seed
+
+
+_SOLO_SPEC = ExperimentSpec(
+    name="solo-test",
+    artifact="test",
+    description="single-plan spec for warning tests",
+    build_plans=lambda ctx: [TrialPlan("only", _single_plan_fn, {})],
+    aggregate=lambda ctx, values: values[0],
+)
+
+
+class TestLoudWarnings:
+    """Flags that cannot apply warn on stderr instead of no-opping."""
+
+    def test_save_traces_on_non_traceable_experiment_warns(
+        self, tmp_path, capsys
+    ):
+        trace_dir = tmp_path / "traces"
+        ENGINE.run("burst", scale=0.001, seed=3, trace_dir=str(trace_dir))
+        err = capsys.readouterr().err
+        assert "warning:" in err
+        assert "does not capture packet traces" in err
+        assert not trace_dir.exists()  # flag really was dropped
+
+    def test_jobs_on_single_plan_experiment_warns(self, capsys):
+        value = ENGINE.run(_SOLO_SPEC, jobs=4)
+        err = capsys.readouterr().err
+        assert "warning:" in err
+        assert "single trial plan" in err
+        # ... but the run still completes, serially, with a derived seed.
+        assert value == engine.trial_seed(0, "solo-test", "only")
+
+    def test_no_warning_on_clean_run(self, capsys):
+        ENGINE.run(_SOLO_SPEC)
+        assert "warning:" not in capsys.readouterr().err

@@ -63,7 +63,7 @@ class TestErrorVsLevel:
 
     @pytest.fixture(scope="class")
     def result(self):
-        return error_vs_level.run(scale=0.4, seed=52)
+        return error_vs_level.run(scale=0.4, seed=53)
 
     def test_damaged_packets_live_below_8(self, result):
         damaged = result.group("Body damaged")
@@ -123,7 +123,7 @@ class TestBody:
 
     @pytest.fixture(scope="class")
     def result(self):
-        return body.run(scale=1.0, seed=63)
+        return body.run(scale=1.0, seed=65)
 
     def test_body_cost(self, result):
         assert result.body_cost_levels == pytest.approx(5.8, abs=1.2)
