@@ -8,6 +8,8 @@
     python -m repro table2 --save-traces traces/ --trace-format v2
     python -m repro report --jobs 4 --out report.md
     python -m repro stats run.jsonl
+    python -m repro timeline run.jsonl --export trace.json
+    python -m repro bench diff benchmarks/baseline.json BENCH_internal.json
     python -m repro convert traces/office1.wlt2 office1.jsonl
 
 Every experiment subcommand is generated from the spec registry
@@ -81,6 +83,13 @@ def _add_run_flags(parser: argparse.ArgumentParser, default_scale: float) -> Non
         help="trace format for --save-traces (v1 JSON-lines, v2 "
              "columnar binary; default v2)",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="emit a heartbeat per finished trial (telemetry record "
+             "when --telemetry is on — watch live with `timeline FILE "
+             "--follow` — else a stderr line)",
+    )
     _add_observability_flags(parser)
 
 
@@ -120,12 +129,70 @@ def _build_parser() -> argparse.ArgumentParser:
                              "processes; the comparison table is identical "
                              "to --jobs 1")
     report.add_argument("--out", default=None, help="write Markdown here")
+    report.add_argument(
+        "--progress",
+        action="store_true",
+        help="emit a heartbeat per finished experiment (see the "
+             "per-experiment --progress flag)",
+    )
     _add_observability_flags(report)
 
     stats = commands.add_parser(
         "stats", help="summarize a telemetry file written with --telemetry"
     )
     stats.add_argument("target", metavar="TELEMETRY_FILE")
+
+    timeline = commands.add_parser(
+        "timeline",
+        help="render a traced run's span tree (terminal waterfall, "
+             "Perfetto export, or live heartbeat tail)",
+    )
+    timeline.add_argument("target", metavar="TELEMETRY_FILE")
+    timeline.add_argument(
+        "--export",
+        default=None,
+        metavar="OUT.json",
+        help="write Chrome trace-event JSON for https://ui.perfetto.dev "
+             "instead of rendering the terminal waterfall",
+    )
+    timeline.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail the (still-running) file's heartbeat records live",
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="benchmark history: append snapshots, diff with a "
+             "regression gate",
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command",
+                                          metavar="ACTION", required=True)
+    bench_append = bench_commands.add_parser(
+        "append",
+        help="stamp BENCH_internal.json with the git revision and "
+             "append it to the history series",
+    )
+    bench_append.add_argument(
+        "--bench", default="BENCH_internal.json", metavar="FILE",
+        help="snapshot to append (default BENCH_internal.json)",
+    )
+    bench_append.add_argument(
+        "--history", default="benchmarks/history.jsonl", metavar="FILE",
+        help="history series to append to "
+             "(default benchmarks/history.jsonl)",
+    )
+    bench_diff = bench_commands.add_parser(
+        "diff",
+        help="compare two snapshots' *_wall_s timings; exit 1 when any "
+             "stage slowed beyond tolerance (the CI regression gate)",
+    )
+    bench_diff.add_argument("baseline", metavar="BASELINE.json")
+    bench_diff.add_argument("current", metavar="CURRENT.json")
+    bench_diff.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRACTION",
+        help="allowed per-timing slowdown (default 0.25 = 25%%)",
+    )
 
     convert = commands.add_parser(
         "convert", help="re-encode a saved trace between v1 and v2"
@@ -153,6 +220,10 @@ def _cmd_list() -> int:
           "paper-vs-measured Markdown report (default scale 0.25)")
     print("  stats                        summarize a telemetry file "
           "written with --telemetry")
+    print("  timeline                     render a traced run's span "
+          "tree (waterfall, Perfetto export, --follow)")
+    print("  bench                        benchmark history: append "
+          "snapshots, diff with a regression gate")
     print("  convert                      re-encode a saved trace "
           "between v1 and v2")
     return 0
@@ -224,6 +295,7 @@ def _run_one(spec, args, observing: bool, git_rev: str | None) -> None:
         jobs=args.jobs,
         trace_dir=args.save_traces,
         trace_format=args.trace_format or "v2",
+        progress=args.progress,
     )
     if spec.render is not None:
         spec.render(result, scale)
@@ -259,13 +331,48 @@ def main(argv: list[str] | None = None) -> int:
         except (OSError, ValueError) as exc:
             print(f"stats: {exc}", file=sys.stderr)
             return 2
+    if args.command == "timeline":
+        from repro.obs import export as export_module
+
+        try:
+            return export_module.main(
+                args.target, export=args.export, follow=args.follow
+            )
+        except (OSError, ValueError) as exc:
+            print(f"timeline: {exc}", file=sys.stderr)
+            return 2
+        except KeyboardInterrupt:
+            return 130
+    if args.command == "bench":
+        from repro.obs import bench as bench_module
+
+        try:
+            if args.bench_command == "append":
+                return bench_module.main_append(
+                    bench=args.bench, history=args.history
+                )
+            return bench_module.main_diff(
+                args.baseline,
+                args.current,
+                tolerance=(
+                    args.tolerance
+                    if args.tolerance is not None
+                    else bench_module.DEFAULT_TOLERANCE
+                ),
+            )
+        except (OSError, ValueError) as exc:
+            print(f"bench: {exc}", file=sys.stderr)
+            return 2
     if args.command == "convert":
         return _cmd_convert(args.source, args.destination, args.trace_format)
 
     observing = args.metrics or args.telemetry is not None
     if observing:
         try:
-            obs.configure(telemetry_path=args.telemetry)
+            obs.configure(
+                telemetry_path=args.telemetry,
+                trace_label=args.command,
+            )
         except OSError as exc:
             print(f"--telemetry: {exc}", file=sys.stderr)
             return 2
@@ -275,7 +382,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "report":
             from repro.experiments import report as report_module
 
-            kwargs = {"scale": args.scale, "out": args.out, "jobs": args.jobs}
+            kwargs = {"scale": args.scale, "out": args.out,
+                      "jobs": args.jobs, "progress": args.progress}
             if args.seed is not None:
                 kwargs["seed"] = args.seed
             report = report_module.main(**kwargs)

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.analysis.matching import MatchOutcome, MatchResult, TraceMatcher
 from repro.analysis.syndrome import ErrorSyndrome, extract_syndrome
+from repro.obs import runtime as _obs
 from repro.framing.crc import check_fcs
 from repro.framing.modem import NETWORK_ID_LEN
 from repro.framing.testpacket import FRAME_BYTES
@@ -108,18 +109,28 @@ def classify_trace(trace: AnyTrace) -> ClassifiedTrace:
     lazy record views instead.
     """
     if isinstance(trace, ColumnarTrace):
-        return _classify_columnar(trace)
+        with _obs.trace_span(
+            "analysis.classify",
+            records=trace.packets_received, columnar=True,
+        ):
+            return _classify_columnar(trace)
     matcher = TraceMatcher(trace.spec, trace.packets_sent)
     result = ClassifiedTrace(trace=trace)
     records = trace.records
-    for chunk_start in range(0, len(records), MATCH_CHUNK_RECORDS):
-        chunk = records[chunk_start : chunk_start + MATCH_CHUNK_RECORDS]
-        datas = materialize_data(chunk)
-        bulk_results = matcher.match_bulk(datas)
-        for record, data, match in zip(chunk, datas, bulk_results):
-            if match is None:
-                match = matcher.match_bytes(data, skip_fast=True)
-            result.packets.append(_classify_one(matcher, record, data, match))
+    with _obs.trace_span(
+        "analysis.classify", records=len(records), columnar=False
+    ):
+        for chunk_start in range(0, len(records), MATCH_CHUNK_RECORDS):
+            chunk = records[chunk_start : chunk_start + MATCH_CHUNK_RECORDS]
+            with _obs.span("profile.classify_chunk"):
+                datas = materialize_data(chunk)
+                bulk_results = matcher.match_bulk(datas)
+                for record, data, match in zip(chunk, datas, bulk_results):
+                    if match is None:
+                        match = matcher.match_bytes(data, skip_fast=True)
+                    result.packets.append(
+                        _classify_one(matcher, record, data, match)
+                    )
     return result
 
 
@@ -137,36 +148,37 @@ def _classify_columnar(trace: ColumnarTrace) -> ClassifiedTrace:
     packets_append = result.packets.append
     for chunk_start in range(0, n, MATCH_CHUNK_RECORDS):
         chunk_stop = min(chunk_start + MATCH_CHUNK_RECORDS, n)
-        chunk_lengths = lengths[chunk_start:chunk_stop]
-        full_rows = chunk_start + np.nonzero(
-            chunk_lengths == FRAME_BYTES
-        )[0]
-        matches: list[Optional[MatchResult]] = [None] * (
-            chunk_stop - chunk_start
-        )
-        if full_rows.size:
-            matrix = trace.frame_matrix(full_rows, FRAME_BYTES)
-            for row, match in zip(
-                (full_rows - chunk_start).tolist(),
-                matcher.match_matrix(matrix),
-            ):
-                matches[row] = match
-        lengths_list = chunk_lengths.tolist()
-        for offset, index in enumerate(range(chunk_start, chunk_stop)):
-            match = matches[offset]
-            data: Optional[bytes] = None
-            if match is None:
-                data = trace.data(index)
-                match = matcher.match_bytes(data, skip_fast=True)
-            packets_append(
-                _classify_one(
-                    matcher,
-                    trace.record_view(index),
-                    data,
-                    match,
-                    length=lengths_list[offset],
-                )
+        with _obs.span("profile.classify_chunk"):
+            chunk_lengths = lengths[chunk_start:chunk_stop]
+            full_rows = chunk_start + np.nonzero(
+                chunk_lengths == FRAME_BYTES
+            )[0]
+            matches: list[Optional[MatchResult]] = [None] * (
+                chunk_stop - chunk_start
             )
+            if full_rows.size:
+                matrix = trace.frame_matrix(full_rows, FRAME_BYTES)
+                for row, match in zip(
+                    (full_rows - chunk_start).tolist(),
+                    matcher.match_matrix(matrix),
+                ):
+                    matches[row] = match
+            lengths_list = chunk_lengths.tolist()
+            for offset, index in enumerate(range(chunk_start, chunk_stop)):
+                match = matches[offset]
+                data: Optional[bytes] = None
+                if match is None:
+                    data = trace.data(index)
+                    match = matcher.match_bytes(data, skip_fast=True)
+                packets_append(
+                    _classify_one(
+                        matcher,
+                        trace.record_view(index),
+                        data,
+                        match,
+                        length=lengths_list[offset],
+                    )
+                )
     return result
 
 

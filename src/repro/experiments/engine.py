@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Sequence, Union
 
+from repro.obs import runtime as _obs_runtime
 from repro.parallel import Task, run_tasks
 from repro.simkit.rng import spawn_seed
 
@@ -262,15 +263,23 @@ class ExperimentEngine:
         trace_dir: Optional[str] = None,
         trace_format: str = "v2",
         extras: Optional[Mapping[str, Any]] = None,
+        progress: bool = False,
     ) -> Any:
         """Run one experiment and return its aggregated result.
 
         ``scale``/``seed`` default to the spec's; ``jobs > 1`` fans the
         trial plans over a process pool (results are byte-identical to
         ``jobs=1`` because seeds are derived in the parent);
-        ``trace_dir`` persists each traceable trial's raw trace.
-        Flags that cannot apply warn loudly instead of silently
-        no-opping.
+        ``trace_dir`` persists each traceable trial's raw trace;
+        ``progress`` emits per-trial heartbeat telemetry through the
+        runner.  Flags that cannot apply warn loudly instead of
+        silently no-opping.
+
+        When a trace recorder is active the run produces one
+        ``engine.<name>`` span with ``engine.plan`` / ``engine.execute``
+        / ``engine.aggregate`` children; every trial's task span (local
+        or in a pool worker) parents under ``engine.execute`` through
+        :func:`repro.parallel.run_tasks`.
         """
         spec = (
             spec_or_name
@@ -292,28 +301,36 @@ class ExperimentEngine:
             trace_format=trace_format or "v2",
             extras=dict(extras or {}),
         )
-        plans = list(spec.build_plans(ctx))
-        if jobs > 1 and len(plans) <= 1:
-            _warn(
-                f"experiment '{spec.name}' is a single trial plan; "
-                f"--jobs {jobs} runs it serially"
-            )
-        if ctx.trace_dir is not None and any(p.traceable for p in plans):
-            Path(ctx.trace_dir).mkdir(parents=True, exist_ok=True)
-        tasks = [self._task(spec, ctx, plan) for plan in plans]
-        # Serial runs emit no trial-level manifests — the orchestration
-        # boundary (the CLI, the report runner) emits one per-experiment
-        # manifest, and trial records would double-count in ``stats``.
-        # A real fan-out keeps per-trial manifests (in worker shards)
-        # plus one merged record, exactly like the pre-engine pool runs.
-        fanning = jobs > 1 and len(tasks) > 1
-        results = run_tasks(
-            tasks,
-            jobs=jobs,
-            label=f"{spec.name}-trials" if fanning else None,
-            task_manifests=fanning,
-        )
-        return spec.aggregate(ctx, [r.value for r in results])
+        with _obs_runtime.trace_span(
+            f"engine.{spec.name}", scale=ctx.scale, seed=ctx.seed, jobs=jobs
+        ):
+            with _obs_runtime.trace_span("engine.plan"):
+                plans = list(spec.build_plans(ctx))
+            if jobs > 1 and len(plans) <= 1:
+                _warn(
+                    f"experiment '{spec.name}' is a single trial plan; "
+                    f"--jobs {jobs} runs it serially"
+                )
+            if ctx.trace_dir is not None and any(p.traceable for p in plans):
+                Path(ctx.trace_dir).mkdir(parents=True, exist_ok=True)
+            tasks = [self._task(spec, ctx, plan) for plan in plans]
+            # Serial runs emit no trial-level manifests — the
+            # orchestration boundary (the CLI, the report runner) emits
+            # one per-experiment manifest, and trial records would
+            # double-count in ``stats``.  A real fan-out keeps per-trial
+            # manifests (in worker shards) plus one merged record,
+            # exactly like the pre-engine pool runs.
+            fanning = jobs > 1 and len(tasks) > 1
+            with _obs_runtime.trace_span("engine.execute", trials=len(tasks)):
+                results = run_tasks(
+                    tasks,
+                    jobs=jobs,
+                    label=f"{spec.name}-trials" if fanning else None,
+                    task_manifests=fanning,
+                    progress=progress,
+                )
+            with _obs_runtime.trace_span("engine.aggregate"):
+                return spec.aggregate(ctx, [r.value for r in results])
 
     def _task(self, spec: ExperimentSpec, ctx: PlanContext, plan: TrialPlan) -> Task:
         """One plan -> one seeded, picklable task."""

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro import obs
 from repro.experiments import engine
+from repro.obs import runtime as _obs_runtime
 from repro.parallel import Task, run_tasks
 
 
@@ -54,6 +55,10 @@ class ExperimentResources:
     wall_clock_s: float
     events_fired: int
     packets_offered: int
+    # From the run manifest's resource accounting; 0 when the manifest
+    # predates it (or the platform exposes neither /proc nor rusage).
+    cpu_s: float = 0.0
+    peak_rss_kb: int = 0
 
 
 @dataclass
@@ -100,17 +105,23 @@ class ReproductionReport:
         out.write(self.table_markdown())
         if self.resources:
             out.write("\n## Resource footprint\n\n")
-            out.write("| experiment | wall-clock (s) | events fired "
+            out.write("| experiment | wall-clock (s) | CPU (s) "
+                      "| peak RSS (MB) | events fired "
                       "| packets simulated |\n")
-            out.write("|---|---:|---:|---:|\n")
+            out.write("|---|---:|---:|---:|---:|---:|\n")
             for r in self.resources:
                 out.write(
                     f"| {r.experiment} | {r.wall_clock_s:.2f} "
+                    f"| {r.cpu_s:.2f} | {r.peak_rss_kb / 1024:.0f} "
                     f"| {r.events_fired} | {r.packets_offered} |\n"
                 )
+            # CPU seconds add up across experiments; peak RSS is a
+            # per-process high-water mark, so the total takes the max.
             out.write(
                 f"| **total** "
                 f"| {sum(r.wall_clock_s for r in self.resources):.2f} "
+                f"| {sum(r.cpu_s for r in self.resources):.2f} "
+                f"| {max(r.peak_rss_kb for r in self.resources) / 1024:.0f} "
                 f"| {sum(r.events_fired for r in self.resources)} "
                 f"| {sum(r.packets_offered for r in self.resources)} |\n"
             )
@@ -155,7 +166,10 @@ def _report_tasks(scale: float, seed: int) -> list[Task]:
 
 
 def build_report(
-    scale: float = 0.25, seed: int = 1996, jobs: int = 1
+    scale: float = 0.25,
+    seed: int = 1996,
+    jobs: int = 1,
+    progress: bool = False,
 ) -> ReproductionReport:
     """Run every report experiment at ``scale`` and compare headlines.
 
@@ -173,10 +187,11 @@ def build_report(
     specs = {spec.name: spec for spec in report_specs()}
     with obs.ensure_metrics():
         git_rev = obs.git_revision()
-        results = run_tasks(
-            _report_tasks(scale, seed), jobs=jobs, label="report",
-            git_rev=git_rev,
-        )
+        with _obs_runtime.trace_span("report", scale=scale, jobs=jobs):
+            results = run_tasks(
+                _report_tasks(scale, seed), jobs=jobs, label="report",
+                git_rev=git_rev, progress=progress,
+            )
         for result in results:
             manifest = result.manifest or {}
             report.resources.append(
@@ -187,6 +202,8 @@ def build_report(
                     ),
                     events_fired=manifest.get("events_fired", 0),
                     packets_offered=manifest.get("packets_offered", 0),
+                    cpu_s=manifest.get("cpu_s") or 0.0,
+                    peak_rss_kb=manifest.get("peak_rss_kb") or 0,
                 )
             )
             specs[result.name].report_lines(report, result.value, scale)
@@ -198,8 +215,9 @@ def main(
     seed: int = 1996,
     out: str | None = None,
     jobs: int = 1,
+    progress: bool = False,
 ) -> ReproductionReport:
-    report = build_report(scale=scale, seed=seed, jobs=jobs)
+    report = build_report(scale=scale, seed=seed, jobs=jobs, progress=progress)
     text = report.markdown()
     if out:
         with open(out, "w", encoding="utf-8") as stream:

@@ -24,7 +24,9 @@ from repro.obs.events import (
     JsonlTelemetrySink,
     TELEMETRY_FORMAT,
     TELEMETRY_KIND,
+    iter_telemetry,
     read_telemetry,
+    read_telemetry_header,
 )
 from repro.obs.manifest import RunManifest, build_manifest, git_revision
 from repro.obs.metrics import (
@@ -37,6 +39,7 @@ from repro.obs.metrics import (
     render_snapshot,
     scoped_name,
 )
+from repro.obs.resources import ResourceMonitor, ResourceSample, sample
 from repro.obs.runtime import (
     STATE,
     ObsState,
@@ -46,6 +49,15 @@ from repro.obs.runtime import (
     reset,
     session,
     span,
+    trace_span,
+)
+from repro.obs.spans import (
+    SpanContext,
+    SpanRecorder,
+    derive_span_id,
+    derive_trace_id,
+    span_structure,
+    span_tree,
 )
 from repro.obs.stats import TelemetrySummary, render_summary, summarize_telemetry
 
@@ -58,23 +70,35 @@ __all__ = [
     "Metrics",
     "NULL_SPAN",
     "ObsState",
+    "ResourceMonitor",
+    "ResourceSample",
     "RunManifest",
     "STATE",
+    "SpanContext",
+    "SpanRecorder",
     "TELEMETRY_FORMAT",
     "TELEMETRY_KIND",
     "TelemetrySummary",
     "Timer",
     "build_manifest",
     "configure",
+    "derive_span_id",
+    "derive_trace_id",
     "ensure_metrics",
     "git_revision",
+    "iter_telemetry",
     "metrics",
     "read_telemetry",
+    "read_telemetry_header",
     "render_snapshot",
     "render_summary",
     "reset",
+    "sample",
     "scoped_name",
     "session",
     "span",
+    "span_structure",
+    "span_tree",
     "summarize_telemetry",
+    "trace_span",
 ]

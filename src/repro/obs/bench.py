@@ -1,0 +1,211 @@
+"""Benchmark history and the regression gate.
+
+The smoke benchmarks (``benchmarks/bench_internal_performance.py``)
+merge their measurements into ``BENCH_internal.json`` — a snapshot of
+*this* working tree's performance.  This module gives those snapshots a
+memory and a gate:
+
+* :func:`append_history` stamps the current snapshot with the git
+  revision and appends it to ``benchmarks/history.jsonl`` — one JSON
+  line per benchmarked revision, so performance over time is a
+  greppable series (``python -m repro bench append``).
+* :func:`diff_stages` compares two snapshots' ``*_wall_s`` timings
+  per stage with a tolerance band; :func:`main_diff` (``python -m
+  repro bench diff BASELINE CURRENT``) exits nonzero when any stage
+  slowed beyond tolerance — the CI regression gate against the
+  committed ``benchmarks/baseline.json``.
+
+Only ``*_wall_s`` keys are compared: they are the timings; throughput
+and speedup keys are derived from them, and payload keys like
+``packets`` describe the workload, not the performance.  A stage or
+timing present on one side only is reported but never fails the gate —
+adding a benchmark must not break CI retroactively.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.manifest import git_revision
+
+PathLike = Union[str, Path]
+
+#: CI's tolerance band: a stage may slow by this fraction before the
+#: gate fails.  Wide enough for shared-runner noise on sub-100ms
+#: stages, tight enough to catch a real (algorithmic) regression.
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_snapshot(path: PathLike) -> dict:
+    """Read one ``BENCH_internal.json``-shaped snapshot (schema 1)."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != 1:
+        raise ValueError(
+            f"{path}: bench schema {doc.get('schema')} (this reader "
+            "supports 1)"
+        )
+    return doc
+
+
+def append_history(
+    bench_path: PathLike,
+    history_path: PathLike,
+    git_rev: Optional[str] = None,
+) -> dict:
+    """Append the current snapshot to the history series.
+
+    The appended line carries the snapshot's stages plus the git
+    revision and a timestamp; returns the record written.
+    """
+    snapshot = load_snapshot(bench_path)
+    record = {
+        "git_rev": git_rev if git_rev is not None else git_revision(),
+        "unix": time.time(),
+        "stages": snapshot.get("stages", {}),
+    }
+    history_path = Path(history_path)
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(history_path, "a", encoding="utf-8") as stream:
+        stream.write(json.dumps(record) + "\n")
+    return record
+
+
+def load_history(history_path: PathLike) -> list[dict]:
+    """Every record of the history series, oldest first."""
+    records = []
+    with open(history_path, encoding="utf-8") as stream:
+        for line in stream:
+            if line.strip():
+                records.append(json.loads(line))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Diffing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TimingDelta:
+    """One ``stage.key`` timing compared across two snapshots."""
+
+    stage: str
+    key: str
+    baseline_s: float
+    current_s: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (1.0 = unchanged; >1 = slower)."""
+        if self.baseline_s <= 0:
+            return 1.0
+        return self.current_s / self.baseline_s
+
+    def regressed(self, tolerance: float) -> bool:
+        return self.ratio > 1.0 + tolerance
+
+
+def _wall_keys(stage_payload: dict) -> dict[str, float]:
+    return {
+        key: value
+        for key, value in stage_payload.items()
+        if key.endswith("_wall_s") and isinstance(value, (int, float))
+    }
+
+
+def diff_stages(
+    baseline: dict, current: dict
+) -> tuple[list[TimingDelta], list[str]]:
+    """Compare two snapshots' stages on their ``*_wall_s`` timings.
+
+    Returns ``(deltas, uncompared)``: one :class:`TimingDelta` per
+    timing present on both sides, plus human-readable notes for stages
+    or timings present on only one side (reported, never gating).
+    """
+    baseline_stages = baseline.get("stages", {})
+    current_stages = current.get("stages", {})
+    deltas: list[TimingDelta] = []
+    uncompared: list[str] = []
+    for stage in sorted(set(baseline_stages) | set(current_stages)):
+        if stage not in current_stages:
+            uncompared.append(f"stage {stage!r}: baseline only (not run)")
+            continue
+        if stage not in baseline_stages:
+            uncompared.append(f"stage {stage!r}: new (no baseline)")
+            continue
+        base_walls = _wall_keys(baseline_stages[stage])
+        cur_walls = _wall_keys(current_stages[stage])
+        for key in sorted(set(base_walls) | set(cur_walls)):
+            if key not in cur_walls:
+                uncompared.append(f"{stage}.{key}: baseline only")
+            elif key not in base_walls:
+                uncompared.append(f"{stage}.{key}: new (no baseline)")
+            else:
+                deltas.append(
+                    TimingDelta(stage, key, base_walls[key], cur_walls[key])
+                )
+    return deltas, uncompared
+
+
+def render_diff(
+    deltas: list[TimingDelta],
+    uncompared: list[str],
+    tolerance: float,
+) -> str:
+    """Human-readable diff table, regressions flagged."""
+    lines = [
+        f"{'stage.timing':<44} {'baseline':>10} {'current':>10} "
+        f"{'ratio':>7}"
+    ]
+    for delta in deltas:
+        flag = ""
+        if delta.regressed(tolerance):
+            flag = f"  REGRESSION (> {tolerance:.0%} tolerance)"
+        elif delta.ratio < 1.0 - tolerance:
+            flag = "  improved"
+        lines.append(
+            f"{delta.stage + '.' + delta.key:<44} "
+            f"{delta.baseline_s:>9.4f}s {delta.current_s:>9.4f}s "
+            f"{delta.ratio:>6.2f}x{flag}"
+        )
+    for note in uncompared:
+        lines.append(f"(uncompared) {note}")
+    regressions = [d for d in deltas if d.regressed(tolerance)]
+    lines.append(
+        f"{len(deltas)} timings compared, {len(regressions)} regression"
+        f"{'s' if len(regressions) != 1 else ''}"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main_append(
+    bench: str = "BENCH_internal.json",
+    history: str = "benchmarks/history.jsonl",
+) -> int:
+    """``python -m repro bench append``: stamp + append the snapshot."""
+    record = append_history(bench, history)
+    print(
+        f"appended {len(record['stages'])} stages at rev "
+        f"{record['git_rev'] or 'unknown'} to {history}"
+    )
+    return 0
+
+
+def main_diff(
+    baseline: str,
+    current: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> int:
+    """``python -m repro bench diff``: compare, exit 1 on regression."""
+    deltas, uncompared = diff_stages(
+        load_snapshot(baseline), load_snapshot(current)
+    )
+    print(render_diff(deltas, uncompared, tolerance))
+    if any(delta.regressed(tolerance) for delta in deltas):
+        return 1
+    return 0

@@ -91,32 +91,54 @@ class JsonlTelemetrySink:
         self.close()
 
 
+def _read_header(path: PathLike, stream: IO) -> dict:
+    """Read and validate the line-1 header of an open telemetry stream."""
+    header_line = stream.readline()
+    if not header_line:
+        raise ValueError(f"{path}: empty telemetry file")
+    header = json.loads(header_line)
+    if header.get("kind") != TELEMETRY_KIND:
+        raise ValueError(f"{path}: not a telemetry file")
+    if header.get("format") != TELEMETRY_FORMAT:
+        raise ValueError(
+            f"{path}: format {header.get('format')} "
+            f"(this reader supports {TELEMETRY_FORMAT})"
+        )
+    return header
+
+
+def read_telemetry_header(path: PathLike) -> dict:
+    """Read just the validated line-1 header of a telemetry file."""
+    with _open(path, "r") as stream:
+        return _read_header(path, stream)
+
+
 def read_telemetry(path: PathLike) -> tuple[dict, list[dict]]:
     """Read a telemetry file; returns ``(header, records)``.
 
     Raises ValueError on kind/format mismatches — same contract as the
-    trial-trace reader.
+    trial-trace reader.  Loads the whole file; for multi-GB telemetry
+    families prefer the streaming :func:`iter_telemetry`.
     """
     with _open(path, "r") as stream:
-        header_line = stream.readline()
-        if not header_line:
-            raise ValueError(f"{path}: empty telemetry file")
-        header = json.loads(header_line)
-        if header.get("kind") != TELEMETRY_KIND:
-            raise ValueError(f"{path}: not a telemetry file")
-        if header.get("format") != TELEMETRY_FORMAT:
-            raise ValueError(
-                f"{path}: format {header.get('format')} "
-                f"(this reader supports {TELEMETRY_FORMAT})"
-            )
+        header = _read_header(path, stream)
         records = [json.loads(line) for line in stream if line.strip()]
     return header, records
 
 
 def iter_telemetry(path: PathLike) -> Iterator[dict]:
-    """Stream records (header validated and skipped)."""
-    header, records = read_telemetry(path)
-    yield from records
+    """Stream records one at a time (header validated and skipped).
+
+    A true generator over the open stream — constant memory however
+    large the file, which is what lets ``stats`` fold multi-GB shard
+    directories.  Header validation errors raise on the first
+    ``next()``, matching :func:`read_telemetry`'s contract.
+    """
+    with _open(path, "r") as stream:
+        _read_header(path, stream)
+        for line in stream:
+            if line.strip():
+                yield json.loads(line)
 
 
 class EventTracer:

@@ -49,6 +49,11 @@ class RunManifest:
     packets_offered: int
     rng_streams: dict[str, int] = field(default_factory=dict)
     layer_counters: dict[str, int] = field(default_factory=dict)
+    # Resource accounting (repro.obs.resources): CPU seconds consumed
+    # by the run and the process's peak RSS when it finished.  None
+    # when the run predates resource sampling or it was unavailable.
+    cpu_s: Optional[float] = None
+    peak_rss_kb: Optional[int] = None
 
     def to_record(self) -> dict:
         """The ``type: manifest`` telemetry record."""
@@ -63,6 +68,8 @@ class RunManifest:
             "packets_offered": self.packets_offered,
             "rng_streams": self.rng_streams,
             "layer_counters": self.layer_counters,
+            "cpu_s": self.cpu_s,
+            "peak_rss_kb": self.peak_rss_kb,
         }
 
 
@@ -87,11 +94,15 @@ def build_manifest(
     seed: Optional[int] = None,
     scale: Optional[float] = None,
     git_rev: Optional[str] = None,
+    cpu_s: Optional[float] = None,
+    peak_rss_kb: Optional[int] = None,
 ) -> RunManifest:
     """Fold a before/after counter diff into a :class:`RunManifest`.
 
     RNG-stream call counts (``rng.calls{stream=...}``) are split out of
-    the layer counters into their own mapping.
+    the layer counters into their own mapping.  ``cpu_s`` /
+    ``peak_rss_kb`` come from the caller's resource monitor when it ran
+    one (the parallel runner and the CLI both do).
     """
     deltas = counter_deltas(counters_before, metrics.counters_snapshot())
     rng_streams: dict[str, int] = {}
@@ -111,4 +122,6 @@ def build_manifest(
         packets_offered=layer_counters.get("trace.packets_offered", 0),
         rng_streams=rng_streams,
         layer_counters=layer_counters,
+        cpu_s=cpu_s,
+        peak_rss_kb=peak_rss_kb,
     )

@@ -26,13 +26,14 @@ from typing import Iterator, Optional
 
 from repro.obs.events import EventTracer, JsonlTelemetrySink
 from repro.obs.metrics import NULL_SPAN, Metrics
+from repro.obs.spans import NULL_TRACE_SPAN, SpanRecorder, derive_trace_id
 
 
 class ObsState:
     """Mutable holder of the active observability session."""
 
     __slots__ = ("metrics", "tracer", "sink", "enabled", "profiling",
-                 "rng_accounting")
+                 "rng_accounting", "spans")
 
     def __init__(self) -> None:
         self.metrics = Metrics(enabled=False)
@@ -41,6 +42,7 @@ class ObsState:
         self.enabled = False
         self.profiling = False
         self.rng_accounting = False
+        self.spans: Optional[SpanRecorder] = None
 
 
 STATE = ObsState()
@@ -52,11 +54,17 @@ def configure(
     profiling: bool = True,
     rng_accounting: bool = True,
     trace_sample_every: int = 1,
+    spans: bool = True,
+    trace_label: Optional[str] = None,
+    trace_id: Optional[str] = None,
 ) -> ObsState:
     """Enable instrumentation process-wide.
 
     ``telemetry_path`` additionally opens a JSONL sink and attaches an
     event tracer that simulators created *after* this call pick up.
+    ``spans`` (default on) attaches a :class:`SpanRecorder` whose trace
+    id derives from ``trace_label`` (or is taken verbatim from
+    ``trace_id`` — how pool workers join the parent's trace).
     Returns :data:`STATE` (mutated in place).
     """
     reset()
@@ -67,6 +75,15 @@ def configure(
     if telemetry_path is not None:
         STATE.sink = JsonlTelemetrySink(telemetry_path)
         STATE.tracer = EventTracer(STATE.sink, sample_every=trace_sample_every)
+    if spans:
+        STATE.spans = SpanRecorder(
+            sink=STATE.sink,
+            trace_id=(
+                trace_id
+                if trace_id is not None
+                else derive_trace_id(trace_label or "session")
+            ),
+        )
     return STATE
 
 
@@ -86,6 +103,7 @@ def detach_inherited_session() -> None:
     STATE.enabled = False
     STATE.profiling = False
     STATE.rng_accounting = False
+    STATE.spans = None
 
 
 def reset() -> None:
@@ -98,6 +116,7 @@ def reset() -> None:
     STATE.enabled = False
     STATE.profiling = False
     STATE.rng_accounting = False
+    STATE.spans = None
 
 
 @contextmanager
@@ -142,3 +161,18 @@ def span(name: str, **labels: str):
     if not m.enabled:
         return NULL_SPAN
     return m.timer(name, **labels).time()
+
+
+def trace_span(name: str, **attrs):
+    """Open a hierarchical trace span on the active recorder.
+
+    No-op (a shared null context manager) when no session is active —
+    one attribute load plus a branch, same cost discipline as the
+    metric hooks.  Unlike :func:`span` (a flat timer histogram), this
+    records one tree node per call: trace/span/parent ids, wall/CPU
+    time, RSS delta, and the given attributes.
+    """
+    recorder = STATE.spans
+    if recorder is None:
+        return NULL_TRACE_SPAN
+    return recorder.span(name, **attrs)

@@ -16,7 +16,7 @@ from collections import Counter as TallyCounter
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.obs.events import PathLike, read_telemetry
+from repro.obs.events import PathLike, iter_telemetry, read_telemetry_header
 
 
 @dataclass
@@ -34,6 +34,11 @@ class TelemetrySummary:
     merged_manifests: list[dict] = field(default_factory=list)
     shard_paths: list[str] = field(default_factory=list)
     final_metrics: Optional[dict] = None
+    span_count: int = 0
+    span_wall_s: float = 0.0
+    span_pids: set = field(default_factory=set)
+    heartbeat_count: int = 0
+    peak_rss_kb: int = 0
 
     @property
     def total_wall_clock_s(self) -> float:
@@ -51,30 +56,31 @@ class TelemetrySummary:
 def summarize_telemetry(
     path: PathLike, include_shards: bool = True
 ) -> TelemetrySummary:
-    """Parse and aggregate a telemetry file.
+    """Stream-aggregate a telemetry file in constant memory.
 
     ``include_shards`` (the default) folds any per-worker shard files
-    of a parallel run into the same summary, reading the family as one
-    stream.
+    of a parallel run into the same summary.  Every file is consumed
+    through the streaming :func:`repro.obs.events.iter_telemetry` —
+    one record in flight at a time — so multi-GB shard directories
+    summarize without ever loading a file whole.
     """
-    header, records = read_telemetry(path)
-    summary = TelemetrySummary(path=str(path), header=header,
-                               record_count=len(records))
-    _fold_records(summary, records)
+    summary = TelemetrySummary(
+        path=str(path), header=read_telemetry_header(path)
+    )
+    _fold_stream(summary, path)
     if include_shards:
         from repro.parallel.shards import find_shards
 
         for shard in find_shards(path):
-            _, shard_records = read_telemetry(shard)
             summary.shard_paths.append(str(shard))
-            summary.record_count += len(shard_records)
-            _fold_records(summary, shard_records)
+            _fold_stream(summary, shard)
     return summary
 
 
-def _fold_records(summary: TelemetrySummary, records: list[dict]) -> None:
-    """Accumulate one record stream into ``summary``."""
-    for record in records:
+def _fold_stream(summary: TelemetrySummary, path: PathLike) -> None:
+    """Accumulate one telemetry file's record stream into ``summary``."""
+    for record in iter_telemetry(path):
+        summary.record_count += 1
         kind = record.get("type")
         if kind == "event":
             summary.event_count += 1
@@ -88,8 +94,22 @@ def _fold_records(summary: TelemetrySummary, records: list[dict]) -> None:
                 summary.merged_manifests.append(record)
             else:
                 summary.manifests.append(record)
+            peak = record.get("peak_rss_kb") or 0
+            if peak > summary.peak_rss_kb:
+                summary.peak_rss_kb = peak
         elif kind == "metrics":
             summary.final_metrics = record.get("metrics")
+        elif kind == "span":
+            summary.span_count += 1
+            summary.span_pids.add(record.get("pid"))
+            if record.get("parent") is None:
+                summary.span_wall_s += record.get("wall_s", 0.0)
+        elif kind == "heartbeat":
+            summary.heartbeat_count += 1
+        elif kind == "resource":
+            peak = record.get("peak_rss_kb", 0)
+            if peak > summary.peak_rss_kb:
+                summary.peak_rss_kb = peak
 
 
 def render_summary(summary: TelemetrySummary, top: int = 10) -> str:
@@ -129,6 +149,20 @@ def render_summary(summary: TelemetrySummary, top: int = 10) -> str:
                 f"seed={'default' if seed is None else seed} "
                 f"scale={'default' if scale is None else f'{scale:g}'}"
             )
+    if summary.span_count:
+        pids = len(summary.span_pids)
+        lines.append(
+            f"  trace spans: {summary.span_count} across {pids} "
+            f"process{'es' if pids != 1 else ''}, "
+            f"{summary.span_wall_s:.2f}s root wall-clock "
+            f"(render with `python -m repro timeline {summary.path}`)"
+        )
+    if summary.heartbeat_count:
+        lines.append(f"  heartbeats: {summary.heartbeat_count}")
+    if summary.peak_rss_kb:
+        lines.append(
+            f"  peak RSS: {summary.peak_rss_kb / 1024:.0f} MB"
+        )
     if summary.event_count:
         lines.append(
             f"  event spans: {summary.event_handler_s * 1e3:.1f}ms handler "

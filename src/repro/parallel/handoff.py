@@ -46,6 +46,7 @@ from repro.analysis.classify import (
     PacketClass,
 )
 from repro.analysis.syndrome import ErrorSyndrome
+from repro.obs import runtime as _obs
 from repro.trace.columnar import (
     ColumnarTrace,
     read_columnar,
@@ -75,6 +76,10 @@ class TraceHandle:
     location: Union[str, bytes]
 
     def load(self) -> ColumnarTrace:
+        with _obs.trace_span("handoff.load", kind=self.kind):
+            return self._load()
+
+    def _load(self) -> ColumnarTrace:
         if self.kind == "file":
             trace = read_columnar(self.location)
             try:
@@ -262,5 +267,8 @@ def resolve_portable(value):
     produced them."""
     resolver = getattr(value, "__portable_resolve__", None)
     if resolver is not None:
-        return resolver()
+        with _obs.trace_span(
+            "handoff.resolve", value=type(value).__name__
+        ):
+            return resolver()
     return value

@@ -23,14 +23,19 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from multiprocessing import util as _mp_util
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, process_time
 from typing import Any, Callable, Optional, Sequence
 
 from repro import obs
+from repro.obs import resources as _resources
 from repro.obs import runtime as _obs_runtime
+from repro.obs.spans import SpanContext
 from repro.parallel.handoff import resolve_portable
 from repro.parallel.shards import shard_path
 
@@ -113,19 +118,40 @@ def _worker_init(session_kwargs: Optional[dict], telemetry_parent: Optional[str]
 
 
 def _execute_task(
-    task: Task, git_rev: Optional[str], task_manifests: bool = True
+    task: Task,
+    git_rev: Optional[str],
+    task_manifests: bool = True,
+    span_context: Optional[tuple[str, str]] = None,
 ) -> TaskResult:
     """Run one task in a worker and capture its observability state.
 
     The worker registry is reset per task, so the exported state and
     the manifest both describe exactly this task's deltas.
+    ``span_context`` is the parent process's live span (trace id, span
+    id): the task's own span — and everything the task opens inside —
+    parents under it, stitching the worker's telemetry shard into the
+    parent's trace.
     """
     state = obs.STATE
     if state.enabled:
         state.metrics.reset()
-    start = perf_counter()
-    value = task.fn(**task.kwargs)
-    wall_clock_s = perf_counter() - start
+    recorder = state.spans
+    adopt = (
+        recorder.adopt(SpanContext(*span_context))
+        if recorder is not None and span_context is not None
+        else nullcontext()
+    )
+    cpu_before = process_time()
+    with adopt:
+        task_span = (
+            recorder.span(task.name, kind="task")
+            if recorder is not None
+            else nullcontext()
+        )
+        start = perf_counter()
+        with task_span:
+            value = task.fn(**task.kwargs)
+        wall_clock_s = perf_counter() - start
     metrics_state = manifest = None
     if state.enabled:
         manifest = obs.build_manifest(
@@ -136,6 +162,8 @@ def _execute_task(
             seed=task.seed,
             scale=task.scale,
             git_rev=git_rev,
+            cpu_s=process_time() - cpu_before,
+            peak_rss_kb=_resources.peak_rss_kb() or None,
         ).to_record()
         if task_manifests and state.sink is not None:
             state.sink.emit(manifest)
@@ -158,11 +186,14 @@ def _run_task_inline(
 ) -> TaskResult:
     """Serial path: run against the active session, as pre-parallel
     code did — counter deltas via a before snapshot, manifest straight
-    to the session sink."""
+    to the session sink.  The task span opens on the live stack, so the
+    tree (and its deterministic ids) matches a pool run's exactly."""
     state = obs.STATE
     counters_before = state.metrics.counters_snapshot()
+    cpu_before = process_time()
     start = perf_counter()
-    value = task.fn(**task.kwargs)
+    with _obs_runtime.trace_span(task.name, kind="task"):
+        value = task.fn(**task.kwargs)
     wall_clock_s = perf_counter() - start
     manifest = None
     if state.enabled:
@@ -174,6 +205,8 @@ def _run_task_inline(
             seed=task.seed,
             scale=task.scale,
             git_rev=git_rev,
+            cpu_s=process_time() - cpu_before,
+            peak_rss_kb=_resources.peak_rss_kb() or None,
         ).to_record()
         if task_manifests and state.sink is not None:
             state.sink.emit(manifest)
@@ -195,7 +228,11 @@ def _pool_context():
 
 
 def _session_kwargs(state) -> Optional[dict]:
-    """The worker-session configuration mirroring the parent's."""
+    """The worker-session configuration mirroring the parent's.
+
+    Carries the parent's trace id so every worker's span recorder joins
+    the same trace (parent linkage travels per task, as a span
+    context)."""
     if not state.enabled:
         return None
     return {
@@ -204,6 +241,8 @@ def _session_kwargs(state) -> Optional[dict]:
         "trace_sample_every": (
             state.tracer.sample_every if state.tracer is not None else 1
         ),
+        "spans": state.spans is not None,
+        "trace_id": state.spans.trace_id if state.spans is not None else None,
     }
 
 
@@ -232,6 +271,12 @@ def merged_manifest_record(
             continue
         merged.events_fired += result.manifest.get("events_fired", 0)
         merged.packets_offered += result.manifest.get("packets_offered", 0)
+        cpu_s = result.manifest.get("cpu_s")
+        if cpu_s is not None:
+            merged.cpu_s = (merged.cpu_s or 0.0) + cpu_s
+        peak = result.manifest.get("peak_rss_kb")
+        if peak is not None:  # per-process high-water: max, not sum
+            merged.peak_rss_kb = max(merged.peak_rss_kb or 0, peak)
         for key, delta in result.manifest.get("rng_streams", {}).items():
             merged.rng_streams[key] = merged.rng_streams.get(key, 0) + delta
         for key, delta in result.manifest.get("layer_counters", {}).items():
@@ -243,12 +288,56 @@ def merged_manifest_record(
     return record
 
 
+def _emit_heartbeat(
+    state,
+    label: Optional[str],
+    done: int,
+    total: int,
+    packets_offered: int,
+    elapsed_s: float,
+) -> None:
+    """One progress heartbeat: a telemetry record when a sink is open
+    (flushed immediately so ``timeline --follow`` sees it live), a
+    stderr line otherwise."""
+    rate = packets_offered / elapsed_s if elapsed_s > 0 else 0.0
+    if state.enabled:
+        state.metrics.gauge("progress.done").set(done)
+        state.metrics.gauge("progress.packets_per_s").set(rate)
+    if state.enabled and state.sink is not None:
+        state.sink.emit({
+            "type": "heartbeat",
+            "label": label or "run",
+            "done": done,
+            "total": total,
+            "packets_offered": packets_offered,
+            "packets_per_s": round(rate, 1),
+            "rss_kb": _resources.rss_kb(),
+            "unix": time.time(),
+        })
+        state.sink.flush()
+    else:
+        print(
+            f"progress: {label or 'run'} {done}/{total} tasks "
+            f"({rate:,.0f} pkt/s)",
+            file=sys.stderr,
+        )
+
+
+def _manifest_packets(results: Sequence[Optional[TaskResult]]) -> int:
+    return sum(
+        r.manifest.get("packets_offered", 0)
+        for r in results
+        if r is not None and r.manifest is not None
+    )
+
+
 def run_tasks(
     tasks: Sequence[Task],
     jobs: int = 1,
     label: Optional[str] = None,
     git_rev: Optional[str] = None,
     task_manifests: bool = True,
+    progress: bool = False,
 ) -> list[TaskResult]:
     """Run ``tasks`` and return their results in task order.
 
@@ -263,54 +352,102 @@ def run_tasks(
     when the caller emits a single per-experiment manifest and
     trial-level records would double-count in ``stats``.
 
+    ``progress=True`` emits one heartbeat record per finished task
+    (tasks done/total, cumulative packets/s) to the telemetry sink —
+    or a stderr line when no sink is open — so long runs are watchable
+    via ``python -m repro timeline FILE --follow``.
+
     Task values that are handoff objects (:mod:`repro.parallel.handoff`
     — a worker-persisted columnar trace handle or a portable classified
     trace) are resolved before the results are returned, so callers see
     the same materialized values a serial run produces.
+
+    The whole call runs under a ``parallel.run_tasks`` trace span, and
+    each task's own span parents under it — via the live stack when
+    inline, via a propagated :class:`~repro.obs.spans.SpanContext` when
+    pooled — so the span tree (and its deterministic ids) is identical
+    for any ``jobs`` value.
     """
-    if jobs <= 1 or len(tasks) <= 1:
-        results = [
-            _run_task_inline(task, git_rev, task_manifests) for task in tasks
-        ]
+    state = obs.STATE
+    with _obs_runtime.trace_span(
+        "parallel.run_tasks", label=label or "", tasks=len(tasks), jobs=jobs
+    ):
+        if jobs <= 1 or len(tasks) <= 1:
+            start = perf_counter()
+            results = []
+            for task in tasks:
+                results.append(
+                    _run_task_inline(task, git_rev, task_manifests)
+                )
+                if progress:
+                    _emit_heartbeat(
+                        state, label, len(results), len(tasks),
+                        _manifest_packets(results), perf_counter() - start,
+                    )
+            for result in results:
+                result.value = resolve_portable(result.value)
+            return results
+
+        context = _pool_context()
+        session_kwargs = _session_kwargs(state)
+        telemetry_parent = (
+            str(state.sink.path) if state.sink is not None else None
+        )
+        index_counter = (
+            context.Value("i", 0)
+            if telemetry_parent is not None
+            and context.get_start_method() == "fork"
+            else None
+        )
+        # The live span context travels with every task so worker-side
+        # spans parent under this run_tasks span.
+        span_context = None
+        if state.spans is not None:
+            current = state.spans.current()
+            if current is not None:
+                span_context = (current.trace_id, current.span_id)
+        start = perf_counter()
+        workers = min(jobs, len(tasks))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(session_kwargs, telemetry_parent, index_counter),
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _execute_task, task, git_rev, task_manifests, span_context
+                )
+                for task in tasks
+            ]
+            if progress:
+                # Heartbeat as completions land, while still returning
+                # results in task order.
+                pending = set(futures)
+                while pending:
+                    _finished, pending = wait(
+                        pending, return_when=FIRST_COMPLETED
+                    )
+                    done_results = [
+                        f.result() for f in futures if f.done()
+                    ]
+                    _emit_heartbeat(
+                        state, label, len(done_results), len(tasks),
+                        _manifest_packets(done_results),
+                        perf_counter() - start,
+                    )
+            results = [future.result() for future in futures]
         for result in results:
             result.value = resolve_portable(result.value)
+        # Fold worker registries back in task order (deterministic merge).
+        if state.enabled:
+            for result in results:
+                if result.metrics_state is not None:
+                    state.metrics.merge_state(result.metrics_state)
+            if state.sink is not None and label is not None:
+                record = merged_manifest_record(
+                    label, results, perf_counter() - start
+                )
+                record["jobs"] = workers
+                state.sink.emit(record)
         return results
-
-    state = obs.STATE
-    context = _pool_context()
-    session_kwargs = _session_kwargs(state)
-    telemetry_parent = (
-        str(state.sink.path) if state.sink is not None else None
-    )
-    index_counter = (
-        context.Value("i", 0)
-        if telemetry_parent is not None and context.get_start_method() == "fork"
-        else None
-    )
-    start = perf_counter()
-    workers = min(jobs, len(tasks))
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=context,
-        initializer=_worker_init,
-        initargs=(session_kwargs, telemetry_parent, index_counter),
-    ) as pool:
-        futures = [
-            pool.submit(_execute_task, task, git_rev, task_manifests)
-            for task in tasks
-        ]
-        results = [future.result() for future in futures]
-    for result in results:
-        result.value = resolve_portable(result.value)
-    # Fold worker registries back in task order (deterministic merge).
-    if state.enabled:
-        for result in results:
-            if result.metrics_state is not None:
-                state.metrics.merge_state(result.metrics_state)
-        if state.sink is not None and label is not None:
-            record = merged_manifest_record(
-                label, results, perf_counter() - start
-            )
-            record["jobs"] = workers
-            state.sink.emit(record)
-    return results

@@ -30,6 +30,7 @@ import json
 from pathlib import Path
 from typing import IO, Optional, Union
 
+from repro.obs import runtime as _obs
 from repro.phy.modem import ModemRxStatus
 from repro.trace import columnar
 from repro.trace.columnar import (
@@ -105,7 +106,13 @@ def save_trace(
     from the suffix — ``.wlt2`` means v2, anything else v1, preserving
     the historical behaviour of every existing call site.
     """
-    if _infer_save_format(path, format) == "v2":
+    fmt = _infer_save_format(path, format)
+    with _obs.trace_span("trace.save", path=str(path), format=fmt):
+        _save_trace(trace, path, fmt)
+
+
+def _save_trace(trace: AnyTrace, path: PathLike, fmt: str) -> None:
+    if fmt == "v2":
         write_columnar(trace, path)
         return
     if isinstance(trace, ColumnarTrace):
@@ -146,8 +153,10 @@ def load_trace(path: PathLike) -> AnyTrace:
     with open(path, "rb") as probe:
         head = probe.read(len(columnar.MAGIC))
     if head == columnar.MAGIC:
-        return read_columnar(path)
-    with _open(path, "r") as stream:
+        with _obs.trace_span("trace.load", path=str(path), format="v2"):
+            return read_columnar(path)
+    with _obs.trace_span("trace.load", path=str(path), format="v1"), \
+            _open(path, "r") as stream:
         header_line = stream.readline()
         if not header_line:
             raise ValueError(f"{path}: empty trace file")

@@ -1,0 +1,131 @@
+"""Benchmark history and the regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    DEFAULT_TOLERANCE,
+    TimingDelta,
+    append_history,
+    diff_stages,
+    load_history,
+    load_snapshot,
+    main_diff,
+    render_diff,
+)
+
+
+def _snapshot(tmp_path, name: str, stages: dict) -> str:
+    path = tmp_path / name
+    path.write_text(json.dumps({"schema": 1, "stages": stages}))
+    return str(path)
+
+
+class TestSnapshots:
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "stages": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_snapshot(path)
+
+    def test_append_history_stamps_revision(self, tmp_path):
+        bench = _snapshot(tmp_path, "b.json",
+                          {"clean_trial": {"bulk_wall_s": 0.1}})
+        history = tmp_path / "hist" / "history.jsonl"
+        record = append_history(bench, history, git_rev="abc1234")
+        assert record["git_rev"] == "abc1234"
+        assert record["stages"]["clean_trial"]["bulk_wall_s"] == 0.1
+        loaded = load_history(history)
+        assert loaded == [record]
+
+    def test_history_appends_in_order(self, tmp_path):
+        bench = _snapshot(tmp_path, "b.json", {"s": {"bulk_wall_s": 0.1}})
+        history = tmp_path / "history.jsonl"
+        append_history(bench, history, git_rev="one")
+        append_history(bench, history, git_rev="two")
+        assert [r["git_rev"] for r in load_history(history)] == ["one", "two"]
+
+
+class TestDiff:
+    def test_compares_only_wall_s_keys(self):
+        deltas, uncompared = diff_stages(
+            {"stages": {"s": {"bulk_wall_s": 0.1, "packets": 100,
+                              "speedup_vs_scalar": 3.0}}},
+            {"stages": {"s": {"bulk_wall_s": 0.2, "packets": 200,
+                              "speedup_vs_scalar": 1.0}}},
+        )
+        assert [(d.stage, d.key) for d in deltas] == [("s", "bulk_wall_s")]
+        assert uncompared == []
+
+    def test_regression_detection_respects_tolerance(self):
+        delta = TimingDelta("s", "bulk_wall_s", 0.1, 0.12)
+        assert not delta.regressed(0.25)  # 1.2x within 25%
+        assert delta.regressed(0.1)
+
+    def test_one_sided_stages_reported_not_gating(self):
+        deltas, uncompared = diff_stages(
+            {"stages": {"old": {"bulk_wall_s": 0.1}}},
+            {"stages": {"new": {"bulk_wall_s": 0.1}}},
+        )
+        assert deltas == []
+        assert len(uncompared) == 2
+        assert any("baseline only" in note for note in uncompared)
+        assert any("no baseline" in note for note in uncompared)
+
+    def test_zero_baseline_never_divides(self):
+        delta = TimingDelta("s", "bulk_wall_s", 0.0, 1.0)
+        assert delta.ratio == 1.0
+        assert not delta.regressed(DEFAULT_TOLERANCE)
+
+    def test_render_flags_regressions(self):
+        deltas = [
+            TimingDelta("s", "bulk_wall_s", 0.1, 0.5),
+            TimingDelta("s", "scalar_wall_s", 0.1, 0.05),
+        ]
+        text = render_diff(deltas, [], tolerance=0.25)
+        assert "REGRESSION" in text
+        assert "improved" in text
+        assert "1 regression" in text
+
+
+class TestGate:
+    def test_exit_zero_within_tolerance(self, tmp_path, capsys):
+        baseline = _snapshot(tmp_path, "base.json",
+                             {"s": {"bulk_wall_s": 0.1}})
+        current = _snapshot(tmp_path, "cur.json",
+                            {"s": {"bulk_wall_s": 0.11}})
+        assert main_diff(baseline, current, tolerance=0.25) == 0
+        assert "0 regressions" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        baseline = _snapshot(tmp_path, "base.json",
+                             {"s": {"bulk_wall_s": 0.1}})
+        current = _snapshot(tmp_path, "cur.json",
+                            {"s": {"bulk_wall_s": 0.2}})
+        assert main_diff(baseline, current, tolerance=0.25) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_end_to_end(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        baseline = _snapshot(tmp_path, "base.json",
+                             {"s": {"bulk_wall_s": 0.1}})
+        current = _snapshot(tmp_path, "cur.json",
+                            {"s": {"bulk_wall_s": 0.4}})
+        assert main(["bench", "diff", baseline, current]) == 1
+        assert main(
+            ["bench", "diff", baseline, current, "--tolerance", "5.0"]
+        ) == 0
+
+    def test_cli_append(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        bench = _snapshot(tmp_path, "b.json", {"s": {"bulk_wall_s": 0.1}})
+        history = str(tmp_path / "history.jsonl")
+        assert main(
+            ["bench", "append", "--bench", bench, "--history", history]
+        ) == 0
+        assert len(load_history(history)) == 1

@@ -1,0 +1,174 @@
+"""Span trees: deterministic ids, nesting, status, and the helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.events import read_telemetry
+from repro.obs.spans import (
+    NULL_TRACE_SPAN,
+    SpanContext,
+    SpanRecorder,
+    VOLATILE_SPAN_FIELDS,
+    derive_span_id,
+    derive_trace_id,
+    span_structure,
+    span_tree,
+)
+
+
+class TestDeterministicIds:
+    def test_trace_id_pure_function_of_labels(self):
+        assert derive_trace_id("report", "1996") == derive_trace_id(
+            "report", "1996"
+        )
+        assert derive_trace_id("report") != derive_trace_id("table2")
+
+    def test_span_id_pure_function_of_path(self):
+        trace = derive_trace_id("t")
+        first = derive_span_id(trace, None, "work", 0)
+        assert first == derive_span_id(trace, None, "work", 0)
+        assert first != derive_span_id(trace, None, "work", 1)
+        assert first != derive_span_id(trace, first, "work", 0)
+
+    def test_ids_are_16_hex_chars(self):
+        assert len(derive_trace_id("x")) == 16
+        int(derive_trace_id("x"), 16)  # parses as hex
+
+
+class TestRecorder:
+    def test_nesting_links_parent_ids(self):
+        recorder = SpanRecorder(trace_id=derive_trace_id("t"))
+        with recorder.span("outer") as outer:
+            with recorder.span("inner"):
+                pass
+        outer_rec, = [r for r in recorder.finished if r["name"] == "outer"]
+        inner_rec, = [r for r in recorder.finished if r["name"] == "inner"]
+        assert inner_rec["parent"] == outer_rec["span"]
+        assert outer_rec["parent"] is None
+        assert outer is not None
+
+    def test_same_named_siblings_get_distinct_ordinals(self):
+        recorder = SpanRecorder(trace_id=derive_trace_id("t"))
+        with recorder.span("parent"):
+            with recorder.span("child"):
+                pass
+            with recorder.span("child"):
+                pass
+        children = [r for r in recorder.finished if r["name"] == "child"]
+        assert len({r["span"] for r in children}) == 2
+
+    def test_rerun_produces_identical_ids(self):
+        def run() -> list[dict]:
+            recorder = SpanRecorder(trace_id=derive_trace_id("t"))
+            with recorder.span("a"):
+                with recorder.span("b"):
+                    pass
+                with recorder.span("b"):
+                    pass
+            return recorder.finished
+
+        assert span_structure(run()) == span_structure(run())
+
+    def test_error_status_and_exception_name(self):
+        recorder = SpanRecorder(trace_id=derive_trace_id("t"))
+        with pytest.raises(ValueError):
+            with recorder.span("doomed"):
+                raise ValueError("boom")
+        record, = recorder.finished
+        assert record["status"] == "error"
+        assert record["attrs"]["error"] == "ValueError"
+
+    def test_records_carry_cost_fields(self):
+        recorder = SpanRecorder(trace_id=derive_trace_id("t"))
+        with recorder.span("work", size=3):
+            pass
+        record, = recorder.finished
+        assert record["wall_s"] >= 0.0
+        assert record["cpu_s"] >= 0.0
+        assert "rss_delta_kb" in record
+        assert record["attrs"]["size"] == 3
+        assert record["pid"] > 0
+
+    def test_set_attr_while_live(self):
+        recorder = SpanRecorder(trace_id=derive_trace_id("t"))
+        with recorder.span("work") as span:
+            span.set_attr("rows", 42)
+        assert recorder.finished[0]["attrs"]["rows"] == 42
+
+    def test_adopt_parents_under_remote_span(self):
+        remote_trace = derive_trace_id("remote")
+        remote_span = derive_span_id(remote_trace, None, "run_tasks", 0)
+        recorder = SpanRecorder(trace_id=derive_trace_id("local"))
+        with recorder.adopt(SpanContext(remote_trace, remote_span)):
+            with recorder.span("task"):
+                pass
+        record, = recorder.finished
+        assert record["trace"] == remote_trace
+        assert record["parent"] == remote_span
+        # outside the adoption the local trace id is restored
+        assert recorder.trace_id == derive_trace_id("local")
+
+    def test_spans_emit_to_sink(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with obs.session(telemetry_path=str(path), trace_label="t") as state:
+            with state.spans.span("work"):
+                pass
+        _, records = read_telemetry(path)
+        spans = [r for r in records if r["type"] == "span"]
+        assert [r["name"] for r in spans] == ["work"]
+
+
+class TestRuntimeHook:
+    def test_trace_span_noop_when_disabled(self):
+        assert obs.STATE.spans is None
+        span = obs.trace_span("anything")
+        assert span is NULL_TRACE_SPAN
+        with span:  # does nothing, raises nothing
+            span.set_attr("k", "v")
+
+    def test_trace_span_records_when_enabled(self):
+        with obs.session(trace_label="t") as state:
+            with obs.trace_span("work"):
+                pass
+            assert state.spans.finished[0]["name"] == "work"
+
+    def test_configure_trace_id_verbatim(self):
+        with obs.session(trace_id="feedfacedeadbeef") as state:
+            assert state.spans.trace_id == "feedfacedeadbeef"
+
+    def test_reset_clears_recorder(self):
+        obs.configure()
+        assert obs.STATE.spans is not None
+        obs.reset()
+        assert obs.STATE.spans is None
+
+
+class TestHelpers:
+    def _records(self) -> list[dict]:
+        recorder = SpanRecorder(trace_id=derive_trace_id("t"))
+        with recorder.span("root"):
+            with recorder.span("child"):
+                pass
+        return recorder.finished
+
+    def test_span_structure_strips_volatiles(self):
+        structure = span_structure(self._records())
+        assert len(structure) == 2
+        flat = " ".join(str(t) for t in structure)
+        for field in VOLATILE_SPAN_FIELDS:
+            assert field not in flat
+
+    def test_span_tree_roots_and_children(self):
+        records = self._records()
+        roots, children = span_tree(records)
+        assert [r["name"] for r in roots] == ["root"]
+        kids = children[roots[0]["span"]]
+        assert [r["name"] for r in kids] == ["child"]
+
+    def test_span_tree_orphans_become_roots(self):
+        records = self._records()
+        child = next(r for r in records if r["name"] == "child")
+        roots, _ = span_tree([child])  # parent record absent (other shard)
+        assert roots == [child]
