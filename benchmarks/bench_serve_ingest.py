@@ -1,0 +1,119 @@
+"""Serve-smoke: the streaming ingest service under concurrent load.
+
+Starts a real :class:`TraceAnalysisServer` on loopback, replays a
+stored ``.wlt2`` trace over many concurrent loadgen sessions, and
+checks the two things that matter:
+
+* **Correctness under concurrency** — every session's SUMMARY carries
+  the exact verdict counts and the chunking-independent verdict digest
+  of the batch classifier.
+* **Ingest throughput** — aggregate packets/s lands in the
+  ``serve_ingest`` stage of ``BENCH_internal.json``, where the
+  ``bench diff`` gate tracks it against ``benchmarks/baseline.json``.
+
+Run with ``pytest -m serve_smoke benchmarks/bench_serve_ingest.py``.
+The assert floor (``SERVE_SMOKE_MIN_PPS``, default 50k packets/s) is a
+smoke check against order-of-magnitude regressions; the recorded
+number is the real measurement (≈250k packets/s steady-state on the
+development container's single core, jobs=1).
+"""
+
+import asyncio
+import hashlib
+import os
+
+import pytest
+
+from repro.analysis.classify import IncrementalClassifier, verdict_row_bytes
+from repro.serve.loadgen import run_loadgen
+from repro.serve.server import ServeConfig, TraceAnalysisServer
+from repro.trace.columnar import ColumnarTrace
+from repro.trace.persist import load_trace, save_trace
+from repro.trace.trial import TrialConfig, run_fast_trial
+
+from bench_internal_performance import _record_stage
+
+SESSIONS = 32
+TRIAL_PACKETS = 5_000
+CHUNK_RECORDS = 4_096
+MIN_PPS = float(os.environ.get("SERVE_SMOKE_MIN_PPS", "50000"))
+
+
+@pytest.fixture(scope="module")
+def stored_trace(tmp_path_factory) -> ColumnarTrace:
+    """A clean office-grade trial, round-tripped through ``.wlt2`` so
+    the benchmark ingests exactly what a stored trace replays."""
+    output = run_fast_trial(
+        TrialConfig(
+            name="serve-smoke",
+            packets=TRIAL_PACKETS,
+            mean_level=29.5,
+            seed=20260808,
+        )
+    )
+    path = tmp_path_factory.mktemp("serve") / "smoke.wlt2"
+    save_trace(output.trace, path)
+    trace = load_trace(path)
+    assert isinstance(trace, ColumnarTrace)
+    return trace
+
+
+def _reference(trace: ColumnarTrace) -> tuple[str, dict]:
+    classifier = IncrementalClassifier(trace.spec, trace.packets_sent)
+    classifier.feed(trace)
+    digest = hashlib.blake2b(
+        verdict_row_bytes(classifier.verdict_columns()), digest_size=8
+    ).hexdigest()
+    return digest, classifier.count_summary()
+
+
+async def _run_once(trace: ColumnarTrace, sessions: int):
+    server = TraceAnalysisServer(ServeConfig(jobs=1, heartbeat_s=0))
+    await server.start()
+    try:
+        return await run_loadgen(
+            server.address,
+            trace,
+            sessions=sessions,
+            chunk_records=CHUNK_RECORDS,
+        )
+    finally:
+        await server.stop()
+
+
+@pytest.mark.serve_smoke
+def test_serve_ingest_throughput(stored_trace):
+    """32 concurrent sessions: exact verdicts, recorded throughput."""
+    digest, counts = _reference(stored_trace)
+
+    # Warm-up (template bank, allocator, branch caches), then best-of.
+    asyncio.run(_run_once(stored_trace, sessions=4))
+    best = None
+    for _ in range(2):
+        report = asyncio.run(_run_once(stored_trace, sessions=SESSIONS))
+        if best is None or report.packets_per_s > best.packets_per_s:
+            best = report
+
+    expected_records = stored_trace.packets_received * SESSIONS
+    assert len(best.sessions) == SESSIONS
+    assert best.records == expected_records
+    for session in best.sessions:
+        assert session.summary["verdict_digest"] == digest
+        assert session.summary["counts"] == counts
+    # Backpressure invariant: the per-session queue never exceeded its
+    # configured bound (well-behaved clients shouldn't even approach it).
+    queue_bound = ServeConfig().queue_chunks
+    assert 0 <= best.max_queue_depth <= queue_bound
+
+    _record_stage(
+        "serve_ingest",
+        {
+            "sessions": SESSIONS,
+            "records_per_session": stored_trace.packets_received,
+            "chunk_records": CHUNK_RECORDS,
+            "ingest_wall_s": round(best.wall_s, 4),
+            "ingest_packets_per_s": round(best.packets_per_s),
+            "max_queue_depth": best.max_queue_depth,
+        },
+    )
+    assert best.packets_per_s >= MIN_PPS

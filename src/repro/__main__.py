@@ -206,6 +206,51 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="trace_format",
         help="output format (default: inferred from the output suffix)",
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the streaming trace-analysis ingest server",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0 = ephemeral, printed "
+                            "at startup)")
+    serve.add_argument("--unix", default=None, dest="unix_path",
+                       metavar="PATH",
+                       help="listen on a unix socket instead of TCP")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for chunk classification "
+                            "(1 = classify inline; default 1)")
+    serve.add_argument("--queue-chunks", type=int, default=8,
+                       dest="queue_chunks",
+                       help="bounded per-session chunk queue "
+                            "(backpressure; default 8)")
+    serve.add_argument("--window-chunks", type=int, default=4,
+                       dest="window_chunks",
+                       help="in-flight credit advertised to clients "
+                            "(default 4)")
+    serve.add_argument("--transport",
+                       choices=("shm", "file", "inline"), default="shm",
+                       help="chunk handoff to pool workers (default shm)")
+    serve.add_argument("--telemetry", default=None, metavar="FILE",
+                       help="write session spans and ingest heartbeats "
+                            "as JSONL (tail with `timeline --follow`)")
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="replay a stored trace against a running server",
+    )
+    loadgen.add_argument("--connect", required=True,
+                         help="server address: HOST:PORT or a unix "
+                              "socket path")
+    loadgen.add_argument("--trace", required=True,
+                         help="stored trace to replay (.wlt2 or v1)")
+    loadgen.add_argument("--sessions", type=int, default=8,
+                         help="concurrent sessions (default 8)")
+    loadgen.add_argument("--chunk-records", type=int, default=2048,
+                         dest="chunk_records",
+                         help="records per CHUNK frame (default 2048)")
     return parser
 
 
@@ -226,6 +271,43 @@ def _cmd_list() -> int:
           "snapshots, diff with a regression gate")
     print("  convert                      re-encode a saved trace "
           "between v1 and v2")
+    print("  serve                        run the streaming "
+          "trace-analysis ingest server")
+    print("  loadgen                      replay a stored trace against "
+          "a running server")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """``python -m repro serve`` — run the ingest server until ^C."""
+    import asyncio
+
+    from repro.serve.server import ServeConfig, run_server
+
+    if args.telemetry is not None:
+        try:
+            obs.configure(
+                telemetry_path=args.telemetry, trace_label="serve"
+            )
+        except OSError as exc:
+            print(f"--telemetry: {exc}", file=sys.stderr)
+            return 2
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix_path,
+        jobs=args.jobs,
+        queue_chunks=args.queue_chunks,
+        window_chunks=args.window_chunks,
+        transport=args.transport,
+    )
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        return 130
+    finally:
+        if args.telemetry is not None:
+            obs.reset()
     return 0
 
 
@@ -365,6 +447,17 @@ def main(argv: list[str] | None = None) -> int:
             return 2
     if args.command == "convert":
         return _cmd_convert(args.source, args.destination, args.trace_format)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        from repro.serve import loadgen as loadgen_module
+
+        return loadgen_module.main([
+            "--connect", args.connect,
+            "--trace", args.trace,
+            "--sessions", str(args.sessions),
+            "--chunk-records", str(args.chunk_records),
+        ])
 
     observing = args.metrics or args.telemetry is not None
     if observing:

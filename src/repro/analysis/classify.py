@@ -5,13 +5,24 @@ undamaged, truncated, wrapper damaged, body damaged, and outsiders
 (undamaged/damaged).  A packet can be both wrapper- and body-damaged;
 like the paper's tables we give body damage precedence for the primary
 class but keep both flags.
+
+Classification is *incremental at heart*: :class:`IncrementalClassifier`
+consumes frame chunks as they arrive (record lists or columnar slices),
+runs each chunk through the batched matching fast paths, and maintains
+running verdicts and per-class counts.  Because every verdict depends
+only on its own record's bytes, chunk boundaries never change the
+output — :func:`classify_trace` is a thin wrapper that feeds a whole
+trial through one classifier, and a streaming consumer
+(:mod:`repro.serve`) feeds the same machinery one network chunk at a
+time with byte-identical results.
 """
 
 from __future__ import annotations
 
 import enum
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -25,6 +36,11 @@ from repro.trace.columnar import ColumnarTrace
 from repro.trace.records import PacketRecord, TrialTrace, materialize_data
 
 AnyTrace = Union[TrialTrace, ColumnarTrace]
+
+# Stable code order for PacketClass verdict columns: the wire/handoff
+# encoding (repro.parallel.handoff, repro.serve.protocol) and the
+# incremental verdict columns all index this list.
+CLASS_ORDER: "list[PacketClass]"
 
 
 class PacketClass(enum.Enum):
@@ -43,6 +59,10 @@ class PacketClass(enum.Enum):
             PacketClass.OUTSIDER_UNDAMAGED,
             PacketClass.OUTSIDER_DAMAGED,
         )
+
+
+CLASS_ORDER = list(PacketClass)
+CLASS_CODE = {cls: code for code, cls in enumerate(CLASS_ORDER)}
 
 
 @dataclass
@@ -77,6 +97,13 @@ class ClassifiedTrace:
     def outsiders(self) -> list[ClassifiedPacket]:
         return [p for p in self.packets if not p.packet_class.is_test_packet]
 
+    def class_counts(self) -> dict[PacketClass, int]:
+        """Packets per primary class.  Conservation invariant: the
+        values always sum to ``len(self.packets)`` — trivially (and
+        importantly for streaming consumers) also for empty traces."""
+        counts = Counter(p.packet_class for p in self.packets)
+        return {cls: counts.get(cls, 0) for cls in CLASS_ORDER}
+
 
 def _classify_outsider(data: bytes) -> PacketClass:
     """Damage heuristic for foreign packets: without ground truth, the
@@ -93,33 +120,66 @@ def _classify_outsider(data: bytes) -> PacketClass:
 MATCH_CHUNK_RECORDS = 2048
 
 
-def classify_trace(trace: AnyTrace) -> ClassifiedTrace:
-    """Run matching + damage classification over a whole trial.
+class IncrementalClassifier:
+    """Online matching + damage classification over arriving frames.
 
-    Matching runs chunk-at-a-time through the batched fast path
-    (:meth:`TraceMatcher.match_bulk`); only records it could not prove
-    byte-identical to their expected frame — the damaged minority —
-    fall back to the scalar voting/header procedure.
+    The streaming core that :func:`classify_trace` (batch) and the
+    :mod:`repro.serve` ingest service (online) share.  Feed frame
+    chunks as they arrive — record lists via :meth:`feed_records`,
+    columnar slices via :meth:`feed_columnar` — in any chunking; every
+    verdict depends only on its own record's bytes, so the output is
+    byte-identical for chunk size 1, 7, or the whole trial.  The
+    classifier maintains running verdicts (:attr:`packets`) and
+    per-class counts (:attr:`class_counts`); :meth:`finish` wraps them
+    into the :class:`ClassifiedTrace` the batch API returns, and
+    :meth:`verdict_columns` exports them as compact numpy columns for
+    pool/wire boundaries.
 
-    A :class:`~repro.trace.columnar.ColumnarTrace` (a memory-mapped v2
-    file, or a shared-memory handoff block) takes the zero-copy route:
-    frame matrices are sliced straight off the flat payload and fed to
-    :meth:`TraceMatcher.match_matrix`, and the undamaged majority never
-    materializes per-packet records or bytes — classified packets carry
-    lazy record views instead.
+    Zero-record traces and zero-length chunks are routine (an idle
+    server session is exactly that) and feed through without raising.
     """
-    if isinstance(trace, ColumnarTrace):
-        with _obs.trace_span(
-            "analysis.classify",
-            records=trace.packets_received, columnar=True,
-        ):
-            return _classify_columnar(trace)
-    matcher = TraceMatcher(trace.spec, trace.packets_sent)
-    result = ClassifiedTrace(trace=trace)
-    records = trace.records
-    with _obs.trace_span(
-        "analysis.classify", records=len(records), columnar=False
-    ):
+
+    def __init__(
+        self,
+        spec,
+        packets_sent: int,
+        *,
+        matcher: Optional[TraceMatcher] = None,
+        collect_packets: bool = True,
+    ) -> None:
+        self.matcher = (
+            matcher
+            if matcher is not None
+            else TraceMatcher(spec, packets_sent)
+        )
+        self.collect_packets = collect_packets
+        self.packets: list[ClassifiedPacket] = []
+        self.records_seen = 0
+        self.class_counts: Counter = Counter()
+        self._column_chunks: list[dict] = []
+
+    # ------------------------------------------------------------------
+    def _note(self, packet: ClassifiedPacket) -> ClassifiedPacket:
+        if self.collect_packets:
+            self.packets.append(packet)
+        self.records_seen += 1
+        self.class_counts[packet.packet_class] += 1
+        return packet
+
+    def feed_records(
+        self, records: Sequence[PacketRecord]
+    ) -> list[ClassifiedPacket]:
+        """Classify a chunk of records (the v1 / in-memory path).
+
+        Internally re-chunks at :data:`MATCH_CHUNK_RECORDS` so huge
+        feeds stay cache-friendly; matching runs through the batched
+        fast path (:meth:`TraceMatcher.match_bulk`) with only the
+        damaged minority falling back to the scalar voting/header
+        procedure.  Returns the newly classified packets (also appended
+        to :attr:`packets`).
+        """
+        matcher = self.matcher
+        out: list[ClassifiedPacket] = []
         for chunk_start in range(0, len(records), MATCH_CHUNK_RECORDS):
             chunk = records[chunk_start : chunk_start + MATCH_CHUNK_RECORDS]
             with _obs.span("profile.classify_chunk"):
@@ -128,58 +188,262 @@ def classify_trace(trace: AnyTrace) -> ClassifiedTrace:
                 for record, data, match in zip(chunk, datas, bulk_results):
                     if match is None:
                         match = matcher.match_bytes(data, skip_fast=True)
-                    result.packets.append(
-                        _classify_one(matcher, record, data, match)
+                    out.append(
+                        self._note(
+                            _classify_one(matcher, record, data, match)
+                        )
                     )
-    return result
+                if not self.collect_packets:
+                    self._column_chunks.append(
+                        _columns_from_packets(
+                            out[chunk_start : chunk_start + len(chunk)]
+                        )
+                    )
+        return out
 
+    def feed_columnar(
+        self,
+        trace: ColumnarTrace,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> list[ClassifiedPacket]:
+        """Classify rows ``[start, stop)`` of a columnar trace.
 
-def _classify_columnar(trace: ColumnarTrace) -> ClassifiedTrace:
-    """The zero-copy classification path over columnar storage.
-
-    Byte-for-byte the same verdicts as the record-list path: the frame
-    matrix rows feed the identical matrix reductions, and the fallback
-    minority goes through the identical scalar procedure.
-    """
-    matcher = TraceMatcher(trace.spec, trace.packets_sent)
-    result = ClassifiedTrace(trace=trace)
-    lengths = trace.lengths
-    n = trace.packets_received
-    packets_append = result.packets.append
-    for chunk_start in range(0, n, MATCH_CHUNK_RECORDS):
-        chunk_stop = min(chunk_start + MATCH_CHUNK_RECORDS, n)
-        with _obs.span("profile.classify_chunk"):
-            chunk_lengths = lengths[chunk_start:chunk_stop]
-            full_rows = chunk_start + np.nonzero(
-                chunk_lengths == FRAME_BYTES
-            )[0]
-            matches: list[Optional[MatchResult]] = [None] * (
-                chunk_stop - chunk_start
-            )
-            if full_rows.size:
-                matrix = trace.frame_matrix(full_rows, FRAME_BYTES)
-                for row, match in zip(
-                    (full_rows - chunk_start).tolist(),
-                    matcher.match_matrix(matrix),
+        The zero-copy route: frame matrices are sliced straight off the
+        flat payload and fed to :meth:`TraceMatcher.match_matrix`; the
+        undamaged majority never materializes per-packet records or
+        bytes — classified packets carry lazy record views instead.
+        Byte-for-byte the same verdicts as the record-list path.
+        """
+        matcher = self.matcher
+        lengths = trace.lengths
+        n = trace.packets_received
+        if stop is None:
+            stop = n
+        stop = min(stop, n)
+        if not self.collect_packets:
+            self._feed_columnar_vectorized(trace, start, stop)
+            return []
+        out: list[ClassifiedPacket] = []
+        for chunk_start in range(start, stop, MATCH_CHUNK_RECORDS):
+            chunk_stop = min(chunk_start + MATCH_CHUNK_RECORDS, stop)
+            with _obs.span("profile.classify_chunk"):
+                chunk_lengths = lengths[chunk_start:chunk_stop]
+                full_rows = chunk_start + np.nonzero(
+                    chunk_lengths == FRAME_BYTES
+                )[0]
+                matches: list[Optional[MatchResult]] = [None] * (
+                    chunk_stop - chunk_start
+                )
+                if full_rows.size:
+                    matrix = trace.frame_matrix(full_rows, FRAME_BYTES)
+                    for row, match in zip(
+                        (full_rows - chunk_start).tolist(),
+                        matcher.match_matrix(matrix),
+                    ):
+                        matches[row] = match
+                lengths_list = chunk_lengths.tolist()
+                for offset, index in enumerate(
+                    range(chunk_start, chunk_stop)
                 ):
-                    matches[row] = match
-            lengths_list = chunk_lengths.tolist()
-            for offset, index in enumerate(range(chunk_start, chunk_stop)):
-                match = matches[offset]
-                data: Optional[bytes] = None
-                if match is None:
+                    match = matches[offset]
+                    data: Optional[bytes] = None
+                    if match is None:
+                        data = trace.data(index)
+                        match = matcher.match_bytes(data, skip_fast=True)
+                    out.append(
+                        self._note(
+                            _classify_one(
+                                matcher,
+                                trace.record_view(index),
+                                data,
+                                match,
+                                length=lengths_list[offset],
+                            )
+                        )
+                    )
+        return out
+
+    def _feed_columnar_vectorized(
+        self, trace: ColumnarTrace, start: int, stop: int
+    ) -> None:
+        """Columns-only twin of the columnar loop (``collect_packets``
+        off): verdicts land straight in numpy columns, so the clean
+        majority never materializes a single per-packet Python object.
+        Exact fast-path rows are *by definition* undamaged with a known
+        sequence — identical to what :func:`_classify_one` returns for
+        them — and only the damaged minority runs the scalar fallback.
+        The streaming server's hot path.
+        """
+        matcher = self.matcher
+        lengths = trace.lengths
+        undamaged_code = CLASS_CODE[PacketClass.UNDAMAGED]
+        for chunk_start in range(start, stop, MATCH_CHUNK_RECORDS):
+            chunk_stop = min(chunk_start + MATCH_CHUNK_RECORDS, stop)
+            with _obs.span("profile.classify_chunk"):
+                m = chunk_stop - chunk_start
+                codes = np.full(m, undamaged_code, dtype=np.uint8)
+                sequences = np.full(m, -1, dtype=np.int64)
+                wrapper = np.zeros(m, dtype=bool)
+                body_bits = np.zeros(m, dtype=np.int64)
+                truncated = np.zeros(m, dtype=np.int32)
+                chunk_lengths = lengths[chunk_start:chunk_stop]
+                resolved = np.zeros(m, dtype=bool)
+                full_local = np.nonzero(chunk_lengths == FRAME_BYTES)[0]
+                if full_local.size:
+                    matrix = trace.frame_matrix(
+                        chunk_start + full_local, FRAME_BYTES
+                    )
+                    exact, matched = matcher.match_matrix_arrays(matrix)
+                    hit_local = full_local[exact]
+                    resolved[hit_local] = True
+                    sequences[hit_local] = matched[exact]
+                for offset in np.nonzero(~resolved)[0].tolist():
+                    index = chunk_start + offset
                     data = trace.data(index)
                     match = matcher.match_bytes(data, skip_fast=True)
-                packets_append(
-                    _classify_one(
+                    packet = _classify_one(
                         matcher,
                         trace.record_view(index),
                         data,
                         match,
-                        length=lengths_list[offset],
+                        length=int(chunk_lengths[offset]),
                     )
-                )
-    return result
+                    codes[offset] = CLASS_CODE[packet.packet_class]
+                    sequences[offset] = (
+                        -1 if packet.sequence is None else packet.sequence
+                    )
+                    wrapper[offset] = packet.wrapper_damaged
+                    body_bits[offset] = packet.body_bits_damaged
+                    truncated[offset] = packet.truncated_bytes_missing
+                self._column_chunks.append({
+                    "class_codes": codes,
+                    "sequences": sequences,
+                    "wrapper_damaged": wrapper,
+                    "body_bits_damaged": body_bits,
+                    "truncated_missing": truncated,
+                })
+                self.records_seen += m
+                for code, count in enumerate(
+                    np.bincount(codes, minlength=len(CLASS_ORDER)).tolist()
+                ):
+                    if count:
+                        self.class_counts[CLASS_ORDER[code]] += count
+
+    def feed(self, trace: AnyTrace) -> list[ClassifiedPacket]:
+        """Classify a whole trace-shaped chunk (dispatch on its type)."""
+        if isinstance(trace, ColumnarTrace):
+            return self.feed_columnar(trace)
+        return self.feed_records(trace.records)
+
+    # ------------------------------------------------------------------
+    def verdict_columns(self) -> dict:
+        """The running verdicts as compact numpy columns.
+
+        Same encoding the parallel handoff uses (``class_codes`` index
+        :data:`CLASS_ORDER`; ``sequences`` holds -1 for "none"): cheap
+        to pickle across a pool boundary or frame onto a wire.
+        """
+        if not self.collect_packets:
+            chunks = self._column_chunks
+            if len(chunks) == 1:
+                return dict(chunks[0])
+            if not chunks:
+                return _columns_from_packets([])
+            return {
+                key: np.concatenate([chunk[key] for chunk in chunks])
+                for key in chunks[0]
+            }
+        return _columns_from_packets(self.packets)
+
+    def count_summary(self) -> dict[str, int]:
+        """JSON-friendly per-class counts (zero-filled, conserved)."""
+        return {
+            cls.value: self.class_counts.get(cls, 0) for cls in CLASS_ORDER
+        }
+
+    def finish(self, trace: AnyTrace) -> ClassifiedTrace:
+        """Wrap the running verdicts as the batch-API result object."""
+        if not self.collect_packets:
+            raise RuntimeError(
+                "finish() needs per-packet results; this classifier was "
+                "built with collect_packets=False (columns only)"
+            )
+        return ClassifiedTrace(trace=trace, packets=self.packets)
+
+
+def _columns_from_packets(
+    packets: Sequence[ClassifiedPacket],
+) -> dict:
+    """Pack classified packets into the compact verdict columns."""
+    n = len(packets)
+    class_codes = np.empty(n, dtype=np.uint8)
+    sequences = np.empty(n, dtype=np.int64)
+    wrapper_damaged = np.empty(n, dtype=bool)
+    body_bits = np.empty(n, dtype=np.int64)
+    truncated = np.empty(n, dtype=np.int32)
+    for index, packet in enumerate(packets):
+        class_codes[index] = CLASS_CODE[packet.packet_class]
+        sequences[index] = (
+            -1 if packet.sequence is None else packet.sequence
+        )
+        wrapper_damaged[index] = packet.wrapper_damaged
+        body_bits[index] = packet.body_bits_damaged
+        truncated[index] = packet.truncated_bytes_missing
+    return {
+        "class_codes": class_codes,
+        "sequences": sequences,
+        "wrapper_damaged": wrapper_damaged,
+        "body_bits_damaged": body_bits,
+        "truncated_missing": truncated,
+    }
+
+
+def verdict_row_bytes(columns: dict) -> bytes:
+    """Verdict columns re-packed as per-record rows, for digesting.
+
+    Streaming consumers prove byte-identity with the batch path by
+    hashing verdicts as they arrive; hashing column-by-column would
+    make the digest depend on where chunk boundaries fell.  Row-major
+    packing is concatenation-stable: ``rows(A) + rows(B) ==
+    rows(A + B)`` for any split, so one running hash over any chunking
+    equals the hash of the whole trace's columns.
+    """
+    codes = np.asarray(columns["class_codes"])
+    rows = np.empty(
+        codes.shape[0],
+        dtype=[
+            ("code", "u1"),
+            ("sequence", "<i8"),
+            ("wrapper", "u1"),
+            ("body_bits", "<i8"),
+            ("truncated", "<i4"),
+        ],
+    )
+    rows["code"] = codes
+    rows["sequence"] = columns["sequences"]
+    rows["wrapper"] = columns["wrapper_damaged"]
+    rows["body_bits"] = columns["body_bits_damaged"]
+    rows["truncated"] = columns["truncated_missing"]
+    return rows.tobytes()
+
+
+def classify_trace(trace: AnyTrace) -> ClassifiedTrace:
+    """Run matching + damage classification over a whole trial.
+
+    A thin batch wrapper over :class:`IncrementalClassifier` — one
+    classifier, the whole trace fed as a single chunk (the classifier
+    re-chunks internally for cache friendliness), results identical to
+    any streamed chunking of the same records.
+    """
+    classifier = IncrementalClassifier(trace.spec, trace.packets_sent)
+    with _obs.trace_span(
+        "analysis.classify",
+        records=trace.packets_received,
+        columnar=isinstance(trace, ColumnarTrace),
+    ):
+        classifier.feed(trace)
+    return classifier.finish(trace)
 
 
 def _classify_one(

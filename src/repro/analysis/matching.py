@@ -121,6 +121,35 @@ class TraceMatcher:
         self.spec = spec
         self.packets_sent = packets_sent
         self.factory = TestPacketFactory(spec)
+        self._bank: Optional[np.ndarray] = None
+
+    def enable_template_cache(self, max_records: int = 65_536) -> bool:
+        """Precompute the full template bank for this trial's sequences.
+
+        The fast path's dominant cost on clean traffic is rebuilding
+        expected frames (:meth:`TestPacketFactory.build_bulk`) for every
+        candidate row.  A batch run pays that once per trace; a
+        long-lived ingest session (:mod:`repro.serve`) matching many
+        streams of the same series would pay it per chunk, forever.
+        Caching every possible template turns the rebuild into a row
+        gather.  Declined (returns False) when the bank would exceed
+        ``max_records`` rows (~1 KB each) — the cache is a speed/memory
+        trade the caller opts into, never a surprise allocation.
+        """
+        total = self.packets_sent + SEQUENCE_SLACK
+        if total > max_records:
+            return False
+        if self._bank is None:
+            self._bank = self.factory.build_bulk(
+                np.arange(total, dtype=np.int64)
+            )
+        return True
+
+    def _template_rows(self, sequences: np.ndarray) -> np.ndarray:
+        """Expected frames for ``sequences``: cached gather or rebuild."""
+        if self._bank is not None:
+            return self._bank[sequences]
+        return self.factory.build_bulk(sequences)
 
     # ------------------------------------------------------------------
     def match(self, record: PacketRecord) -> MatchResult:
@@ -182,6 +211,34 @@ class TraceMatcher:
         results: list[Optional[MatchResult]] = [None] * matrix.shape[0]
         if not matrix.shape[0]:
             return results
+        exact, sequences = self.match_matrix_arrays(matrix)
+        for row in np.nonzero(exact)[0].tolist():
+            results[row] = MatchResult(
+                MatchOutcome.TEST_PACKET,
+                sequence=int(sequences[row]),
+                exact=True,
+                vote_fraction=1.0,
+                wrapper_score=1.0,
+            )
+        return results
+
+    def match_matrix_arrays(
+        self, matrix: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The fast path as pure arrays: no per-row result objects.
+
+        Returns ``(exact, sequences)`` — a bool mask of rows that are
+        byte-identical to their expected frame, and the matched
+        sequence per hit row (-1 elsewhere).  This is the whole per-row
+        cost for clean traffic; consumers that only need verdict
+        columns (the streaming classifier) skip :class:`MatchResult`
+        construction entirely and stay vectorized end to end.
+        """
+        n = matrix.shape[0]
+        exact = np.zeros(n, dtype=bool)
+        matched = np.full(n, -1, dtype=np.int64)
+        if not n:
+            return exact, matched
         body = np.ascontiguousarray(
             matrix[:, BODY_START : FRAME_BYTES - 4]
         ).view(">u4")
@@ -192,26 +249,19 @@ class TraceMatcher:
         candidates = unanimous & (
             sequences < self.packets_sent + SEQUENCE_SLACK
         )
-        hits = 0
         if candidates.any():
             rows = np.nonzero(candidates)[0]
-            bank = self.factory.build_bulk(sequences[rows])
-            exact = (matrix[rows] == bank).all(axis=1)
-            for row, is_exact in zip(rows.tolist(), exact.tolist()):
-                if not is_exact:
-                    continue
-                results[row] = MatchResult(
-                    MatchOutcome.TEST_PACKET,
-                    sequence=int(sequences[row]),
-                    exact=True,
-                    vote_fraction=1.0,
-                    wrapper_score=1.0,
-                )
-                hits += 1
+            bank = self._template_rows(sequences[rows])
+            hit = (matrix[rows] == bank).all(axis=1)
+            hit_rows = rows[hit]
+            exact[hit_rows] = True
+            matched[hit_rows] = sequences[hit_rows]
         state = _obs.STATE
-        if state.enabled and hits:
-            state.metrics.counter("match.fast_path_hits").inc(hits)
-        return results
+        if state.enabled:
+            hits = int(exact.sum())
+            if hits:
+                state.metrics.counter("match.fast_path_hits").inc(hits)
+        return exact, matched
 
     def _match_impl(self, data: bytes, skip_fast: bool = False) -> MatchResult:
         if not skip_fast:

@@ -43,6 +43,11 @@ DEFAULT_TOLERANCE = 0.25
 def load_snapshot(path: PathLike) -> dict:
     """Read one ``BENCH_internal.json``-shaped snapshot (schema 1)."""
     doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict):
+        raise ValueError(
+            f"{path}: bench snapshot must be a JSON object, "
+            f"got {type(doc).__name__}"
+        )
     if doc.get("schema") != 1:
         raise ValueError(
             f"{path}: bench schema {doc.get('schema')} (this reader "
@@ -128,12 +133,34 @@ def diff_stages(
     current_stages = current.get("stages", {})
     deltas: list[TimingDelta] = []
     uncompared: list[str] = []
+    if not isinstance(baseline_stages, dict):
+        uncompared.append("baseline 'stages' is not an object; skipped")
+        baseline_stages = {}
+    if not isinstance(current_stages, dict):
+        uncompared.append("current 'stages' is not an object; skipped")
+        current_stages = {}
     for stage in sorted(set(baseline_stages) | set(current_stages)):
         if stage not in current_stages:
             uncompared.append(f"stage {stage!r}: baseline only (not run)")
             continue
         if stage not in baseline_stages:
             uncompared.append(f"stage {stage!r}: new (no baseline)")
+            continue
+        # A hand-edited or truncated snapshot may hold a non-object
+        # payload; a malformed stage must warn, not crash the gate.
+        malformed = [
+            side
+            for side, stages in (
+                ("baseline", baseline_stages),
+                ("current", current_stages),
+            )
+            if not isinstance(stages[stage], dict)
+        ]
+        if malformed:
+            uncompared.append(
+                f"stage {stage!r}: malformed payload "
+                f"({' and '.join(malformed)}); skipped"
+            )
             continue
         base_walls = _wall_keys(baseline_stages[stage])
         cur_walls = _wall_keys(current_stages[stage])

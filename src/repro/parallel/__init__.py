@@ -27,11 +27,13 @@ See docs/OBSERVABILITY.md for the sharding and merge semantics.
 from repro.parallel.handoff import (
     PortableClassifiedTrace,
     TraceHandle,
+    export_block,
     export_classified,
     export_trace,
     merge_trace_handles,
     resolve_portable,
 )
+from repro.parallel.pool import PersistentPool, maybe_pool
 from repro.parallel.runner import (
     Task,
     TaskResult,
@@ -42,13 +44,16 @@ from repro.parallel.runner import (
 from repro.parallel.shards import find_shards, shard_path
 
 __all__ = [
+    "PersistentPool",
     "PortableClassifiedTrace",
     "Task",
     "TaskResult",
     "TraceHandle",
     "default_jobs",
+    "export_block",
     "export_classified",
     "export_trace",
+    "maybe_pool",
     "find_shards",
     "merge_trace_handles",
     "merged_manifest_record",

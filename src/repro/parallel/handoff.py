@@ -41,9 +41,10 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.analysis.classify import (
+    CLASS_CODE,
+    CLASS_ORDER,
     ClassifiedPacket,
     ClassifiedTrace,
-    PacketClass,
 )
 from repro.analysis.syndrome import ErrorSyndrome
 from repro.obs import runtime as _obs
@@ -57,9 +58,10 @@ from repro.trace.records import TrialTrace
 
 AnyTrace = Union[TrialTrace, ColumnarTrace]
 
-# Stable wire order for PacketClass codes (u1 column).
-_CLASS_ORDER = list(PacketClass)
-_CLASS_CODE = {cls: code for code, cls in enumerate(_CLASS_ORDER)}
+# Stable wire order for PacketClass codes (u1 column) — the canonical
+# table lives with the enum in repro.analysis.classify.
+_CLASS_ORDER = CLASS_ORDER
+_CLASS_CODE = CLASS_CODE
 
 
 @dataclass
@@ -130,6 +132,46 @@ def _columnar_bytes(trace: AnyTrace) -> bytes:
     return buffer.getvalue()
 
 
+def export_block(
+    payload: bytes,
+    via: str = "file",
+    directory: Optional[Union[str, Path]] = None,
+) -> TraceHandle:
+    """Ship already-encoded v2 columnar bytes as a :class:`TraceHandle`.
+
+    The byte-level sibling of :func:`export_trace` for callers that
+    hold the block itself — the streaming ingest service's wire chunks
+    *are* v2 blocks, so they cross the pool boundary without being
+    re-encoded.
+    """
+    if via == "file":
+        fd, path = tempfile.mkstemp(
+            prefix=f"repro-{os.getpid()}-", suffix=".wlt2",
+            dir=str(directory) if directory is not None else None,
+        )
+        with os.fdopen(fd, "wb") as stream:
+            stream.write(payload)
+        return TraceHandle(kind="file", location=path)
+    if via == "shm":
+        from multiprocessing import resource_tracker, shared_memory
+
+        block = shared_memory.SharedMemory(create=True, size=len(payload))
+        block.buf[: len(payload)] = payload
+        name = block.name
+        block.close()
+        # Ownership moves to whoever loads the handle; stop this
+        # process's resource tracker from unlinking (and warning about)
+        # the block when the worker exits.
+        try:
+            resource_tracker.unregister(f"/{name}", "shared_memory")
+        except Exception:  # pragma: no cover - tracker impl detail
+            pass
+        return TraceHandle(kind="shm", location=name)
+    if via == "inline":
+        return TraceHandle(kind="inline", location=payload)
+    raise ValueError(f"unknown handoff transport {via!r}")
+
+
 def export_trace(
     trace: AnyTrace,
     via: str = "file",
@@ -148,24 +190,8 @@ def export_trace(
         with os.fdopen(fd, "wb") as stream:
             write_columnar(trace, stream)
         return TraceHandle(kind="file", location=path)
-    if via == "shm":
-        from multiprocessing import resource_tracker, shared_memory
-
-        payload = _columnar_bytes(trace)
-        block = shared_memory.SharedMemory(create=True, size=len(payload))
-        block.buf[: len(payload)] = payload
-        name = block.name
-        block.close()
-        # Ownership moves to whoever loads the handle; stop this
-        # process's resource tracker from unlinking (and warning about)
-        # the block when the worker exits.
-        try:
-            resource_tracker.unregister(f"/{name}", "shared_memory")
-        except Exception:  # pragma: no cover - tracker impl detail
-            pass
-        return TraceHandle(kind="shm", location=name)
-    if via == "inline":
-        return TraceHandle(kind="inline", location=_columnar_bytes(trace))
+    if via in ("shm", "inline"):
+        return export_block(_columnar_bytes(trace), via=via)
     raise ValueError(f"unknown handoff transport {via!r}")
 
 

@@ -1,0 +1,310 @@
+"""Load generator: replay stored traces over N concurrent sessions.
+
+The client half of :mod:`repro.serve` — opens ``sessions`` concurrent
+connections, streams the same trace down each as framed v2 chunks, and
+respects the credit window the server advertises at handshake (at most
+``window_chunks`` un-ACKed chunks in flight per session).  Chunk
+payloads are encoded once and shared across sessions, so the offered
+load measures the *server's* ingest path, not client-side encoding.
+
+Programmatic use::
+
+    report = await run_loadgen(("127.0.0.1", port), trace,
+                               sessions=32, chunk_records=512)
+    print(report.packets_per_s)
+
+or from the CLI: ``python -m repro loadgen --connect HOST:PORT
+--trace run.wlt2 --sessions 32``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.serve import protocol
+from repro.serve.protocol import FrameType, ProtocolError
+from repro.trace.columnar import ColumnarTrace
+from repro.trace.persist import load_trace
+
+Address = Union[str, tuple[str, int]]
+
+
+@dataclass
+class SessionReport:
+    """One session's view of its own run, plus the server's SUMMARY."""
+
+    session: str
+    records: int
+    chunks: int
+    wall_s: float
+    summary: dict
+
+
+@dataclass
+class LoadgenReport:
+    """Aggregate results across all sessions of one loadgen run."""
+
+    sessions: list[SessionReport] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def records(self) -> int:
+        return sum(s.records for s in self.sessions)
+
+    @property
+    def packets_per_s(self) -> float:
+        return self.records / max(self.wall_s, 1e-9)
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max(
+            (s.summary.get("max_queue_depth", 0) for s in self.sessions),
+            default=0,
+        )
+
+    def merged_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for report in self.sessions:
+            for key, value in report.summary.get("counts", {}).items():
+                counts[key] = counts.get(key, 0) + value
+        return counts
+
+
+def chunk_payloads(
+    trace: ColumnarTrace, chunk_records: int
+) -> list[bytes]:
+    """The trace pre-sliced into CHUNK payloads (shared by sessions)."""
+    if chunk_records < 1:
+        raise ValueError(f"chunk_records must be >= 1, got {chunk_records}")
+    total = trace.packets_received
+    if total == 0:
+        # A zero-record trace still makes one (empty) chunk so the
+        # session exercises the full handshake/ACK/summary path.
+        return [protocol.encode_chunk(trace, 0, 0)]
+    return [
+        protocol.encode_chunk(trace, start, min(start + chunk_records, total))
+        for start in range(0, total, chunk_records)
+    ]
+
+
+async def _open_connection(connect: Address):
+    if isinstance(connect, str):
+        return await asyncio.open_unix_connection(connect)
+    host, port = connect
+    return await asyncio.open_connection(host, port)
+
+
+async def run_session(
+    connect: Address,
+    payloads: Sequence[bytes],
+    spec,
+    packets_sent: int,
+    *,
+    session_id: Optional[str] = None,
+    name: str = "loadgen",
+    total_records: Optional[int] = None,
+) -> SessionReport:
+    """One full session: HELLO, windowed CHUNK stream, END, SUMMARY."""
+    session_id = session_id or uuid.uuid4().hex[:12]
+    reader, writer = await _open_connection(connect)
+    started = time.perf_counter()
+    try:
+        protocol.write_frame(
+            writer,
+            FrameType.HELLO,
+            protocol.hello_payload(
+                session_id,
+                name,
+                spec,
+                packets_sent,
+                total_records=total_records,
+            ),
+        )
+        await writer.drain()
+        item = await protocol.read_frame(reader)
+        if item is None:
+            raise ProtocolError("server closed during handshake")
+        frame_type, payload = item
+        if frame_type is FrameType.ERROR:
+            raise ProtocolError(
+                protocol.decode_json(payload).get("error", "rejected")
+            )
+        if frame_type is not FrameType.HELLO_OK:
+            raise ProtocolError(f"expected HELLO_OK, got {frame_type.name}")
+        window = int(
+            protocol.decode_json(payload).get("window_chunks", 1)
+        )
+
+        # The credit window: one permit per un-ACKed chunk.  The sender
+        # blocks on acquire; the ACK reader releases.  The reader also
+        # collects the final SUMMARY, so it runs for the whole session.
+        credits = asyncio.Semaphore(max(window, 1))
+        summary: dict = {}
+        acks = 0
+
+        async def read_acks() -> None:
+            nonlocal summary, acks
+            while True:
+                item = await protocol.read_frame(reader)
+                if item is None:
+                    raise ProtocolError(
+                        "server closed before sending SUMMARY"
+                    )
+                frame_type, payload = item
+                if frame_type is FrameType.ACK:
+                    acks += 1
+                    credits.release()
+                elif frame_type is FrameType.SUMMARY:
+                    summary = protocol.decode_json(payload)
+                    return
+                elif frame_type is FrameType.ERROR:
+                    raise ProtocolError(
+                        protocol.decode_json(payload).get("error", "?")
+                    )
+                else:
+                    raise ProtocolError(
+                        f"unexpected {frame_type.name} from server"
+                    )
+
+        ack_task = asyncio.create_task(read_acks())
+        try:
+            for payload in payloads:
+                await credits.acquire()
+                if ack_task.done():
+                    break  # surface the reader's error below
+                protocol.write_frame(writer, FrameType.CHUNK, payload)
+                await writer.drain()
+            protocol.write_frame(writer, FrameType.END)
+            await writer.drain()
+            await ack_task
+        except BaseException:
+            ack_task.cancel()
+            await asyncio.gather(ack_task, return_exceptions=True)
+            raise
+        return SessionReport(
+            session=session_id,
+            records=int(summary.get("records", 0)),
+            chunks=int(summary.get("chunks", 0)),
+            wall_s=time.perf_counter() - started,
+            summary=summary,
+        )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+async def run_loadgen(
+    connect: Address,
+    trace: ColumnarTrace,
+    *,
+    sessions: int = 8,
+    chunk_records: int = 2048,
+    name: str = "loadgen",
+) -> LoadgenReport:
+    """Replay ``trace`` over ``sessions`` concurrent sessions."""
+    if sessions < 1:
+        raise ValueError(f"sessions must be >= 1, got {sessions}")
+    payloads = chunk_payloads(trace, chunk_records)
+    started = time.perf_counter()
+    reports = await asyncio.gather(*(
+        run_session(
+            connect,
+            payloads,
+            trace.spec,
+            trace.packets_sent,
+            session_id=f"{name}-{index:04d}",
+            name=name,
+            total_records=trace.packets_received,
+        )
+        for index in range(sessions)
+    ))
+    return LoadgenReport(
+        sessions=list(reports), wall_s=time.perf_counter() - started
+    )
+
+
+def _as_columnar(trace) -> ColumnarTrace:
+    if isinstance(trace, ColumnarTrace):
+        return trace
+    return ColumnarTrace.from_trace(trace)
+
+
+def parse_connect(value: str) -> Address:
+    """``HOST:PORT`` or a unix socket path (contains ``/``)."""
+    if "/" in value:
+        return value
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT or a socket path, got {value!r}"
+        )
+    return host, int(port)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro loadgen",
+        description="replay a stored trace against a running "
+        "trace-analysis server over N concurrent sessions",
+    )
+    parser.add_argument(
+        "--connect",
+        type=parse_connect,
+        required=True,
+        help="server address: HOST:PORT or a unix socket path",
+    )
+    parser.add_argument(
+        "--trace",
+        required=True,
+        help="stored trace to replay (.wlt2 or v1 .json/.json.gz)",
+    )
+    parser.add_argument(
+        "--sessions", type=int, default=8, help="concurrent sessions"
+    )
+    parser.add_argument(
+        "--chunk-records",
+        type=int,
+        default=2048,
+        help="records per CHUNK frame",
+    )
+    args = parser.parse_args(argv)
+
+    trace = _as_columnar(load_trace(args.trace))
+    report = asyncio.run(
+        run_loadgen(
+            args.connect,
+            trace,
+            sessions=args.sessions,
+            chunk_records=args.chunk_records,
+        )
+    )
+    expected = trace.packets_received * args.sessions
+    print(
+        f"{len(report.sessions)} sessions, {report.records} records "
+        f"in {report.wall_s:.3f}s ({report.packets_per_s:,.0f} packets/s, "
+        f"max queue depth {report.max_queue_depth})"
+    )
+    for key, value in sorted(report.merged_counts().items()):
+        if value:
+            print(f"  {key}: {value}")
+    if report.records != expected:
+        print(
+            f"error: ingested {report.records} records, "
+            f"expected {expected}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,215 @@
+"""The framed wire protocol of the streaming trace-analysis service.
+
+Every message is one length-prefixed frame::
+
+    [0:4]  u32 big-endian — length of everything after these 4 bytes
+    [4:5]  u8 frame type  (:class:`FrameType`)
+    [5:..] payload        (length - 1 bytes)
+
+Control payloads (handshake, acks, summaries) are UTF-8 JSON.  Data
+payloads (:attr:`FrameType.CHUNK`) are **format v2 columnar blocks**
+(:mod:`repro.trace.columnar`) — the exact bytes a ``.wlt2`` file holds,
+so the protocol reuses the trace store's one reader/writer pair, every
+chunk is self-describing (spec, counts, column table), and the server
+can ship a chunk to a pool worker through the shared-memory
+:class:`~repro.parallel.TraceHandle` transport without re-encoding.
+
+Session flow (client frames on the left, server on the right)::
+
+    HELLO {session, name, spec, packets_sent, ...}
+                                HELLO_OK {session, window_chunks, ...}
+    CHUNK <v2 block>            ACK {records, chunks}      (per chunk)
+    CHUNK <v2 block>            ...
+    END {}                      SUMMARY {records, counts, ...}
+
+Flow control: the server advertises ``window_chunks`` in HELLO_OK; a
+well-behaved client keeps at most that many un-ACKed chunks in flight.
+Misbehaving clients are still bounded — the server parks excess chunks
+against a bounded per-session queue and simply stops reading the
+socket while it is full, so TCP backpressure does the rest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import io
+import json
+from typing import Optional, Union
+
+from repro.trace.columnar import (
+    ColumnarTrace,
+    read_columnar_buffer,
+    spec_from_dict,
+    spec_to_dict,
+    write_columnar,
+)
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's payload; a peer announcing more is
+#: corrupt or hostile, and the connection is dropped loudly rather
+#: than buffered into oblivion.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN_BYTES = 4
+
+
+class FrameType(enum.IntEnum):
+    """Wire frame types (client 0x0x, server 0x8x)."""
+
+    HELLO = 0x01
+    CHUNK = 0x02
+    END = 0x03
+    HELLO_OK = 0x81
+    ACK = 0x82
+    SUMMARY = 0x83
+    ERROR = 0x84
+
+
+class ProtocolError(ValueError):
+    """A malformed, truncated, or out-of-sequence frame."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def frame(frame_type: FrameType, payload: bytes = b"") -> bytes:
+    """One encoded frame: length prefix + type byte + payload."""
+    if len(payload) + 1 > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return (
+        (len(payload) + 1).to_bytes(_LEN_BYTES, "big")
+        + bytes([frame_type])
+        + payload
+    )
+
+
+def write_frame(
+    writer: asyncio.StreamWriter, frame_type: FrameType, payload: bytes = b""
+) -> None:
+    """Queue one frame on the stream (caller drains)."""
+    writer.write(frame(frame_type, payload))
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[tuple[FrameType, bytes]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF *inside* a frame — a peer dying mid-send — raises
+    :class:`ProtocolError` so truncation is never mistaken for a clean
+    goodbye (same stance the columnar store takes on missing trailers).
+    """
+    try:
+        header = await reader.readexactly(_LEN_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            "connection closed mid-frame (inside the length prefix)"
+        ) from exc
+    length = int.from_bytes(header, "big")
+    if length < 1 or length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"invalid frame length {length}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} of "
+            f"{length} bytes)"
+        ) from exc
+    try:
+        frame_type = FrameType(body[0])
+    except ValueError as exc:
+        raise ProtocolError(f"unknown frame type 0x{body[0]:02x}") from exc
+    return frame_type, body[1:]
+
+
+# ----------------------------------------------------------------------
+# Control payloads
+# ----------------------------------------------------------------------
+def encode_json(obj: dict) -> bytes:
+    return json.dumps(obj, sort_keys=True).encode("utf-8")
+
+
+def decode_json(payload: bytes) -> dict:
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed control payload: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("control payload must be a JSON object")
+    return obj
+
+
+def hello_payload(
+    session: str,
+    name: str,
+    spec,
+    packets_sent: int,
+    first_sequence: int = 0,
+    total_records: Optional[int] = None,
+) -> bytes:
+    """The handshake: everything the matcher needs before frame one."""
+    doc = {
+        "version": PROTOCOL_VERSION,
+        "session": session,
+        "name": name,
+        "spec": spec_to_dict(spec),
+        "packets_sent": packets_sent,
+        "first_sequence": first_sequence,
+    }
+    if total_records is not None:
+        doc["total_records"] = total_records
+    return encode_json(doc)
+
+
+def parse_hello(payload: bytes) -> dict:
+    doc = decode_json(payload)
+    if doc.get("version") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {doc.get('version')} "
+            f"(this server speaks {PROTOCOL_VERSION})"
+        )
+    for key in ("session", "name", "spec", "packets_sent"):
+        if key not in doc:
+            raise ProtocolError(f"HELLO missing {key!r}")
+    try:
+        doc["spec"] = spec_from_dict(doc["spec"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"HELLO carries a malformed spec: {exc}") from exc
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Data payloads
+# ----------------------------------------------------------------------
+def encode_chunk(
+    trace: ColumnarTrace, start: int = 0, stop: Optional[int] = None
+) -> bytes:
+    """Rows ``[start, stop)`` of ``trace`` as one CHUNK payload.
+
+    The payload is a complete v2 columnar block (magic, payload,
+    columns, footer, trailer) of just those rows — self-describing and
+    truncation-detectable on its own.
+    """
+    if stop is None:
+        stop = trace.packets_received
+    buffer = io.BytesIO()
+    write_columnar(trace.slice(start, stop), buffer)
+    return buffer.getvalue()
+
+
+def decode_chunk(
+    payload: Union[bytes, memoryview], origin: str = "<chunk>"
+) -> ColumnarTrace:
+    """A CHUNK payload back as a zero-copy columnar trace.
+
+    Columns are views into ``payload``; the trace pins the buffer as
+    its backing so the caller may drop their reference.
+    """
+    return read_columnar_buffer(payload, origin=origin, backing=payload)

@@ -1,0 +1,622 @@
+"""The asyncio ingest server: many sessions, incremental classification.
+
+One :class:`TraceAnalysisServer` owns a listening socket (TCP or unix),
+a persistent worker pool, and any number of live client sessions.  Per
+session the data path is::
+
+    socket -> read_frame -> bounded asyncio.Queue -> consumer
+           -> classify chunk (inline thread, or pool worker via a
+              shared-memory TraceHandle)
+           -> merge running verdict counts/digest -> ACK
+
+**Backpressure.**  The queue between the socket reader and the
+consumer is bounded (``queue_chunks``); when it fills, the reader
+coroutine blocks in ``queue.put`` and simply stops reading the socket,
+so kernel buffers fill and TCP flow control pushes back on the client.
+On top of that the handshake advertises ``window_chunks`` and the
+server ACKs every classified chunk, so a well-behaved client bounds
+its own in-flight data without ever feeling a stall.  Memory per
+session is therefore O(queue_chunks × chunk bytes), independent of
+trace length.
+
+**Sharding.**  With ``jobs > 1`` every chunk classification is shipped
+to a :class:`~repro.parallel.PersistentPool` worker as a
+:class:`~repro.parallel.TraceHandle` (shared-memory by default — the
+chunk payload *is* a v2 columnar block, so it crosses the boundary
+without re-encoding) and comes back as compact verdict columns.
+Sessions progress independently; N sessions saturate N workers.  With
+``jobs <= 1`` chunks classify on a single worker thread, keeping the
+event loop responsive.
+
+**Telemetry.**  When an observability session is active the server
+emits one ``serve.session`` span per completed session (child of one
+``serve.run`` root), plus periodic ``heartbeat`` records with
+aggregate packets/s, active sessions, and the deepest session queue —
+the live signals ``timeline --follow`` tails.  Span ids use the same
+deterministic derivation as every other span in the codebase, but are
+emitted directly (not via the recorder's stack) because concurrent
+sessions interleave; the tree stitches identically in the exporters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro import obs
+from repro.analysis.classify import (
+    CLASS_ORDER,
+    IncrementalClassifier,
+    verdict_row_bytes,
+)
+from repro.analysis.matching import TraceMatcher
+from repro.obs import resources as _resources
+from repro.obs.spans import derive_span_id
+from repro.parallel.handoff import TraceHandle, export_block
+from repro.parallel.pool import PersistentPool
+from repro.serve import protocol
+from repro.serve.protocol import FrameType, ProtocolError
+from repro.trace.columnar import spec_from_dict, spec_to_dict
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is in ``address``
+    unix_path: Optional[str] = None  # takes precedence over host/port
+    jobs: int = 1  # >1 fans chunk classification across a process pool
+    queue_chunks: int = 8  # bounded per-session queue (backpressure)
+    window_chunks: int = 4  # in-flight credit advertised at handshake
+    transport: str = "shm"  # chunk handoff to workers: shm|file|inline
+    heartbeat_s: float = 1.0  # aggregate heartbeat period (0 = off)
+    drain_timeout_s: float = 10.0  # grace for live sessions at stop()
+    keep_verdicts: bool = False  # retain per-session verdict columns
+
+
+@dataclass
+class Session:
+    """One client stream's running state."""
+
+    id: str
+    name: str
+    spec: object
+    packets_sent: int
+    first_sequence: int
+    queue: asyncio.Queue
+    started_unix: float
+    records: int = 0
+    chunks: int = 0
+    max_queue_depth: int = 0
+    counts: Counter = field(default_factory=Counter)
+    digest: "object" = None  # running blake2b over verdict rows
+    columns: list = field(default_factory=list)  # kept verdict columns
+    matcher: Optional[TraceMatcher] = None  # inline-path cache
+    aborted: bool = False
+    error: Optional[str] = None
+
+
+# ----------------------------------------------------------------------
+# Chunk classification (both sides of the pool boundary)
+# ----------------------------------------------------------------------
+_WORKER_MATCHERS: dict = {}
+
+
+def _matcher_for(spec_key: tuple, spec_dict: dict, packets_sent: int) -> TraceMatcher:
+    """Worker-side matcher cache: template banks are per (spec,
+    packets_sent) and cost more to build than a chunk costs to match,
+    so a long session reuses one across all its chunks."""
+    matcher = _WORKER_MATCHERS.get(spec_key)
+    if matcher is None:
+        matcher = TraceMatcher(spec_from_dict(spec_dict), packets_sent)
+        matcher.enable_template_cache()
+        _WORKER_MATCHERS[spec_key] = matcher
+    return matcher
+
+
+def _classify_chunk_remote(
+    handle: TraceHandle, spec_dict: dict, packets_sent: int
+) -> dict:
+    """Pool-worker entry: load the chunk block, classify, return
+    compact verdict columns (never per-record object graphs)."""
+    trace = handle.load()
+    spec_key = (tuple(sorted(spec_dict.items())), packets_sent)
+    matcher = _matcher_for(spec_key, spec_dict, packets_sent)
+    classifier = IncrementalClassifier(
+        matcher.spec, packets_sent, matcher=matcher, collect_packets=False
+    )
+    classifier.feed_columnar(trace)
+    return classifier.verdict_columns()
+
+
+def _classify_chunk_inline(
+    payload: bytes, matcher: TraceMatcher
+) -> dict:
+    """Inline (thread) twin of :func:`_classify_chunk_remote`."""
+    trace = protocol.decode_chunk(payload)
+    classifier = IncrementalClassifier(
+        matcher.spec, matcher.packets_sent, matcher=matcher,
+        collect_packets=False,
+    )
+    classifier.feed_columnar(trace)
+    return classifier.verdict_columns()
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+class TraceAnalysisServer:
+    """Long-running ingest service over the framed protocol.
+
+    Lifecycle::
+
+        server = TraceAnalysisServer(ServeConfig(jobs=4))
+        await server.start()          # binds; server.address is live
+        ...                           # sessions come and go
+        await server.stop()           # drain + shut the pool down
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._pool: Optional[PersistentPool] = None
+        self._inline: Optional[ThreadPoolExecutor] = None
+        self._sessions: dict[str, Session] = {}
+        self._handler_tasks: set[asyncio.Task] = set()
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        self._accepting = False
+        self._started_unix = 0.0
+        self._started_perf = 0.0
+        self._total_records = 0
+        self._completed_sessions = 0
+        # Deterministic span ids for concurrent sessions: our own
+        # sibling ordinals per span name, same derivation as the
+        # recorder's.
+        self._span_ordinals: Counter = Counter()
+        self._root_span_id: Optional[str] = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def address(self):
+        """Where clients connect: ``path`` (unix) or ``(host, port)``."""
+        if self.config.unix_path is not None:
+            return self.config.unix_path
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> None:
+        config = self.config
+        if config.jobs > 1:
+            self._pool = PersistentPool(config.jobs)
+        else:
+            self._inline = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="serve-classify"
+            )
+        if config.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=config.unix_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, host=config.host, port=config.port
+            )
+        self._accepting = True
+        self._started_unix = time.time()
+        self._started_perf = time.perf_counter()
+        self._root_span_id = self._next_span_id("serve.run", parent=None)
+        if config.heartbeat_s > 0:
+            self._heartbeat_task = asyncio.create_task(
+                self._heartbeat_loop()
+            )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "server not started"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, let live sessions finish
+        (up to ``drain_timeout_s``), then tear the pool down."""
+        self._accepting = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._handler_tasks:
+            done, pending = await asyncio.wait(
+                self._handler_tasks, timeout=self.config.drain_timeout_s
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass
+            self._heartbeat_task = None
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if self._inline is not None:
+            self._inline.shutdown(wait=True)
+            self._inline = None
+        self._emit_span(
+            "serve.run",
+            self._root_span_id,
+            parent=None,
+            start_unix=self._started_unix,
+            wall_s=time.perf_counter() - self._started_perf,
+            attrs={
+                "sessions": self._completed_sessions,
+                "records": self._total_records,
+                "jobs": self.config.jobs,
+            },
+        )
+        if self.config.unix_path is not None:
+            try:
+                os.unlink(self.config.unix_path)
+            except OSError:
+                pass
+
+    # -- telemetry -----------------------------------------------------
+    def _next_span_id(self, name: str, parent: Optional[str]) -> str:
+        recorder = obs.STATE.spans
+        if recorder is None:
+            return ""
+        key = (parent or "", name)
+        index = self._span_ordinals[key]
+        self._span_ordinals[key] = index + 1
+        return derive_span_id(recorder.trace_id, parent, name, index)
+
+    def _emit_span(
+        self,
+        name: str,
+        span_id: Optional[str],
+        parent: Optional[str],
+        start_unix: float,
+        wall_s: float,
+        attrs: dict,
+        status: str = "ok",
+    ) -> None:
+        """Emit one finished-span record with explicit parentage.
+
+        Concurrent sessions cannot share the recorder's span *stack*
+        (their lifetimes interleave), but their records are ordinary
+        spans: same schema, same deterministic id derivation, so
+        ``stats``/``timeline`` stitch them like any other tree.
+        """
+        recorder = obs.STATE.spans
+        if recorder is None or not span_id:
+            return
+        record = {
+            "type": "span",
+            "trace": recorder.trace_id,
+            "span": span_id,
+            "parent": parent,
+            "name": name,
+            "pid": os.getpid(),
+            "start_unix": start_unix,
+            "attrs": dict(attrs),
+            "wall_s": wall_s,
+            "cpu_s": 0.0,
+            "rss_delta_kb": 0,
+            "status": status,
+        }
+        recorder.finished.append(record)
+        if recorder.sink is not None:
+            recorder.sink.emit(record)
+
+    async def _heartbeat_loop(self) -> None:
+        state = obs.STATE
+        last_records = 0
+        last_time = time.perf_counter()
+        while True:
+            await asyncio.sleep(self.config.heartbeat_s)
+            now = time.perf_counter()
+            rate = (self._total_records - last_records) / max(
+                now - last_time, 1e-9
+            )
+            last_records = self._total_records
+            last_time = now
+            depth = max(
+                (s.queue.qsize() for s in self._sessions.values()),
+                default=0,
+            )
+            if state.enabled:
+                state.metrics.gauge("serve.sessions").set(
+                    len(self._sessions)
+                )
+                state.metrics.gauge("serve.packets_per_s").set(rate)
+                state.metrics.gauge("serve.queue_depth").set(depth)
+            if state.enabled and state.sink is not None:
+                state.sink.emit({
+                    "type": "heartbeat",
+                    "label": "serve",
+                    "done": self._total_records,
+                    "total": self._total_records,
+                    "packets_offered": self._total_records,
+                    "packets_per_s": round(rate, 1),
+                    "sessions": len(self._sessions),
+                    "queue_depth": depth,
+                    "rss_kb": _resources.rss_kb(),
+                    "unix": time.time(),
+                })
+                state.sink.flush()
+
+    # -- per-connection ------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+        try:
+            await self._handle_client(reader, writer)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        import hashlib
+
+        config = self.config
+        try:
+            first = await protocol.read_frame(reader)
+        except ProtocolError as exc:
+            await self._send_error(writer, str(exc))
+            return
+        if first is None:
+            return  # connected and left; not worth a session
+        frame_type, payload = first
+        if frame_type is not FrameType.HELLO:
+            await self._send_error(
+                writer, f"expected HELLO, got {frame_type.name}"
+            )
+            return
+        try:
+            hello = protocol.parse_hello(payload)
+        except ProtocolError as exc:
+            await self._send_error(writer, str(exc))
+            return
+        if not self._accepting:
+            await self._send_error(writer, "server is draining")
+            return
+
+        session = Session(
+            id=str(hello["session"]),
+            name=str(hello["name"]),
+            spec=hello["spec"],
+            packets_sent=int(hello["packets_sent"]),
+            first_sequence=int(hello.get("first_sequence", 0)),
+            queue=asyncio.Queue(maxsize=config.queue_chunks),
+            started_unix=time.time(),
+            digest=hashlib.blake2b(digest_size=8),
+        )
+        self._sessions[session.id] = session
+        started_perf = time.perf_counter()
+        span_id = self._next_span_id("serve.session", self._root_span_id)
+        protocol.write_frame(
+            writer,
+            FrameType.HELLO_OK,
+            protocol.encode_json({
+                "session": session.id,
+                "window_chunks": config.window_chunks,
+                "queue_chunks": config.queue_chunks,
+            }),
+        )
+        await writer.drain()
+
+        consumer = asyncio.create_task(self._consume(session, writer))
+        try:
+            await self._read_session(reader, session)
+        finally:
+            await consumer
+            self._sessions.pop(session.id, None)
+            self._completed_sessions += 1
+            state = obs.STATE
+            if state.enabled:
+                state.metrics.counter("serve.sessions_completed").inc()
+                state.metrics.counter("serve.records_ingested").inc(
+                    session.records
+                )
+            self._emit_span(
+                "serve.session",
+                span_id,
+                parent=self._root_span_id,
+                start_unix=session.started_unix,
+                wall_s=time.perf_counter() - started_perf,
+                attrs={
+                    "session": session.id,
+                    "name": session.name,
+                    "records": session.records,
+                    "chunks": session.chunks,
+                    "max_queue_depth": session.max_queue_depth,
+                    "aborted": session.aborted,
+                },
+                status="error" if session.error else "ok",
+            )
+
+    async def _read_session(
+        self, reader: asyncio.StreamReader, session: Session
+    ) -> None:
+        """The socket-side half: frames into the bounded queue.
+
+        ``queue.put`` blocking here *is* the backpressure mechanism —
+        while the queue is full this coroutine does not read, the
+        kernel receive buffer fills, and the client's sends stall.
+        """
+        while True:
+            try:
+                item = await protocol.read_frame(reader)
+            except ProtocolError as exc:
+                session.aborted = True
+                session.error = str(exc)
+                await session.queue.put(None)
+                return
+            if item is None:  # EOF without END: client died
+                session.aborted = True
+                session.error = "connection closed before END"
+                await session.queue.put(None)
+                return
+            frame_type, payload = item
+            if frame_type is FrameType.CHUNK:
+                await session.queue.put(payload)
+                session.max_queue_depth = max(
+                    session.max_queue_depth, session.queue.qsize()
+                )
+            elif frame_type is FrameType.END:
+                await session.queue.put(None)
+                return
+            else:
+                session.aborted = True
+                session.error = f"unexpected {frame_type.name} mid-stream"
+                await session.queue.put(None)
+                return
+
+    async def _consume(
+        self, session: Session, writer: asyncio.StreamWriter
+    ) -> None:
+        """The classify-side half: chunks off the queue, in order."""
+        config = self.config
+        while True:
+            payload = await session.queue.get()
+            if payload is None:
+                break
+            try:
+                columns = await self._classify(session, payload)
+            except Exception as exc:  # classification must not kill the loop
+                session.aborted = True
+                session.error = f"classification failed: {exc}"
+                await self._send_error(writer, session.error)
+                continue  # keep draining the queue to unblock the reader
+            codes = columns["class_codes"]
+            session.records += int(codes.shape[0])
+            session.chunks += 1
+            self._total_records += int(codes.shape[0])
+            for code, count in zip(
+                *np.unique(codes, return_counts=True)
+            ):
+                session.counts[CLASS_ORDER[int(code)]] += int(count)
+            session.digest.update(verdict_row_bytes(columns))
+            if config.keep_verdicts:
+                session.columns.append(columns)
+            try:
+                protocol.write_frame(
+                    writer,
+                    FrameType.ACK,
+                    protocol.encode_json({
+                        "session": session.id,
+                        "records": session.records,
+                        "chunks": session.chunks,
+                    }),
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):
+                session.aborted = True
+                session.error = "client went away mid-ACK"
+        if session.aborted:
+            return
+        try:
+            protocol.write_frame(
+                writer, FrameType.SUMMARY, protocol.encode_json(
+                    self._summary(session)
+                )
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover
+            session.aborted = True
+
+    def _summary(self, session: Session) -> dict:
+        wall_s = max(time.time() - session.started_unix, 1e-9)
+        return {
+            "session": session.id,
+            "name": session.name,
+            "records": session.records,
+            "chunks": session.chunks,
+            "counts": {
+                cls.value: session.counts.get(cls, 0)
+                for cls in CLASS_ORDER
+            },
+            "verdict_digest": session.digest.hexdigest(),
+            "max_queue_depth": session.max_queue_depth,
+            "queue_chunks": self.config.queue_chunks,
+            "wall_s": round(wall_s, 6),
+            "packets_per_s": round(session.records / wall_s, 1),
+        }
+
+    async def _classify(self, session: Session, payload: bytes) -> dict:
+        """One chunk through the right lane: pool worker or thread."""
+        if self._pool is not None:
+            handle = export_block(
+                bytes(payload), via=self.config.transport
+            )
+            try:
+                return await self._pool.run(
+                    _classify_chunk_remote,
+                    handle,
+                    spec_to_dict(session.spec),
+                    session.packets_sent,
+                )
+            except Exception:
+                handle.release()
+                raise
+        if session.matcher is None:
+            spec_dict = spec_to_dict(session.spec)
+            spec_key = (
+                tuple(sorted(spec_dict.items())), session.packets_sent
+            )
+            session.matcher = _matcher_for(
+                spec_key, spec_dict, session.packets_sent
+            )
+        assert self._inline is not None
+        return await asyncio.get_running_loop().run_in_executor(
+            self._inline, _classify_chunk_inline, payload, session.matcher
+        )
+
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, message: str
+    ) -> None:
+        try:
+            protocol.write_frame(
+                writer,
+                FrameType.ERROR,
+                protocol.encode_json({"error": message}),
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+async def run_server(config: ServeConfig) -> None:
+    """Start, print the address, and serve until cancelled (the CLI
+    entry; SIGINT drains gracefully)."""
+    server = TraceAnalysisServer(config)
+    await server.start()
+    address = server.address
+    if isinstance(address, str):
+        print(f"serving on unix:{address} (jobs={config.jobs})")
+    else:
+        print(
+            f"serving on {address[0]}:{address[1]} (jobs={config.jobs})"
+        )
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()

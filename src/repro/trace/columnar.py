@@ -451,6 +451,56 @@ class ColumnarTrace:
             )
         return trace
 
+    # -- slicing -------------------------------------------------------
+    def slice(self, start: int, stop: int) -> "ColumnarTrace":
+        """Rows ``[start, stop)`` as a standalone columnar trace.
+
+        The payload window is cut between the first selected record's
+        offset and the last one's end, and offsets are rebased to it —
+        valid because the writer lands frame bytes in append order, so
+        offsets are nondecreasing.  Columns are views (zero-copy) into
+        this trace's columns except ``offsets``, which must be rebased.
+        Used by the streaming service to frame a stored trial into
+        wire chunks; an empty slice (``start >= stop``) is a valid
+        zero-record trace.
+        """
+        n = self.packets_received
+        start = max(0, min(start, n))
+        stop = max(start, min(stop, n))
+        if start == stop:
+            return ColumnarTrace(
+                name=self.name,
+                spec=self.spec,
+                packets_sent=self.packets_sent,
+                first_sequence=self.first_sequence,
+                times=self.times[:0],
+                levels=self.levels[:0],
+                silences=self.silences[:0],
+                qualities=self.qualities[:0],
+                antennas=self.antennas[:0],
+                offsets=self.offsets[:0],
+                lengths=self.lengths[:0],
+                payload=self.payload[:0],
+                backing=self._backing,
+            )
+        base = int(self.offsets[start])
+        end = int(self.offsets[stop - 1]) + int(self.lengths[stop - 1])
+        return ColumnarTrace(
+            name=self.name,
+            spec=self.spec,
+            packets_sent=self.packets_sent,
+            first_sequence=self.first_sequence,
+            times=self.times[start:stop],
+            levels=self.levels[start:stop],
+            silences=self.silences[start:stop],
+            qualities=self.qualities[start:stop],
+            antennas=self.antennas[start:stop],
+            offsets=self.offsets[start:stop] - base,
+            lengths=self.lengths[start:stop],
+            payload=self.payload[base:end],
+            backing=self._backing,
+        )
+
     # -- merge ---------------------------------------------------------
     @classmethod
     def concat(

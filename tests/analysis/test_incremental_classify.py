@@ -1,0 +1,233 @@
+"""Incremental classification == batch, for every chunking.
+
+The streaming service's correctness rests on one property: verdicts
+depend only on their own record's bytes, so feeding a trace through
+:class:`IncrementalClassifier` in chunks of 1, 7, or all-at-once is
+byte-identical to :func:`classify_trace`.  These tests pin that for
+v1 record traces and v2 columnar traces, for the per-packet and the
+columns-only (server) modes, and for the degenerate shapes an ingest
+server sees routinely: zero-record traces and zero-length final
+chunks.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.analysis.classify import (
+    CLASS_ORDER,
+    IncrementalClassifier,
+    classify_trace,
+    verdict_row_bytes,
+)
+from repro.framing.bits import flip_bits
+from repro.framing.testpacket import BODY_START, FRAME_BYTES
+from repro.phy.modem import ModemRxStatus
+from repro.trace.columnar import (
+    ColumnarTrace,
+    read_columnar,
+    read_columnar_buffer,
+    write_columnar,
+)
+from repro.trace.records import PacketRecord, TrialTrace
+
+STATUS = ModemRxStatus(29, 3, 15, 0)
+WEAK_STATUS = ModemRxStatus(6, 3, 8, 1)
+
+
+@pytest.fixture
+def mixed_trace(spec, factory) -> TrialTrace:
+    """A small trace with every damage shape the classifier knows."""
+    records = [
+        PacketRecord.from_bytes(factory.build(0), STATUS),
+        PacketRecord.from_bytes(factory.build(1)[:700], WEAK_STATUS),
+        PacketRecord.from_bytes(
+            flip_bits(
+                factory.build(2),
+                np.array([BODY_START * 8 + 3, BODY_START * 8 + 11]),
+            ),
+            WEAK_STATUS,
+        ),
+        PacketRecord.from_bytes(
+            flip_bits(factory.build(3), np.array([30])), WEAK_STATUS
+        ),
+        PacketRecord.from_bytes(factory.build(4), STATUS),
+        PacketRecord.from_bytes(b"\x55" * 64, WEAK_STATUS),  # outsider
+        PacketRecord.from_bytes(factory.build(5), STATUS),
+    ]
+    trace = TrialTrace(name="mixed", spec=spec, packets_sent=10)
+    trace.records.extend(records)
+    return trace
+
+
+def _assert_packets_equal(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.packet_class is b.packet_class
+        assert a.sequence == b.sequence
+        assert a.wrapper_damaged == b.wrapper_damaged
+        assert a.body_bits_damaged == b.body_bits_damaged
+        assert a.truncated_bytes_missing == b.truncated_bytes_missing
+
+
+def _columns_equal(left: dict, right: dict):
+    assert left.keys() == right.keys()
+    for key in left:
+        np.testing.assert_array_equal(left[key], right[key])
+
+
+class TestChunkedEqualsBatch:
+    @pytest.mark.parametrize("chunk", [1, 7, None])
+    def test_v1_records(self, mixed_trace, chunk):
+        batch = classify_trace(mixed_trace)
+        clf = IncrementalClassifier(
+            mixed_trace.spec, mixed_trace.packets_sent
+        )
+        records = mixed_trace.records
+        size = chunk or len(records)
+        for start in range(0, len(records), size):
+            clf.feed_records(records[start : start + size])
+        _assert_packets_equal(clf.packets, batch.packets)
+        assert dict(clf.class_counts) == {
+            k: v for k, v in batch.class_counts().items() if v
+        }
+
+    @pytest.mark.parametrize("chunk", [1, 7, None])
+    def test_columnar(self, mixed_trace, chunk):
+        columnar = ColumnarTrace.from_trace(mixed_trace)
+        batch = classify_trace(columnar)
+        clf = IncrementalClassifier(columnar.spec, columnar.packets_sent)
+        n = columnar.packets_received
+        size = chunk or n
+        for start in range(0, n, size):
+            clf.feed_columnar(columnar, start, min(start + size, n))
+        _assert_packets_equal(clf.packets, batch.packets)
+
+    def test_v1_equals_columnar(self, mixed_trace):
+        columnar = ColumnarTrace.from_trace(mixed_trace)
+        a = IncrementalClassifier(mixed_trace.spec, 10)
+        a.feed(mixed_trace)
+        b = IncrementalClassifier(columnar.spec, 10)
+        b.feed(columnar)
+        _columns_equal(a.verdict_columns(), b.verdict_columns())
+
+    @pytest.mark.parametrize("chunk", [1, 3, None])
+    def test_columns_mode_equals_object_mode(self, mixed_trace, chunk):
+        """collect_packets=False (the server path) yields the same
+        verdict columns as the per-packet path, for any chunking."""
+        columnar = ColumnarTrace.from_trace(mixed_trace)
+        reference = IncrementalClassifier(columnar.spec, 10)
+        reference.feed(columnar)
+        clf = IncrementalClassifier(
+            columnar.spec, 10, collect_packets=False
+        )
+        n = columnar.packets_received
+        size = chunk or n
+        for start in range(0, n, size):
+            clf.feed_columnar(columnar, start, min(start + size, n))
+        _columns_equal(clf.verdict_columns(), reference.verdict_columns())
+        assert clf.packets == []
+        assert clf.count_summary() == reference.count_summary()
+        with pytest.raises(RuntimeError):
+            clf.finish(columnar)
+
+    def test_columns_mode_v1_records(self, mixed_trace):
+        reference = IncrementalClassifier(mixed_trace.spec, 10)
+        reference.feed(mixed_trace)
+        clf = IncrementalClassifier(
+            mixed_trace.spec, 10, collect_packets=False
+        )
+        clf.feed_records(mixed_trace.records)
+        _columns_equal(clf.verdict_columns(), reference.verdict_columns())
+
+    def test_wlt2_round_trip_stream(self, mixed_trace, tmp_path):
+        """A trace streamed back from its .wlt2 encoding classifies
+        identically to the in-memory original."""
+        path = tmp_path / "mixed.wlt2"
+        with open(path, "wb") as stream:
+            write_columnar(ColumnarTrace.from_trace(mixed_trace), stream)
+        loaded = read_columnar(path)
+        batch = classify_trace(mixed_trace)
+        clf = IncrementalClassifier(loaded.spec, loaded.packets_sent)
+        for start in range(0, loaded.packets_received, 2):
+            clf.feed_columnar(loaded, start, start + 2)
+        _assert_packets_equal(clf.packets, batch.packets)
+
+
+class TestDigestStability:
+    def test_row_bytes_concatenation_stable(self, mixed_trace):
+        """rows(chunk A) + rows(chunk B) == rows(whole) — the property
+        that makes the server's running digest chunking-independent."""
+        columnar = ColumnarTrace.from_trace(mixed_trace)
+        whole = IncrementalClassifier(columnar.spec, 10)
+        whole.feed(columnar)
+        whole_bytes = verdict_row_bytes(whole.verdict_columns())
+        streamed = b""
+        for start in range(0, columnar.packets_received, 3):
+            clf = IncrementalClassifier(columnar.spec, 10)
+            clf.feed_columnar(columnar, start, start + 3)
+            streamed += verdict_row_bytes(clf.verdict_columns())
+        assert streamed == whole_bytes
+
+
+class TestDegenerateShapes:
+    def test_zero_record_v1(self, spec):
+        trace = TrialTrace(name="empty", spec=spec, packets_sent=0)
+        classified = classify_trace(trace)
+        assert classified.packets == []
+        counts = classified.class_counts()
+        assert set(counts) == set(CLASS_ORDER)
+        assert sum(counts.values()) == 0
+
+    def test_zero_record_columnar(self, spec):
+        trace = ColumnarTrace.from_trace(
+            TrialTrace(name="empty", spec=spec, packets_sent=0)
+        )
+        assert trace.packets_received == 0
+        classified = classify_trace(trace)
+        assert classified.packets == []
+
+    def test_zero_record_wlt2_round_trip(self, spec, tmp_path):
+        trace = ColumnarTrace.from_trace(
+            TrialTrace(name="empty", spec=spec, packets_sent=0)
+        )
+        path = tmp_path / "empty.wlt2"
+        with open(path, "wb") as stream:
+            write_columnar(trace, stream)
+        loaded = read_columnar(path)
+        assert classify_trace(loaded).packets == []
+
+    @pytest.mark.parametrize("collect", [True, False])
+    def test_zero_length_final_chunk(self, mixed_trace, collect):
+        """Feeding an empty tail chunk (a client flushing at EOF)
+        neither raises nor perturbs the verdicts."""
+        columnar = ColumnarTrace.from_trace(mixed_trace)
+        n = columnar.packets_received
+        clf = IncrementalClassifier(
+            columnar.spec, 10, collect_packets=collect
+        )
+        clf.feed_columnar(columnar, 0, n)
+        clf.feed_columnar(columnar, n, n)  # empty tail
+        clf.feed_records([])  # and an empty record list
+        assert clf.records_seen == n
+        reference = IncrementalClassifier(columnar.spec, 10)
+        reference.feed(columnar)
+        _columns_equal(clf.verdict_columns(), reference.verdict_columns())
+
+    def test_empty_classifier_columns(self, spec):
+        clf = IncrementalClassifier(spec, 0, collect_packets=False)
+        columns = clf.verdict_columns()
+        assert all(len(column) == 0 for column in columns.values())
+        assert verdict_row_bytes(columns) == b""
+
+    def test_empty_slice_encodes(self, mixed_trace):
+        """An empty columnar slice survives an encode/decode round
+        trip (the wire shape of an idle session's only chunk)."""
+        columnar = ColumnarTrace.from_trace(mixed_trace)
+        empty = columnar.slice(2, 2)
+        assert empty.packets_received == 0
+        buffer = io.BytesIO()
+        write_columnar(empty, buffer)
+        decoded = read_columnar_buffer(buffer.getvalue(), origin="<test>")
+        assert classify_trace(decoded).packets == []

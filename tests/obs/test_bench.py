@@ -129,3 +129,62 @@ class TestGate:
             ["bench", "append", "--bench", bench, "--history", history]
         ) == 0
         assert len(load_history(history)) == 1
+
+
+class TestUnknownAndMalformedStages:
+    """A current snapshot may carry stages the committed baseline has
+    never seen (a freshly added benchmark), and hand-edited snapshots
+    may carry junk payloads.  Neither must hard-fail the gate."""
+
+    def test_new_stage_in_current_exits_zero(self, tmp_path, capsys):
+        baseline = _snapshot(tmp_path, "base.json",
+                             {"old": {"bulk_wall_s": 0.1}})
+        current = _snapshot(tmp_path, "cur.json",
+                            {"old": {"bulk_wall_s": 0.1},
+                             "serve_ingest": {"ingest_wall_s": 0.5}})
+        assert main_diff(baseline, current) == 0
+        out = capsys.readouterr().out
+        assert "serve_ingest" in out
+        assert "new (no baseline)" in out
+
+    def test_new_stage_never_compares(self):
+        deltas, uncompared = diff_stages(
+            {"stages": {}},
+            {"stages": {"serve_ingest": {"ingest_wall_s": 0.5}}},
+        )
+        assert deltas == []
+        assert any("serve_ingest" in note for note in uncompared)
+
+    def test_malformed_stage_payload_warns_not_crashes(self, tmp_path,
+                                                       capsys):
+        baseline = _snapshot(tmp_path, "base.json",
+                             {"s": {"bulk_wall_s": 0.1},
+                              "junk": "not-an-object"})
+        current = _snapshot(tmp_path, "cur.json",
+                            {"s": {"bulk_wall_s": 0.1},
+                             "junk": [1, 2, 3]})
+        assert main_diff(baseline, current) == 0
+        out = capsys.readouterr().out
+        assert "malformed payload" in out
+
+    def test_malformed_one_side_only(self):
+        deltas, uncompared = diff_stages(
+            {"stages": {"s": {"bulk_wall_s": 0.1}}},
+            {"stages": {"s": None}},
+        )
+        assert deltas == []
+        assert any("malformed" in note and "current" in note
+                   for note in uncompared)
+
+    def test_non_object_stages_table(self):
+        deltas, uncompared = diff_stages(
+            {"stages": ["oops"]}, {"stages": {"s": {"bulk_wall_s": 0.1}}}
+        )
+        assert any("not an object" in note for note in uncompared)
+        assert deltas == []
+
+    def test_non_object_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_snapshot(path)

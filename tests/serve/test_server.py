@@ -1,0 +1,325 @@
+"""End-to-end server tests: sessions, equivalence, backpressure, drain.
+
+Each test runs a real :class:`TraceAnalysisServer` on an ephemeral
+loopback port and talks to it with the loadgen client (or a raw
+socket, for the misbehaving-client cases).  The load here is tiny —
+these are correctness tests; throughput lives in
+``benchmarks/bench_serve_ingest.py``.
+"""
+
+import asyncio
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.analysis.classify import (
+    IncrementalClassifier,
+    classify_trace,
+    verdict_row_bytes,
+)
+from repro.framing.bits import flip_bits
+from repro.framing.testpacket import BODY_START
+from repro.phy.modem import ModemRxStatus
+from repro.serve import protocol
+from repro.serve.loadgen import chunk_payloads, run_loadgen, run_session
+from repro.serve.protocol import FrameType
+from repro.serve.server import ServeConfig, TraceAnalysisServer
+from repro.trace.columnar import ColumnarTrace
+from repro.trace.records import PacketRecord, TrialTrace
+
+STATUS = ModemRxStatus(29, 3, 15, 0)
+WEAK_STATUS = ModemRxStatus(6, 3, 8, 1)
+
+
+def _mixed_columnar(spec, factory, repeats: int = 8) -> ColumnarTrace:
+    """A trace cycling clean / truncated / bit-damaged / outsider."""
+    trace = TrialTrace(name="serve", spec=spec, packets_sent=4 * repeats)
+    for base in range(0, 4 * repeats, 4):
+        trace.records.append(
+            PacketRecord.from_bytes(factory.build(base), STATUS)
+        )
+        trace.records.append(
+            PacketRecord.from_bytes(
+                factory.build(base + 1)[:600], WEAK_STATUS
+            )
+        )
+        trace.records.append(
+            PacketRecord.from_bytes(
+                flip_bits(
+                    factory.build(base + 2),
+                    np.array([BODY_START * 8 + 1]),
+                ),
+                WEAK_STATUS,
+            )
+        )
+        trace.records.append(
+            PacketRecord.from_bytes(b"\xa5" * 80, WEAK_STATUS)
+        )
+    return ColumnarTrace.from_trace(trace)
+
+
+def _reference(trace: ColumnarTrace) -> tuple[str, dict]:
+    clf = IncrementalClassifier(trace.spec, trace.packets_sent)
+    clf.feed(trace)
+    digest = hashlib.blake2b(
+        verdict_row_bytes(clf.verdict_columns()), digest_size=8
+    ).hexdigest()
+    return digest, clf.count_summary()
+
+
+async def _serve(config: ServeConfig, work):
+    server = TraceAnalysisServer(config)
+    await server.start()
+    try:
+        return await work(server)
+    finally:
+        await server.stop()
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("chunk_records", [1, 7, 1000])
+    def test_session_matches_batch(self, spec, factory, chunk_records):
+        """Any wire chunking reproduces the batch digest and counts."""
+        trace = _mixed_columnar(spec, factory)
+        digest, counts = _reference(trace)
+
+        async def work(server):
+            return await run_loadgen(
+                server.address,
+                trace,
+                sessions=3,
+                chunk_records=chunk_records,
+            )
+
+        report = asyncio.run(
+            _serve(ServeConfig(heartbeat_s=0), work)
+        )
+        assert len(report.sessions) == 3
+        for session in report.sessions:
+            assert session.summary["verdict_digest"] == digest
+            assert session.summary["counts"] == counts
+            assert session.records == trace.packets_received
+
+    def test_pooled_equals_inline(self, spec, factory):
+        """jobs=2 (pool workers, shm handoff) == jobs=1 (inline)."""
+        trace = _mixed_columnar(spec, factory)
+
+        async def work(server):
+            return await run_loadgen(
+                server.address, trace, sessions=2, chunk_records=9
+            )
+
+        inline = asyncio.run(
+            _serve(ServeConfig(jobs=1, heartbeat_s=0), work)
+        )
+        pooled = asyncio.run(
+            _serve(
+                ServeConfig(jobs=2, transport="shm", heartbeat_s=0), work
+            )
+        )
+        digest, counts = _reference(trace)
+        for report in (inline, pooled):
+            for session in report.sessions:
+                assert session.summary["verdict_digest"] == digest
+                assert session.summary["counts"] == counts
+
+    def test_zero_record_session(self, spec):
+        """An empty trace still completes the full protocol round."""
+        trace = ColumnarTrace.from_trace(
+            TrialTrace(name="empty", spec=spec, packets_sent=0)
+        )
+
+        async def work(server):
+            return await run_loadgen(
+                server.address, trace, sessions=2, chunk_records=4
+            )
+
+        report = asyncio.run(_serve(ServeConfig(heartbeat_s=0), work))
+        for session in report.sessions:
+            assert session.records == 0
+            assert sum(session.summary["counts"].values()) == 0
+
+    def test_unix_socket(self, spec, factory, tmp_path):
+        trace = _mixed_columnar(spec, factory, repeats=2)
+        digest, _ = _reference(trace)
+        path = str(tmp_path / "serve.sock")
+
+        async def work(server):
+            return await run_loadgen(
+                server.address, trace, sessions=2, chunk_records=5
+            )
+
+        report = asyncio.run(
+            _serve(ServeConfig(unix_path=path, heartbeat_s=0), work)
+        )
+        assert all(
+            s.summary["verdict_digest"] == digest for s in report.sessions
+        )
+
+
+class TestRobustness:
+    def test_abort_mid_stream_then_new_session(self, spec, factory):
+        """A client dying mid-stream doesn't poison the server: the
+        next session on the same server completes normally."""
+        trace = _mixed_columnar(spec, factory)
+        payloads = chunk_payloads(trace, 8)
+        digest, _ = _reference(trace)
+
+        async def work(server):
+            host, port = server.address
+            # Session 1: HELLO + one chunk, then vanish without END.
+            reader, writer = await asyncio.open_connection(host, port)
+            protocol.write_frame(
+                writer,
+                FrameType.HELLO,
+                protocol.hello_payload(
+                    "doomed", "abort-test", trace.spec, trace.packets_sent
+                ),
+            )
+            await writer.drain()
+            await protocol.read_frame(reader)  # HELLO_OK
+            protocol.write_frame(writer, FrameType.CHUNK, payloads[0])
+            await writer.drain()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            # Session 2: a clean full run on the same server.
+            return await run_session(
+                server.address,
+                payloads,
+                trace.spec,
+                trace.packets_sent,
+                session_id="survivor",
+            )
+
+        report = asyncio.run(_serve(ServeConfig(heartbeat_s=0), work))
+        assert report.summary["verdict_digest"] == digest
+        assert report.records == trace.packets_received
+
+    def test_garbage_handshake_rejected(self, spec, factory):
+        async def work(server):
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            protocol.write_frame(writer, FrameType.CHUNK, b"not-hello")
+            await writer.drain()
+            item = await protocol.read_frame(reader)
+            writer.close()
+            return item
+
+        frame_type, payload = asyncio.run(
+            _serve(ServeConfig(heartbeat_s=0), work)
+        )
+        assert frame_type is FrameType.ERROR
+        assert "HELLO" in protocol.decode_json(payload)["error"]
+
+    def test_queue_depth_stays_bounded(self, spec, factory):
+        """A client that ignores the credit window and floods chunks
+        still sees the server's queue bounded at queue_chunks."""
+        trace = _mixed_columnar(spec, factory, repeats=16)
+        payloads = chunk_payloads(trace, 2)  # many small chunks
+        queue_chunks = 3
+
+        async def work(server):
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            protocol.write_frame(
+                writer,
+                FrameType.HELLO,
+                protocol.hello_payload(
+                    "flood", "flood-test", trace.spec, trace.packets_sent
+                ),
+            )
+            await writer.drain()
+            await protocol.read_frame(reader)  # HELLO_OK
+            # Blast every chunk without waiting for a single ACK.
+            for payload in payloads:
+                protocol.write_frame(writer, FrameType.CHUNK, payload)
+            protocol.write_frame(writer, FrameType.END)
+            await writer.drain()
+            summary = None
+            while summary is None:
+                frame_type, payload = await protocol.read_frame(reader)
+                if frame_type is FrameType.SUMMARY:
+                    summary = protocol.decode_json(payload)
+            writer.close()
+            return summary
+
+        summary = asyncio.run(
+            _serve(
+                ServeConfig(queue_chunks=queue_chunks, heartbeat_s=0),
+                work,
+            )
+        )
+        assert summary["records"] == trace.packets_received
+        assert 1 <= summary["max_queue_depth"] <= queue_chunks
+
+    def test_draining_server_rejects_new_hello(self, spec, factory):
+        """After stop() begins, a connection that got through the race
+        window is told the server is draining."""
+        trace = _mixed_columnar(spec, factory, repeats=1)
+
+        async def main():
+            server = TraceAnalysisServer(ServeConfig(heartbeat_s=0))
+            await server.start()
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            server._accepting = False  # simulate the drain window
+            protocol.write_frame(
+                writer,
+                FrameType.HELLO,
+                protocol.hello_payload(
+                    "late", "late-test", trace.spec, trace.packets_sent
+                ),
+            )
+            await writer.drain()
+            item = await protocol.read_frame(reader)
+            writer.close()
+            await server.stop()
+            return item
+
+        frame_type, payload = asyncio.run(main())
+        assert frame_type is FrameType.ERROR
+        assert "drain" in protocol.decode_json(payload)["error"]
+
+
+class TestTelemetry:
+    def test_session_spans_recorded(self, spec, factory, tmp_path):
+        """One serve.session span per session, parented under one
+        serve.run root, readable by the span tooling."""
+        from repro import obs
+        from repro.obs.spans import span_tree
+
+        trace = _mixed_columnar(spec, factory, repeats=2)
+        telemetry = tmp_path / "serve.jsonl"
+        obs.configure(telemetry_path=str(telemetry), trace_label="test")
+        try:
+
+            async def work(server):
+                return await run_loadgen(
+                    server.address, trace, sessions=3, chunk_records=4
+                )
+
+            asyncio.run(_serve(ServeConfig(heartbeat_s=0), work))
+            recorder = obs.STATE.spans
+            spans = list(recorder.finished)
+        finally:
+            obs.reset()
+        by_name = {}
+        for record in spans:
+            by_name.setdefault(record["name"], []).append(record)
+        assert len(by_name["serve.run"]) == 1
+        assert len(by_name["serve.session"]) == 3
+        root = by_name["serve.run"][0]
+        for session_span in by_name["serve.session"]:
+            assert session_span["parent"] == root["span"]
+            assert session_span["attrs"]["records"] == (
+                trace.packets_received
+            )
+            assert session_span["status"] == "ok"
+        # The tree stitches: 3 children under the one root.
+        roots, children = span_tree(spans)
+        assert root in roots
+        assert len(children.get(root["span"], [])) == 3
