@@ -31,7 +31,10 @@ from repro.trace.columnar import ColumnarTrace
 from repro.trace.persist import load_trace, save_trace
 from repro.trace.trial import TrialConfig, run_fast_trial
 
-from bench_internal_performance import _record_stage
+try:
+    from benchmarks.bench_internal_performance import _record_stage
+except ImportError:  # running with benchmarks/ itself on sys.path
+    from bench_internal_performance import _record_stage
 
 SESSIONS = 32
 TRIAL_PACKETS = 5_000

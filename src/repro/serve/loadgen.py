@@ -150,27 +150,36 @@ async def run_session(
 
         async def read_acks() -> None:
             nonlocal summary, acks
-            while True:
-                item = await protocol.read_frame(reader)
-                if item is None:
-                    raise ProtocolError(
-                        "server closed before sending SUMMARY"
-                    )
-                frame_type, payload = item
-                if frame_type is FrameType.ACK:
-                    acks += 1
+            try:
+                while True:
+                    item = await protocol.read_frame(reader)
+                    if item is None:
+                        raise ProtocolError(
+                            "server closed before sending SUMMARY"
+                        )
+                    frame_type, payload = item
+                    if frame_type is FrameType.ACK:
+                        acks += 1
+                        credits.release()
+                    elif frame_type is FrameType.SUMMARY:
+                        summary = protocol.decode_json(payload)
+                        return
+                    elif frame_type is FrameType.ERROR:
+                        raise ProtocolError(
+                            protocol.decode_json(payload).get("error", "?")
+                        )
+                    else:
+                        raise ProtocolError(
+                            f"unexpected {frame_type.name} from server"
+                        )
+            finally:
+                # Once the reader exits no ACK will ever arrive again
+                # (the server ERRORs a failed chunk instead of ACKing
+                # it), so top the window back up: a sender parked in
+                # ``credits.acquire()`` wakes, sees the task is done,
+                # and surfaces the error instead of hanging forever.
+                for _ in range(window):
                     credits.release()
-                elif frame_type is FrameType.SUMMARY:
-                    summary = protocol.decode_json(payload)
-                    return
-                elif frame_type is FrameType.ERROR:
-                    raise ProtocolError(
-                        protocol.decode_json(payload).get("error", "?")
-                    )
-                else:
-                    raise ProtocolError(
-                        f"unexpected {frame_type.name} from server"
-                    )
 
         ack_task = asyncio.create_task(read_acks())
         try:

@@ -43,7 +43,7 @@ from __future__ import annotations
 import asyncio
 import os
 import time
-from collections import Counter
+from collections import Counter, OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
@@ -107,7 +107,13 @@ class Session:
 # ----------------------------------------------------------------------
 # Chunk classification (both sides of the pool boundary)
 # ----------------------------------------------------------------------
-_WORKER_MATCHERS: dict = {}
+_WORKER_MATCHERS: "OrderedDict[tuple, TraceMatcher]" = OrderedDict()
+
+#: The cache key is client-controlled (spec + packets_sent from HELLO)
+#: and one entry's template bank can run to tens of MB, so the cache
+#: is a small LRU — a hostile or churning client can pin at most this
+#: many banks in a worker, never unbounded memory.
+_WORKER_MATCHER_CAP = 4
 
 
 def _matcher_for(spec_key: tuple, spec_dict: dict, packets_sent: int) -> TraceMatcher:
@@ -119,6 +125,10 @@ def _matcher_for(spec_key: tuple, spec_dict: dict, packets_sent: int) -> TraceMa
         matcher = TraceMatcher(spec_from_dict(spec_dict), packets_sent)
         matcher.enable_template_cache()
         _WORKER_MATCHERS[spec_key] = matcher
+        while len(_WORKER_MATCHERS) > _WORKER_MATCHER_CAP:
+            _WORKER_MATCHERS.popitem(last=False)
+    else:
+        _WORKER_MATCHERS.move_to_end(spec_key)
     return matcher
 
 
@@ -396,9 +406,18 @@ class TraceAnalysisServer:
         if not self._accepting:
             await self._send_error(writer, "server is draining")
             return
+        session_id = str(hello["session"])
+        if session_id in self._sessions:
+            # Session ids are client-chosen and key the live-session
+            # table; letting a second connection reuse a live id would
+            # clobber the first session's entry and gauges.
+            await self._send_error(
+                writer, f"session id {session_id!r} is already active"
+            )
+            return
 
         session = Session(
-            id=str(hello["session"]),
+            id=session_id,
             name=str(hello["name"]),
             spec=hello["spec"],
             packets_sent=int(hello["packets_sent"]),
@@ -459,34 +478,45 @@ class TraceAnalysisServer:
         ``queue.put`` blocking here *is* the backpressure mechanism —
         while the queue is full this coroutine does not read, the
         kernel receive buffer fills, and the client's sends stall.
+
+        Whatever ends the loop — END, EOF, a protocol violation, or an
+        abrupt disconnect (TCP RST raises ``ConnectionResetError`` out
+        of the stream reader, not a clean EOF) — the ``finally`` always
+        enqueues the ``None`` sentinel, so the consumer task the
+        handler awaits can never be left blocked on an empty queue.
         """
-        while True:
-            try:
-                item = await protocol.read_frame(reader)
-            except ProtocolError as exc:
-                session.aborted = True
-                session.error = str(exc)
-                await session.queue.put(None)
-                return
-            if item is None:  # EOF without END: client died
-                session.aborted = True
-                session.error = "connection closed before END"
-                await session.queue.put(None)
-                return
-            frame_type, payload = item
-            if frame_type is FrameType.CHUNK:
-                await session.queue.put(payload)
-                session.max_queue_depth = max(
-                    session.max_queue_depth, session.queue.qsize()
-                )
-            elif frame_type is FrameType.END:
-                await session.queue.put(None)
-                return
-            else:
-                session.aborted = True
-                session.error = f"unexpected {frame_type.name} mid-stream"
-                await session.queue.put(None)
-                return
+        try:
+            while True:
+                try:
+                    item = await protocol.read_frame(reader)
+                except ProtocolError as exc:
+                    session.aborted = True
+                    session.error = str(exc)
+                    return
+                except (ConnectionError, OSError) as exc:
+                    session.aborted = True
+                    session.error = f"connection lost: {exc}"
+                    return
+                if item is None:  # EOF without END: client died
+                    session.aborted = True
+                    session.error = "connection closed before END"
+                    return
+                frame_type, payload = item
+                if frame_type is FrameType.CHUNK:
+                    await session.queue.put(payload)
+                    session.max_queue_depth = max(
+                        session.max_queue_depth, session.queue.qsize()
+                    )
+                elif frame_type is FrameType.END:
+                    return
+                else:
+                    session.aborted = True
+                    session.error = (
+                        f"unexpected {frame_type.name} mid-stream"
+                    )
+                    return
+        finally:
+            await session.queue.put(None)
 
     async def _consume(
         self, session: Session, writer: asyncio.StreamWriter

@@ -23,7 +23,7 @@ from repro.framing.testpacket import BODY_START
 from repro.phy.modem import ModemRxStatus
 from repro.serve import protocol
 from repro.serve.loadgen import chunk_payloads, run_loadgen, run_session
-from repro.serve.protocol import FrameType
+from repro.serve.protocol import FrameType, ProtocolError
 from repro.serve.server import ServeConfig, TraceAnalysisServer
 from repro.trace.columnar import ColumnarTrace
 from repro.trace.records import PacketRecord, TrialTrace
@@ -198,6 +198,154 @@ class TestRobustness:
         report = asyncio.run(_serve(ServeConfig(heartbeat_s=0), work))
         assert report.summary["verdict_digest"] == digest
         assert report.records == trace.packets_received
+
+    def test_rst_disconnect_does_not_leak_session(self, spec, factory):
+        """An abrupt reset (TCP RST, not a clean FIN) must still put
+        the sentinel on the session queue: the handler's consumer
+        unblocks, the session is removed, and the server stays
+        usable — no hung handler task leaks until shutdown."""
+        import socket as socketmod
+        import struct
+
+        trace = _mixed_columnar(spec, factory)
+        payloads = chunk_payloads(trace, 8)
+        digest, _ = _reference(trace)
+
+        async def work(server):
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            protocol.write_frame(
+                writer,
+                FrameType.HELLO,
+                protocol.hello_payload(
+                    "reset", "rst-test", trace.spec, trace.packets_sent
+                ),
+            )
+            await writer.drain()
+            await protocol.read_frame(reader)  # HELLO_OK: session live
+            assert "reset" in server._sessions
+            protocol.write_frame(writer, FrameType.CHUNK, payloads[0])
+            await writer.drain()
+            sock = writer.get_extra_info("socket")
+            sock.setsockopt(
+                socketmod.SOL_SOCKET,
+                socketmod.SO_LINGER,
+                struct.pack("ii", 1, 0),  # close() now sends RST
+            )
+            writer.close()
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 5.0
+            while server._sessions:
+                assert loop.time() < deadline, (
+                    "reset session was never cleaned up"
+                )
+                await asyncio.sleep(0.01)
+            # The same server then completes a clean session.
+            return await run_session(
+                server.address,
+                payloads,
+                trace.spec,
+                trace.packets_sent,
+                session_id="after-reset",
+            )
+
+        report = asyncio.run(_serve(ServeConfig(heartbeat_s=0), work))
+        assert report.summary["verdict_digest"] == digest
+        assert report.records == trace.packets_received
+
+    def test_duplicate_session_id_rejected(self, spec, factory):
+        """A HELLO reusing a live session id gets an ERROR instead of
+        clobbering the first session's state."""
+        trace = _mixed_columnar(spec, factory, repeats=1)
+
+        async def work(server):
+            host, port = server.address
+            r1, w1 = await asyncio.open_connection(host, port)
+            protocol.write_frame(
+                w1,
+                FrameType.HELLO,
+                protocol.hello_payload(
+                    "dup", "first", trace.spec, trace.packets_sent
+                ),
+            )
+            await w1.drain()
+            await protocol.read_frame(r1)  # HELLO_OK: "dup" is live
+            r2, w2 = await asyncio.open_connection(host, port)
+            protocol.write_frame(
+                w2,
+                FrameType.HELLO,
+                protocol.hello_payload(
+                    "dup", "second", trace.spec, trace.packets_sent
+                ),
+            )
+            await w2.drain()
+            rejection = await protocol.read_frame(r2)
+            w2.close()
+            # The first session is unharmed and finishes normally.
+            protocol.write_frame(w1, FrameType.END)
+            await w1.drain()
+            summary = None
+            while summary is None:
+                frame_type, payload = await protocol.read_frame(r1)
+                if frame_type is FrameType.SUMMARY:
+                    summary = protocol.decode_json(payload)
+            w1.close()
+            return rejection, summary
+
+        (frame_type, payload), summary = asyncio.run(
+            _serve(ServeConfig(heartbeat_s=0), work)
+        )
+        assert frame_type is FrameType.ERROR
+        assert "already active" in protocol.decode_json(payload)["error"]
+        assert summary["session"] == "dup"
+
+    def test_failed_chunk_error_reaches_client(self, spec, factory):
+        """A chunk the server cannot classify is answered with ERROR,
+        never ACK — the client must surface it promptly rather than
+        parking forever on the exhausted credit window."""
+        trace = _mixed_columnar(spec, factory, repeats=1)
+        garbage = [b"not a columnar block"] * 8
+
+        async def work(server):
+            return await asyncio.wait_for(
+                run_session(
+                    server.address,
+                    garbage,
+                    trace.spec,
+                    trace.packets_sent,
+                    session_id="garbage",
+                ),
+                timeout=10.0,
+            )
+
+        with pytest.raises(ProtocolError, match="classification failed"):
+            asyncio.run(
+                _serve(ServeConfig(window_chunks=2, heartbeat_s=0), work)
+            )
+
+    def test_worker_matcher_cache_bounded(self, spec):
+        """The (spec, packets_sent) matcher cache is an LRU: many
+        distinct client-controlled keys cannot grow it past the cap."""
+        from repro.serve import server as server_mod
+        from repro.trace.columnar import spec_to_dict
+
+        server_mod._WORKER_MATCHERS.clear()
+        try:
+            spec_dict = spec_to_dict(spec)
+            total = server_mod._WORKER_MATCHER_CAP + 8
+            for packets_sent in range(1, total + 1):
+                key = (tuple(sorted(spec_dict.items())), packets_sent)
+                server_mod._matcher_for(key, spec_dict, packets_sent)
+                assert (
+                    len(server_mod._WORKER_MATCHERS)
+                    <= server_mod._WORKER_MATCHER_CAP
+                )
+            kept = {key[1] for key in server_mod._WORKER_MATCHERS}
+            assert kept == set(
+                range(total - server_mod._WORKER_MATCHER_CAP + 1, total + 1)
+            )
+        finally:
+            server_mod._WORKER_MATCHERS.clear()
 
     def test_garbage_handshake_rejected(self, spec, factory):
         async def work(server):
