@@ -194,8 +194,9 @@ def test_perf_interference_trial_vs_scalar(family):
         },
     )
     assert output.trace.packets_received > 0
-    # CI smoke floor — local ratios run 3.5-18x depending on family.
-    assert speedup > 1.5
+    # CI smoke floor — local ratios run 8-45x depending on family (the
+    # grouped-distinct damage sampler landed the slowest family >15x).
+    assert speedup > 4.0
 
 
 @pytest.mark.bench_smoke
@@ -231,7 +232,9 @@ def test_perf_trace_matching_vs_scalar():
     # Equivalence ride-along: same matches out of both paths, and the
     # bulk side also did full damage classification in that time.
     assert len(classified.packets) == len(scalar_matches) == records
-    assert speedup > 1.0
+    # CI smoke floor — locally ~7x since the record fast path stopped
+    # materializing bytes for the clean majority.
+    assert speedup > 2.0
 
 
 @pytest.mark.bench_smoke
@@ -256,6 +259,69 @@ def test_perf_clean_trial_throughput():
         },
     )
     assert output.trace.packets_received > 19_000
+    # CI smoke floor — locally ~1M packets/s with deferred payload
+    # materialization; generous headroom for slow CI machines.
+    assert 20_000 / wall_s > 250_000
+
+
+@pytest.mark.bench_smoke
+def test_perf_fec_decode_batch_vs_scalar():
+    """Batched RCPC/Viterbi decode against the per-packet loop.
+
+    One rate-1/2 codec, 96 damaged blocks of 512 info bits — the shape
+    the FEC-evaluation experiment decodes per syndrome batch.  The
+    batched path must return byte-identical bits (it runs the same
+    add-compare-select in the same float order) while amortizing the
+    Python-level trellis step loop across the whole batch.
+    """
+    from repro.fec.rcpc import RcpcCodec
+
+    codec = RcpcCodec("1/2")
+    rng = np.random.default_rng(21)
+    batch, info_bits = 96, 512
+    blocks = []
+    weight_rows = []
+    for _ in range(batch):
+        bits = rng.integers(0, 2, info_bits).astype(np.uint8)
+        transmitted = codec.encode(bits)
+        damaged = transmitted.copy()
+        damaged[rng.random(damaged.size) < 0.02] ^= 1
+        blocks.append(damaged)
+        weights = np.ones(damaged.size)
+        weights[rng.random(damaged.size) < 0.05] = 0.3
+        weight_rows.append(weights)
+    received = np.stack(blocks)
+    weights = np.stack(weight_rows)
+
+    def decode_scalar():
+        return np.stack(
+            [codec.decode(received[i], weights[i]) for i in range(batch)]
+        )
+
+    decode_scalar()  # warm
+    codec.decode_batch(received, weights)
+    scalar_s, scalar_bits = _best_of(decode_scalar)
+    bulk_s, batch_bits = _best_of(
+        lambda: codec.decode_batch(received, weights)
+    )
+    speedup = scalar_s / bulk_s
+    _record_stage(
+        "fec_decode",
+        {
+            "blocks": batch,
+            "info_bits": info_bits,
+            "scalar_wall_s": round(scalar_s, 4),
+            "bulk_wall_s": round(bulk_s, 4),
+            "scalar_blocks_per_s": round(batch / scalar_s),
+            "bulk_blocks_per_s": round(batch / bulk_s),
+            "speedup_vs_scalar": round(speedup, 2),
+        },
+    )
+    # Byte-identity, not statistical equivalence: same kernel, batched.
+    assert np.array_equal(scalar_bits, batch_bits)
+    # CI smoke floor — locally ~10x; the per-packet loop pays the
+    # Python trellis step cost 48 times over.
+    assert speedup > 5.0
 
 
 @pytest.mark.bench_smoke

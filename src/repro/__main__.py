@@ -60,6 +60,13 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
         help="collect per-layer metrics and print the registry summary "
              "after the run",
     )
+    parser.add_argument(
+        "--compiled",
+        action="store_true",
+        help="use the numba-compiled kernel tier where available "
+             "(equivalent to REPRO_COMPILED=1; warns and stays on the "
+             "numpy reference path when numba is not installed)",
+    )
 
 
 def _add_run_flags(parser: argparse.ArgumentParser, default_scale: float) -> None:
@@ -458,6 +465,11 @@ def main(argv: list[str] | None = None) -> int:
             "--sessions", str(args.sessions),
             "--chunk-records", str(args.chunk_records),
         ])
+
+    if getattr(args, "compiled", False):
+        from repro import compiled as compiled_module
+
+        compiled_module.set_compiled(True)
 
     observing = args.metrics or args.telemetry is not None
     if observing:

@@ -33,7 +33,7 @@ from repro.framing.crc import check_fcs
 from repro.framing.modem import NETWORK_ID_LEN
 from repro.framing.testpacket import FRAME_BYTES
 from repro.trace.columnar import ColumnarTrace
-from repro.trace.records import PacketRecord, TrialTrace, materialize_data
+from repro.trace.records import PacketRecord, TrialTrace
 
 AnyTrace = Union[TrialTrace, ColumnarTrace]
 
@@ -166,6 +166,13 @@ class IncrementalClassifier:
         self.class_counts[packet.packet_class] += 1
         return packet
 
+    def _note_chunk(self, packets: list[ClassifiedPacket]) -> None:
+        """Batched :meth:`_note`: one extend + one counter update."""
+        if self.collect_packets:
+            self.packets.extend(packets)
+        self.records_seen += len(packets)
+        self.class_counts.update(p.packet_class for p in packets)
+
     def feed_records(
         self, records: Sequence[PacketRecord]
     ) -> list[ClassifiedPacket]:
@@ -173,31 +180,46 @@ class IncrementalClassifier:
 
         Internally re-chunks at :data:`MATCH_CHUNK_RECORDS` so huge
         feeds stay cache-friendly; matching runs through the batched
-        fast path (:meth:`TraceMatcher.match_bulk`) with only the
-        damaged minority falling back to the scalar voting/header
-        procedure.  Returns the newly classified packets (also appended
-        to :attr:`packets`).
+        fast path (:meth:`TraceMatcher.match_records_arrays`) — the
+        clean majority resolves as array columns, never materializing
+        bytes or :class:`MatchResult` objects — with only the damaged
+        minority falling back to the scalar voting/header procedure.
+        Returns the newly classified packets (also appended to
+        :attr:`packets`).
         """
         matcher = self.matcher
         out: list[ClassifiedPacket] = []
         for chunk_start in range(0, len(records), MATCH_CHUNK_RECORDS):
             chunk = records[chunk_start : chunk_start + MATCH_CHUNK_RECORDS]
             with _obs.span("profile.classify_chunk"):
-                datas = materialize_data(chunk)
-                bulk_results = matcher.match_bulk(datas)
-                for record, data, match in zip(chunk, datas, bulk_results):
-                    if match is None:
-                        match = matcher.match_bytes(data, skip_fast=True)
-                    out.append(
-                        self._note(
-                            _classify_one(matcher, record, data, match)
+                exact, sequences, datas = matcher.match_records_arrays(chunk)
+                seq_list = sequences.tolist()
+                chunk_out: list[ClassifiedPacket] = []
+                for offset, record in enumerate(chunk):
+                    if exact[offset]:
+                        # Exact fast-path rows are by definition
+                        # undamaged with a known sequence — identical
+                        # to _classify_one's verdict for them.
+                        chunk_out.append(
+                            ClassifiedPacket(
+                                record=record,
+                                packet_class=PacketClass.UNDAMAGED,
+                                sequence=seq_list[offset],
+                            )
                         )
+                        continue
+                    data = datas[offset]
+                    if data is None:
+                        data = record.data
+                    match = matcher.match_bytes(data, skip_fast=True)
+                    chunk_out.append(
+                        _classify_one(matcher, record, data, match)
                     )
+                self._note_chunk(chunk_out)
+                out.extend(chunk_out)
                 if not self.collect_packets:
                     self._column_chunks.append(
-                        _columns_from_packets(
-                            out[chunk_start : chunk_start + len(chunk)]
-                        )
+                        _columns_from_packets(chunk_out)
                     )
         return out
 
@@ -229,39 +251,45 @@ class IncrementalClassifier:
             chunk_stop = min(chunk_start + MATCH_CHUNK_RECORDS, stop)
             with _obs.span("profile.classify_chunk"):
                 chunk_lengths = lengths[chunk_start:chunk_stop]
-                full_rows = chunk_start + np.nonzero(
-                    chunk_lengths == FRAME_BYTES
-                )[0]
-                matches: list[Optional[MatchResult]] = [None] * (
-                    chunk_stop - chunk_start
-                )
-                if full_rows.size:
-                    matrix = trace.frame_matrix(full_rows, FRAME_BYTES)
-                    for row, match in zip(
-                        (full_rows - chunk_start).tolist(),
-                        matcher.match_matrix(matrix),
-                    ):
-                        matches[row] = match
+                m = chunk_stop - chunk_start
+                exact = np.zeros(m, dtype=bool)
+                sequences = np.full(m, -1, dtype=np.int64)
+                full_local = np.nonzero(chunk_lengths == FRAME_BYTES)[0]
+                if full_local.size:
+                    matrix = trace.frame_matrix(
+                        chunk_start + full_local, FRAME_BYTES
+                    )
+                    ex, matched = matcher.match_matrix_arrays(matrix)
+                    exact[full_local[ex]] = True
+                    sequences[full_local[ex]] = matched[ex]
+                seq_list = sequences.tolist()
                 lengths_list = chunk_lengths.tolist()
+                chunk_out: list[ClassifiedPacket] = []
                 for offset, index in enumerate(
                     range(chunk_start, chunk_stop)
                 ):
-                    match = matches[offset]
-                    data: Optional[bytes] = None
-                    if match is None:
-                        data = trace.data(index)
-                        match = matcher.match_bytes(data, skip_fast=True)
-                    out.append(
-                        self._note(
-                            _classify_one(
-                                matcher,
-                                trace.record_view(index),
-                                data,
-                                match,
-                                length=lengths_list[offset],
+                    if exact[offset]:
+                        chunk_out.append(
+                            ClassifiedPacket(
+                                record=trace.record_view(index),
+                                packet_class=PacketClass.UNDAMAGED,
+                                sequence=seq_list[offset],
                             )
                         )
+                        continue
+                    data = trace.data(index)
+                    match = matcher.match_bytes(data, skip_fast=True)
+                    chunk_out.append(
+                        _classify_one(
+                            matcher,
+                            trace.record_view(index),
+                            data,
+                            match,
+                            length=lengths_list[offset],
+                        )
                     )
+                self._note_chunk(chunk_out)
+                out.extend(chunk_out)
         return out
 
     def _feed_columnar_vectorized(

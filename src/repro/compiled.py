@@ -1,0 +1,273 @@
+"""Optional numba-compiled kernel tier.
+
+The numpy implementations scattered through ``phy``, ``fec`` and
+``analysis`` are the *executable reference*: they define the semantics,
+run everywhere, and are what every test pins.  This module offers
+drop-in compiled twins for the three innermost kernels —
+
+* the error model's log-space probability fold
+  (:func:`fold_probabilities`),
+* the matcher's plurality vote (:func:`plurality_vote`),
+* the Viterbi add-compare-select step loop + traceback
+  (:func:`viterbi_batch`),
+
+— each asserted byte-identical to its numpy twin by
+``tests/test_compiled.py`` whenever numba is importable.
+
+The tier is **off by default** and opt-in twice over:
+
+* numba must be installed (``pip install 'repro[compiled]'``); the
+  import is probed once at module load and :data:`HAVE_NUMBA` records
+  the outcome.  Nothing in this repo requires it.
+* the flag must be raised — either the ``REPRO_COMPILED=1`` environment
+  variable or :func:`set_compiled`.
+
+Callers never import numba themselves; they ask
+:func:`compiled_enabled` and fall back to their numpy path when it is
+false.  Raising the flag without numba present warns once and stays on
+the numpy path, so a mis-provisioned machine degrades gracefully
+instead of crashing.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Callable
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the default container path
+    _numba = None
+    HAVE_NUMBA = False
+
+#: Environment variable that opts a whole process into the compiled
+#: tier (any of "1", "true", "yes", "on"; case-insensitive).
+ENV_FLAG = "REPRO_COMPILED"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+_requested = os.environ.get(ENV_FLAG, "").strip().lower() in _TRUTHY
+_warned_missing = False
+
+#: Lazily-compiled kernel cache: numba compilation costs seconds, so
+#: each kernel is jitted on first use, not at import.
+_KERNELS: dict[str, Callable] = {}
+
+
+def compiled_available() -> bool:
+    """True when numba imported successfully in this process."""
+    return HAVE_NUMBA
+
+
+def compiled_enabled() -> bool:
+    """True when the flag is raised *and* numba is available."""
+    return _requested and HAVE_NUMBA
+
+
+def set_compiled(enabled: bool) -> bool:
+    """Raise or lower the compiled-tier flag programmatically.
+
+    Returns the effective state (:func:`compiled_enabled`).  Requesting
+    the tier without numba installed warns once per process and leaves
+    every caller on the numpy reference path.
+    """
+    global _requested, _warned_missing
+    _requested = bool(enabled)
+    if _requested and not HAVE_NUMBA and not _warned_missing:
+        _warned_missing = True
+        warnings.warn(
+            "compiled tier requested but numba is not installed; "
+            "staying on the numpy reference path "
+            "(pip install 'repro[compiled]')",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return compiled_enabled()
+
+
+def _kernel(name: str, builder: Callable[[], Callable]) -> Callable:
+    kernel = _KERNELS.get(name)
+    if kernel is None:
+        kernel = builder()
+        _KERNELS[name] = kernel
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# Error-model probability fold
+# ----------------------------------------------------------------------
+def _build_fold():  # pragma: no cover - requires numba
+    @_numba.njit(cache=False)
+    def fold(base, columns):
+        n = base.shape[0]
+        k = columns.shape[0]
+        out = np.empty(n, dtype=np.float64)
+        for i in range(n):
+            acc = np.log1p(-base[i])
+            for j in range(k):
+                acc += np.log1p(-columns[j, i])
+            out[i] = 1.0 - np.exp(acc)
+        return out
+
+    return fold
+
+
+def fold_probabilities(base: np.ndarray, columns: np.ndarray) -> np.ndarray:
+    """Compiled ``1 - prod(1 - p)`` fold in log space.
+
+    ``base`` is ``(n,)``; ``columns`` is ``(k, n)``.  Accumulation
+    order matches the numpy reference (base first, then each column in
+    order), so results are byte-identical.
+    """
+    kernel = _kernel("fold", _build_fold)
+    return kernel(
+        np.ascontiguousarray(base, dtype=np.float64),
+        np.ascontiguousarray(columns, dtype=np.float64),
+    )
+
+
+# ----------------------------------------------------------------------
+# Matcher plurality vote
+# ----------------------------------------------------------------------
+def _build_vote():  # pragma: no cover - requires numba
+    @_numba.njit(cache=False)
+    def vote(words):
+        n = words.shape[0]
+        counts = {}
+        first = {}
+        for i in range(n):
+            w = words[i]
+            if w in counts:
+                counts[w] += 1
+            else:
+                counts[w] = 1
+                first[w] = i
+        best_val = words[0]
+        best_count = 0
+        best_first = n
+        for w in counts:
+            c = counts[w]
+            f = first[w]
+            if c > best_count or (c == best_count and f < best_first):
+                best_val = w
+                best_count = c
+                best_first = f
+        return best_val, best_count
+
+    return vote
+
+
+def plurality_vote(words: np.ndarray) -> tuple[int, int]:
+    """Compiled ``(winner, count)`` plurality over a 1-D int array.
+
+    Ties on count go to the value whose first occurrence is earliest —
+    the same tie-break as ``collections.Counter.most_common`` over a
+    left-to-right scan, and as the numpy reference in
+    ``analysis.matching``.
+    """
+    kernel = _kernel("vote", _build_vote)
+    winner, count = kernel(np.ascontiguousarray(words, dtype=np.int64))
+    return int(winner), int(count)
+
+
+# ----------------------------------------------------------------------
+# Viterbi ACS + traceback
+# ----------------------------------------------------------------------
+def _build_viterbi():  # pragma: no cover - requires numba
+    @_numba.njit(cache=False)
+    def decode(
+        cost_pattern,  # (batch, steps, 2**n_outputs) float64
+        branch_pattern,  # (n_branches,) int64 — output-pattern index
+        from_state,  # (n_branches,) int64
+        input_bit,  # (n_branches,) uint8
+        pred_branches,  # (n_states, 2) int64
+        terminated,  # bool
+    ):
+        batch, steps, _ = cost_pattern.shape
+        n_states = pred_branches.shape[0]
+        decoded = np.empty((batch, steps), dtype=np.uint8)
+        metrics = np.empty(n_states, dtype=np.float64)
+        fresh = np.empty(n_states, dtype=np.float64)
+        traceback = np.empty((steps, n_states), dtype=np.int32)
+        for b in range(batch):
+            for s in range(n_states):
+                metrics[s] = 1e9
+            metrics[0] = 0.0
+            for step in range(steps):
+                for state in range(n_states):
+                    b0 = pred_branches[state, 0]
+                    b1 = pred_branches[state, 1]
+                    c0 = (
+                        metrics[from_state[b0]]
+                        + cost_pattern[b, step, branch_pattern[b0]]
+                    )
+                    c1 = (
+                        metrics[from_state[b1]]
+                        + cost_pattern[b, step, branch_pattern[b1]]
+                    )
+                    if c1 < c0:
+                        fresh[state] = c1
+                        traceback[step, state] = b1
+                    else:
+                        fresh[state] = c0
+                        traceback[step, state] = b0
+                metrics, fresh = fresh, metrics
+            if terminated:
+                state = 0
+            else:
+                state = 0
+                best = metrics[0]
+                for s in range(1, n_states):
+                    if metrics[s] < best:
+                        best = metrics[s]
+                        state = s
+            for step in range(steps - 1, -1, -1):
+                branch = traceback[step, state]
+                decoded[b, step] = input_bit[branch]
+                state = from_state[branch]
+        return decoded
+
+    return decode
+
+
+def viterbi_batch(
+    cost_pattern: np.ndarray,
+    branch_pattern: np.ndarray,
+    from_state: np.ndarray,
+    input_bit: np.ndarray,
+    pred_branches: np.ndarray,
+    terminated: bool,
+) -> np.ndarray:
+    """Compiled batched add-compare-select + traceback.
+
+    Identical floating-point operation order to the numpy step loop in
+    ``fec.viterbi`` (one add per candidate, strict ``<`` preferring the
+    first predecessor on ties, first-minimum end state), so decoded
+    bits are byte-identical.
+    """
+    kernel = _kernel("viterbi", _build_viterbi)
+    return kernel(
+        np.ascontiguousarray(cost_pattern, dtype=np.float64),
+        np.ascontiguousarray(branch_pattern, dtype=np.int64),
+        np.ascontiguousarray(from_state, dtype=np.int64),
+        np.ascontiguousarray(input_bit, dtype=np.uint8),
+        np.ascontiguousarray(pred_branches, dtype=np.int64),
+        bool(terminated),
+    )
+
+
+__all__ = [
+    "ENV_FLAG",
+    "HAVE_NUMBA",
+    "compiled_available",
+    "compiled_enabled",
+    "set_compiled",
+    "fold_probabilities",
+    "plurality_vote",
+    "viterbi_batch",
+]

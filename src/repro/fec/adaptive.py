@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.fec.rcpc import RATE_ORDER
 
 
@@ -96,3 +98,87 @@ class AdaptiveFecController:
     def rate_index(self, rate_name: str) -> int:
         """Position of a rate in the family (0 = weakest)."""
         return RATE_ORDER.index(rate_name)
+
+    def _ewma_bulk(self, start: float, values: np.ndarray) -> np.ndarray:
+        """EWMA of ``values`` seeded at ``start``, one entry per step.
+
+        Chunked closed form: within a chunk of 64 observations,
+        ``s_j = d^(j+1) * s0 + a * d^j * cumsum(x_i / d^i)`` with
+        ``d = 1 - a`` — the recurrence unrolled, with the chunk bound
+        keeping ``d^j`` well away from underflow.  Values agree with
+        the iterative :meth:`observe` smoothing to float rounding;
+        decisions can differ only when a smoothed value lands within
+        ~1e-12 of a threshold (a razor-edge tie).
+        """
+        a = self.alpha
+        d = 1.0 - a
+        out = np.empty(values.shape[0], dtype=np.float64)
+        s0 = start
+        for lo in range(0, values.shape[0], 64):
+            chunk = values[lo : lo + 64]
+            j = np.arange(chunk.shape[0], dtype=np.float64)
+            decay = d**j
+            out[lo : lo + chunk.shape[0]] = d * decay * s0 + a * decay * (
+                np.cumsum(chunk / decay)
+            )
+            s0 = out[lo + chunk.shape[0] - 1]
+        return out
+
+    def observe_bulk(
+        self,
+        signal_levels: np.ndarray,
+        silence_levels: np.ndarray,
+        signal_qualities: np.ndarray,
+    ) -> list[str]:
+        """Fold a whole trial's status registers in at once.
+
+        Returns the rate name chosen after each packet — the batched
+        twin of calling :meth:`observe` per packet, with the decision
+        cascade evaluated as one ``np.select`` over the smoothed
+        columns.  ``history`` is *not* populated (the per-decision
+        dataclasses are the cost this path exists to avoid); the
+        smoothed state advances exactly as if every packet had been
+        observed, so scalar and bulk calls can be interleaved.
+        """
+        levels = np.asarray(signal_levels, dtype=np.float64)
+        silences = np.asarray(silence_levels, dtype=np.float64)
+        qualities = np.asarray(signal_qualities, dtype=np.float64)
+        if levels.shape != silences.shape or levels.shape != qualities.shape:
+            raise ValueError("status columns must have identical shapes")
+        if levels.size == 0:
+            return []
+        level = self._ewma_bulk(self._level, levels)
+        quality = self._ewma_bulk(self._quality, qualities)
+        silence = self._ewma_bulk(self._silence, silences)
+        self._level = float(level[-1])
+        self._quality = float(quality[-1])
+        self._silence = float(silence[-1])
+
+        sinr_proxy = level - silence
+        choice = np.select(
+            [
+                (sinr_proxy < self.sinr_alarm_margin) & (quality < 14.5),
+                level < self.weak_level,
+                (level < self.strong_level) | (quality < self.quality_alarm),
+                quality < 14.5,
+            ],
+            [3, 3, 2, 1],
+            default=0,
+        )
+        # choice indexes RATE_ORDER (0 = weakest "8/9" ... 3 = "1/2").
+        return [RATE_ORDER[i] for i in choice]
+
+    def rate_counts_bulk(
+        self,
+        signal_levels: np.ndarray,
+        silence_levels: np.ndarray,
+        signal_qualities: np.ndarray,
+    ) -> dict[str, int]:
+        """Per-rate decision counts for a whole trial's columns."""
+        rates = self.observe_bulk(
+            signal_levels, silence_levels, signal_qualities
+        )
+        counts = {name: 0 for name in RATE_ORDER}
+        for name in rates:
+            counts[name] += 1
+        return counts

@@ -21,7 +21,7 @@ from fractions import Fraction
 import numpy as np
 
 from repro.fec.convolutional import ConvolutionalCode
-from repro.fec.viterbi import ERASED, viterbi_decode
+from repro.fec.viterbi import ERASED, viterbi_decode, viterbi_decode_batch
 
 # Puncturing period (information bits per puncturing table column set).
 PUNCTURE_PERIOD = 8
@@ -98,6 +98,26 @@ class RcpcCodec:
         n_steps = info_bits + self.code.tail_bits()
         return int(self._mask(n_steps).sum())
 
+    def _steps_for_length(self, n_received: int) -> int:
+        """Trellis steps encoded by a transmitted stream of this length."""
+        per_period = int(self.pattern.sum())
+        periods, remainder = divmod(n_received, per_period)
+        n_steps = periods * PUNCTURE_PERIOD
+        if remainder:
+            # Partial trailing period: count its transmitted positions.
+            count = 0
+            extra_steps = 0
+            for step in range(PUNCTURE_PERIOD):
+                step_bits = int(self.pattern[:, step % PUNCTURE_PERIOD].sum())
+                if count + step_bits > remainder:
+                    break
+                count += step_bits
+                extra_steps += 1
+            if count != remainder:
+                raise ValueError("received length does not align to pattern")
+            n_steps += extra_steps
+        return n_steps
+
     def decode(
         self, received: np.ndarray, weights: np.ndarray | None = None
     ) -> np.ndarray:
@@ -109,26 +129,7 @@ class RcpcCodec:
         (see :func:`repro.fec.viterbi.viterbi_decode`).
         """
         received = np.asarray(received, dtype=np.uint8)
-        # Reconstruct the number of trellis steps this stream encodes.
-        per_period = int(self.pattern.sum())
-        periods, remainder = divmod(len(received), per_period)
-        n_steps = periods * PUNCTURE_PERIOD
-        if remainder:
-            # Partial trailing period: count its transmitted positions.
-            tail_mask = self.pattern.T.reshape(-1).astype(bool)
-            count = 0
-            extra_steps = 0
-            for step in range(PUNCTURE_PERIOD):
-                step_bits = int(
-                    self.pattern[:, step % PUNCTURE_PERIOD].sum()
-                )
-                if count + step_bits > remainder:
-                    break
-                count += step_bits
-                extra_steps += 1
-            if count != remainder:
-                raise ValueError("received length does not align to pattern")
-            n_steps += extra_steps
+        n_steps = self._steps_for_length(len(received))
         mask = self._mask(n_steps)
         mother = np.full(n_steps * self.code.n_outputs, ERASED, dtype=np.uint8)
         mother[mask] = received
@@ -142,6 +143,42 @@ class RcpcCodec:
             mother_weights = np.ones(len(mother), dtype=np.float64)
             mother_weights[mask] = weights
         return viterbi_decode(
+            self.code, mother, terminated=True, weights=mother_weights
+        )
+
+    def decode_batch(
+        self, received: np.ndarray, weights: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Depuncture and decode a ``(batch, length)`` block at once.
+
+        Every row must be the same transmitted length (one puncturing
+        mask serves the whole batch); row ``i`` of the result equals
+        ``decode(received[i], weights[i])`` bit for bit, via
+        :func:`repro.fec.viterbi.viterbi_decode_batch`.
+        """
+        received = np.asarray(received, dtype=np.uint8)
+        if received.ndim != 2:
+            raise ValueError(
+                f"batched received must be 2-D, got shape {received.shape}"
+            )
+        batch, length = received.shape
+        n_steps = self._steps_for_length(length)
+        mask = self._mask(n_steps)
+        mother = np.full(
+            (batch, n_steps * self.code.n_outputs), ERASED, dtype=np.uint8
+        )
+        mother[:, mask] = received
+        mother_weights = None
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != received.shape:
+                raise ValueError(
+                    f"weights shape {weights.shape} != received "
+                    f"{received.shape}"
+                )
+            mother_weights = np.ones(mother.shape, dtype=np.float64)
+            mother_weights[:, mask] = weights
+        return viterbi_decode_batch(
             self.code, mother, terminated=True, weights=mother_weights
         )
 

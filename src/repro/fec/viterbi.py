@@ -7,14 +7,19 @@ never sent); erased positions contribute no branch metric.
 
 For a rate-1/n code every trellis state has exactly two incoming
 branches, so the add-compare-select step vectorizes cleanly over the
-2^(K-1) states; decoding a full 8192-bit packet body takes tens of
-milliseconds at K=7.
+2^(K-1) states; :func:`viterbi_decode_batch` additionally vectorizes
+over whole *batches* of received blocks, turning the per-step work into
+``(batch, states)`` array operations so the Python-level step loop is
+paid once per batch instead of once per packet.  The scalar
+:func:`viterbi_decode` is the same kernel at batch size 1, so the two
+agree bit for bit.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import compiled as _compiled
 from repro.fec.convolutional import ConvolutionalCode
 from repro.obs import runtime as _obs
 
@@ -36,7 +41,22 @@ def _transition_tables(code: ConvolutionalCode):
         fill[target] += 1
     if not (fill == 2).all():
         raise AssertionError("trellis is not two-in-regular")
-    return outputs, from_state, input_bit, pred_branches
+    # Branches share output symbols: there are only 2**n_outputs
+    # distinct patterns, so per-step costs are computed per *pattern*
+    # and gathered per branch (the pattern-cost trick).
+    place = 1 << np.arange(code.n_outputs - 1, -1, -1)
+    branch_pattern = (outputs.astype(np.int64) * place).sum(axis=1)
+    all_patterns = (
+        (np.arange(1 << code.n_outputs)[:, None] // place[None, :]) % 2
+    ).astype(np.uint8)
+    return (
+        outputs,
+        from_state,
+        input_bit,
+        pred_branches,
+        branch_pattern,
+        all_patterns,
+    )
 
 
 _TABLE_CACHE: dict[tuple[int, tuple[int, ...]], tuple] = {}
@@ -76,6 +96,29 @@ def viterbi_decode(
     return _decode_impl(code, received, terminated, weights)
 
 
+def viterbi_decode_batch(
+    code: ConvolutionalCode,
+    received: np.ndarray,
+    terminated: bool = True,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Decode a ``(batch, length)`` block of received streams at once.
+
+    Row ``i`` of the result equals ``viterbi_decode(code, received[i],
+    terminated, weights[i])`` bit for bit — the branch metrics are
+    accumulated in the same floating-point order — but the trellis step
+    loop runs over ``(batch, states)`` arrays, amortizing the
+    Python-level per-step cost across the whole batch.  ``weights``
+    (optional) must have the same shape as ``received``; a row of ones
+    is exactly equivalent to no weights.
+    """
+    state = _obs.STATE
+    if state.profiling:
+        with state.metrics.timer("profile.viterbi_decode_batch").time():
+            return _decode_batch_impl(code, received, terminated, weights)
+    return _decode_batch_impl(code, received, terminated, weights)
+
+
 def _decode_impl(
     code: ConvolutionalCode,
     received: np.ndarray,
@@ -83,57 +126,133 @@ def _decode_impl(
     weights: np.ndarray | None,
 ) -> np.ndarray:
     received = np.asarray(received, dtype=np.uint8)
-    n_out = code.n_outputs
-    if len(received) % n_out != 0:
-        raise ValueError(
-            f"received length {len(received)} not a multiple of {n_out}"
-        )
-    n_steps = len(received) // n_out
-    if n_steps == 0:
-        return np.empty(0, dtype=np.uint8)
+    if received.ndim != 1:
+        raise ValueError(f"received must be 1-D, got shape {received.shape}")
     if weights is not None:
         weights = np.asarray(weights, dtype=np.float64)
         if weights.shape != received.shape:
             raise ValueError(
                 f"weights shape {weights.shape} != received {received.shape}"
             )
+        weights = weights[None, :]
+    return _decode_batch_impl(code, received[None, :], terminated, weights)[0]
 
-    outputs, from_state, input_bit, pred_branches = _cached_tables(code)
-    n_states = code.n_states
-    state_index = np.arange(n_states)
 
-    big = np.float64(1e9)
-    metrics = np.full(n_states, big)
-    metrics[0] = 0.0  # encoder starts in state 0
-    traceback = np.zeros((n_steps, n_states), dtype=np.int32)
-
-    symbols = received.reshape(n_steps, n_out)
-    # Precompute per-step branch costs in one vectorized pass:
-    # cost[step, branch] = (weighted) count of usable symbol bits differing.
-    usable = symbols != ERASED  # (n_steps, n_out)
-    diffs = outputs[None, :, :] != symbols[:, None, :]  # (steps, branches, n_out)
-    effective = (diffs & usable[:, None, :]).astype(np.float64)
+def _decode_batch_impl(
+    code: ConvolutionalCode,
+    received: np.ndarray,
+    terminated: bool,
+    weights: np.ndarray | None,
+) -> np.ndarray:
+    received = np.asarray(received, dtype=np.uint8)
+    if received.ndim != 2:
+        raise ValueError(
+            f"batched received must be 2-D, got shape {received.shape}"
+        )
+    batch, length = received.shape
+    n_out = code.n_outputs
+    if length % n_out != 0:
+        raise ValueError(f"received length {length} not a multiple of {n_out}")
+    n_steps = length // n_out
+    if n_steps == 0 or batch == 0:
+        return np.empty((batch, 0), dtype=np.uint8)
     if weights is not None:
-        effective *= weights.reshape(n_steps, n_out)[:, None, :]
-    costs = effective.sum(axis=2)
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != received.shape:
+            raise ValueError(
+                f"weights shape {weights.shape} != received {received.shape}"
+            )
+        weights = weights.reshape(batch, n_steps, n_out)
 
-    for step in range(n_steps):
-        candidate = metrics[from_state] + costs[step]
-        two_way = candidate[pred_branches]  # (n_states, 2)
-        choice = two_way[:, 1] < two_way[:, 0]
-        best_branch = pred_branches[state_index, choice.astype(np.int8)]
-        metrics = np.where(choice, two_way[:, 1], two_way[:, 0])
-        traceback[step] = best_branch
+    (
+        _outputs,
+        from_state,
+        input_bit,
+        pred_branches,
+        branch_pattern,
+        all_patterns,
+    ) = _cached_tables(code)
 
-    state = 0 if terminated else int(np.argmin(metrics))
-    decoded = np.empty(n_steps, dtype=np.uint8)
-    for step in range(n_steps - 1, -1, -1):
-        branch = traceback[step, state]
-        decoded[step] = input_bit[branch]
-        state = from_state[branch]
+    symbols = received.reshape(batch, n_steps, n_out)
+    # Per-step costs for every possible output pattern:
+    # cost_pattern[b, step, p] = (weighted) count of usable symbol bits
+    # differing from pattern p.  Branch costs are gathers from this —
+    # identical floats to the per-branch computation (same terms, same
+    # summation order over the symbol axis).
+    usable = symbols != ERASED
+    diffs = all_patterns[None, None, :, :] != symbols[:, :, None, :]
+    effective = (diffs & usable[:, :, None, :]).astype(np.float64)
+    if weights is not None:
+        effective *= weights[:, :, None, :]
+    cost_pattern = effective.sum(axis=3)
+
+    if _compiled.compiled_enabled():
+        decoded = _compiled.viterbi_batch(
+            cost_pattern,
+            branch_pattern,
+            from_state,
+            input_bit,
+            pred_branches,
+            terminated,
+        )
+    else:
+        decoded = _acs_numpy(
+            cost_pattern,
+            branch_pattern,
+            from_state,
+            input_bit,
+            pred_branches,
+            terminated,
+        )
 
     if terminated:
         tail = code.tail_bits()
         if tail:
-            decoded = decoded[:-tail]
+            decoded = decoded[:, :-tail]
+    return decoded
+
+
+def _acs_numpy(
+    cost_pattern: np.ndarray,
+    branch_pattern: np.ndarray,
+    from_state: np.ndarray,
+    input_bit: np.ndarray,
+    pred_branches: np.ndarray,
+    terminated: bool,
+) -> np.ndarray:
+    """Numpy reference add-compare-select + traceback (all batch rows).
+
+    The executable reference for :func:`repro.compiled.viterbi_batch`;
+    the compiled twin must stay byte-identical to this.
+    """
+    batch, n_steps, _ = cost_pattern.shape
+    n_states = pred_branches.shape[0]
+    state_index = np.arange(n_states)
+
+    big = np.float64(1e9)
+    metrics = np.full((batch, n_states), big)
+    metrics[:, 0] = 0.0  # encoder starts in state 0
+    traceback = np.zeros((batch, n_steps, n_states), dtype=np.int32)
+
+    for step in range(n_steps):
+        candidate = (
+            metrics[:, from_state] + cost_pattern[:, step, branch_pattern]
+        )
+        two_way = candidate[:, pred_branches]  # (batch, n_states, 2)
+        choice = two_way[..., 1] < two_way[..., 0]
+        traceback[:, step, :] = pred_branches[
+            state_index, choice.astype(np.int8)
+        ]
+        metrics = np.where(choice, two_way[..., 1], two_way[..., 0])
+
+    if terminated:
+        state = np.zeros(batch, dtype=np.int64)
+    else:
+        state = np.argmin(metrics, axis=1)  # first minimum, like scalar
+    decoded = np.empty((batch, n_steps), dtype=np.uint8)
+    rows = np.arange(batch)
+    for step in range(n_steps - 1, -1, -1):
+        branch = traceback[rows, step, state]
+        decoded[:, step] = input_bit[branch]
+        state = from_state[branch]
     return decoded

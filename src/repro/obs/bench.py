@@ -9,17 +9,22 @@ memory and a gate:
   revision and appends it to ``benchmarks/history.jsonl`` — one JSON
   line per benchmarked revision, so performance over time is a
   greppable series (``python -m repro bench append``).
-* :func:`diff_stages` compares two snapshots' ``*_wall_s`` timings
-  per stage with a tolerance band; :func:`main_diff` (``python -m
-  repro bench diff BASELINE CURRENT``) exits nonzero when any stage
-  slowed beyond tolerance — the CI regression gate against the
-  committed ``benchmarks/baseline.json``.
+* :func:`diff_stages` compares two snapshots' ``*_wall_s`` timings and
+  ``*_per_s`` throughputs per stage with a tolerance band;
+  :func:`main_diff` (``python -m repro bench diff BASELINE CURRENT``)
+  exits nonzero when any stage slowed beyond tolerance — the CI
+  regression gate against the committed ``benchmarks/baseline.json``.
 
-Only ``*_wall_s`` keys are compared: they are the timings; throughput
-and speedup keys are derived from them, and payload keys like
-``packets`` describe the workload, not the performance.  A stage or
-timing present on one side only is reported but never fails the gate —
-adding a benchmark must not break CI retroactively.
+Two key families are gated, with opposite regression directions:
+``*_wall_s`` keys are timings (regression = ratio *above* ``1 +
+tolerance``) and ``*_per_s`` keys are throughputs (regression = ratio
+*below* ``1 - tolerance``).  Gating both catches the case a wall-clock
+ratio alone hides: a stage whose workload column changed between
+snapshots, making its wall time incomparable but its throughput still
+meaningful.  Speedup keys stay excluded (derived, ungated), and payload
+keys like ``packets`` describe the workload, not the performance.  A
+stage or key present on one side only is reported but never fails the
+gate — adding a benchmark must not break CI retroactively.
 """
 
 from __future__ import annotations
@@ -94,7 +99,13 @@ def load_history(history_path: PathLike) -> list[dict]:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class TimingDelta:
-    """One ``stage.key`` timing compared across two snapshots."""
+    """One ``stage.key`` measurement compared across two snapshots.
+
+    The field names say ``_s`` for history's sake, but the values are
+    whatever the key measures: seconds for ``*_wall_s`` keys,
+    per-second rates for ``*_per_s`` keys — :attr:`kind` tells the
+    gate which direction counts as a regression.
+    """
 
     stage: str
     key: str
@@ -102,32 +113,49 @@ class TimingDelta:
     current_s: float
 
     @property
+    def kind(self) -> str:
+        """``"throughput"`` for ``*_per_s`` keys, else ``"wall"``."""
+        return "throughput" if self.key.endswith("_per_s") else "wall"
+
+    @property
     def ratio(self) -> float:
-        """current / baseline (1.0 = unchanged; >1 = slower)."""
+        """current / baseline (1.0 = unchanged)."""
         if self.baseline_s <= 0:
             return 1.0
         return self.current_s / self.baseline_s
 
     def regressed(self, tolerance: float) -> bool:
+        """Worse than tolerance allows, in this key's bad direction:
+        slower for wall timings, lower for throughputs."""
+        if self.kind == "throughput":
+            return self.ratio < 1.0 - tolerance
         return self.ratio > 1.0 + tolerance
 
+    def improved(self, tolerance: float) -> bool:
+        """Better than tolerance noise, in this key's good direction."""
+        if self.kind == "throughput":
+            return self.ratio > 1.0 + tolerance
+        return self.ratio < 1.0 - tolerance
 
-def _wall_keys(stage_payload: dict) -> dict[str, float]:
+
+def _gated_keys(stage_payload: dict) -> dict[str, float]:
     return {
         key: value
         for key, value in stage_payload.items()
-        if key.endswith("_wall_s") and isinstance(value, (int, float))
+        if (key.endswith("_wall_s") or key.endswith("_per_s"))
+        and isinstance(value, (int, float))
     }
 
 
 def diff_stages(
     baseline: dict, current: dict
 ) -> tuple[list[TimingDelta], list[str]]:
-    """Compare two snapshots' stages on their ``*_wall_s`` timings.
+    """Compare two snapshots' stages on their ``*_wall_s`` timings and
+    ``*_per_s`` throughputs.
 
     Returns ``(deltas, uncompared)``: one :class:`TimingDelta` per
-    timing present on both sides, plus human-readable notes for stages
-    or timings present on only one side (reported, never gating).
+    gated key present on both sides, plus human-readable notes for
+    stages or keys present on only one side (reported, never gating).
     """
     baseline_stages = baseline.get("stages", {})
     current_stages = current.get("stages", {})
@@ -162,8 +190,8 @@ def diff_stages(
                 f"({' and '.join(malformed)}); skipped"
             )
             continue
-        base_walls = _wall_keys(baseline_stages[stage])
-        cur_walls = _wall_keys(current_stages[stage])
+        base_walls = _gated_keys(baseline_stages[stage])
+        cur_walls = _gated_keys(current_stages[stage])
         for key in sorted(set(base_walls) | set(cur_walls)):
             if key not in cur_walls:
                 uncompared.append(f"{stage}.{key}: baseline only")
@@ -190,11 +218,17 @@ def render_diff(
         flag = ""
         if delta.regressed(tolerance):
             flag = f"  REGRESSION (> {tolerance:.0%} tolerance)"
-        elif delta.ratio < 1.0 - tolerance:
+        elif delta.improved(tolerance):
             flag = "  improved"
+        if delta.kind == "throughput":
+            base_txt = f"{delta.baseline_s:>8.0f}/s"
+            cur_txt = f"{delta.current_s:>8.0f}/s"
+        else:
+            base_txt = f"{delta.baseline_s:>9.4f}s"
+            cur_txt = f"{delta.current_s:>9.4f}s"
         lines.append(
             f"{delta.stage + '.' + delta.key:<44} "
-            f"{delta.baseline_s:>9.4f}s {delta.current_s:>9.4f}s "
+            f"{base_txt} {cur_txt} "
             f"{delta.ratio:>6.2f}x{flag}"
         )
     for note in uncompared:

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
+from repro import compiled as _compiled
 from repro.obs import runtime as _obs
 from repro.phy.quality import ClockStressModel, ClockStressParams
 
@@ -144,11 +145,277 @@ def _fold_probabilities(
     """
     if not columns:
         return base
+    if _compiled.compiled_enabled():
+        base_arr = np.asarray(base, dtype=np.float64)
+        if base_arr.ndim == 1:
+            matrix = np.stack(
+                [np.broadcast_to(column, base_arr.shape) for column in columns]
+            )
+            return _compiled.fold_probabilities(base_arr, matrix)
     with np.errstate(divide="ignore"):
         log_keep = np.log1p(-base)
         for column in columns:
             log_keep = log_keep + np.log1p(-column)
     return 1.0 - np.exp(log_keep)
+
+
+def _flat_unique(values: np.ndarray) -> np.ndarray:
+    """Sort-based ``np.unique`` for large 1-D int arrays.
+
+    numpy's hash-based unique kernel is several times slower than a
+    plain sort + run-length mask at the millions-of-keys sizes the bulk
+    damage merge produces; this keeps the merge sort-bound.
+    """
+    if values.size <= 1:
+        return np.sort(values)
+    ordered = np.sort(values)
+    keep = np.empty(values.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]
+
+
+def _distinct_uniform_rounds(
+    spans: np.ndarray,
+    sizes: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Round-based exact distinct-subset sampler (small-domain helper).
+
+    Returns flat ``(row_ids, values)`` arrays (order not meaningful).
+    Equal in distribution to per-row
+    ``rng.choice(span, size, replace=False)``: repeatedly drawing iid
+    uniforms and keeping the first ``size`` distinct values is uniform
+    over size-subsets by exchangeability.  Rows wanting more than half
+    their span sample the *complement* subset instead, so every top-up
+    round retires at least half of the remaining need in expectation
+    and the loop converges geometrically.
+
+    The membership bitmap makes each round O(draws), which is ideal for
+    the small strides this is now used for (the excess-drop step of
+    :func:`_distinct_uniform_bulk`); the oversampling sampler below is
+    faster on the big flat jam-window workloads.
+    """
+    total_rows = spans.shape[0]
+    if total_rows == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    spans_all = spans.astype(np.int64)
+    sizes_all = np.minimum(sizes.astype(np.int64), spans_all)
+    stride = int(spans_all.max())
+    # Membership is a flat per-chunk bitmap (row-major, ``stride`` bits
+    # per row); chunking bounds its footprint on huge damaged sets.
+    chunk_rows = max(1, min(total_rows, 32_000_000 // stride))
+    out_rows: list[np.ndarray] = []
+    out_vals: list[np.ndarray] = []
+    for chunk_start in range(0, total_rows, chunk_rows):
+        chunk = slice(chunk_start, min(chunk_start + chunk_rows, total_rows))
+        spans_c = spans_all[chunk]
+        sizes_c = sizes_all[chunk]
+        m = spans_c.shape[0]
+        dense = sizes_c * 2 > spans_c
+        want = np.where(dense, spans_c - sizes_c, sizes_c)
+        small_keys = m * stride < 2**31
+        taken = np.zeros(m * stride, dtype=bool)
+        need = want.copy()
+        for _ in range(10_000):
+            pending = np.nonzero(need > 0)[0]
+            if pending.size == 0:
+                break
+            reps = need[pending]
+            rows = np.repeat(pending, reps)
+            bounds = np.repeat(spans_c[pending], reps)
+            if rows.size >= 4096:
+                # Scalar-bound draw + rejection against each row's
+                # span: numpy's array-bound integers() runs per-element
+                # and is several times slower, while rejecting the few
+                # overshoots (spans cluster near the max) keeps exact
+                # uniformity.  Small tails use the exact draw directly
+                # so a narrow-span straggler can't spin the loop.
+                draws = rng.integers(0, stride, size=rows.size)
+                in_span = draws < bounds
+                rows = rows[in_span]
+                draws = draws[in_span]
+            else:
+                draws = rng.integers(0, bounds)
+            keys = rows * stride + draws
+            if small_keys:
+                keys = keys.astype(np.int32)
+            # In-round dedup + bitmap probe: the union of accepted
+            # values is the same set the sequential first-distinct
+            # process produces, so uniformity is preserved.
+            keys = _flat_unique(keys)
+            keys = keys[~taken[keys]]
+            taken[keys] = True
+            rows_new = keys // stride
+            need -= np.bincount(rows_new, minlength=m)
+            if not dense.all():
+                emit = ~dense[rows_new]
+                kept = keys[emit]
+                rows_kept = rows_new[emit]
+                out_rows.append(rows_kept.astype(np.int64) + chunk_start)
+                out_vals.append(
+                    kept.astype(np.int64) - rows_kept.astype(np.int64) * stride
+                )
+        else:  # pragma: no cover - density ≤ 1/2 makes this unreachable
+            raise RuntimeError("distinct-subset sampling failed to converge")
+        dense_rows = np.nonzero(dense)[0]
+        if dense_rows.size:
+            # Dense rows selected their *exclusions*; emit the
+            # complement of each row's bitmap slice.
+            counts = spans_c[dense_rows]
+            rep_rows = np.repeat(dense_rows, counts)
+            starts = np.cumsum(counts) - counts
+            vals = np.arange(int(counts.sum()), dtype=np.int64) - np.repeat(
+                starts, counts
+            )
+            keep = ~taken[rep_rows * stride + vals]
+            out_rows.append(rep_rows[keep] + chunk_start)
+            out_vals.append(vals[keep])
+    if not out_rows:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(out_rows), np.concatenate(out_vals)
+
+
+def _distinct_uniform_bulk(
+    spans: np.ndarray,
+    sizes: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``sizes[i]`` distinct uniform integers from ``[0, spans[i])``
+    for every row at once.
+
+    Returns flat ``(row_ids, values)`` arrays **grouped by ascending
+    row, ascending within each row** — callers can treat the output as
+    ready-made CSR content without re-sorting.
+
+    Strategy (one sort instead of a bitmap round loop): oversample each
+    row past its need (covering in-row collisions), sort + dedup all
+    draws in one combined-key pass, then *uniformly drop* the per-row
+    excess.  The distinct set of iid uniform draws is exchangeable, so
+    dropping a uniformly-chosen excess subset leaves a uniform
+    ``size``-subset; rows that come up short (a few per million) redraw
+    wholesale, which preserves uniformity by independence of attempts.
+    Rows wanting more than half their span sample the *complement*
+    subset instead and emit the inverse at the end.
+
+    Per-row bounded draws use 53-bit float scaling
+    (``floor(random() * span)``), whose deviation from exact uniformity
+    is at most ``span * 2**-53`` per value — orders of magnitude below
+    anything the statistical equivalence suite (or the paper's
+    statistics) could resolve, and several times faster than numpy's
+    per-element bounded-integer path.
+    """
+    m = spans.shape[0]
+    empty = np.empty(0, dtype=np.int64)
+    if m == 0:
+        return empty, empty
+    spans_all = spans.astype(np.int64)
+    sizes_all = np.minimum(sizes.astype(np.int64), spans_all)
+    stride = int(spans_all.max())
+    if stride <= 0:
+        return empty, empty
+    small_keys = m * stride < 2**31
+    key_dtype = np.int32 if small_keys else np.int64
+    key_stride = key_dtype(stride)
+    dense = sizes_all * 2 > spans_all
+    has_dense = bool(dense.any())
+    # Dense rows select their *exclusions* (the complement subset).
+    want = np.where(dense, spans_all - sizes_all, sizes_all)
+    need = want.copy()
+    streams: list[np.ndarray] = []  # sorted, disjoint key arrays
+    excl_streams: list[np.ndarray] = []  # dense rows' exclusion keys
+    for _ in range(10_000):
+        pending = np.nonzero(need > 0)[0]
+        if pending.size == 0:
+            break
+        need_p = need[pending]
+        spans_p = spans_all[pending]
+        # Oversample quota: expected collisions (birthday term) plus a
+        # small safety margin sized so shortfalls are ~5-sigma events.
+        n_draw = need_p + (need_p * need_p) // (2 * spans_p) + (need_p >> 5) + 6
+        rows = np.repeat(pending.astype(key_dtype), n_draw)
+        bounds = np.repeat(spans_p.astype(key_dtype), n_draw)
+        draws = (rng.random(rows.size) * bounds).astype(key_dtype)
+        # float rounding can land exactly on the bound; fold it back.
+        over = draws >= bounds
+        if over.any():
+            draws[over] = bounds[over] - key_dtype(1)
+        keys = rows * key_stride + draws
+        keys = _flat_unique(keys)
+        if keys.size == 0:  # pragma: no cover - all draws rejected
+            continue
+        rows_new = keys // key_stride
+        # Per-row distinct counts via run lengths (sorted => grouped).
+        boundary = np.empty(rows_new.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(rows_new[1:], rows_new[:-1], out=boundary[1:])
+        run_starts = np.flatnonzero(boundary)
+        run_rows = rows_new[run_starts].astype(np.int64)
+        run_counts = np.diff(np.append(run_starts, rows_new.size))
+        ok_run = run_counts >= need[run_rows]
+        if not ok_run.all():
+            # Shortfall rows redraw from scratch next round; drop their
+            # partial draws entirely (keeping them would bias the set).
+            keys = keys[np.repeat(ok_run, run_counts)]
+            run_rows = run_rows[ok_run]
+            run_counts = run_counts[ok_run]
+            if keys.size == 0:
+                continue
+        need_ok = need[run_rows]
+        excess = run_counts - need_ok
+        if int(excess.sum()) > 0:
+            # Uniformly drop the excess: positions within each row's
+            # run are labels of an exchangeable set, so a uniform
+            # distinct position subset removes a uniform value subset.
+            drop_rows, drop_pos = _distinct_uniform_rounds(
+                run_counts, excess, rng
+            )
+            keep = np.ones(keys.size, dtype=bool)
+            stream_offsets = np.cumsum(run_counts) - run_counts
+            keep[stream_offsets[drop_rows] + drop_pos] = False
+            keys = keys[keep]
+        need[run_rows] = 0
+        if has_dense:
+            elem_dense = np.repeat(dense[run_rows], need_ok)
+            excl_streams.append(keys[elem_dense])
+            streams.append(keys[~elem_dense])
+        else:
+            streams.append(keys)
+    else:  # pragma: no cover - margins make this unreachable
+        raise RuntimeError("distinct-subset sampling failed to converge")
+    if has_dense:
+        dense_rows = np.nonzero(dense)[0]
+        spans_d = spans_all[dense_rows]
+        rep_rows = np.repeat(dense_rows, spans_d)
+        starts = np.cumsum(spans_d) - spans_d
+        vals = np.arange(int(spans_d.sum()), dtype=np.int64) - np.repeat(
+            starts, spans_d
+        )
+        cand = (rep_rows * stride + vals).astype(key_dtype)
+        if excl_streams:
+            excl = (
+                excl_streams[0]
+                if len(excl_streams) == 1
+                else np.sort(np.concatenate(excl_streams))
+            )
+            if excl.size:
+                pos = np.searchsorted(excl, cand)
+                hit = (pos < excl.size) & (
+                    excl[np.minimum(pos, excl.size - 1)] == cand
+                )
+                cand = cand[~hit]
+        streams.append(cand)
+    if not streams:
+        return empty, empty
+    if len(streams) == 1:
+        keys = streams[0]
+    else:
+        keys = np.sort(np.concatenate(streams))
+    rows_out = (keys // key_stride).astype(np.int64)
+    vals_out = keys.astype(np.int64) - rows_out * stride
+    return rows_out, vals_out
 
 
 def _record_fate_metrics(fate: PacketFate) -> None:
@@ -590,3 +857,206 @@ class WaveLanErrorModel:
         return self.detail_packet(
             stress, truncated, hit, residual_bits, frame_bytes, rng
         )
+
+    # ------------------------------------------------------------------
+    # Vectorized detail expansion (whole damaged minority at once)
+    # ------------------------------------------------------------------
+    def _jam_windows_bulk(
+        self,
+        frame_bits: int,
+        totals: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bursty jam-window placement for many packets at once.
+
+        The batched twin of the ``bursty`` arm of
+        :meth:`_jam_positions_from_total`: same window sizing, edge
+        margins (with the 3 % edge-catch exception), start distribution
+        and in-window uniform distinct sampling — only the draw *count*
+        per packet differs, which the scalar/bulk equivalence suite
+        treats as free (all draws are independent).
+        """
+        m = totals.shape[0]
+        window_bits = np.minimum(
+            frame_bits,
+            np.maximum(totals, (totals / self.JAM_DENSITY).astype(np.int64)),
+        )
+        lead = int(frame_bits * 0.045)
+        tail = int(frame_bits * 0.005)
+        edge = rng.random(m) < 0.03
+        lead_arr = np.where(edge, 0, lead)
+        tail_arr = np.where(edge, 0, tail)
+        latest_start = np.maximum(
+            lead_arr + 1, frame_bits - tail_arr - window_bits
+        )
+        start = rng.integers(lead_arr, latest_start)
+        span = np.maximum(
+            1, np.minimum(window_bits, frame_bits - tail_arr - start)
+        )
+        rows, offsets = _distinct_uniform_bulk(
+            span, np.minimum(totals, span), rng
+        )
+        return rows, start[rows] + offsets
+
+    def detail_bulk(
+        self,
+        stress: np.ndarray,
+        truncated: np.ndarray,
+        hit: np.ndarray,
+        residual_bits: np.ndarray,
+        frame_bytes: int,
+        rng: np.random.Generator,
+        jam: Sequence[tuple[np.ndarray, bool]] = (),
+    ) -> dict[str, np.ndarray]:
+        """Batched :meth:`detail_packet` over the damaged minority.
+
+        Arguments are the flagged rows' columns from :meth:`sample_bulk`
+        (``jam``: one ``(totals, bursty)`` pair per source, totals
+        aligned with the rows).  Returns columns over the same rows:
+
+        * ``truncated_at`` — int64 cut byte, ``-1`` where not truncated;
+        * ``stress`` — updated stress (clock slips raise it);
+        * ``quality`` — int16 quality register;
+        * ``flip_positions`` / ``flip_offsets`` — all packets' sorted,
+          deduplicated, truncation-cut bit offsets in one flat int64
+          array with CSR row offsets (``k + 1`` entries).
+
+        Statistically equivalent to looping :meth:`detail_packet` (the
+        equivalence suite pins it against ``force_per_packet`` trials);
+        RNG draw order differs, so individual packets are not
+        byte-comparable across the two paths.
+        """
+        k = stress.shape[0]
+        frame_bits = frame_bytes * 8
+        stress = np.asarray(stress, dtype=np.float64).copy()
+
+        # Truncation points, plus the clock-slip stress jump for rows
+        # whose stress did not already explain the truncation.
+        truncated_at = np.full(k, -1, dtype=np.int64)
+        t_rows = np.nonzero(truncated)[0]
+        if t_rows.size:
+            truncated_at[t_rows] = rng.integers(
+                8, frame_bytes, size=t_rows.size
+            )
+            threshold = self.params.stress.truncation_threshold
+            slip_rows = t_rows[stress[t_rows] <= threshold]
+            if slip_rows.size:
+                stress[slip_rows] = np.maximum(
+                    stress[slip_rows],
+                    self.stress_model.slip_stress_bulk(slip_rows.size, rng),
+                )
+
+        rows_parts: list[np.ndarray] = []
+        pos_parts: list[np.ndarray] = []
+        # Count of parts already grouped by row with distinct, sorted
+        # in-row positions (only the bursty-jam sampler guarantees
+        # this); a lone such part can skip the merge sort below.
+        grouped_parts = 0
+
+        # Attenuation bursts: geometric lengths, uniform starts, then a
+        # gap matrix wide enough for the longest burst.  Masking the
+        # positions that ran past the frame end is equivalent to the
+        # scalar early break (the cursor is monotone).
+        h_rows = np.nonzero(hit)[0]
+        if h_rows.size:
+            p = self.params
+            counts = rng.geometric(
+                1.0 - p.burst_continue_probability, size=h_rows.size
+            )
+            starts = rng.integers(0, frame_bits, size=h_rows.size)
+            rows_parts.append(h_rows)
+            pos_parts.append(starts)
+            max_extra = int(counts.max()) - 1
+            if max_extra > 0:
+                gaps = rng.integers(
+                    1,
+                    p.burst_max_gap_bits + 1,
+                    size=(h_rows.size, max_extra),
+                )
+                extra = starts[:, None] + np.cumsum(gaps, axis=1)
+                valid = (
+                    np.arange(max_extra)[None, :] < (counts - 1)[:, None]
+                ) & (extra < frame_bits)
+                rr, cc = np.nonzero(valid)
+                rows_parts.append(h_rows[rr])
+                pos_parts.append(extra[rr, cc])
+
+        # Residual BER and non-bursty jam: flat uniform draws.
+        r_rows = np.nonzero(residual_bits > 0)[0]
+        if r_rows.size:
+            reps = residual_bits[r_rows].astype(np.int64)
+            rows_parts.append(np.repeat(r_rows, reps))
+            pos_parts.append(
+                rng.integers(0, frame_bits, size=int(reps.sum()))
+            )
+        for totals, bursty in jam:
+            j_rows = np.nonzero(totals > 0)[0]
+            if not j_rows.size:
+                continue
+            j_totals = totals[j_rows].astype(np.int64)
+            if not bursty:
+                rows_parts.append(np.repeat(j_rows, j_totals))
+                pos_parts.append(
+                    rng.integers(0, frame_bits, size=int(j_totals.sum()))
+                )
+            else:
+                local, positions = self._jam_windows_bulk(
+                    frame_bits, j_totals, rng
+                )
+                rows_parts.append(j_rows[local])
+                pos_parts.append(positions)
+                grouped_parts += 1
+
+        # Merge all processes: one combined-key unique performs the
+        # per-packet sort + dedup for every packet at once, then the
+        # truncation cut drops flips past each packet's cut byte.  When
+        # a single grouped-distinct source contributed (the dominant
+        # jamming-interference case) the merge sort is a no-op and is
+        # skipped outright.
+        if len(rows_parts) == 1 and grouped_parts == 1:
+            flat_rows = rows_parts[0]
+            flat_pos = pos_parts[0]
+            if t_rows.size:
+                cut = truncated_at[flat_rows]
+                keep = (cut < 0) | (flat_pos < cut * 8)
+                flat_rows = flat_rows[keep]
+                flat_pos = flat_pos[keep]
+        elif rows_parts:
+            keys = np.concatenate(rows_parts) * frame_bits + np.concatenate(
+                pos_parts
+            )
+            if k * frame_bits < 2**31:
+                keys = keys.astype(np.int32)
+            keys = _flat_unique(keys)
+            flat_rows = (keys // frame_bits).astype(np.int64)
+            flat_pos = keys.astype(np.int64) - flat_rows * frame_bits
+            cut = truncated_at[flat_rows]
+            keep = (cut < 0) | (flat_pos < cut * 8)
+            flat_rows = flat_rows[keep]
+            flat_pos = flat_pos[keep]
+        else:
+            flat_rows = np.empty(0, dtype=np.int64)
+            flat_pos = np.empty(0, dtype=np.int64)
+        flip_counts = np.bincount(flat_rows, minlength=k)
+        flip_offsets = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(flip_counts, out=flip_offsets[1:])
+
+        quality = self.stress_model.quality_reading_bulk(
+            stress, flip_counts > 0, rng
+        )
+
+        state = _obs.STATE
+        if state.enabled:
+            corrupted = int(np.count_nonzero(flip_counts))
+            if corrupted:
+                metrics = state.metrics
+                metrics.counter("phy.corrupted_packets").inc(corrupted)
+                metrics.counter("phy.bits_flipped").inc(int(flat_pos.size))
+
+        return {
+            "truncated_at": truncated_at,
+            "stress": stress,
+            "quality": quality,
+            "flip_positions": flat_pos,
+            "flip_offsets": flip_offsets,
+        }

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.units import clamp_quality
+from repro.units import QUALITY_MAX, clamp_quality
 
 
 def _logistic(x: float) -> float:
@@ -173,6 +173,15 @@ class ClockStressModel:
         p = self.params
         return p.truncation_threshold + rng.exponential(p.truncation_excess_scale)
 
+    def slip_stress_bulk(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """:meth:`slip_stress` for ``count`` packets in one draw."""
+        p = self.params
+        return p.truncation_threshold + rng.exponential(
+            p.truncation_excess_scale, size=count
+        )
+
     def causes_truncation(self, stress: float) -> bool:
         """Does this stress level imply broken clock recovery?"""
         return stress > self.params.truncation_threshold
@@ -190,3 +199,20 @@ class ClockStressModel:
         if rng.random() < self.params.baseline_dip_probability:
             reading -= 1.0
         return clamp_quality(reading)
+
+    def quality_reading_bulk(
+        self,
+        stress: np.ndarray,
+        had_bit_errors: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """:meth:`quality_reading` over packet columns (int16 result).
+
+        Same formula, same rounding (``np.rint`` is round-half-even,
+        like Python's ``round``); the dip draw is one uniform column.
+        """
+        p = self.params
+        reading = 15.0 - np.asarray(stress, dtype=np.float64)
+        reading = reading - np.where(had_bit_errors, p.bit_error_penalty, 0.0)
+        reading -= rng.random(reading.shape[0]) < p.baseline_dip_probability
+        return np.clip(np.rint(reading), 0, QUALITY_MAX).astype(np.int16)

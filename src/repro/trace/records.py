@@ -15,7 +15,7 @@ stage still sees plain bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -96,6 +96,81 @@ def materialize_data(records: Sequence[PacketRecord]) -> list[bytes]:
         for row, index in enumerate(indices):
             datas[index] = frames[row].tobytes()
     return datas  # type: ignore[return-value]
+
+
+class LazyRecordList(list):
+    """A record list materialized on first element access.
+
+    The vectorized trial runner decides every packet's fate in columns;
+    constructing half a million :class:`PacketRecord` objects eagerly
+    would dominate clean-trial wall clock even though many callers only
+    ever read ``len()`` (``packets_received``) before handing the trace
+    to a columnar writer.  This list holds the column-to-object builder
+    and runs it the first time anything touches an element; from then
+    on it *is* the plain list the eager path would have built —
+    identical objects, identical order.
+
+    ``len()`` and truth-testing never materialize.  Pickling
+    materializes and ships a plain ``list`` (cross-process consumers
+    see ordinary records).
+    """
+
+    __slots__ = ("_builder", "_deferred_len")
+
+    def __init__(
+        self, builder: Callable[[], list["PacketRecord"]], length: int
+    ) -> None:
+        super().__init__()
+        self._builder: Optional[Callable[[], list[PacketRecord]]] = builder
+        self._deferred_len = length
+
+    def _materialize(self) -> None:
+        builder = self._builder
+        if builder is not None:
+            self._builder = None
+            built = builder()
+            if len(built) != self._deferred_len:
+                raise RuntimeError(
+                    f"lazy record builder produced {len(built)} records, "
+                    f"promised {self._deferred_len}"
+                )
+            list.extend(self, built)
+
+    def __len__(self) -> int:
+        if self._builder is not None:
+            return self._deferred_len
+        return list.__len__(self)
+
+    def __reduce__(self):
+        self._materialize()
+        return (list, (), None, iter(list(self)))
+
+
+def _lazy_forwarder(name: str):
+    target = getattr(list, name)
+
+    def method(self, *args, **kwargs):
+        self._materialize()
+        return target(self, *args, **kwargs)
+
+    method.__name__ = name
+    method.__qualname__ = f"LazyRecordList.{name}"
+    return method
+
+
+# Every mutating or element-reading list operation materializes first;
+# anything missed here would silently operate on the (empty) backing
+# storage, so the forwarding is exhaustive over the list API.
+for _name in (
+    "append", "clear", "copy", "count", "extend", "index", "insert",
+    "pop", "remove", "reverse", "sort",
+    "__add__", "__contains__", "__delitem__", "__eq__", "__ge__",
+    "__getitem__", "__gt__", "__iadd__", "__imul__", "__iter__",
+    "__le__", "__lt__", "__mul__", "__ne__", "__repr__",
+    "__reversed__", "__rmul__", "__setitem__",
+):
+    setattr(LazyRecordList, _name, _lazy_forwarder(_name))
+del _name
 
 
 @dataclass

@@ -60,10 +60,42 @@ class TestDiff:
         assert [(d.stage, d.key) for d in deltas] == [("s", "bulk_wall_s")]
         assert uncompared == []
 
+    def test_compares_throughput_keys_too(self):
+        deltas, uncompared = diff_stages(
+            {"stages": {"s": {"bulk_wall_s": 0.1,
+                              "bulk_packets_per_s": 100_000,
+                              "scalar_records_per_s": 5_000,
+                              "speedup_vs_scalar": 3.0}}},
+            {"stages": {"s": {"bulk_wall_s": 0.1,
+                              "bulk_packets_per_s": 90_000,
+                              "scalar_records_per_s": 5_000,
+                              "speedup_vs_scalar": 3.0}}},
+        )
+        assert [(d.stage, d.key) for d in deltas] == [
+            ("s", "bulk_packets_per_s"),
+            ("s", "bulk_wall_s"),
+            ("s", "scalar_records_per_s"),
+        ]
+        assert uncompared == []
+
     def test_regression_detection_respects_tolerance(self):
         delta = TimingDelta("s", "bulk_wall_s", 0.1, 0.12)
         assert not delta.regressed(0.25)  # 1.2x within 25%
         assert delta.regressed(0.1)
+
+    def test_throughput_regresses_downward(self):
+        delta = TimingDelta("s", "bulk_packets_per_s", 100_000, 80_000)
+        assert delta.kind == "throughput"
+        assert not delta.regressed(0.25)  # -20% within 25%
+        assert delta.regressed(0.1)
+        # A throughput *increase* is never a regression ...
+        faster = TimingDelta("s", "bulk_packets_per_s", 100_000, 200_000)
+        assert not faster.regressed(0.1)
+        assert faster.improved(0.1)
+        # ... while the same ratio on a wall key is one.
+        slower = TimingDelta("s", "bulk_wall_s", 0.1, 0.2)
+        assert slower.kind == "wall"
+        assert slower.regressed(0.25)
 
     def test_one_sided_stages_reported_not_gating(self):
         deltas, uncompared = diff_stages(
@@ -89,6 +121,26 @@ class TestDiff:
         assert "REGRESSION" in text
         assert "improved" in text
         assert "1 regression" in text
+
+    def test_render_throughput_rows_use_rate_units(self):
+        deltas = [
+            TimingDelta("s", "bulk_packets_per_s", 100_000, 50_000),
+            TimingDelta("s", "bulk_wall_s", 0.1, 0.1),
+        ]
+        text = render_diff(deltas, [], tolerance=0.25)
+        assert "/s" in text
+        assert "REGRESSION" in text  # the halved throughput
+        assert "1 regression" in text
+
+    def test_gate_fails_on_throughput_drop(self, tmp_path):
+        baseline = _snapshot(
+            tmp_path, "base.json", {"s": {"bulk_packets_per_s": 100_000}}
+        )
+        current = _snapshot(
+            tmp_path, "cur.json", {"s": {"bulk_packets_per_s": 50_000}}
+        )
+        assert main_diff(baseline, current, tolerance=0.25) == 1
+        assert main_diff(baseline, current, tolerance=0.6) == 0
 
 
 class TestGate:

@@ -1,0 +1,175 @@
+"""The optional numba tier: flag plumbing and numpy/compiled identity.
+
+The numpy implementations are the executable reference; every compiled
+kernel must return byte-identical results.  The identity tests run only
+where numba is installed (the default container does not ship it) —
+everywhere else they skip and the flag-plumbing tests prove the
+graceful-fallback contract instead.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro import compiled
+
+
+@pytest.fixture(autouse=True)
+def _restore_flag():
+    """Every test leaves the process-wide flag the way it found it."""
+    requested = compiled._requested
+    warned = compiled._warned_missing
+    yield
+    compiled._requested = requested
+    compiled._warned_missing = warned
+
+
+class TestFlagPlumbing:
+    def test_disabled_by_default(self):
+        assert compiled.compiled_enabled() is False
+
+    def test_enabled_requires_numba(self):
+        compiled._warned_missing = True  # silence for this check
+        state = compiled.set_compiled(True)
+        assert state == compiled.HAVE_NUMBA
+        assert compiled.compiled_enabled() == compiled.HAVE_NUMBA
+        assert compiled.set_compiled(False) is False
+
+    @pytest.mark.skipif(compiled.HAVE_NUMBA, reason="numba installed")
+    def test_requesting_without_numba_warns_once(self):
+        compiled._warned_missing = False
+        with pytest.warns(RuntimeWarning, match="numba is not installed"):
+            assert compiled.set_compiled(True) is False
+        # Second request stays silent (warn once per process).
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert compiled.set_compiled(True) is False
+
+    def test_env_flag_opts_in(self):
+        """REPRO_COMPILED=1 requests the tier at import (and degrades
+        gracefully without numba — the subprocess must not crash)."""
+        code = (
+            "import warnings; warnings.simplefilter('ignore');"
+            "from repro import compiled;"
+            "print(compiled._requested, compiled.compiled_enabled())"
+        )
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": str(repo_root / "src"),
+                "REPRO_COMPILED": "1",
+            },
+            cwd=repo_root,
+        )
+        assert out.returncode == 0, out.stderr
+        requested, enabled = out.stdout.split()
+        assert requested == "True"
+        assert enabled == str(compiled.HAVE_NUMBA)
+
+    def test_cli_flag_raises_tier(self):
+        from repro import __main__ as cli
+
+        parser = cli._build_parser()
+        args = parser.parse_args(["all", "--compiled"])
+        assert args.compiled is True
+
+
+class TestNumpyReferenceSemantics:
+    """Pin the numpy twins the compiled kernels must reproduce."""
+
+    def test_plurality_matches_counter(self):
+        from repro.analysis.matching import _plurality
+
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            words = rng.integers(0, 12, size=int(rng.integers(1, 60)))
+            winner, count = _plurality(words.astype(np.int64))
+            expected = Counter(words.tolist()).most_common(1)[0]
+            assert (winner, count) == expected
+
+    def test_plurality_tie_breaks_to_first_occurrence(self):
+        from repro.analysis.matching import _plurality
+
+        assert _plurality(np.array([9, 4, 4, 9, 1])) == (9, 2)
+        assert _plurality(np.array([4, 9, 9, 4, 1])) == (4, 2)
+
+
+needs_numba = pytest.mark.skipif(
+    not compiled.HAVE_NUMBA, reason="numba not installed"
+)
+
+
+@needs_numba
+class TestCompiledIdentity:
+    """Byte-identity of every compiled kernel against its numpy twin."""
+
+    def test_fold_probabilities_identical(self):
+        from repro.phy import errormodel
+
+        rng = np.random.default_rng(11)
+        base = rng.random(500)
+        columns = [rng.random(500) for _ in range(4)]
+        columns[1][13] = 1.0  # exact-1 entry must fold to exactly 1
+        compiled.set_compiled(False)
+        reference = errormodel._fold_probabilities(base, columns)
+        compiled.set_compiled(True)
+        fast = errormodel._fold_probabilities(base, columns)
+        compiled.set_compiled(False)
+        np.testing.assert_array_equal(reference, fast)
+
+    def test_plurality_identical(self):
+        from repro.analysis.matching import _plurality
+
+        rng = np.random.default_rng(12)
+        for _ in range(50):
+            words = rng.integers(0, 9, size=int(rng.integers(1, 80))).astype(
+                np.int64
+            )
+            compiled.set_compiled(False)
+            reference = _plurality(words)
+            compiled.set_compiled(True)
+            fast = _plurality(words)
+            compiled.set_compiled(False)
+            assert reference == fast
+
+    @pytest.mark.parametrize("terminated", [True, False])
+    def test_viterbi_batch_identical(self, terminated):
+        from repro.fec.convolutional import ConvolutionalCode
+        from repro.fec.viterbi import ERASED, viterbi_decode_batch
+
+        code = ConvolutionalCode()
+        rng = np.random.default_rng(13)
+        batch, info_bits = 6, 96
+        blocks = []
+        for _ in range(batch):
+            bits = rng.integers(0, 2, info_bits).astype(np.uint8)
+            coded = code.encode(bits)
+            coded[rng.random(coded.size) < 0.04] ^= 1
+            coded[rng.random(coded.size) < 0.05] = ERASED
+            blocks.append(coded)
+        received = np.stack(blocks)
+        weights = rng.random(received.shape)
+        for w in (None, weights):
+            compiled.set_compiled(False)
+            reference = viterbi_decode_batch(
+                code, received, terminated=terminated, weights=w
+            )
+            compiled.set_compiled(True)
+            fast = viterbi_decode_batch(
+                code, received, terminated=terminated, weights=w
+            )
+            compiled.set_compiled(False)
+            np.testing.assert_array_equal(reference, fast)
