@@ -1,31 +1,44 @@
 """Serve-smoke: the streaming ingest service under concurrent load.
 
-Starts a real :class:`TraceAnalysisServer` on loopback, replays a
-stored ``.wlt2`` trace over many concurrent loadgen sessions, and
-checks the two things that matter:
+Starts a real :class:`TraceAnalysisServer` (``jobs=4``, shm-ring
+transport, chunk coalescing) on a unix socket, then drives it from
+**separate client processes** — ``run_loadgen_processes`` — so the
+single asyncio loop of an in-process loadgen can never be the
+bottleneck being measured.  Checks the three things that matter:
 
 * **Correctness under concurrency** — every session's SUMMARY carries
   the exact verdict counts and the chunking-independent verdict digest
-  of the batch classifier.
-* **Ingest throughput** — aggregate packets/s lands in the
-  ``serve_ingest`` stage of ``BENCH_internal.json``, where the
+  of the batch classifier, and every session actually rode the shm
+  ring (``CHUNK_REF`` frames), not the socket fallback.
+* **Ingest throughput** — the aggregate server-side rate over the true
+  client span (``max(end) − min(start)`` across worker processes on
+  the shared monotonic clock) lands in the ``serve_ingest`` stage of
+  ``BENCH_internal.json`` as ``ingest_packets_per_s``, where the
   ``bench diff`` gate tracks it against ``benchmarks/baseline.json``.
+* **Offered load** — the client-side send rate is recorded alongside
+  (``send_packets_per_s``); when it sits well above the ingest rate
+  the server was the bottleneck being measured, when the two converge
+  the *client* was and the ingest number is a lower bound.
 
 Run with ``pytest -m serve_smoke benchmarks/bench_serve_ingest.py``.
-The assert floor (``SERVE_SMOKE_MIN_PPS``, default 50k packets/s) is a
-smoke check against order-of-magnitude regressions; the recorded
-number is the real measurement (≈250k packets/s steady-state on the
-development container's single core, jobs=1).
+The assert floor (``SERVE_SMOKE_MIN_PPS``, default 150k packets/s) is
+a smoke check against order-of-magnitude regressions; the recorded
+number is the real measurement (≈650k packets/s steady-state on the
+development container, whose single core runs server parent, four
+shard workers, and all client processes time-sliced — an in-process
+single-loop loadgen on the same box peaks ≈860k because it skips the
+cross-process scheduling tax).
 """
 
 import asyncio
+import functools
 import hashlib
 import os
 
 import pytest
 
 from repro.analysis.classify import IncrementalClassifier, verdict_row_bytes
-from repro.serve.loadgen import run_loadgen
+from repro.serve.loadgen import run_loadgen_processes
 from repro.serve.server import ServeConfig, TraceAnalysisServer
 from repro.trace.columnar import ColumnarTrace
 from repro.trace.persist import load_trace, save_trace
@@ -37,15 +50,33 @@ except ImportError:  # running with benchmarks/ itself on sys.path
     from bench_internal_performance import _record_stage
 
 SESSIONS = 32
-TRIAL_PACKETS = 5_000
+PROCESSES = 4
+JOBS = 4
+REPEATS = 2
+TRIAL_PACKETS = 20_000
 CHUNK_RECORDS = 4_096
-MIN_PPS = float(os.environ.get("SERVE_SMOKE_MIN_PPS", "50000"))
+MIN_PPS = float(os.environ.get("SERVE_SMOKE_MIN_PPS", "150000"))
+
+# SERVE_SMOKE_UVLOOP=1 runs the whole smoke under uvloop: the policy
+# installed here is inherited by the forked loadgen worker processes,
+# so server loop and every client loop all run the fast path.  The
+# assert makes a CI leg that *asked* for uvloop fail loudly if the
+# wheel is missing instead of silently re-testing stock asyncio.
+UVLOOP = bool(os.environ.get("SERVE_SMOKE_UVLOOP"))
+if UVLOOP:
+    from repro.serve import install_uvloop
+
+    assert install_uvloop(explicit=True), (
+        "SERVE_SMOKE_UVLOOP is set but uvloop is not installed "
+        "(pip install 'repro[serve]')"
+    )
 
 
 @pytest.fixture(scope="module")
-def stored_trace(tmp_path_factory) -> ColumnarTrace:
+def stored_trace(tmp_path_factory):
     """A clean office-grade trial, round-tripped through ``.wlt2`` so
-    the benchmark ingests exactly what a stored trace replays."""
+    the benchmark ingests exactly what a stored trace replays.  Yields
+    ``(trace, path)`` — client worker processes load from the path."""
     output = run_fast_trial(
         TrialConfig(
             name="serve-smoke",
@@ -58,7 +89,7 @@ def stored_trace(tmp_path_factory) -> ColumnarTrace:
     save_trace(output.trace, path)
     trace = load_trace(path)
     assert isinstance(trace, ColumnarTrace)
-    return trace
+    return trace, str(path)
 
 
 def _reference(trace: ColumnarTrace) -> tuple[str, dict]:
@@ -70,39 +101,74 @@ def _reference(trace: ColumnarTrace) -> tuple[str, dict]:
     return digest, classifier.count_summary()
 
 
-async def _run_once(trace: ColumnarTrace, sessions: int):
-    server = TraceAnalysisServer(ServeConfig(jobs=1, heartbeat_s=0))
+async def _run_once(trace_path: str, unix_path: str, *, warmup: int):
+    """One server lifetime: jobs=4 ring ingest, external client procs.
+
+    The loadgen runs in a thread (it blocks on a ProcessPoolExecutor)
+    so this loop stays free to serve.
+    """
+    server = TraceAnalysisServer(
+        ServeConfig(
+            unix_path=unix_path,
+            jobs=JOBS,
+            heartbeat_s=0,
+            transport="ring",
+            coalesce_chunks=4,
+        )
+    )
     await server.start()
     try:
-        return await run_loadgen(
-            server.address,
-            trace,
-            sessions=sessions,
-            chunk_records=CHUNK_RECORDS,
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None,
+            functools.partial(
+                run_loadgen_processes,
+                unix_path,
+                trace_path,
+                sessions=SESSIONS,
+                processes=PROCESSES,
+                chunk_records=CHUNK_RECORDS,
+                name="smoke",
+                repeats=REPEATS,
+                warmup=warmup,
+            ),
         )
     finally:
         await server.stop()
 
 
 @pytest.mark.serve_smoke
-def test_serve_ingest_throughput(stored_trace):
-    """32 concurrent sessions: exact verdicts, recorded throughput."""
-    digest, counts = _reference(stored_trace)
+def test_serve_ingest_throughput(stored_trace, tmp_path):
+    """32 sessions from 4 client processes: exact verdicts, recorded
+    server ingest rate and client offered rate."""
+    trace, trace_path = stored_trace
+    digest, counts = _reference(trace)
 
-    # Warm-up (template bank, allocator, branch caches), then best-of.
-    asyncio.run(_run_once(stored_trace, sessions=4))
     best = None
-    for _ in range(2):
-        report = asyncio.run(_run_once(stored_trace, sessions=SESSIONS))
+    for attempt in range(2):
+        report = asyncio.run(
+            _run_once(
+                trace_path,
+                str(tmp_path / f"smoke{attempt}.sock"),
+                # Each server lifetime starts with cold rings and cold
+                # shard matchers; one unmeasured pass pages them in.
+                warmup=1,
+            )
+        )
         if best is None or report.packets_per_s > best.packets_per_s:
             best = report
 
-    expected_records = stored_trace.packets_received * SESSIONS
-    assert len(best.sessions) == SESSIONS
+    expected_sessions = SESSIONS * REPEATS
+    expected_records = trace.packets_received * expected_sessions
+    assert len(best.sessions) == expected_sessions
     assert best.records == expected_records
     for session in best.sessions:
         assert session.summary["verdict_digest"] == digest
         assert session.summary["counts"] == counts
+        # Same-host unix-socket clients must ride the shm ring; a
+        # silent fall back to socket framing is a transport regression
+        # even when the digest still checks out.
+        assert session.ring_used
     # Backpressure invariant: the per-session queue never exceeded its
     # configured bound (well-behaved clients shouldn't even approach it).
     queue_bound = ServeConfig().queue_chunks
@@ -112,11 +178,16 @@ def test_serve_ingest_throughput(stored_trace):
         "serve_ingest",
         {
             "sessions": SESSIONS,
-            "records_per_session": stored_trace.packets_received,
+            "processes": PROCESSES,
+            "jobs": JOBS,
+            "repeats": REPEATS,
+            "records_per_session": trace.packets_received,
             "chunk_records": CHUNK_RECORDS,
             "ingest_wall_s": round(best.wall_s, 4),
             "ingest_packets_per_s": round(best.packets_per_s),
+            "send_packets_per_s": round(best.send_packets_per_s),
             "max_queue_depth": best.max_queue_depth,
+            "uvloop": UVLOOP,
         },
     )
     assert best.packets_per_s >= MIN_PPS

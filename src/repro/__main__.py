@@ -238,8 +238,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="in-flight credit advertised to clients "
                             "(default 4)")
     serve.add_argument("--transport",
-                       choices=("shm", "file", "inline"), default="shm",
-                       help="chunk handoff to pool workers (default shm)")
+                       choices=("ring", "shm", "file", "inline"),
+                       default="ring",
+                       help="chunk handoff to pool workers: ring = "
+                            "per-session shared-memory slot ring, shm = "
+                            "per-chunk shm blocks, file = spill to disk, "
+                            "inline = pickle bytes (default ring)")
+    serve.add_argument("--coalesce-chunks", type=int, default=4,
+                       dest="coalesce_chunks",
+                       help="max queued chunks classified per worker "
+                            "round-trip (1 disables coalescing; "
+                            "default 4)")
+    serve.add_argument("--ring-slots", type=int, default=None,
+                       dest="ring_slots",
+                       help="slots per session ring (default: sized from "
+                            "queue + coalesce + window)")
+    serve.add_argument("--ring-slot-bytes", type=int, default=None,
+                       dest="ring_slot_bytes",
+                       help="bytes per ring slot (default: sized from "
+                            "the first chunk, page-rounded)")
+    serve.add_argument("--uvloop", action="store_true",
+                       help="use uvloop for the event loop (needs the "
+                            "repro[serve] extra; falls back to asyncio "
+                            "with a warning)")
     serve.add_argument("--telemetry", default=None, metavar="FILE",
                        help="write session spans and ingest heartbeats "
                             "as JSONL (tail with `timeline --follow`)")
@@ -258,6 +279,14 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--chunk-records", type=int, default=2048,
                          dest="chunk_records",
                          help="records per CHUNK frame (default 2048)")
+    loadgen.add_argument("--processes", type=int, default=1,
+                         help="client processes driving the load "
+                              "(default 1 = in-process)")
+    loadgen.add_argument("--no-ring", action="store_true",
+                         help="never request the shared-memory slot "
+                              "ring; always send full CHUNK frames")
+    loadgen.add_argument("--uvloop", action="store_true",
+                         help="use uvloop for the client event loop")
     return parser
 
 
@@ -289,8 +318,11 @@ def _cmd_serve(args) -> int:
     """``python -m repro serve`` — run the ingest server until ^C."""
     import asyncio
 
+    from repro.serve import install_uvloop
     from repro.serve.server import ServeConfig, run_server
 
+    if args.uvloop:
+        install_uvloop(explicit=True)
     if args.telemetry is not None:
         try:
             obs.configure(
@@ -307,6 +339,9 @@ def _cmd_serve(args) -> int:
         queue_chunks=args.queue_chunks,
         window_chunks=args.window_chunks,
         transport=args.transport,
+        coalesce_chunks=args.coalesce_chunks,
+        ring_slots=args.ring_slots,
+        ring_slot_bytes=args.ring_slot_bytes,
     )
     try:
         asyncio.run(run_server(config))
@@ -459,12 +494,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "loadgen":
         from repro.serve import loadgen as loadgen_module
 
-        return loadgen_module.main([
+        forwarded = [
             "--connect", args.connect,
             "--trace", args.trace,
             "--sessions", str(args.sessions),
             "--chunk-records", str(args.chunk_records),
-        ])
+            "--processes", str(args.processes),
+        ]
+        if args.no_ring:
+            forwarded.append("--no-ring")
+        if args.uvloop:
+            forwarded.append("--uvloop")
+        return loadgen_module.main(forwarded)
 
     if getattr(args, "compiled", False):
         from repro import compiled as compiled_module

@@ -26,10 +26,15 @@ See docs/OBSERVABILITY.md for the sharding and merge semantics.
 
 from repro.parallel.handoff import (
     PortableClassifiedTrace,
+    RingClient,
+    RingSlotHandle,
+    RingTransport,
     TraceHandle,
+    detach_ring,
     export_block,
     export_classified,
     export_trace,
+    load_ring_slot,
     merge_trace_handles,
     resolve_portable,
 )
@@ -46,11 +51,16 @@ from repro.parallel.shards import find_shards, shard_path
 __all__ = [
     "PersistentPool",
     "PortableClassifiedTrace",
+    "RingClient",
+    "RingSlotHandle",
+    "RingTransport",
     "Task",
     "TaskResult",
     "TraceHandle",
     "default_jobs",
+    "detach_ring",
     "export_block",
+    "load_ring_slot",
     "export_classified",
     "export_trace",
     "maybe_pool",

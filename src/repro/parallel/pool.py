@@ -37,38 +37,83 @@ class PersistentPool:
         with PersistentPool(jobs=4) as pool:
             future = pool.submit(fn, *args)        # concurrent.futures
             value = await pool.run(fn, *args)      # asyncio
+
+    ``sharded=True`` turns the pool into ``jobs`` independent
+    single-worker executors addressed by ``shard=`` on submit/run.
+    A plain executor hands each task to whichever worker frees up
+    first, so per-worker caches (matcher template banks, attached
+    ring segments, classifier state) thrash as a session's chunks
+    wander between processes.  Sticky routing pins everything a
+    session touches to one worker for its whole life — the cache
+    warms once and stays warm.  Submitting without ``shard`` in
+    sharded mode round-robins, for shard-agnostic work.
     """
 
-    def __init__(self, jobs: int) -> None:
+    def __init__(self, jobs: int, sharded: bool = False) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
-        self._executor = ProcessPoolExecutor(
-            max_workers=jobs,
-            mp_context=_pool_context(),
-            initializer=_worker_init,
-            initargs=(None, None, None),
-        )
+        self.sharded = sharded
+        context = _pool_context()
+        if sharded:
+            self._executors = [
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=context,
+                    initializer=_worker_init,
+                    initargs=(None, None, None),
+                )
+                for _ in range(jobs)
+            ]
+        else:
+            self._executors = [
+                ProcessPoolExecutor(
+                    max_workers=jobs,
+                    mp_context=context,
+                    initializer=_worker_init,
+                    initargs=(None, None, None),
+                )
+            ]
+        self._round_robin = 0
         self._closed = False
 
     # ------------------------------------------------------------------
-    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+    def _executor_for(self, shard: Optional[int]) -> ProcessPoolExecutor:
+        if len(self._executors) == 1:
+            return self._executors[0]
+        if shard is None:
+            shard = self._round_robin
+            self._round_robin = (self._round_robin + 1) % self.jobs
+        return self._executors[shard % self.jobs]
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        shard: Optional[int] = None,
+    ) -> Future:
         if self._closed:
             raise RuntimeError("pool is shut down")
-        return self._executor.submit(fn, *args)
+        return self._executor_for(shard).submit(fn, *args)
 
-    async def run(self, fn: Callable[..., Any], *args: Any) -> Any:
+    async def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        shard: Optional[int] = None,
+    ) -> Any:
         """Submit and await without blocking the running event loop."""
         if self._closed:
             raise RuntimeError("pool is shut down")
-        return await asyncio.wrap_future(self.submit(fn, *args))
+        return await asyncio.wrap_future(self.submit(fn, *args, shard=shard))
 
     def shutdown(self, wait: bool = True) -> None:
         """Idempotent teardown; ``wait=True`` drains in-flight work."""
         if self._closed:
             return
         self._closed = True
-        self._executor.shutdown(wait=wait)
+        for executor in self._executors:
+            executor.shutdown(wait=wait)
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "PersistentPool":

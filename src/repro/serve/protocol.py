@@ -61,6 +61,7 @@ class FrameType(enum.IntEnum):
     HELLO = 0x01
     CHUNK = 0x02
     END = 0x03
+    CHUNK_REF = 0x04
     HELLO_OK = 0x81
     ACK = 0x82
     SUMMARY = 0x83
@@ -129,6 +130,95 @@ async def read_frame(
     return frame_type, body[1:]
 
 
+class FrameReader:
+    """Buffered frame decoder for high-rate ingest loops.
+
+    :func:`read_frame` costs two ``readexactly`` awaits per frame —
+    two event-loop round-trips and two bytes-object materializations
+    even when the kernel already has dozens of frames queued.  The
+    reader instead pulls large blocks (``read_bytes`` at a time) into
+    one reusable ``bytearray`` and carves frames out of it, so a burst
+    of buffered chunks costs one syscall and zero per-frame copies.
+
+    The payload comes back as a :class:`memoryview` into the internal
+    buffer, valid **only until the next** :meth:`read_frame` call —
+    the next call releases it and may compact or refill the buffer
+    underneath.  Callers copy out what they keep (into a ring slot, a
+    bytes object, a decoded trace); the hot path copies exactly once,
+    straight to its destination.
+
+    EOF semantics match :func:`read_frame`: ``None`` at a clean frame
+    boundary, :class:`ProtocolError` mid-frame.
+    """
+
+    _COMPACT_BYTES = 1 << 16
+
+    def __init__(
+        self, reader: asyncio.StreamReader, read_bytes: int = 1 << 20
+    ) -> None:
+        self._reader = reader
+        self._read_bytes = read_bytes
+        self._buf = bytearray()
+        self._pos = 0
+        self._view: Optional[memoryview] = None
+
+    async def _fill(self, total: int) -> bool:
+        """Grow the buffer to ``total`` unconsumed bytes; False on EOF."""
+        target = self._pos + total
+        while len(self._buf) < target:
+            data = await self._reader.read(
+                max(self._read_bytes, target - len(self._buf))
+            )
+            if not data:
+                return False
+            self._buf += data
+        return True
+
+    async def read_frame(self) -> Optional[tuple[FrameType, memoryview]]:
+        """Next frame as ``(type, payload_view)``; ``None`` on clean EOF."""
+        if self._view is not None:
+            self._view.release()
+            self._view = None
+        if self._pos:
+            # Compact consumed bytes away — cheap when the buffer is
+            # fully drained (the common case: truncate to empty), lazy
+            # otherwise so back-to-back small frames don't memmove the
+            # tail every call.
+            if self._pos == len(self._buf):
+                del self._buf[:]
+                self._pos = 0
+            elif self._pos >= self._COMPACT_BYTES:
+                del self._buf[: self._pos]
+                self._pos = 0
+        if not await self._fill(_LEN_BYTES):
+            if len(self._buf) - self._pos:
+                raise ProtocolError(
+                    "connection closed mid-frame (inside the length prefix)"
+                )
+            return None
+        length = int.from_bytes(
+            self._buf[self._pos : self._pos + _LEN_BYTES], "big"
+        )
+        if length < 1 or length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"invalid frame length {length}")
+        if not await self._fill(_LEN_BYTES + length):
+            raise ProtocolError(
+                f"connection closed mid-frame "
+                f"({len(self._buf) - self._pos - _LEN_BYTES} of "
+                f"{length} bytes)"
+            )
+        start = self._pos + _LEN_BYTES
+        try:
+            frame_type = FrameType(self._buf[start])
+        except ValueError as exc:
+            raise ProtocolError(
+                f"unknown frame type 0x{self._buf[start]:02x}"
+            ) from exc
+        self._pos = start + length
+        self._view = memoryview(self._buf)[start + 1 : self._pos]
+        return frame_type, self._view
+
+
 # ----------------------------------------------------------------------
 # Control payloads
 # ----------------------------------------------------------------------
@@ -153,8 +243,20 @@ def hello_payload(
     packets_sent: int,
     first_sequence: int = 0,
     total_records: Optional[int] = None,
+    shm_ring: bool = False,
+    chunk_bytes: Optional[int] = None,
 ) -> bytes:
-    """The handshake: everything the matcher needs before frame one."""
+    """The handshake: everything the matcher needs before frame one.
+
+    ``shm_ring=True`` asks the server to grant direct access to the
+    session's shared-memory slot ring (same-host clients only): the
+    grant comes back in HELLO_OK as ``{"ring": {name, slots,
+    slot_bytes}}``, after which the client writes chunk payloads into
+    slots itself and sends tiny :attr:`FrameType.CHUNK_REF` frames in
+    place of full CHUNK payloads — the socket stops carrying frame
+    bytes entirely.  ``chunk_bytes`` (the largest payload the client
+    will send) lets the server size the slots up front.
+    """
     doc = {
         "version": PROTOCOL_VERSION,
         "session": session,
@@ -165,6 +267,10 @@ def hello_payload(
     }
     if total_records is not None:
         doc["total_records"] = total_records
+    if shm_ring:
+        doc["shm_ring"] = True
+    if chunk_bytes is not None:
+        doc["chunk_bytes"] = int(chunk_bytes)
     return encode_json(doc)
 
 
@@ -183,6 +289,26 @@ def parse_hello(payload: bytes) -> dict:
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"HELLO carries a malformed spec: {exc}") from exc
     return doc
+
+
+def chunk_ref_payload(slot: int, nbytes: int) -> bytes:
+    """A CHUNK_REF frame body: the chunk is already in ring slot
+    ``slot`` (first ``nbytes`` bytes), written there by the client."""
+    return encode_json({"slot": int(slot), "nbytes": int(nbytes)})
+
+
+def parse_chunk_ref(payload: Union[bytes, memoryview]) -> tuple[int, int]:
+    doc = decode_json(bytes(payload))
+    try:
+        slot = int(doc["slot"])
+        nbytes = int(doc["nbytes"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed CHUNK_REF: {exc}") from exc
+    if slot < 0 or nbytes < 1:
+        raise ProtocolError(
+            f"CHUNK_REF out of range (slot={slot}, nbytes={nbytes})"
+        )
+    return slot, nbytes
 
 
 # ----------------------------------------------------------------------

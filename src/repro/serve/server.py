@@ -4,10 +4,11 @@ One :class:`TraceAnalysisServer` owns a listening socket (TCP or unix),
 a persistent worker pool, and any number of live client sessions.  Per
 session the data path is::
 
-    socket -> read_frame -> bounded asyncio.Queue -> consumer
-           -> classify chunk (inline thread, or pool worker via a
-              shared-memory TraceHandle)
-           -> merge running verdict counts/digest -> ACK
+    socket -> FrameReader -> ring-slot lease -> bounded asyncio.Queue
+           -> consumer (coalesces all ready chunks into one batch)
+           -> classify batch (inline thread, or the session's sticky
+              pool shard via reusable shared-memory ring slots)
+           -> merge running verdict counts/digest -> per-chunk ACKs
 
 **Backpressure.**  The queue between the socket reader and the
 consumer is bounded (``queue_chunks``); when it fills, the reader
@@ -16,17 +17,32 @@ so kernel buffers fill and TCP flow control pushes back on the client.
 On top of that the handshake advertises ``window_chunks`` and the
 server ACKs every classified chunk, so a well-behaved client bounds
 its own in-flight data without ever feeling a stall.  Memory per
-session is therefore O(queue_chunks × chunk bytes), independent of
-trace length.
+session is therefore O(ring slots × slot bytes), independent of trace
+length.
 
-**Sharding.**  With ``jobs > 1`` every chunk classification is shipped
-to a :class:`~repro.parallel.PersistentPool` worker as a
-:class:`~repro.parallel.TraceHandle` (shared-memory by default — the
-chunk payload *is* a v2 columnar block, so it crosses the boundary
-without re-encoding) and comes back as compact verdict columns.
-Sessions progress independently; N sessions saturate N workers.  With
-``jobs <= 1`` chunks classify on a single worker thread, keeping the
-event loop responsive.
+**Sharding and affinity.**  With ``jobs > 1`` the pool runs *sharded*
+(:class:`~repro.parallel.PersistentPool` ``sharded=True``): every
+session is pinned at HELLO to the least-loaded shard and all its
+chunks classify on that one worker.  The worker's matcher cache
+(:data:`_WORKER_MATCHERS`) therefore stays hot for the whole session —
+the template bank builds once at session open, never churns, and the
+per-chunk spec rehash disappears (the parent computes the cache key
+once).  Chunk payloads cross the boundary through the session's
+:class:`~repro.parallel.RingTransport`: a preallocated ring of
+reusable shared-memory slots, one memcpy in, zero per-chunk segment
+creation.  Ring overflow (payload too big, or every slot leased) falls
+back to the one-shot file transport and is **counted loudly** —
+``serve.ring_overflows``, the session summary, and ring stats all
+report it.
+
+**Coalescing.**  The consumer takes everything already queued (up to
+``coalesce_chunks``) and classifies it as one batch: one executor
+round-trip, one classifier pass, one digest update — then per-chunk
+cumulative ACKs so client credit flow is unchanged.  Under load the
+batch naturally grows toward the cap; an idle session degrades to
+batch-of-one with no added latency.  Verdict digests are byte-identical
+either way (:func:`~repro.analysis.classify.verdict_row_bytes` row
+packing is chunking-independent).
 
 **Telemetry.**  When an observability session is active the server
 emits one ``serve.session`` span per completed session (child of one
@@ -42,13 +58,12 @@ from __future__ import annotations
 
 import asyncio
 import os
+import signal
 import time
 from collections import Counter, OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional
-
-import numpy as np
+from typing import Optional, Sequence, Union
 
 from repro import obs
 from repro.analysis.classify import (
@@ -59,7 +74,14 @@ from repro.analysis.classify import (
 from repro.analysis.matching import TraceMatcher
 from repro.obs import resources as _resources
 from repro.obs.spans import derive_span_id
-from repro.parallel.handoff import TraceHandle, export_block
+from repro.parallel.handoff import (
+    RingSlotHandle,
+    RingTransport,
+    TraceHandle,
+    detach_ring,
+    export_block,
+    load_ring_slot,
+)
 from repro.parallel.pool import PersistentPool
 from repro.serve import protocol
 from repro.serve.protocol import FrameType, ProtocolError
@@ -73,10 +95,13 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 0  # 0 = ephemeral; the bound port is in ``address``
     unix_path: Optional[str] = None  # takes precedence over host/port
-    jobs: int = 1  # >1 fans chunk classification across a process pool
+    jobs: int = 1  # >1 fans chunk classification across sharded workers
     queue_chunks: int = 8  # bounded per-session queue (backpressure)
     window_chunks: int = 4  # in-flight credit advertised at handshake
-    transport: str = "shm"  # chunk handoff to workers: shm|file|inline
+    transport: str = "ring"  # chunk handoff: ring|shm|file|inline
+    coalesce_chunks: int = 4  # max ready chunks classified as one batch
+    ring_slots: Optional[int] = None  # None = queue + coalesce + 1
+    ring_slot_bytes: Optional[int] = None  # None = sized off chunk one
     heartbeat_s: float = 1.0  # aggregate heartbeat period (0 = off)
     drain_timeout_s: float = 10.0  # grace for live sessions at stop()
     keep_verdicts: bool = False  # retain per-session verdict columns
@@ -95,13 +120,27 @@ class Session:
     started_unix: float
     records: int = 0
     chunks: int = 0
+    batches: int = 0
     max_queue_depth: int = 0
     counts: Counter = field(default_factory=Counter)
     digest: "object" = None  # running blake2b over verdict rows
     columns: list = field(default_factory=list)  # kept verdict columns
     matcher: Optional[TraceMatcher] = None  # inline-path cache
+    spec_dict: Optional[dict] = None  # computed once at HELLO
+    spec_key: Optional[tuple] = None  # worker matcher-cache key
+    shard: Optional[int] = None  # sticky pool shard (jobs > 1)
+    ring: Optional[RingTransport] = None  # reusable slot transport
+    client_ring: bool = False  # client writes slots itself (CHUNK_REF)
+    ring_overflows: int = 0
+    digest_hex: Optional[str] = None  # worker-side digest, fetched once
+    remote_finished: bool = False  # worker session state retired
     aborted: bool = False
     error: Optional[str] = None
+
+
+#: A queued chunk on its way to classification: a leased ring slot, a
+#: one-shot handle (file/shm/inline fallback), or raw bytes (no pool).
+ChunkItem = Union[RingSlotHandle, TraceHandle, bytes]
 
 
 # ----------------------------------------------------------------------
@@ -132,32 +171,116 @@ def _matcher_for(spec_key: tuple, spec_dict: dict, packets_sent: int) -> TraceMa
     return matcher
 
 
-def _classify_chunk_remote(
-    handle: TraceHandle, spec_dict: dict, packets_sent: int
+def _load_item(item: ChunkItem):
+    """One queued chunk back as a columnar trace (worker side)."""
+    if isinstance(item, RingSlotHandle):
+        return load_ring_slot(item)
+    if isinstance(item, TraceHandle):
+        return item.load()
+    return protocol.decode_chunk(item)
+
+
+#: Worker-side per-session state, keyed by session id.  Sticky
+#: sharding routes every batch of a session to one worker, so the
+#: running verdict digest can live *here* — the verdict columns never
+#: cross the pool boundary at all (the batch result is a few counts),
+#: which at streaming rates saves a pickle + copy of ~22 bytes per
+#: record each way.
+_WORKER_SESSIONS: dict = {}
+
+
+def _worker_session_state() -> dict:
+    import hashlib
+
+    return {"digest": hashlib.blake2b(digest_size=8)}
+
+
+def _session_open_remote(
+    session_id: str, spec_key: tuple, spec_dict: dict, packets_sent: int
+) -> bool:
+    """Warm the shard's matcher cache at HELLO time, off the data path.
+
+    The template bank (the expensive part) builds here, concurrent with
+    the client's first sends, so chunk one classifies at steady-state
+    speed.  Sticky sharding guarantees every later batch of the session
+    finds this entry hot.  The call is fire-and-forget from the parent:
+    the shard executor is single-worker FIFO, so it is guaranteed to
+    run before the session's first batch without the handshake having
+    to wait for a pool round-trip.
+    """
+    _matcher_for(spec_key, spec_dict, packets_sent)
+    _WORKER_SESSIONS[session_id] = _worker_session_state()
+    return True
+
+
+def _batch_feed(
+    items: Sequence[ChunkItem], matcher: TraceMatcher, packets_sent: int
 ) -> dict:
-    """Pool-worker entry: load the chunk block, classify, return
-    compact verdict columns (never per-record object graphs)."""
-    trace = handle.load()
-    spec_key = (tuple(sorted(spec_dict.items())), packets_sent)
-    matcher = _matcher_for(spec_key, spec_dict, packets_sent)
+    """One classifier pass over a coalesced batch of chunks, in order.
+
+    The verdicts come back as one set of compact columns plus
+    per-chunk record counts (so the caller can ACK each chunk
+    individually) and per-class counts.  Never returns per-record
+    object graphs.
+    """
     classifier = IncrementalClassifier(
         matcher.spec, packets_sent, matcher=matcher, collect_packets=False
     )
-    classifier.feed_columnar(trace)
-    return classifier.verdict_columns()
+    chunk_records = []
+    for item in items:
+        trace = _load_item(item)
+        classifier.feed_columnar(trace)
+        chunk_records.append(trace.packets_received)
+    return {
+        "columns": classifier.verdict_columns(),
+        "chunk_records": chunk_records,
+        "batch_records": sum(chunk_records),
+        "counts": {
+            index: classifier.class_counts[cls]
+            for index, cls in enumerate(CLASS_ORDER)
+            if classifier.class_counts.get(cls)
+        },
+    }
 
 
-def _classify_chunk_inline(
-    payload: bytes, matcher: TraceMatcher
+def _classify_batch_remote(
+    session_id: str,
+    spec_key: tuple,
+    spec_dict: dict,
+    packets_sent: int,
+    items: Sequence[ChunkItem],
+    keep_columns: bool = False,
 ) -> dict:
-    """Inline (thread) twin of :func:`_classify_chunk_remote`."""
-    trace = protocol.decode_chunk(payload)
-    classifier = IncrementalClassifier(
-        matcher.spec, matcher.packets_sent, matcher=matcher,
-        collect_packets=False,
-    )
-    classifier.feed_columnar(trace)
-    return classifier.verdict_columns()
+    """Pool-worker entry: warm matcher, feed, fold into session state.
+
+    The verdict digest accumulates worker-side; the columns themselves
+    stay here unless the parent asked to keep them
+    (``ServeConfig.keep_verdicts``).
+    """
+    matcher = _matcher_for(spec_key, spec_dict, packets_sent)
+    result = _batch_feed(items, matcher, packets_sent)
+    state = _WORKER_SESSIONS.get(session_id)
+    if state is None:  # open was lost (pool restart); self-heal
+        state = _WORKER_SESSIONS[session_id] = _worker_session_state()
+    state["digest"].update(verdict_row_bytes(result["columns"]))
+    if not keep_columns:
+        del result["columns"]
+    return result
+
+
+def _session_finish_remote(session_id: str) -> dict:
+    """Retire the worker's session state; returns the final digest."""
+    state = _WORKER_SESSIONS.pop(session_id, None)
+    if state is None:  # session never classified a batch
+        state = _worker_session_state()
+    return {"digest": state["digest"].hexdigest()}
+
+
+def _session_close_remote(ring_name: Optional[str]) -> bool:
+    """Drop the worker's cached ring attachment when a ring dies."""
+    if ring_name is not None:
+        detach_ring(ring_name)
+    return True
 
 
 # ----------------------------------------------------------------------
@@ -176,10 +299,23 @@ class TraceAnalysisServer:
 
     def __init__(self, config: Optional[ServeConfig] = None) -> None:
         self.config = config or ServeConfig()
+        if self.config.transport not in ("ring", "shm", "file", "inline"):
+            raise ValueError(
+                f"unknown transport {self.config.transport!r}"
+            )
         self._server: Optional[asyncio.base_events.Server] = None
         self._pool: Optional[PersistentPool] = None
         self._inline: Optional[ThreadPoolExecutor] = None
         self._sessions: dict[str, Session] = {}
+        self._shard_sessions: list[int] = []
+        # Warm-ring pool, keyed by (slots, slot_bytes).  Creating a
+        # ring is cheap; *touching* it is not — every first write to a
+        # fresh segment faults a zero page in, and at several MB per
+        # slot the faults dominate the whole ingest path.  Rings are
+        # returned here at session close and handed to the next
+        # same-geometry session with their pages (and the workers'
+        # cached attachments) still warm.
+        self._ring_pool: dict[tuple[int, int], list[RingTransport]] = {}
         self._handler_tasks: set[asyncio.Task] = set()
         self._heartbeat_task: Optional[asyncio.Task] = None
         self._accepting = False
@@ -205,7 +341,8 @@ class TraceAnalysisServer:
     async def start(self) -> None:
         config = self.config
         if config.jobs > 1:
-            self._pool = PersistentPool(config.jobs)
+            self._pool = PersistentPool(config.jobs, sharded=True)
+            self._shard_sessions = [0] * config.jobs
         else:
             self._inline = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="serve-classify"
@@ -253,6 +390,10 @@ class TraceAnalysisServer:
             except asyncio.CancelledError:
                 pass
             self._heartbeat_task = None
+        for rings in self._ring_pool.values():
+            for ring in rings:
+                await self._destroy_ring(ring)
+        self._ring_pool.clear()
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
@@ -379,14 +520,22 @@ class TraceAnalysisServer:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
+    def _pick_shard(self) -> int:
+        """Least-loaded shard for a new session (sticky thereafter)."""
+        return min(
+            range(len(self._shard_sessions)),
+            key=self._shard_sessions.__getitem__,
+        )
+
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         import hashlib
 
         config = self.config
+        frames = protocol.FrameReader(reader)
         try:
-            first = await protocol.read_frame(reader)
+            first = await frames.read_frame()
         except ProtocolError as exc:
             await self._send_error(writer, str(exc))
             return
@@ -399,7 +548,7 @@ class TraceAnalysisServer:
             )
             return
         try:
-            hello = protocol.parse_hello(payload)
+            hello = protocol.parse_hello(bytes(payload))
         except ProtocolError as exc:
             await self._send_error(writer, str(exc))
             return
@@ -416,35 +565,73 @@ class TraceAnalysisServer:
             )
             return
 
+        spec = hello["spec"]
+        spec_dict = spec_to_dict(spec)
+        packets_sent = int(hello["packets_sent"])
         session = Session(
             id=session_id,
             name=str(hello["name"]),
-            spec=hello["spec"],
-            packets_sent=int(hello["packets_sent"]),
+            spec=spec,
+            packets_sent=packets_sent,
             first_sequence=int(hello.get("first_sequence", 0)),
             queue=asyncio.Queue(maxsize=config.queue_chunks),
             started_unix=time.time(),
             digest=hashlib.blake2b(digest_size=8),
+            spec_dict=spec_dict,
+            spec_key=(tuple(sorted(spec_dict.items())), packets_sent),
         )
         self._sessions[session.id] = session
+        if self._pool is not None:
+            session.shard = self._pick_shard()
+            self._shard_sessions[session.shard] += 1
+            # Build the shard's template bank now, overlapped with the
+            # client's first sends — chunk one then classifies warm.
+            # Fire-and-forget: the shard is FIFO, so this runs before
+            # the first batch without stalling the handshake on a pool
+            # round-trip.
+            self._pool.submit(
+                _session_open_remote,
+                session.id,
+                session.spec_key,
+                spec_dict,
+                packets_sent,
+                shard=session.shard,
+            ).add_done_callback(lambda f: f.exception())
         started_perf = time.perf_counter()
         span_id = self._next_span_id("serve.session", self._root_span_id)
+        hello_ok = {
+            "session": session.id,
+            "window_chunks": config.window_chunks,
+            "queue_chunks": config.queue_chunks,
+        }
+        if (
+            config.transport == "ring"
+            and hello.get("shm_ring")
+            and int(hello.get("chunk_bytes") or 0) > 0
+        ):
+            # Same-host fast path: grant the client direct slot access.
+            # The client writes chunk payloads into the ring itself and
+            # sends CHUNK_REF frames; the socket stops carrying frame
+            # bytes.  ``chunk_bytes`` (the client's largest payload)
+            # sizes the slots up front.
+            ring = self._ring_for(session, int(hello["chunk_bytes"]))
+            session.client_ring = True
+            hello_ok["ring"] = {
+                "name": ring.name,
+                "slots": ring.slots,
+                "slot_bytes": ring.slot_bytes,
+            }
         protocol.write_frame(
-            writer,
-            FrameType.HELLO_OK,
-            protocol.encode_json({
-                "session": session.id,
-                "window_chunks": config.window_chunks,
-                "queue_chunks": config.queue_chunks,
-            }),
+            writer, FrameType.HELLO_OK, protocol.encode_json(hello_ok)
         )
         await writer.drain()
 
         consumer = asyncio.create_task(self._consume(session, writer))
         try:
-            await self._read_session(reader, session)
+            await self._read_session(frames, session)
         finally:
             await consumer
+            await self._close_session(session)
             self._sessions.pop(session.id, None)
             self._completed_sessions += 1
             state = obs.STATE
@@ -464,14 +651,151 @@ class TraceAnalysisServer:
                     "name": session.name,
                     "records": session.records,
                     "chunks": session.chunks,
+                    "batches": session.batches,
+                    "shard": session.shard,
+                    "ring_overflows": session.ring_overflows,
                     "max_queue_depth": session.max_queue_depth,
                     "aborted": session.aborted,
                 },
                 status="error" if session.error else "ok",
             )
 
+    #: Warm rings kept per geometry; beyond this, closing sessions
+    #: destroy their ring outright.  Sized for the bench's concurrency
+    #: sweet spot; excess rings are only ever untouched pages anyway.
+    _RING_POOL_CAP = 32
+
+    async def _close_session(self, session: Session) -> None:
+        """Release per-session transport state (consumer has exited)."""
+        if (
+            self._pool is not None
+            and session.shard is not None
+            and not session.remote_finished
+        ):
+            # Aborted session: its worker-side digest state was never
+            # fetched; retire it so the worker's table can't grow.
+            self._pool.submit(
+                _session_finish_remote, session.id, shard=session.shard
+            ).add_done_callback(lambda f: f.exception())
+        if session.ring is not None:
+            ring, session.ring = session.ring, None
+            pool = self._ring_pool.setdefault(
+                (ring.slots, ring.slot_bytes), []
+            )
+            if self._accepting and len(pool) < self._RING_POOL_CAP:
+                # Keep it warm for the next same-geometry session; the
+                # workers' cached attachments stay valid because the
+                # segment (and its name) lives on.
+                pool.append(ring)
+            else:
+                await self._destroy_ring(ring)
+        if session.shard is not None and self._shard_sessions:
+            self._shard_sessions[session.shard] -= 1
+
+    async def _destroy_ring(self, ring: RingTransport) -> None:
+        """Drop every process's attachment, then unlink the segment."""
+        if self._pool is not None:
+            for shard in range(self.config.jobs):
+                try:
+                    await self._pool.run(
+                        _session_close_remote, ring.name, shard=shard
+                    )
+                except Exception:  # pragma: no cover - pool dying
+                    pass
+        else:
+            # Inline mode classified in-process; drop this process's
+            # cached attachment before unlinking.
+            detach_ring(ring.name)
+        ring.close()
+
+    # -- chunk staging (reader side) -----------------------------------
+    def _ring_for(self, session: Session, nbytes: int) -> RingTransport:
+        """The session's slot ring, created lazily off chunk one.
+
+        Slot capacity defaults to the first chunk's size plus ~12%
+        headroom (trailing short chunks are smaller, equal-size chunks
+        jitter by a few header bytes), rounded up to 4 KiB pages;
+        slot count covers the full pipeline: everything the queue can
+        hold, a batch in flight, the chunk being staged, and — for
+        client-written rings — the client's full credit window.
+        """
+        if session.ring is None:
+            config = self.config
+            slot_bytes = config.ring_slot_bytes or max(
+                4096, (nbytes + nbytes // 8 + 4095) & ~4095
+            )
+            slots = config.ring_slots or (
+                config.queue_chunks
+                + max(1, config.coalesce_chunks)
+                + config.window_chunks
+                + 1
+            )
+            pool = self._ring_pool.get((slots, slot_bytes))
+            if pool:
+                session.ring = pool.pop()
+                session.ring.reset()
+            else:
+                session.ring = RingTransport(slots, slot_bytes)
+        return session.ring
+
+    def _stage_chunk(
+        self, session: Session, payload: memoryview
+    ) -> ChunkItem:
+        """Copy a CHUNK payload out of the frame buffer, once, into
+        whatever vehicle carries it to classification."""
+        if session.client_ring:
+            # The client normally writes slots itself; a full CHUNK
+            # frame here means its ring overflowed (slot shortage or
+            # oversized payload) — count it exactly like a server-side
+            # overflow and take the slow lane.
+            self._count_overflow(session)
+            if self._pool is None:
+                return bytes(payload)
+            return export_block(bytes(payload), via="file")
+        if self._pool is None:
+            return bytes(payload)
+        transport = self.config.transport
+        if transport == "ring":
+            slot = self._ring_for(session, len(payload)).lease(payload)
+            if slot is not None:
+                return slot
+            # Loud fallback: the one-shot file transport always works,
+            # and every path that can observe the slowdown sees why.
+            self._count_overflow(session)
+            return export_block(bytes(payload), via="file")
+        return export_block(bytes(payload), via=transport)
+
+    @staticmethod
+    def _count_overflow(session: Session) -> None:
+        session.ring_overflows += 1
+        state = obs.STATE
+        if state.enabled:
+            state.metrics.counter("serve.ring_overflows").inc()
+
+    def _resolve_chunk_ref(
+        self, session: Session, payload: memoryview
+    ) -> RingSlotHandle:
+        """Validate a client-written slot reference against the grant."""
+        if not session.client_ring or session.ring is None:
+            raise ProtocolError(
+                "CHUNK_REF without a granted shared-memory ring"
+            )
+        slot, nbytes = protocol.parse_chunk_ref(payload)
+        ring = session.ring
+        if slot >= ring.slots or nbytes > ring.slot_bytes:
+            raise ProtocolError(
+                f"CHUNK_REF out of bounds (slot={slot}, nbytes={nbytes}, "
+                f"ring has {ring.slots} slots of {ring.slot_bytes})"
+            )
+        return RingSlotHandle(
+            ring=ring.name,
+            index=slot,
+            offset=slot * ring.slot_bytes,
+            nbytes=nbytes,
+        )
+
     async def _read_session(
-        self, reader: asyncio.StreamReader, session: Session
+        self, frames: protocol.FrameReader, session: Session
     ) -> None:
         """The socket-side half: frames into the bounded queue.
 
@@ -488,7 +812,7 @@ class TraceAnalysisServer:
         try:
             while True:
                 try:
-                    item = await protocol.read_frame(reader)
+                    item = await frames.read_frame()
                 except ProtocolError as exc:
                     session.aborted = True
                     session.error = str(exc)
@@ -503,7 +827,20 @@ class TraceAnalysisServer:
                     return
                 frame_type, payload = item
                 if frame_type is FrameType.CHUNK:
-                    await session.queue.put(payload)
+                    await session.queue.put(
+                        self._stage_chunk(session, payload)
+                    )
+                    session.max_queue_depth = max(
+                        session.max_queue_depth, session.queue.qsize()
+                    )
+                elif frame_type is FrameType.CHUNK_REF:
+                    try:
+                        handle = self._resolve_chunk_ref(session, payload)
+                    except ProtocolError as exc:
+                        session.aborted = True
+                        session.error = str(exc)
+                        return
+                    await session.queue.put(handle)
                     session.max_queue_depth = max(
                         session.max_queue_depth, session.queue.qsize()
                     )
@@ -518,49 +855,121 @@ class TraceAnalysisServer:
         finally:
             await session.queue.put(None)
 
+    # -- classification (consumer side) --------------------------------
+    @staticmethod
+    def _discard_batch(session: Session, batch: list) -> None:
+        """Give batch resources back without classifying (error paths).
+
+        Server-leased ring slots return to the free list (client-owned
+        slots stay the client's — the session teardown unlinks the
+        whole ring anyway); one-shot handles release best-effort (a
+        worker that already consumed one made its location vanish,
+        which ``release`` treats as done).
+        """
+        for item in batch:
+            if isinstance(item, RingSlotHandle):
+                if session.ring is not None and not session.client_ring:
+                    session.ring.release(item.index)
+            elif isinstance(item, TraceHandle):
+                item.release()
+
     async def _consume(
         self, session: Session, writer: asyncio.StreamWriter
     ) -> None:
-        """The classify-side half: chunks off the queue, in order."""
+        """The classify-side half: coalesced batches off the queue.
+
+        Each wakeup drains every already-queued chunk (up to
+        ``coalesce_chunks``) into one classify call — one executor
+        round-trip and one digest update amortized across the batch —
+        then ACKs each chunk individually so client credit accounting
+        never notices the batching.
+        """
         config = self.config
-        while True:
-            payload = await session.queue.get()
-            if payload is None:
+        state = obs.STATE
+        limit = max(1, config.coalesce_chunks)
+        finished = False
+        while not finished:
+            item = await session.queue.get()
+            if item is None:
                 break
+            batch = [item]
+            while len(batch) < limit:
+                try:
+                    extra = session.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is None:
+                    finished = True
+                    break
+                batch.append(extra)
             try:
-                columns = await self._classify(session, payload)
-            except Exception as exc:  # classification must not kill the loop
+                result = await self._classify_batch(session, batch)
+            except Exception as exc:  # must not kill the drain loop
                 session.aborted = True
                 session.error = f"classification failed: {exc}"
+                self._discard_batch(session, batch)
                 await self._send_error(writer, session.error)
-                continue  # keep draining the queue to unblock the reader
-            codes = columns["class_codes"]
-            session.records += int(codes.shape[0])
-            session.chunks += 1
-            self._total_records += int(codes.shape[0])
-            for code, count in zip(
-                *np.unique(codes, return_counts=True)
-            ):
+                continue  # keep draining to unblock the reader
+            if not session.client_ring:
+                for item in batch:
+                    if isinstance(item, RingSlotHandle):
+                        session.ring.release(item.index)
+            batch_records = int(result["batch_records"])
+            acked_records = session.records
+            session.records += batch_records
+            self._total_records += batch_records
+            session.batches += 1
+            for code, count in result["counts"].items():
                 session.counts[CLASS_ORDER[int(code)]] += int(count)
-            session.digest.update(verdict_row_bytes(columns))
-            if config.keep_verdicts:
-                session.columns.append(columns)
-            try:
-                protocol.write_frame(
-                    writer,
-                    FrameType.ACK,
-                    protocol.encode_json({
-                        "session": session.id,
-                        "records": session.records,
-                        "chunks": session.chunks,
-                    }),
+            if self._pool is None:
+                # Inline mode digests here; pool sessions accumulate
+                # the digest in their sticky worker and hand it back
+                # once at session end.
+                session.digest.update(
+                    verdict_row_bytes(result["columns"])
                 )
+            if config.keep_verdicts:
+                session.columns.append(result["columns"])
+            if state.enabled and len(batch) > 1:
+                state.metrics.counter("serve.coalesced_batches").inc()
+                state.metrics.counter("serve.coalesced_chunks").inc(
+                    len(batch)
+                )
+            try:
+                for item, chunk_records in zip(
+                    batch, result["chunk_records"]
+                ):
+                    session.chunks += 1
+                    acked_records += chunk_records
+                    ack = {
+                        "session": session.id,
+                        "records": acked_records,
+                        "chunks": session.chunks,
+                    }
+                    if session.client_ring and isinstance(
+                        item, RingSlotHandle
+                    ):
+                        # Hand the client its slot back with the ACK.
+                        ack["released"] = [item.index]
+                    protocol.write_frame(
+                        writer, FrameType.ACK, protocol.encode_json(ack)
+                    )
                 await writer.drain()
             except (ConnectionError, OSError):
                 session.aborted = True
                 session.error = "client went away mid-ACK"
         if session.aborted:
             return
+        if self._pool is not None and session.shard is not None:
+            try:
+                finish = await self._pool.run(
+                    _session_finish_remote, session.id,
+                    shard=session.shard,
+                )
+                session.digest_hex = finish["digest"]
+            except Exception:  # pragma: no cover - pool dying
+                session.digest_hex = ""
+            session.remote_finished = True
         try:
             protocol.write_frame(
                 writer, FrameType.SUMMARY, protocol.encode_json(
@@ -573,49 +982,62 @@ class TraceAnalysisServer:
 
     def _summary(self, session: Session) -> dict:
         wall_s = max(time.time() - session.started_unix, 1e-9)
-        return {
+        doc = {
             "session": session.id,
             "name": session.name,
             "records": session.records,
             "chunks": session.chunks,
+            "batches": session.batches,
             "counts": {
                 cls.value: session.counts.get(cls, 0)
                 for cls in CLASS_ORDER
             },
-            "verdict_digest": session.digest.hexdigest(),
+            "verdict_digest": (
+                session.digest_hex
+                if session.digest_hex is not None
+                else session.digest.hexdigest()
+            ),
             "max_queue_depth": session.max_queue_depth,
             "queue_chunks": self.config.queue_chunks,
+            "transport": (
+                self.config.transport if self._pool is not None
+                else "inline"
+            ),
+            "shard": session.shard,
+            "ring_overflows": session.ring_overflows,
             "wall_s": round(wall_s, 6),
             "packets_per_s": round(session.records / wall_s, 1),
         }
+        if session.ring is not None:
+            doc["ring"] = session.ring.stats()
+        return doc
 
-    async def _classify(self, session: Session, payload: bytes) -> dict:
-        """One chunk through the right lane: pool worker or thread."""
+    async def _classify_batch(
+        self, session: Session, batch: list
+    ) -> dict:
+        """One batch through the right lane: sticky shard or thread."""
         if self._pool is not None:
-            handle = export_block(
-                bytes(payload), via=self.config.transport
+            return await self._pool.run(
+                _classify_batch_remote,
+                session.id,
+                session.spec_key,
+                session.spec_dict,
+                session.packets_sent,
+                batch,
+                self.config.keep_verdicts,
+                shard=session.shard,
             )
-            try:
-                return await self._pool.run(
-                    _classify_chunk_remote,
-                    handle,
-                    spec_to_dict(session.spec),
-                    session.packets_sent,
-                )
-            except Exception:
-                handle.release()
-                raise
         if session.matcher is None:
-            spec_dict = spec_to_dict(session.spec)
-            spec_key = (
-                tuple(sorted(spec_dict.items())), session.packets_sent
-            )
             session.matcher = _matcher_for(
-                spec_key, spec_dict, session.packets_sent
+                session.spec_key, session.spec_dict, session.packets_sent
             )
         assert self._inline is not None
         return await asyncio.get_running_loop().run_in_executor(
-            self._inline, _classify_chunk_inline, payload, session.matcher
+            self._inline,
+            _batch_feed,
+            batch,
+            session.matcher,
+            session.packets_sent,
         )
 
     async def _send_error(
@@ -634,7 +1056,14 @@ class TraceAnalysisServer:
 
 async def run_server(config: ServeConfig) -> None:
     """Start, print the address, and serve until cancelled (the CLI
-    entry; SIGINT drains gracefully)."""
+    entry; SIGINT and SIGTERM both drain gracefully).
+
+    SIGTERM matters for the shm ring transport: the segments live in
+    ``/dev/shm`` until :meth:`TraceAnalysisServer.stop` unlinks them,
+    so dying on the default signal action (as under ``systemd stop``
+    or a container runtime's termination grace period) would leak one
+    ring per live-or-pooled session and orphan the shard workers.
+    """
     server = TraceAnalysisServer(config)
     await server.start()
     address = server.address
@@ -644,9 +1073,19 @@ async def run_server(config: ServeConfig) -> None:
         print(
             f"serving on {address[0]}:{address[1]} (jobs={config.jobs})"
         )
+    loop = asyncio.get_running_loop()
+    task = asyncio.current_task()
+    sigterm_hooked = False
+    try:
+        loop.add_signal_handler(signal.SIGTERM, task.cancel)
+        sigterm_hooked = True
+    except (NotImplementedError, ValueError):  # pragma: no cover
+        pass  # non-unix loop, or not on the main thread
     try:
         await server.serve_forever()
     except asyncio.CancelledError:
         pass
     finally:
+        if sigterm_hooked:
+            loop.remove_signal_handler(signal.SIGTERM)
         await server.stop()
