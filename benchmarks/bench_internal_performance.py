@@ -482,6 +482,55 @@ def test_perf_engine_dispatch_overhead():
 
 
 @pytest.mark.bench_smoke
+def test_perf_scenario_compile_overhead():
+    """Compiling a scenario spec must stay noise next to running it.
+
+    Every pool worker re-compiles its scenario from the registry
+    in-process (models don't travel across the pool boundary), so the
+    compiler sits on the per-trial hot path.  The acceptance ceiling is
+    a single compile costing <5% of one experiment-scale trial (Table 4
+    wall trial at scale 0.25, ~3k fast-path packets).  The recorded
+    ``compile_wall_s`` is the total over a fixed 200 compiles —
+    comparable in magnitude to the other stages, so the 25% ``bench
+    diff`` tolerance gates real compiler regressions, not
+    microsecond-scale jitter.
+    """
+    from repro.scenario.compiler import compile_scenario
+    from repro.scenario.registry import REGISTRY
+
+    spec = REGISTRY.get("paper/table4-wall1")
+    compiled = compile_scenario(spec)  # warm imports and caches
+
+    rounds = 200
+    start = time.perf_counter()
+    for _ in range(rounds):
+        compiled = compile_scenario(spec)
+    compile_total_s = time.perf_counter() - start
+    compile_s = compile_total_s / rounds
+
+    packets = max(500, int(12_720 * 0.25))
+    config = compiled.trial_config(name="Wall 1", packets=packets, seed=64)
+    trial_s, _ = _best_of(lambda: run_fast_trial(config), rounds=3)
+
+    overhead = compile_s / trial_s
+    _record_stage(
+        "scenario_compile",
+        {
+            "compiles": rounds,
+            "compile_wall_s": round(compile_total_s, 4),
+            "compile_one_s": round(compile_s, 6),
+            "trial_wall_s": round(trial_s, 4),
+            "packets": packets,
+            "overhead_percent": round(100.0 * overhead, 3),
+        },
+    )
+    assert overhead < 0.05, (
+        f"scenario compile costs {100 * overhead:.2f}% of a trial "
+        f"({compile_s * 1e3:.2f} ms vs {trial_s * 1e3:.1f} ms)"
+    )
+
+
+@pytest.mark.bench_smoke
 def test_bench_json_well_formed():
     """The emitted JSON is parseable and carries the required fields."""
     doc = json.loads(BENCH_JSON.read_text())

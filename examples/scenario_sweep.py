@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Scenario sweep: generate a fleet from the topology DSL and find the
+operating envelope of an office link.
+
+The paper measures a handful of hand-picked setups; the scenario
+compiler makes the whole design space cheap to sweep.  This example:
+
+1. generates a seeded (distance x interior walls x SS phones) grid of
+   20 scenarios with :func:`repro.scenario.generate.grid_fleet`;
+2. runs every link through the experiment engine (``jobs=2`` fans the
+   trials over a process pool — the rows are byte-identical to a
+   serial run);
+3. prints the goodput pareto table: which combinations still carry
+   traffic, and where the link falls off the cliff.
+
+The fingerprint to look for: plaster walls cost ~5 levels each but the
+link stays clean until the level nears the paper's error region
+(below ~8), while a single spread-spectrum phone near the receiver
+destroys goodput at *any* distance — interference, not attenuation, is
+what breaks WaveLAN (Sections 6-7 of the paper).
+
+Run:  python examples/scenario_sweep.py
+"""
+
+from repro.scenario.fleet import render_fleet, run_fleet
+from repro.scenario.generate import grid_fleet
+
+SEED = 1996
+PACKETS = 240
+
+
+def main() -> None:
+    fleet = grid_fleet(packets=PACKETS)
+    print(
+        f"Sweeping {len(fleet)} generated scenarios "
+        f"(distance x walls x phones), {PACKETS} packets each, "
+        f"seed {SEED}:\n"
+    )
+    result = run_fleet(fleet, seed=SEED, jobs=2)
+
+    print(render_fleet(result, pareto=True))
+
+    clean = [row for row in result.rows if row.goodput_percent > 99.0]
+    jammed = [row for row in result.rows if row.goodput_percent < 1.0]
+    print(
+        f"\n{len(clean)} of {len(result.rows)} links are essentially "
+        f"clean; {len(jammed)} are unusable."
+    )
+    worst_clean = min(clean, key=lambda row: row.predicted_level)
+    print(
+        f"Weakest clean link: {worst_clean.scenario} at predicted level "
+        f"{worst_clean.predicted_level:.1f} — attenuation degrades "
+        f"gracefully down to the paper's error region (~8)."
+    )
+    if jammed and all("p1" in row.scenario for row in jammed):
+        print(
+            "Every unusable link has the SS phone present: interference, "
+            "not distance or walls, is what breaks the link."
+        )
+
+
+if __name__ == "__main__":
+    main()

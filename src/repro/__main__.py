@@ -287,6 +287,10 @@ def _build_parser() -> argparse.ArgumentParser:
                               "ring; always send full CHUNK frames")
     loadgen.add_argument("--uvloop", action="store_true",
                          help="use uvloop for the client event loop")
+
+    from repro.scenario import cli as scenario_cli
+
+    scenario_cli.build_parser(commands)
     return parser
 
 
@@ -311,6 +315,8 @@ def _cmd_list() -> int:
           "trace-analysis ingest server")
     print("  loadgen                      replay a stored trace against "
           "a running server")
+    print("  scenario                     declarative topologies: list, "
+          "validate, render, run, export")
     return 0
 
 
@@ -487,6 +493,10 @@ def main(argv: list[str] | None = None) -> int:
         except (OSError, ValueError) as exc:
             print(f"bench: {exc}", file=sys.stderr)
             return 2
+    if args.command == "scenario":
+        from repro.scenario import cli as scenario_cli
+
+        return scenario_cli.main(args)
     if args.command == "convert":
         return _cmd_convert(args.source, args.destination, args.trace_format)
     if args.command == "serve":

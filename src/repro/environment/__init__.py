@@ -13,11 +13,15 @@ from repro.environment.floorplan import FloorPlan, Wall
 from repro.environment.geometry import Point, Segment, segments_intersect
 from repro.environment.materials import (
     CONCRETE_BLOCK_WALL,
+    CONCRETE_FLOOR_SLAB,
+    GLASS_PARTITION,
     HUMAN_BODY,
     INTERIOR_DOOR,
+    MATERIALS_BY_NAME,
     METAL_OBSTACLE,
     PLASTER_MESH_WALL,
     Material,
+    material_named,
 )
 from repro.environment.propagation import (
     AmbientNoise,
@@ -28,9 +32,12 @@ from repro.environment.propagation import (
 __all__ = [
     "AmbientNoise",
     "CONCRETE_BLOCK_WALL",
+    "CONCRETE_FLOOR_SLAB",
     "FloorPlan",
+    "GLASS_PARTITION",
     "HUMAN_BODY",
     "INTERIOR_DOOR",
+    "MATERIALS_BY_NAME",
     "METAL_OBSTACLE",
     "Material",
     "MultipathDip",
@@ -39,5 +46,6 @@ __all__ = [
     "PropagationModel",
     "Segment",
     "Wall",
+    "material_named",
     "segments_intersect",
 ]

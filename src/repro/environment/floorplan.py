@@ -4,8 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Any, Mapping, Sequence
+
 from repro.environment.geometry import Point, Segment, segments_intersect
-from repro.environment.materials import Material
+from repro.environment.materials import Material, material_named
 
 
 @dataclass(frozen=True)
@@ -21,6 +23,21 @@ class Wall:
         cls, ax: float, ay: float, bx: float, by: float, material: Material, name: str = ""
     ) -> "Wall":
         return cls(Segment(Point(ax, ay), Point(bx, by)), material, name)
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "Wall":
+        """Build a wall from a declarative mapping.
+
+        Expected shape: ``{"a": [x, y], "b": [x, y], "material": name}``
+        plus an optional ``"name"``.  Materials resolve by name through
+        :func:`repro.environment.materials.material_named`.
+        """
+        (ax, ay), (bx, by) = spec["a"], spec["b"]
+        return cls.between(
+            float(ax), float(ay), float(bx), float(by),
+            material_named(str(spec["material"])),
+            name=str(spec.get("name", "")),
+        )
 
 
 @dataclass
@@ -64,3 +81,22 @@ class FloorPlan:
     def open_room(cls, name: str = "open room") -> "FloorPlan":
         """A plan with no obstacles (offices, lecture halls in-room)."""
         return cls(name=name)
+
+    @classmethod
+    def from_spec(
+        cls,
+        name: str,
+        walls: Sequence[Mapping[str, Any]] = (),
+        obstacles: Sequence[str] = (),
+    ) -> "FloorPlan":
+        """Build a plan from declarative wall mappings and material names.
+
+        Wall order is preserved (it is part of structural equality with
+        hand-built plans); each ``obstacles`` entry is a material name
+        applied to every path, repeated entries stack.
+        """
+        return cls(
+            name=name,
+            walls=[Wall.from_spec(wall) for wall in walls],
+            extra_obstacles=[material_named(material) for material in obstacles],
+        )

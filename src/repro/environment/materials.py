@@ -40,6 +40,11 @@ INTERIOR_DOOR = Material("interior door", 1.0)
 METAL_OBSTACLE = Material("metal obstacle", 2.5)
 HUMAN_BODY = Material("human body", 6.0)
 GLASS_PARTITION = Material("glass partition", 0.5)
+# Reinforced slab between building storeys.  The paper never measures a
+# floor crossing (every trial is single-storey); the value extrapolates
+# the wall series — a slab is thicker than a concrete-block wall and
+# rebar-meshed like the plaster wall — for the multi-floor scenarios.
+CONCRETE_FLOOR_SLAB = Material("concrete floor slab", 6.5)
 
 ALL_MATERIALS = (
     PLASTER_MESH_WALL,
@@ -48,4 +53,20 @@ ALL_MATERIALS = (
     METAL_OBSTACLE,
     HUMAN_BODY,
     GLASS_PARTITION,
+    CONCRETE_FLOOR_SLAB,
 )
+
+MATERIALS_BY_NAME = {material.name: material for material in ALL_MATERIALS}
+
+
+def material_named(name: str) -> Material:
+    """Look up a material by its declarative-spec name.
+
+    Scenario YAML refers to materials by name; an unknown name lists
+    the valid ones so a typo fails at validation, not mid-trial.
+    """
+    try:
+        return MATERIALS_BY_NAME[name]
+    except KeyError:
+        valid = ", ".join(sorted(MATERIALS_BY_NAME))
+        raise ValueError(f"unknown material {name!r}; valid names: {valid}") from None

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -132,6 +133,50 @@ class PropagationModel:
             ref_level_1ft=ref,
             levels_per_decade=levels_per_decade,
             dips=dips,
+        )
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: Mapping[str, Any],
+        floorplan: FloorPlan | None = None,
+    ) -> "PropagationModel":
+        """Build a model from a declarative calibration mapping.
+
+        Two shapes are accepted:
+
+        * ``{"preset": "lecture_hall"}`` — a named factory calibration
+          (``"lecture_hall"`` or ``"office"``); a ``floorplan`` argument
+          replaces the preset's own plan when given.
+        * ``{"level": L, "at_distance_ft": D}`` with optional
+          ``"levels_per_decade"`` and ``"dips"`` (each dip a mapping of
+          :class:`MultipathDip` fields) — the :meth:`calibrated` anchor
+          form the paper scenarios use.
+        """
+        preset = spec.get("preset")
+        if preset is not None:
+            factories = {"lecture_hall": cls.lecture_hall, "office": cls.office}
+            if preset not in factories:
+                valid = ", ".join(sorted(factories))
+                raise ValueError(
+                    f"unknown propagation preset {preset!r}; valid presets: {valid}"
+                )
+            model = factories[preset]()
+            if floorplan is not None:
+                model.floorplan = floorplan
+            return model
+        missing = [key for key in ("level", "at_distance_ft") if key not in spec]
+        if missing:
+            raise ValueError(
+                "calibration needs 'level' and 'at_distance_ft' (or a 'preset'); "
+                f"missing: {', '.join(missing)}"
+            )
+        return cls.calibrated(
+            level=float(spec["level"]),
+            at_distance_ft=float(spec["at_distance_ft"]),
+            levels_per_decade=float(spec.get("levels_per_decade", 17.5)),
+            floorplan=floorplan,
+            dips=tuple(MultipathDip(**dict(dip)) for dip in spec.get("dips", ())),
         )
 
     @classmethod

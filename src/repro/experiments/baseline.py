@@ -15,10 +15,12 @@ from typing import Optional
 from repro.analysis.metrics import TrialMetrics, analyze_trial
 from repro.analysis.tables import render_metrics_table
 from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
-from repro.experiments.scenarios import office_scenario
 from repro.experiments.tracedir import trial_trace_path
 from repro.trace.persist import save_trace
-from repro.trace.trial import TrialConfig, run_fast_trial
+from repro.trace.trial import run_fast_trial
+
+#: The registered topology all nine trials share.
+SCENARIO = "paper/office"
 
 # The paper's nine office trials and their packet counts (Table 2).
 PAPER_TRIALS: list[tuple[str, int]] = [
@@ -75,21 +77,18 @@ def _run_trial(
 ) -> TrialMetrics:
     """One office trial, self-contained and picklable.
 
-    Rebuilds the (deterministic, RNG-free) scenario in-process rather
-    than shipping model objects to workers; every random stream derives
-    from ``seed``, so the row is identical on any worker or inline.
-    ``trace_dir`` persists the raw trace (capture-then-analyze-offline,
-    like the paper's workflow) as ``<dir>/<name>.wlt2`` columnar or
-    ``<dir>/<name>.jsonl`` v1, per ``trace_format``.
+    Compiles the (deterministic, RNG-free) registered scenario
+    in-process rather than shipping model objects to workers; every
+    random stream derives from ``seed``, so the row is identical on any
+    worker or inline.  ``trace_dir`` persists the raw trace
+    (capture-then-analyze-offline, like the paper's workflow) as
+    ``<dir>/<name>.wlt2`` columnar or ``<dir>/<name>.jsonl`` v1, per
+    ``trace_format``.
     """
-    propagation, tx, rx = office_scenario()
-    config = TrialConfig(
-        name=name,
-        packets=packets,
-        seed=seed,
-        propagation=propagation,
-        tx_position=tx,
-        rx_position=rx,
+    from repro.scenario.registry import REGISTRY
+
+    config = REGISTRY.compile(SCENARIO).trial_config(
+        name=name, packets=packets, seed=seed
     )
     output = run_fast_trial(config)
     if trace_dir is not None:
@@ -154,6 +153,7 @@ def _plans(ctx: PlanContext) -> list[TrialPlan]:
             _run_trial,
             {"name": name, "packets": max(1000, int(paper_count * ctx.scale))},
             traceable=True,
+            scenario=SCENARIO,
         )
         for name, paper_count in PAPER_TRIALS
     ]

@@ -21,10 +21,12 @@ from repro.analysis.signalstats import (
 )
 from repro.analysis.tables import render_metrics_table, render_signal_table
 from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
-from repro.experiments.scenarios import body_scenario
 from repro.experiments.tracedir import trial_trace_path
 from repro.trace.persist import save_trace
-from repro.trace.trial import TrialConfig, run_fast_trial
+from repro.trace.trial import run_fast_trial
+
+#: Trial name -> registered topology (with/without the person in the way).
+TRIAL_SCENARIOS = {"No body": "paper/no-body", "Body": "paper/body"}
 
 PAPER_PACKETS = 1_440
 
@@ -64,15 +66,11 @@ def _run_trial(
     trace_dir: Optional[str] = None,
     trace_format: str = "v2",
 ) -> tuple:
-    """One body trial, picklable; rebuilds the scenario in-process."""
-    propagation, tx, rx = body_scenario(with_body)
-    config = TrialConfig(
-        name=name,
-        packets=packets,
-        seed=seed,
-        propagation=propagation,
-        tx_position=tx,
-        rx_position=rx,
+    """One body trial, picklable; compiles the scenario in-process."""
+    from repro.scenario.registry import REGISTRY
+
+    config = REGISTRY.compile(TRIAL_SCENARIOS[name]).trial_config(
+        name=name, packets=packets, seed=seed
     )
     output = run_fast_trial(config)
     if trace_dir is not None:
@@ -141,6 +139,7 @@ def _plans(ctx: PlanContext) -> list[TrialPlan]:
             _run_trial,
             {"name": name, "with_body": with_body, "packets": packets},
             traceable=True,
+            scenario=TRIAL_SCENARIOS[name],
         )
         for name, with_body in [("No body", False), ("Body", True)]
     ]

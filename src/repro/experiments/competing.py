@@ -23,12 +23,10 @@ from repro.analysis.metrics import TrialMetrics, metrics_from_classified
 from repro.analysis.signalstats import SignalStats, stats_for_packets
 from repro.analysis.tables import render_signal_table
 from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
-from repro.experiments.scenarios import multiroom_scenario
 from repro.experiments.tracedir import trial_trace_path
-from repro.interference.wavelan import CompetingWaveLanTransmitter
-from repro.phy.modem import ModemConfig
+from repro.scenario.builtin import TABLE14_SCENARIOS
 from repro.trace.persist import save_trace
-from repro.trace.trial import TrialConfig, run_fast_trial
+from repro.trace.trial import run_fast_trial
 
 PAPER_PACKETS = 12_715
 MASKING_THRESHOLD = 25
@@ -62,51 +60,24 @@ class CompetingResult:
         raise KeyError(name)
 
 
-def _jammers(layout, victim_threshold: int) -> list[CompetingWaveLanTransmitter]:
-    """The two hostile transmitters at the Tx4 and Tx5 locations.
-
-    Their emitted power is chosen so their received levels at the victim
-    match what Table 6 measured from those locations (13.8 and 9.5).
-    """
-    jammers = []
-    for name, position in (("Tx4", layout.tx4), ("Tx5", layout.tx5)):
-        received = layout.propagation.mean_level(position, layout.rx)
-        distance = max(position.distance_to(layout.rx), 0.25)
-        # Invert the emitter model so level_at(rx) == received.
-        import math
-
-        level_at_1ft = received + 10.0 * math.log10(distance)
-        jammers.append(
-            CompetingWaveLanTransmitter(
-                position=position,
-                level_at_1ft=level_at_1ft,
-                victim_receive_threshold=victim_threshold,
-                name=f"hostile-{name}",
-            )
-        )
-    return jammers
-
-
 def _run_trial(
     name: str,
     packets: int,
     seed: int,
-    threshold: int,
-    jammed: bool,
     trace_dir: Optional[str] = None,
     trace_format: str = "v2",
 ) -> tuple[TrialMetrics, SignalStats]:
-    """One Table-14 trial, self-contained and picklable."""
-    layout = multiroom_scenario()
-    config = TrialConfig(
-        name=name,
-        packets=packets,
-        seed=seed,
-        propagation=layout.propagation,
-        tx_position=layout.tx1,
-        rx_position=layout.rx,
-        modem_config=ModemConfig(receive_threshold=threshold),
-        interference=_jammers(layout, threshold) if jammed else [],
+    """One Table-14 trial, self-contained and picklable.
+
+    Each trial compiles its registered scenario in-process; the victim
+    threshold and the hostile transmitters' matched power levels are
+    declared in the scenario (``match_received_level`` inverts the
+    emitter model so the jammers land at the Table-6 levels).
+    """
+    from repro.scenario.registry import REGISTRY
+
+    config = REGISTRY.compile(TABLE14_SCENARIOS[name]).trial_config(
+        "Tx1", packets=packets, seed=seed, name=name
     )
     output = run_fast_trial(config)
     if trace_dir is not None:
@@ -188,28 +159,22 @@ def _plans(ctx: PlanContext) -> list[TrialPlan]:
     """The masked pair, plus the unmasked "unusable" trial."""
     packets = max(400, int(PAPER_PACKETS * ctx.scale))
     setups = [
-        ("Without interference", packets, MASKING_THRESHOLD, False),
-        ("With interference", packets, MASKING_THRESHOLD, True),
+        ("Without interference", packets),
+        ("With interference", packets),
     ]
     if ctx.extra("include_unusable", True):
         # The paper's first attempt: victim at the default threshold 3,
         # the competition unmasked — "completely unusable".
-        setups.append(
-            ("Unmasked (threshold 3)", min(packets, 1_440), DEFAULT_THRESHOLD, True)
-        )
+        setups.append(("Unmasked (threshold 3)", min(packets, 1_440)))
     return [
         TrialPlan(
             name,
             _run_trial,
-            {
-                "name": name,
-                "packets": count,
-                "threshold": threshold,
-                "jammed": jammed,
-            },
+            {"name": name, "packets": count},
             traceable=True,
+            scenario=TABLE14_SCENARIOS[name],
         )
-        for name, count, threshold, jammed in setups
+        for name, count in setups
     ]
 
 

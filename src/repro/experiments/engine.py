@@ -61,6 +61,12 @@ class TrialPlan:
     in only when the run fans out over a process pool (e.g. a
     ``transport`` asking the plan to hand traces back through a
     shared-memory handle instead of pickling records).
+
+    ``scenario`` names the registered :mod:`repro.scenario` topology the
+    trial runs in.  The engine resolves every tagged name against the
+    scenario registry *before executing anything*, so an unknown
+    scenario fails at plan-build time with the list of valid names —
+    never mid-trial on a pool worker.
     """
 
     name: str
@@ -70,6 +76,7 @@ class TrialPlan:
     seed_label: Optional[str] = None
     traceable: bool = False
     pool_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    scenario: Optional[str] = None
 
     __test__ = False  # not a pytest test class despite the name
 
@@ -250,6 +257,22 @@ def _warn(message: str) -> None:
     print(f"warning: {message}", file=sys.stderr)
 
 
+def _validate_plan_scenarios(plans: Sequence[TrialPlan]) -> None:
+    """Resolve every plan's ``scenario`` tag before execution starts.
+
+    The registry import is deferred: :mod:`repro.scenario` depends on
+    this module for fleet execution, and untagged campaigns should not
+    pay for (or require) the scenario layer at all.
+    """
+    tagged = sorted({p.scenario for p in plans if p.scenario is not None})
+    if not tagged:
+        return
+    from repro.scenario.registry import REGISTRY
+
+    for name in tagged:
+        REGISTRY.get(name)  # raises ScenarioError listing valid names
+
+
 class ExperimentEngine:
     """Executes any registered spec with uniform services."""
 
@@ -306,6 +329,7 @@ class ExperimentEngine:
         ):
             with _obs_runtime.trace_span("engine.plan"):
                 plans = list(spec.build_plans(ctx))
+            _validate_plan_scenarios(plans)
             if jobs > 1 and len(plans) <= 1:
                 _warn(
                     f"experiment '{spec.name}' is a single trial plan; "

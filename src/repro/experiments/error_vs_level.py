@@ -23,7 +23,6 @@ from repro.analysis.signalstats import SignalStats, signal_stats_by_class
 from repro.analysis.tables import render_signal_table
 from repro.environment.geometry import Point
 from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
-from repro.experiments.scenarios import lecture_hall_scenario
 from repro.experiments.tracedir import trial_trace_path
 from repro.parallel import export_trace
 from repro.trace.columnar import ColumnarTrace
@@ -41,6 +40,9 @@ PACKETS_PER_SUBTRIAL = 576
 # Figure 2's reliability boundaries (levels).
 ERROR_REGION_CEILING = 8.0
 RELIABLE_FLOOR = 10.0
+
+#: The registered lecture-hall topology the sub-trials perturb.
+SCENARIO = "paper/lecture-hall"
 
 PAPER_TABLE_3 = {
     "All test packets": dict(packets=8634, level_mean=14.15),
@@ -99,7 +101,9 @@ def _run_subtrial(
     columnar traces, so the ``jobs=1`` and ``jobs=N`` aggregation paths
     are structurally identical.
     """
-    propagation = lecture_hall_scenario()
+    from repro.scenario.registry import REGISTRY
+
+    propagation = REGISTRY.compile(SCENARIO).propagation()
     config = TrialConfig(
         name="distance-aggregate",
         packets=packets,
@@ -219,6 +223,7 @@ def _plans(ctx: PlanContext) -> list[TrialPlan]:
             {"distance": float(distance), "index": index, "packets": packets},
             traceable=True,
             pool_kwargs={"transport": "file"},
+            scenario=SCENARIO,
         )
         for index, distance in enumerate(SUBTRIAL_DISTANCES_FT)
     ]

@@ -20,10 +20,11 @@ left as future work:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
-from repro.analysis.classify import PacketClass
+from repro.analysis.classify import ClassifiedTrace, PacketClass
 from repro.analysis.syndrome import ErrorSyndrome
 from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
 from repro.fec.adaptive import AdaptiveFecController
@@ -241,6 +242,44 @@ def _adaptive_schedule(scenario: str, classified) -> AdaptiveOutcome:
     )
 
 
+def _harvest_tx5(scale: float, seed: int) -> ClassifiedTrace:
+    """Attenuation bursts: the multi-room Tx5 location."""
+    from repro.experiments import multiroom
+
+    return multiroom.run(scale=scale, seed=seed).tx5_classified
+
+
+def _harvest_ss_handset(scale: float, seed: int) -> ClassifiedTrace:
+    """SS-phone jam windows: the "AT&T handset" Table-11 trial."""
+    from repro.experiments import phones_spread
+
+    return phones_spread.run(scale=scale, seed=seed).classified["AT&T handset"]
+
+
+@dataclass(frozen=True)
+class DamageSource:
+    """One damage-heavy scenario the FEC evaluation replays.
+
+    ``scenario`` names the registered topology the source experiment
+    compiles (tagged on the plan, so the engine validates it against
+    the scenario registry at plan-build time); ``harvest`` re-runs that
+    experiment and returns the classified trace to mine for syndromes.
+    """
+
+    scenario: str
+    harvest: Callable[[float, int], ClassifiedTrace]
+
+
+#: Name -> damage source.  Adding a new damage-heavy trial means adding
+#: one entry here — the plans, dispatch, and validation all read it.
+DAMAGE_SOURCES: dict[str, DamageSource] = {
+    "Tx5 attenuation": DamageSource("paper/multiroom", _harvest_tx5),
+    "SS-phone handset": DamageSource(
+        "paper/table11-att-handset", _harvest_ss_handset
+    ),
+}
+
+
 def _run_scenario(
     scenario: str, scale: float, seed: int, syndrome_limit: int
 ) -> tuple[list[RateOutcome], AdaptiveOutcome]:
@@ -251,18 +290,7 @@ def _run_scenario(
     combination, and drives the adaptive controller — so nothing but
     small outcome dataclasses crosses a pool boundary.
     """
-    from repro.experiments import multiroom, phones_spread
-
-    if scenario == "Tx5 attenuation":
-        # Attenuation bursts (multi-room Tx5).
-        classified = multiroom.run(scale=scale, seed=seed).tx5_classified
-    elif scenario == "SS-phone handset":
-        # SS-phone jam windows ("AT&T handset").
-        classified = phones_spread.run(scale=scale, seed=seed).classified[
-            "AT&T handset"
-        ]
-    else:
-        raise ValueError(f"unknown scenario {scenario!r}")
+    classified = DAMAGE_SOURCES[scenario].harvest(scale, seed)
     syndromes = _collect_syndromes(classified, syndrome_limit)
     outcomes = []
     for rate_name in RATE_ORDER:
@@ -281,7 +309,7 @@ def _run_scenario(
     return outcomes, _adaptive_schedule(scenario, classified)
 
 
-SCENARIOS = ("Tx5 attenuation", "SS-phone handset")
+SCENARIOS = tuple(DAMAGE_SOURCES)
 
 
 def _aggregate(ctx: PlanContext, values: list) -> FecEvalResult:
@@ -335,8 +363,16 @@ def _report_lines(report, result: FecEvalResult, scale: float) -> None:
     report_extras={"syndrome_limit": 25},
 )
 def _plans(ctx: PlanContext) -> list[TrialPlan]:
-    """One plan per damage scenario."""
+    """One plan per damage scenario (``extras={"scenarios": [...]}``
+    selects a subset; unknown names fail here, before anything runs)."""
     syndrome_limit = ctx.extra("syndrome_limit", 60)
+    requested = tuple(ctx.extra("scenarios", SCENARIOS))
+    unknown = [name for name in requested if name not in DAMAGE_SOURCES]
+    if unknown:
+        raise ValueError(
+            f"unknown FEC damage scenario(s) {unknown!r}; "
+            f"valid names: {sorted(DAMAGE_SOURCES)}"
+        )
     return [
         TrialPlan(
             scenario,
@@ -346,8 +382,9 @@ def _plans(ctx: PlanContext) -> list[TrialPlan]:
                 "scale": ctx.scale,
                 "syndrome_limit": syndrome_limit,
             },
+            scenario=DAMAGE_SOURCES[scenario].scenario,
         )
-        for scenario in SCENARIOS
+        for scenario in requested
     ]
 
 

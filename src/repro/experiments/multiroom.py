@@ -29,10 +29,12 @@ from repro.analysis.signalstats import (
 )
 from repro.analysis.tables import render_metrics_table, render_signal_table
 from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
-from repro.experiments.scenarios import multiroom_scenario
 from repro.experiments.tracedir import trial_trace_path
 from repro.trace.persist import save_trace
-from repro.trace.trial import TrialConfig, run_fast_trial
+from repro.trace.trial import run_fast_trial
+
+#: The registered Figure-4 topology; its four links are Tx1/Tx2/Tx4/Tx5.
+SCENARIO = "paper/multiroom"
 
 # Paper packet counts per location (Table 5).
 PAPER_PACKETS = {"Tx1": 12_715, "Tx2": 12_720, "Tx4": 1_440, "Tx5": 1_440}
@@ -69,18 +71,15 @@ def _run_location(
 ) -> tuple:
     """One transmitter location, self-contained and picklable.
 
-    Rebuilds the deterministic layout in-process (models don't travel
-    to workers) and returns everything the result aggregates: metrics
+    Compiles the registered layout in-process (models don't travel to
+    workers) and returns everything the result aggregates: metrics
     row, signal row, and — for Tx5 — the classified trace itself.
+    The location name doubles as the compiled scenario's link name.
     """
-    layout = multiroom_scenario()
-    config = TrialConfig(
-        name=name,
-        packets=packets,
-        seed=seed,
-        propagation=layout.propagation,
-        tx_position=layout.tx_positions()[name],
-        rx_position=layout.rx,
+    from repro.scenario.registry import REGISTRY
+
+    config = REGISTRY.compile(SCENARIO).trial_config(
+        link=name, packets=packets, seed=seed
     )
     output = run_fast_trial(config)
     if trace_dir is not None:
@@ -146,7 +145,6 @@ def _report_lines(report, result: MultiroomResult, scale: float) -> None:
 )
 def _plans(ctx: PlanContext) -> list[TrialPlan]:
     """The four transmitter locations, in layout order."""
-    layout = multiroom_scenario()
     return [
         TrialPlan(
             name,
@@ -156,8 +154,9 @@ def _plans(ctx: PlanContext) -> list[TrialPlan]:
                 "packets": max(400, int(PAPER_PACKETS[name] * ctx.scale)),
             },
             traceable=True,
+            scenario=SCENARIO,
         )
-        for name in layout.tx_positions()
+        for name in PAPER_PACKETS
     ]
 
 

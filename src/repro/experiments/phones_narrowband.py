@@ -26,19 +26,11 @@ from repro.analysis.signalstats import (
     stats_for_packets,
 )
 from repro.analysis.tables import render_signal_table
-from repro.environment.geometry import Point
 from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
-from repro.experiments.scenarios import (
-    PHONE_ACROSS_HALL,
-    PHONE_NEAR,
-    PHONE_NEAR_2,
-    narrowband_phone_room,
-)
 from repro.experiments.tracedir import trial_trace_path
-from repro.interference.narrowband import NarrowbandPhonePair
-from repro.trace.outsiders import OutsiderTraffic
+from repro.scenario.builtin import TABLE10_SCENARIOS
 from repro.trace.persist import save_trace
-from repro.trace.trial import TrialConfig, run_fast_trial
+from repro.trace.trial import run_fast_trial
 
 PAPER_PACKETS = 1_440
 
@@ -52,44 +44,9 @@ PAPER_SILENCE_MEANS = {
 }
 
 
-def _phone_pairs(trial: str) -> list[NarrowbandPhonePair]:
-    """Unit placements for each Table-10 configuration."""
-    across_1 = PHONE_ACROSS_HALL
-    across_2 = Point(PHONE_ACROSS_HALL.x + 2.0, PHONE_ACROSS_HALL.y)
-    if trial == "Phones off":
-        return []
-    if trial == "Cluster":
-        # Handsets docked on their bases, all a few inches away.
-        return [
-            NarrowbandPhonePair(PHONE_NEAR, PHONE_NEAR, name="att-9100"),
-            NarrowbandPhonePair(PHONE_NEAR_2, PHONE_NEAR_2, name="panasonic"),
-        ]
-    if trial == "Handsets nearby":
-        return [
-            NarrowbandPhonePair(PHONE_NEAR, across_1, name="att-9100"),
-            NarrowbandPhonePair(PHONE_NEAR_2, across_2, name="panasonic"),
-        ]
-    if trial == "Handsets nearby talking":
-        return [
-            NarrowbandPhonePair(PHONE_NEAR, across_1, talking=True, name="att-9100"),
-            NarrowbandPhonePair(PHONE_NEAR_2, across_2, talking=True, name="panasonic"),
-        ]
-    if trial == "Bases nearby":
-        return [
-            NarrowbandPhonePair(across_1, PHONE_NEAR, name="att-9100"),
-            NarrowbandPhonePair(across_2, PHONE_NEAR_2, name="panasonic"),
-        ]
-    raise ValueError(f"unknown trial {trial!r}")
-
-
-# Trials where the paper observed outsider packets (low silence level).
-OUTSIDER_TRIALS = {
-    "Phones off": OutsiderTraffic(mean_level=4.7, rate_per_test_packet=0.23),
-    "Handsets nearby talking": OutsiderTraffic(
-        mean_level=7.0, rate_per_test_packet=0.15
-    ),
-}
-
+# Phone placements and outsider traffic per trial now live
+# declaratively in the registry (TABLE10_SCENARIOS names them); the
+# compiled scenarios are pinned equivalent by the golden tests.
 TRIALS = list(PAPER_SILENCE_MEANS)
 
 
@@ -127,16 +84,10 @@ def _run_trial(
     trace_format: str = "v2",
 ) -> tuple[TrialMetrics, SignalStats, SignalStats | None]:
     """One Table-10 configuration, self-contained and picklable."""
-    propagation, tx, rx = narrowband_phone_room()
-    config = TrialConfig(
-        name=trial,
-        packets=packets,
-        seed=seed,
-        propagation=propagation,
-        tx_position=tx,
-        rx_position=rx,
-        interference=_phone_pairs(trial),
-        outsiders=OUTSIDER_TRIALS.get(trial),
+    from repro.scenario.registry import REGISTRY
+
+    config = REGISTRY.compile(TABLE10_SCENARIOS[trial]).trial_config(
+        name=trial, packets=packets, seed=seed
     )
     output = run_fast_trial(config)
     if trace_dir is not None:
@@ -220,6 +171,7 @@ def _plans(ctx: PlanContext) -> list[TrialPlan]:
             _run_trial,
             {"trial": trial, "packets": packets},
             traceable=True,
+            scenario=TABLE10_SCENARIOS[trial],
         )
         for trial in TRIALS
     ]

@@ -26,24 +26,17 @@ from repro.analysis.signalstats import (
     stats_for_packets,
 )
 from repro.analysis.tables import render_signal_table
-from repro.environment.geometry import Point
 from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
-from repro.experiments.scenarios import (
-    PHONE_FAR,
-    PHONE_NEAR,
-    spread_spectrum_room,
-)
 from repro.experiments.tracedir import trial_trace_path
 from repro.framing.testpacket import BODY_BITS
-from repro.interference.spreadspectrum import SpreadSpectrumPhonePair
 from repro.parallel.handoff import (
     PortableClassifiedTrace,
     export_classified,
     resolve_portable,
 )
-from repro.trace.outsiders import OutsiderTraffic
+from repro.scenario.builtin import TABLE11_SCENARIOS
 from repro.trace.persist import save_trace
-from repro.trace.trial import TrialConfig, run_fast_trial
+from repro.trace.trial import run_fast_trial
 
 PAPER_PACKETS = 1_440
 
@@ -59,74 +52,9 @@ PAPER_TABLE_11 = {
 }
 
 
-def _phone(trial: str) -> list[SpreadSpectrumPhonePair]:
-    """Handset/base placement for each Table-11 configuration."""
-    far_base = Point(PHONE_FAR.x + 1.5, PHONE_FAR.y)
-    if trial == "Phones off":
-        return []
-    if trial == "RS base":
-        return [
-            SpreadSpectrumPhonePair(
-                handset_position=PHONE_FAR,
-                base_position=PHONE_NEAR,
-                variant="rs",
-                base_level_at_1ft=31.5,
-                name="rs-et909",
-            )
-        ]
-    if trial == "RS cluster":
-        return [
-            SpreadSpectrumPhonePair(
-                handset_position=Point(-0.4, 0.3),
-                base_position=PHONE_NEAR,
-                variant="rs",
-                base_level_at_1ft=31.5,
-                name="rs-et909",
-            )
-        ]
-    if trial == "AT&T cluster":
-        return [
-            SpreadSpectrumPhonePair(
-                handset_position=Point(-0.4, 0.3),
-                base_position=PHONE_NEAR,
-                variant="att",
-                base_level_at_1ft=33.0,
-                name="att-9300",
-            )
-        ]
-    if trial == "RS remote cluster":
-        return [
-            SpreadSpectrumPhonePair(
-                handset_position=PHONE_FAR,
-                base_position=far_base,
-                variant="rs",
-                base_level_at_1ft=31.5,
-                name="rs-et909",
-            )
-        ]
-    if trial == "AT&T handset":
-        return [
-            SpreadSpectrumPhonePair(
-                handset_position=PHONE_NEAR,
-                base_position=Point(0.0, 30.0),  # across the hall
-                variant="att",
-                base_level_at_1ft=33.0,
-                # The AT&T handset runs hot enough at inches from the
-                # receiver to land in the intermediate-damage regime.
-                handset_level_at_1ft=23.5,
-                name="att-9300",
-            )
-        ]
-    raise ValueError(f"unknown trial {trial!r}")
-
-
-# The quiet trial heard many outsiders (619 of 2008 records).
-OUTSIDER_TRIALS = {
-    "Phones off": OutsiderTraffic(
-        mean_level=5.5, level_sd=2.2, rate_per_test_packet=0.45
-    ),
-}
-
+# Phone placements, power levels, and outsider traffic per trial now
+# live declaratively in the registry (TABLE11_SCENARIOS names them);
+# the compiled scenarios are pinned equivalent by the golden tests.
 TRIALS = list(PAPER_TABLE_11)
 
 
@@ -198,7 +126,7 @@ def _run_trial(
 ) -> _TrialBundle:
     """One Table-11 configuration, self-contained and picklable.
 
-    Rebuilds the deterministic scenario in-process; the bundle is
+    Compiles the registered scenario in-process; the bundle is
     identical whether it runs inline or on a pool worker.  ``transport``
     (``"file"`` / ``"shm"`` / ``"inline"``) exports the classified
     trace as a columnar handoff block instead of returning the live
@@ -206,16 +134,10 @@ def _run_trial(
     ``keep_classified=False`` drops the per-packet output entirely for
     callers that only read the summary tables.
     """
-    propagation, tx, rx = spread_spectrum_room()
-    config = TrialConfig(
-        name=trial,
-        packets=packets,
-        seed=seed,
-        propagation=propagation,
-        tx_position=tx,
-        rx_position=rx,
-        interference=_phone(trial),
-        outsiders=OUTSIDER_TRIALS.get(trial),
+    from repro.scenario.registry import REGISTRY
+
+    config = REGISTRY.compile(TABLE11_SCENARIOS[trial]).trial_config(
+        name=trial, packets=packets, seed=seed
     )
     output = run_fast_trial(config)
     if trace_dir is not None:
@@ -340,6 +262,7 @@ def _plans(ctx: PlanContext) -> list[TrialPlan]:
             },
             traceable=True,
             pool_kwargs={"transport": transport},
+            scenario=TABLE11_SCENARIOS[trial],
         )
         for trial in TRIALS
     ]

@@ -1,29 +1,27 @@
-"""Calibrated scenario definitions shared by the experiment modules.
+"""Legacy scenario constructors — thin adapters over the registry.
 
-Each scenario fixes the geometry/propagation inputs for one of the
-paper's physical setups.  Absolute signal levels differ room to room in
-the paper (antenna orientation, construction, furniture), so scenarios
-anchor their propagation model at the level the paper reports for a
-known distance — the *model* (log-distance + material attenuations +
-per-packet processes) is shared; only the anchor is per-room.  See
-DESIGN.md §3.
+The geometry itself now lives declaratively, exactly once, in
+:mod:`repro.scenario.builtin` (see ``scenarios/`` for the exported
+YAML); the scenario compiler lowers it to the same propagation models,
+floor plans, and positions these constructors used to hand-build.  The
+golden tests in ``tests/scenario/test_golden_equivalence.py`` pin the
+structural equality, so trial results are byte-identical across the
+migration.
+
+These wrappers keep the established call signatures for callers that
+predate the registry (examples, benchmarks, the signal-vs-distance and
+TCP experiments).  New code should resolve scenarios by name::
+
+    from repro.scenario.registry import REGISTRY
+    compiled = REGISTRY.compile("paper/office")
+    config = compiled.trial_config(seed=7)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.environment import (
-    CONCRETE_BLOCK_WALL,
-    FloorPlan,
-    HUMAN_BODY,
-    INTERIOR_DOOR,
-    METAL_OBSTACLE,
-    PLASTER_MESH_WALL,
-    Point,
-    PropagationModel,
-    Wall,
-)
+from repro.environment import Point, PropagationModel
 
 # ----------------------------------------------------------------------
 # Section 5: in-room office and lecture hall
@@ -35,15 +33,21 @@ OFFICE_DISTANCE_FT = 8.0
 
 def office_scenario() -> tuple[PropagationModel, Point, Point]:
     """The Table-2 office: two laptops across a desk."""
-    propagation = PropagationModel.calibrated(
-        level=29.5, at_distance_ft=OFFICE_DISTANCE_FT
+    from repro.scenario.registry import REGISTRY
+
+    compiled = REGISTRY.compile("paper/office")
+    return (
+        compiled.propagation(),
+        compiled.station_point("tx"),
+        compiled.station_point("rx"),
     )
-    return propagation, Point(0.0, 0.0), Point(OFFICE_DISTANCE_FT, 0.0)
 
 
 def lecture_hall_scenario() -> PropagationModel:
     """The Figure-1/2/3 lecture hall, with its multipath dips."""
-    return PropagationModel.lecture_hall()
+    from repro.scenario.registry import REGISTRY
+
+    return REGISTRY.compile("paper/lecture-hall").propagation()
 
 
 # ----------------------------------------------------------------------
@@ -67,32 +71,21 @@ def single_wall_scenarios() -> list[WallTrialSetup]:
     Pair 1: plaster + wire mesh, units 7 ft apart (anchor level 30.58).
     Pair 2: concrete block, 7 ft + ~4 ft extra free space (anchor 28.58).
     """
-    rx = Point(0.0, 0.0)
+    from repro.scenario.builtin import TABLE4_SCENARIOS
+    from repro.scenario.registry import REGISTRY
 
-    air1 = PropagationModel.calibrated(level=30.58, at_distance_ft=7.0)
-    plan1 = FloorPlan(
-        name="plaster office",
-        walls=[Wall.between(3.5, -8.0, 3.5, 8.0, PLASTER_MESH_WALL)],
-    )
-    wall1 = PropagationModel.calibrated(
-        level=30.58, at_distance_ft=7.0, floorplan=plan1
-    )
-
-    air2 = PropagationModel.calibrated(level=28.58, at_distance_ft=11.0)
-    plan2 = FloorPlan(
-        name="concrete office",
-        walls=[Wall.between(5.5, -8.0, 5.5, 8.0, CONCRETE_BLOCK_WALL)],
-    )
-    wall2 = PropagationModel.calibrated(
-        level=28.58, at_distance_ft=11.0, floorplan=plan2
-    )
-
-    return [
-        WallTrialSetup("Air 1", air1, Point(7.0, 0.0), rx),
-        WallTrialSetup("Wall 1", wall1, Point(7.0, 0.0), rx),
-        WallTrialSetup("Air 2", air2, Point(11.0, 0.0), rx),
-        WallTrialSetup("Wall 2", wall2, Point(11.0, 0.0), rx),
-    ]
+    setups = []
+    for trial, scenario in TABLE4_SCENARIOS.items():
+        compiled = REGISTRY.compile(scenario)
+        setups.append(
+            WallTrialSetup(
+                name=trial,
+                propagation=compiled.propagation(),
+                tx=compiled.station_point("tx"),
+                rx=compiled.station_point("rx"),
+            )
+        )
+    return setups
 
 
 # ----------------------------------------------------------------------
@@ -127,29 +120,16 @@ class MultiroomLayout:
 
 
 def multiroom_scenario() -> MultiroomLayout:
-    plan = FloorPlan(name="figure-4 building")
-    # West: one concrete wall between the office and Tx2's room.
-    plan.add_wall(Wall.between(-5.0, -6.0, -5.0, 6.0, CONCRETE_BLOCK_WALL, "w-wall"))
-    # North corridor toward Tx4: two concrete walls and a door.
-    plan.add_wall(Wall.between(-8.0, 15.0, 8.0, 15.0, CONCRETE_BLOCK_WALL, "n-wall-1"))
-    plan.add_wall(Wall.between(-8.0, 32.0, 8.0, 32.0, INTERIOR_DOOR, "n-door"))
-    # East toward Tx5: two concrete walls and two metal obstacles + door.
-    plan.add_wall(Wall.between(5.0, -3.0, 5.0, 3.0, CONCRETE_BLOCK_WALL, "e-wall-1"))
-    plan.add_wall(Wall.between(12.0, -3.0, 12.0, 3.0, CONCRETE_BLOCK_WALL, "e-wall-2"))
-    plan.add_wall(Wall.between(18.0, -3.0, 18.0, 3.0, METAL_OBSTACLE, "e-cabinet-1"))
-    plan.add_wall(Wall.between(22.0, -3.0, 22.0, 3.0, METAL_OBSTACLE, "e-cabinet-2"))
-    plan.add_wall(Wall.between(26.0, -3.0, 26.0, 3.0, INTERIOR_DOOR, "e-door"))
+    from repro.scenario.registry import REGISTRY
 
-    propagation = PropagationModel.calibrated(
-        level=28.58, at_distance_ft=9.0, floorplan=plan
-    )
+    compiled = REGISTRY.compile("paper/multiroom")
     return MultiroomLayout(
-        propagation=propagation,
-        rx=Point(0.0, 0.0),
-        tx1=Point(7.2, 5.4),  # 9.0 ft diagonal, same office
-        tx2=Point(-9.6, 0.0),  # through the west concrete wall
-        tx4=Point(0.0, 45.0),  # north, 45 ft, wall + door
-        tx5=Point(30.0, 0.0),  # east, 30 ft, walls + metal
+        propagation=compiled.propagation(),
+        rx=compiled.station_point("rx"),
+        tx1=compiled.station_point("Tx1"),
+        tx2=compiled.station_point("Tx2"),
+        tx4=compiled.station_point("Tx4"),
+        tx5=compiled.station_point("Tx5"),
     )
 
 
@@ -165,17 +145,14 @@ def body_scenario(with_body: bool) -> tuple[PropagationModel, Point, Point]:
     (Table 9, "No body"); the interposed person costs the measured ~6
     levels (:data:`repro.environment.materials.HUMAN_BODY`).
     """
-    plan = FloorPlan(name="hallway classrooms")
-    plan.add_wall(Wall.between(15.0, -10.0, 15.0, 10.0, CONCRETE_BLOCK_WALL))
-    plan.add_wall(Wall.between(40.0, -10.0, 40.0, 10.0, CONCRETE_BLOCK_WALL))
-    if with_body:
-        plan.add_obstacle(HUMAN_BODY)
-    propagation = PropagationModel.calibrated(
-        level=12.55 + 2.0 * CONCRETE_BLOCK_WALL.attenuation_levels,
-        at_distance_ft=56.0,
-        floorplan=plan,
+    from repro.scenario.registry import REGISTRY
+
+    compiled = REGISTRY.compile("paper/body" if with_body else "paper/no-body")
+    return (
+        compiled.propagation(),
+        compiled.station_point("tx"),
+        compiled.station_point("rx"),
     )
-    return propagation, Point(56.0, 0.0), Point(0.0, 0.0)
 
 
 # ----------------------------------------------------------------------
@@ -186,18 +163,31 @@ def body_scenario(with_body: bool) -> tuple[PropagationModel, Point, Point]:
 def narrowband_phone_room() -> tuple[PropagationModel, Point, Point]:
     """Table 10: units ~20 ft apart in a large lecture hall
     (test-packet level ≈ 26.7)."""
-    propagation = PropagationModel.calibrated(level=26.71, at_distance_ft=20.0)
-    return propagation, Point(20.0, 0.0), Point(0.0, 0.0)
+    from repro.scenario.registry import REGISTRY
+
+    compiled = REGISTRY.compile("paper/table10-phones-off")
+    return (
+        compiled.propagation(),
+        compiled.station_point("tx"),
+        compiled.station_point("rx"),
+    )
 
 
 def spread_spectrum_room() -> tuple[PropagationModel, Point, Point]:
     """Tables 11-13: units ~25 ft apart in a conference room
     (test-packet level ≈ 29.6)."""
-    propagation = PropagationModel.calibrated(level=29.63, at_distance_ft=25.0)
-    return propagation, Point(25.0, 0.0), Point(0.0, 0.0)
+    from repro.scenario.registry import REGISTRY
+
+    compiled = REGISTRY.compile("paper/table11-phones-off")
+    return (
+        compiled.propagation(),
+        compiled.station_point("tx"),
+        compiled.station_point("rx"),
+    )
 
 
-# Positions used by the phone trials, relative to the receiver at origin.
+# Positions used by the phone trials, relative to the receiver at origin
+# (canonical values in :mod:`repro.scenario.builtin`).
 PHONE_NEAR = Point(0.4, 0.3)  # "a few inches from the receiver's modem unit"
 PHONE_NEAR_2 = Point(-0.4, 0.3)  # the second phone's unit, also clustered
 PHONE_ACROSS_HALL = Point(0.0, 30.0)  # "an office across the hall"

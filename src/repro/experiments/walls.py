@@ -16,10 +16,10 @@ from repro.analysis.metrics import TrialMetrics, metrics_from_classified
 from repro.analysis.signalstats import SignalStats, stats_for_packets
 from repro.analysis.tables import render_signal_table
 from repro.experiments.engine import ENGINE, PlanContext, TrialPlan, experiment
-from repro.experiments.scenarios import single_wall_scenarios
 from repro.experiments.tracedir import trial_trace_path
+from repro.scenario.builtin import TABLE4_SCENARIOS
 from repro.trace.persist import save_trace
-from repro.trace.trial import TrialConfig, run_fast_trial
+from repro.trace.trial import run_fast_trial
 
 # Table 4 ran 12,720 packets per trial (~10^8 body bits).
 PAPER_PACKETS = 12_720
@@ -51,16 +51,12 @@ def _run_wall(
     trace_dir: Optional[str] = None,
     trace_format: str = "v2",
 ) -> tuple[TrialMetrics, SignalStats]:
-    """One wall trial, picklable: rebuilds the named scenario in-process."""
-    setup = next(s for s in single_wall_scenarios() if s.name == name)
-    config = TrialConfig(
-        name=setup.name,
-        packets=packets,
-        seed=seed,
-        propagation=setup.propagation,
-        tx_position=setup.tx,
-        rx_position=setup.rx,
-    )
+    """One wall trial, picklable: compiles the registered scenario
+    in-process (registry names pinned in ``TABLE4_SCENARIOS``)."""
+    from repro.scenario.registry import REGISTRY
+
+    compiled = REGISTRY.compile(TABLE4_SCENARIOS[name])
+    config = compiled.trial_config(name=name, packets=packets, seed=seed)
     output = run_fast_trial(config)
     if trace_dir is not None:
         save_trace(
@@ -71,7 +67,7 @@ def _run_wall(
     classified = classify_trace(output.trace)
     return (
         metrics_from_classified(classified),
-        stats_for_packets(setup.name, classified.test_packets),
+        stats_for_packets(name, classified.test_packets),
     )
 
 
@@ -121,15 +117,16 @@ def _plans(ctx: PlanContext) -> list[TrialPlan]:
     """One plan per wall setup (two air references, two walls)."""
     return [
         TrialPlan(
-            setup.name,
+            trial,
             _run_wall,
             {
-                "name": setup.name,
+                "name": trial,
                 "packets": max(500, int(PAPER_PACKETS * ctx.scale)),
             },
             traceable=True,
+            scenario=scenario,
         )
-        for setup in single_wall_scenarios()
+        for trial, scenario in TABLE4_SCENARIOS.items()
     ]
 
 

@@ -1,0 +1,261 @@
+"""Scenario generators: fleets of specs from sweeps, seeds, and floors.
+
+Three families:
+
+* :func:`grid_fleet` — the cartesian sweep (distance × wall count ×
+  interferer count) behind ``scenario run --generate grid`` and
+  ``examples/scenario_sweep.py``;
+* :func:`random_fleet` — seeded random office layouts via
+  ``numpy.random.SeedSequence`` spawning, so the same seed always
+  yields the identical fleet (and ``jobs=N`` equals ``jobs=1``);
+* :func:`stack_floors` / :func:`dense_office` — the composition
+  helpers behind the ``demo/three-floor`` and ``demo/dense-office``
+  built-ins.
+
+Generators emit plain :class:`~repro.scenario.spec.ScenarioSpec`
+values — already validated, ready for the compiler or the fleet
+runner, YAML-exportable like any hand-written scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.scenario.spec import ScenarioBuilder, ScenarioSpec
+
+#: Anchor shared by generated office scenarios: the paper's Table-2
+#: office measurement (level 29.5 at 8 ft).
+OFFICE_ANCHOR_LEVEL = 29.5
+OFFICE_ANCHOR_DISTANCE_FT = 8.0
+
+DEFAULT_DISTANCES_FT = (8.0, 16.0, 24.0, 32.0, 40.0)
+DEFAULT_WALL_COUNTS = (0, 2)
+DEFAULT_INTERFERER_COUNTS = (0, 1)
+
+
+def _office_builder(name: str, description: str) -> ScenarioBuilder:
+    return ScenarioBuilder(name, description).calibrate(
+        level=OFFICE_ANCHOR_LEVEL, at_distance_ft=OFFICE_ANCHOR_DISTANCE_FT
+    )
+
+
+def grid_fleet(
+    distances_ft: Sequence[float] = DEFAULT_DISTANCES_FT,
+    wall_counts: Sequence[int] = DEFAULT_WALL_COUNTS,
+    interferer_counts: Sequence[int] = DEFAULT_INTERFERER_COUNTS,
+    packets: int = 1_440,
+    prefix: str = "sweep",
+) -> list[ScenarioSpec]:
+    """The cartesian sweep: one office-anchored scenario per cell.
+
+    Walls are plaster partitions evenly spaced between tx and rx;
+    interferers are spread-spectrum phones clustered near the receiver
+    (the paper's worst case).  The defaults yield 5 × 2 × 2 = 20
+    scenarios — the fleet the CI smoke job executes end-to-end.
+    """
+    fleet: list[ScenarioSpec] = []
+    for distance in distances_ft:
+        for walls in wall_counts:
+            for phones in interferer_counts:
+                name = f"{prefix}/d{distance:g}-w{walls}-p{phones}"
+                builder = _office_builder(
+                    name,
+                    f"{distance:g} ft link, {walls} plaster wall(s), "
+                    f"{phones} SS phone(s)",
+                )
+                builder.station("tx", distance, 0.0, role="tx")
+                builder.station("rx", 0.0, 0.0, role="rx")
+                for index in range(walls):
+                    x = distance * (index + 1) / (walls + 1)
+                    builder.wall(
+                        x, -8.0, x, 8.0, "plaster+wire-mesh wall",
+                        name=f"partition-{index + 1}",
+                    )
+                for index in range(phones):
+                    builder.interferer(
+                        "spread_phone",
+                        handset=(0.4 + 0.3 * index, 0.3),
+                        base=(0.4 + 0.3 * index, 1.8),
+                        name=f"ss-phone-{index + 1}",
+                    )
+                fleet.append(builder.traffic(packets=packets).build())
+    return fleet
+
+
+def random_fleet(
+    count: int,
+    seed: int = 0,
+    packets: int = 1_440,
+    prefix: str = "random",
+) -> list[ScenarioSpec]:
+    """``count`` seeded random office layouts.
+
+    Each scenario draws from its own ``SeedSequence.spawn`` child, so
+    the fleet is a pure function of ``(count, seed)`` — scenario ``i``
+    is identical whether the fleet has 5 members or 500, and reruns
+    reproduce it byte-for-byte.
+    """
+    children = np.random.SeedSequence(seed).spawn(count)
+    fleet: list[ScenarioSpec] = []
+    for index, child in enumerate(children):
+        rng = np.random.default_rng(child)
+        room_w = float(rng.uniform(20.0, 60.0))
+        room_h = float(rng.uniform(15.0, 40.0))
+        builder = _office_builder(
+            f"{prefix}/{seed}-{index:03d}",
+            f"random layout {index} "
+            f"({room_w:.0f} x {room_h:.0f} ft, seed {seed})",
+        )
+        builder.station(
+            "rx",
+            float(rng.uniform(2.0, room_w / 2.0)),
+            float(rng.uniform(2.0, room_h - 2.0)),
+            role="rx",
+        )
+        builder.station(
+            "tx",
+            float(rng.uniform(room_w / 2.0, room_w - 2.0)),
+            float(rng.uniform(2.0, room_h - 2.0)),
+            role="tx",
+        )
+        for wall_index in range(int(rng.integers(0, 3))):
+            x = float(rng.uniform(room_w * 0.25, room_w * 0.75))
+            material = (
+                "plaster+wire-mesh wall"
+                if rng.random() < 0.5
+                else "concrete-block wall"
+            )
+            builder.wall(
+                x, 0.0, x, room_h, material, name=f"wall-{wall_index + 1}"
+            )
+        if rng.random() < 0.5:
+            builder.interferer(
+                "spread_phone",
+                handset=(
+                    float(rng.uniform(0.0, room_w)),
+                    float(rng.uniform(0.0, room_h)),
+                ),
+                base=(
+                    float(rng.uniform(0.0, room_w)),
+                    float(rng.uniform(0.0, room_h)),
+                ),
+                name="ss-phone",
+            )
+        fleet.append(builder.traffic(packets=packets).build())
+    return fleet
+
+
+def stack_floors(
+    floors: int = 3,
+    name: str = "demo/three-floor",
+    description: str = "",
+    floor_height_ft: float = 10.0,
+    packets: int = 1_440,
+) -> ScenarioSpec:
+    """A multi-storey building: one access point on the middle floor,
+    one station per storey.  Cross-floor links pay one concrete slab
+    per storey crossed (see the compiler's cross-floor lowering)."""
+    middle = floors // 2
+    builder = (
+        ScenarioBuilder(
+            name,
+            description
+            or f"{floors}-floor building, AP on floor {middle}",
+        )
+        .floor_height(floor_height_ft)
+        .calibrate(
+            level=OFFICE_ANCHOR_LEVEL, at_distance_ft=OFFICE_ANCHOR_DISTANCE_FT
+        )
+        .station("ap", 0.0, 0.0, role="ap", floor=middle)
+    )
+    for floor in range(floors):
+        builder.station(
+            f"sta-f{floor}", 12.0, 6.0, role="sta", floor=floor
+        )
+    return builder.traffic(packets=packets).build()
+
+
+def dense_office(
+    stations: int = 50,
+    name: str = "demo/dense-office",
+    description: str = "",
+    seed: int = 1996,
+    packets: int = 1_440,
+) -> ScenarioSpec:
+    """A dense office floor: ``stations`` seeded desk positions, two
+    access points, and two interior plaster partitions.  Every station
+    links to its nearest AP (the compiler's default pairing)."""
+    room_w, room_h = 60.0, 30.0
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    builder = (
+        ScenarioBuilder(
+            name,
+            description or f"{stations}-station dense office, two APs",
+        )
+        .room("dense office")
+        .calibrate(
+            level=OFFICE_ANCHOR_LEVEL, at_distance_ft=OFFICE_ANCHOR_DISTANCE_FT
+        )
+        .wall(20.0, 0.0, 20.0, 22.0, "plaster+wire-mesh wall", name="part-1")
+        .wall(40.0, 8.0, 40.0, 30.0, "plaster+wire-mesh wall", name="part-2")
+        .station("ap-west", 15.0, 15.0, role="ap")
+        .station("ap-east", 45.0, 15.0, role="ap")
+    )
+    for index in range(stations):
+        builder.station(
+            f"desk-{index:02d}",
+            float(rng.uniform(1.0, room_w - 1.0)),
+            float(rng.uniform(1.0, room_h - 1.0)),
+            role="sta",
+        )
+    return builder.traffic(packets=packets).build()
+
+
+def interferer_pareto_fleet(
+    phone_distances_ft: Sequence[float] = (1.0, 4.0, 8.0, 14.0, 22.0),
+    link_distance_ft: float = 25.0,
+    packets: int = 1_440,
+    prefix: str = "pareto",
+) -> list[ScenarioSpec]:
+    """The interferer pareto sweep: a fixed 25 ft link with one
+    spread-spectrum phone base stepped away from the receiver — the
+    goodput-vs-phone-distance frontier of Table 11's worst case."""
+    fleet: list[ScenarioSpec] = []
+    for distance in phone_distances_ft:
+        name = f"{prefix}/phone-at-{distance:g}ft"
+        fleet.append(
+            ScenarioBuilder(
+                name, f"SS phone base {distance:g} ft from the receiver"
+            )
+            .calibrate(level=29.63, at_distance_ft=25.0)
+            .station("tx", link_distance_ft, 0.0, role="tx")
+            .station("rx", 0.0, 0.0, role="rx")
+            .interferer(
+                "spread_phone",
+                handset=(distance, 1.5),
+                base=(distance, 0.0),
+                name="ss-phone",
+            )
+            .traffic(packets=packets)
+            .build()
+        )
+    return fleet
+
+
+def fleet_names(fleet: Sequence[ScenarioSpec]) -> list[str]:
+    return [spec.name for spec in fleet]
+
+
+__all__ = [
+    "DEFAULT_DISTANCES_FT",
+    "DEFAULT_INTERFERER_COUNTS",
+    "DEFAULT_WALL_COUNTS",
+    "dense_office",
+    "fleet_names",
+    "grid_fleet",
+    "interferer_pareto_fleet",
+    "random_fleet",
+    "stack_floors",
+]

@@ -1,0 +1,113 @@
+"""The scenario registry: names → specs → cached compilations.
+
+``REGISTRY`` is the process-wide instance, preloaded with every
+built-in paper scenario (:mod:`repro.scenario.builtin`).  Experiment
+modules resolve their geometry through it, the engine validates
+``TrialPlan.scenario`` tags against it before executing anything, and
+the CLI's ``scenario`` subcommands enumerate it.
+
+Lookup failures are loud and listing: an unknown name raises
+:class:`ScenarioError` naming every registered scenario, so a typo in
+a plan tag or a CLI argument fails at plan-build time — never
+mid-trial on a pool worker.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.scenario.builtin import builtin_specs
+from repro.scenario.compiler import CompiledScenario, compile_scenario
+from repro.scenario.spec import ScenarioError, ScenarioSpec
+
+
+class ScenarioRegistry:
+    """An ordered name → :class:`ScenarioSpec` map with a compile cache."""
+
+    def __init__(self, specs: Iterable[ScenarioSpec] = ()) -> None:
+        self._specs: dict[str, ScenarioSpec] = {}
+        self._compiled: dict[str, CompiledScenario] = {}
+        for spec in specs:
+            self.register(spec)
+
+    # ------------------------------------------------------------------
+    def register(
+        self, spec: ScenarioSpec, replace: bool = False
+    ) -> ScenarioSpec:
+        """Add a validated spec; duplicate names are errors unless
+        ``replace`` (re-registering invalidates the compile cache)."""
+        spec.validate()
+        if spec.name in self._specs and not replace:
+            raise ScenarioError(
+                f"scenario {spec.name!r} is already registered"
+            )
+        self._specs[spec.name] = spec
+        self._compiled.pop(spec.name, None)
+        return spec
+
+    def get(self, name: str) -> ScenarioSpec:
+        """The named spec, or a ScenarioError listing every valid name."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            valid = ", ".join(self.names()) or "(none registered)"
+            raise ScenarioError(
+                f"unknown scenario {name!r}; valid names: {valid}"
+            ) from None
+
+    def compile(self, name: str) -> CompiledScenario:
+        """The named scenario, compiled (cached per registry entry)."""
+        if name not in self._compiled:
+            self._compiled[name] = compile_scenario(self.get(name))
+        return self._compiled[name]
+
+    def names(self) -> list[str]:
+        """Registered names, in registration (= presentation) order."""
+        return list(self._specs)
+
+    def specs(self) -> list[ScenarioSpec]:
+        return list(self._specs.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    # ------------------------------------------------------------------
+    def load_file(
+        self, path: Union[str, Path], replace: bool = False
+    ) -> ScenarioSpec:
+        """Register one scenario from a YAML file."""
+        from repro.scenario.yamlio import load_file
+
+        return self.register(load_file(path), replace=replace)
+
+    def load_dir(
+        self, path: Union[str, Path], replace: bool = False
+    ) -> list[ScenarioSpec]:
+        """Register every ``*.yaml`` under ``path`` (sorted, recursive)."""
+        from repro.scenario.yamlio import load_dir
+
+        return [
+            self.register(spec, replace=replace) for spec in load_dir(path)
+        ]
+
+
+def _builtin_registry() -> ScenarioRegistry:
+    return ScenarioRegistry(builtin_specs())
+
+
+#: The process-wide registry: built-ins preloaded, user YAML loadable.
+REGISTRY = _builtin_registry()
+
+
+def compiled(name: str) -> CompiledScenario:
+    """Shorthand: ``REGISTRY.compile(name)``."""
+    return REGISTRY.compile(name)
+
+
+def find(name: str) -> Optional[ScenarioSpec]:
+    """Like ``REGISTRY.get`` but returning ``None`` for unknown names."""
+    return REGISTRY._specs.get(name)

@@ -1,0 +1,155 @@
+"""ASCII rendering of a compiled scenario: floor plan + signal contours.
+
+``scenario render NAME`` draws the floor in the terminal: walls as
+``#``, the primary transmitter as ``T``, receivers as ``R`` (access
+points ``A``, other stations ``s``), and the mean signal level from
+the primary transmitter shaded through a character ramp — a quick
+visual check that a YAML file describes the topology its author
+intended, and a tiny homage to the paper's floor-plan figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.environment.geometry import Point
+from repro.scenario.compiler import CompiledScenario
+
+#: Dark → bright signal shading (mean level in WaveLAN AGC units).
+RAMP = " .:-=+*%@"
+ROLE_GLYPHS = {"tx": "T", "rx": "R", "ap": "A", "sta": "s"}
+
+
+def _bounds(
+    compiled: CompiledScenario, floor: int
+) -> tuple[float, float, float, float]:
+    xs: list[float] = []
+    ys: list[float] = []
+    for station in compiled.spec.stations:
+        if station.position.floor == floor:
+            xs.append(station.position.x)
+            ys.append(station.position.y)
+    for wall in compiled.spec.walls:
+        if wall.floor == floor:
+            xs.extend((wall.ax, wall.bx))
+            ys.extend((wall.ay, wall.by))
+    for interferer in compiled.spec.interferers:
+        for value in interferer.params.values():
+            if isinstance(value, tuple) and len(value) == 2:
+                xs.append(float(value[0]))
+                ys.append(float(value[1]))
+    if not xs:
+        xs, ys = [0.0, 10.0], [0.0, 10.0]
+    pad_x = max(2.0, (max(xs) - min(xs)) * 0.12)
+    pad_y = max(2.0, (max(ys) - min(ys)) * 0.12)
+    return min(xs) - pad_x, max(xs) + pad_x, min(ys) - pad_y, max(ys) + pad_y
+
+
+def render_scenario(
+    compiled: CompiledScenario,
+    width: int = 64,
+    height: int = 22,
+    floor: Optional[int] = None,
+) -> str:
+    """The floor as a character grid, y increasing upward."""
+    spec = compiled.spec
+    if floor is None:
+        floor = compiled.floors[0]
+    x0, x1, y0, y1 = _bounds(compiled, floor)
+    propagation = compiled.propagation(floor)
+    same_floor = [
+        link for link in compiled.links if link.tx.position.floor == floor
+    ]
+    tx_point = (
+        Point(same_floor[0].tx.position.x, same_floor[0].tx.position.y)
+        if same_floor
+        else None
+    )
+
+    def cell_point(col: int, row: int) -> Point:
+        return Point(
+            x0 + (x1 - x0) * (col + 0.5) / width,
+            y1 - (y1 - y0) * (row + 0.5) / height,
+        )
+
+    grid = [[" "] * width for _ in range(height)]
+    if tx_point is not None:
+        levels = [
+            [
+                propagation.mean_level(tx_point, cell_point(col, row))
+                for col in range(width)
+            ]
+            for row in range(height)
+        ]
+        flat = [level for row in levels for level in row]
+        low, high = min(flat), max(flat)
+        span = max(high - low, 1e-9)
+        for row in range(height):
+            for col in range(width):
+                shade = (levels[row][col] - low) / span
+                index = min(
+                    len(RAMP) - 1, max(0, int(shade * (len(RAMP) - 1) + 0.5))
+                )
+                grid[row][col] = RAMP[index]
+
+    def plot(x: float, y: float, glyph: str) -> None:
+        col = int((x - x0) / (x1 - x0) * width)
+        row = int((y1 - y) / (y1 - y0) * height)
+        if 0 <= row < height and 0 <= col < width:
+            grid[row][col] = glyph
+
+    for wall in spec.walls:
+        if wall.floor != floor:
+            continue
+        steps = max(
+            2, int(2 * max(width, height) * math.hypot(
+                (wall.bx - wall.ax) / max(x1 - x0, 1e-9),
+                (wall.by - wall.ay) / max(y1 - y0, 1e-9),
+            ))
+        )
+        for step in range(steps + 1):
+            t = step / steps
+            plot(
+                wall.ax + (wall.bx - wall.ax) * t,
+                wall.ay + (wall.by - wall.ay) * t,
+                "#",
+            )
+    for interferer in spec.interferers:
+        for value in interferer.params.values():
+            if isinstance(value, tuple) and len(value) == 2:
+                plot(float(value[0]), float(value[1]), "!")
+    for station in spec.stations:
+        if station.position.floor == floor:
+            plot(
+                station.position.x,
+                station.position.y,
+                ROLE_GLYPHS.get(station.role, "?"),
+            )
+
+    lines = [
+        f"{spec.name} — floor {floor} "
+        f"({x1 - x0:.0f} x {y1 - y0:.0f} ft shown)"
+    ]
+    if spec.description:
+        lines.append(spec.description)
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(border)
+    lines.append(
+        "T tx   R rx   A ap   s sta   ! interferer   # wall   "
+        f"shade = level ({RAMP[0]!r} low … {RAMP[-1]!r} high)"
+    )
+    for link in compiled.links:
+        crossing = (
+            f", {link.floor_crossings} floor(s) crossed"
+            if link.floor_crossings
+            else ""
+        )
+        lines.append(
+            f"  link {link.name}: {link.tx.name} -> {link.rx.name}  "
+            f"{link.distance_ft:.1f} ft, predicted level "
+            f"{link.predicted_level:.1f}{crossing}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""YAML persistence for scenario specs.
+
+The on-disk form is exactly ``ScenarioSpec.to_dict()`` — defaults
+omitted, insertion-ordered keys — so ``load(dump(spec)) == spec`` and
+the curated ``scenarios/`` directory stays tidy and diffable.  Loading
+always validates: a malformed file raises one
+:class:`~repro.scenario.spec.ScenarioError` listing every problem.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import yaml
+
+from repro.scenario.spec import ScenarioError, ScenarioSpec
+
+_HEADER = "# Scenario spec for `python -m repro scenario` (see docs/SCENARIOS.md)\n"
+
+
+def spec_to_yaml(spec: ScenarioSpec) -> str:
+    """Deterministic YAML for one spec (insertion order, no aliases)."""
+    return yaml.safe_dump(
+        spec.to_dict(), sort_keys=False, default_flow_style=None
+    )
+
+
+def spec_from_yaml(text: str) -> ScenarioSpec:
+    """Parse and validate one YAML document into a spec."""
+    try:
+        data = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise ScenarioError(f"malformed YAML: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ScenarioError(
+            "scenario YAML must be a mapping "
+            f"(got {type(data).__name__})"
+        )
+    return ScenarioSpec.from_dict(data)
+
+
+def load_file(path: Union[str, Path]) -> ScenarioSpec:
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read {path}: {exc}") from exc
+    try:
+        return spec_from_yaml(text)
+    except ScenarioError as exc:
+        raise ScenarioError(f"{path}: {exc}") from exc
+
+
+def load_dir(path: Union[str, Path]) -> list[ScenarioSpec]:
+    """Every ``*.yaml`` under ``path``, recursively, sorted by path."""
+    path = Path(path)
+    if not path.is_dir():
+        raise ScenarioError(f"not a directory: {path}")
+    return [load_file(f) for f in sorted(path.rglob("*.yaml"))]
+
+
+def scenario_filename(name: str) -> str:
+    """The canonical file name for a scenario (``/`` → ``--``)."""
+    return name.replace("/", "--") + ".yaml"
+
+
+def save(spec: ScenarioSpec, path: Union[str, Path]) -> Path:
+    """Write one spec to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(_HEADER + spec_to_yaml(spec))
+    return path
+
+
+def export_dir(
+    specs: list[ScenarioSpec], directory: Union[str, Path]
+) -> list[Path]:
+    """Write every spec into ``directory`` under its canonical name."""
+    directory = Path(directory)
+    return [
+        save(spec, directory / scenario_filename(spec.name))
+        for spec in specs
+    ]

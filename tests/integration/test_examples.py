@@ -41,6 +41,13 @@ class TestFastExamples:
         # The clean stops finish in about a second.
         assert " 0.9 s" in out or " 1.0 s" in out
 
+    def test_scenario_sweep(self, capsys):
+        out = _run_example("scenario_sweep", capsys)
+        assert "Sweeping 20 generated scenarios" in out
+        assert "Goodput%" in out
+        assert "Weakest clean link" in out
+        assert "interference, not distance or walls" in out
+
 
 @pytest.mark.slow
 class TestSlowExamples:

@@ -1,0 +1,99 @@
+"""CLI smoke tests and the scenarios/ YAML drift pin."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCENARIOS_DIR = REPO_ROOT / "scenarios"
+
+
+def test_scenario_list(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "paper/office" in out
+    assert "demo/dense-office" in out
+    assert "scenario(s) registered" in out
+
+
+def test_scenario_validate_shipped_dir(capsys):
+    assert main(["scenario", "validate", str(SCENARIOS_DIR)]) == 0
+    out = capsys.readouterr().out
+    assert "0 invalid" in out
+
+
+def test_scenario_validate_flags_bad_yaml(tmp_path, capsys):
+    bad = tmp_path / "broken.yaml"
+    bad.write_text("name: broken\nstations: []\n")
+    assert main(["scenario", "validate", str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "INVALID" in captured.err
+
+
+def test_scenario_render(capsys):
+    assert main(["scenario", "render", "paper/multiroom",
+                 "--width", "40", "--height", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "#" in out  # walls drawn
+    assert "Tx5" in out  # link legend
+
+
+def test_scenario_render_unknown_name_lists_valid(capsys):
+    assert main(["scenario", "render", "paper/nope"]) == 2
+    err = capsys.readouterr().err
+    assert "paper/nope" in err
+    assert "paper/office" in err
+
+
+def test_scenario_run_named(capsys):
+    assert main(["scenario", "run", "paper/office",
+                 "--packets", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "paper/office" in out
+    assert "Goodput%" in out
+
+
+def test_scenario_run_needs_names_or_generate(capsys):
+    assert main(["scenario", "run"]) == 2
+    assert "--generate" in capsys.readouterr().err
+
+
+def test_scenario_run_generated_fleet(capsys):
+    assert main(["scenario", "run", "--generate", "grid",
+                 "--packets", "20", "--jobs", "2", "--pareto"]) == 0
+    out = capsys.readouterr().out
+    assert "20 scenario(s)" in out
+
+
+def test_scenario_export_matches_shipped_dir(tmp_path, capsys):
+    """Drift pin: scenarios/ in the repo == a fresh built-in export."""
+    assert main(["scenario", "export", str(tmp_path)]) == 0
+    capsys.readouterr()
+    exported = sorted(p.name for p in tmp_path.glob("*.yaml"))
+    shipped = sorted(p.name for p in SCENARIOS_DIR.glob("*.yaml"))
+    assert exported == shipped
+    for name in exported:
+        assert (tmp_path / name).read_text() == (
+            SCENARIOS_DIR / name
+        ).read_text(), f"scenarios/{name} drifted from the built-in spec"
+
+
+def test_scenario_run_loaded_yaml_file(tmp_path, capsys):
+    from repro.scenario.builtin import builtin_specs
+    from repro.scenario.yamlio import save
+
+    spec = next(s for s in builtin_specs() if s.name == "paper/office")
+    path = tmp_path / "office-copy.yaml"
+    save(spec, path)
+    assert main(["scenario", "run", str(path), "--packets", "40"]) == 0
+    assert "paper/office" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", ["paper/table14-masked", "demo/three-floor"])
+def test_scenario_render_smoke(name, capsys):
+    assert main(["scenario", "render", name]) == 0
+    assert "link" in capsys.readouterr().out

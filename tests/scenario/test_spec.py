@@ -1,0 +1,101 @@
+"""Spec model: builder, validation, dict/YAML round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario.spec import (
+    ScenarioBuilder,
+    ScenarioError,
+    ScenarioSpec,
+)
+from repro.scenario.yamlio import (
+    scenario_filename,
+    spec_from_yaml,
+    spec_to_yaml,
+)
+
+
+def _office() -> ScenarioSpec:
+    return (
+        ScenarioBuilder("test/office", description="a test office")
+        .calibrate(29.5, at_distance_ft=8.0)
+        .station("tx", 0.0, 0.0, role="tx")
+        .station("rx", 8.0, 0.0, role="rx")
+        .traffic(packets=1440)
+        .build()
+    )
+
+
+def test_builder_builds_valid_spec():
+    spec = _office()
+    assert spec.name == "test/office"
+    assert [s.name for s in spec.stations] == ["tx", "rx"]
+    assert spec.traffic.packets == 1440
+
+
+def test_validation_collects_all_problems_in_one_error():
+    builder = (
+        ScenarioBuilder("bad")
+        .station("a", 0.0, 0.0, role="tx")
+        .station("a", 1.0, 0.0, role="rx")  # duplicate name
+        .link("a", "missing")  # unknown endpoint
+    )
+    with pytest.raises(ScenarioError) as exc:
+        builder.build()
+    message = str(exc.value)
+    assert "calibration" in message  # missing anchor
+    assert "duplicate station" in message
+    assert "missing" in message
+
+
+def test_unknown_interferer_kind_rejected():
+    builder = (
+        ScenarioBuilder("bad-kind")
+        .calibrate(20.0, at_distance_ft=5.0)
+        .station("tx", 0.0, 0.0, role="tx")
+        .station("rx", 5.0, 0.0, role="rx")
+        .interferer("microwave_oven")
+    )
+    with pytest.raises(ScenarioError) as exc:
+        builder.build()
+    assert "microwave_oven" in str(exc.value)
+    # The error lists what *would* be accepted.
+    assert "spread_phone" in str(exc.value)
+
+
+def test_dict_round_trip_is_lossless():
+    spec = _office()
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_from_dict_rejects_unknown_keys():
+    payload = _office().to_dict()
+    payload["wombat"] = 3
+    with pytest.raises(ScenarioError) as exc:
+        ScenarioSpec.from_dict(payload)
+    assert "wombat" in str(exc.value)
+
+
+def test_yaml_round_trip_is_lossless():
+    spec = _office()
+    text = spec_to_yaml(spec)
+    assert spec_from_yaml(text) == spec
+    # And stable: re-serialising the parsed spec gives the same text.
+    assert spec_to_yaml(spec_from_yaml(text)) == text
+
+
+def test_yaml_rejects_non_mapping():
+    with pytest.raises(ScenarioError):
+        spec_from_yaml("- just\n- a\n- list\n")
+
+
+def test_scenario_filename_flattens_slashes():
+    assert scenario_filename("paper/office") == "paper--office.yaml"
+
+
+def test_builtin_specs_all_round_trip():
+    from repro.scenario.builtin import builtin_specs
+
+    for spec in builtin_specs():
+        assert spec_from_yaml(spec_to_yaml(spec)) == spec
